@@ -1,0 +1,75 @@
+// Ablation — hierarchical vs weighted-sum objective (paper §2.1). The
+// paper argues the weighted formulation "can be complex as it requires
+// choosing the weights" and adopts the hierarchical two-level objective
+// instead. Here we run DDS/lxf/dynB with the hierarchical comparator and
+// with weighted-sum comparators across three orders of magnitude of the
+// weight alpha (score = alpha * excess_h + avg_bsld), showing how
+// sensitive the weighted variant is to that choice.
+
+#include <iostream>
+
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace sbs;
+  using namespace sbs::bench;
+  try {
+    auto [options, args] = parse_options(argc, argv, {"nodes"});
+    const auto L = static_cast<std::size_t>(args.get_int("nodes", 1000));
+    if (!args.has("months")) options.months = {"7/03", "10/03", "1/04"};
+    banner("Ablation: hierarchical vs weighted-sum objective", options,
+           "rho = 0.9; R* = T; L = " + std::to_string(L));
+
+    auto csv = csv_for(options, "ablation_objective",
+                       {"month", "objective", "avg_wait_h", "max_wait_h",
+                        "avg_bsld", "total_Emax_h"});
+
+    struct Variant {
+      std::string label;
+      double alpha;  // 0 = hierarchical
+    };
+    const std::vector<Variant> variants = {
+        {"hierarchical", 0.0},
+        {"weighted a=0.1", 0.1},
+        {"weighted a=1", 1.0},
+        {"weighted a=10", 10.0},
+    };
+
+    Table table({"month", "objective", "avg wait (h)", "max wait (h)",
+                 "avg bsld", "E^max tot (h)"});
+    for (const auto& month : prepare_months(options, /*load=*/0.9)) {
+      for (const auto& v : variants) {
+        SearchSchedulerConfig cfg;
+        cfg.search.algo = SearchAlgo::Dds;
+        cfg.search.branching = Branching::Lxf;
+        cfg.search.node_limit = L;
+        cfg.search.comparator.weighted_alpha = v.alpha;
+        cfg.bound = BoundSpec::dynamic_bound();
+        SearchScheduler policy(cfg);
+        const MonthEval eval =
+            evaluate_policy(month.trace, policy, month.thresholds);
+        table.row()
+            .add(month.trace.name)
+            .add(v.label)
+            .add(eval.summary.avg_wait_h)
+            .add(eval.summary.max_wait_h)
+            .add(eval.summary.avg_bounded_slowdown)
+            .add(eval.e_max.total_h, 1);
+        if (csv)
+          csv->write_row({month.trace.name, v.label,
+                          format_double(eval.summary.avg_wait_h, 3),
+                          format_double(eval.summary.max_wait_h, 3),
+                          format_double(eval.summary.avg_bounded_slowdown, 3),
+                          format_double(eval.e_max.total_h, 3)});
+      }
+    }
+    table.print(std::cout);
+    std::cout << "\nShape check: the weighted variants drift between the "
+                 "two goals as alpha moves across three decades — the "
+                 "tuning burden the hierarchical objective removes.\n";
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+}

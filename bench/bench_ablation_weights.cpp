@@ -1,0 +1,106 @@
+// Ablation — the paper's §1 motivation: "even if a set of priority
+// weights work well for a given period of time, they may have poor
+// performance for another period of time." We tune three Maui-style
+// weighted-priority configurations and run each across months with very
+// different mixes, alongside queue-based priority (PBS/LSF style) with
+// and without aging, and DDS/lxf/dynB which needs no tuning at all.
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "policies/multi_queue.hpp"
+#include "policies/weighted_priority.hpp"
+
+int main(int argc, char** argv) {
+  using namespace sbs;
+  using namespace sbs::bench;
+  try {
+    auto [options, args] = parse_options(argc, argv, {"nodes"});
+    const auto L = static_cast<std::size_t>(args.get_int("nodes", 1000));
+    if (!args.has("months"))
+      options.months = {"7/03", "8/03", "1/04", "2/04"};
+    banner("Ablation: hand-tuned priority weights vs goal-oriented search",
+           options, "rho = 0.9; R* = T");
+
+    auto csv = csv_for(options, "ablation_weights",
+                       {"month", "policy", "avg_wait_h", "max_wait_h",
+                        "avg_bsld", "total_Emax_h"});
+
+    struct Entry {
+      std::string label;
+      std::unique_ptr<Scheduler> (*make)();
+    };
+    auto make_fair = []() -> std::unique_ptr<Scheduler> {
+      WeightedPriorityConfig cfg;  // pure aging: behaves like FCFS
+      cfg.w_wait = 1.0;
+      return std::make_unique<WeightedPriorityScheduler>(cfg);
+    };
+    auto make_throughput = []() -> std::unique_ptr<Scheduler> {
+      WeightedPriorityConfig cfg;  // tuned for short-job service
+      cfg.w_wait = 0.2;
+      cfg.w_xfactor = 2.0;
+      cfg.w_runtime = 0.5;
+      return std::make_unique<WeightedPriorityScheduler>(cfg);
+    };
+    auto make_wide = []() -> std::unique_ptr<Scheduler> {
+      WeightedPriorityConfig cfg;  // tuned for large-resource jobs
+      cfg.w_wait = 0.5;
+      cfg.w_nodes = 0.2;
+      return std::make_unique<WeightedPriorityScheduler>(cfg);
+    };
+    auto make_queues = []() -> std::unique_ptr<Scheduler> {
+      return std::make_unique<MultiQueueScheduler>();
+    };
+    auto make_queues_aged = []() -> std::unique_ptr<Scheduler> {
+      MultiQueueConfig cfg;
+      cfg.aging_limit = 24 * kHour;
+      return std::make_unique<MultiQueueScheduler>(cfg);
+    };
+    const std::vector<Entry> entries = {
+        {"Weighted: aging-only", +make_fair},
+        {"Weighted: short-tuned", +make_throughput},
+        {"Weighted: wide-tuned", +make_wide},
+        {"MultiQueue (no aging)", +make_queues},
+        {"MultiQueue (24h aging)", +make_queues_aged},
+    };
+
+    Table table({"month", "policy", "avg wait (h)", "max wait (h)",
+                 "avg bsld", "E^max tot (h)"});
+    auto emit = [&](const MonthEval& eval, const std::string& label) {
+      table.row()
+          .add(eval.month)
+          .add(label)
+          .add(eval.summary.avg_wait_h)
+          .add(eval.summary.max_wait_h)
+          .add(eval.summary.avg_bounded_slowdown)
+          .add(eval.e_max.total_h, 1);
+      if (csv)
+        csv->write_row({eval.month, label,
+                        format_double(eval.summary.avg_wait_h, 3),
+                        format_double(eval.summary.max_wait_h, 3),
+                        format_double(eval.summary.avg_bounded_slowdown, 3),
+                        format_double(eval.e_max.total_h, 3)});
+    };
+
+    for (const auto& month : prepare_months(options, /*load=*/0.9)) {
+      for (const auto& entry : entries) {
+        auto policy = entry.make();
+        emit(evaluate_policy(month.trace, *policy, month.thresholds),
+             entry.label);
+      }
+      emit(evaluate_spec(month.trace, "DDS/lxf/dynB", L, month.thresholds),
+           "DDS/lxf/dynB (no tuning)");
+    }
+    table.print(std::cout);
+    std::cout << "\nShape check: no single weight vector wins across the "
+                 "months — the short-tuned weights ruin max wait in "
+                 "long-heavy months and vice versa, and queue priority "
+                 "without aging starves long jobs — while the search "
+                 "policy tracks the best column everywhere without any "
+                 "per-month tuning.\n";
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+}

@@ -1,0 +1,136 @@
+// Anytime profiles — how solution quality buys into the node budget, per
+// search algorithm. The paper's argument for DDS over LDS (§2.2) is an
+// anytime argument: within a fixed budget, the algorithm that explores
+// root-level discrepancies sooner finds good schedules sooner. This bench
+// makes the curve explicit on hard decision points sampled from a
+// high-load month: for each algorithm, the best objective value reached
+// at budgets 1K..64K, plus the incumbent-improvement trace at 64K.
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/search.hpp"
+#include "sim/simulator.hpp"
+#include "util/error.hpp"
+
+namespace {
+
+using namespace sbs;
+
+/// Captures hard decision points (big queues) from a monthly simulation.
+class SnapshotScheduler final : public Scheduler {
+ public:
+  SnapshotScheduler(std::size_t min_queue, std::size_t max_snapshots)
+      : min_queue_(min_queue), max_snapshots_(max_snapshots) {}
+
+  std::vector<int> select_jobs(const SchedulerState& state) override {
+    if (state.waiting.size() >= min_queue_ &&
+        snapshots_.size() < max_snapshots_ &&
+        state.free_nodes >= state.capacity / 4) {
+      snapshots_.push_back(
+          SearchProblem::from_state(state, BoundSpec::dynamic_bound()));
+    }
+    // Drive the simulation with plain EASY-style FCFS list scheduling.
+    std::vector<int> started;
+    ResourceProfile profile =
+        profile_from_running(state.capacity, state.now, state.running);
+    for (const auto& w : state.waiting) {
+      const Time est = std::max<Time>(w.estimate, 1);
+      const Time t = profile.earliest_start(state.now, w.job->nodes, est);
+      profile.reserve(t, w.job->nodes, est);
+      if (t == state.now) started.push_back(w.job->id);
+    }
+    return started;
+  }
+  std::string name() const override { return "snapshotter"; }
+
+  const std::vector<SearchProblem>& snapshots() const { return snapshots_; }
+
+ private:
+  std::size_t min_queue_;
+  std::size_t max_snapshots_;
+  std::vector<SearchProblem> snapshots_;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace sbs::bench;
+  try {
+    auto [options, args] = parse_options(argc, argv, {"month", "min-queue"});
+    const std::string month_name = args.get("month", "7/03");
+    const auto min_queue =
+        static_cast<std::size_t>(args.get_int("min-queue", 20));
+    options.months = {month_name};
+    banner("Anytime profiles: quality vs node budget per algorithm",
+           options,
+           "decision points with >= " + std::to_string(min_queue) +
+               " waiting jobs sampled from " + month_name + " at rho=0.9");
+
+    auto csv = csv_for(options, "anytime_profile",
+                       {"snapshot", "algorithm", "budget", "excess_h",
+                        "avg_bsld"});
+
+    Trace trace = generate_month(month_name, options.generator());
+    trace = rescale_to_load(trace, 0.9);
+    SnapshotScheduler snapshotter(min_queue, 3);
+    simulate(trace, snapshotter);
+    if (snapshotter.snapshots().empty())
+      throw Error("no decision point reached the queue threshold");
+
+    const std::vector<std::size_t> budgets = {1000, 4000, 16000, 64000};
+    Table table({"snapshot", "queue", "algorithm", "L=1K", "L=4K", "L=16K",
+                 "L=64K (excess_h / avg_bsld)"});
+    for (std::size_t s = 0; s < snapshotter.snapshots().size(); ++s) {
+      const SearchProblem& problem = snapshotter.snapshots()[s];
+      for (const SearchAlgo algo :
+           {SearchAlgo::Dds, SearchAlgo::Lds, SearchAlgo::Dfs}) {
+        table.row()
+            .add(static_cast<long long>(s))
+            .add(static_cast<long long>(problem.size()))
+            .add(algo_name(algo) + "/lxf");
+        for (const std::size_t budget : budgets) {
+          SearchConfig cfg;
+          cfg.algo = algo;
+          cfg.branching = Branching::Lxf;
+          cfg.node_limit = budget;
+          const SearchResult r = run_search(problem, cfg);
+          table.add(format_double(r.value.excess_h, 1) + " / " +
+                    format_double(r.value.avg_bsld, 1));
+          if (csv)
+            csv->write_row({std::to_string(s), algo_name(algo),
+                            std::to_string(budget),
+                            format_double(r.value.excess_h, 4),
+                            format_double(r.value.avg_bsld, 4)});
+        }
+      }
+    }
+    table.print(std::cout);
+
+    // Improvement trace of the first snapshot at the largest budget.
+    const SearchProblem& problem = snapshotter.snapshots().front();
+    std::cout << "\nIncumbent improvements, snapshot 0, L=64K "
+                 "(nodes@path: excess_h/avg_bsld):\n";
+    for (const SearchAlgo algo :
+         {SearchAlgo::Dds, SearchAlgo::Lds, SearchAlgo::Dfs}) {
+      SearchConfig cfg;
+      cfg.algo = algo;
+      cfg.branching = Branching::Lxf;
+      cfg.node_limit = 64000;
+      const SearchResult r = run_search(problem, cfg);
+      std::cout << "  " << algo_name(algo) << ": ";
+      for (const Improvement& imp : r.improvements)
+        std::cout << imp.nodes << "@" << imp.path << ": "
+                  << format_double(imp.value.excess_h, 1) << "/"
+                  << format_double(imp.value.avg_bsld, 2) << "  ";
+      std::cout << '\n';
+    }
+    std::cout << "\nReading: DDS's incumbent drops early (root-level "
+                 "discrepancies first); DFS improves late or not at all "
+                 "within the budget.\n";
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+}

@@ -1,0 +1,67 @@
+#include "bench_common.hpp"
+
+#include <filesystem>
+#include <iostream>
+
+namespace sbs::bench {
+
+GeneratorConfig BenchOptions::generator() const {
+  GeneratorConfig cfg;
+  cfg.job_scale = scale;
+  cfg.seed = seed;
+  return cfg;
+}
+
+std::pair<BenchOptions, CliArgs> parse_options(
+    int argc, const char* const* argv, const std::vector<std::string>& extra) {
+  std::vector<std::string> allowed = {"scale", "seed", "months", "csv"};
+  allowed.insert(allowed.end(), extra.begin(), extra.end());
+  CliArgs args(argc, argv, allowed);
+
+  BenchOptions options;
+  options.scale = args.get_double("scale", 1.0);
+  options.seed = static_cast<std::uint64_t>(args.get_int("seed", 2005));
+  options.csv_dir = args.get("csv", "");
+  std::string months = args.get("months", "");
+  while (!months.empty()) {
+    const auto comma = months.find(',');
+    options.months.push_back(months.substr(0, comma));
+    months = comma == std::string::npos ? "" : months.substr(comma + 1);
+  }
+  return {options, std::move(args)};
+}
+
+std::vector<PreparedMonth> prepare_months(const BenchOptions& options,
+                                          double load, const SimConfig& sim) {
+  std::vector<PreparedMonth> prepared;
+  for (const auto& stats : ncsa_months()) {
+    if (!options.months.empty() &&
+        std::find(options.months.begin(), options.months.end(), stats.name) ==
+            options.months.end())
+      continue;
+    PreparedMonth m;
+    m.trace = generate_month(stats, options.generator());
+    if (load > 0.0) m.trace = rescale_to_load(m.trace, load);
+    m.thresholds = fcfs_thresholds(m.trace, sim);
+    prepared.push_back(std::move(m));
+  }
+  return prepared;
+}
+
+std::optional<CsvWriter> csv_for(const BenchOptions& options,
+                                 const std::string& name,
+                                 const std::vector<std::string>& header) {
+  if (options.csv_dir.empty()) return std::nullopt;
+  std::filesystem::create_directories(options.csv_dir);
+  return CsvWriter(options.csv_dir + "/" + name + ".csv", header);
+}
+
+void banner(const std::string& title, const BenchOptions& options,
+            const std::string& detail) {
+  std::cout << "=== " << title << " ===\n";
+  if (!detail.empty()) std::cout << detail << '\n';
+  std::cout << "workload scale " << format_double(options.scale, 2)
+            << " (1.0 = paper month sizes), seed " << options.seed << "\n\n";
+}
+
+}  // namespace sbs::bench

@@ -1,0 +1,64 @@
+#pragma once
+
+// Shared plumbing for the per-figure bench binaries: common flags, month
+// preparation (generate -> optional high-load rescale -> FCFS thresholds),
+// and optional CSV export next to the printed tables.
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "exp/policy_factory.hpp"
+#include "exp/runner.hpp"
+#include "util/cli.hpp"
+#include "util/csv.hpp"
+#include "util/table.hpp"
+#include "workload/generator.hpp"
+
+namespace sbs::bench {
+
+/// Options every bench binary accepts:
+///   --scale=<f>   workload scale (1.0 = the paper's month sizes)
+///   --seed=<n>    generator seed
+///   --months=a,b  restrict to specific months ("7/03,1/04")
+///   --csv=<dir>   also write machine-readable series into <dir>
+struct BenchOptions {
+  double scale = 1.0;
+  std::uint64_t seed = 2005;
+  std::vector<std::string> months;  // empty = all ten study months
+  std::string csv_dir;
+
+  GeneratorConfig generator() const;
+};
+
+/// Parses the shared flags (plus any bench-specific `extra` keys, queried
+/// by the caller through the returned CliArgs).
+std::pair<BenchOptions, CliArgs> parse_options(
+    int argc, const char* const* argv,
+    const std::vector<std::string>& extra = {});
+
+/// One prepared month: trace at the requested load + FCFS thresholds.
+struct PreparedMonth {
+  Trace trace;
+  Thresholds thresholds;
+};
+
+/// Generates (and optionally rescales to `load`; 0 keeps the original) the
+/// selected months and derives per-month FCFS-backfill thresholds under
+/// the given simulation config.
+std::vector<PreparedMonth> prepare_months(const BenchOptions& options,
+                                          double load,
+                                          const SimConfig& sim = {});
+
+/// Opens `<csv_dir>/<name>.csv` when --csv was given; nullopt otherwise.
+std::optional<CsvWriter> csv_for(const BenchOptions& options,
+                                 const std::string& name,
+                                 const std::vector<std::string>& header);
+
+/// Prints the standard bench banner (what runs, at which scale).
+void banner(const std::string& title, const BenchOptions& options,
+            const std::string& detail);
+
+}  // namespace sbs::bench

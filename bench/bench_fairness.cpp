@@ -1,0 +1,61 @@
+// Fairness view — the scalar companion to Figure 5. The paper's argument
+// against LXF-backfill is not its averages (they are excellent) but who
+// pays for them; Gini/Jain indices and the worst-5% tail make that
+// visible in one row per policy, across the high-load months.
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "metrics/fairness.hpp"
+
+int main(int argc, char** argv) {
+  using namespace sbs;
+  using namespace sbs::bench;
+  try {
+    auto [options, args] = parse_options(argc, argv, {"nodes"});
+    const auto L = static_cast<std::size_t>(args.get_int("nodes", 1000));
+    if (!args.has("months")) options.months = {"7/03", "9/03", "1/04"};
+    banner("Fairness indices across policies (companion to Figure 5)",
+           options, "rho = 0.9; R* = T");
+
+    auto csv = csv_for(options, "fairness",
+                       {"month", "policy", "gini_wait", "gini_bsld",
+                        "jain_bsld", "tail5_bsld", "avg_bsld"});
+
+    const std::vector<std::string> specs = {"FCFS-BF", "LXF-BF", "SJF-BF",
+                                            "DDS/lxf/dynB"};
+    Table table({"month", "policy", "Gini(wait)", "Gini(bsld)",
+                 "Jain(bsld)", "worst-5% bsld", "avg bsld"});
+    for (const auto& month : prepare_months(options, /*load=*/0.9)) {
+      for (const auto& spec : specs) {
+        const MonthEval eval =
+            evaluate_spec(month.trace, spec, L, month.thresholds, {}, true);
+        const FairnessSummary f = fairness_summary(eval.outcomes);
+        table.row()
+            .add(month.trace.name)
+            .add(eval.policy)
+            .add(f.gini_wait)
+            .add(f.gini_bsld)
+            .add(f.jain_bsld)
+            .add(f.tail5_bsld, 1)
+            .add(eval.summary.avg_bounded_slowdown);
+        if (csv)
+          csv->write_row({month.trace.name, eval.policy,
+                          format_double(f.gini_wait, 4),
+                          format_double(f.gini_bsld, 4),
+                          format_double(f.jain_bsld, 4),
+                          format_double(f.tail5_bsld, 3),
+                          format_double(eval.summary.avg_bounded_slowdown, 3)});
+      }
+    }
+    table.print(std::cout);
+    std::cout << "\nReading: SJF-BF buys its average slowdown with extreme "
+                 "wait concentration (highest Gini(wait)); DDS/lxf/dynB "
+                 "keeps the tail in check without FCFS-BF's poor "
+                 "averages.\n";
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+}

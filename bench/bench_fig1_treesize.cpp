@@ -1,0 +1,83 @@
+// Figure 1(d) — search-tree size as a function of the number of waiting
+// jobs, plus an empirical cross-check: for small n we run an exhaustive
+// DDS and LDS and confirm both enumerate exactly n! complete paths.
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/search.hpp"
+#include "core/tree_size.hpp"
+
+int main(int argc, char** argv) {
+  using namespace sbs;
+  using namespace sbs::bench;
+  try {
+    auto [options, args] = parse_options(argc, argv);
+    banner("Figure 1(d): search-tree size vs number of waiting jobs", options,
+           "paths = n!, nodes = sum of level sizes; verified empirically "
+           "for n <= 7");
+
+    auto csv = csv_for(options, "fig1_treesize",
+                       {"jobs", "paths", "nodes", "lds_paths", "dds_paths"});
+
+    Table table({"#jobs", "#paths", "#nodes", "LDS paths (measured)",
+                 "DDS paths (measured)"});
+    for (std::size_t n = 1; n <= 15; ++n) {
+      const TreeSize size = search_tree_size(n);
+      std::string lds = "-", dds = "-";
+      if (n <= 7) {
+        // Build a tiny uniform problem with n waiting jobs.
+        SearchProblem p;
+        p.now = 0;
+        p.capacity = 1;
+        p.base = ResourceProfile(1, 0);
+        static std::vector<Job> storage;
+        storage.clear();
+        storage.reserve(n);
+        for (std::size_t i = 0; i < n; ++i) {
+          Job j;
+          j.id = static_cast<int>(i);
+          j.submit = -static_cast<Time>(i + 1) * kMinute;
+          j.nodes = 1;
+          j.runtime = j.requested = kHour;
+          storage.push_back(j);
+        }
+        for (const Job& j : storage) {
+          SearchJob s;
+          s.job = &j;
+          s.nodes = 1;
+          s.estimate = j.runtime;
+          s.submit = j.submit;
+          s.bound = 1000 * kHour;
+          s.slowdown_now = 1.0;
+          p.jobs.push_back(s);
+        }
+        for (const SearchAlgo algo : {SearchAlgo::Lds, SearchAlgo::Dds}) {
+          SearchConfig cfg;
+          cfg.algo = algo;
+          cfg.branching = Branching::Fcfs;
+          cfg.node_limit = 100'000'000;
+          const SearchResult r = run_search(p, cfg);
+          (algo == SearchAlgo::Lds ? lds : dds) =
+              std::to_string(r.paths_completed);
+        }
+      }
+      table.row()
+          .add(static_cast<long long>(n))
+          .add(size.paths, 0)
+          .add(size.nodes, 0)
+          .add(lds)
+          .add(dds);
+      if (csv)
+        csv->write_row({std::to_string(n), format_double(size.paths, 0),
+                        format_double(size.nodes, 0), lds, dds});
+    }
+    table.print(std::cout);
+    std::cout << "\nEven 10 waiting jobs yield ~10M tree nodes; the paper's "
+                 "budgets L = 1K..100K cover 0.01%..1% of that tree.\n";
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+}

@@ -1,0 +1,77 @@
+// Figure 4 — the full high-load (rho = 0.9) comparison, R* = T:
+//   (a) avg wait  (b) max wait  (c) avg bounded slowdown
+//   (d) avg queue length
+//   (e) total E^98%  (f) total E^max
+//   (g) #jobs with E^max  (h) avg E^max among those jobs
+// DDS/lxf/dynB uses L = 1K except January 2004, which uses L = 8K as in
+// the paper (its larger backlog needs more search).
+
+#include <iostream>
+
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace sbs;
+  using namespace sbs::bench;
+  try {
+    auto [options, args] = parse_options(argc, argv, {"nodes", "nodes-jan"});
+    const auto L = static_cast<std::size_t>(args.get_int("nodes", 1000));
+    const auto L_jan =
+        static_cast<std::size_t>(args.get_int("nodes-jan", 8000));
+    banner("Figure 4: policy comparison under high load (rho = 0.9)",
+           options,
+           "R* = T; DDS/lxf/dynB uses L = " + std::to_string(L) +
+               " (1/04: L = " + std::to_string(L_jan) + ")");
+
+    auto csv = csv_for(
+        options, "fig4_high_load",
+        {"month", "policy", "avg_wait_h", "max_wait_h", "avg_bsld",
+         "avg_queue_len", "total_E98_h", "total_Emax_h", "jobs_with_Emax",
+         "avg_Emax_h"});
+
+    const std::vector<std::string> specs = {"FCFS-BF", "LXF-BF",
+                                            "DDS/lxf/dynB"};
+    Table table({"month", "policy", "avg wait", "max wait", "avg bsld",
+                 "avg qlen", "E^98% tot", "E^max tot", "#w/E^max",
+                 "avg E^max"});
+    for (const auto& month : prepare_months(options, /*load=*/0.9)) {
+      const std::size_t budget = month.trace.name == "1/04" ? L_jan : L;
+      for (const auto& spec : specs) {
+        const MonthEval eval =
+            evaluate_spec(month.trace, spec, budget, month.thresholds);
+        table.row()
+            .add(month.trace.name)
+            .add(eval.policy)
+            .add(eval.summary.avg_wait_h)
+            .add(eval.summary.max_wait_h)
+            .add(eval.summary.avg_bounded_slowdown)
+            .add(eval.avg_queue_length, 1)
+            .add(eval.e_p98.total_h, 1)
+            .add(eval.e_max.total_h, 1)
+            .add(eval.e_max.count)
+            .add(eval.e_max.avg_h, 1);
+        if (csv)
+          csv->write_row(
+              {month.trace.name, eval.policy,
+               format_double(eval.summary.avg_wait_h, 3),
+               format_double(eval.summary.max_wait_h, 3),
+               format_double(eval.summary.avg_bounded_slowdown, 3),
+               format_double(eval.avg_queue_length, 3),
+               format_double(eval.e_p98.total_h, 3),
+               format_double(eval.e_max.total_h, 3),
+               std::to_string(eval.e_max.count),
+               format_double(eval.e_max.avg_h, 3)});
+      }
+    }
+    table.print(std::cout);
+    std::cout << "\nShape check (paper Fig 4): the Fig-3 ordering persists "
+                 "with larger gaps; DDS/lxf/dynB has near-zero total E^max "
+                 "and a total E^98% below even FCFS-BF in most months, "
+                 "while LXF-BF's unfortunate jobs average tens of hours of "
+                 "excess.\n";
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+}

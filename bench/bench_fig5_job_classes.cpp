@@ -1,0 +1,67 @@
+// Figure 5 — average wait per job class (5 node ranges x 5 runtime
+// ranges) for July 2003 under rho = 0.9, R* = T, for FCFS-backfill,
+// LXF-backfill and DDS/lxf/dynB (L = 1K). This is the per-class view that
+// shows WHO pays under each policy: FCFS-BF hurts wide jobs, LXF-BF hurts
+// long(-ish wide) jobs, DDS/lxf/dynB moderates both.
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "util/error.hpp"
+#include "metrics/job_class.hpp"
+
+int main(int argc, char** argv) {
+  using namespace sbs;
+  using namespace sbs::bench;
+  try {
+    auto [options, args] = parse_options(argc, argv, {"nodes", "month"});
+    const auto L = static_cast<std::size_t>(args.get_int("nodes", 1000));
+    const std::string month_name = args.get("month", "7/03");
+    options.months = {month_name};
+    banner("Figure 5: average wait by job class (N x T), " + month_name,
+           options, "rho = 0.9; R* = T; L = " + std::to_string(L));
+
+    auto csv = csv_for(options, "fig5_job_classes",
+                       {"policy", "node_class", "runtime_class", "avg_wait_h",
+                        "jobs"});
+
+    const auto months = prepare_months(options, /*load=*/0.9);
+    if (months.empty()) throw Error("unknown month " + month_name);
+    const PreparedMonth& month = months.front();
+
+    for (const std::string spec : {"FCFS-BF", "LXF-BF", "DDS/lxf/dynB"}) {
+      const MonthEval eval = evaluate_spec(month.trace, spec, L,
+                                           month.thresholds, {}, true);
+      const JobClassGrid grid = class_grid(eval.outcomes);
+
+      std::cout << eval.policy << " — avg wait (h) per class "
+                << "(rows: nodes, columns: actual runtime)\n";
+      std::vector<std::string> headers = {"class"};
+      for (std::size_t r = 0; r < JobClassGrid::kRuntimeClasses; ++r)
+        headers.push_back(runtime_class_label(r));
+      Table table(headers);
+      for (std::size_t n = 0; n < JobClassGrid::kNodeClasses; ++n) {
+        table.row().add(node_class_label(n));
+        for (std::size_t r = 0; r < JobClassGrid::kRuntimeClasses; ++r) {
+          table.add(grid.count[n][r] ? format_double(grid.avg_wait_h[n][r], 1)
+                                     : std::string("-"));
+          if (csv)
+            csv->write_row({eval.policy, node_class_label(n),
+                            runtime_class_label(r),
+                            format_double(grid.avg_wait_h[n][r], 3),
+                            std::to_string(grid.count[n][r])});
+        }
+      }
+      table.print(std::cout);
+      std::cout << '\n';
+    }
+    std::cout << "Shape check (paper Fig 5): FCFS-BF penalizes wide jobs "
+                 "(N > 32) even when short; LXF-BF rescues short-wide jobs "
+                 "at a great cost to long wide jobs; DDS/lxf/dynB improves "
+                 "short-wide without sacrificing long-wide that much.\n";
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+}

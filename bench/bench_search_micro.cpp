@@ -1,0 +1,148 @@
+// Microbenchmarks (google-benchmark) for the hot paths: resource-profile
+// queries, schedule building, and the discrepancy search itself. The
+// paper reports 30-65 ms to visit 1K-8K nodes in a 30-job tree (Java,
+// 2 GHz P4); BM_Search_30Jobs reports our per-node cost directly.
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "core/schedule_builder.hpp"
+#include "core/search.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace sbs;
+
+// Builds a decision point with `n` waiting jobs on a 128-node machine with
+// a realistic busy profile.
+struct Fixture {
+  std::vector<Job> storage;
+  SearchProblem problem;
+
+  explicit Fixture(std::size_t n, std::uint64_t seed = 7) {
+    Rng rng(seed);
+    problem.now = 0;
+    problem.capacity = 128;
+    problem.base = ResourceProfile(128, 0);
+    // ~20 running jobs leaving a fragmented profile.
+    int used = 0;
+    for (int i = 0; i < 20 && used < 110; ++i) {
+      const int nodes = static_cast<int>(rng.uniform_int(1, 16));
+      if (used + nodes > 128) break;
+      problem.base.reserve(0, nodes,
+                           static_cast<Time>(rng.uniform_int(600, 8 * kHour)));
+      used += nodes;
+    }
+    storage.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      Job j;
+      j.id = static_cast<int>(i);
+      j.submit = -static_cast<Time>(rng.uniform_int(0, 12 * kHour));
+      j.nodes = static_cast<int>(rng.uniform_int(1, 64));
+      j.runtime = j.requested = static_cast<Time>(rng.uniform_int(60, 12 * kHour));
+      storage.push_back(j);
+    }
+    for (const Job& j : storage) {
+      SearchJob s;
+      s.job = &j;
+      s.nodes = j.nodes;
+      s.estimate = j.runtime;
+      s.submit = j.submit;
+      s.bound = 50 * kHour;
+      const double est = static_cast<double>(std::max<Time>(j.runtime, kMinute));
+      s.slowdown_now = (static_cast<double>(-j.submit) + est) / est;
+      problem.jobs.push_back(s);
+    }
+  }
+};
+
+void BM_ProfileEarliestStart(benchmark::State& state) {
+  Fixture f(30);
+  Rng rng(3);
+  for (auto _ : state) {
+    const int nodes = static_cast<int>(rng.uniform_int(1, 64));
+    const Time dur = static_cast<Time>(rng.uniform_int(60, 12 * kHour));
+    benchmark::DoNotOptimize(f.problem.base.earliest_start(0, nodes, dur));
+  }
+}
+BENCHMARK(BM_ProfileEarliestStart);
+
+void BM_ProfileCopy(benchmark::State& state) {
+  Fixture f(30);
+  for (auto _ : state) {
+    ResourceProfile copy = f.problem.base;
+    benchmark::DoNotOptimize(copy);
+  }
+}
+BENCHMARK(BM_ProfileCopy);
+
+void BM_BuildSchedule(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Fixture f(n);
+  std::vector<std::size_t> order(n);
+  for (std::size_t i = 0; i < n; ++i) order[i] = i;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(build_schedule(f.problem, order));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_BuildSchedule)->Arg(10)->Arg(30)->Arg(100);
+
+void BM_Search_30Jobs(benchmark::State& state) {
+  // items/s below is search nodes per second; the paper's Java simulator
+  // did 1K nodes in 30-65 ms (15K-33K nodes/s) on a 30-job tree.
+  const auto L = static_cast<std::size_t>(state.range(0));
+  Fixture f(30);
+  SearchConfig cfg;
+  cfg.algo = SearchAlgo::Dds;
+  cfg.branching = Branching::Lxf;
+  cfg.node_limit = L;
+  std::size_t nodes = 0;
+  for (auto _ : state) {
+    const SearchResult r = run_search(f.problem, cfg);
+    nodes += r.nodes_visited;
+    benchmark::DoNotOptimize(r.value);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(nodes));
+}
+BENCHMARK(BM_Search_30Jobs)->Arg(1000)->Arg(8000)->Arg(100000);
+
+void BM_Search_AlgoComparison(benchmark::State& state) {
+  Fixture f(30);
+  SearchConfig cfg;
+  cfg.algo = state.range(0) == 0 ? SearchAlgo::Lds : SearchAlgo::Dds;
+  cfg.branching = Branching::Lxf;
+  cfg.node_limit = 4000;
+  std::size_t nodes = 0;
+  for (auto _ : state) {
+    const SearchResult r = run_search(f.problem, cfg);
+    nodes += r.nodes_visited;
+    benchmark::DoNotOptimize(r.value);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(nodes));
+}
+BENCHMARK(BM_Search_AlgoComparison)->Arg(0)->Arg(1)->ArgNames({"dds"});
+
+void BM_Search_Pruning(benchmark::State& state) {
+  Fixture f(12);
+  SearchConfig cfg;
+  cfg.algo = SearchAlgo::Dds;
+  cfg.branching = Branching::Lxf;
+  cfg.node_limit = 200000;
+  cfg.prune = state.range(0) != 0;
+  std::size_t nodes = 0;
+  for (auto _ : state) {
+    const SearchResult r = run_search(f.problem, cfg);
+    nodes += r.nodes_visited;
+    benchmark::DoNotOptimize(r.value);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(nodes));
+}
+BENCHMARK(BM_Search_Pruning)->Arg(0)->Arg(1)->ArgNames({"prune"});
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,73 @@
+// Table 3 — overview of monthly job mix on NCSA/IA-64.
+//
+// Prints, for every generated month, the total job count and offered load
+// plus the per-node-range shares of jobs and of processor demand, next to
+// the paper's published targets, so the fidelity of the workload
+// substitution is auditable.
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "metrics/trace_mix.hpp"
+
+int main(int argc, char** argv) {
+  using namespace sbs;
+  using namespace sbs::bench;
+  try {
+    auto [options, args] = parse_options(argc, argv);
+    banner("Table 3: monthly job mix (generated vs paper)", options,
+           "rows alternate: generated month, then the paper's targets");
+
+    auto csv = csv_for(options, "table3",
+                       {"month", "source", "measure", "total", "1", "2", "3-4",
+                        "5-8", "9-16", "17-32", "33-64", "65-128"});
+
+    std::vector<std::string> headers = {"month", "source", "measure", "total"};
+    for (std::size_t r = 0; r < kMixRanges; ++r)
+      headers.push_back(mix_range_label(r));
+    Table table(headers);
+
+    for (const auto& stats : ncsa_months()) {
+      if (!options.months.empty() &&
+          std::find(options.months.begin(), options.months.end(),
+                    stats.name) == options.months.end())
+        continue;
+      const Trace trace = generate_month(stats, options.generator());
+      const TraceMix mix = trace_mix(trace);
+
+      double jf_sum = 0, df_sum = 0;
+      for (std::size_t r = 0; r < kMixRanges; ++r) {
+        jf_sum += stats.job_fraction[r];
+        df_sum += stats.demand_fraction[r];
+      }
+
+      auto emit = [&](const std::string& source, const std::string& measure,
+                      const std::string& total, auto value_of) {
+        table.row().add(std::string(stats.name)).add(source).add(measure).add(total);
+        std::vector<std::string> cells = {std::string(stats.name), source,
+                                          measure, total};
+        for (std::size_t r = 0; r < kMixRanges; ++r) {
+          const std::string v = format_double(100.0 * value_of(r), 1) + "%";
+          table.add(v);
+          cells.push_back(v);
+        }
+        if (csv) csv->write_row(cells);
+      };
+
+      emit("generated", "#jobs", std::to_string(mix.total_jobs),
+           [&](std::size_t r) { return mix.job_fraction[r]; });
+      emit("paper", "#jobs", std::to_string(stats.total_jobs),
+           [&](std::size_t r) { return stats.job_fraction[r] / jf_sum; });
+      emit("generated", "demand",
+           format_double(100.0 * mix.offered_load, 0) + "%",
+           [&](std::size_t r) { return mix.demand_fraction[r]; });
+      emit("paper", "demand", format_double(100.0 * stats.load, 0) + "%",
+           [&](std::size_t r) { return stats.demand_fraction[r] / df_sum; });
+    }
+    table.print(std::cout);
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+}

@@ -1,0 +1,65 @@
+// Table 4 — distribution of actual job runtime in the monthly workloads:
+// fraction of all jobs with T <= 1 hour and T > 5 hours, per coarse node
+// class, generated vs the paper's published values.
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "metrics/trace_mix.hpp"
+
+int main(int argc, char** argv) {
+  using namespace sbs;
+  using namespace sbs::bench;
+  try {
+    auto [options, args] = parse_options(argc, argv);
+    banner("Table 4: runtime distribution (generated vs paper)", options,
+           "per-cell values are fractions of ALL jobs in the month");
+
+    auto csv = csv_for(options, "table4",
+                       {"month", "band", "source", "1", "2", "3-8", "9-32",
+                        "33-128", "all"});
+
+    std::vector<std::string> headers = {"month", "band", "source"};
+    for (std::size_t c = 0; c < RuntimeMix::kClasses; ++c)
+      headers.push_back("N=" + runtime_mix_class_label(c));
+    headers.push_back("all");
+    Table table(headers);
+
+    for (const auto& stats : ncsa_months()) {
+      if (!options.months.empty() &&
+          std::find(options.months.begin(), options.months.end(),
+                    stats.name) == options.months.end())
+        continue;
+      const Trace trace = generate_month(stats, options.generator());
+      const RuntimeMix mix = runtime_mix(trace);
+
+      auto emit = [&](const std::string& band, const std::string& source,
+                      const std::array<double, 5>& values) {
+        double total = 0;
+        table.row().add(std::string(stats.name)).add(band).add(source);
+        std::vector<std::string> cells = {std::string(stats.name), band,
+                                          source};
+        for (double v : values) {
+          total += v;
+          const std::string s = format_double(100.0 * v, 1) + "%";
+          table.add(s);
+          cells.push_back(s);
+        }
+        const std::string t = format_double(100.0 * total, 1) + "%";
+        table.add(t);
+        cells.push_back(t);
+        if (csv) csv->write_row(cells);
+      };
+
+      emit("T<=1h", "generated", mix.short_fraction);
+      emit("T<=1h", "paper", stats.short_fraction);
+      emit("T>5h", "generated", mix.long_fraction);
+      emit("T>5h", "paper", stats.long_fraction);
+    }
+    table.print(std::cout);
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+}

@@ -1,0 +1,81 @@
+// Goal tuning: the paper's pitch is that administrators declare high-level
+// goals instead of hand-tuning priority weights. This example shows the
+// knob they get — the target wait bound of the first objective level — by
+// running DDS/lxf on one month with several fixed bounds, the dynamic
+// bound, and the per-runtime bound ω(T) (the paper's §6.1 suggestion), and
+// printing how the max wait tracks the bound while slowdown stays flat
+// (the Figure 2 effect).
+//
+//   ./goal_tuning [--month=10/03] [--scale=0.25] [--nodes=1000]
+
+#include <iostream>
+#include <memory>
+#include <vector>
+
+#include "exp/policy_factory.hpp"
+#include "exp/runner.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+#include "workload/generator.hpp"
+
+int main(int argc, char** argv) {
+  using namespace sbs;
+  try {
+    CliArgs args(argc, argv, {"month", "scale", "nodes", "seed"});
+    GeneratorConfig gen;
+    gen.job_scale = args.get_double("scale", 0.25);
+    gen.seed = static_cast<std::uint64_t>(args.get_int("seed", 2005));
+    const auto node_limit =
+        static_cast<std::size_t>(args.get_int("nodes", 1000));
+    const Trace trace = generate_month(args.get("month", "10/03"), gen);
+
+    std::cout << "Month " << trace.name << " (" << trace.in_window_count()
+              << " jobs, load " << format_double(trace.offered_load(), 2)
+              << ") — DDS/lxf under different target wait bounds\n\n";
+
+    const Thresholds thresholds = fcfs_thresholds(trace);
+
+    std::vector<BoundSpec> bounds = {
+        BoundSpec::fixed_bound(0),
+        BoundSpec::fixed_bound(25 * kHour),
+        BoundSpec::fixed_bound(50 * kHour),
+        BoundSpec::fixed_bound(100 * kHour),
+        BoundSpec::fixed_bound(300 * kHour),
+        BoundSpec::dynamic_bound(),
+        BoundSpec::per_runtime(4 * kHour, 5.0, kHour, 300 * kHour),
+    };
+
+    Table table({"bound", "avg wait (h)", "max wait (h)", "avg bsld",
+                 "total excess vs bound (h)"});
+    for (const BoundSpec& bound : bounds) {
+      auto policy = make_search_policy(SearchAlgo::Dds, Branching::Lxf, bound,
+                                       node_limit);
+      const MonthEval eval = evaluate_policy(trace, *policy, thresholds);
+      // For fixed bounds, also report the excess w.r.t. the bound itself —
+      // the quantity the first objective level actually minimizes.
+      std::string excess = "-";
+      if (bound.kind == BoundKind::Fixed) {
+        // Re-derive from retained thresholds: excess vs the fixed ω.
+        auto policy2 = make_search_policy(SearchAlgo::Dds, Branching::Lxf,
+                                          bound, node_limit);
+        Thresholds own{bound.fixed, bound.fixed};
+        const MonthEval with_own = evaluate_policy(trace, *policy2, own);
+        excess = format_double(with_own.e_max.total_h, 1);
+      }
+      table.row()
+          .add(bound.label())
+          .add(eval.summary.avg_wait_h)
+          .add(eval.summary.max_wait_h)
+          .add(eval.summary.avg_bounded_slowdown)
+          .add(excess);
+    }
+    table.print(std::cout);
+    std::cout << "\nExpected shape: max wait tracks the fixed bound ω (and "
+                 "blows up at ω=0, which degenerates to minimizing average "
+                 "wait); dynB adapts without a constant to tune.\n";
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+}

@@ -1,0 +1,126 @@
+// Operator report: the view a cluster operator wants after switching the
+// scheduler policy — machine utilization day by day, queue-depth peaks,
+// and who waited — comparing the site's current policy (FCFS-backfill)
+// against the search-based policy, on the same month.
+//
+//   ./operator_report [--month=11/03] [--scale=0.5] [--load=0.9]
+//                     [--nodes=1000]
+
+#include <algorithm>
+#include <iostream>
+
+#include "exp/policy_factory.hpp"
+#include "exp/runner.hpp"
+#include "metrics/fairness.hpp"
+#include "metrics/job_class.hpp"
+#include "metrics/timeline.hpp"
+#include "metrics/users.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+#include "workload/generator.hpp"
+
+int main(int argc, char** argv) {
+  using namespace sbs;
+  try {
+    CliArgs args(argc, argv, {"month", "scale", "load", "nodes", "seed"});
+    GeneratorConfig gen;
+    gen.job_scale = args.get_double("scale", 0.5);
+    gen.seed = static_cast<std::uint64_t>(args.get_int("seed", 2005));
+    Trace trace = generate_month(args.get("month", "11/03"), gen);
+    const double load = args.get_double("load", 0.9);
+    if (load > 0.0) trace = rescale_to_load(trace, load);
+    const auto L = static_cast<std::size_t>(args.get_int("nodes", 1000));
+
+    std::cout << "Operator report — month " << trace.name << ", "
+              << trace.in_window_count() << " jobs, offered load "
+              << format_double(trace.offered_load(), 2) << "\n\n";
+
+    const Thresholds th = fcfs_thresholds(trace);
+
+    struct Run {
+      std::string policy;
+      MonthEval eval;
+    };
+    std::vector<Run> runs;
+    for (const std::string spec : {"FCFS-BF", "DDS/lxf/dynB"})
+      runs.push_back({spec, evaluate_spec(trace, spec, L, th, {}, true)});
+
+    Table summary({"policy", "utilization", "avg queue", "peak queue",
+                   "avg wait (h)", "max wait (h)", "avg bsld",
+                   "Gini(wait)", "worst-5% bsld"});
+    for (const Run& r : runs) {
+      const auto queue = queue_timeline(r.eval.outcomes);
+      const FairnessSummary fair = fairness_summary(r.eval.outcomes);
+      summary.row()
+          .add(r.eval.policy)
+          .add(average_utilization(r.eval.outcomes, trace.capacity,
+                                   trace.window_begin, trace.window_end))
+          .add(r.eval.avg_queue_length, 1)
+          .add(timeline_peak(queue, trace.window_begin, trace.window_end))
+          .add(r.eval.summary.avg_wait_h)
+          .add(r.eval.summary.max_wait_h)
+          .add(r.eval.summary.avg_bounded_slowdown)
+          .add(fair.gini_wait)
+          .add(fair.tail5_bsld, 1);
+    }
+    summary.print(std::cout);
+
+    std::cout << "\nHeaviest users (by consumed node-hours, "
+              << runs[1].eval.policy << "):\n";
+    auto users = per_user_summary(runs[1].eval.outcomes);
+    std::sort(users.begin(), users.end(),
+              [](const UserSummary& a, const UserSummary& b) {
+                return a.demand_node_h > b.demand_node_h;
+              });
+    Table user_table({"user", "jobs", "node-hours", "avg wait (h)",
+                      "avg bsld"});
+    for (std::size_t i = 0; i < std::min<std::size_t>(5, users.size()); ++i) {
+      user_table.row()
+          .add(static_cast<long long>(users[i].user))
+          .add(users[i].jobs)
+          .add(users[i].demand_node_h, 0)
+          .add(users[i].avg_wait_h)
+          .add(users[i].avg_bsld);
+    }
+    user_table.print(std::cout);
+
+    std::cout << "\nDaily utilization (%):\n";
+    std::vector<std::string> headers = {"policy"};
+    const auto days = daily_utilization(runs[0].eval.outcomes, trace.capacity,
+                                        trace.window_begin, trace.window_end);
+    for (std::size_t d = 0; d < days.size(); ++d)
+      headers.push_back("d" + std::to_string(d + 1));
+    Table daily(headers);
+    for (const Run& r : runs) {
+      daily.row().add(r.eval.policy);
+      for (double u : daily_utilization(r.eval.outcomes, trace.capacity,
+                                        trace.window_begin, trace.window_end))
+        daily.add(format_double(100.0 * u, 0));
+    }
+    daily.print(std::cout);
+
+    std::cout << "\nWho waits? avg wait (h) of the extreme job classes:\n";
+    Table who({"policy", "short-narrow", "short-wide", "long-narrow",
+               "long-wide"});
+    for (const Run& r : runs) {
+      const JobClassGrid g = class_grid(r.eval.outcomes);
+      auto cell = [&](std::size_t n, std::size_t t) {
+        return g.count[n][t] ? format_double(g.avg_wait_h[n][t], 1)
+                             : std::string("-");
+      };
+      who.row()
+          .add(r.eval.policy)
+          .add(cell(0, 1))
+          .add(cell(4, 1))
+          .add(cell(0, 4))
+          .add(cell(4, 4));
+    }
+    who.print(std::cout);
+    std::cout << "\nBoth policies drive the same machine at the same "
+                 "utilization — the difference is who carries the queue.\n";
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+}

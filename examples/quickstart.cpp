@@ -1,0 +1,63 @@
+// Quickstart: generate one synthetic NCSA month, run the two baseline
+// backfill policies and the paper's headline search policy, and print the
+// measures the paper plots (Figure 3 style).
+//
+//   ./quickstart [--month=7/03] [--scale=0.25] [--load=0] [--nodes=1000]
+//
+// --load=0 keeps the original offered load; any other value rescales
+// arrivals (the paper's high-load experiments use --load=0.9).
+
+#include <iostream>
+
+#include "exp/policy_factory.hpp"
+#include "exp/runner.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+#include "workload/generator.hpp"
+
+int main(int argc, char** argv) {
+  using namespace sbs;
+  try {
+    CliArgs args(argc, argv, {"month", "scale", "load", "nodes", "seed"});
+    const std::string month = args.get("month", "7/03");
+    const double scale = args.get_double("scale", 0.25);
+    const double load = args.get_double("load", 0.0);
+    const auto node_limit =
+        static_cast<std::size_t>(args.get_int("nodes", 1000));
+
+    GeneratorConfig gen;
+    gen.job_scale = scale;
+    gen.seed = static_cast<std::uint64_t>(args.get_int("seed", 2005));
+    Trace trace = generate_month(month, gen);
+    if (load > 0.0) trace = rescale_to_load(trace, load);
+
+    std::cout << "Month " << trace.name << ": " << trace.in_window_count()
+              << " jobs in window, offered load "
+              << format_double(trace.offered_load(), 3) << ", capacity "
+              << trace.capacity << " nodes\n\n";
+
+    const Thresholds thresholds = fcfs_thresholds(trace);
+
+    Table table({"policy", "avg wait (h)", "max wait (h)", "avg bsld",
+                 "total E^max (h)", "#jobs w/ E^max"});
+    for (const std::string spec :
+         {"FCFS-BF", "LXF-BF", "DDS/lxf/dynB"}) {
+      const MonthEval eval = evaluate_spec(trace, spec, node_limit, thresholds);
+      table.row()
+          .add(eval.policy)
+          .add(eval.summary.avg_wait_h)
+          .add(eval.summary.max_wait_h)
+          .add(eval.summary.avg_bounded_slowdown)
+          .add(eval.e_max.total_h)
+          .add(eval.e_max.count);
+    }
+    table.print(std::cout);
+    std::cout << "\nE^max = wait in excess of this month's FCFS-backfill "
+                 "maximum wait ("
+              << format_double(to_hours(thresholds.max_wait), 1) << " h).\n";
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+}

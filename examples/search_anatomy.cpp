@@ -1,0 +1,107 @@
+// Search anatomy: reproduces the paper's Figure 1 walkthrough on a tiny
+// hand-built decision point. Four jobs wait on a small machine; we print
+// the search-tree size (Figure 1(d)), then run LDS and DDS with
+// increasing node budgets and show how each algorithm reaches the good
+// schedule — DDS biases discrepancies high in the tree, LDS counts them.
+//
+//   ./search_anatomy
+
+#include <iostream>
+
+#include "core/schedule_builder.hpp"
+#include "core/search.hpp"
+#include "core/tree_size.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+// A contrived decision point where the FCFS (arrival-order) heuristic is
+// wrong: the first job is huge and blocks the machine; considering the
+// later short-wide jobs first packs the machine far better.
+sbs::SearchProblem make_problem() {
+  using namespace sbs;
+  static std::vector<Job> storage;
+  storage.clear();
+  // id, submit, nodes, runtime, requested, in_window
+  storage.push_back(Job{0, -2 * kHour, 16, 10 * kHour, 10 * kHour, true});
+  storage.push_back(Job{1, -kHour, 8, kHour, kHour, true});
+  storage.push_back(Job{2, -kHour / 2, 8, kHour, kHour, true});
+  storage.push_back(Job{3, -kMinute, 4, 30 * kMinute, 30 * kMinute, true});
+
+  SearchProblem p;
+  p.now = 0;
+  p.capacity = 16;
+  p.base = ResourceProfile(16, 0);
+  // Half the machine is busy for the next two hours.
+  p.base.reserve(0, 8, 2 * kHour);
+  for (const Job& j : storage) {
+    SearchJob s;
+    s.job = &j;
+    s.nodes = j.nodes;
+    s.estimate = j.runtime;
+    s.submit = j.submit;
+    s.bound = kHour;  // fixed 1-hour target wait bound
+    const double est = static_cast<double>(std::max<Time>(j.runtime, kMinute));
+    s.slowdown_now = (static_cast<double>(0 - j.submit) + est) / est;
+    p.jobs.push_back(s);
+  }
+  return p;
+}
+
+}  // namespace
+
+int main() {
+  using namespace sbs;
+  try {
+    std::cout << "Search-tree size by queue length (Figure 1(d)):\n\n";
+    Table sizes({"#jobs", "#paths", "#nodes"});
+    for (std::size_t n : {1u, 2u, 3u, 4u, 8u, 10u, 12u, 15u}) {
+      const TreeSize t = search_tree_size(n);
+      sizes.row().add(static_cast<long long>(n)).add(t.paths, 0).add(t.nodes, 0);
+    }
+    sizes.print(std::cout);
+
+    const SearchProblem problem = make_problem();
+    std::cout << "\nDecision point: 4 waiting jobs, 16-node machine, half "
+                 "busy for 2 h. FCFS order starts with a 16-node 10-hour "
+                 "job that cannot start until the machine fully drains.\n\n";
+
+    Table runs({"algorithm", "budget L", "paths", "nodes", "excess (h)",
+                "avg bsld", "exhausted"});
+    for (const SearchAlgo algo : {SearchAlgo::Lds, SearchAlgo::Dds}) {
+      for (const std::size_t budget : {4u, 12u, 24u, 200u}) {
+        SearchConfig cfg;
+        cfg.algo = algo;
+        cfg.branching = Branching::Fcfs;
+        cfg.node_limit = budget;
+        const SearchResult r = run_search(problem, cfg);
+        runs.row()
+            .add(algo_name(algo) + "/fcfs")
+            .add(static_cast<long long>(budget))
+            .add(static_cast<long long>(r.paths_completed))
+            .add(static_cast<long long>(r.nodes_visited))
+            .add(r.value.excess_h)
+            .add(r.value.avg_bsld)
+            .add(r.exhausted ? "yes" : "no");
+      }
+    }
+    runs.print(std::cout);
+
+    std::cout << "\nBest order found by exhaustive DDS: ";
+    SearchConfig cfg;
+    cfg.algo = SearchAlgo::Dds;
+    cfg.branching = Branching::Fcfs;
+    cfg.node_limit = 1000;
+    const SearchResult best = run_search(problem, cfg);
+    for (std::size_t i : best.order) std::cout << problem.jobs[i].job->id << ' ';
+    std::cout << "(job start times:";
+    for (std::size_t i = 0; i < problem.size(); ++i)
+      std::cout << " j" << problem.jobs[i].job->id << "@"
+                << format_duration(best.starts[i]);
+    std::cout << ")\n";
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+}

@@ -1,0 +1,73 @@
+// SWF replay: the workflow a site administrator would use with their own
+// accounting logs. Without --trace, the example first exports a synthetic
+// month to SWF (showing the writer); it then reads the SWF file back and
+// compares policies on it. Point --trace at any Parallel Workloads Archive
+// file to run the harness on a real system's log.
+//
+//   ./swf_replay [--trace=/path/to/log.swf] [--procs-per-node=1]
+//                [--nodes=1000] [--scale=0.2]
+
+#include <cstdio>
+#include <iostream>
+
+#include "exp/policy_factory.hpp"
+#include "exp/runner.hpp"
+#include "jobs/swf.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+#include "workload/generator.hpp"
+
+int main(int argc, char** argv) {
+  using namespace sbs;
+  try {
+    CliArgs args(argc, argv,
+                 {"trace", "procs-per-node", "nodes", "scale", "seed"});
+    const auto node_limit =
+        static_cast<std::size_t>(args.get_int("nodes", 1000));
+
+    std::string path = args.get("trace", "");
+    std::string temp_path;
+    if (path.empty()) {
+      GeneratorConfig gen;
+      gen.job_scale = args.get_double("scale", 0.2);
+      gen.seed = static_cast<std::uint64_t>(args.get_int("seed", 2005));
+      gen.warmup_cooldown = false;
+      const Trace synthetic = generate_month("9/03", gen);
+      temp_path = "swf_replay_demo.swf";
+      write_swf_file(temp_path, synthetic);
+      path = temp_path;
+      std::cout << "No --trace given; exported synthetic month 9/03 to "
+                << path << " and replaying it.\n\n";
+    }
+
+    SwfReadOptions options;
+    options.procs_per_node =
+        static_cast<int>(args.get_int("procs-per-node", 1));
+    Trace trace = read_swf_file(path, options);
+    std::cout << "Trace " << trace.name << ": " << trace.jobs.size()
+              << " jobs, capacity " << trace.capacity << " nodes, load "
+              << format_double(trace.offered_load(), 3) << "\n\n";
+
+    const Thresholds thresholds = fcfs_thresholds(trace);
+    Table table({"policy", "avg wait (h)", "max wait (h)", "p98 wait (h)",
+                 "avg bsld"});
+    for (const std::string spec :
+         {"FCFS-BF", "LXF-BF", "SJF-BF", "Selective-BF", "Lookahead",
+          "DDS/lxf/dynB"}) {
+      const MonthEval eval = evaluate_spec(trace, spec, node_limit, thresholds);
+      table.row()
+          .add(eval.policy)
+          .add(eval.summary.avg_wait_h)
+          .add(eval.summary.max_wait_h)
+          .add(eval.summary.p98_wait_h)
+          .add(eval.summary.avg_bounded_slowdown);
+    }
+    table.print(std::cout);
+
+    if (!temp_path.empty()) std::remove(temp_path.c_str());
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+}

@@ -1,0 +1,111 @@
+#include "cluster/resource_profile.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace sbs {
+
+ResourceProfile::ResourceProfile(int capacity, Time origin)
+    : capacity_(capacity) {
+  SBS_CHECK(capacity > 0);
+  steps_.push_back(Step{origin, capacity});
+}
+
+std::size_t ResourceProfile::step_index(Time t) const {
+  SBS_CHECK_MSG(t >= steps_.front().time, "query before profile origin");
+  // Last step with time <= t. The vectors are tens of entries long, so a
+  // branchless-ish linear scan from the back or binary search both work;
+  // binary search keeps worst cases flat.
+  auto it = std::upper_bound(
+      steps_.begin(), steps_.end(), t,
+      [](Time value, const Step& s) { return value < s.time; });
+  return static_cast<std::size_t>(it - steps_.begin()) - 1;
+}
+
+int ResourceProfile::free_at(Time t) const { return steps_[step_index(t)].free; }
+
+bool ResourceProfile::fits(Time start, int nodes, Time duration) const {
+  SBS_CHECK(duration > 0);
+  const Time end = start + duration;
+  for (std::size_t i = step_index(start); i < steps_.size(); ++i) {
+    if (steps_[i].time >= end) break;
+    if (steps_[i].free < nodes) return false;
+  }
+  return true;
+}
+
+Time ResourceProfile::earliest_start(Time from, int nodes,
+                                     Time duration) const {
+  SBS_CHECK(nodes >= 1 && nodes <= capacity_);
+  SBS_CHECK(duration > 0);
+  if (from < steps_.front().time) from = steps_.front().time;
+
+  std::size_t i = step_index(from);
+  while (true) {
+    // Candidate start: beginning of step i (clamped to `from`).
+    const Time t = std::max(from, steps_[i].time);
+    if (steps_[i].free >= nodes) {
+      const Time end = t + duration;
+      std::size_t k = i + 1;
+      while (k < steps_.size() && steps_[k].time < end &&
+             steps_[k].free >= nodes)
+        ++k;
+      if (k >= steps_.size() || steps_[k].time >= end) return t;
+      i = k;  // blocked at step k; next candidate starts at its successor
+    }
+    ++i;
+    // The final step extends to infinity with some free count; if even it
+    // cannot host the job the capacity check above would have failed, so
+    // we can always terminate.
+    SBS_CHECK_MSG(i < steps_.size() || steps_.back().free >= nodes,
+                  "no feasible start found — inconsistent profile");
+    if (i >= steps_.size()) return std::max(from, steps_.back().time);
+  }
+}
+
+std::size_t ResourceProfile::ensure_boundary(Time t) {
+  const std::size_t i = step_index(t);
+  if (steps_[i].time == t) return i;
+  steps_.insert(steps_.begin() + static_cast<std::ptrdiff_t>(i) + 1,
+                Step{t, steps_[i].free});
+  return i + 1;
+}
+
+void ResourceProfile::reserve(Time start, int nodes, Time duration) {
+  SBS_CHECK(duration > 0);
+  SBS_CHECK(nodes >= 1);
+  const Time end = start + duration;
+  const std::size_t first = ensure_boundary(start);
+  const std::size_t last = ensure_boundary(end);  // first step NOT reduced
+  for (std::size_t i = first; i < last; ++i) {
+    SBS_CHECK_MSG(steps_[i].free >= nodes,
+                  "reservation does not fit at t=" << steps_[i].time);
+    steps_[i].free -= nodes;
+  }
+}
+
+void ResourceProfile::release(Time start, int nodes, Time duration) {
+  SBS_CHECK(duration > 0);
+  SBS_CHECK(nodes >= 1);
+  Time begin = std::max(start, steps_.front().time);
+  const Time end = start + duration;
+  if (end <= begin) return;
+  const std::size_t first = ensure_boundary(begin);
+  const std::size_t last = ensure_boundary(end);
+  for (std::size_t i = first; i < last; ++i) {
+    steps_[i].free += nodes;
+    SBS_CHECK_MSG(steps_[i].free <= capacity_,
+                  "release overflows capacity at t=" << steps_[i].time);
+  }
+}
+
+void ResourceProfile::compact() {
+  std::size_t out = 1;
+  for (std::size_t i = 1; i < steps_.size(); ++i) {
+    if (steps_[i].free != steps_[out - 1].free) steps_[out++] = steps_[i];
+  }
+  steps_.resize(out);
+}
+
+}  // namespace sbs

@@ -1,0 +1,71 @@
+#pragma once
+
+#include <vector>
+
+#include "util/time.hpp"
+
+namespace sbs {
+
+/// Stepwise free-node timeline from an origin time to +infinity.
+///
+/// This is the substrate both for backfill (reservations + "can it start
+/// now?") and for the search-based schedule builder (tentative placement of
+/// every waiting job along a path). It is a flat sorted vector of steps —
+/// small (one step per live reservation boundary), cache-friendly, and cheap
+/// to copy, which the tree search exploits by keeping one copy per DFS
+/// level.
+class ResourceProfile {
+ public:
+  /// One step: `free` nodes are available from `time` until the next step
+  /// (the last step extends to +infinity).
+  struct Step {
+    Time time;
+    int free;
+  };
+
+  /// Full capacity available from `origin` onward.
+  ResourceProfile(int capacity, Time origin);
+
+  int capacity() const { return capacity_; }
+  Time origin() const { return steps_.front().time; }
+  std::size_t step_count() const { return steps_.size(); }
+  const std::vector<Step>& steps() const { return steps_; }
+
+  /// Free nodes at time t (t >= origin()).
+  int free_at(Time t) const;
+
+  /// Earliest time >= from at which `nodes` nodes are free for the whole
+  /// interval [start, start + duration). Requires 1 <= nodes <= capacity
+  /// and duration > 0. Always succeeds (the far future is empty).
+  Time earliest_start(Time from, int nodes, Time duration) const;
+
+  /// True if `nodes` nodes are free over [start, start + duration).
+  bool fits(Time start, int nodes, Time duration) const;
+
+  /// Subtracts `nodes` over [start, start + duration). The interval must
+  /// fit (checked); use earliest_start()/fits() first.
+  void reserve(Time start, int nodes, Time duration);
+
+  /// Adds `nodes` back over [start, start + duration), clamped below the
+  /// origin (used when building a profile from already-running jobs whose
+  /// remaining interval starts at the origin). Free counts may not exceed
+  /// capacity (checked).
+  void release(Time start, int nodes, Time duration);
+
+  /// Drops redundant steps (equal consecutive free counts). reserve() keeps
+  /// the profile minimal already; this is for tests and release().
+  void compact();
+
+ private:
+  /// Index of the step whose interval contains t.
+  std::size_t step_index(Time t) const;
+
+  /// Ensures a step boundary exists exactly at t (t >= origin) and returns
+  /// its index.
+  std::size_t ensure_boundary(Time t);
+
+  std::vector<Step> steps_;
+  int capacity_;
+};
+
+}  // namespace sbs

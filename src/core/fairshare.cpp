@@ -1,0 +1,57 @@
+#include "core/fairshare.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace sbs {
+
+FairShareTracker::FairShareTracker(FairShareConfig config) : config_(config) {
+  SBS_CHECK(config_.half_life > 0);
+  SBS_CHECK(config_.max_scale >= 1.0);
+}
+
+double FairShareTracker::decayed(const Account& account, Time now) const {
+  const double dt = static_cast<double>(now - account.updated);
+  if (dt <= 0.0) return account.usage;
+  return account.usage *
+         std::exp2(-dt / static_cast<double>(config_.half_life));
+}
+
+void FairShareTracker::charge(const Job& job, Time estimate, Time now) {
+  Account& account = ledger_[job.user];
+  account.usage = decayed(account, now) +
+                  static_cast<double>(job.nodes) *
+                      static_cast<double>(std::max<Time>(estimate, 1));
+  account.updated = now;
+}
+
+double FairShareTracker::usage(int user, Time now) const {
+  auto it = ledger_.find(user);
+  return it == ledger_.end() ? 0.0 : decayed(it->second, now);
+}
+
+double FairShareTracker::total_usage(Time now) const {
+  double total = 0.0;
+  for (const auto& [user, account] : ledger_) total += decayed(account, now);
+  return total;
+}
+
+double FairShareTracker::share_ratio(int user, Time now) const {
+  if (ledger_.empty()) return 1.0;
+  const double total = total_usage(now);
+  if (total <= 0.0) return 1.0;
+  const double fair = total / static_cast<double>(ledger_.size());
+  if (fair <= 0.0) return 1.0;
+  return usage(user, now) / fair;
+}
+
+Time FairShareTracker::adjust_bound(Time base_bound, int user, Time now) const {
+  const double ratio =
+      std::clamp(share_ratio(user, now), 1.0 / config_.max_scale, 1.0);
+  return static_cast<Time>(
+      std::llround(static_cast<double>(base_bound) * ratio));
+}
+
+}  // namespace sbs

@@ -1,0 +1,65 @@
+#pragma once
+
+#include <unordered_map>
+
+#include "jobs/job.hpp"
+
+namespace sbs {
+
+/// Decayed per-user usage accounting for fair-share scheduling — the
+/// paper's final future-work item ("incorporating special priority and
+/// fairshare in the scheduling objective"). Usage is charged in
+/// node-seconds when a job is dispatched and decays exponentially with a
+/// configurable half-life, the standard Maui/Moab fair-share mechanism.
+///
+/// Integration with the search objective: a user's target wait bound is
+/// scaled by how far they are above or below their fair share — heavy
+/// users' jobs may wait longer before their wait counts as "excessive",
+/// light users' jobs become excessive sooner, so the first objective
+/// level actively evens service out.
+struct FairShareConfig {
+  Time half_life = kWeek;  ///< usage decay half-life
+  /// Boost range for under-served users: a user at `ratio` of their fair
+  /// share gets bound * clamp(ratio, 1/max_scale, 1). Bounds are only ever
+  /// TIGHTENED (boosting light users), never relaxed — relaxing a heavy
+  /// user's bound proportionally to the dynamic bound creates a feedback
+  /// loop (their own growing wait keeps raising their allowance) that
+  /// licenses starvation.
+  double max_scale = 2.0;
+};
+
+class FairShareTracker {
+ public:
+  explicit FairShareTracker(FairShareConfig config = {});
+
+  /// Charges a dispatched job's planned usage (nodes * estimate) at `now`.
+  void charge(const Job& job, Time estimate, Time now);
+
+  /// Decayed usage of one user at `now` (node-seconds).
+  double usage(int user, Time now) const;
+
+  /// Total decayed usage across users at `now`.
+  double total_usage(Time now) const;
+
+  /// This user's usage relative to an equal share of the total:
+  /// ratio 1 = exactly fair, 2 = twice their share. Unknown users and an
+  /// empty ledger yield 1.
+  double share_ratio(int user, Time now) const;
+
+  /// Target-bound scaling for the search objective (see above).
+  Time adjust_bound(Time base_bound, int user, Time now) const;
+
+  std::size_t tracked_users() const { return ledger_.size(); }
+
+ private:
+  struct Account {
+    double usage = 0.0;
+    Time updated = 0;
+  };
+  double decayed(const Account& account, Time now) const;
+
+  FairShareConfig config_;
+  std::unordered_map<int, Account> ledger_;
+};
+
+}  // namespace sbs

@@ -1,0 +1,111 @@
+#include "core/local_search.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace sbs {
+
+namespace {
+
+/// One full neighborhood sweep of adjacent swaps; returns true if any move
+/// was accepted. Evaluations are charged against the budget.
+bool sweep_adjacent_swaps(const SearchProblem& problem,
+                          std::vector<std::size_t>& order,
+                          BuiltSchedule& incumbent, std::size_t& evals,
+                          std::size_t budget, std::size_t& improvements) {
+  bool improved_any = false;
+  for (std::size_t i = 0; i + 1 < order.size(); ++i) {
+    if (evals >= budget) return improved_any;
+    std::swap(order[i], order[i + 1]);
+    const BuiltSchedule candidate = build_schedule(problem, order);
+    ++evals;
+    if (objective_less(candidate.value, incumbent.value)) {
+      incumbent = candidate;
+      ++improvements;
+      improved_any = true;
+    } else {
+      std::swap(order[i], order[i + 1]);  // revert
+    }
+  }
+  return improved_any;
+}
+
+/// Random reinsertion move: remove the element at i, insert before j.
+bool try_reinsertion(const SearchProblem& problem,
+                     std::vector<std::size_t>& order,
+                     BuiltSchedule& incumbent, Rng& rng, std::size_t& evals,
+                     std::size_t& improvements) {
+  const std::size_t n = order.size();
+  const std::size_t i = rng.index(n);
+  std::size_t j = rng.index(n);
+  if (i == j) return false;
+  std::vector<std::size_t> candidate_order = order;
+  const std::size_t moved = candidate_order[i];
+  candidate_order.erase(candidate_order.begin() +
+                        static_cast<std::ptrdiff_t>(i));
+  if (j > i) --j;
+  candidate_order.insert(candidate_order.begin() + static_cast<std::ptrdiff_t>(j),
+                         moved);
+  const BuiltSchedule candidate = build_schedule(problem, candidate_order);
+  ++evals;
+  if (objective_less(candidate.value, incumbent.value)) {
+    order = std::move(candidate_order);
+    incumbent = candidate;
+    ++improvements;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+LocalSearchResult local_search(const SearchProblem& problem,
+                               std::span<const std::size_t> seed_order,
+                               const LocalSearchConfig& config) {
+  SBS_CHECK_MSG(seed_order.size() == problem.size(),
+                "seed order must cover every waiting job");
+  LocalSearchResult result;
+  result.order.assign(seed_order.begin(), seed_order.end());
+
+  BuiltSchedule incumbent = build_schedule(problem, result.order);
+  ++result.evaluations;
+
+  Rng rng(config.seed);
+  bool keep_going = problem.size() >= 2;
+  while (keep_going && result.evaluations < config.max_evaluations) {
+    const bool swap_improved =
+        sweep_adjacent_swaps(problem, result.order, incumbent,
+                             result.evaluations, config.max_evaluations,
+                             result.improvements);
+    bool reinsert_improved = false;
+    if (config.use_reinsertion) {
+      // A small burst of random reinsertions per sweep.
+      for (int k = 0; k < 8 && result.evaluations < config.max_evaluations;
+           ++k)
+        reinsert_improved |= try_reinsertion(problem, result.order, incumbent,
+                                             rng, result.evaluations,
+                                             result.improvements);
+    }
+    keep_going = swap_improved || reinsert_improved;
+  }
+
+  result.starts = incumbent.starts;
+  result.value = incumbent.value;
+  return result;
+}
+
+LocalSearchResult search_then_refine(const SearchProblem& problem,
+                                     const SearchConfig& search_config,
+                                     const LocalSearchConfig& config) {
+  const SearchResult seed = run_search(problem, search_config);
+  LocalSearchResult refined = local_search(problem, seed.order, config);
+  // local_search starts from the seed's schedule, so it can only match or
+  // improve it; assert the invariant in debug-style form.
+  SBS_CHECK(!objective_less(seed.value, refined.value) ||
+            refined.value.excess_h <= seed.value.excess_h + kObjectiveEps);
+  return refined;
+}
+
+}  // namespace sbs

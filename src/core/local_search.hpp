@@ -1,0 +1,51 @@
+#pragma once
+
+#include <cstdint>
+
+#include "core/schedule_builder.hpp"
+#include "core/search.hpp"
+
+namespace sbs {
+
+/// Local-search refinement of a complete schedule — the paper's first
+/// future-work item ("combining complete search algorithms with local
+/// search, to possibly improve the solution", citing Crawford's
+/// systematic+local hybrid). Starting from a seed ordering (typically the
+/// best path the discrepancy search found), we repeatedly propose swap and
+/// reinsertion moves on the consideration order, rebuild the schedule, and
+/// accept strict improvements under the same hierarchical objective
+/// (first-improvement hill climbing with an optional random-restart kick).
+struct LocalSearchConfig {
+  /// Maximum schedule rebuilds (each costs one pass of list scheduling);
+  /// this is the local-search analogue of the tree-search node budget.
+  std::size_t max_evaluations = 200;
+  /// Neighborhood: adjacent swaps are always tried; when true, random
+  /// (i, j) reinsertions are mixed in, which escapes plateaus the
+  /// adjacent-swap neighborhood cannot.
+  bool use_reinsertion = true;
+  /// Seed for the move proposal stream (deterministic given the seed).
+  std::uint64_t seed = 1;
+};
+
+struct LocalSearchResult {
+  std::vector<std::size_t> order;
+  std::vector<Time> starts;
+  ObjectiveValue value;
+  std::size_t evaluations = 0;  ///< schedule rebuilds performed
+  std::size_t improvements = 0; ///< accepted moves
+};
+
+/// Refines `seed_order` (a permutation of the problem's jobs). Never
+/// returns a worse schedule than the seed.
+LocalSearchResult local_search(const SearchProblem& problem,
+                               std::span<const std::size_t> seed_order,
+                               const LocalSearchConfig& config = {});
+
+/// Convenience: run the discrepancy search, then refine its best path.
+/// The combined budget mirrors the paper's setup: L tree nodes plus
+/// `config.max_evaluations` local rebuilds.
+LocalSearchResult search_then_refine(const SearchProblem& problem,
+                                     const SearchConfig& search_config,
+                                     const LocalSearchConfig& config = {});
+
+}  // namespace sbs

@@ -1,0 +1,81 @@
+#include "core/objective.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/error.hpp"
+#include "util/table.hpp"
+
+namespace sbs {
+
+bool objective_less(const ObjectiveValue& a, const ObjectiveValue& b) {
+  if (a.excess_h < b.excess_h - kObjectiveEps) return true;
+  if (a.excess_h > b.excess_h + kObjectiveEps) return false;
+  return a.avg_bsld < b.avg_bsld - kObjectiveEps;
+}
+
+ObjectiveValue worst_objective() {
+  return ObjectiveValue{std::numeric_limits<double>::infinity(),
+                        std::numeric_limits<double>::infinity()};
+}
+
+BoundSpec BoundSpec::fixed_bound(Time omega) {
+  SBS_CHECK(omega >= 0);
+  BoundSpec b;
+  b.kind = BoundKind::Fixed;
+  b.fixed = omega;
+  return b;
+}
+
+BoundSpec BoundSpec::dynamic_bound() {
+  BoundSpec b;
+  b.kind = BoundKind::Dynamic;
+  return b;
+}
+
+BoundSpec BoundSpec::per_runtime(Time base, double factor, Time lo, Time hi) {
+  SBS_CHECK(lo >= 0 && hi >= lo && factor >= 0.0);
+  BoundSpec b;
+  b.kind = BoundKind::PerRuntime;
+  b.pr_base = base;
+  b.pr_factor = factor;
+  b.pr_lo = lo;
+  b.pr_hi = hi;
+  return b;
+}
+
+Time BoundSpec::resolve(Time estimate, Time dyn) const {
+  switch (kind) {
+    case BoundKind::Fixed:
+      return fixed;
+    case BoundKind::Dynamic:
+      return dyn;
+    case BoundKind::PerRuntime: {
+      const Time raw =
+          pr_base + static_cast<Time>(pr_factor * static_cast<double>(estimate));
+      return std::clamp(raw, pr_lo, pr_hi);
+    }
+  }
+  throw Error("unknown bound kind");
+}
+
+std::string BoundSpec::label() const {
+  switch (kind) {
+    case BoundKind::Fixed:
+      return "w=" + format_double(to_hours(fixed), 0) + "h";
+    case BoundKind::Dynamic:
+      return "dynB";
+    case BoundKind::PerRuntime:
+      return "w(T)";
+  }
+  throw Error("unknown bound kind");
+}
+
+Time dynamic_bound_of(std::span<const WaitingJob> waiting, Time now) {
+  Time bound = 0;
+  for (const auto& w : waiting)
+    bound = std::max(bound, now - w.job->submit);
+  return bound;
+}
+
+}  // namespace sbs

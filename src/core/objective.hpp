@@ -1,0 +1,78 @@
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "sim/scheduler.hpp"
+
+namespace sbs {
+
+/// Hierarchical two-level objective value (paper §2.1): schedule A beats B
+/// if A has smaller total excessive wait, or equal excessive wait and lower
+/// average bounded slowdown.
+struct ObjectiveValue {
+  double excess_h = 0.0;   ///< total normalized excessive wait, hours
+  double avg_bsld = 0.0;   ///< average bounded slowdown over the queue
+};
+
+/// Comparison tolerance — excessive waits that differ by less than a small
+/// epsilon are treated as ties so the slowdown level can discriminate.
+inline constexpr double kObjectiveEps = 1e-9;
+
+/// True when `a` is strictly better than `b` under the two-level objective.
+bool objective_less(const ObjectiveValue& a, const ObjectiveValue& b);
+
+/// Sentinel that loses against every real schedule.
+ObjectiveValue worst_objective();
+
+/// Schedule comparator. The paper's §2.1 contrasts the hierarchical
+/// objective (alpha == 0, the default everywhere) with a weighted-sum
+/// formulation score = alpha * excess_h + avg_bsld, which requires picking
+/// a weight; we implement both so the design choice is benchmarkable
+/// (bench_ablation_objective).
+struct ObjectiveComparator {
+  double weighted_alpha = 0.0;  ///< 0 = hierarchical; > 0 = weighted sum
+
+  bool less(const ObjectiveValue& a, const ObjectiveValue& b) const {
+    if (weighted_alpha <= 0.0) return objective_less(a, b);
+    const double sa = weighted_alpha * a.excess_h + a.avg_bsld;
+    const double sb = weighted_alpha * b.excess_h + b.avg_bsld;
+    return sa < sb - kObjectiveEps;
+  }
+};
+
+/// Target wait bound used by the first objective level (paper §2.1, §5).
+enum class BoundKind {
+  Fixed,      ///< constant ω
+  Dynamic,    ///< "dynB": wait of the currently longest-waiting queued job
+  PerRuntime, ///< ω(T) = clamp(base + factor * estimate, lo, hi) — the
+              ///  paper's suggested future-work extension (§6.1)
+};
+
+struct BoundSpec {
+  BoundKind kind = BoundKind::Dynamic;
+  Time fixed = 100 * kHour;  ///< ω for Fixed
+
+  // PerRuntime parameters.
+  Time pr_base = 4 * kHour;
+  double pr_factor = 5.0;
+  Time pr_lo = kHour;
+  Time pr_hi = 300 * kHour;
+
+  static BoundSpec fixed_bound(Time omega);
+  static BoundSpec dynamic_bound();
+  static BoundSpec per_runtime(Time base, double factor, Time lo, Time hi);
+
+  /// Per-job bound given the job's runtime estimate and the queue-level
+  /// dynamic bound (max current wait, precomputed per decision point).
+  Time resolve(Time estimate, Time dyn) const;
+
+  /// Short display name: "dynB", "w=100h", or "w(T)".
+  std::string label() const;
+};
+
+/// The dynB threshold at a decision point: the largest current wait among
+/// queued jobs (0 for an empty queue).
+Time dynamic_bound_of(std::span<const WaitingJob> waiting, Time now);
+
+}  // namespace sbs

@@ -1,0 +1,36 @@
+#include "core/schedule_builder.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace sbs {
+
+BuiltSchedule build_schedule(const SearchProblem& problem,
+                             std::span<const std::size_t> order) {
+  SBS_CHECK_MSG(order.size() == problem.size(),
+                "order must cover every waiting job");
+  BuiltSchedule out;
+  out.starts.assign(problem.size(), 0);
+  std::vector<char> seen(problem.size(), 0);
+
+  ResourceProfile profile = problem.base;
+  double excess = 0.0;
+  double bsld_sum = 0.0;
+  for (std::size_t i : order) {
+    SBS_CHECK_MSG(i < problem.size() && !seen[i], "order is not a permutation");
+    seen[i] = 1;
+    const SearchJob& s = problem.jobs[i];
+    const Time t = profile.earliest_start(problem.now, s.nodes, s.estimate);
+    profile.reserve(t, s.nodes, s.estimate);
+    out.starts[i] = t;
+    excess += problem.excess_h(i, t);
+    bsld_sum += problem.bsld(i, t);
+  }
+  out.value.excess_h = excess;
+  out.value.avg_bsld =
+      problem.size() ? bsld_sum / static_cast<double>(problem.size()) : 0.0;
+  return out;
+}
+
+}  // namespace sbs

@@ -1,0 +1,24 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/search_problem.hpp"
+
+namespace sbs {
+
+/// A complete tentative schedule for a decision point: one start time per
+/// problem job (indexed like SearchProblem::jobs) and its objective value.
+struct BuiltSchedule {
+  std::vector<Time> starts;
+  ObjectiveValue value;
+};
+
+/// List-schedules the jobs in the given consideration order (paper §2.2):
+/// each job receives the earliest start feasible against the running jobs
+/// and every job placed before it on the path. The order is a permutation
+/// of [0, problem.size()).
+BuiltSchedule build_schedule(const SearchProblem& problem,
+                             std::span<const std::size_t> order);
+
+}  // namespace sbs

@@ -1,0 +1,276 @@
+#include "core/search.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/error.hpp"
+
+namespace sbs {
+
+std::string algo_name(SearchAlgo algo) {
+  switch (algo) {
+    case SearchAlgo::Lds: return "LDS";
+    case SearchAlgo::Dds: return "DDS";
+    case SearchAlgo::Dfs: return "DFS";
+  }
+  throw Error("unknown search algorithm");
+}
+
+std::string branching_name(Branching branching) {
+  switch (branching) {
+    case Branching::Fcfs: return "fcfs";
+    case Branching::Lxf: return "lxf";
+  }
+  throw Error("unknown branching heuristic");
+}
+
+namespace {
+
+/// Depth-first engine shared by LDS and DDS. The tree has one level per
+/// waiting job; the children of a node are the not-yet-placed jobs in the
+/// branching-heuristic order; child index 0 follows the heuristic and any
+/// other index is one discrepancy. One "node visited" = one job placement,
+/// cumulative across iterations, capped at the node limit.
+class Engine {
+ public:
+  Engine(const SearchProblem& problem, const SearchConfig& config)
+      : p_(problem), cfg_(config), n_(problem.size()) {
+    seq_.resize(n_);
+    std::iota(seq_.begin(), seq_.end(), std::size_t{0});
+    if (cfg_.branching == Branching::Fcfs) {
+      std::stable_sort(seq_.begin(), seq_.end(),
+                       [&](std::size_t a, std::size_t b) {
+                         const auto& ja = p_.jobs[a];
+                         const auto& jb = p_.jobs[b];
+                         if (ja.submit != jb.submit) return ja.submit < jb.submit;
+                         return ja.job->id < jb.job->id;
+                       });
+    } else {
+      std::stable_sort(seq_.begin(), seq_.end(),
+                       [&](std::size_t a, std::size_t b) {
+                         return p_.jobs[a].slowdown_now > p_.jobs[b].slowdown_now;
+                       });
+    }
+    used_.assign(n_, 0);
+    path_.resize(n_);
+    path_starts_.resize(n_);
+    // One profile per depth; profiles_[d] is the state after d placements.
+    profiles_.assign(n_ + 1, p_.base);
+    result_.value = worst_objective();
+  }
+
+  SearchResult run() {
+    if (cfg_.algo == SearchAlgo::Dfs) {
+      // Chronological DFS visits the leftmost (pure-heuristic) path first
+      // by construction; the budget guard inside dfs() lets that first
+      // path complete regardless of the limit.
+      begin_iteration();
+      result_.exhausted = dfs(0, 0.0, 0.0);
+      SBS_CHECK_MSG(result_.paths_completed > 0,
+                    "search produced no schedule");
+      return std::move(result_);
+    }
+
+    // Iteration 0: the pure-heuristic path. Always completed, so the
+    // policy never degrades below plain list scheduling by the heuristic.
+    begin_iteration();
+    descend_leftmost();
+
+    bool done = false;
+    if (cfg_.algo == SearchAlgo::Lds) {
+      // Iteration k explores paths with exactly k discrepancies; at most
+      // one discrepancy per level with >= 2 children, i.e. k <= n-1.
+      for (std::size_t k = 1; !done && n_ >= 2 && k <= n_ - 1; ++k) {
+        begin_iteration();
+        done = !lds(0, 0.0, 0.0, 0, k);
+      }
+    } else {
+      // Iteration i forces a discrepancy at depth i (the depth of the
+      // i-th placed job, root children being depth 1).
+      for (std::size_t i = 1; !done && n_ >= 2 && i <= n_ - 1; ++i) {
+        begin_iteration();
+        done = !dds(0, 0.0, 0.0, i);
+      }
+    }
+    result_.exhausted = !done;
+
+    SBS_CHECK_MSG(result_.paths_completed > 0, "search produced no schedule");
+    return std::move(result_);
+  }
+
+ private:
+  bool budget_left() const { return result_.nodes_visited < cfg_.node_limit; }
+
+  /// Places job `job` as the depth-d element of the current path.
+  /// Returns the start time.
+  Time place(std::size_t depth, std::size_t job) {
+    ++result_.nodes_visited;
+    ResourceProfile& profile = profiles_[depth + 1];
+    profile = profiles_[depth];
+    const SearchJob& s = p_.jobs[job];
+    const Time t = profile.earliest_start(p_.now, s.nodes, s.estimate);
+    profile.reserve(t, s.nodes, s.estimate);
+    used_[job] = 1;
+    path_[depth] = job;
+    path_starts_[depth] = t;
+    return t;
+  }
+
+  void unplace(std::size_t job) { used_[job] = 0; }
+
+  void begin_iteration() {
+    ++result_.iterations_started;
+    result_.paths_per_iteration.push_back(0);
+  }
+
+  void complete_path(double excess, double bsld_sum) {
+    ++result_.paths_completed;
+    ++result_.paths_per_iteration.back();
+    ObjectiveValue value{excess,
+                         bsld_sum / static_cast<double>(std::max<std::size_t>(n_, 1))};
+    if (cfg_.on_path) cfg_.on_path(path_, value);
+    if (cfg_.comparator.less(value, result_.value)) {
+      result_.value = value;
+      result_.order.assign(path_.begin(), path_.end());
+      result_.starts.assign(n_, 0);
+      for (std::size_t d = 0; d < n_; ++d)
+        result_.starts[path_[d]] = path_starts_[d];
+      result_.improvements.push_back(
+          Improvement{result_.nodes_visited, result_.paths_completed, value});
+    }
+  }
+
+  /// Branch-and-bound cut (optional): excess only accumulates along a path
+  /// and every remaining job contributes bounded slowdown >= 1, so a
+  /// partial path already no better than the incumbent cannot improve.
+  bool pruned(double excess, double bsld_sum, std::size_t depth) const {
+    if (!cfg_.prune || result_.paths_completed == 0) return false;
+    const ObjectiveValue& best = result_.value;
+    if (excess > best.excess_h + kObjectiveEps) return true;
+    if (excess < best.excess_h - kObjectiveEps) return false;
+    const double lb =
+        (bsld_sum + static_cast<double>(n_ - depth)) / static_cast<double>(n_);
+    return lb >= best.avg_bsld - kObjectiveEps;
+  }
+
+  void descend_leftmost() {
+    double excess = 0.0, bsld_sum = 0.0;
+    for (std::size_t d = 0; d < n_; ++d) {
+      const std::size_t job = first_unused();
+      const Time t = place(d, job);
+      excess += p_.excess_h(job, t);
+      bsld_sum += p_.bsld(job, t);
+    }
+    complete_path(excess, bsld_sum);
+    for (std::size_t d = 0; d < n_; ++d) unplace(path_[d]);
+  }
+
+  std::size_t first_unused() const {
+    for (std::size_t j : seq_)
+      if (!used_[j]) return j;
+    throw Error("no unused job left");
+  }
+
+  /// LDS iteration: paths with exactly `k` discrepancies, `used` so far.
+  /// Returns false when the node budget ran out.
+  bool lds(std::size_t depth, double excess, double bsld_sum,
+           std::size_t used, std::size_t k) {
+    if (depth == n_) {
+      complete_path(excess, bsld_sum);
+      return true;
+    }
+    const std::size_t remaining = n_ - depth;
+    std::size_t child = 0;
+    for (std::size_t j : seq_) {
+      if (used_[j]) continue;
+      const std::size_t d_used = used + (child > 0 ? 1 : 0);
+      ++child;
+      if (d_used > k) break;  // children are visited left to right
+      // Levels below this child with >= 2 children: remaining - 2.
+      const std::size_t max_future = remaining >= 2 ? remaining - 2 : 0;
+      if (d_used + max_future < k) continue;  // cannot reach exactly k
+      if (!budget_left()) return false;
+      const Time t = place(depth, j);
+      const double e = excess + p_.excess_h(j, t);
+      const double b = bsld_sum + p_.bsld(j, t);
+      bool ok = true;
+      if (!pruned(e, b, depth + 1)) ok = lds(depth + 1, e, b, d_used, k);
+      unplace(j);
+      if (!ok) return false;
+    }
+    return true;
+  }
+
+  /// Chronological depth-first enumeration of the whole tree. The first
+  /// complete path is exempt from the budget (anytime guarantee).
+  bool dfs(std::size_t depth, double excess, double bsld_sum) {
+    if (depth == n_) {
+      complete_path(excess, bsld_sum);
+      return true;
+    }
+    for (std::size_t j : seq_) {
+      if (used_[j]) continue;
+      if (!budget_left() && result_.paths_completed > 0) return false;
+      const Time t = place(depth, j);
+      const double e = excess + p_.excess_h(j, t);
+      const double b = bsld_sum + p_.bsld(j, t);
+      bool ok = true;
+      if (!pruned(e, b, depth + 1)) ok = dfs(depth + 1, e, b);
+      unplace(j);
+      if (!ok) return false;
+    }
+    return true;
+  }
+
+  /// DDS iteration: mandatory discrepancy at depth `target` (1-based depth
+  /// of placed jobs), any branch above, heuristic-only below.
+  bool dds(std::size_t depth, double excess, double bsld_sum,
+           std::size_t target) {
+    if (depth == n_) {
+      complete_path(excess, bsld_sum);
+      return true;
+    }
+    const std::size_t child_depth = depth + 1;
+    std::size_t child = 0;
+    for (std::size_t j : seq_) {
+      if (used_[j]) continue;
+      const std::size_t c = child++;
+      if (child_depth == target && c == 0) continue;  // discrepancy required
+      if (child_depth > target && c > 0) break;       // heuristic only below
+      if (!budget_left()) return false;
+      const Time t = place(depth, j);
+      const double e = excess + p_.excess_h(j, t);
+      const double b = bsld_sum + p_.bsld(j, t);
+      bool ok = true;
+      if (!pruned(e, b, depth + 1)) ok = dds(depth + 1, e, b, target);
+      unplace(j);
+      if (!ok) return false;
+    }
+    return true;
+  }
+
+  const SearchProblem& p_;
+  const SearchConfig cfg_;
+  const std::size_t n_;
+  std::vector<std::size_t> seq_;  ///< heuristic (leftmost-first) job order
+  std::vector<char> used_;
+  std::vector<std::size_t> path_;
+  std::vector<Time> path_starts_;
+  std::vector<ResourceProfile> profiles_;
+  SearchResult result_;
+};
+
+}  // namespace
+
+SearchResult run_search(const SearchProblem& problem,
+                        const SearchConfig& config) {
+  SBS_CHECK_MSG(problem.size() >= 1, "search over an empty queue");
+  SBS_CHECK(config.node_limit >= 1);
+  SBS_CHECK_MSG(!(config.prune && config.comparator.weighted_alpha > 0.0),
+                "branch-and-bound pruning requires the hierarchical "
+                "objective");
+  Engine engine(problem, config);
+  return engine.run();
+}
+
+}  // namespace sbs

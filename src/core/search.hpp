@@ -1,0 +1,88 @@
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/search_problem.hpp"
+
+namespace sbs {
+
+/// Complete anytime search algorithms (paper §2.2, plus the DFS baseline
+/// that motivates discrepancy search).
+enum class SearchAlgo {
+  Lds,  ///< limited discrepancy search: iteration k explores the paths with
+        ///  exactly k discrepancies, k = 0, 1, ...
+  Dds,  ///< depth-bounded discrepancy search: iteration i explores paths
+        ///  with any branches above depth i, a mandatory discrepancy at
+        ///  depth i, and heuristic-only branches below
+  Dfs,  ///< chronological depth-first enumeration (left to right). The
+        ///  classic baseline: it revises the DEEPEST decisions first, so a
+        ///  wrong heuristic choice at the root is corrected last — exactly
+        ///  what LDS/DDS exist to avoid. Included for the comparison.
+};
+
+/// Branching heuristics ordering the children of every tree node.
+enum class Branching {
+  Fcfs,  ///< arrival order (submit time, ties by id)
+  Lxf,   ///< largest current bounded slowdown first, evaluated at the
+         ///  decision point (static per search, as the slowdown ranking is)
+};
+
+std::string algo_name(SearchAlgo algo);
+std::string branching_name(Branching branching);
+
+struct SearchConfig {
+  SearchAlgo algo = SearchAlgo::Dds;
+  Branching branching = Branching::Lxf;
+  /// Maximum tree nodes (job placements) visited per decision point. The
+  /// 0th iteration — the pure-heuristic path — always completes even if it
+  /// alone exceeds the limit, so a schedule is always produced.
+  std::size_t node_limit = 1000;
+  /// Branch-and-bound extension (paper future work): prune a partial path
+  /// whose objective lower bound is already no better than the incumbent.
+  /// Only valid with the hierarchical comparator (weighted_alpha == 0).
+  bool prune = false;
+  /// Schedule comparator; keep the default for the paper's hierarchical
+  /// objective, set weighted_alpha > 0 for the weighted-sum alternative.
+  ObjectiveComparator comparator;
+  /// Test/analysis hook: called with the consideration order and value of
+  /// every completed path, in exploration order. Leave empty in production
+  /// runs.
+  std::function<void(std::span<const std::size_t>, const ObjectiveValue&)>
+      on_path;
+};
+
+/// One incumbent improvement during a search: after `nodes` placements
+/// the best-known schedule value became `value`. The sequence of these is
+/// the search's ANYTIME PROFILE — how solution quality buys into the node
+/// budget, the curve that justifies choosing DDS over LDS over DFS.
+struct Improvement {
+  std::size_t nodes = 0;
+  std::size_t path = 0;  ///< 1-based index of the improving path
+  ObjectiveValue value;
+};
+
+struct SearchResult {
+  std::vector<std::size_t> order;  ///< best consideration order found
+  std::vector<Time> starts;        ///< per problem-job start times
+  ObjectiveValue value;
+  std::vector<Improvement> improvements;  ///< anytime profile (first entry
+                                          ///  is the heuristic path)
+  std::size_t nodes_visited = 0;
+  std::size_t paths_completed = 0;
+  std::size_t iterations_started = 0;
+  /// Complete paths per iteration (index 0 = the heuristic-only iteration);
+  /// the last entry may be partial when the node budget ran out.
+  std::vector<std::size_t> paths_per_iteration;
+  bool exhausted = false;  ///< whole tree covered within the node budget
+};
+
+/// Runs the configured discrepancy search over the problem and returns the
+/// best complete schedule found. problem.size() must be >= 1.
+SearchResult run_search(const SearchProblem& problem,
+                        const SearchConfig& config);
+
+}  // namespace sbs

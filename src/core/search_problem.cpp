@@ -1,0 +1,46 @@
+#include "core/search_problem.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace sbs {
+
+SearchProblem SearchProblem::from_state(const SchedulerState& state,
+                                        const BoundSpec& bound) {
+  SearchProblem p;
+  p.now = state.now;
+  p.capacity = state.capacity;
+  p.base = profile_from_running(state.capacity, state.now, state.running);
+  p.jobs.reserve(state.waiting.size());
+  const Time dyn = dynamic_bound_of(state.waiting, state.now);
+  for (const auto& w : state.waiting) {
+    SearchJob s;
+    s.job = w.job;
+    s.nodes = w.job->nodes;
+    s.estimate = std::max<Time>(w.estimate, 1);
+    s.submit = w.job->submit;
+    s.bound = bound.resolve(s.estimate, dyn);
+    const double est =
+        static_cast<double>(std::max<Time>(s.estimate, kMinute));
+    s.slowdown_now =
+        (static_cast<double>(state.now - s.submit) + est) / est;
+    p.jobs.push_back(s);
+  }
+  return p;
+}
+
+double SearchProblem::excess_h(std::size_t i, Time start) const {
+  const SearchJob& s = jobs[i];
+  const Time wait = start - s.submit;
+  return wait > s.bound ? to_hours(wait - s.bound) : 0.0;
+}
+
+double SearchProblem::bsld(std::size_t i, Time start) const {
+  const SearchJob& s = jobs[i];
+  const double est = static_cast<double>(std::max<Time>(s.estimate, kMinute));
+  const double wait = static_cast<double>(start - s.submit);
+  return std::max(1.0, (wait + est) / est);
+}
+
+}  // namespace sbs

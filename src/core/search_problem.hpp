@@ -1,0 +1,48 @@
+#pragma once
+
+#include <vector>
+
+#include "cluster/resource_profile.hpp"
+#include "core/objective.hpp"
+#include "sim/scheduler.hpp"
+
+namespace sbs {
+
+/// One waiting job inside a search problem, with everything the objective
+/// and the branching heuristics need precomputed for the decision point.
+struct SearchJob {
+  const Job* job = nullptr;
+  int nodes = 0;
+  Time estimate = 0;      ///< planning runtime (>= 1s), R* = T or R
+  Time submit = 0;
+  Time bound = 0;         ///< resolved target wait bound for this job
+  double slowdown_now = 0.0;  ///< current bounded slowdown (lxf branching key)
+};
+
+/// Immutable snapshot of one scheduling decision point: the availability
+/// profile implied by the running jobs plus the queued jobs annotated with
+/// their objective parameters. The search engine explores orderings of
+/// `jobs`; the schedule builder assigns start times against `base`.
+struct SearchProblem {
+  Time now = 0;
+  int capacity = 0;
+  ResourceProfile base{1, 0};
+  std::vector<SearchJob> jobs;
+
+  /// Builds the snapshot from a simulator state. The dynB threshold is
+  /// evaluated here, once per decision point, as the paper specifies.
+  static SearchProblem from_state(const SchedulerState& state,
+                                  const BoundSpec& bound);
+
+  std::size_t size() const { return jobs.size(); }
+
+  /// First-level contribution of starting job i at `start`: wait time in
+  /// excess of the job's bound, in hours.
+  double excess_h(std::size_t i, Time start) const;
+
+  /// Second-level contribution: bounded slowdown (1-minute floor) of job i
+  /// when started at `start`, using the planning estimate as runtime.
+  double bsld(std::size_t i, Time start) const;
+};
+
+}  // namespace sbs

@@ -1,0 +1,68 @@
+#include "core/search_scheduler.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+namespace sbs {
+
+SearchScheduler::SearchScheduler(SearchSchedulerConfig config)
+    : config_(std::move(config)), fairshare_(config_.fairshare_config) {}
+
+std::vector<int> SearchScheduler::select_jobs(const SchedulerState& state) {
+  ++stats_.decisions;
+  std::vector<int> started;
+  if (state.waiting.empty()) return started;
+
+  // Fast path: when no queued job fits the free nodes, no ordering can
+  // start anything now, so the (expensive) search is skipped. This is a
+  // pure optimization — the chosen schedule is unaffected because only
+  // start-now placements are dispatched.
+  const bool any_fits =
+      std::any_of(state.waiting.begin(), state.waiting.end(),
+                  [&](const WaitingJob& w) {
+                    return w.job->nodes <= state.free_nodes;
+                  });
+  if (!any_fits) return started;
+
+  const auto t0 = std::chrono::steady_clock::now();
+  SearchProblem problem = SearchProblem::from_state(state, config_.bound);
+  if (config_.fairshare) {
+    for (SearchJob& s : problem.jobs)
+      s.bound = fairshare_.adjust_bound(s.bound, s.job->user, state.now);
+  }
+  const SearchResult result = run_search(problem, config_.search);
+  stats_.nodes_visited += result.nodes_visited;
+  stats_.paths_explored += result.paths_completed;
+
+  std::span<const Time> starts = result.starts;
+  LocalSearchResult refined;
+  if (config_.refine) {
+    refined = local_search(problem, result.order, config_.local);
+    stats_.paths_explored += refined.evaluations;
+    starts = refined.starts;
+  }
+
+  for (std::size_t i = 0; i < problem.size(); ++i) {
+    if (starts[i] != state.now) continue;
+    started.push_back(problem.jobs[i].job->id);
+    if (config_.fairshare)
+      fairshare_.charge(*problem.jobs[i].job, problem.jobs[i].estimate,
+                        state.now);
+  }
+  stats_.think_time_us += static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - t0)
+          .count());
+  return started;
+}
+
+std::string SearchScheduler::name() const {
+  std::string n = algo_name(config_.search.algo) + "/" +
+                  branching_name(config_.search.branching) + "/" +
+                  config_.bound.label();
+  if (config_.refine) n += "+ls";
+  if (config_.fairshare) n += "+fs";
+  return n;
+}
+
+}  // namespace sbs

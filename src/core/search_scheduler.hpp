@@ -1,0 +1,52 @@
+#pragma once
+
+#include "core/fairshare.hpp"
+#include "core/local_search.hpp"
+#include "core/search.hpp"
+#include "sim/scheduler.hpp"
+
+namespace sbs {
+
+/// The paper's goal-oriented policies (§2.3): at every scheduling event,
+/// build a SearchProblem from the queue, run the configured discrepancy
+/// search under the node budget, and start exactly the jobs the best found
+/// schedule places at the current time. Nothing is persisted between
+/// events — the search re-plans from scratch, as the paper's simulator
+/// does.
+struct SearchSchedulerConfig {
+  SearchConfig search;
+  BoundSpec bound = BoundSpec::dynamic_bound();
+  /// Hybrid mode (paper future work): refine the best tree-search path
+  /// with local search before dispatching.
+  bool refine = false;
+  LocalSearchConfig local;
+  /// Fair-share mode (paper future work): scale each job's target wait
+  /// bound by its user's decayed-usage share, so the first objective
+  /// level evens service across users.
+  bool fairshare = false;
+  FairShareConfig fairshare_config;
+};
+
+class SearchScheduler final : public Scheduler {
+ public:
+  explicit SearchScheduler(SearchSchedulerConfig config);
+
+  std::vector<int> select_jobs(const SchedulerState& state) override;
+
+  /// Canonical policy name, e.g. "DDS/lxf/dynB" or "LDS/fcfs/w=100h".
+  std::string name() const override;
+
+  SchedulerStats stats() const override { return stats_; }
+
+  const SearchSchedulerConfig& config() const { return config_; }
+
+  /// Fair-share ledger (empty unless fairshare mode is on).
+  const FairShareTracker& fairshare_tracker() const { return fairshare_; }
+
+ private:
+  SearchSchedulerConfig config_;
+  SchedulerStats stats_;
+  FairShareTracker fairshare_;
+};
+
+}  // namespace sbs

@@ -1,0 +1,18 @@
+#include "core/tree_size.hpp"
+
+namespace sbs {
+
+TreeSize search_tree_size(std::size_t n) {
+  TreeSize t;
+  if (n == 0) return t;
+  // Walk depth 1..n accumulating the falling factorial n * (n-1) * ...
+  double level = 1.0;
+  for (std::size_t d = 1; d <= n; ++d) {
+    level *= static_cast<double>(n - d + 1);
+    t.nodes += level;
+  }
+  t.paths = level;  // depth-n level size is exactly n!
+  return t;
+}
+
+}  // namespace sbs

@@ -1,0 +1,18 @@
+#pragma once
+
+#include <cstddef>
+
+namespace sbs {
+
+/// Size of the job-ordering search tree for n waiting jobs (Figure 1(d)):
+/// n! root-to-leaf paths; the depth-d level holds n!/(n-d)! nodes, so the
+/// node total is sum_{d=1..n} n!/(n-d)!. Returned as doubles because the
+/// counts overflow 64 bits past n = 20.
+struct TreeSize {
+  double paths = 0.0;
+  double nodes = 0.0;
+};
+
+TreeSize search_tree_size(std::size_t n);
+
+}  // namespace sbs

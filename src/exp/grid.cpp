@@ -1,0 +1,65 @@
+#include "exp/grid.hpp"
+
+#include <algorithm>
+
+#include "exp/policy_factory.hpp"
+#include "util/error.hpp"
+#include "util/thread_pool.hpp"
+
+namespace sbs {
+
+std::vector<MonthEval> run_grid(const GridSpec& spec) {
+  SBS_CHECK_MSG(!spec.policies.empty(), "grid needs at least one policy");
+  // A stateful predictor would leak learned state across cells (and race
+  // across threads); prediction experiments run cells individually.
+  SBS_CHECK_MSG(spec.sim.predictor == nullptr,
+                "run_grid does not support a shared runtime predictor");
+
+  // Validate every policy spec up front so a typo fails fast, not after
+  // minutes of simulation.
+  for (const auto& policy : spec.policies) make_policy(policy, 1);
+
+  struct MonthCell {
+    Trace trace;
+    Thresholds thresholds;
+  };
+  std::vector<MonthCell> months;
+  for (const auto& stats : ncsa_months()) {
+    if (!spec.months.empty() &&
+        std::find(spec.months.begin(), spec.months.end(), stats.name) ==
+            spec.months.end())
+      continue;
+    MonthCell cell;
+    cell.trace = generate_month(stats, spec.generator);
+    if (spec.load > 0.0) cell.trace = rescale_to_load(cell.trace, spec.load);
+    months.push_back(std::move(cell));
+  }
+  SBS_CHECK_MSG(!spec.months.empty() ? months.size() == spec.months.size()
+                                     : !months.empty(),
+                "unknown month name in grid spec");
+
+  // Phase 1: per-month FCFS thresholds (parallel over months).
+  // Phase 2: all (month, policy) cells (parallel over cells).
+  std::vector<MonthEval> rows(months.size() * spec.policies.size());
+  auto run_cell = [&](std::size_t index) {
+    const std::size_t m = index / spec.policies.size();
+    const std::size_t p = index % spec.policies.size();
+    rows[index] =
+        evaluate_spec(months[m].trace, spec.policies[p], spec.node_limit,
+                      months[m].thresholds, spec.sim, spec.keep_outcomes);
+  };
+
+  if (spec.threads == 1) {
+    for (auto& cell : months) cell.thresholds = fcfs_thresholds(cell.trace, spec.sim);
+    for (std::size_t i = 0; i < rows.size(); ++i) run_cell(i);
+  } else {
+    ThreadPool pool(spec.threads);
+    pool.parallel_for(months.size(), [&](std::size_t m) {
+      months[m].thresholds = fcfs_thresholds(months[m].trace, spec.sim);
+    });
+    pool.parallel_for(rows.size(), run_cell);
+  }
+  return rows;
+}
+
+}  // namespace sbs

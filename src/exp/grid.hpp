@@ -1,0 +1,37 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "exp/runner.hpp"
+#include "workload/generator.hpp"
+
+namespace sbs {
+
+/// Declarative experiment grid: (months x policies) at one load level and
+/// estimate regime. This is the primitive behind every figure of the
+/// paper — generate the months, derive each month's FCFS-backfill
+/// thresholds, evaluate every policy cell, return the rows in a
+/// deterministic order (month-major, policy-minor).
+struct GridSpec {
+  /// Months by name ("7/03"); empty = all ten study months.
+  std::vector<std::string> months;
+  /// Target offered load; 0 keeps each month's original load.
+  double load = 0.0;
+  /// Policy spec strings (see make_policy).
+  std::vector<std::string> policies;
+  /// Node budget for search policies.
+  std::size_t node_limit = 1000;
+  SimConfig sim;
+  GeneratorConfig generator;
+  /// Worker threads; cells are independent, so any count is safe. 0 uses
+  /// the hardware concurrency.
+  std::size_t threads = 1;
+  /// Retain per-job outcomes in each row (memory-heavy on full months).
+  bool keep_outcomes = false;
+};
+
+/// Runs the grid. Results are bit-identical regardless of `threads`.
+std::vector<MonthEval> run_grid(const GridSpec& spec);
+
+}  // namespace sbs

@@ -1,0 +1,125 @@
+#include "exp/policy_factory.hpp"
+
+#include <cstdlib>
+
+#include "policies/lookahead.hpp"
+#include "policies/multi_queue.hpp"
+#include "policies/selective.hpp"
+#include "policies/slack_backfill.hpp"
+#include "policies/weighted_priority.hpp"
+#include "util/error.hpp"
+
+namespace sbs {
+
+std::unique_ptr<Scheduler> make_backfill(PriorityKind priority,
+                                         int reservations) {
+  BackfillConfig cfg;
+  cfg.priority = priority;
+  cfg.reservations = reservations;
+  return std::make_unique<BackfillScheduler>(cfg);
+}
+
+std::unique_ptr<Scheduler> make_selective_backfill() {
+  return std::make_unique<SelectiveBackfillScheduler>();
+}
+
+std::unique_ptr<Scheduler> make_lookahead() {
+  return std::make_unique<LookaheadScheduler>();
+}
+
+std::unique_ptr<Scheduler> make_search_policy(SearchAlgo algo,
+                                              Branching branching,
+                                              BoundSpec bound,
+                                              std::size_t node_limit,
+                                              bool prune) {
+  SearchSchedulerConfig cfg;
+  cfg.search.algo = algo;
+  cfg.search.branching = branching;
+  cfg.search.node_limit = node_limit;
+  cfg.search.prune = prune;
+  cfg.bound = bound;
+  return std::make_unique<SearchScheduler>(cfg);
+}
+
+std::unique_ptr<Scheduler> make_policy(const std::string& spec,
+                                       std::size_t node_limit) {
+  if (spec == "FCFS-BF") return make_backfill(PriorityKind::Fcfs);
+  if (spec == "FCFS-cons-BF")
+    return make_backfill(PriorityKind::Fcfs, kConservativeReservations);
+  if (spec == "LXF-BF") return make_backfill(PriorityKind::Lxf);
+  if (spec == "SJF-BF") return make_backfill(PriorityKind::Sjf);
+  if (spec == "LXF&W-BF") return make_backfill(PriorityKind::LxfWait);
+  if (spec == "Selective-BF") return make_selective_backfill();
+  if (spec == "Lookahead") return make_lookahead();
+  if (spec == "Slack-BF") return std::make_unique<SlackBackfillScheduler>();
+  if (spec == "MultiQueue")
+    return std::make_unique<MultiQueueScheduler>();
+  if (spec == "MultiQueue-aged") {
+    MultiQueueConfig cfg;
+    cfg.aging_limit = 24 * kHour;
+    return std::make_unique<MultiQueueScheduler>(cfg);
+  }
+  if (spec == "Weighted-BF")
+    return std::make_unique<WeightedPriorityScheduler>();
+
+  // Search policies: "<algo>/<branching>/<bound>[+ls][+fs]" (suffixes in
+  // any order).
+  std::string body = spec;
+  bool refine = false;
+  bool fairshare = false;
+  for (bool stripped = true; stripped;) {
+    stripped = false;
+    if (body.size() > 3 && body.substr(body.size() - 3) == "+ls") {
+      refine = stripped = true;
+      body = body.substr(0, body.size() - 3);
+    } else if (body.size() > 3 && body.substr(body.size() - 3) == "+fs") {
+      fairshare = stripped = true;
+      body = body.substr(0, body.size() - 3);
+    }
+  }
+  const std::string& spec_body = body;
+  const auto slash1 = spec_body.find('/');
+  const auto slash2 =
+      spec_body.find('/', slash1 == std::string::npos ? 0 : slash1 + 1);
+  if (slash1 == std::string::npos || slash2 == std::string::npos)
+    throw Error("unrecognized policy spec: " + spec);
+
+  const std::string algo_s = spec_body.substr(0, slash1);
+  const std::string branch_s =
+      spec_body.substr(slash1 + 1, slash2 - slash1 - 1);
+  const std::string bound_s = spec_body.substr(slash2 + 1);
+
+  SearchAlgo algo;
+  if (algo_s == "DDS") algo = SearchAlgo::Dds;
+  else if (algo_s == "LDS") algo = SearchAlgo::Lds;
+  else if (algo_s == "DFS") algo = SearchAlgo::Dfs;
+  else throw Error("unknown search algorithm in spec: " + spec);
+
+  Branching branching;
+  if (branch_s == "fcfs") branching = Branching::Fcfs;
+  else if (branch_s == "lxf") branching = Branching::Lxf;
+  else throw Error("unknown branching heuristic in spec: " + spec);
+
+  BoundSpec bound;
+  if (bound_s == "dynB") {
+    bound = BoundSpec::dynamic_bound();
+  } else if (bound_s.rfind("w=", 0) == 0) {
+    const double hours = std::strtod(bound_s.c_str() + 2, nullptr);
+    SBS_CHECK_MSG(hours >= 0.0, "bad fixed bound in spec: " << spec);
+    bound = BoundSpec::fixed_bound(from_hours(hours));
+  } else if (bound_s == "wT") {
+    bound = BoundSpec::per_runtime(4 * kHour, 5.0, kHour, 300 * kHour);
+  } else {
+    throw Error("unknown bound in spec: " + spec);
+  }
+  SearchSchedulerConfig cfg;
+  cfg.search.algo = algo;
+  cfg.search.branching = branching;
+  cfg.search.node_limit = node_limit;
+  cfg.bound = bound;
+  cfg.refine = refine;
+  cfg.fairshare = fairshare;
+  return std::make_unique<SearchScheduler>(cfg);
+}
+
+}  // namespace sbs

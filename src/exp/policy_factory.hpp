@@ -1,0 +1,34 @@
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "core/search_scheduler.hpp"
+#include "policies/backfill.hpp"
+#include "sim/scheduler.hpp"
+
+namespace sbs {
+
+/// Builders for every policy the experiments use.
+std::unique_ptr<Scheduler> make_backfill(PriorityKind priority,
+                                         int reservations = 1);
+std::unique_ptr<Scheduler> make_selective_backfill();
+std::unique_ptr<Scheduler> make_lookahead();
+std::unique_ptr<Scheduler> make_search_policy(SearchAlgo algo,
+                                              Branching branching,
+                                              BoundSpec bound,
+                                              std::size_t node_limit,
+                                              bool prune = false);
+
+/// Parses a policy spec string into a scheduler:
+///   "FCFS-BF" | "LXF-BF" | "SJF-BF" | "LXF&W-BF"
+///   "Selective-BF" | "Lookahead" | "Slack-BF"
+///   "MultiQueue" | "MultiQueue-aged" | "Weighted-BF"
+///   "<DDS|LDS>/<fcfs|lxf>/<dynB|w=<hours>h|wT>[+ls]"  e.g. "DDS/lxf/dynB",
+///   "LDS/lxf/w=100h", "DDS/lxf/dynB+ls". `node_limit` applies to search
+///   policies only.
+/// Throws sbs::Error on anything unrecognized.
+std::unique_ptr<Scheduler> make_policy(const std::string& spec,
+                                       std::size_t node_limit = 1000);
+
+}  // namespace sbs

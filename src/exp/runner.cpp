@@ -1,0 +1,41 @@
+#include "exp/runner.hpp"
+
+#include "exp/policy_factory.hpp"
+#include "policies/backfill.hpp"
+
+namespace sbs {
+
+Thresholds fcfs_thresholds(const Trace& trace, const SimConfig& sim) {
+  auto fcfs = make_backfill(PriorityKind::Fcfs);
+  const SimResult result = simulate(trace, *fcfs, sim);
+  const Summary s = summarize(result.outcomes);
+  Thresholds t;
+  t.max_wait = from_hours(s.max_wait_h);
+  t.p98_wait = from_hours(s.p98_wait_h);
+  return t;
+}
+
+MonthEval evaluate_policy(const Trace& trace, Scheduler& scheduler,
+                          const Thresholds& thresholds, const SimConfig& sim,
+                          bool keep_outcomes) {
+  SimResult result = simulate(trace, scheduler, sim);
+  MonthEval eval;
+  eval.month = trace.name;
+  eval.policy = scheduler.name();
+  eval.summary = summarize(result.outcomes);
+  eval.avg_queue_length = result.avg_queue_length;
+  eval.e_max = excessive_stats(result.outcomes, thresholds.max_wait);
+  eval.e_p98 = excessive_stats(result.outcomes, thresholds.p98_wait);
+  eval.sched = result.sched_stats;
+  if (keep_outcomes) eval.outcomes = std::move(result.outcomes);
+  return eval;
+}
+
+MonthEval evaluate_spec(const Trace& trace, const std::string& policy_spec,
+                        std::size_t node_limit, const Thresholds& thresholds,
+                        const SimConfig& sim, bool keep_outcomes) {
+  auto scheduler = make_policy(policy_spec, node_limit);
+  return evaluate_policy(trace, *scheduler, thresholds, sim, keep_outcomes);
+}
+
+}  // namespace sbs

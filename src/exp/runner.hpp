@@ -1,0 +1,47 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "jobs/trace.hpp"
+#include "metrics/summary.hpp"
+#include "sim/simulator.hpp"
+
+namespace sbs {
+
+/// Per-month excessive-wait thresholds, derived from the month's
+/// FCFS-backfill run (paper §4): the maximum and the 98th-percentile wait.
+struct Thresholds {
+  Time max_wait = 0;
+  Time p98_wait = 0;
+};
+
+/// Runs FCFS-backfill on the trace and extracts the thresholds.
+Thresholds fcfs_thresholds(const Trace& trace, const SimConfig& sim = {});
+
+/// One (month, policy) evaluation — everything the paper's figures plot.
+struct MonthEval {
+  std::string month;
+  std::string policy;
+  Summary summary;
+  double avg_queue_length = 0.0;
+  ExcessiveWaitStats e_max;  ///< w.r.t. the month's FCFS-backfill max wait
+  ExcessiveWaitStats e_p98;  ///< w.r.t. its 98th-percentile wait
+  SchedulerStats sched;
+  std::vector<JobOutcome> outcomes;  ///< retained only when requested
+};
+
+/// Simulates `trace` under `scheduler` and aggregates the measures against
+/// the given thresholds. Set `keep_outcomes` for per-class analyses.
+MonthEval evaluate_policy(const Trace& trace, Scheduler& scheduler,
+                          const Thresholds& thresholds,
+                          const SimConfig& sim = {},
+                          bool keep_outcomes = false);
+
+/// Convenience wrapper: builds the policy by spec string (see
+/// make_policy), runs it, and returns the evaluation.
+MonthEval evaluate_spec(const Trace& trace, const std::string& policy_spec,
+                        std::size_t node_limit, const Thresholds& thresholds,
+                        const SimConfig& sim = {}, bool keep_outcomes = false);
+
+}  // namespace sbs

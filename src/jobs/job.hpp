@@ -1,0 +1,26 @@
+#pragma once
+
+#include "util/time.hpp"
+
+namespace sbs {
+
+/// One batch job as submitted to the cluster. Nodes are the allocation
+/// unit (the NCSA IA-64 system allocates whole dual-processor nodes).
+struct Job {
+  int id = 0;           ///< unique within a trace, assigned in submit order
+  Time submit = 0;      ///< submission time
+  int nodes = 1;        ///< requested number of nodes, N
+  Time runtime = 0;     ///< actual runtime, T (> 0)
+  Time requested = 0;   ///< user-requested runtime, R (>= runtime in practice
+                        ///  but the library does not assume it)
+  int user = 0;           ///< submitting user (fair-share accounting)
+  bool in_window = true;  ///< counts toward monthly metrics (false for the
+                          ///  warm-up / cool-down weeks)
+};
+
+/// Processor demand of a job in node-seconds.
+constexpr double job_demand(const Job& j) {
+  return static_cast<double>(j.nodes) * static_cast<double>(j.runtime);
+}
+
+}  // namespace sbs

@@ -1,0 +1,119 @@
+#include "jobs/swf.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace sbs {
+
+namespace {
+
+// Parses "; MaxNodes: 128"-style header values.
+bool header_value(const std::string& line, const char* key, long long* out) {
+  auto pos = line.find(key);
+  if (pos == std::string::npos) return false;
+  pos = line.find(':', pos);
+  if (pos == std::string::npos) return false;
+  std::istringstream is(line.substr(pos + 1));
+  long long v = 0;
+  if (!(is >> v)) return false;
+  *out = v;
+  return true;
+}
+
+}  // namespace
+
+Trace read_swf(std::istream& in, const SwfReadOptions& options) {
+  SBS_CHECK(options.procs_per_node >= 1);
+  Trace trace;
+  trace.capacity = options.default_capacity;
+  std::string line;
+  bool capacity_from_header = false;
+  Time max_end = 0;
+
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    if (line[0] == ';') {
+      long long v = 0;
+      if (header_value(line, "MaxNodes", &v) && v > 0) {
+        trace.capacity = static_cast<int>(v);
+        capacity_from_header = true;
+      } else if (!capacity_from_header && header_value(line, "MaxProcs", &v) &&
+                 v > 0) {
+        trace.capacity = static_cast<int>(v) / options.procs_per_node;
+      }
+      continue;
+    }
+    std::istringstream is(line);
+    std::vector<double> f;
+    double x = 0;
+    while (is >> x) f.push_back(x);
+    if (f.size() < 5) {
+      if (options.skip_invalid) continue;
+      throw Error("SWF line has fewer than 5 fields: " + line);
+    }
+    auto field = [&](std::size_t i) { return i < f.size() ? f[i] : -1.0; };
+
+    Job j;
+    j.id = static_cast<int>(field(0));
+    j.submit = static_cast<Time>(field(1));
+    j.runtime = static_cast<Time>(field(3));
+    double procs = field(4);
+    if (procs <= 0) procs = field(7);  // requested processors fallback
+    const double req_time = field(8);
+    j.requested = req_time > 0 ? static_cast<Time>(req_time) : j.runtime;
+
+    if (j.runtime <= 0 || procs <= 0) {
+      if (options.skip_invalid) continue;
+      throw Error("SWF job with non-positive runtime or processors: " + line);
+    }
+    j.nodes = static_cast<int>((procs + options.procs_per_node - 1) /
+                               options.procs_per_node);
+    if (j.nodes < 1) j.nodes = 1;
+    if (j.nodes > trace.capacity) {
+      if (options.skip_invalid) continue;
+      throw Error("SWF job wider than the machine: " + line);
+    }
+    if (j.requested < j.runtime) j.requested = j.runtime;
+    const double user = field(11);  // SWF field 12: user id
+    j.user = user > 0 ? static_cast<int>(user) : 0;
+    trace.jobs.push_back(j);
+    max_end = std::max(max_end, j.submit + j.runtime);
+  }
+
+  trace.normalize();
+  trace.window_begin = trace.jobs.empty() ? 0 : trace.jobs.front().submit;
+  trace.window_end = max_end;
+  return trace;
+}
+
+Trace read_swf_file(const std::string& path, const SwfReadOptions& options) {
+  std::ifstream in(path);
+  SBS_CHECK_MSG(in.good(), "cannot open SWF file " << path);
+  Trace t = read_swf(in, options);
+  t.name = path;
+  return t;
+}
+
+void write_swf(std::ostream& out, const Trace& trace) {
+  out << "; SWF export — " << trace.name << "\n";
+  out << "; MaxNodes: " << trace.capacity << "\n";
+  out << "; UnixStartTime: 0\n";
+  for (const auto& j : trace.jobs) {
+    // job submit wait run procs avgcpu mem reqprocs reqtime reqmem status
+    // uid gid exe queue partition prevjob thinktime
+    out << j.id + 1 << ' ' << j.submit << " -1 " << j.runtime << ' '
+        << j.nodes << " -1 -1 " << j.nodes << ' ' << j.requested
+        << " -1 1 " << j.user << " -1 -1 -1 -1 -1 -1\n";
+  }
+}
+
+void write_swf_file(const std::string& path, const Trace& trace) {
+  std::ofstream out(path);
+  SBS_CHECK_MSG(out.good(), "cannot open SWF file for writing " << path);
+  write_swf(out, trace);
+}
+
+}  // namespace sbs

@@ -1,0 +1,40 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "jobs/trace.hpp"
+
+namespace sbs {
+
+/// Standard Workload Format (SWF) I/O, so the harness can run real public
+/// traces (e.g. from the Parallel Workloads Archive) as well as synthetic
+/// ones. Only the fields the simulator needs are interpreted:
+///
+///   field 1  job number          -> Job::id (reassigned on normalize)
+///   field 2  submit time (s)     -> Job::submit
+///   field 4  run time (s)        -> Job::runtime
+///   field 5  allocated procs     -> Job::nodes (fallback: field 8)
+///   field 8  requested procs     -> Job::nodes if field 5 missing (-1)
+///   field 9  requested time (s)  -> Job::requested (fallback: runtime)
+///
+/// Header comments of the form "; MaxNodes: 128" / "; MaxProcs: 256" set
+/// the capacity; `procs_per_node` divides processor counts down to nodes.
+struct SwfReadOptions {
+  int procs_per_node = 1;   ///< e.g. 2 for dual-processor-node systems
+  int default_capacity = 128;  ///< used when the header names no capacity
+  bool skip_invalid = true;    ///< drop jobs with missing runtime/procs
+};
+
+/// Parses an SWF stream. Throws sbs::Error on malformed numeric fields
+/// unless options.skip_invalid is set (then the line is dropped).
+Trace read_swf(std::istream& in, const SwfReadOptions& options = {});
+
+/// Convenience file wrapper; throws sbs::Error if the file cannot be read.
+Trace read_swf_file(const std::string& path, const SwfReadOptions& options = {});
+
+/// Writes a trace in SWF (one line per job, unused fields as -1).
+void write_swf(std::ostream& out, const Trace& trace);
+void write_swf_file(const std::string& path, const Trace& trace);
+
+}  // namespace sbs

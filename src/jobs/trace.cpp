@@ -1,0 +1,71 @@
+#include "jobs/trace.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace sbs {
+
+void Trace::normalize() {
+  std::stable_sort(jobs.begin(), jobs.end(), [](const Job& a, const Job& b) {
+    if (a.submit != b.submit) return a.submit < b.submit;
+    return a.id < b.id;
+  });
+  int next_id = 0;
+  for (auto& j : jobs) j.id = next_id++;
+}
+
+void Trace::validate() const {
+  SBS_CHECK_MSG(capacity > 0, "trace " << name << ": capacity must be > 0");
+  SBS_CHECK_MSG(window_end >= window_begin,
+                "trace " << name << ": inverted metrics window");
+  Time prev = jobs.empty() ? 0 : jobs.front().submit;
+  for (const auto& j : jobs) {
+    SBS_CHECK_MSG(j.runtime > 0, "job " << j.id << ": runtime must be > 0");
+    SBS_CHECK_MSG(j.requested > 0, "job " << j.id << ": requested must be > 0");
+    SBS_CHECK_MSG(j.nodes >= 1 && j.nodes <= capacity,
+                  "job " << j.id << ": nodes " << j.nodes
+                         << " outside [1, " << capacity << "]");
+    SBS_CHECK_MSG(j.submit >= prev, "jobs not sorted by submit time");
+    prev = j.submit;
+  }
+}
+
+std::size_t Trace::in_window_count() const {
+  return static_cast<std::size_t>(
+      std::count_if(jobs.begin(), jobs.end(),
+                    [](const Job& j) { return j.in_window; }));
+}
+
+double Trace::offered_load() const {
+  const double span =
+      static_cast<double>(window_end - window_begin) * capacity;
+  if (span <= 0.0) return 0.0;
+  double demand = 0.0;
+  for (const auto& j : jobs)
+    if (j.in_window) demand += job_demand(j);
+  return demand / span;
+}
+
+Trace rescale_arrivals(const Trace& trace, double factor) {
+  SBS_CHECK_MSG(factor > 0.0, "arrival rescale factor must be > 0");
+  Trace out = trace;
+  auto scale = [factor](Time t) {
+    return static_cast<Time>(std::llround(static_cast<double>(t) * factor));
+  };
+  for (auto& j : out.jobs) j.submit = scale(j.submit);
+  out.window_begin = scale(trace.window_begin);
+  out.window_end = scale(trace.window_end);
+  out.normalize();
+  return out;
+}
+
+Trace rescale_to_load(const Trace& trace, double target) {
+  SBS_CHECK_MSG(target > 0.0, "target load must be > 0");
+  const double current = trace.offered_load();
+  SBS_CHECK_MSG(current > 0.0, "trace has no in-window demand");
+  return rescale_arrivals(trace, current / target);
+}
+
+}  // namespace sbs

@@ -1,0 +1,43 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "jobs/job.hpp"
+
+namespace sbs {
+
+/// A job trace plus the system it targets. Jobs are kept sorted by submit
+/// time (ties by id); `normalize()` restores that invariant after edits.
+struct Trace {
+  std::string name;     ///< e.g. "7/03"
+  int capacity = 128;   ///< number of nodes in the cluster
+  Time window_begin = 0;  ///< metrics window [window_begin, window_end)
+  Time window_end = 0;
+  std::vector<Job> jobs;
+
+  /// Sorts by (submit, id) and reassigns contiguous ids in submit order.
+  void normalize();
+
+  /// Validates invariants (positive runtimes, nodes within capacity,
+  /// sortedness). Throws sbs::Error with a descriptive message.
+  void validate() const;
+
+  /// Number of jobs inside the metrics window.
+  std::size_t in_window_count() const;
+
+  /// Offered load of the in-window jobs over the metrics window:
+  /// sum(N*T) / (capacity * window length).
+  double offered_load() const;
+};
+
+/// Multiplies all submit times by `factor` (shrinking inter-arrival times
+/// when factor < 1), rescaling the metrics window with them. This is the
+/// paper's high-load transformation: runtimes and node counts are
+/// untouched, so offered load scales by 1/factor.
+Trace rescale_arrivals(const Trace& trace, double factor);
+
+/// Convenience: rescale so the in-window offered load becomes `target`.
+Trace rescale_to_load(const Trace& trace, double target);
+
+}  // namespace sbs

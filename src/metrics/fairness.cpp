@@ -1,0 +1,61 @@
+#include "metrics/fairness.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace sbs {
+
+double gini(std::span<const double> values) {
+  if (values.empty()) return 0.0;
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  SBS_CHECK_MSG(sorted.front() >= 0.0, "gini requires non-negative values");
+  double weighted = 0.0, total = 0.0;
+  const double n = static_cast<double>(sorted.size());
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    weighted += static_cast<double>(i + 1) * sorted[i];
+    total += sorted[i];
+  }
+  if (total <= 0.0) return 0.0;
+  return (2.0 * weighted) / (n * total) - (n + 1.0) / n;
+}
+
+double jain_index(std::span<const double> values) {
+  if (values.empty()) return 1.0;
+  double sum = 0.0, sumsq = 0.0;
+  for (double v : values) {
+    sum += v;
+    sumsq += v * v;
+  }
+  if (sumsq <= 0.0) return 1.0;
+  return sum * sum / (static_cast<double>(values.size()) * sumsq);
+}
+
+FairnessSummary fairness_summary(std::span<const JobOutcome> outcomes) {
+  std::vector<double> waits, bslds, excess_bslds;
+  for (const auto& o : outcomes) {
+    if (!o.job.in_window) continue;
+    waits.push_back(static_cast<double>(o.wait()));
+    const double b = bounded_slowdown(o);
+    bslds.push_back(b);
+    excess_bslds.push_back(b - 1.0);  // zero-wait jobs contribute 0
+  }
+  FairnessSummary s;
+  s.gini_wait = gini(waits);
+  s.gini_bsld = gini(excess_bslds);
+  s.jain_bsld = jain_index(bslds);
+  if (!bslds.empty()) {
+    std::sort(bslds.begin(), bslds.end());
+    const std::size_t tail =
+        std::max<std::size_t>(1, bslds.size() / 20);  // worst 5%
+    double sum = 0.0;
+    for (std::size_t i = bslds.size() - tail; i < bslds.size(); ++i)
+      sum += bslds[i];
+    s.tail5_bsld = sum / static_cast<double>(tail);
+  }
+  return s;
+}
+
+}  // namespace sbs

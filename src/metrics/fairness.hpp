@@ -1,0 +1,35 @@
+#pragma once
+
+#include <span>
+
+#include "sim/outcome.hpp"
+
+namespace sbs {
+
+/// Inequality measures over per-job service quality. Figure 5 of the
+/// paper shows *which classes* pay under each policy; these indices
+/// compress that into scalars an operator can track: a policy that buys
+/// its averages by starving a minority scores visibly worse here.
+
+/// Gini coefficient of the per-job values (0 = perfectly equal, ->1 =
+/// concentrated on few jobs). Values must be non-negative; an empty or
+/// all-zero input yields 0.
+double gini(std::span<const double> values);
+
+/// Jain's fairness index: (sum x)^2 / (n * sum x^2); 1 = perfectly fair,
+/// 1/n = maximally unfair. Empty or all-zero input yields 1.
+double jain_index(std::span<const double> values);
+
+/// Fairness summary over in-window jobs of one run.
+struct FairnessSummary {
+  double gini_wait = 0.0;          ///< Gini of wait times
+  double gini_bsld = 0.0;          ///< Gini of (bounded slowdown - 1)
+  double jain_bsld = 0.0;          ///< Jain index of bounded slowdowns
+  /// Average bounded slowdown of the worst-served 5% of jobs — the tail
+  /// the max-wait metric glimpses and averages hide.
+  double tail5_bsld = 0.0;
+};
+
+FairnessSummary fairness_summary(std::span<const JobOutcome> outcomes);
+
+}  // namespace sbs

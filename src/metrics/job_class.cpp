@@ -1,0 +1,61 @@
+#include "metrics/job_class.hpp"
+
+#include <array>
+
+#include "util/error.hpp"
+
+namespace sbs {
+
+std::size_t node_class(int nodes) {
+  SBS_CHECK(nodes >= 1);
+  if (nodes == 1) return 0;
+  if (nodes <= 8) return 1;
+  if (nodes <= 32) return 2;
+  if (nodes <= 64) return 3;
+  return 4;
+}
+
+std::size_t runtime_class(Time runtime) {
+  SBS_CHECK(runtime > 0);
+  if (runtime <= 10 * kMinute) return 0;
+  if (runtime <= kHour) return 1;
+  if (runtime <= 4 * kHour) return 2;
+  if (runtime <= 8 * kHour) return 3;
+  return 4;
+}
+
+const std::string& node_class_label(std::size_t idx) {
+  static const std::array<std::string, JobClassGrid::kNodeClasses> labels = {
+      "N=1", "N=2-8", "N=9-32", "N=33-64", "N=65-128"};
+  SBS_CHECK(idx < labels.size());
+  return labels[idx];
+}
+
+const std::string& runtime_class_label(std::size_t idx) {
+  static const std::array<std::string, JobClassGrid::kRuntimeClasses> labels =
+      {"T<=10m", "T=10m-1h", "T=1h-4h", "T=4h-8h", "T>8h"};
+  SBS_CHECK(idx < labels.size());
+  return labels[idx];
+}
+
+JobClassGrid class_grid(std::span<const JobOutcome> outcomes) {
+  JobClassGrid grid;
+  std::array<std::array<double, JobClassGrid::kRuntimeClasses>,
+             JobClassGrid::kNodeClasses>
+      sum{};
+  for (const auto& o : outcomes) {
+    if (!o.job.in_window) continue;
+    const std::size_t n = node_class(o.job.nodes);
+    const std::size_t r = runtime_class(o.job.runtime);
+    sum[n][r] += to_hours(o.wait());
+    ++grid.count[n][r];
+  }
+  for (std::size_t n = 0; n < JobClassGrid::kNodeClasses; ++n)
+    for (std::size_t r = 0; r < JobClassGrid::kRuntimeClasses; ++r)
+      if (grid.count[n][r])
+        grid.avg_wait_h[n][r] =
+            sum[n][r] / static_cast<double>(grid.count[n][r]);
+  return grid;
+}
+
+}  // namespace sbs

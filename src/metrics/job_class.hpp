@@ -1,0 +1,37 @@
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <span>
+#include <string>
+
+#include "sim/outcome.hpp"
+
+namespace sbs {
+
+/// Figure 5 job classes: 5 node ranges x 5 actual-runtime ranges, matching
+/// the axis ticks of the paper's surface plots (nodes 1 / 8 / 32 / 64 / 128,
+/// runtime 10m / 1h / 4h / 8h / 12h+).
+struct JobClassGrid {
+  static constexpr std::size_t kNodeClasses = 5;
+  static constexpr std::size_t kRuntimeClasses = 5;
+
+  /// Average wait in hours per class; 0 where count is 0.
+  std::array<std::array<double, kRuntimeClasses>, kNodeClasses> avg_wait_h{};
+  std::array<std::array<std::size_t, kRuntimeClasses>, kNodeClasses> count{};
+};
+
+/// Node class index: 0:[1], 1:[2,8], 2:[9,32], 3:[33,64], 4:[65,∞).
+std::size_t node_class(int nodes);
+
+/// Runtime class index: 0:(0,10m], 1:(10m,1h], 2:(1h,4h], 3:(4h,8h], 4:(8h,∞).
+std::size_t runtime_class(Time runtime);
+
+/// Axis labels for tables.
+const std::string& node_class_label(std::size_t idx);
+const std::string& runtime_class_label(std::size_t idx);
+
+/// Builds the per-class average-wait grid over in-window jobs.
+JobClassGrid class_grid(std::span<const JobOutcome> outcomes);
+
+}  // namespace sbs

@@ -1,0 +1,46 @@
+#include "metrics/summary.hpp"
+
+#include <vector>
+
+#include "util/stats.hpp"
+
+namespace sbs {
+
+Summary summarize(std::span<const JobOutcome> outcomes) {
+  Summary s;
+  OnlineStats wait, bsld, turnaround;
+  std::vector<double> waits_h;
+  for (const auto& o : outcomes) {
+    if (!o.job.in_window) continue;
+    wait.add(to_hours(o.wait()));
+    bsld.add(bounded_slowdown(o));
+    turnaround.add(to_hours(o.turnaround()));
+    waits_h.push_back(to_hours(o.wait()));
+  }
+  s.jobs = wait.count();
+  s.avg_wait_h = wait.mean();
+  s.max_wait_h = wait.max();
+  s.p98_wait_h = percentile(std::move(waits_h), 0.98);
+  s.avg_bounded_slowdown = bsld.mean();
+  s.max_bounded_slowdown = bsld.max();
+  s.avg_turnaround_h = turnaround.mean();
+  return s;
+}
+
+ExcessiveWaitStats excessive_stats(std::span<const JobOutcome> outcomes,
+                                   Time threshold) {
+  ExcessiveWaitStats e;
+  OnlineStats excess;
+  for (const auto& o : outcomes) {
+    if (!o.job.in_window) continue;
+    const Time x = excessive_wait(o, threshold);
+    if (x > 0) excess.add(to_hours(x));
+  }
+  e.total_h = excess.sum();
+  e.count = excess.count();
+  e.avg_h = excess.mean();
+  e.max_h = excess.max();
+  return e;
+}
+
+}  // namespace sbs

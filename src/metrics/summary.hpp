@@ -1,0 +1,40 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "sim/outcome.hpp"
+
+namespace sbs {
+
+/// Aggregate performance measures over the in-window jobs of one run —
+/// the measures the paper plots per month.
+struct Summary {
+  std::size_t jobs = 0;
+  double avg_wait_h = 0.0;
+  double max_wait_h = 0.0;
+  double p98_wait_h = 0.0;          ///< 98th-percentile wait
+  double avg_bounded_slowdown = 0.0;
+  double max_bounded_slowdown = 0.0;
+  double avg_turnaround_h = 0.0;
+};
+
+/// Normalized excessive-wait statistics w.r.t. one threshold (the paper's
+/// E^max_fcfs-bf and E^98%_fcfs-bf when the threshold comes from the
+/// month's FCFS-backfill run).
+struct ExcessiveWaitStats {
+  double total_h = 0.0;  ///< sum of per-job excess, hours
+  std::size_t count = 0; ///< jobs with positive excess
+  double avg_h = 0.0;    ///< average excess among those jobs
+  double max_h = 0.0;    ///< largest per-job excess
+};
+
+/// Computes the summary over outcomes with job.in_window set (the paper
+/// evaluates only jobs submitted inside the month).
+Summary summarize(std::span<const JobOutcome> outcomes);
+
+/// Excessive-wait statistics w.r.t. `threshold` over in-window jobs.
+ExcessiveWaitStats excessive_stats(std::span<const JobOutcome> outcomes,
+                                   Time threshold);
+
+}  // namespace sbs

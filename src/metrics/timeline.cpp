@@ -1,0 +1,104 @@
+#include "metrics/timeline.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "util/error.hpp"
+
+namespace sbs {
+
+namespace {
+
+std::vector<TimelinePoint> accumulate_deltas(const std::map<Time, int>& delta) {
+  std::vector<TimelinePoint> timeline;
+  timeline.reserve(delta.size());
+  int level = 0;
+  for (const auto& [t, d] : delta) {
+    level += d;
+    if (!timeline.empty() && timeline.back().time == t)
+      timeline.back().value = level;
+    else
+      timeline.push_back(TimelinePoint{t, level});
+  }
+  return timeline;
+}
+
+}  // namespace
+
+std::vector<TimelinePoint> utilization_timeline(
+    std::span<const JobOutcome> outcomes) {
+  std::map<Time, int> delta;
+  for (const auto& o : outcomes) {
+    delta[o.start] += o.job.nodes;
+    delta[o.end] -= o.job.nodes;
+  }
+  return accumulate_deltas(delta);
+}
+
+std::vector<TimelinePoint> queue_timeline(
+    std::span<const JobOutcome> outcomes) {
+  std::map<Time, int> delta;
+  for (const auto& o : outcomes) {
+    if (o.start <= o.job.submit) continue;  // never queued
+    delta[o.job.submit] += 1;
+    delta[o.start] -= 1;
+  }
+  return accumulate_deltas(delta);
+}
+
+double timeline_average(std::span<const TimelinePoint> timeline, Time begin,
+                        Time end) {
+  SBS_CHECK(end > begin);
+  double area = 0.0;
+  int level = 0;
+  Time cursor = begin;
+  for (const auto& p : timeline) {
+    if (p.time <= begin) {
+      level = p.value;
+      continue;
+    }
+    if (p.time >= end) break;
+    area += static_cast<double>(level) * static_cast<double>(p.time - cursor);
+    level = p.value;
+    cursor = p.time;
+  }
+  area += static_cast<double>(level) * static_cast<double>(end - cursor);
+  return area / static_cast<double>(end - begin);
+}
+
+int timeline_peak(std::span<const TimelinePoint> timeline, Time begin,
+                  Time end) {
+  int peak = 0;
+  int level = 0;
+  for (const auto& p : timeline) {
+    if (p.time <= begin) {
+      level = p.value;
+      continue;
+    }
+    if (p.time >= end) break;
+    peak = std::max(peak, level);
+    level = p.value;
+  }
+  // Account for the level active entering the window and at its end.
+  peak = std::max(peak, level);
+  return peak;
+}
+
+double average_utilization(std::span<const JobOutcome> outcomes, int capacity,
+                           Time begin, Time end) {
+  SBS_CHECK(capacity > 0);
+  const auto timeline = utilization_timeline(outcomes);
+  return timeline_average(timeline, begin, end) / capacity;
+}
+
+std::vector<double> daily_utilization(std::span<const JobOutcome> outcomes,
+                                      int capacity, Time begin, Time end) {
+  SBS_CHECK(capacity > 0);
+  const auto timeline = utilization_timeline(outcomes);
+  std::vector<double> days;
+  for (Time t = begin; t + kDay <= end; t += kDay)
+    days.push_back(timeline_average(timeline, t, t + kDay) / capacity);
+  return days;
+}
+
+}  // namespace sbs

@@ -1,0 +1,46 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "sim/outcome.hpp"
+
+namespace sbs {
+
+/// Post-run timeline analyses: machine utilization and queue depth as step
+/// functions reconstructed from the job outcomes. These power the
+/// utilization example and give operators the Gantt-level view the
+/// aggregate metrics hide.
+
+/// One step of a piecewise-constant integer signal: `value` holds from
+/// `time` until the next point.
+struct TimelinePoint {
+  Time time;
+  int value;
+};
+
+/// Busy-node count over time (every change point). Includes out-of-window
+/// jobs — they occupy the machine all the same.
+std::vector<TimelinePoint> utilization_timeline(
+    std::span<const JobOutcome> outcomes);
+
+/// Queued-job count over time (submit -> start intervals).
+std::vector<TimelinePoint> queue_timeline(std::span<const JobOutcome> outcomes);
+
+/// Time-average of a step signal over [begin, end).
+double timeline_average(std::span<const TimelinePoint> timeline, Time begin,
+                        Time end);
+
+/// Peak value of a step signal within [begin, end).
+int timeline_peak(std::span<const TimelinePoint> timeline, Time begin,
+                  Time end);
+
+/// Average utilization (busy / capacity) over [begin, end).
+double average_utilization(std::span<const JobOutcome> outcomes, int capacity,
+                           Time begin, Time end);
+
+/// Per-day utilization over [begin, end), one entry per whole day.
+std::vector<double> daily_utilization(std::span<const JobOutcome> outcomes,
+                                      int capacity, Time begin, Time end);
+
+}  // namespace sbs

@@ -1,0 +1,88 @@
+#include "metrics/trace_mix.hpp"
+
+#include <array>
+
+#include "util/error.hpp"
+
+namespace sbs {
+
+std::size_t mix_range(int nodes) {
+  SBS_CHECK(nodes >= 1);
+  if (nodes == 1) return 0;
+  if (nodes == 2) return 1;
+  if (nodes <= 4) return 2;
+  if (nodes <= 8) return 3;
+  if (nodes <= 16) return 4;
+  if (nodes <= 32) return 5;
+  if (nodes <= 64) return 6;
+  return 7;
+}
+
+const std::string& mix_range_label(std::size_t idx) {
+  static const std::array<std::string, kMixRanges> labels = {
+      "1", "2", "3-4", "5-8", "9-16", "17-32", "33-64", "65-128"};
+  SBS_CHECK(idx < labels.size());
+  return labels[idx];
+}
+
+TraceMix trace_mix(const Trace& trace) {
+  TraceMix mix;
+  std::array<double, kMixRanges> demand{};
+  double total_demand = 0.0;
+  for (const auto& j : trace.jobs) {
+    if (!j.in_window) continue;
+    const std::size_t r = mix_range(j.nodes);
+    mix.job_fraction[r] += 1.0;
+    demand[r] += job_demand(j);
+    total_demand += job_demand(j);
+    ++mix.total_jobs;
+  }
+  mix.offered_load = trace.offered_load();
+  if (mix.total_jobs > 0) {
+    for (auto& f : mix.job_fraction) f /= static_cast<double>(mix.total_jobs);
+  }
+  if (total_demand > 0.0) {
+    for (std::size_t r = 0; r < kMixRanges; ++r)
+      mix.demand_fraction[r] = demand[r] / total_demand;
+  }
+  return mix;
+}
+
+std::size_t runtime_mix_class(int nodes) {
+  SBS_CHECK(nodes >= 1);
+  if (nodes == 1) return 0;
+  if (nodes == 2) return 1;
+  if (nodes <= 8) return 2;
+  if (nodes <= 32) return 3;
+  return 4;
+}
+
+const std::string& runtime_mix_class_label(std::size_t idx) {
+  static const std::array<std::string, RuntimeMix::kClasses> labels = {
+      "1", "2", "3-8", "9-32", "33-128"};
+  SBS_CHECK(idx < labels.size());
+  return labels[idx];
+}
+
+RuntimeMix runtime_mix(const Trace& trace) {
+  RuntimeMix mix;
+  std::size_t total = 0;
+  for (const auto& j : trace.jobs) {
+    if (!j.in_window) continue;
+    ++total;
+    const std::size_t c = runtime_mix_class(j.nodes);
+    if (j.runtime <= kHour) mix.short_fraction[c] += 1.0;
+    if (j.runtime > 5 * kHour) mix.long_fraction[c] += 1.0;
+  }
+  if (total > 0) {
+    for (std::size_t c = 0; c < RuntimeMix::kClasses; ++c) {
+      mix.short_fraction[c] /= static_cast<double>(total);
+      mix.long_fraction[c] /= static_cast<double>(total);
+      mix.short_total += mix.short_fraction[c];
+      mix.long_total += mix.long_fraction[c];
+    }
+  }
+  return mix;
+}
+
+}  // namespace sbs

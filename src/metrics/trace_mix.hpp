@@ -1,0 +1,49 @@
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <string>
+
+#include "jobs/trace.hpp"
+
+namespace sbs {
+
+/// Table 3 node ranges: 1, 2, 3-4, 5-8, 9-16, 17-32, 33-64, 65-128.
+inline constexpr std::size_t kMixRanges = 8;
+
+/// Index of the Table 3 node range containing `nodes`.
+std::size_t mix_range(int nodes);
+
+/// Label of a Table 3 node range ("3-4", ...).
+const std::string& mix_range_label(std::size_t idx);
+
+/// Job-mix statistics of a trace, mirroring Table 3 of the paper:
+/// per-node-range shares of job count and of processor demand, plus the
+/// month totals. Computed over in-window jobs only.
+struct TraceMix {
+  std::size_t total_jobs = 0;
+  double offered_load = 0.0;  ///< sum(N*T) / (capacity * window)
+  std::array<double, kMixRanges> job_fraction{};     ///< sums to ~1
+  std::array<double, kMixRanges> demand_fraction{};  ///< sums to ~1
+};
+
+TraceMix trace_mix(const Trace& trace);
+
+/// Table 4 runtime-distribution statistics: fraction of all in-window jobs
+/// in each (coarse node class, runtime band) cell, for the bands T <= 1h
+/// and T > 5h, over the node classes 1 / 2 / 3-8 / 9-32 / 33-128.
+struct RuntimeMix {
+  static constexpr std::size_t kClasses = 5;
+  std::array<double, kClasses> short_fraction{};  ///< T <= 1 hour
+  std::array<double, kClasses> long_fraction{};   ///< T > 5 hours
+  double short_total = 0.0;
+  double long_total = 0.0;
+};
+
+/// Coarse node class of Table 4: 0:[1], 1:[2], 2:[3,8], 3:[9,32], 4:[33,∞).
+std::size_t runtime_mix_class(int nodes);
+const std::string& runtime_mix_class_label(std::size_t idx);
+
+RuntimeMix runtime_mix(const Trace& trace);
+
+}  // namespace sbs

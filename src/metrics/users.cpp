@@ -1,0 +1,48 @@
+#include "metrics/users.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace sbs {
+
+std::vector<UserSummary> per_user_summary(
+    std::span<const JobOutcome> outcomes) {
+  std::map<int, UserSummary> by_user;
+  for (const auto& o : outcomes) {
+    if (!o.job.in_window) continue;
+    UserSummary& s = by_user[o.job.user];
+    s.user = o.job.user;
+    ++s.jobs;
+    s.avg_wait_h += to_hours(o.wait());
+    s.avg_bsld += bounded_slowdown(o);
+    s.demand_node_h += job_demand(o.job) / kHour;
+  }
+  std::vector<UserSummary> result;
+  result.reserve(by_user.size());
+  for (auto& [user, s] : by_user) {
+    s.avg_wait_h /= static_cast<double>(s.jobs);
+    s.avg_bsld /= static_cast<double>(s.jobs);
+    result.push_back(s);
+  }
+  return result;
+}
+
+double user_service_spread(std::span<const JobOutcome> outcomes,
+                           std::size_t min_jobs) {
+  double best = 0.0, worst = 0.0;
+  bool any = false;
+  for (const UserSummary& s : per_user_summary(outcomes)) {
+    if (s.jobs < min_jobs) continue;
+    if (!any) {
+      best = worst = s.avg_bsld;
+      any = true;
+    } else {
+      best = std::min(best, s.avg_bsld);
+      worst = std::max(worst, s.avg_bsld);
+    }
+  }
+  if (!any || best <= 0.0) return 1.0;
+  return worst / best;
+}
+
+}  // namespace sbs

@@ -1,0 +1,30 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "sim/outcome.hpp"
+
+namespace sbs {
+
+/// Per-user service statistics, for the fair-share experiments: who got
+/// which quality of service, and how uneven the spread is across users.
+struct UserSummary {
+  int user = 0;
+  std::size_t jobs = 0;
+  double avg_wait_h = 0.0;
+  double avg_bsld = 0.0;
+  double demand_node_h = 0.0;  ///< consumed node-hours (actual runtimes)
+};
+
+/// One row per user (ascending user id), over in-window jobs.
+std::vector<UserSummary> per_user_summary(
+    std::span<const JobOutcome> outcomes);
+
+/// Inter-user service spread: the ratio of the worst to the best per-user
+/// average bounded slowdown among users with at least `min_jobs` jobs.
+/// 1 = perfectly even; returns 1 when fewer than two users qualify.
+double user_service_spread(std::span<const JobOutcome> outcomes,
+                           std::size_t min_jobs = 5);
+
+}  // namespace sbs

@@ -1,0 +1,39 @@
+#pragma once
+
+#include "policies/priority.hpp"
+#include "sim/scheduler.hpp"
+
+namespace sbs {
+
+/// Priority backfill (paper §3.2): jobs are considered in priority order;
+/// the first `reservations` jobs that cannot start immediately receive a
+/// scheduled start time (a reservation in the availability profile); every
+/// other job may backfill — start now — only if doing so does not delay
+/// any reservation. With FCFS priority and reservations == 1 this is the
+/// classic EASY backfill; the paper uses exactly one reservation for both
+/// FCFS-backfill and LXF-backfill.
+/// Reservation count meaning "every queued job" — conservative backfill:
+/// a job may start early only if it delays nobody's projected start.
+inline constexpr int kConservativeReservations = 1 << 20;
+
+struct BackfillConfig {
+  PriorityKind priority = PriorityKind::Fcfs;
+  int reservations = 1;       ///< number of priority jobs given start times
+                              ///  (kConservativeReservations = all of them)
+  double wait_weight = 0.02;  ///< LXF&W wait coefficient (1/hours)
+};
+
+class BackfillScheduler final : public Scheduler {
+ public:
+  explicit BackfillScheduler(BackfillConfig config = {});
+
+  std::vector<int> select_jobs(const SchedulerState& state) override;
+  std::string name() const override;
+  SchedulerStats stats() const override { return stats_; }
+
+ private:
+  BackfillConfig config_;
+  SchedulerStats stats_;
+};
+
+}  // namespace sbs

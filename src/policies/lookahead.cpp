@@ -1,0 +1,117 @@
+#include "policies/lookahead.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace sbs {
+
+LookaheadScheduler::LookaheadScheduler(LookaheadConfig config)
+    : config_(config) {
+  SBS_CHECK(config_.max_candidates >= 1 && config_.max_candidates <= 64);
+}
+
+std::vector<int> LookaheadScheduler::select_jobs(const SchedulerState& state) {
+  ++stats_.decisions;
+  std::vector<int> started;
+  if (state.waiting.empty()) return started;
+
+  ResourceProfile profile =
+      profile_from_running(state.capacity, state.now, state.running);
+
+  // The waiting span is already in FCFS order. Start the FCFS prefix.
+  std::size_t head = 0;
+  while (head < state.waiting.size()) {
+    const WaitingJob& w = state.waiting[head];
+    const Time est = std::max<Time>(w.estimate, 1);
+    if (profile.earliest_start(state.now, w.job->nodes, est) != state.now)
+      break;
+    profile.reserve(state.now, w.job->nodes, est);
+    started.push_back(w.job->id);
+    ++head;
+  }
+  if (head >= state.waiting.size()) return started;
+
+  // Reservation for the head job at its shadow time.
+  const WaitingJob& h = state.waiting[head];
+  const Time head_est = std::max<Time>(h.estimate, 1);
+  const Time shadow =
+      profile.earliest_start(state.now, h.job->nodes, head_est);
+  const int extra = profile.free_at(shadow) - h.job->nodes;
+  profile.reserve(shadow, h.job->nodes, head_est);
+  const int free_now = profile.free_at(state.now);
+  if (free_now <= 0) return started;
+
+  // Candidates: remaining jobs that individually fit the two constraints.
+  struct Candidate {
+    int id;
+    int nodes;
+    bool crosses;  // estimated end crosses the shadow time
+  };
+  std::vector<Candidate> cand;
+  for (std::size_t i = head + 1;
+       i < state.waiting.size() && cand.size() < config_.max_candidates; ++i) {
+    const WaitingJob& w = state.waiting[i];
+    const Time est = std::max<Time>(w.estimate, 1);
+    const bool crosses = state.now + est > shadow;
+    if (w.job->nodes > free_now) continue;
+    if (crosses && w.job->nodes > extra) continue;
+    cand.push_back(Candidate{w.job->id, w.job->nodes, crosses});
+  }
+  if (cand.empty()) return started;
+
+  // 2D subset-selection DP maximizing nodes in use now:
+  //   a = total nodes of chosen jobs (<= free_now)
+  //   b = nodes of chosen jobs crossing the shadow time (<= extra)
+  const int F = free_now;
+  const int E = std::max(0, std::min(extra, free_now));
+  const std::size_t cells = static_cast<std::size_t>(F + 1) * (E + 1);
+  std::vector<std::uint64_t> mask(cells, 0);
+  std::vector<char> reach(cells, 0);
+  auto at = [&](int a, int b) { return static_cast<std::size_t>(a) * (E + 1) + b; };
+  reach[at(0, 0)] = 1;
+
+  for (std::size_t c = 0; c < cand.size(); ++c) {
+    const int n = cand[c].nodes;
+    const int eb = cand[c].crosses ? n : 0;
+    for (int a = F - n; a >= 0; --a) {
+      for (int b = E - eb; b >= 0; --b) {
+        if (!reach[at(a, b)]) continue;
+        const std::size_t to = at(a + n, b + eb);
+        if (!reach[to]) {
+          reach[to] = 1;
+          mask[to] = mask[at(a, b)] | (std::uint64_t{1} << c);
+        }
+      }
+    }
+  }
+
+  int best_a = 0, best_b = 0;
+  for (int a = F; a >= 0 && best_a == 0; --a)
+    for (int b = 0; b <= E; ++b)
+      if (reach[at(a, b)]) {
+        best_a = a;
+        best_b = b;
+        break;
+      }
+  if (best_a == 0) return started;
+
+  const std::uint64_t chosen = mask[at(best_a, best_b)];
+  for (std::size_t c = 0; c < cand.size(); ++c) {
+    if (!(chosen >> c & 1)) continue;
+    // The two-constraint argument guarantees the set fits; keep a defensive
+    // check so an inconsistency surfaces as a skipped job, not a crash.
+    auto it = std::find_if(
+        state.waiting.begin(), state.waiting.end(),
+        [&](const WaitingJob& w) { return w.job->id == cand[c].id; });
+    const Time est = std::max<Time>(it->estimate, 1);
+    if (!profile.fits(state.now, it->job->nodes, est)) continue;
+    profile.reserve(state.now, it->job->nodes, est);
+    started.push_back(cand[c].id);
+  }
+  return started;
+}
+
+}  // namespace sbs

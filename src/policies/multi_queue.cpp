@@ -1,0 +1,71 @@
+#include "policies/multi_queue.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/error.hpp"
+
+namespace sbs {
+
+MultiQueueScheduler::MultiQueueScheduler(MultiQueueConfig config)
+    : config_(std::move(config)) {
+  SBS_CHECK(config_.reservations >= 0);
+  SBS_CHECK(std::is_sorted(config_.queue_bounds.begin(),
+                           config_.queue_bounds.end()));
+}
+
+std::size_t MultiQueueScheduler::queue_of(Time estimate) const {
+  for (std::size_t q = 0; q < config_.queue_bounds.size(); ++q)
+    if (estimate <= config_.queue_bounds[q]) return q;
+  return config_.queue_bounds.size();
+}
+
+std::vector<int> MultiQueueScheduler::select_jobs(const SchedulerState& state) {
+  ++stats_.decisions;
+  std::vector<int> started;
+  if (state.waiting.empty()) return started;
+
+  // Sort by (queue, submit); aged jobs jump to queue 0.
+  std::vector<std::size_t> order(state.waiting.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::vector<std::size_t> queue(state.waiting.size());
+  for (std::size_t i = 0; i < state.waiting.size(); ++i) {
+    const WaitingJob& w = state.waiting[i];
+    queue[i] = queue_of(std::max<Time>(w.estimate, 1));
+    if (config_.aging_limit > 0 &&
+        state.now - w.job->submit >= config_.aging_limit)
+      queue[i] = 0;
+  }
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     if (queue[a] != queue[b]) return queue[a] < queue[b];
+                     return state.waiting[a].job->submit <
+                            state.waiting[b].job->submit;
+                   });
+
+  ResourceProfile profile =
+      profile_from_running(state.capacity, state.now, state.running);
+  int reservations_made = 0;
+  for (std::size_t idx : order) {
+    const WaitingJob& w = state.waiting[idx];
+    const Time est = std::max<Time>(w.estimate, 1);
+    const Time t = profile.earliest_start(state.now, w.job->nodes, est);
+    if (t == state.now) {
+      profile.reserve(t, w.job->nodes, est);
+      started.push_back(w.job->id);
+    } else if (reservations_made < config_.reservations) {
+      profile.reserve(t, w.job->nodes, est);
+      ++reservations_made;
+    }
+  }
+  return started;
+}
+
+std::string MultiQueueScheduler::name() const {
+  std::string n = "MultiQueue(" +
+                  std::to_string(config_.queue_bounds.size() + 1) + "q";
+  if (config_.aging_limit > 0) n += ",aged";
+  return n + ")";
+}
+
+}  // namespace sbs

@@ -1,0 +1,44 @@
+#pragma once
+
+#include <vector>
+
+#include "sim/scheduler.hpp"
+
+namespace sbs {
+
+/// Queue-based priority scheduling (paper §1): "Under queue-based
+/// priority schedulers (e.g., PBS, LSF), the administrators can give
+/// higher priority to certain queues (e.g., short jobs). However, jobs in
+/// low-priority queues may starve." Jobs are routed by estimated runtime
+/// into queues; queues are served in strict priority order (all of queue
+/// 0 before any of queue 1, FCFS within a queue), with backfill below the
+/// protected head job. An optional aging escape hatch promotes jobs whose
+/// wait exceeds a limit, which is exactly the kind of manual knob the
+/// paper's goal-oriented approach replaces.
+struct MultiQueueConfig {
+  /// Upper estimated-runtime bound of each queue except the last (which
+  /// is unbounded). Defaults to short (<= 1 h) / medium (<= 5 h) / long.
+  std::vector<Time> queue_bounds = {kHour, 5 * kHour};
+  int reservations = 1;
+  /// Wait beyond which a job is promoted to the top queue; 0 disables
+  /// aging (the starvation-prone textbook configuration).
+  Time aging_limit = 0;
+};
+
+class MultiQueueScheduler final : public Scheduler {
+ public:
+  explicit MultiQueueScheduler(MultiQueueConfig config = {});
+
+  std::vector<int> select_jobs(const SchedulerState& state) override;
+  std::string name() const override;
+  SchedulerStats stats() const override { return stats_; }
+
+  /// Queue index a job with this estimate lands in (0 = highest priority).
+  std::size_t queue_of(Time estimate) const;
+
+ private:
+  MultiQueueConfig config_;
+  SchedulerStats stats_;
+};
+
+}  // namespace sbs

@@ -1,0 +1,56 @@
+#include "policies/priority.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/error.hpp"
+
+namespace sbs {
+
+std::string priority_name(PriorityKind kind) {
+  switch (kind) {
+    case PriorityKind::Fcfs: return "FCFS";
+    case PriorityKind::Lxf: return "LXF";
+    case PriorityKind::Sjf: return "SJF";
+    case PriorityKind::LxfWait: return "LXF&W";
+  }
+  throw Error("unknown priority kind");
+}
+
+double current_slowdown(const WaitingJob& w, Time now) {
+  const double est =
+      static_cast<double>(std::max<Time>(w.estimate, kMinute));
+  const double wait = static_cast<double>(now - w.job->submit);
+  return (wait + est) / est;
+}
+
+double priority_key(PriorityKind kind, const WaitingJob& w, Time now,
+                    double wait_weight) {
+  switch (kind) {
+    case PriorityKind::Fcfs:
+      return static_cast<double>(w.job->submit);
+    case PriorityKind::Lxf:
+      return -current_slowdown(w, now);
+    case PriorityKind::Sjf:
+      return static_cast<double>(w.estimate);
+    case PriorityKind::LxfWait:
+      return -(current_slowdown(w, now) +
+               wait_weight * to_hours(now - w.job->submit));
+  }
+  throw Error("unknown priority kind");
+}
+
+std::vector<std::size_t> priority_order(PriorityKind kind,
+                                        std::span<const WaitingJob> waiting,
+                                        Time now, double wait_weight) {
+  std::vector<std::size_t> order(waiting.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::vector<double> keys(waiting.size());
+  for (std::size_t i = 0; i < waiting.size(); ++i)
+    keys[i] = priority_key(kind, waiting[i], now, wait_weight);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) { return keys[a] < keys[b]; });
+  return order;
+}
+
+}  // namespace sbs

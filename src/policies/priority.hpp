@@ -1,0 +1,35 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/scheduler.hpp"
+
+namespace sbs {
+
+/// Job priority functions used by the backfill family (paper §3.2).
+enum class PriorityKind {
+  Fcfs,     ///< first come, first served
+  Lxf,      ///< largest current (bounded) slowdown first
+  Sjf,      ///< shortest estimated runtime first
+  LxfWait,  ///< LXF plus a small weight on current wait ("LXF&W")
+};
+
+std::string priority_name(PriorityKind kind);
+
+/// Current bounded slowdown of a waiting job at time `now`:
+/// (wait + max(estimate, 1 min)) / max(estimate, 1 min).
+double current_slowdown(const WaitingJob& w, Time now);
+
+/// Sort key — SMALLER key means HIGHER priority (scheduled earlier).
+/// `wait_weight` is the LXF&W wait coefficient in 1/hours.
+double priority_key(PriorityKind kind, const WaitingJob& w, Time now,
+                    double wait_weight = 0.02);
+
+/// Indices of `waiting` sorted by decreasing priority (stable: ties keep
+/// FCFS order since the simulator hands the queue in submit order).
+std::vector<std::size_t> priority_order(PriorityKind kind,
+                                        std::span<const WaitingJob> waiting,
+                                        Time now, double wait_weight = 0.02);
+
+}  // namespace sbs

@@ -1,0 +1,47 @@
+#include "policies/selective.hpp"
+
+#include <algorithm>
+
+#include "policies/priority.hpp"
+#include "util/error.hpp"
+
+namespace sbs {
+
+SelectiveBackfillScheduler::SelectiveBackfillScheduler(SelectiveConfig config)
+    : config_(config) {}
+
+double SelectiveBackfillScheduler::current_threshold() const {
+  if (config_.threshold > 0.0) return config_.threshold;
+  if (started_jobs_ == 0) return config_.min_threshold;
+  return std::max(config_.min_threshold,
+                  xfactor_sum_ / static_cast<double>(started_jobs_));
+}
+
+std::vector<int> SelectiveBackfillScheduler::select_jobs(
+    const SchedulerState& state) {
+  ++stats_.decisions;
+  std::vector<int> started;
+  if (state.waiting.empty()) return started;
+
+  ResourceProfile profile =
+      profile_from_running(state.capacity, state.now, state.running);
+  const double threshold = current_threshold();
+
+  // FCFS consideration order; reservation only for starved jobs.
+  for (const WaitingJob& w : state.waiting) {
+    const Time est = std::max<Time>(w.estimate, 1);
+    const Time t = profile.earliest_start(state.now, w.job->nodes, est);
+    const double xf = current_slowdown(w, state.now);
+    if (t == state.now) {
+      profile.reserve(t, w.job->nodes, est);
+      started.push_back(w.job->id);
+      xfactor_sum_ += xf;
+      ++started_jobs_;
+    } else if (xf >= threshold) {
+      profile.reserve(t, w.job->nodes, est);
+    }
+  }
+  return started;
+}
+
+}  // namespace sbs

@@ -1,0 +1,40 @@
+#pragma once
+
+#include "sim/scheduler.hpp"
+
+namespace sbs {
+
+/// Selective-backfill [Srinivasan et al., JSSPP 2002]: jobs are considered
+/// in FCFS order, but only jobs whose expansion factor
+/// (wait + estimate) / estimate has crossed a starvation threshold receive
+/// reservations; everything else backfills freely. With an adaptive
+/// threshold (the running average expansion factor of started jobs) the
+/// policy tracks queue pressure, which is why the paper found it to behave
+/// like LXF-backfill.
+struct SelectiveConfig {
+  /// Fixed expansion-factor threshold; <= 0 selects the adaptive threshold.
+  double threshold = 0.0;
+  /// Adaptive threshold floor — avoids giving every job a reservation in
+  /// an empty system.
+  double min_threshold = 1.5;
+};
+
+class SelectiveBackfillScheduler final : public Scheduler {
+ public:
+  explicit SelectiveBackfillScheduler(SelectiveConfig config = {});
+
+  std::vector<int> select_jobs(const SchedulerState& state) override;
+  std::string name() const override { return "Selective-backfill"; }
+  SchedulerStats stats() const override { return stats_; }
+
+  double current_threshold() const;
+
+ private:
+  SelectiveConfig config_;
+  SchedulerStats stats_;
+  // Running mean of the expansion factor observed at job start times.
+  double xfactor_sum_ = 0.0;
+  std::size_t started_jobs_ = 0;
+};
+
+}  // namespace sbs

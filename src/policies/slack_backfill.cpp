@@ -1,0 +1,109 @@
+#include "policies/slack_backfill.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace sbs {
+
+SlackBackfillScheduler::SlackBackfillScheduler(SlackBackfillConfig config)
+    : config_(config) {
+  SBS_CHECK(config_.slack_factor >= 0.0);
+  SBS_CHECK(config_.min_slack >= 0);
+  SBS_CHECK(config_.max_protected >= 1);
+}
+
+Time SlackBackfillScheduler::deadline_of(int job_id) const {
+  auto it = deadline_.find(job_id);
+  return it == deadline_.end() ? 0 : it->second;
+}
+
+std::vector<int> SlackBackfillScheduler::select_jobs(
+    const SchedulerState& state) {
+  ++stats_.decisions;
+  std::vector<int> started;
+  if (state.waiting.empty()) return started;
+
+  ResourceProfile profile =
+      profile_from_running(state.capacity, state.now, state.running);
+
+  // Promise deadlines to newly seen jobs from the current FCFS projection,
+  // and drop stale entries of jobs that already left the queue.
+  {
+    ResourceProfile projection = profile;
+    std::unordered_map<int, Time> fresh;
+    for (const WaitingJob& w : state.waiting) {
+      const Time est = std::max<Time>(w.estimate, 1);
+      const Time t = projection.earliest_start(state.now, w.job->nodes, est);
+      projection.reserve(t, w.job->nodes, est);
+      auto it = deadline_.find(w.job->id);
+      if (it != deadline_.end()) {
+        fresh.emplace(w.job->id, it->second);
+      } else {
+        const Time slack = std::max<Time>(
+            config_.min_slack,
+            static_cast<Time>(std::llround(
+                config_.slack_factor * static_cast<double>(est))));
+        fresh.emplace(w.job->id, t + slack);
+      }
+    }
+    deadline_ = std::move(fresh);
+  }
+
+  // Greedy deadline-protected packing: start any job that fits now unless
+  // doing so pushes a protected job past its promise. "Past its promise"
+  // is judged against a baseline FCFS projection from the same profile —
+  // a promise the backlog has already made unmeetable cannot veto
+  // progress (otherwise an idle machine could stall), only additional
+  // delay caused by the candidate can.
+  std::vector<char> taken(state.waiting.size(), 0);
+  const std::size_t horizon =
+      std::min(config_.max_protected, state.waiting.size());
+
+  auto project = [&](const ResourceProfile& from, std::size_t skip,
+                     std::vector<Time>& starts) {
+    ResourceProfile projection = from;
+    starts.assign(horizon, 0);
+    for (std::size_t j = 0; j < horizon; ++j) {
+      if (j == skip || taken[j]) continue;
+      const WaitingJob& other = state.waiting[j];
+      const Time oest = std::max<Time>(other.estimate, 1);
+      const Time t =
+          projection.earliest_start(state.now, other.job->nodes, oest);
+      projection.reserve(t, other.job->nodes, oest);
+      starts[j] = t;
+    }
+  };
+
+  std::vector<Time> baseline, with_candidate;
+  project(profile, state.waiting.size(), baseline);
+
+  for (std::size_t i = 0; i < state.waiting.size(); ++i) {
+    const WaitingJob& w = state.waiting[i];
+    const Time est = std::max<Time>(w.estimate, 1);
+    if (!profile.fits(state.now, w.job->nodes, est)) continue;
+
+    ResourceProfile candidate = profile;
+    candidate.reserve(state.now, w.job->nodes, est);
+    project(candidate, i, with_candidate);
+
+    bool ok = true;
+    for (std::size_t j = 0; j < horizon && ok; ++j) {
+      if (j == i || taken[j]) continue;
+      const Time allowed =
+          std::max(deadline_.at(state.waiting[j].job->id), baseline[j]);
+      if (with_candidate[j] > allowed) ok = false;
+    }
+    if (!ok) continue;
+
+    profile = std::move(candidate);
+    taken[i] = 1;
+    started.push_back(w.job->id);
+    deadline_.erase(w.job->id);
+    project(profile, state.waiting.size(), baseline);
+  }
+  return started;
+}
+
+}  // namespace sbs

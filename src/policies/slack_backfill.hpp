@@ -1,0 +1,45 @@
+#pragma once
+
+#include <unordered_map>
+
+#include "sim/scheduler.hpp"
+
+namespace sbs {
+
+/// Slack-based backfill [Talby & Feitelson, IPPS 1999] (paper §3.2): when
+/// a job first joins the queue it is promised a start time — its earliest
+/// start under the then-current FCFS projection — plus a slack allowance.
+/// Any job may backfill, in any order, as long as no waiting job's
+/// projected start is pushed past its promise + slack. Slack trades
+/// utilization (more backfilling) against guarantees (bounded delay):
+/// slack 0 is conservative backfill, large slack approaches aggressive
+/// EASY.
+struct SlackBackfillConfig {
+  /// Slack given to each job, as a multiple of its runtime estimate.
+  double slack_factor = 1.0;
+  /// Lower bound on the slack so short jobs are not promised the moon.
+  Time min_slack = kHour;
+  /// Deadline re-verification is limited to the first `max_protected`
+  /// queued jobs (FCFS order) to bound the per-event cost; jobs beyond
+  /// the horizon are protected the next time they move up.
+  std::size_t max_protected = 64;
+};
+
+class SlackBackfillScheduler final : public Scheduler {
+ public:
+  explicit SlackBackfillScheduler(SlackBackfillConfig config = {});
+
+  std::vector<int> select_jobs(const SchedulerState& state) override;
+  std::string name() const override { return "Slack-backfill"; }
+  SchedulerStats stats() const override { return stats_; }
+
+  /// Deadline promised to a queued job; 0 if the job is unknown (tests).
+  Time deadline_of(int job_id) const;
+
+ private:
+  SlackBackfillConfig config_;
+  SchedulerStats stats_;
+  std::unordered_map<int, Time> deadline_;  ///< job id -> latest start
+};
+
+}  // namespace sbs

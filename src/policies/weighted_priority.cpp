@@ -1,0 +1,70 @@
+#include "policies/weighted_priority.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace sbs {
+
+WeightedPriorityScheduler::WeightedPriorityScheduler(
+    WeightedPriorityConfig config)
+    : config_(config) {
+  SBS_CHECK(config_.reservations >= 0);
+}
+
+double WeightedPriorityScheduler::priority_of(const WaitingJob& w,
+                                              Time now) const {
+  const double est =
+      static_cast<double>(std::max<Time>(w.estimate, kMinute));
+  const double wait = static_cast<double>(now - w.job->submit);
+  const double wait_h = wait / kHour;
+  const double xfactor = (wait + est) / est;
+  const double est_h = est / kHour;
+  return config_.w_wait * wait_h + config_.w_xfactor * xfactor -
+         config_.w_runtime * est_h +
+         config_.w_nodes * static_cast<double>(w.job->nodes);
+}
+
+std::vector<int> WeightedPriorityScheduler::select_jobs(
+    const SchedulerState& state) {
+  ++stats_.decisions;
+  std::vector<int> started;
+  if (state.waiting.empty()) return started;
+
+  std::vector<std::size_t> order(state.waiting.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::vector<double> priority(state.waiting.size());
+  for (std::size_t i = 0; i < state.waiting.size(); ++i)
+    priority[i] = priority_of(state.waiting[i], state.now);
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return priority[a] > priority[b];  // higher priority first
+  });
+
+  ResourceProfile profile =
+      profile_from_running(state.capacity, state.now, state.running);
+  int reservations_made = 0;
+  for (std::size_t idx : order) {
+    const WaitingJob& w = state.waiting[idx];
+    const Time est = std::max<Time>(w.estimate, 1);
+    const Time t = profile.earliest_start(state.now, w.job->nodes, est);
+    if (t == state.now) {
+      profile.reserve(t, w.job->nodes, est);
+      started.push_back(w.job->id);
+    } else if (reservations_made < config_.reservations) {
+      profile.reserve(t, w.job->nodes, est);
+      ++reservations_made;
+    }
+  }
+  return started;
+}
+
+std::string WeightedPriorityScheduler::name() const {
+  std::ostringstream os;
+  os << "Weighted(w=" << config_.w_wait << ",x=" << config_.w_xfactor
+     << ",t=" << config_.w_runtime << ",n=" << config_.w_nodes << ")";
+  return os.str();
+}
+
+}  // namespace sbs

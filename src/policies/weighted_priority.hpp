@@ -1,0 +1,46 @@
+#pragma once
+
+#include "sim/scheduler.hpp"
+
+namespace sbs {
+
+/// Maui-style weighted-priority backfill (paper §1): "The job priority is
+/// a weighted sum of job measures, such as the current job waiting time,
+/// estimated run time, and requested number of processors. The weights
+/// can be adjusted to change the relative importance of the measures."
+/// This is the hand-tuned baseline the goal-oriented search replaces: it
+/// works when the weights happen to fit the workload and silently
+/// degrades when the workload drifts (bench_ablation_weights shows the
+/// sensitivity).
+///
+/// priority = w_wait    * wait_hours
+///          + w_xfactor * (wait + estimate) / estimate
+///          - w_runtime * estimated_hours
+///          + w_nodes   * requested_nodes
+/// Higher priority is served first; scheduling is standard backfill with
+/// `reservations` protected jobs.
+struct WeightedPriorityConfig {
+  double w_wait = 1.0;      ///< reward for waiting (fairness / aging)
+  double w_xfactor = 0.0;   ///< reward for high expansion factor
+  double w_runtime = 0.0;   ///< penalty for long estimates (favor short)
+  double w_nodes = 0.0;     ///< reward for wide jobs (favor large-resource)
+  int reservations = 1;
+};
+
+class WeightedPriorityScheduler final : public Scheduler {
+ public:
+  explicit WeightedPriorityScheduler(WeightedPriorityConfig config = {});
+
+  std::vector<int> select_jobs(const SchedulerState& state) override;
+  std::string name() const override;
+  SchedulerStats stats() const override { return stats_; }
+
+  /// The priority value the policy assigns to a job at time `now`.
+  double priority_of(const WaitingJob& w, Time now) const;
+
+ private:
+  WeightedPriorityConfig config_;
+  SchedulerStats stats_;
+};
+
+}  // namespace sbs

@@ -1,0 +1,110 @@
+#include "predict/predictor.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace sbs {
+
+ClassCorrectionPredictor::ClassCorrectionPredictor(std::size_t min_observations,
+                                                   double safety_stddevs)
+    : min_observations_(std::max<std::size_t>(min_observations, 1)),
+      safety_stddevs_(safety_stddevs) {
+  SBS_CHECK(safety_stddevs >= 0.0);
+}
+
+std::size_t ClassCorrectionPredictor::node_bucket(int nodes) {
+  SBS_CHECK(nodes >= 1);
+  if (nodes == 1) return 0;
+  if (nodes <= 4) return 1;
+  if (nodes <= 16) return 2;
+  if (nodes <= 64) return 3;
+  return 4;
+}
+
+std::size_t ClassCorrectionPredictor::request_bucket(Time requested) {
+  SBS_CHECK(requested >= 1);
+  if (requested <= kHour) return 0;
+  if (requested <= 4 * kHour) return 1;
+  if (requested <= 12 * kHour) return 2;
+  return 3;
+}
+
+void ClassCorrectionPredictor::observe(const Job& job, Time actual_runtime) {
+  SBS_CHECK(actual_runtime >= 1);
+  const double ratio =
+      static_cast<double>(actual_runtime) /
+      static_cast<double>(std::max<Time>(job.requested, 1));
+  Cell& cell =
+      cells_[node_bucket(job.nodes)][request_bucket(std::max<Time>(job.requested, 1))];
+  cell.ratio_sum += ratio;
+  cell.ratio_sumsq += ratio * ratio;
+  ++cell.count;
+  global_.ratio_sum += ratio;
+  global_.ratio_sumsq += ratio * ratio;
+  ++global_.count;
+}
+
+double ClassCorrectionPredictor::cell_estimate(const Cell& cell) const {
+  const double n = static_cast<double>(cell.count);
+  const double mean = cell.ratio_sum / n;
+  const double var = std::max(0.0, cell.ratio_sumsq / n - mean * mean);
+  return mean + safety_stddevs_ * std::sqrt(var);
+}
+
+double ClassCorrectionPredictor::bucket_ratio(std::size_t nb,
+                                              std::size_t rb) const {
+  SBS_CHECK(nb < kNodeBuckets && rb < kRequestBuckets);
+  const Cell& cell = cells_[nb][rb];
+  return cell.count ? cell.ratio_sum / static_cast<double>(cell.count) : 0.0;
+}
+
+std::size_t ClassCorrectionPredictor::bucket_count(std::size_t nb,
+                                                   std::size_t rb) const {
+  SBS_CHECK(nb < kNodeBuckets && rb < kRequestBuckets);
+  return cells_[nb][rb].count;
+}
+
+Time ClassCorrectionPredictor::predict(const Job& job) const {
+  const Time requested = std::max<Time>(job.requested, 1);
+  const Cell& cell = cells_[node_bucket(job.nodes)][request_bucket(requested)];
+  double ratio;
+  if (cell.count >= min_observations_) {
+    ratio = cell_estimate(cell);
+  } else if (global_.count >= min_observations_) {
+    ratio = cell_estimate(global_);
+  } else {
+    return requested;
+  }
+  const Time predicted = static_cast<Time>(
+      std::llround(ratio * static_cast<double>(requested)));
+  return std::clamp<Time>(predicted, 1, requested);
+}
+
+EwmaPredictor::EwmaPredictor(double alpha) : alpha_(alpha) {
+  SBS_CHECK(alpha > 0.0 && alpha <= 1.0);
+}
+
+void EwmaPredictor::observe(const Job& job, Time actual_runtime) {
+  SBS_CHECK(actual_runtime >= 1);
+  const double ratio =
+      static_cast<double>(actual_runtime) /
+      static_cast<double>(std::max<Time>(job.requested, 1));
+  if (!seen_any_) {
+    ratio_ = ratio;
+    seen_any_ = true;
+  } else {
+    ratio_ += alpha_ * (ratio - ratio_);
+  }
+}
+
+Time EwmaPredictor::predict(const Job& job) const {
+  const Time requested = std::max<Time>(job.requested, 1);
+  if (!seen_any_) return requested;
+  const Time predicted = static_cast<Time>(
+      std::llround(ratio_ * static_cast<double>(requested)));
+  return std::clamp<Time>(predicted, 1, requested);
+}
+
+}  // namespace sbs

@@ -1,0 +1,36 @@
+#pragma once
+
+#include <algorithm>
+
+#include "jobs/job.hpp"
+
+namespace sbs {
+
+/// Completed execution of one job.
+struct JobOutcome {
+  Job job;
+  Time start = 0;
+  Time end = 0;
+
+  Time wait() const { return start - job.submit; }
+  Time turnaround() const { return end - job.submit; }
+};
+
+/// Bounded slowdown with the paper's 1-minute runtime floor: jobs shorter
+/// than a minute are treated as 1-minute jobs, so a zero-wait job always
+/// has slowdown exactly 1.
+inline double bounded_slowdown(const JobOutcome& o, Time min_runtime = kMinute) {
+  const double denom =
+      static_cast<double>(std::max(o.job.runtime, min_runtime));
+  const double num = static_cast<double>(o.wait()) +
+                     static_cast<double>(std::max(o.job.runtime, min_runtime));
+  return std::max(1.0, num / denom);
+}
+
+/// Per-job normalized excessive wait w.r.t. threshold t: wait in excess of
+/// t, zero when the job waited at most t.
+inline Time excessive_wait(const JobOutcome& o, Time threshold) {
+  return std::max<Time>(0, o.wait() - threshold);
+}
+
+}  // namespace sbs

@@ -1,0 +1,17 @@
+#include "sim/scheduler.hpp"
+
+#include <algorithm>
+
+namespace sbs {
+
+ResourceProfile profile_from_running(int capacity, Time now,
+                                     std::span<const RunningJob> running) {
+  ResourceProfile profile(capacity, now);
+  for (const auto& r : running) {
+    const Time end = std::max(r.est_end, now + 1);
+    profile.reserve(now, r.job->nodes, end - now);
+  }
+  return profile;
+}
+
+}  // namespace sbs

@@ -1,0 +1,73 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "cluster/resource_profile.hpp"
+#include "jobs/job.hpp"
+
+namespace sbs {
+
+/// A queued job as seen by a scheduling policy. `estimate` is the runtime
+/// the policy may plan with — the actual runtime T when the experiment uses
+/// R* = T, or the user request R when it uses R* = R. Policies never see
+/// the actual runtime directly.
+struct WaitingJob {
+  const Job* job = nullptr;
+  Time estimate = 0;
+};
+
+/// A running job as seen by a scheduling policy: when it started and when
+/// the policy should expect it to end (start + estimate).
+struct RunningJob {
+  const Job* job = nullptr;
+  Time start = 0;
+  Time est_end = 0;
+};
+
+/// Snapshot handed to a policy at each scheduling event.
+struct SchedulerState {
+  Time now = 0;
+  int capacity = 0;
+  int free_nodes = 0;
+  std::span<const WaitingJob> waiting;  ///< submit order (FCFS order)
+  std::span<const RunningJob> running;
+};
+
+/// Cumulative policy-side counters, reported by the harness.
+struct SchedulerStats {
+  std::uint64_t decisions = 0;      ///< scheduling events handled
+  std::uint64_t nodes_visited = 0;  ///< search-tree nodes (search policies)
+  std::uint64_t paths_explored = 0; ///< complete schedules evaluated
+  std::uint64_t think_time_us = 0;  ///< wall-clock microseconds spent inside
+                                    ///  select_jobs (search policies track
+                                    ///  this; the paper reports 30-65 ms per
+                                    ///  1K-8K nodes for its Java simulator)
+};
+
+/// Non-preemptive scheduling policy. At each event the simulator calls
+/// select_jobs() exactly once; the returned job ids (subset of
+/// state.waiting) are started at state.now. The chosen set must fit the
+/// free nodes simultaneously — the simulator verifies this.
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+
+  virtual std::vector<int> select_jobs(const SchedulerState& state) = 0;
+
+  /// Human-readable policy name, e.g. "DDS/lxf/dynB".
+  virtual std::string name() const = 0;
+
+  virtual SchedulerStats stats() const { return {}; }
+};
+
+/// Builds the free-node profile implied by the running jobs: full capacity
+/// from `now`, minus each running job over [now, est_end). Estimated ends
+/// in the past (possible when estimates are inaccurate) are clamped to
+/// now + 1 second — "expected to finish imminently".
+ResourceProfile profile_from_running(int capacity, Time now,
+                                     std::span<const RunningJob> running);
+
+}  // namespace sbs

@@ -1,0 +1,158 @@
+#include "sim/simulator.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+#include "util/error.hpp"
+
+namespace sbs {
+
+namespace {
+
+struct Completion {
+  Time end;
+  int job_id;
+  bool operator>(const Completion& other) const {
+    if (end != other.end) return end > other.end;
+    return job_id > other.job_id;
+  }
+};
+
+}  // namespace
+
+SimResult simulate(const Trace& trace, Scheduler& scheduler,
+                   const SimConfig& config) {
+  trace.validate();
+
+  const auto& jobs = trace.jobs;
+  SimResult result;
+  result.outcomes.resize(jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) result.outcomes[i].job = jobs[i];
+
+  std::vector<WaitingJob> waiting;
+  std::vector<RunningJob> running;
+  std::priority_queue<Completion, std::vector<Completion>, std::greater<>>
+      completions;
+
+  auto estimate_of = [&](const Job& j) {
+    if (config.predictor) return std::max<Time>(config.predictor->predict(j), 1);
+    return config.use_requested_runtime ? j.requested : j.runtime;
+  };
+  // Time a started job actually occupies the machine.
+  auto effective_runtime = [&](const Job& j) {
+    return config.kill_at_request ? std::min(j.runtime, j.requested)
+                                  : j.runtime;
+  };
+
+  std::size_t next_arrival = 0;
+  int used_nodes = 0;
+  std::size_t events = 0;
+
+  // Time-weighted queue length restricted to the metrics window.
+  double queue_area = 0.0;
+  Time last_event = jobs.empty() ? trace.window_begin : jobs.front().submit;
+
+  auto account_queue = [&](Time upto) {
+    const Time lo = std::max(last_event, trace.window_begin);
+    const Time hi = std::min(upto, trace.window_end);
+    if (hi > lo)
+      queue_area += static_cast<double>(hi - lo) *
+                    static_cast<double>(waiting.size());
+    last_event = upto;
+  };
+
+  while (next_arrival < jobs.size() || !completions.empty()) {
+    SBS_CHECK_MSG(++events <= config.max_events, "simulation event cap hit");
+
+    // Next event time: earliest of next arrival and next completion.
+    Time now = std::numeric_limits<Time>::max();
+    if (next_arrival < jobs.size()) now = jobs[next_arrival].submit;
+    if (!completions.empty()) now = std::min(now, completions.top().end);
+
+    account_queue(now);
+
+    // Retire every job completing at `now`.
+    while (!completions.empty() && completions.top().end == now) {
+      const int id = completions.top().job_id;
+      completions.pop();
+      auto it = std::find_if(running.begin(), running.end(),
+                             [id](const RunningJob& r) { return r.job->id == id; });
+      SBS_CHECK_MSG(it != running.end(), "completion for unknown job " << id);
+      if (config.predictor)
+        config.predictor->observe(*it->job, effective_runtime(*it->job));
+      used_nodes -= it->job->nodes;
+      *it = running.back();
+      running.pop_back();
+    }
+
+    // Admit every job arriving at `now`.
+    while (next_arrival < jobs.size() && jobs[next_arrival].submit == now) {
+      const Job& j = jobs[next_arrival++];
+      waiting.push_back(WaitingJob{&j, estimate_of(j)});
+    }
+
+    if (waiting.empty()) continue;
+
+    ++result.decision_stats.decisions;
+    if (waiting.size() >= 10) ++result.decision_stats.with_10_plus;
+    result.decision_stats.max_waiting =
+        std::max(result.decision_stats.max_waiting, waiting.size());
+    result.decision_stats.mean_waiting += static_cast<double>(waiting.size());
+
+    SchedulerState state;
+    state.now = now;
+    state.capacity = trace.capacity;
+    state.free_nodes = trace.capacity - used_nodes;
+    state.waiting = waiting;
+    state.running = running;
+
+    const std::vector<int> chosen = scheduler.select_jobs(state);
+
+    int chosen_nodes = 0;
+    for (int id : chosen) {
+      auto it = std::find_if(waiting.begin(), waiting.end(),
+                             [id](const WaitingJob& w) { return w.job->id == id; });
+      SBS_CHECK_MSG(it != waiting.end(),
+                    scheduler.name() << " selected non-waiting job " << id);
+      const Job& j = *it->job;
+      chosen_nodes += j.nodes;
+      SBS_CHECK_MSG(chosen_nodes <= state.free_nodes,
+                    scheduler.name() << " over-committed the machine at t="
+                                     << now);
+      running.push_back(RunningJob{&j, now, now + it->estimate});
+      used_nodes += j.nodes;
+      const Time occupied = effective_runtime(j);
+      completions.push(Completion{now + occupied, j.id});
+      result.outcomes[static_cast<std::size_t>(j.id)].start = now;
+      result.outcomes[static_cast<std::size_t>(j.id)].end = now + occupied;
+      *it = waiting.back();
+      waiting.pop_back();
+    }
+
+    // Progress guarantee: an idle machine with a non-empty queue must start
+    // something, otherwise the simulation would deadlock.
+    SBS_CHECK_MSG(!(running.empty() && !waiting.empty()),
+                  scheduler.name() << " stalled with an idle machine at t="
+                                   << now);
+
+    // Keep FCFS order of the waiting list (selection uses swap-erase).
+    std::sort(waiting.begin(), waiting.end(),
+              [](const WaitingJob& a, const WaitingJob& b) {
+                if (a.job->submit != b.job->submit)
+                  return a.job->submit < b.job->submit;
+                return a.job->id < b.job->id;
+              });
+  }
+
+  const double window =
+      static_cast<double>(trace.window_end - trace.window_begin);
+  result.avg_queue_length = window > 0.0 ? queue_area / window : 0.0;
+  result.sched_stats = scheduler.stats();
+  if (result.decision_stats.decisions > 0)
+    result.decision_stats.mean_waiting /=
+        static_cast<double>(result.decision_stats.decisions);
+  return result;
+}
+
+}  // namespace sbs

@@ -1,0 +1,67 @@
+#pragma once
+
+#include <vector>
+
+#include "jobs/trace.hpp"
+#include "predict/predictor.hpp"
+#include "sim/outcome.hpp"
+#include "sim/scheduler.hpp"
+
+namespace sbs {
+
+/// Simulation controls shared across experiments.
+struct SimConfig {
+  /// R* selection: false = schedulers plan with actual runtimes (R* = T),
+  /// true = with user-requested runtimes (R* = R). The machine itself
+  /// always frees nodes at the actual runtime.
+  bool use_requested_runtime = false;
+
+  /// Optional on-line runtime predictor (paper future work). When set, it
+  /// overrides use_requested_runtime: schedulers plan with
+  /// predictor->predict(job), and the predictor observes every completion.
+  /// Not owned; must outlive the simulation. Stateful across one run.
+  RuntimePredictor* predictor = nullptr;
+
+  /// Production semantics for over-running jobs: kill a job when it
+  /// reaches its requested runtime (real resource managers enforce R as a
+  /// hard limit). Off by default — the synthetic generator guarantees
+  /// R >= T, but public SWF traces contain T > R records.
+  bool kill_at_request = false;
+
+  /// Hard cap on events, as a runaway guard for malformed inputs.
+  std::size_t max_events = 50'000'000;
+};
+
+/// Queue-depth statistics at scheduling decision points (the paper §2.2
+/// observes "at least 10 waiting jobs in most of the scheduling decision
+/// points" under high load — this makes that auditable).
+struct DecisionStats {
+  std::uint64_t decisions = 0;          ///< scheduler invocations
+  std::uint64_t with_10_plus = 0;       ///< decisions with >= 10 waiting jobs
+  std::size_t max_waiting = 0;          ///< largest queue seen at a decision
+  double mean_waiting = 0.0;            ///< mean queue length at decisions
+
+  double fraction_10_plus() const {
+    return decisions ? static_cast<double>(with_10_plus) /
+                           static_cast<double>(decisions)
+                     : 0.0;
+  }
+};
+
+/// Result of simulating one trace under one policy.
+struct SimResult {
+  std::vector<JobOutcome> outcomes;  ///< one per trace job, in job-id order
+  double avg_queue_length = 0.0;     ///< time-weighted, metrics window only
+  SchedulerStats sched_stats;
+  DecisionStats decision_stats;
+};
+
+/// Event-driven simulation: arrivals and completions trigger exactly one
+/// scheduling decision each (batched when simultaneous). Non-preemptive:
+/// started jobs run to their actual runtime. Throws sbs::Error if the
+/// policy returns an infeasible or unknown job set, or if it stalls (empty
+/// machine + non-empty queue + no selection).
+SimResult simulate(const Trace& trace, Scheduler& scheduler,
+                   const SimConfig& config = {});
+
+}  // namespace sbs

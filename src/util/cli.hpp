@@ -1,0 +1,28 @@
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace sbs {
+
+/// Tiny `--key=value` / `--flag` parser shared by bench and example
+/// binaries. Unknown keys are an error so typos do not silently run the
+/// default configuration.
+class CliArgs {
+ public:
+  /// `allowed` lists the recognized keys (without leading dashes).
+  CliArgs(int argc, const char* const* argv,
+          const std::vector<std::string>& allowed);
+
+  bool has(const std::string& key) const;
+  std::string get(const std::string& key, const std::string& fallback) const;
+  long long get_int(const std::string& key, long long fallback) const;
+  double get_double(const std::string& key, double fallback) const;
+  bool get_bool(const std::string& key, bool fallback) const;
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace sbs

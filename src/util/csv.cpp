@@ -1,0 +1,41 @@
+#include "util/csv.hpp"
+
+#include "util/error.hpp"
+
+namespace sbs {
+
+std::string csv_escape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string out = "\"";
+  for (char c : cell) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+CsvWriter::CsvWriter(const std::string& path,
+                     const std::vector<std::string>& header)
+    : path_(path), out_(path), columns_(header.size()) {
+  SBS_CHECK_MSG(out_.good(), "cannot open CSV file " << path);
+  SBS_CHECK(columns_ > 0);
+  emit(header);
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& cells) {
+  SBS_CHECK_MSG(cells.size() == columns_,
+                "CSV row has " << cells.size() << " cells, expected "
+                               << columns_);
+  emit(cells);
+}
+
+void CsvWriter::emit(const std::vector<std::string>& cells) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << csv_escape(cells[i]);
+  }
+  out_ << '\n';
+}
+
+}  // namespace sbs

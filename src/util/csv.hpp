@@ -1,0 +1,32 @@
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace sbs {
+
+/// Minimal CSV writer: quotes cells containing separators, one row per
+/// write_row(). Bench binaries use it to dump machine-readable series next
+/// to the human-readable tables.
+class CsvWriter {
+ public:
+  /// Opens `path` for writing and emits the header row. Throws on failure.
+  CsvWriter(const std::string& path, const std::vector<std::string>& header);
+
+  void write_row(const std::vector<std::string>& cells);
+
+  const std::string& path() const { return path_; }
+
+ private:
+  void emit(const std::vector<std::string>& cells);
+
+  std::string path_;
+  std::ofstream out_;
+  std::size_t columns_;
+};
+
+/// Escapes a single CSV cell (RFC 4180 quoting).
+std::string csv_escape(const std::string& cell);
+
+}  // namespace sbs

@@ -1,0 +1,42 @@
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace sbs {
+
+/// Thrown on any violated library precondition or invariant.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void fail(const char* expr, const char* file, int line,
+                              const std::string& msg) {
+  std::ostringstream os;
+  os << file << ":" << line << ": check failed: " << expr;
+  if (!msg.empty()) os << " — " << msg;
+  throw Error(os.str());
+}
+}  // namespace detail
+
+}  // namespace sbs
+
+/// Precondition/invariant check that is always on (simulation correctness
+/// beats the negligible branch cost; profiles show it is not hot).
+#define SBS_CHECK(expr)                                              \
+  do {                                                               \
+    if (!(expr)) ::sbs::detail::fail(#expr, __FILE__, __LINE__, ""); \
+  } while (false)
+
+#define SBS_CHECK_MSG(expr, msg)                                       \
+  do {                                                                 \
+    if (!(expr)) {                                                     \
+      std::ostringstream sbs_check_os;                                 \
+      sbs_check_os << msg;                                             \
+      ::sbs::detail::fail(#expr, __FILE__, __LINE__,                   \
+                          sbs_check_os.str());                         \
+    }                                                                  \
+  } while (false)

@@ -1,0 +1,65 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <limits>
+
+namespace sbs {
+
+/// splitmix64 step — used to seed Xoshiro256** and to derive independent
+/// stream seeds from a (seed, stream-id) pair.
+std::uint64_t splitmix64(std::uint64_t& state);
+
+/// Deterministic xoshiro256** engine. Satisfies UniformRandomBitGenerator,
+/// so it can also drive <random> distributions, but the members below cover
+/// everything the workload generator needs without libstdc++'s
+/// platform-dependent distribution algorithms (bit-for-bit reproducibility
+/// across standard libraries).
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the engine; identical seeds yield identical streams.
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Derives an independent child stream (e.g. one per month, per bucket).
+  Rng fork(std::uint64_t stream_id) const;
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+  result_type operator()() { return next(); }
+
+  std::uint64_t next();
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Log-uniform double in [lo, hi]; requires 0 < lo <= hi.
+  double log_uniform(double lo, double hi);
+
+  /// Exponential variate with the given mean (> 0).
+  double exponential(double mean);
+
+  /// Standard normal via Box–Muller (stateless variant; discards the pair).
+  double normal(double mean = 0.0, double stddev = 1.0);
+
+  /// True with probability p (clamped to [0,1]).
+  bool bernoulli(double p);
+
+  /// Uniform index in [0, n); requires n > 0.
+  std::size_t index(std::size_t n);
+
+ private:
+  std::array<std::uint64_t, 4> s_{};
+  std::uint64_t seed_;  // retained so fork() can derive child streams
+};
+
+}  // namespace sbs

@@ -1,0 +1,63 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace sbs {
+
+/// Single-pass accumulator for count / mean / variance / min / max
+/// (Welford's algorithm — numerically stable for long simulations).
+class OnlineStats {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double variance() const;  ///< population variance; 0 for n < 2
+  double stddev() const;
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  double sum() const { return sum_; }
+
+  /// Merges another accumulator (parallel reduction support).
+  void merge(const OnlineStats& other);
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Accumulates a piecewise-constant signal (e.g. queue length over time)
+/// and reports its time-weighted average.
+class TimeWeightedAverage {
+ public:
+  /// Records that the signal held `value` since the previous observation
+  /// time up to `now`. The first call only sets the origin.
+  void observe(double now, double value);
+
+  double average() const;
+  bool empty() const { return total_span_ <= 0.0; }
+
+ private:
+  bool started_ = false;
+  double last_time_ = 0.0;
+  double last_value_ = 0.0;
+  double weighted_sum_ = 0.0;
+  double total_span_ = 0.0;
+};
+
+/// Returns the p-quantile (p in [0,1]) with linear interpolation between
+/// order statistics. Copies and sorts its input; empty input returns 0.
+double percentile(std::vector<double> values, double p);
+
+/// Arithmetic mean; empty input returns 0.
+double mean_of(const std::vector<double>& values);
+
+/// Maximum; empty input returns 0.
+double max_of(const std::vector<double>& values);
+
+}  // namespace sbs

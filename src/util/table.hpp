@@ -1,0 +1,36 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace sbs {
+
+/// Fixed-width plain-text table, used by every bench binary to print
+/// paper-style rows. Cells are strings; numeric helpers format compactly.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Starts a new row; subsequent add() calls fill it left to right.
+  Table& row();
+  Table& add(const std::string& cell);
+  Table& add(double value, int precision = 2);
+  Table& add(long long value);
+  Table& add(int value) { return add(static_cast<long long>(value)); }
+  Table& add(std::size_t value) { return add(static_cast<long long>(value)); }
+
+  std::size_t num_rows() const { return rows_.size(); }
+
+  /// Renders with a header rule and right-aligned numeric-looking columns.
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with fixed precision (no locale surprises).
+std::string format_double(double value, int precision = 2);
+
+}  // namespace sbs

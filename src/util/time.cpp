@@ -1,0 +1,18 @@
+#include "util/time.hpp"
+
+#include <cstdio>
+
+namespace sbs {
+
+std::string format_duration(Time t) {
+  const char* sign = t < 0 ? "-" : "";
+  if (t < 0) t = -t;
+  const long long h = t / kHour;
+  const long long m = (t % kHour) / kMinute;
+  const long long s = t % kMinute;
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%s%lldh%02lldm%02llds", sign, h, m, s);
+  return buf;
+}
+
+}  // namespace sbs

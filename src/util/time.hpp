@@ -1,0 +1,30 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace sbs {
+
+/// Simulation time, in integral seconds since the start of the simulated
+/// month. All event timestamps, waits and runtimes use this unit; derived
+/// statistics (average waits etc.) convert to hours as doubles.
+using Time = std::int64_t;
+
+inline constexpr Time kSecond = 1;
+inline constexpr Time kMinute = 60;
+inline constexpr Time kHour = 3600;
+inline constexpr Time kDay = 24 * kHour;
+inline constexpr Time kWeek = 7 * kDay;
+
+/// Converts an integral second count to fractional hours.
+constexpr double to_hours(Time t) { return static_cast<double>(t) / kHour; }
+
+/// Converts fractional hours to whole seconds (rounded to nearest).
+constexpr Time from_hours(double h) {
+  return static_cast<Time>(h * static_cast<double>(kHour) + (h >= 0 ? 0.5 : -0.5));
+}
+
+/// Formats a duration as "123h04m05s" (sign-aware), for logs and tables.
+std::string format_duration(Time t);
+
+}  // namespace sbs

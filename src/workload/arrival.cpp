@@ -1,0 +1,66 @@
+#include "workload/arrival.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace sbs {
+
+ArrivalSampler::ArrivalSampler(ArrivalConfig config, Time begin, Time span)
+    : config_(config), begin_(begin), span_(span) {
+  SBS_CHECK(span > 0);
+  SBS_CHECK(config_.diurnal_amplitude >= 0.0 &&
+            config_.diurnal_amplitude <= 1.0);
+  SBS_CHECK(config_.weekend_factor > 0.0 && config_.weekend_factor <= 1.0);
+  SBS_CHECK(config_.burst_fraction >= 0.0 && config_.burst_fraction <= 1.0);
+  SBS_CHECK(config_.burst_mean_size >= 2.0);
+  SBS_CHECK(config_.burst_spread >= 1);
+}
+
+double ArrivalSampler::rate_at(Time t) const {
+  const double day_phase =
+      static_cast<double>(((t % kDay) + kDay) % kDay) /
+      static_cast<double>(kDay);
+  // Peak mid-day, trough at night.
+  double rate = 1.0 + config_.diurnal_amplitude *
+                          std::sin(6.283185307179586 * (day_phase - 0.25));
+  const long long day_index = ((t / kDay) % 7 + 7) % 7;
+  if (day_index >= 5) rate *= config_.weekend_factor;
+  return rate;
+}
+
+Time ArrivalSampler::sample_one(Rng& rng) const {
+  const double max_rate = 1.0 + config_.diurnal_amplitude;
+  for (int attempt = 0; attempt < 256; ++attempt) {
+    const Time t = begin_ + static_cast<Time>(rng.uniform_int(0, span_ - 1));
+    if (rng.uniform() * max_rate < rate_at(t)) return t;
+  }
+  return begin_ + static_cast<Time>(rng.uniform_int(0, span_ - 1));
+}
+
+std::vector<Time> ArrivalSampler::sample(Rng& rng, std::size_t count) const {
+  std::vector<Time> arrivals;
+  arrivals.reserve(count);
+  const Time end = begin_ + span_;
+  while (arrivals.size() < count) {
+    if (config_.burst_fraction > 0.0 &&
+        rng.uniform() < config_.burst_fraction) {
+      // Geometric burst size with the configured mean (min 2).
+      const double p = 1.0 / (config_.burst_mean_size - 1.0);
+      std::size_t size = 2;
+      while (rng.uniform() >= p && size < 256) ++size;
+      const Time anchor = sample_one(rng);
+      for (std::size_t k = 0; k < size && arrivals.size() < count; ++k) {
+        const Time offset =
+            static_cast<Time>(rng.uniform_int(0, config_.burst_spread));
+        arrivals.push_back(std::clamp<Time>(anchor + offset, begin_, end - 1));
+      }
+    } else {
+      arrivals.push_back(sample_one(rng));
+    }
+  }
+  return arrivals;
+}
+
+}  // namespace sbs

@@ -1,0 +1,52 @@
+#pragma once
+
+#include <vector>
+
+#include "util/rng.hpp"
+#include "util/time.hpp"
+
+namespace sbs {
+
+/// Arrival-process model for the synthetic workloads: a nonhomogeneous
+/// base rate (diurnal cycle + weekend dip) with optional submission
+/// bursts (users submitting job arrays / parameter sweeps in one go).
+/// Bursts are what create the deep transient backlogs of months like the
+/// real January 2004 — a stationary Poisson stream spreads the same load
+/// too evenly to stress a scheduler the same way.
+struct ArrivalConfig {
+  double diurnal_amplitude = 0.4;  ///< 0 disables the day/night cycle
+  double weekend_factor = 0.75;    ///< rate multiplier on days 5-6 of a week
+  /// Probability that a submission event is a burst rather than a single
+  /// job (0 disables bursts). Because bursts carry >= 2 jobs, the share
+  /// of JOBS arriving in bursts is higher than this value.
+  double burst_fraction = 0.0;
+  /// Mean burst size (geometric distribution, >= 2 per burst).
+  double burst_mean_size = 8.0;
+  /// Submissions within one burst spread over this span.
+  Time burst_spread = 10 * kMinute;
+};
+
+/// Samples arrival times within [begin, begin + span).
+class ArrivalSampler {
+ public:
+  ArrivalSampler(ArrivalConfig config, Time begin, Time span);
+
+  /// Relative arrival intensity at time t (>= 0; peak normalized ~1+amp).
+  double rate_at(Time t) const;
+
+  /// One arrival by thinning against the base rate.
+  Time sample_one(Rng& rng) const;
+
+  /// `count` arrivals: a mix of independent arrivals and bursts per the
+  /// config. NOT sorted — callers pairing arrivals with independently
+  /// ordered job attributes rely on the lack of time ordering (the trace
+  /// is normalized later).
+  std::vector<Time> sample(Rng& rng, std::size_t count) const;
+
+ private:
+  ArrivalConfig config_;
+  Time begin_;
+  Time span_;
+};
+
+}  // namespace sbs

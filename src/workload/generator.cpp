@@ -1,0 +1,298 @@
+#include "workload/generator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/error.hpp"
+
+namespace sbs {
+
+namespace {
+
+// Runtime classes used for calibration: matches Table 4's bands with a
+// medium band between them.
+enum RuntimeClass { kShort = 0, kMedium = 1, kLong = 2 };
+
+struct ClassBounds {
+  Time lo;
+  Time hi;
+};
+
+ClassBounds class_bounds(int cls, Time limit) {
+  switch (cls) {
+    case kShort: return {30, kHour};
+    case kMedium: return {kHour + 1, 5 * kHour};
+    default: return {5 * kHour + 1, limit};
+  }
+}
+
+// Largest-remainder apportionment of `total` items over `weights`.
+std::vector<std::size_t> apportion(std::span<const double> weights,
+                                   std::size_t total) {
+  const double wsum = std::accumulate(weights.begin(), weights.end(), 0.0);
+  SBS_CHECK(wsum > 0.0);
+  std::vector<std::size_t> counts(weights.size(), 0);
+  std::vector<std::pair<double, std::size_t>> remainders;
+  std::size_t assigned = 0;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    const double exact = static_cast<double>(total) * weights[i] / wsum;
+    counts[i] = static_cast<std::size_t>(exact);
+    assigned += counts[i];
+    remainders.emplace_back(exact - std::floor(exact), i);
+  }
+  std::sort(remainders.rbegin(), remainders.rend());
+  for (std::size_t k = 0; assigned < total; ++k, ++assigned)
+    ++counts[remainders[k % remainders.size()].second];
+  return counts;
+}
+
+// Conditional runtime-class probabilities for one coarse node class,
+// derived from Table 4 (fractions of all jobs) and Table 3 (job shares).
+std::array<double, 3> class_probs(const MonthStats& stats,
+                                  std::size_t coarse) {
+  double coarse_jobs = 0.0;
+  for (std::size_t r = 0; r < 8; ++r)
+    if (coarse_class_of_range(r) == coarse) coarse_jobs += stats.job_fraction[r];
+  double jf_sum = std::accumulate(stats.job_fraction.begin(),
+                                  stats.job_fraction.end(), 0.0);
+  coarse_jobs /= jf_sum;  // normalized share of jobs in this coarse class
+
+  double p_short = 0.0, p_long = 0.0;
+  if (coarse_jobs > 1e-9) {
+    p_short = stats.short_fraction[coarse] / coarse_jobs;
+    p_long = stats.long_fraction[coarse] / coarse_jobs;
+  }
+  p_short = std::clamp(p_short, 0.0, 0.95);
+  p_long = std::clamp(p_long, 0.0, 0.95);
+  double p_med = 1.0 - p_short - p_long;
+  if (p_med < 0.02) {  // keep a sliver of medium jobs and renormalize
+    p_med = 0.02;
+    const double scale = (1.0 - p_med) / (p_short + p_long);
+    p_short *= scale;
+    p_long *= scale;
+  }
+  return {p_short, p_med, p_long};
+}
+
+int sample_nodes(Rng& rng, NodeRange range) {
+  if (range.lo == range.hi) return range.lo;
+  // Users overwhelmingly request powers of two; keep a uniform tail so
+  // every width in the range occurs.
+  if (rng.bernoulli(0.6)) {
+    int candidates[8];
+    int n = 0;
+    for (int p = 1; p <= range.hi; p *= 2)
+      if (p >= range.lo) candidates[n++] = p;
+    if (n > 0) return candidates[rng.index(static_cast<std::size_t>(n))];
+  }
+  return static_cast<int>(rng.uniform_int(range.lo, range.hi));
+}
+
+Time sample_runtime(Rng& rng, int cls, Time limit) {
+  const ClassBounds b = class_bounds(cls, limit);
+  return static_cast<Time>(
+      std::llround(rng.log_uniform(static_cast<double>(b.lo),
+                                   static_cast<double>(b.hi))));
+}
+
+// One sampled job before submit-time assignment.
+struct ProtoJob {
+  int nodes;
+  Time runtime;
+  int cls;
+  std::size_t range;
+};
+
+// Scales runtimes toward per-range demand targets, clamping inside each
+// job's runtime class so the Table 4 shape is preserved, then runs a
+// global pass toward the month's total demand.
+void calibrate_demand(std::vector<ProtoJob>& jobs, const MonthStats& stats,
+                      double total_demand_target) {
+  std::array<double, 8> target{};
+  const double dsum = std::accumulate(stats.demand_fraction.begin(),
+                                      stats.demand_fraction.end(), 0.0);
+  for (std::size_t r = 0; r < 8; ++r)
+    target[r] = stats.demand_fraction[r] / dsum * total_demand_target;
+
+  auto clamp_to_class = [&](ProtoJob& j, double t) {
+    const ClassBounds b = class_bounds(j.cls, stats.runtime_limit);
+    j.runtime = std::clamp<Time>(static_cast<Time>(std::llround(t)), b.lo, b.hi);
+  };
+
+  for (int pass = 0; pass < 6; ++pass) {
+    std::array<double, 8> achieved{};
+    for (const auto& j : jobs)
+      achieved[j.range] += static_cast<double>(j.nodes) *
+                           static_cast<double>(j.runtime);
+    for (auto& j : jobs) {
+      if (achieved[j.range] <= 0.0 || target[j.range] <= 0.0) continue;
+      const double f = target[j.range] / achieved[j.range];
+      clamp_to_class(j, static_cast<double>(j.runtime) * f);
+    }
+  }
+  for (int pass = 0; pass < 3; ++pass) {
+    double achieved = 0.0;
+    for (const auto& j : jobs)
+      achieved += static_cast<double>(j.nodes) * static_cast<double>(j.runtime);
+    if (achieved <= 0.0) break;
+    const double f = total_demand_target / achieved;
+    for (auto& j : jobs) clamp_to_class(j, static_cast<double>(j.runtime) * f);
+  }
+}
+
+std::vector<ProtoJob> sample_jobs(Rng& rng, const MonthStats& stats,
+                                  std::size_t count,
+                                  double total_demand_target) {
+  const auto counts = apportion(stats.job_fraction, count);
+  std::array<std::array<double, 3>, 5> probs;
+  for (std::size_t c = 0; c < 5; ++c) probs[c] = class_probs(stats, c);
+
+  std::vector<ProtoJob> jobs;
+  jobs.reserve(count);
+  for (std::size_t r = 0; r < 8; ++r) {
+    const NodeRange bounds = mix_range_bounds(r);
+    const std::size_t coarse = coarse_class_of_range(r);
+    for (std::size_t k = 0; k < counts[r]; ++k) {
+      ProtoJob j;
+      j.range = r;
+      j.nodes = sample_nodes(rng, bounds);
+      const double u = rng.uniform();
+      j.cls = u < probs[coarse][kShort]
+                  ? kShort
+                  : (u < probs[coarse][kShort] + probs[coarse][kMedium]
+                         ? kMedium
+                         : kLong);
+      j.runtime = sample_runtime(rng, j.cls, stats.runtime_limit);
+      jobs.push_back(j);
+    }
+  }
+  calibrate_demand(jobs, stats, total_demand_target);
+  return jobs;
+}
+
+Time sample_requested(Rng& rng, Time runtime, Time limit,
+                      const GeneratorConfig& cfg) {
+  Time requested;
+  if (rng.bernoulli(cfg.request_limit_p)) {
+    requested = limit;
+  } else {
+    const double factor =
+        rng.log_uniform(1.0, std::max(1.0, cfg.request_max_factor));
+    requested = static_cast<Time>(
+        std::llround(static_cast<double>(runtime) * factor));
+    // Users request in coarse increments; round up to 15 minutes.
+    const Time quantum = 15 * kMinute;
+    requested = (requested + quantum - 1) / quantum * quantum;
+  }
+  return std::clamp<Time>(requested, runtime, limit);
+}
+
+// Zipf(s) sampler over 1..n via the precomputed cumulative distribution.
+class ZipfSampler {
+ public:
+  ZipfSampler(int n, double exponent) {
+    SBS_CHECK(n >= 0);
+    cumulative_.reserve(static_cast<std::size_t>(n));
+    double total = 0.0;
+    for (int k = 1; k <= n; ++k) {
+      total += 1.0 / std::pow(static_cast<double>(k), exponent);
+      cumulative_.push_back(total);
+    }
+  }
+
+  int sample(Rng& rng) const {
+    if (cumulative_.empty()) return 0;
+    const double u = rng.uniform() * cumulative_.back();
+    const auto it =
+        std::lower_bound(cumulative_.begin(), cumulative_.end(), u);
+    return static_cast<int>(it - cumulative_.begin()) + 1;
+  }
+
+ private:
+  std::vector<double> cumulative_;
+};
+
+void emit_batch(Rng& rng, const MonthStats& stats, const GeneratorConfig& cfg,
+                std::size_t count, double demand_target, Time begin, Time span,
+                bool in_window, std::vector<Job>& out) {
+  if (count == 0 || span <= 0) return;
+  const auto protos = sample_jobs(rng, stats, count, demand_target);
+  const ArrivalSampler sampler(cfg.arrivals, begin, span);
+  const std::vector<Time> submits = sampler.sample(rng, protos.size());
+  const ZipfSampler users(cfg.num_users, cfg.zipf_exponent);
+  for (std::size_t i = 0; i < protos.size(); ++i) {
+    const ProtoJob& pj = protos[i];
+    Job j;
+    j.nodes = pj.nodes;
+    j.runtime = std::max<Time>(pj.runtime, 1);
+    j.submit = submits[i];
+    j.requested = sample_requested(rng, j.runtime, stats.runtime_limit, cfg);
+    j.user = users.sample(rng);
+    j.in_window = in_window;
+    out.push_back(j);
+  }
+}
+
+}  // namespace
+
+Trace generate_month(const MonthStats& stats, const GeneratorConfig& cfg) {
+  SBS_CHECK(cfg.job_scale > 0.0);
+  SBS_CHECK(cfg.capacity >= 1);
+
+  std::uint64_t name_hash = 1469598103934665603ULL;
+  for (char c : stats.name) name_hash = (name_hash ^ static_cast<unsigned char>(c)) * 1099511628211ULL;
+  Rng rng = Rng(cfg.seed).fork(name_hash);
+
+  Trace trace;
+  trace.name = std::string(stats.name);
+  trace.capacity = cfg.capacity;
+  trace.window_begin = 0;
+  // job_scale compresses the job count AND the window together so the
+  // arrival density — and therefore the offered load and the contention
+  // the policies face — is preserved in scaled-down quick runs.
+  trace.window_end = static_cast<Time>(std::llround(
+      static_cast<double>(stats.days) * kDay * cfg.job_scale));
+  SBS_CHECK_MSG(trace.window_end >= kDay / 4,
+                "job_scale too small for month " << stats.name);
+
+  const double month_span = static_cast<double>(trace.window_end);
+  const double month_demand = stats.load * cfg.capacity * month_span;
+  const auto month_jobs = static_cast<std::size_t>(std::llround(
+      std::max(1.0, static_cast<double>(stats.total_jobs) * cfg.job_scale)));
+
+  emit_batch(rng, stats, cfg, month_jobs, month_demand, 0, trace.window_end,
+             /*in_window=*/true, trace.jobs);
+
+  if (cfg.warmup_cooldown) {
+    const Time lead = static_cast<Time>(
+        std::llround(static_cast<double>(kWeek) * cfg.job_scale));
+    const double lead_frac = static_cast<double>(lead) / month_span;
+    const auto lead_jobs = static_cast<std::size_t>(
+        std::llround(static_cast<double>(month_jobs) * lead_frac));
+    const double lead_demand = month_demand * lead_frac;
+    Rng warm = rng.fork(1);
+    emit_batch(warm, stats, cfg, lead_jobs, lead_demand, -lead, lead,
+               /*in_window=*/false, trace.jobs);
+    Rng cool = rng.fork(2);
+    emit_batch(cool, stats, cfg, lead_jobs, lead_demand, trace.window_end,
+               lead, /*in_window=*/false, trace.jobs);
+  }
+
+  trace.normalize();
+  trace.validate();
+  return trace;
+}
+
+Trace generate_month(std::string_view name, const GeneratorConfig& cfg) {
+  return generate_month(ncsa_month(name), cfg);
+}
+
+std::vector<Trace> generate_all_months(const GeneratorConfig& cfg) {
+  std::vector<Trace> traces;
+  traces.reserve(ncsa_months().size());
+  for (const auto& m : ncsa_months()) traces.push_back(generate_month(m, cfg));
+  return traces;
+}
+
+}  // namespace sbs

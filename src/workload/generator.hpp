@@ -1,0 +1,52 @@
+#pragma once
+
+#include "jobs/trace.hpp"
+#include "util/rng.hpp"
+#include "workload/arrival.hpp"
+#include "workload/ncsa_tables.hpp"
+
+namespace sbs {
+
+/// Controls for the synthetic monthly trace generator.
+struct GeneratorConfig {
+  std::uint64_t seed = 2005;  ///< base seed; each month forks its own stream
+  double job_scale = 1.0;     ///< scales the job count (quick test modes)
+  bool warmup_cooldown = true;  ///< add the paper's 1-week lead-in/lead-out
+  int capacity = kNcsaCapacity;
+
+  /// Requested-runtime inaccuracy model: with probability `request_limit_p`
+  /// the user requests the runtime limit; otherwise R = T times a
+  /// log-uniform factor in [1, request_max_factor], rounded up to 15 min
+  /// and clamped to the limit. Matches the "inaccurate but correlated"
+  /// regime of production traces (see DESIGN.md §2).
+  double request_limit_p = 0.20;
+  double request_max_factor = 8.0;
+
+  /// Arrival process (see workload/arrival.hpp). The default has a
+  /// day/night cycle and a weekend dip but no bursts; setting
+  /// arrivals.burst_fraction > 0 adds submission bursts (job arrays),
+  /// which create the deep transient backlogs of hard months like 1/04.
+  ArrivalConfig arrivals;
+
+  /// User population for fair-share experiments: jobs are attributed to
+  /// users 1..num_users with Zipf(zipf_exponent) popularity — a few heavy
+  /// users dominate, as in real accounting logs. 0 disables (user = 0).
+  int num_users = 40;
+  double zipf_exponent = 1.0;
+};
+
+/// Generates one synthetic month calibrated to the published statistics:
+/// job count, per-node-range job and demand shares (Table 3), short/long
+/// runtime-class shares (Table 4), offered load, and runtime limit
+/// (Table 2). The metrics window is [0, days*24h); warm-up jobs arrive in
+/// the week before 0 and cool-down jobs in the week after, flagged
+/// in_window = false.
+Trace generate_month(const MonthStats& stats, const GeneratorConfig& config = {});
+
+/// Convenience: by month name ("7/03").
+Trace generate_month(std::string_view name, const GeneratorConfig& config = {});
+
+/// Generates all ten study months.
+std::vector<Trace> generate_all_months(const GeneratorConfig& config = {});
+
+}  // namespace sbs

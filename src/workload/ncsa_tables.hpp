@@ -1,0 +1,54 @@
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <span>
+#include <string_view>
+
+#include "util/time.hpp"
+
+namespace sbs {
+
+/// Published per-month statistics of the NCSA IA-64 (Titan) workload,
+/// transcribed from Tables 2-4 of the paper. These are the calibration
+/// targets of the synthetic trace generator — the substitution for the
+/// proprietary monthly traces (see DESIGN.md §2).
+struct MonthStats {
+  std::string_view name;  ///< "6/03" .. "3/04"
+  int days;               ///< calendar days in the month
+  int total_jobs;         ///< Table 3 "#jobs"
+  double load;            ///< Table 3 "proc. demand" of the Total column
+  Time runtime_limit;     ///< Table 2 job limit R (12 h before 12/03, then 24 h)
+
+  /// Table 3 row pair, over the node ranges
+  /// {1, 2, 3-4, 5-8, 9-16, 17-32, 33-64, 65-128} (fractions of the month).
+  std::array<double, 8> job_fraction;
+  std::array<double, 8> demand_fraction;
+
+  /// Table 4 rows, over the coarse node classes {1, 2, 3-8, 9-32, 33-128}:
+  /// fraction of ALL jobs in the month with T <= 1 h resp. T > 5 h.
+  std::array<double, 5> short_fraction;
+  std::array<double, 5> long_fraction;
+};
+
+/// Capacity of the machine (Table 2): 128 nodes, node = allocation unit.
+inline constexpr int kNcsaCapacity = 128;
+
+/// The ten study months, June 2003 .. March 2004, in order.
+std::span<const MonthStats> ncsa_months();
+
+/// Looks a month up by name ("1/04"); throws sbs::Error when unknown.
+const MonthStats& ncsa_month(std::string_view name);
+
+/// Maps a Table 3 node-range index (0..7) to the Table 4 coarse class
+/// (0..4): {1}->0, {2}->1, {3-4,5-8}->2, {9-16,17-32}->3, {33-64,65-128}->4.
+std::size_t coarse_class_of_range(std::size_t range);
+
+/// Inclusive node bounds of a Table 3 range index.
+struct NodeRange {
+  int lo;
+  int hi;
+};
+NodeRange mix_range_bounds(std::size_t range);
+
+}  // namespace sbs

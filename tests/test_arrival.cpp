@@ -1,0 +1,117 @@
+#include "workload/arrival.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace sbs {
+namespace {
+
+TEST(Arrival, RateHasDiurnalShape) {
+  ArrivalConfig cfg;
+  cfg.diurnal_amplitude = 0.4;
+  cfg.weekend_factor = 1.0;
+  const ArrivalSampler sampler(cfg, 0, 7 * kDay);
+  // Peak at 12:00 (phase 0.5 with the -0.25 shift -> sin = 1).
+  EXPECT_NEAR(sampler.rate_at(12 * kHour), 1.4, 1e-9);
+  // Trough at midnight (sin = -1).
+  EXPECT_NEAR(sampler.rate_at(0), 0.6, 1e-9);
+  EXPECT_NEAR(sampler.rate_at(kDay), 0.6, 1e-9);
+}
+
+TEST(Arrival, WeekendDipApplies) {
+  ArrivalConfig cfg;
+  cfg.diurnal_amplitude = 0.0;
+  cfg.weekend_factor = 0.5;
+  const ArrivalSampler sampler(cfg, 0, 14 * kDay);
+  EXPECT_NEAR(sampler.rate_at(2 * kDay), 1.0, 1e-9);   // weekday
+  EXPECT_NEAR(sampler.rate_at(5 * kDay + kHour), 0.5, 1e-9);  // day 5
+  EXPECT_NEAR(sampler.rate_at(6 * kDay + kHour), 0.5, 1e-9);  // day 6
+}
+
+TEST(Arrival, SamplesStayInRange) {
+  ArrivalConfig cfg;
+  Rng rng(3);
+  const ArrivalSampler sampler(cfg, 100, 1000);
+  const auto arrivals = sampler.sample(rng, 500);
+  ASSERT_EQ(arrivals.size(), 500u);
+  for (Time t : arrivals) {
+    EXPECT_GE(t, 100);
+    EXPECT_LT(t, 1100);
+  }
+}
+
+TEST(Arrival, NegativeBeginSupported) {
+  // Warm-up batches sample in [-week, 0).
+  ArrivalConfig cfg;
+  Rng rng(5);
+  const ArrivalSampler sampler(cfg, -kWeek, kWeek);
+  const auto arrivals = sampler.sample(rng, 200);
+  for (Time t : arrivals) {
+    EXPECT_GE(t, -kWeek);
+    EXPECT_LT(t, 0);
+  }
+}
+
+TEST(Arrival, DiurnalBiasVisibleInSamples) {
+  ArrivalConfig cfg;
+  cfg.diurnal_amplitude = 0.9;
+  cfg.weekend_factor = 1.0;
+  Rng rng(7);
+  const ArrivalSampler sampler(cfg, 0, 30 * kDay);
+  std::size_t day_half = 0, night_half = 0;
+  for (Time t : sampler.sample(rng, 20000)) {
+    const Time tod = t % kDay;
+    if (tod >= 6 * kHour && tod < 18 * kHour)
+      ++day_half;
+    else
+      ++night_half;
+  }
+  EXPECT_GT(day_half, night_half * 1.5);
+}
+
+TEST(Arrival, BurstsClusterSubmissions) {
+  ArrivalConfig bursty;
+  bursty.burst_fraction = 0.5;
+  bursty.burst_mean_size = 10.0;
+  bursty.burst_spread = kMinute;
+  ArrivalConfig smooth;
+
+  Rng rng_a(11), rng_b(11);
+  const Time span = 30 * kDay;
+  auto clustering = [&](const ArrivalConfig& cfg, Rng& rng) {
+    const ArrivalSampler sampler(cfg, 0, span);
+    auto arrivals = sampler.sample(rng, 3000);
+    std::sort(arrivals.begin(), arrivals.end());
+    // Fraction of consecutive gaps under a minute.
+    std::size_t tight = 0;
+    for (std::size_t i = 1; i < arrivals.size(); ++i)
+      if (arrivals[i] - arrivals[i - 1] <= kMinute) ++tight;
+    return static_cast<double>(tight) / static_cast<double>(arrivals.size());
+  };
+  EXPECT_GT(clustering(bursty, rng_a), 2.0 * clustering(smooth, rng_b));
+}
+
+TEST(Arrival, Deterministic) {
+  ArrivalConfig cfg;
+  cfg.burst_fraction = 0.3;
+  Rng a(9), b(9);
+  const ArrivalSampler sampler(cfg, 0, kDay);
+  EXPECT_EQ(sampler.sample(a, 100), sampler.sample(b, 100));
+}
+
+TEST(Arrival, RejectsBadConfig) {
+  ArrivalConfig cfg;
+  cfg.diurnal_amplitude = 1.5;
+  EXPECT_THROW(ArrivalSampler(cfg, 0, kDay), Error);
+  ArrivalConfig cfg2;
+  cfg2.burst_mean_size = 1.0;
+  EXPECT_THROW(ArrivalSampler(cfg2, 0, kDay), Error);
+  ArrivalConfig cfg3;
+  EXPECT_THROW(ArrivalSampler(cfg3, 0, 0), Error);
+}
+
+}  // namespace
+}  // namespace sbs

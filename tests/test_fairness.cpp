@@ -1,0 +1,100 @@
+#include "metrics/fairness.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_support.hpp"
+#include "util/error.hpp"
+
+namespace sbs {
+namespace {
+
+using test::job;
+
+JobOutcome outcome(Job j, Time start) {
+  JobOutcome o;
+  o.job = j;
+  o.start = start;
+  o.end = start + j.runtime;
+  return o;
+}
+
+TEST(Gini, PerfectEqualityIsZero) {
+  EXPECT_DOUBLE_EQ(gini(std::vector<double>{5, 5, 5, 5}), 0.0);
+}
+
+TEST(Gini, EmptyAndAllZero) {
+  EXPECT_DOUBLE_EQ(gini({}), 0.0);
+  EXPECT_DOUBLE_EQ(gini(std::vector<double>{0, 0, 0}), 0.0);
+}
+
+TEST(Gini, ConcentrationApproachesOne) {
+  std::vector<double> v(100, 0.0);
+  v.back() = 1000.0;
+  EXPECT_GT(gini(v), 0.98);
+}
+
+TEST(Gini, KnownTwoValueCase) {
+  // {0, 1}: Gini = 0.5 for n = 2.
+  EXPECT_DOUBLE_EQ(gini(std::vector<double>{0, 1}), 0.5);
+}
+
+TEST(Gini, OrderInvariant) {
+  EXPECT_DOUBLE_EQ(gini(std::vector<double>{1, 2, 3}),
+                   gini(std::vector<double>{3, 1, 2}));
+}
+
+TEST(Gini, RejectsNegativeValues) {
+  EXPECT_THROW(gini(std::vector<double>{-1, 2}), Error);
+}
+
+TEST(Jain, PerfectFairnessIsOne) {
+  EXPECT_DOUBLE_EQ(jain_index(std::vector<double>{3, 3, 3}), 1.0);
+}
+
+TEST(Jain, MaximallyUnfairIsOneOverN) {
+  EXPECT_DOUBLE_EQ(jain_index(std::vector<double>{0, 0, 0, 8}), 0.25);
+}
+
+TEST(Jain, EmptyAndZeroAreFair) {
+  EXPECT_DOUBLE_EQ(jain_index({}), 1.0);
+  EXPECT_DOUBLE_EQ(jain_index(std::vector<double>{0, 0}), 1.0);
+}
+
+TEST(FairnessSummary, ZeroWaitWorkloadIsPerfectlyFair) {
+  std::vector<JobOutcome> outs = {outcome(job(0, 0, 1, kHour), 0),
+                                  outcome(job(1, 0, 1, 2 * kHour), 0)};
+  const FairnessSummary s = fairness_summary(outs);
+  EXPECT_DOUBLE_EQ(s.gini_wait, 0.0);
+  EXPECT_DOUBLE_EQ(s.gini_bsld, 0.0);
+  EXPECT_DOUBLE_EQ(s.jain_bsld, 1.0);
+  EXPECT_DOUBLE_EQ(s.tail5_bsld, 1.0);
+}
+
+TEST(FairnessSummary, StarvationShowsInGiniAndTail) {
+  // Nineteen jobs served instantly, one starved for 100 hours.
+  std::vector<JobOutcome> outs;
+  for (int i = 0; i < 19; ++i) outs.push_back(outcome(job(i, 0, 1, kHour), 0));
+  outs.push_back(outcome(job(19, 0, 1, kHour), 100 * kHour));
+  const FairnessSummary s = fairness_summary(outs);
+  EXPECT_GT(s.gini_wait, 0.9);
+  EXPECT_GT(s.gini_bsld, 0.9);
+  EXPECT_LT(s.jain_bsld, 0.3);
+  EXPECT_DOUBLE_EQ(s.tail5_bsld, 101.0);  // worst 5% = the starved job
+}
+
+TEST(FairnessSummary, SkipsOutOfWindowJobs) {
+  std::vector<JobOutcome> outs = {
+      outcome(job(0, 0, 1, kHour), 0),
+      outcome(job(1, 0, 1, kHour, 0, false), 500 * kHour)};
+  const FairnessSummary s = fairness_summary(outs);
+  EXPECT_DOUBLE_EQ(s.gini_wait, 0.0);
+}
+
+TEST(FairnessSummary, EmptyInput) {
+  const FairnessSummary s = fairness_summary({});
+  EXPECT_DOUBLE_EQ(s.tail5_bsld, 0.0);
+  EXPECT_DOUBLE_EQ(s.jain_bsld, 1.0);
+}
+
+}  // namespace
+}  // namespace sbs

@@ -1,0 +1,205 @@
+#include "core/fairshare.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/search_scheduler.hpp"
+#include "metrics/users.hpp"
+#include "sim/simulator.hpp"
+#include "test_support.hpp"
+#include "util/error.hpp"
+
+namespace sbs {
+namespace {
+
+using test::job;
+using test::trace_of;
+
+Job user_job(int id, Time submit, int nodes, Time runtime, int user) {
+  Job j = job(id, submit, nodes, runtime);
+  j.user = user;
+  return j;
+}
+
+TEST(FairShare, FreshTrackerIsNeutral) {
+  FairShareTracker t;
+  EXPECT_DOUBLE_EQ(t.share_ratio(7, 0), 1.0);
+  EXPECT_EQ(t.adjust_bound(10 * kHour, 7, 0), 10 * kHour);
+  EXPECT_EQ(t.tracked_users(), 0u);
+}
+
+TEST(FairShare, ChargeAccumulatesNodeSeconds) {
+  FairShareTracker t;
+  t.charge(user_job(0, 0, 4, kHour, 1), kHour, 0);
+  EXPECT_DOUBLE_EQ(t.usage(1, 0), 4.0 * kHour);
+  t.charge(user_job(1, 0, 2, kHour, 1), kHour, 0);
+  EXPECT_DOUBLE_EQ(t.usage(1, 0), 6.0 * kHour);
+}
+
+TEST(FairShare, UsageDecaysWithHalfLife) {
+  FairShareConfig cfg;
+  cfg.half_life = kDay;
+  FairShareTracker t(cfg);
+  t.charge(user_job(0, 0, 8, kHour, 1), kHour, 0);
+  const double initial = t.usage(1, 0);
+  EXPECT_NEAR(t.usage(1, kDay), initial / 2.0, 1e-6);
+  EXPECT_NEAR(t.usage(1, 2 * kDay), initial / 4.0, 1e-6);
+}
+
+TEST(FairShare, ShareRatioComparesAgainstEqualShare) {
+  FairShareTracker t;
+  t.charge(user_job(0, 0, 6, kHour, 1), kHour, 0);  // user 1: 6 node-h
+  t.charge(user_job(1, 0, 2, kHour, 2), kHour, 0);  // user 2: 2 node-h
+  // Equal share = 4 node-h; user 1 at 1.5x, user 2 at 0.5x.
+  EXPECT_NEAR(t.share_ratio(1, 0), 1.5, 1e-9);
+  EXPECT_NEAR(t.share_ratio(2, 0), 0.5, 1e-9);
+  // Unknown users consumed nothing -> ratio 0, clamped in adjust_bound.
+  EXPECT_NEAR(t.share_ratio(9, 0), 0.0, 1e-9);
+}
+
+TEST(FairShare, AdjustBoundOnlyTightens) {
+  FairShareConfig cfg;
+  cfg.max_scale = 2.0;
+  FairShareTracker t(cfg);
+  t.charge(user_job(0, 0, 30, kHour, 1), kHour, 0);  // heavy user
+  t.charge(user_job(1, 0, 1, kHour, 2), kHour, 0);   // light user
+  const Time base = 10 * kHour;
+  // Heavy user (ratio ~1.94) keeps the BASE bound — bounds are never
+  // relaxed; the light user is boosted, clamped at 1/2.
+  EXPECT_EQ(t.adjust_bound(base, 1, 0), base);
+  EXPECT_EQ(t.adjust_bound(base, 2, 0), base / 2);
+}
+
+TEST(FairShare, RejectsBadConfig) {
+  FairShareConfig cfg;
+  cfg.half_life = 0;
+  EXPECT_THROW(FairShareTracker{cfg}, Error);
+  FairShareConfig cfg2;
+  cfg2.max_scale = 0.5;
+  EXPECT_THROW(FairShareTracker{cfg2}, Error);
+}
+
+TEST(UserSummary, AggregatesPerUser) {
+  std::vector<JobOutcome> outs;
+  auto outcome = [](Job j, Time start) {
+    JobOutcome o;
+    o.job = j;
+    o.start = start;
+    o.end = start + j.runtime;
+    return o;
+  };
+  outs.push_back(outcome(user_job(0, 0, 2, kHour, 1), 0));
+  outs.push_back(outcome(user_job(1, 0, 2, kHour, 1), 2 * kHour));
+  outs.push_back(outcome(user_job(2, 0, 4, 2 * kHour, 3), kHour));
+  const auto users = per_user_summary(outs);
+  ASSERT_EQ(users.size(), 2u);
+  EXPECT_EQ(users[0].user, 1);
+  EXPECT_EQ(users[0].jobs, 2u);
+  EXPECT_DOUBLE_EQ(users[0].avg_wait_h, 1.0);
+  EXPECT_DOUBLE_EQ(users[0].demand_node_h, 4.0);
+  EXPECT_EQ(users[1].user, 3);
+  EXPECT_DOUBLE_EQ(users[1].avg_bsld, 1.5);
+}
+
+TEST(UserSummary, SpreadDetectsUnevenService) {
+  std::vector<JobOutcome> outs;
+  auto outcome = [](Job j, Time start) {
+    JobOutcome o;
+    o.job = j;
+    o.start = start;
+    o.end = start + j.runtime;
+    return o;
+  };
+  // User 1: five zero-wait jobs (bsld 1). User 2: five jobs waiting 3h.
+  for (int i = 0; i < 5; ++i)
+    outs.push_back(outcome(user_job(i, 0, 1, kHour, 1), 0));
+  for (int i = 5; i < 10; ++i)
+    outs.push_back(outcome(user_job(i, 0, 1, kHour, 2), 3 * kHour));
+  EXPECT_DOUBLE_EQ(user_service_spread(outs), 4.0);
+  // With min_jobs too high, nobody qualifies -> neutral 1.
+  EXPECT_DOUBLE_EQ(user_service_spread(outs, 50), 1.0);
+}
+
+TEST(FairShareScheduler, NameCarriesSuffix) {
+  SearchSchedulerConfig cfg;
+  cfg.fairshare = true;
+  SearchScheduler s(cfg);
+  EXPECT_EQ(s.name(), "DDS/lxf/dynB+fs");
+}
+
+TEST(FairShareScheduler, HeavyUserYieldsToLightUser) {
+  // Machine busy; two identical jobs queue, one from a user with massive
+  // recorded usage (established by earlier jobs), one from a new user.
+  // With fair-share on, the light user's job starts first at the drain.
+  std::vector<Job> jobs;
+  // User 1 burns the machine for a while (several big jobs).
+  jobs.push_back(user_job(0, 0, 4, 2 * kHour, 1));
+  jobs.push_back(user_job(1, 10, 4, 2 * kHour, 1));
+  // Then both users submit an identical 4-node job while busy.
+  jobs.push_back(user_job(2, 20, 4, kHour, 1));   // heavy user
+  jobs.push_back(user_job(3, 21, 4, kHour, 2));   // light user
+  const Trace t = trace_of(std::move(jobs), 4);
+
+  // The bound must straddle the achievable waits (2h / 3h / 4h) so the
+  // fair-share scaling moves jobs across the excessive-wait boundary —
+  // when every assignment is over-bound the total excess is assignment-
+  // invariant and fair-share cannot discriminate.
+  SearchSchedulerConfig cfg;
+  cfg.fairshare = true;
+  cfg.bound = BoundSpec::fixed_bound(3 * kHour);
+  SearchScheduler with_fs(cfg);
+  const SimResult r = simulate(t, with_fs);
+  EXPECT_LT(r.outcomes[3].start, r.outcomes[2].start);
+
+  // Without fair-share the FCFS-older heavy job goes first (lxf ranks the
+  // longer-waiting identical job higher).
+  SearchSchedulerConfig plain;
+  plain.bound = BoundSpec::fixed_bound(3 * kHour);
+  SearchScheduler without(plain);
+  const SimResult r2 = simulate(t, without);
+  EXPECT_LT(r2.outcomes[2].start, r2.outcomes[3].start);
+}
+
+TEST(FairShareScheduler, LightUsersGainAtHeavyUsersExpense) {
+  // A dominant user floods the queue while several small users each
+  // submit a few jobs. Fair-share is usage-weighted: the light users'
+  // service must improve substantially and the flooding user pays.
+  std::vector<Job> jobs;
+  int id = 0;
+  for (int i = 0; i < 40; ++i)
+    jobs.push_back(user_job(id++, i * 60, 2, 2 * kHour, 1));
+  for (int u = 2; u <= 6; ++u)
+    for (int i = 0; i < 6; ++i)
+      jobs.push_back(user_job(id++, 600 + u * 97 + i * 1800, 2, kHour, u));
+  const Trace t = trace_of(std::move(jobs), 8);
+
+  struct Split {
+    double heavy_wait = 0.0;
+    double light_wait = 0.0;
+  };
+  auto run = [&](bool fairshare) {
+    SearchSchedulerConfig cfg;
+    cfg.fairshare = fairshare;
+    SearchScheduler s(cfg);
+    const SimResult r = simulate(t, s);
+    Split split;
+    int light_users = 0;
+    for (const UserSummary& u : per_user_summary(r.outcomes)) {
+      if (u.user == 1) {
+        split.heavy_wait = u.avg_wait_h;
+      } else {
+        split.light_wait += u.avg_wait_h;
+        ++light_users;
+      }
+    }
+    split.light_wait /= light_users;
+    return split;
+  };
+
+  const Split with_fs = run(true);
+  const Split without = run(false);
+  EXPECT_LT(with_fs.light_wait, 0.7 * without.light_wait);
+  EXPECT_GE(with_fs.heavy_wait, without.heavy_wait);
+}
+
+}  // namespace
+}  // namespace sbs

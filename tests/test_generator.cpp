@@ -1,0 +1,200 @@
+#include "workload/generator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "metrics/trace_mix.hpp"
+#include "util/error.hpp"
+
+namespace sbs {
+namespace {
+
+TEST(NcsaTables, TenMonthsTranscribed) {
+  ASSERT_EQ(ncsa_months().size(), 10u);
+  EXPECT_EQ(ncsa_months().front().name, "6/03");
+  EXPECT_EQ(ncsa_months().back().name, "3/04");
+}
+
+TEST(NcsaTables, LookupByName) {
+  const MonthStats& m = ncsa_month("7/03");
+  EXPECT_EQ(m.total_jobs, 1399);
+  EXPECT_NEAR(m.load, 0.89, 1e-9);
+  EXPECT_THROW(ncsa_month("13/99"), Error);
+}
+
+TEST(NcsaTables, RuntimeLimitSwitchesInDecember) {
+  EXPECT_EQ(ncsa_month("11/03").runtime_limit, 12 * kHour);
+  EXPECT_EQ(ncsa_month("12/03").runtime_limit, 24 * kHour);
+  EXPECT_EQ(ncsa_month("3/04").runtime_limit, 24 * kHour);
+}
+
+TEST(NcsaTables, FractionsRoughlyNormalized) {
+  for (const auto& m : ncsa_months()) {
+    double jobs = 0, demand = 0;
+    for (std::size_t r = 0; r < 8; ++r) {
+      jobs += m.job_fraction[r];
+      demand += m.demand_fraction[r];
+    }
+    EXPECT_NEAR(jobs, 1.0, 0.02) << m.name;
+    EXPECT_NEAR(demand, 1.0, 0.02) << m.name;
+  }
+}
+
+TEST(NcsaTables, CoarseClassMapping) {
+  EXPECT_EQ(coarse_class_of_range(0), 0u);
+  EXPECT_EQ(coarse_class_of_range(1), 1u);
+  EXPECT_EQ(coarse_class_of_range(2), 2u);
+  EXPECT_EQ(coarse_class_of_range(3), 2u);
+  EXPECT_EQ(coarse_class_of_range(4), 3u);
+  EXPECT_EQ(coarse_class_of_range(5), 3u);
+  EXPECT_EQ(coarse_class_of_range(6), 4u);
+  EXPECT_EQ(coarse_class_of_range(7), 4u);
+}
+
+TEST(NcsaTables, RangeBoundsMatchLabels) {
+  EXPECT_EQ(mix_range_bounds(0).lo, 1);
+  EXPECT_EQ(mix_range_bounds(0).hi, 1);
+  EXPECT_EQ(mix_range_bounds(7).lo, 65);
+  EXPECT_EQ(mix_range_bounds(7).hi, 128);
+}
+
+TEST(Generator, Deterministic) {
+  const Trace a = generate_month("9/03");
+  const Trace b = generate_month("9/03");
+  ASSERT_EQ(a.jobs.size(), b.jobs.size());
+  for (std::size_t i = 0; i < a.jobs.size(); ++i) {
+    EXPECT_EQ(a.jobs[i].submit, b.jobs[i].submit);
+    EXPECT_EQ(a.jobs[i].nodes, b.jobs[i].nodes);
+    EXPECT_EQ(a.jobs[i].runtime, b.jobs[i].runtime);
+    EXPECT_EQ(a.jobs[i].requested, b.jobs[i].requested);
+  }
+}
+
+TEST(Generator, DifferentSeedsDiffer) {
+  GeneratorConfig a, b;
+  a.seed = 1;
+  b.seed = 2;
+  const Trace ta = generate_month("9/03", a);
+  const Trace tb = generate_month("9/03", b);
+  bool any_diff = ta.jobs.size() != tb.jobs.size();
+  for (std::size_t i = 0; !any_diff && i < ta.jobs.size(); ++i)
+    any_diff = ta.jobs[i].submit != tb.jobs[i].submit ||
+               ta.jobs[i].runtime != tb.jobs[i].runtime;
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Generator, JobCountMatchesTable) {
+  for (const char* name : {"6/03", "1/04"}) {
+    const Trace t = generate_month(name);
+    EXPECT_EQ(t.in_window_count(),
+              static_cast<std::size_t>(ncsa_month(name).total_jobs))
+        << name;
+  }
+}
+
+TEST(Generator, OfferedLoadNearTable) {
+  for (const auto& m : ncsa_months()) {
+    const Trace t = generate_month(m);
+    EXPECT_NEAR(t.offered_load(), m.load, 0.08) << m.name;
+  }
+}
+
+TEST(Generator, JobMixMatchesTable3) {
+  // The generated per-range job fractions must track Table 3 closely
+  // (apportionment is deterministic), demand fractions within tolerance.
+  for (const char* name : {"7/03", "1/04", "10/03"}) {
+    const MonthStats& m = ncsa_month(name);
+    const TraceMix mix = trace_mix(generate_month(m));
+    double jf_sum = 0;
+    for (double f : m.job_fraction) jf_sum += f;
+    for (std::size_t r = 0; r < kMixRanges; ++r) {
+      EXPECT_NEAR(mix.job_fraction[r], m.job_fraction[r] / jf_sum, 0.01)
+          << name << " range " << r;
+      EXPECT_NEAR(mix.demand_fraction[r], m.demand_fraction[r], 0.06)
+          << name << " range " << r;
+    }
+  }
+}
+
+TEST(Generator, RuntimeClassesMatchTable4) {
+  for (const char* name : {"8/03", "1/04"}) {
+    const MonthStats& m = ncsa_month(name);
+    const RuntimeMix mix = runtime_mix(generate_month(m));
+    double short_target = 0, long_target = 0;
+    for (std::size_t c = 0; c < 5; ++c) {
+      short_target += m.short_fraction[c];
+      long_target += m.long_fraction[c];
+    }
+    EXPECT_NEAR(mix.short_total, short_target, 0.08) << name;
+    EXPECT_NEAR(mix.long_total, long_target, 0.08) << name;
+  }
+}
+
+TEST(Generator, RespectsRuntimeLimit) {
+  for (const char* name : {"11/03", "12/03"}) {
+    const Trace t = generate_month(name);
+    const Time limit = ncsa_month(name).runtime_limit;
+    for (const auto& j : t.jobs) {
+      EXPECT_LE(j.runtime, limit);
+      EXPECT_LE(j.requested, limit);
+      EXPECT_GE(j.requested, j.runtime);
+    }
+  }
+}
+
+TEST(Generator, WarmupAndCooldownFlanksWindow) {
+  const Trace t = generate_month("6/03");
+  bool has_warm = false, has_cool = false;
+  for (const auto& j : t.jobs) {
+    if (!j.in_window) {
+      EXPECT_TRUE(j.submit < 0 || j.submit >= t.window_end);
+      has_warm |= j.submit < 0;
+      has_cool |= j.submit >= t.window_end;
+      EXPECT_GE(j.submit, -kWeek);
+      EXPECT_LT(j.submit, t.window_end + kWeek);
+    } else {
+      EXPECT_GE(j.submit, 0);
+      EXPECT_LT(j.submit, t.window_end);
+    }
+  }
+  EXPECT_TRUE(has_warm);
+  EXPECT_TRUE(has_cool);
+}
+
+TEST(Generator, NoWarmupWhenDisabled) {
+  GeneratorConfig cfg;
+  cfg.warmup_cooldown = false;
+  const Trace t = generate_month("6/03", cfg);
+  for (const auto& j : t.jobs) EXPECT_TRUE(j.in_window);
+}
+
+TEST(Generator, ScaledRunPreservesLoad) {
+  GeneratorConfig cfg;
+  cfg.job_scale = 0.25;
+  const Trace t = generate_month("7/03", cfg);
+  EXPECT_NEAR(t.offered_load(), 0.89, 0.1);
+  EXPECT_NEAR(static_cast<double>(t.in_window_count()), 0.25 * 1399, 2.0);
+  EXPECT_EQ(t.window_end, static_cast<Time>(0.25 * 31 * kDay));
+}
+
+TEST(Generator, TooSmallScaleRejected) {
+  GeneratorConfig cfg;
+  cfg.job_scale = 0.001;
+  EXPECT_THROW(generate_month("7/03", cfg), Error);
+}
+
+TEST(Generator, AllMonthsGenerateAndValidate) {
+  GeneratorConfig cfg;
+  cfg.job_scale = 0.2;
+  const auto traces = generate_all_months(cfg);
+  ASSERT_EQ(traces.size(), 10u);
+  for (const auto& t : traces) EXPECT_NO_THROW(t.validate());
+}
+
+TEST(Generator, HighLoadRescaleHitsTarget) {
+  const Trace t = generate_month("10/03");
+  const Trace hi = rescale_to_load(t, 0.9);
+  EXPECT_NEAR(hi.offered_load(), 0.9, 0.01);
+}
+
+}  // namespace
+}  // namespace sbs

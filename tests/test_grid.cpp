@@ -1,0 +1,104 @@
+#include "exp/grid.hpp"
+
+#include <gtest/gtest.h>
+
+#include "predict/predictor.hpp"
+#include "util/error.hpp"
+
+namespace sbs {
+namespace {
+
+GridSpec small_spec() {
+  GridSpec spec;
+  spec.months = {"9/03", "10/03"};
+  spec.policies = {"FCFS-BF", "DDS/lxf/dynB"};
+  spec.node_limit = 300;
+  spec.generator.job_scale = 0.1;
+  return spec;
+}
+
+TEST(Grid, ProducesMonthMajorRows) {
+  const auto rows = run_grid(small_spec());
+  ASSERT_EQ(rows.size(), 4u);
+  EXPECT_EQ(rows[0].month, "9/03");
+  EXPECT_EQ(rows[0].policy, "FCFS-backfill");
+  EXPECT_EQ(rows[1].month, "9/03");
+  EXPECT_EQ(rows[1].policy, "DDS/lxf/dynB");
+  EXPECT_EQ(rows[2].month, "10/03");
+  EXPECT_EQ(rows[3].month, "10/03");
+}
+
+TEST(Grid, MatchesDirectEvaluation) {
+  const GridSpec spec = small_spec();
+  const auto rows = run_grid(spec);
+
+  const Trace trace = generate_month("9/03", spec.generator);
+  const Thresholds th = fcfs_thresholds(trace);
+  const MonthEval direct = evaluate_spec(trace, "DDS/lxf/dynB", 300, th);
+  EXPECT_DOUBLE_EQ(rows[1].summary.avg_wait_h, direct.summary.avg_wait_h);
+  EXPECT_DOUBLE_EQ(rows[1].summary.max_wait_h, direct.summary.max_wait_h);
+  EXPECT_DOUBLE_EQ(rows[1].e_max.total_h, direct.e_max.total_h);
+}
+
+TEST(Grid, ThreadCountDoesNotChangeResults) {
+  GridSpec spec = small_spec();
+  spec.threads = 1;
+  const auto serial = run_grid(spec);
+  spec.threads = 4;
+  const auto parallel = run_grid(spec);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i].policy, parallel[i].policy);
+    EXPECT_DOUBLE_EQ(serial[i].summary.avg_wait_h,
+                     parallel[i].summary.avg_wait_h);
+    EXPECT_DOUBLE_EQ(serial[i].summary.avg_bounded_slowdown,
+                     parallel[i].summary.avg_bounded_slowdown);
+    EXPECT_EQ(serial[i].sched.nodes_visited, parallel[i].sched.nodes_visited);
+  }
+}
+
+TEST(Grid, LoadRescaleApplied) {
+  GridSpec spec = small_spec();
+  spec.months = {"10/03"};
+  spec.policies = {"FCFS-BF"};
+  spec.load = 0.9;
+  spec.keep_outcomes = true;
+  const auto rows = run_grid(spec);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_FALSE(rows[0].outcomes.empty());
+}
+
+TEST(Grid, OutcomesDroppedByDefault) {
+  const auto rows = run_grid(small_spec());
+  EXPECT_TRUE(rows[0].outcomes.empty());
+}
+
+TEST(Grid, RejectsBadInput) {
+  GridSpec empty = small_spec();
+  empty.policies.clear();
+  EXPECT_THROW(run_grid(empty), Error);
+
+  GridSpec typo = small_spec();
+  typo.policies = {"FCSF-BF"};
+  EXPECT_THROW(run_grid(typo), Error);
+
+  GridSpec unknown_month = small_spec();
+  unknown_month.months = {"13/99"};
+  EXPECT_THROW(run_grid(unknown_month), Error);
+
+  GridSpec with_predictor = small_spec();
+  IdentityPredictor predictor;
+  with_predictor.sim.predictor = &predictor;
+  EXPECT_THROW(run_grid(with_predictor), Error);
+}
+
+TEST(Grid, AllMonthsWhenUnspecified) {
+  GridSpec spec = small_spec();
+  spec.months.clear();
+  spec.policies = {"FCFS-BF"};
+  const auto rows = run_grid(spec);
+  EXPECT_EQ(rows.size(), 10u);
+}
+
+}  // namespace
+}  // namespace sbs

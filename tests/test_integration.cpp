@@ -1,0 +1,151 @@
+// Integration tests: whole-pipeline properties the paper's conclusions
+// rest on, checked on scaled-down synthetic months.
+
+#include <gtest/gtest.h>
+
+#include "exp/policy_factory.hpp"
+#include "exp/runner.hpp"
+#include "test_support.hpp"
+#include "workload/generator.hpp"
+
+namespace sbs {
+namespace {
+
+struct MonthFixture {
+  Trace trace;
+  Thresholds thresholds;
+};
+
+MonthFixture fixture(const char* month, double load = 0.0,
+                     double scale = 0.2) {
+  GeneratorConfig cfg;
+  cfg.job_scale = scale;
+  MonthFixture f;
+  f.trace = generate_month(month, cfg);
+  if (load > 0.0) f.trace = rescale_to_load(f.trace, load);
+  f.thresholds = fcfs_thresholds(f.trace);
+  return f;
+}
+
+TEST(Integration, AllPoliciesFeasibleOnAHighLoadMonth) {
+  const MonthFixture f = fixture("7/03", 0.9);
+  for (const char* spec :
+       {"FCFS-BF", "LXF-BF", "SJF-BF", "LXF&W-BF", "Selective-BF",
+        "Lookahead", "DDS/lxf/dynB", "LDS/lxf/dynB", "DDS/fcfs/dynB",
+        "DDS/lxf/w=100h", "DDS/lxf/wT"}) {
+    const MonthEval eval =
+        evaluate_spec(f.trace, spec, 500, f.thresholds, {}, true);
+    EXPECT_NO_THROW(test::check_feasible(eval.outcomes, f.trace.capacity))
+        << spec;
+    EXPECT_EQ(eval.summary.jobs, f.trace.in_window_count()) << spec;
+  }
+}
+
+TEST(Integration, LxfBeatsFcfsOnSlowdown) {
+  // The envelope the paper builds on: LXF-backfill has (much) lower
+  // average slowdown than FCFS-backfill under load.
+  const MonthFixture f = fixture("7/03", 0.9);
+  const MonthEval fcfs = evaluate_spec(f.trace, "FCFS-BF", 0, f.thresholds);
+  const MonthEval lxf = evaluate_spec(f.trace, "LXF-BF", 0, f.thresholds);
+  EXPECT_LT(lxf.summary.avg_bounded_slowdown,
+            fcfs.summary.avg_bounded_slowdown);
+}
+
+TEST(Integration, SearchPolicyHoldsTheMaxWaitEnvelope) {
+  // DDS/lxf/dynB's max wait stays near FCFS-backfill's (well below
+  // LXF-backfill's on starvation-prone months).
+  const MonthFixture f = fixture("7/03", 0.9);
+  const MonthEval fcfs = evaluate_spec(f.trace, "FCFS-BF", 0, f.thresholds);
+  const MonthEval lxf = evaluate_spec(f.trace, "LXF-BF", 0, f.thresholds);
+  const MonthEval dds =
+      evaluate_spec(f.trace, "DDS/lxf/dynB", 1000, f.thresholds);
+  EXPECT_LE(dds.summary.max_wait_h, lxf.summary.max_wait_h);
+  EXPECT_LE(dds.summary.max_wait_h, fcfs.summary.max_wait_h * 1.25);
+  EXPECT_LT(dds.summary.avg_bounded_slowdown,
+            fcfs.summary.avg_bounded_slowdown);
+}
+
+TEST(Integration, SearchPolicyKeepsExcessiveWaitLow) {
+  const MonthFixture f = fixture("10/03", 0.9);
+  const MonthEval lxf = evaluate_spec(f.trace, "LXF-BF", 0, f.thresholds);
+  const MonthEval dds =
+      evaluate_spec(f.trace, "DDS/lxf/dynB", 1000, f.thresholds);
+  EXPECT_LE(dds.e_max.total_h, lxf.e_max.total_h + 1e-9);
+}
+
+TEST(Integration, FixedBoundZeroDegeneratesToAverageWaitMinimization) {
+  // §5.1: ω = 0 turns the first level into average-wait minimization and
+  // ruins the max wait relative to a sane bound.
+  const MonthFixture f = fixture("10/03", 0.9);
+  const MonthEval w0 = evaluate_spec(f.trace, "DDS/lxf/w=0h", 1000, f.thresholds);
+  const MonthEval w50 =
+      evaluate_spec(f.trace, "DDS/lxf/w=50h", 1000, f.thresholds);
+  EXPECT_GT(w0.summary.max_wait_h, w50.summary.max_wait_h);
+  EXPECT_LE(w0.summary.avg_wait_h, w50.summary.avg_wait_h * 1.2);
+}
+
+TEST(Integration, MaxWaitTracksTheFixedBound) {
+  // Figure 2: larger ω lets the max wait drift up toward ω.
+  const MonthFixture f = fixture("10/03", 0.9);
+  const MonthEval w50 =
+      evaluate_spec(f.trace, "DDS/lxf/w=50h", 1000, f.thresholds);
+  const MonthEval w300 =
+      evaluate_spec(f.trace, "DDS/lxf/w=300h", 1000, f.thresholds);
+  EXPECT_LE(w50.summary.max_wait_h, 50.0 * 1.3);
+  EXPECT_GE(w300.summary.max_wait_h, w50.summary.max_wait_h);
+}
+
+TEST(Integration, SjfStarvesSomeJob) {
+  // §3.2: SJF-backfill has a starvation problem — its max wait exceeds
+  // FCFS-backfill's substantially on a loaded month.
+  const MonthFixture f = fixture("10/03", 0.9);
+  const MonthEval fcfs = evaluate_spec(f.trace, "FCFS-BF", 0, f.thresholds);
+  const MonthEval sjf = evaluate_spec(f.trace, "SJF-BF", 0, f.thresholds);
+  EXPECT_GT(sjf.summary.max_wait_h, fcfs.summary.max_wait_h);
+}
+
+TEST(Integration, LookaheadTracksFcfsShape) {
+  // §3.2 verification: Lookahead behaves like FCFS-backfill (keeps the
+  // FCFS reservation; only packs better), so its max wait stays close.
+  const MonthFixture f = fixture("9/03", 0.9);
+  const MonthEval fcfs = evaluate_spec(f.trace, "FCFS-BF", 0, f.thresholds);
+  const MonthEval look = evaluate_spec(f.trace, "Lookahead", 0, f.thresholds);
+  EXPECT_NEAR(look.summary.max_wait_h, fcfs.summary.max_wait_h,
+              0.5 * fcfs.summary.max_wait_h + 5.0);
+  EXPECT_LE(look.summary.avg_wait_h, fcfs.summary.avg_wait_h * 1.1);
+}
+
+TEST(Integration, HigherNodeBudgetHelpsOrHolds) {
+  const MonthFixture f = fixture("1/04", 0.9);
+  const MonthEval l1k =
+      evaluate_spec(f.trace, "DDS/lxf/dynB", 1000, f.thresholds);
+  const MonthEval l8k =
+      evaluate_spec(f.trace, "DDS/lxf/dynB", 8000, f.thresholds);
+  // More search should not substantially worsen the first-level objective.
+  EXPECT_LE(l8k.e_max.total_h, l1k.e_max.total_h * 1.25 + 5.0);
+  EXPECT_GT(l8k.sched.nodes_visited, l1k.sched.nodes_visited);
+}
+
+TEST(Integration, RequestedRuntimesShrinkButPreserveGaps) {
+  // §6.4: with R* = R the qualitative ordering persists.
+  const MonthFixture f = fixture("9/03", 0.9);
+  SimConfig sim;
+  sim.use_requested_runtime = true;
+  const Thresholds th = fcfs_thresholds(f.trace, sim);
+  const MonthEval fcfs = evaluate_spec(f.trace, "FCFS-BF", 0, th, sim);
+  const MonthEval lxf = evaluate_spec(f.trace, "LXF-BF", 0, th, sim);
+  EXPECT_LT(lxf.summary.avg_bounded_slowdown,
+            fcfs.summary.avg_bounded_slowdown);
+}
+
+TEST(Integration, WarmupJobsExcludedFromMetricsButSimulated) {
+  const MonthFixture f = fixture("9/03");
+  const MonthEval eval =
+      evaluate_spec(f.trace, "FCFS-BF", 0, f.thresholds, {}, true);
+  EXPECT_LT(eval.summary.jobs, f.trace.jobs.size());
+  // Warm-up jobs still ran (their outcomes exist and are feasible).
+  EXPECT_NO_THROW(test::check_feasible(eval.outcomes, f.trace.capacity));
+}
+
+}  // namespace
+}  // namespace sbs

@@ -1,0 +1,136 @@
+#include "core/local_search.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "test_support.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace sbs {
+namespace {
+
+using test::ProblemBuilder;
+
+std::vector<std::size_t> identity_order(std::size_t n) {
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  return order;
+}
+
+TEST(LocalSearch, NeverWorseThanSeed) {
+  Rng rng(5);
+  for (int trial = 0; trial < 15; ++trial) {
+    ProblemBuilder b(8);
+    const int n = static_cast<int>(rng.uniform_int(2, 8));
+    for (int i = 0; i < n; ++i)
+      b.wait(-static_cast<Time>(rng.uniform_int(0, 4 * kHour)),
+             static_cast<int>(rng.uniform_int(1, 8)),
+             static_cast<Time>(rng.uniform_int(kMinute, 4 * kHour)),
+             static_cast<Time>(rng.uniform_int(0, kHour)));
+    const SearchProblem p = b.build();
+    const auto seed = identity_order(p.size());
+    const BuiltSchedule seeded = build_schedule(p, seed);
+    const LocalSearchResult refined = local_search(p, seed);
+    EXPECT_FALSE(objective_less(seeded.value, refined.value));
+  }
+}
+
+TEST(LocalSearch, FindsTheObviousSwap) {
+  // Two 3-node jobs on a 4-node machine: only one can run now. The seed
+  // order runs the slack job (100h bound) first and pushes the urgent job
+  // (1h bound) to 4h of wait — 3h of excess. Swapping them zeroes the
+  // excess; one adjacent swap must find that.
+  ProblemBuilder b(4);
+  b.wait(0, 3, 4 * kHour, 100 * kHour)  // slack job, considered first
+      .wait(0, 3, 4 * kHour, kHour);    // urgent job
+  const SearchProblem p = b.build();
+  const BuiltSchedule seeded = build_schedule(p, identity_order(2));
+  EXPECT_GT(seeded.value.excess_h, 0.0);
+  const LocalSearchResult r = local_search(p, identity_order(2));
+  EXPECT_EQ(r.starts[1], 0);  // the urgent job runs immediately
+  EXPECT_DOUBLE_EQ(r.value.excess_h, 0.0);
+  EXPECT_GE(r.improvements, 1u);
+}
+
+TEST(LocalSearch, RespectsEvaluationBudget) {
+  ProblemBuilder b(8);
+  for (int i = 0; i < 8; ++i) b.wait(-kHour, 3, kHour, kMinute);
+  const SearchProblem p = b.build();
+  LocalSearchConfig cfg;
+  cfg.max_evaluations = 10;
+  const LocalSearchResult r = local_search(p, identity_order(8), cfg);
+  EXPECT_LE(r.evaluations, 10u);
+}
+
+TEST(LocalSearch, SingleJobIsTrivial) {
+  ProblemBuilder b(4);
+  b.wait(0, 2, kHour);
+  const SearchProblem p = b.build();
+  const LocalSearchResult r = local_search(p, identity_order(1));
+  EXPECT_EQ(r.order, identity_order(1));
+  EXPECT_EQ(r.evaluations, 1u);
+}
+
+TEST(LocalSearch, RejectsWrongSeedSize) {
+  ProblemBuilder b(4);
+  b.wait(0, 2, kHour).wait(0, 2, kHour);
+  const SearchProblem p = b.build();
+  EXPECT_THROW(local_search(p, identity_order(1)), Error);
+}
+
+TEST(LocalSearch, ResultOrderIsPermutationAndRebuilds) {
+  Rng rng(9);
+  ProblemBuilder b(16);
+  for (int i = 0; i < 7; ++i)
+    b.wait(-static_cast<Time>(rng.uniform_int(0, 2 * kHour)),
+           static_cast<int>(rng.uniform_int(1, 16)),
+           static_cast<Time>(rng.uniform_int(kMinute, 2 * kHour)),
+           static_cast<Time>(rng.uniform_int(0, kHour)));
+  const SearchProblem p = b.build();
+  const LocalSearchResult r = local_search(p, identity_order(7));
+  std::vector<std::size_t> sorted = r.order;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, identity_order(7));
+  const BuiltSchedule rebuilt = build_schedule(p, r.order);
+  EXPECT_EQ(rebuilt.starts, r.starts);
+}
+
+TEST(LocalSearch, DeterministicGivenSeed) {
+  ProblemBuilder b(8);
+  for (int i = 0; i < 6; ++i)
+    b.wait(-static_cast<Time>(i) * kHour, (i % 3) + 1, kHour, kMinute);
+  const SearchProblem p = b.build();
+  LocalSearchConfig cfg;
+  cfg.seed = 42;
+  const LocalSearchResult a = local_search(p, identity_order(6), cfg);
+  const LocalSearchResult c = local_search(p, identity_order(6), cfg);
+  EXPECT_EQ(a.order, c.order);
+  EXPECT_EQ(a.evaluations, c.evaluations);
+}
+
+TEST(SearchThenRefine, AtLeastAsGoodAsTreeSearchAlone) {
+  Rng rng(31);
+  for (int trial = 0; trial < 10; ++trial) {
+    ProblemBuilder b(16);
+    const int n = static_cast<int>(rng.uniform_int(3, 9));
+    for (int i = 0; i < n; ++i)
+      b.wait(-static_cast<Time>(rng.uniform_int(0, 6 * kHour)),
+             static_cast<int>(rng.uniform_int(1, 16)),
+             static_cast<Time>(rng.uniform_int(kMinute, 6 * kHour)),
+             static_cast<Time>(rng.uniform_int(0, 2 * kHour)));
+    const SearchProblem p = b.build();
+    SearchConfig sc;
+    sc.algo = SearchAlgo::Dds;
+    sc.branching = Branching::Lxf;
+    sc.node_limit = 50;
+    const SearchResult tree = run_search(p, sc);
+    const LocalSearchResult hybrid = search_then_refine(p, sc);
+    EXPECT_FALSE(objective_less(tree.value, hybrid.value));
+  }
+}
+
+}  // namespace
+}  // namespace sbs

@@ -1,0 +1,203 @@
+#include <gtest/gtest.h>
+
+#include "metrics/job_class.hpp"
+#include "metrics/summary.hpp"
+#include "metrics/trace_mix.hpp"
+#include "test_support.hpp"
+
+namespace sbs {
+namespace {
+
+using test::job;
+using test::trace_of;
+
+JobOutcome outcome(Job j, Time start) {
+  JobOutcome o;
+  o.job = j;
+  o.start = start;
+  o.end = start + j.runtime;
+  return o;
+}
+
+TEST(BoundedSlowdown, ZeroWaitIsOne) {
+  EXPECT_DOUBLE_EQ(bounded_slowdown(outcome(job(0, 0, 1, kHour), 0)), 1.0);
+}
+
+TEST(BoundedSlowdown, OneMinuteFloorForShortJobs) {
+  // 10-second job waiting 60 s: treated as a 1-minute job -> (60+60)/60 = 2.
+  EXPECT_DOUBLE_EQ(bounded_slowdown(outcome(job(0, 0, 1, 10), 60)), 2.0);
+  // Same as an exactly-1-minute job with the same wait.
+  EXPECT_DOUBLE_EQ(bounded_slowdown(outcome(job(0, 0, 1, kMinute), 60)), 2.0);
+}
+
+TEST(BoundedSlowdown, LongJobUsesActualRuntime) {
+  // 2h job waiting 2h: (2h + 2h) / 2h = 2.
+  EXPECT_DOUBLE_EQ(
+      bounded_slowdown(outcome(job(0, 0, 1, 2 * kHour), 2 * kHour)), 2.0);
+}
+
+TEST(ExcessiveWait, ZeroWhenUnderThreshold) {
+  const auto o = outcome(job(0, 0, 1, 100), 50);
+  EXPECT_EQ(excessive_wait(o, 50), 0);
+  EXPECT_EQ(excessive_wait(o, 49), 1);
+}
+
+TEST(Summary, ComputesAllMeasures) {
+  std::vector<JobOutcome> outs = {
+      outcome(job(0, 0, 1, kHour), 0),          // wait 0
+      outcome(job(1, 0, 1, kHour), 2 * kHour),  // wait 2h
+      outcome(job(2, 0, 1, kHour), 4 * kHour),  // wait 4h
+  };
+  const Summary s = summarize(outs);
+  EXPECT_EQ(s.jobs, 3u);
+  EXPECT_DOUBLE_EQ(s.avg_wait_h, 2.0);
+  EXPECT_DOUBLE_EQ(s.max_wait_h, 4.0);
+  EXPECT_DOUBLE_EQ(s.avg_bounded_slowdown, (1.0 + 3.0 + 5.0) / 3.0);
+  EXPECT_DOUBLE_EQ(s.max_bounded_slowdown, 5.0);
+  EXPECT_DOUBLE_EQ(s.avg_turnaround_h, 3.0);
+}
+
+TEST(Summary, SkipsOutOfWindowJobs) {
+  std::vector<JobOutcome> outs = {
+      outcome(job(0, 0, 1, kHour), 0),
+      outcome(job(1, 0, 1, kHour, 0, false), 100 * kHour),
+  };
+  const Summary s = summarize(outs);
+  EXPECT_EQ(s.jobs, 1u);
+  EXPECT_DOUBLE_EQ(s.max_wait_h, 0.0);
+}
+
+TEST(Summary, EmptyInput) {
+  const Summary s = summarize({});
+  EXPECT_EQ(s.jobs, 0u);
+  EXPECT_DOUBLE_EQ(s.avg_wait_h, 0.0);
+}
+
+TEST(ExcessiveStats, AggregatesOnlyPositiveExcess) {
+  std::vector<JobOutcome> outs = {
+      outcome(job(0, 0, 1, kHour), kHour),      // wait 1h, excess 0
+      outcome(job(1, 0, 1, kHour), 3 * kHour),  // wait 3h, excess 1h
+      outcome(job(2, 0, 1, kHour), 6 * kHour),  // wait 6h, excess 4h
+  };
+  const ExcessiveWaitStats e = excessive_stats(outs, 2 * kHour);
+  EXPECT_EQ(e.count, 2u);
+  EXPECT_DOUBLE_EQ(e.total_h, 5.0);
+  EXPECT_DOUBLE_EQ(e.avg_h, 2.5);
+  EXPECT_DOUBLE_EQ(e.max_h, 4.0);
+}
+
+TEST(ExcessiveStats, ZeroForGenerousThreshold) {
+  std::vector<JobOutcome> outs = {outcome(job(0, 0, 1, kHour), kHour)};
+  const ExcessiveWaitStats e = excessive_stats(outs, 100 * kHour);
+  EXPECT_EQ(e.count, 0u);
+  EXPECT_DOUBLE_EQ(e.total_h, 0.0);
+}
+
+TEST(JobClass, NodeBoundaries) {
+  EXPECT_EQ(node_class(1), 0u);
+  EXPECT_EQ(node_class(2), 1u);
+  EXPECT_EQ(node_class(8), 1u);
+  EXPECT_EQ(node_class(9), 2u);
+  EXPECT_EQ(node_class(32), 2u);
+  EXPECT_EQ(node_class(33), 3u);
+  EXPECT_EQ(node_class(64), 3u);
+  EXPECT_EQ(node_class(65), 4u);
+  EXPECT_EQ(node_class(128), 4u);
+}
+
+TEST(JobClass, RuntimeBoundaries) {
+  EXPECT_EQ(runtime_class(1), 0u);
+  EXPECT_EQ(runtime_class(10 * kMinute), 0u);
+  EXPECT_EQ(runtime_class(10 * kMinute + 1), 1u);
+  EXPECT_EQ(runtime_class(kHour), 1u);
+  EXPECT_EQ(runtime_class(4 * kHour), 2u);
+  EXPECT_EQ(runtime_class(8 * kHour), 3u);
+  EXPECT_EQ(runtime_class(8 * kHour + 1), 4u);
+}
+
+TEST(JobClass, GridAveragesPerCell) {
+  std::vector<JobOutcome> outs = {
+      outcome(job(0, 0, 1, 5 * kMinute), kHour),      // (0,0) wait 1h
+      outcome(job(1, 0, 1, 5 * kMinute), 3 * kHour),  // (0,0) wait 3h
+      outcome(job(2, 0, 64, 10 * kHour), 2 * kHour),  // (3,4) wait 2h
+  };
+  const JobClassGrid g = class_grid(outs);
+  EXPECT_EQ(g.count[0][0], 2u);
+  EXPECT_DOUBLE_EQ(g.avg_wait_h[0][0], 2.0);
+  EXPECT_EQ(g.count[3][4], 1u);
+  EXPECT_DOUBLE_EQ(g.avg_wait_h[3][4], 2.0);
+  EXPECT_EQ(g.count[1][1], 0u);
+  EXPECT_DOUBLE_EQ(g.avg_wait_h[1][1], 0.0);
+}
+
+TEST(JobClass, Labels) {
+  EXPECT_EQ(node_class_label(0), "N=1");
+  EXPECT_EQ(node_class_label(4), "N=65-128");
+  EXPECT_EQ(runtime_class_label(0), "T<=10m");
+  EXPECT_EQ(runtime_class_label(4), "T>8h");
+}
+
+TEST(TraceMix, RangeBoundaries) {
+  EXPECT_EQ(mix_range(1), 0u);
+  EXPECT_EQ(mix_range(2), 1u);
+  EXPECT_EQ(mix_range(3), 2u);
+  EXPECT_EQ(mix_range(4), 2u);
+  EXPECT_EQ(mix_range(5), 3u);
+  EXPECT_EQ(mix_range(8), 3u);
+  EXPECT_EQ(mix_range(16), 4u);
+  EXPECT_EQ(mix_range(32), 5u);
+  EXPECT_EQ(mix_range(64), 6u);
+  EXPECT_EQ(mix_range(128), 7u);
+  EXPECT_EQ(mix_range_label(2), "3-4");
+}
+
+TEST(TraceMix, FractionsSumToOne) {
+  const Trace t = trace_of({job(0, 0, 1, kHour), job(1, 0, 2, kHour),
+                            job(2, 0, 64, 2 * kHour)},
+                           128, 0, 4 * kHour);
+  const TraceMix mix = trace_mix(t);
+  EXPECT_EQ(mix.total_jobs, 3u);
+  double job_sum = 0.0, demand_sum = 0.0;
+  for (std::size_t r = 0; r < kMixRanges; ++r) {
+    job_sum += mix.job_fraction[r];
+    demand_sum += mix.demand_fraction[r];
+  }
+  EXPECT_NEAR(job_sum, 1.0, 1e-12);
+  EXPECT_NEAR(demand_sum, 1.0, 1e-12);
+  // 64-node 2h job dominates the demand.
+  EXPECT_GT(mix.demand_fraction[6], 0.95);
+}
+
+TEST(TraceMix, OfferedLoadMatchesTrace) {
+  const Trace t = trace_of({job(0, 0, 64, kHour)}, 128, 0, kHour);
+  EXPECT_DOUBLE_EQ(trace_mix(t).offered_load, 0.5);
+}
+
+TEST(RuntimeMix, ShortAndLongBands) {
+  const Trace t = trace_of(
+      {job(0, 0, 1, 30 * kMinute),            // short, class 0
+       job(1, 0, 2, 6 * kHour),               // long, class 1
+       job(2, 0, 16, 2 * kHour),              // neither, class 3
+       job(3, 0, 100, kHour)},                // short (exactly 1h), class 4
+      128, 0, 10 * kHour);
+  const RuntimeMix mix = runtime_mix(t);
+  EXPECT_DOUBLE_EQ(mix.short_fraction[0], 0.25);
+  EXPECT_DOUBLE_EQ(mix.short_fraction[4], 0.25);
+  EXPECT_DOUBLE_EQ(mix.long_fraction[1], 0.25);
+  EXPECT_DOUBLE_EQ(mix.short_total, 0.5);
+  EXPECT_DOUBLE_EQ(mix.long_total, 0.25);
+}
+
+TEST(RuntimeMix, ClassBoundaries) {
+  EXPECT_EQ(runtime_mix_class(1), 0u);
+  EXPECT_EQ(runtime_mix_class(2), 1u);
+  EXPECT_EQ(runtime_mix_class(3), 2u);
+  EXPECT_EQ(runtime_mix_class(8), 2u);
+  EXPECT_EQ(runtime_mix_class(9), 3u);
+  EXPECT_EQ(runtime_mix_class(32), 3u);
+  EXPECT_EQ(runtime_mix_class(33), 4u);
+  EXPECT_EQ(runtime_mix_class_label(4), "33-128");
+}
+
+}  // namespace
+}  // namespace sbs

@@ -1,0 +1,85 @@
+// Whole-month conservation and feasibility invariants, swept across a
+// (month x policy) grid on scaled-down workloads. These are the checks
+// that make every other number in the repo trustworthy: whatever the
+// policy does, the machine's physics and the workload's accounting must
+// balance.
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "exp/policy_factory.hpp"
+#include "exp/runner.hpp"
+#include "metrics/timeline.hpp"
+#include "test_support.hpp"
+#include "workload/generator.hpp"
+
+namespace sbs {
+namespace {
+
+class MonthInvariants
+    : public ::testing::TestWithParam<std::tuple<const char*, const char*>> {
+};
+
+TEST_P(MonthInvariants, ConservationAndFeasibility) {
+  const auto [month, policy_spec] = GetParam();
+
+  GeneratorConfig gen;
+  gen.job_scale = 0.08;
+  Trace trace = generate_month(month, gen);
+  trace = rescale_to_load(trace, 0.9);
+
+  auto policy = make_policy(policy_spec, 300);
+  const SimResult result = simulate(trace, *policy);
+
+  // 1. Every job ran: exactly its runtime, at or after submission.
+  ASSERT_EQ(result.outcomes.size(), trace.jobs.size());
+  double executed_node_seconds = 0.0;
+  double demand_node_seconds = 0.0;
+  for (const auto& o : result.outcomes) {
+    EXPECT_GE(o.start, o.job.submit);
+    EXPECT_EQ(o.end - o.start, o.job.runtime);
+    executed_node_seconds += job_demand(o.job);
+  }
+  for (const auto& j : trace.jobs) demand_node_seconds += job_demand(j);
+
+  // 2. Node-seconds are conserved: what was submitted is what ran.
+  EXPECT_DOUBLE_EQ(executed_node_seconds, demand_node_seconds);
+
+  // 3. The machine never exceeds capacity at any instant.
+  EXPECT_NO_THROW(test::check_feasible(result.outcomes, trace.capacity));
+
+  // 4. The utilization timeline ends at zero (everything drained) and its
+  //    peak respects capacity.
+  const auto timeline = utilization_timeline(result.outcomes);
+  ASSERT_FALSE(timeline.empty());
+  EXPECT_EQ(timeline.back().value, 0);
+  Time horizon = timeline.back().time + 1;
+  EXPECT_LE(timeline_peak(timeline, timeline.front().time, horizon),
+            trace.capacity);
+
+  // 5. Work-conservation sanity: the machine cannot be idle while the
+  //    head-of-queue fits — the simulator enforces the strong version
+  //    (no stall on an idle machine) internally; here we check the run
+  //    completed with a finite makespan.
+  EXPECT_GT(timeline.back().time, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, MonthInvariants,
+    ::testing::Combine(
+        ::testing::Values("6/03", "7/03", "10/03", "1/04", "2/04"),
+        ::testing::Values("FCFS-BF", "LXF-BF", "Selective-BF", "Lookahead",
+                          "Slack-BF", "Weighted-BF", "MultiQueue-aged",
+                          "DDS/lxf/dynB", "LDS/fcfs/dynB", "DFS/lxf/dynB",
+                          "DDS/lxf/dynB+ls", "DDS/lxf/dynB+fs")),
+    [](const auto& param_info) {
+      std::string name = std::string(std::get<0>(param_info.param)) + "_" +
+                         std::get<1>(param_info.param);
+      for (char& c : name)
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      return name;
+    });
+
+}  // namespace
+}  // namespace sbs

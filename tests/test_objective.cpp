@@ -1,0 +1,100 @@
+#include "core/objective.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_support.hpp"
+
+namespace sbs {
+namespace {
+
+using test::job;
+
+TEST(Objective, FirstLevelDominates) {
+  // Lower excess wins even with a terrible slowdown.
+  EXPECT_TRUE(objective_less({1.0, 999.0}, {2.0, 1.0}));
+  EXPECT_FALSE(objective_less({2.0, 1.0}, {1.0, 999.0}));
+}
+
+TEST(Objective, SecondLevelBreaksTies) {
+  EXPECT_TRUE(objective_less({5.0, 2.0}, {5.0, 3.0}));
+  EXPECT_FALSE(objective_less({5.0, 3.0}, {5.0, 2.0}));
+}
+
+TEST(Objective, EqualValuesAreNotLess) {
+  EXPECT_FALSE(objective_less({5.0, 2.0}, {5.0, 2.0}));
+}
+
+TEST(Objective, EpsilonTreatsNearTiesAsTies) {
+  // Excess differing by less than epsilon: the slowdown level decides.
+  EXPECT_TRUE(objective_less({5.0 + 1e-12, 1.0}, {5.0, 2.0}));
+}
+
+TEST(Objective, WorstLosesToEverything) {
+  EXPECT_TRUE(objective_less({1e12, 1e12}, worst_objective()));
+  EXPECT_FALSE(objective_less(worst_objective(), {1e12, 1e12}));
+}
+
+TEST(BoundSpec, FixedResolvesToOmega) {
+  const BoundSpec b = BoundSpec::fixed_bound(50 * kHour);
+  EXPECT_EQ(b.resolve(kHour, 123456), 50 * kHour);
+  EXPECT_EQ(b.label(), "w=50h");
+}
+
+TEST(BoundSpec, DynamicResolvesToQueueBound) {
+  const BoundSpec b = BoundSpec::dynamic_bound();
+  EXPECT_EQ(b.resolve(kHour, 7 * kHour), 7 * kHour);
+  EXPECT_EQ(b.label(), "dynB");
+}
+
+TEST(BoundSpec, PerRuntimeScalesAndClamps) {
+  const BoundSpec b = BoundSpec::per_runtime(kHour, 2.0, 2 * kHour, 10 * kHour);
+  // 1h + 2*30m = 2h -> at the lower clamp boundary.
+  EXPECT_EQ(b.resolve(30 * kMinute, 0), 2 * kHour);
+  // 1h + 2*2h = 5h -> inside range.
+  EXPECT_EQ(b.resolve(2 * kHour, 0), 5 * kHour);
+  // 1h + 2*10h = 21h -> clamped to 10h.
+  EXPECT_EQ(b.resolve(10 * kHour, 0), 10 * kHour);
+  EXPECT_EQ(b.label(), "w(T)");
+}
+
+TEST(BoundSpec, ZeroFixedBoundAllowed) {
+  const BoundSpec b = BoundSpec::fixed_bound(0);
+  EXPECT_EQ(b.resolve(kHour, kHour), 0);
+}
+
+TEST(DynamicBound, MaxCurrentWaitOverQueue) {
+  const Job a = job(0, 100, 1, kHour);
+  const Job b = job(1, 40, 1, kHour);
+  std::vector<WaitingJob> q;
+  q.push_back(WaitingJob{&a, a.runtime});
+  q.push_back(WaitingJob{&b, b.runtime});
+  EXPECT_EQ(dynamic_bound_of(q, 200), 160);  // job b waited longest
+}
+
+TEST(DynamicBound, EmptyQueueIsZero) {
+  EXPECT_EQ(dynamic_bound_of({}, 12345), 0);
+}
+
+TEST(ObjectiveComparator, DefaultIsHierarchical) {
+  const ObjectiveComparator cmp;
+  EXPECT_TRUE(cmp.less({1.0, 999.0}, {2.0, 1.0}));
+  EXPECT_TRUE(cmp.less({5.0, 2.0}, {5.0, 3.0}));
+}
+
+TEST(ObjectiveComparator, WeightedTradesLevels) {
+  // With alpha = 1, one hour of excess trades against one slowdown unit —
+  // the weighted comparator can prefer more excess when slowdown drops.
+  ObjectiveComparator cmp;
+  cmp.weighted_alpha = 1.0;
+  EXPECT_TRUE(cmp.less({2.0, 1.0}, {1.0, 5.0}));   // 3 < 6
+  EXPECT_FALSE(cmp.less({2.0, 5.0}, {1.0, 5.0}));  // 7 > 6
+}
+
+TEST(ObjectiveComparator, LargeAlphaApproachesHierarchical) {
+  ObjectiveComparator cmp;
+  cmp.weighted_alpha = 1e9;
+  EXPECT_TRUE(cmp.less({1.0, 999.0}, {2.0, 1.0}));
+}
+
+}  // namespace
+}  // namespace sbs

@@ -1,0 +1,83 @@
+#include "exp/policy_factory.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace sbs {
+namespace {
+
+TEST(PolicyFactory, BackfillSpecs) {
+  EXPECT_EQ(make_policy("FCFS-BF")->name(), "FCFS-backfill");
+  EXPECT_EQ(make_policy("LXF-BF")->name(), "LXF-backfill");
+  EXPECT_EQ(make_policy("SJF-BF")->name(), "SJF-backfill");
+  EXPECT_EQ(make_policy("LXF&W-BF")->name(), "LXF&W-backfill");
+}
+
+TEST(PolicyFactory, ComparatorSpecs) {
+  EXPECT_EQ(make_policy("Selective-BF")->name(), "Selective-backfill");
+  EXPECT_EQ(make_policy("Lookahead")->name(), "Lookahead");
+  EXPECT_EQ(make_policy("Slack-BF")->name(), "Slack-backfill");
+  EXPECT_EQ(make_policy("FCFS-cons-BF")->name(), "FCFS-backfill(cons)");
+  EXPECT_EQ(make_policy("MultiQueue")->name(), "MultiQueue(3q)");
+  EXPECT_EQ(make_policy("MultiQueue-aged")->name(), "MultiQueue(3q,aged)");
+  EXPECT_NE(make_policy("Weighted-BF")->name().find("Weighted"),
+            std::string::npos);
+}
+
+TEST(PolicyFactory, DfsAlgoSpec) {
+  EXPECT_EQ(make_policy("DFS/lxf/dynB")->name(), "DFS/lxf/dynB");
+}
+
+TEST(PolicyFactory, SearchSpecs) {
+  EXPECT_EQ(make_policy("DDS/lxf/dynB")->name(), "DDS/lxf/dynB");
+  EXPECT_EQ(make_policy("LDS/fcfs/dynB")->name(), "LDS/fcfs/dynB");
+  EXPECT_EQ(make_policy("DDS/fcfs/w=50h")->name(), "DDS/fcfs/w=50h");
+  EXPECT_EQ(make_policy("DDS/lxf/wT")->name(), "DDS/lxf/w(T)");
+}
+
+TEST(PolicyFactory, NodeLimitWiredThrough) {
+  auto p = make_policy("DDS/lxf/dynB", 8000);
+  auto* search = dynamic_cast<SearchScheduler*>(p.get());
+  ASSERT_NE(search, nullptr);
+  EXPECT_EQ(search->config().search.node_limit, 8000u);
+}
+
+TEST(PolicyFactory, FixedBoundParsedInHours) {
+  auto p = make_policy("DDS/lxf/w=100h");
+  auto* search = dynamic_cast<SearchScheduler*>(p.get());
+  ASSERT_NE(search, nullptr);
+  EXPECT_EQ(search->config().bound.kind, BoundKind::Fixed);
+  EXPECT_EQ(search->config().bound.fixed, 100 * kHour);
+}
+
+TEST(PolicyFactory, RejectsGarbage) {
+  EXPECT_THROW(make_policy("NOPE"), Error);
+  EXPECT_THROW(make_policy("DDS/lxf"), Error);
+  EXPECT_THROW(make_policy("XXX/lxf/dynB"), Error);
+  EXPECT_THROW(make_policy("DDS/xxx/dynB"), Error);
+  EXPECT_THROW(make_policy("DDS/lxf/xxx"), Error);
+}
+
+TEST(PolicyFactory, ZeroFixedBoundAccepted) {
+  EXPECT_EQ(make_policy("DDS/lxf/w=0h")->name(), "DDS/lxf/w=0h");
+}
+
+TEST(PolicyFactory, HybridLocalSearchSuffix) {
+  auto p = make_policy("DDS/lxf/dynB+ls");
+  EXPECT_EQ(p->name(), "DDS/lxf/dynB+ls");
+  auto* search = dynamic_cast<SearchScheduler*>(p.get());
+  ASSERT_NE(search, nullptr);
+  EXPECT_TRUE(search->config().refine);
+  // Without the suffix, refinement stays off.
+  auto plain = make_policy("DDS/lxf/dynB");
+  EXPECT_FALSE(
+      dynamic_cast<SearchScheduler*>(plain.get())->config().refine);
+}
+
+TEST(PolicyFactory, HybridSuffixComposesWithOtherBounds) {
+  EXPECT_EQ(make_policy("LDS/fcfs/w=50h+ls")->name(), "LDS/fcfs/w=50h+ls");
+}
+
+}  // namespace
+}  // namespace sbs

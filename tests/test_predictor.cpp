@@ -1,0 +1,142 @@
+#include "predict/predictor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/simulator.hpp"
+#include "test_support.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace sbs {
+namespace {
+
+using test::job;
+using test::trace_of;
+
+TEST(IdentityPredictor, ReturnsRequest) {
+  IdentityPredictor p;
+  const Job j = job(0, 0, 4, kHour, 3 * kHour);
+  EXPECT_EQ(p.predict(j), 3 * kHour);
+  p.observe(j, kHour);  // no-op
+  EXPECT_EQ(p.predict(j), 3 * kHour);
+}
+
+TEST(ClassCorrection, FallsBackToRequestWhenCold) {
+  ClassCorrectionPredictor p;
+  EXPECT_EQ(p.predict(job(0, 0, 4, kHour, 2 * kHour)), 2 * kHour);
+}
+
+TEST(ClassCorrection, LearnsBucketRatio) {
+  ClassCorrectionPredictor p(/*min_observations=*/3);
+  // Jobs with 4 nodes requesting 2h but running 1h: ratio 0.5.
+  for (int i = 0; i < 5; ++i)
+    p.observe(job(i, 0, 4, kHour, 2 * kHour), kHour);
+  EXPECT_NEAR(p.bucket_ratio(1, 1), 0.5, 1e-12);
+  EXPECT_EQ(p.bucket_count(1, 1), 5u);
+  EXPECT_EQ(p.predict(job(9, 0, 4, kHour, 2 * kHour)), kHour);
+}
+
+TEST(ClassCorrection, UsesGlobalMeanForUnseenBucket) {
+  ClassCorrectionPredictor p(3);
+  for (int i = 0; i < 5; ++i)
+    p.observe(job(i, 0, 4, kHour, 2 * kHour), kHour);  // global ratio 0.5
+  // Different bucket (128 nodes, 20h request): falls back to global 0.5.
+  EXPECT_EQ(p.predict(job(9, 0, 128, kHour, 20 * kHour)), 10 * kHour);
+}
+
+TEST(ClassCorrection, NeverPredictsAboveRequestOrBelowOneSecond) {
+  ClassCorrectionPredictor p(1);
+  // Ratio > 1 (job overran its request — happens in real traces).
+  p.observe(job(0, 0, 4, 3 * kHour, 2 * kHour), 3 * kHour);
+  EXPECT_LE(p.predict(job(1, 0, 4, kHour, 2 * kHour)), 2 * kHour);
+  // Tiny request with tiny ratio still yields >= 1 s.
+  ClassCorrectionPredictor q(1);
+  q.observe(job(0, 0, 1, 1, kHour), 1);
+  EXPECT_GE(q.predict(job(1, 0, 1, 1, 10)), 1);
+}
+
+TEST(ClassCorrection, BucketBoundaries) {
+  EXPECT_EQ(ClassCorrectionPredictor::node_bucket(1), 0u);
+  EXPECT_EQ(ClassCorrectionPredictor::node_bucket(4), 1u);
+  EXPECT_EQ(ClassCorrectionPredictor::node_bucket(16), 2u);
+  EXPECT_EQ(ClassCorrectionPredictor::node_bucket(64), 3u);
+  EXPECT_EQ(ClassCorrectionPredictor::node_bucket(128), 4u);
+  EXPECT_EQ(ClassCorrectionPredictor::request_bucket(kHour), 0u);
+  EXPECT_EQ(ClassCorrectionPredictor::request_bucket(4 * kHour), 1u);
+  EXPECT_EQ(ClassCorrectionPredictor::request_bucket(12 * kHour), 2u);
+  EXPECT_EQ(ClassCorrectionPredictor::request_bucket(24 * kHour), 3u);
+}
+
+TEST(Ewma, TracksDriftingRatio) {
+  EwmaPredictor p(0.5);
+  p.observe(job(0, 0, 1, kHour, 2 * kHour), kHour);  // ratio 0.5
+  EXPECT_NEAR(p.current_ratio(), 0.5, 1e-12);
+  p.observe(job(1, 0, 1, 2 * kHour, 2 * kHour), 2 * kHour);  // ratio 1.0
+  EXPECT_NEAR(p.current_ratio(), 0.75, 1e-12);
+  EXPECT_EQ(p.predict(job(2, 0, 1, kHour, 4 * kHour)), 3 * kHour);
+}
+
+TEST(Ewma, ColdStartReturnsRequest) {
+  EwmaPredictor p;
+  EXPECT_EQ(p.predict(job(0, 0, 1, kHour, 5 * kHour)), 5 * kHour);
+}
+
+TEST(Ewma, RejectsBadAlpha) {
+  EXPECT_THROW(EwmaPredictor(0.0), Error);
+  EXPECT_THROW(EwmaPredictor(1.5), Error);
+}
+
+TEST(PredictorInSimulator, SchedulerSeesPredictedEstimates) {
+  // Train the predictor inline: first job completes with ratio 0.5, so the
+  // second job's estimate becomes half its request.
+  const Trace t = trace_of({job(0, 0, 4, kHour, 2 * kHour),
+                            job(1, 2 * kHour, 4, kHour, 2 * kHour)},
+                           4);
+  ClassCorrectionPredictor predictor(1);
+  SimConfig cfg;
+  cfg.predictor = &predictor;
+
+  struct Probe : Scheduler {
+    Time seen_estimate = 0;
+    std::vector<int> select_jobs(const SchedulerState& state) override {
+      std::vector<int> out;
+      for (const auto& w : state.waiting) {
+        if (w.job->id == 1) seen_estimate = w.estimate;
+        out.push_back(w.job->id);
+      }
+      return out;
+    }
+    std::string name() const override { return "probe"; }
+  } probe;
+
+  simulate(t, probe, cfg);
+  EXPECT_EQ(probe.seen_estimate, kHour);  // 0.5 * 2h request
+}
+
+TEST(PredictorInSimulator, ImprovesEstimateAccuracyOverRequests) {
+  // On a padded-request workload, the class-corrected estimates land much
+  // closer to the truth than raw requests do.
+  Rng rng(12);
+  std::vector<Job> jobs;
+  Time submit = 0;
+  for (int i = 0; i < 200; ++i) {
+    submit += static_cast<Time>(rng.uniform_int(0, 600));
+    const Time runtime = static_cast<Time>(rng.uniform_int(600, 4 * kHour));
+    jobs.push_back(job(i, submit, static_cast<int>(rng.uniform_int(1, 8)),
+                       runtime, runtime * 4));  // users pad 4x
+  }
+  const Trace t = trace_of(std::move(jobs), 16);
+
+  ClassCorrectionPredictor predictor(3);
+  double err_requested = 0, err_predicted = 0;
+  for (const auto& j : t.jobs) {
+    err_requested += std::abs(static_cast<double>(j.requested - j.runtime));
+    err_predicted +=
+        std::abs(static_cast<double>(predictor.predict(j) - j.runtime));
+    predictor.observe(j, j.runtime);
+  }
+  EXPECT_LT(err_predicted, 0.3 * err_requested);
+}
+
+}  // namespace
+}  // namespace sbs

@@ -1,0 +1,84 @@
+#include "policies/priority.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_support.hpp"
+
+namespace sbs {
+namespace {
+
+using test::job;
+
+WaitingJob waiting(const Job& j, Time estimate = 0) {
+  WaitingJob w;
+  w.job = &j;
+  w.estimate = estimate > 0 ? estimate : j.runtime;
+  return w;
+}
+
+TEST(Priority, CurrentSlowdownGrowsWithWait) {
+  const Job j = job(0, 0, 1, kHour);
+  const WaitingJob w = waiting(j);
+  EXPECT_DOUBLE_EQ(current_slowdown(w, 0), 1.0);
+  EXPECT_DOUBLE_EQ(current_slowdown(w, kHour), 2.0);
+  EXPECT_DOUBLE_EQ(current_slowdown(w, 3 * kHour), 4.0);
+}
+
+TEST(Priority, CurrentSlowdownFloorsShortEstimates) {
+  const Job j = job(0, 0, 1, 1);  // 1-second job
+  const WaitingJob w = waiting(j);
+  // Floored to 1 minute: (60 + 60) / 60 = 2 after a minute of waiting.
+  EXPECT_DOUBLE_EQ(current_slowdown(w, kMinute), 2.0);
+}
+
+TEST(Priority, FcfsOrdersBySubmitTime) {
+  const Job a = job(0, 100, 1, kHour), b = job(1, 50, 1, kHour);
+  std::vector<WaitingJob> q = {waiting(a), waiting(b)};
+  const auto order = priority_order(PriorityKind::Fcfs, q, 200);
+  EXPECT_EQ(order[0], 1u);  // earlier submit first
+  EXPECT_EQ(order[1], 0u);
+}
+
+TEST(Priority, LxfPrefersLargerSlowdown) {
+  // Short job waiting as long as a long job has much higher slowdown.
+  const Job shortj = job(0, 0, 1, 10 * kMinute);
+  const Job longj = job(1, 0, 1, 10 * kHour);
+  std::vector<WaitingJob> q = {waiting(longj), waiting(shortj)};
+  const auto order = priority_order(PriorityKind::Lxf, q, 2 * kHour);
+  EXPECT_EQ(q[order[0]].job->id, 0);  // the short job leads
+}
+
+TEST(Priority, SjfPrefersShortEstimate) {
+  const Job a = job(0, 0, 1, 5 * kHour), b = job(1, 10, 1, kMinute);
+  std::vector<WaitingJob> q = {waiting(a), waiting(b)};
+  const auto order = priority_order(PriorityKind::Sjf, q, 100);
+  EXPECT_EQ(q[order[0]].job->id, 1);
+}
+
+TEST(Priority, LxfWaitBreaksTiesTowardLongerWait) {
+  // Two jobs with identical slowdown-by-construction: double runtime and
+  // double wait. LXF&W's wait term prefers the longer-waiting one.
+  const Job a = job(0, -kHour, 1, kHour);        // wait 1h, sld 2
+  const Job b = job(1, -2 * kHour, 1, 2 * kHour);  // wait 2h, sld 2
+  std::vector<WaitingJob> q = {waiting(a), waiting(b)};
+  const auto lxf_w = priority_order(PriorityKind::LxfWait, q, 0);
+  EXPECT_EQ(q[lxf_w[0]].job->id, 1);
+}
+
+TEST(Priority, StableTieBreakKeepsFcfsOrder) {
+  const Job a = job(0, 0, 1, kHour), b = job(1, 0, 1, kHour);
+  std::vector<WaitingJob> q = {waiting(a), waiting(b)};
+  const auto order = priority_order(PriorityKind::Lxf, q, kHour);
+  EXPECT_EQ(order[0], 0u);  // equal keys: queue order preserved
+  EXPECT_EQ(order[1], 1u);
+}
+
+TEST(Priority, Names) {
+  EXPECT_EQ(priority_name(PriorityKind::Fcfs), "FCFS");
+  EXPECT_EQ(priority_name(PriorityKind::Lxf), "LXF");
+  EXPECT_EQ(priority_name(PriorityKind::Sjf), "SJF");
+  EXPECT_EQ(priority_name(PriorityKind::LxfWait), "LXF&W");
+}
+
+}  // namespace
+}  // namespace sbs

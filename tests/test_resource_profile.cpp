@@ -1,0 +1,208 @@
+#include "cluster/resource_profile.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace sbs {
+namespace {
+
+TEST(ResourceProfile, StartsAtFullCapacity) {
+  ResourceProfile p(16, 100);
+  EXPECT_EQ(p.capacity(), 16);
+  EXPECT_EQ(p.origin(), 100);
+  EXPECT_EQ(p.free_at(100), 16);
+  EXPECT_EQ(p.free_at(1'000'000), 16);
+  EXPECT_EQ(p.step_count(), 1u);
+}
+
+TEST(ResourceProfile, QueryBeforeOriginThrows) {
+  ResourceProfile p(4, 50);
+  EXPECT_THROW(p.free_at(49), Error);
+}
+
+TEST(ResourceProfile, ReserveCarvesInterval) {
+  ResourceProfile p(8, 0);
+  p.reserve(10, 3, 20);  // [10, 30)
+  EXPECT_EQ(p.free_at(0), 8);
+  EXPECT_EQ(p.free_at(9), 8);
+  EXPECT_EQ(p.free_at(10), 5);
+  EXPECT_EQ(p.free_at(29), 5);
+  EXPECT_EQ(p.free_at(30), 8);
+}
+
+TEST(ResourceProfile, OverlappingReservationsStack) {
+  ResourceProfile p(8, 0);
+  p.reserve(0, 3, 100);
+  p.reserve(50, 4, 100);  // overlap in [50, 100)
+  EXPECT_EQ(p.free_at(25), 5);
+  EXPECT_EQ(p.free_at(75), 1);
+  EXPECT_EQ(p.free_at(125), 4);
+  EXPECT_EQ(p.free_at(200), 8);
+}
+
+TEST(ResourceProfile, ReserveThatDoesNotFitThrows) {
+  ResourceProfile p(4, 0);
+  p.reserve(0, 3, 100);
+  EXPECT_THROW(p.reserve(50, 2, 10), Error);
+}
+
+TEST(ResourceProfile, FitsChecksWholeInterval) {
+  ResourceProfile p(8, 0);
+  p.reserve(50, 6, 50);  // [50, 100) has only 2 free
+  EXPECT_TRUE(p.fits(0, 8, 50));    // ends exactly at the busy window
+  EXPECT_FALSE(p.fits(0, 3, 51));   // leaks one second into it
+  EXPECT_TRUE(p.fits(0, 2, 1000));  // 2 nodes always free
+  EXPECT_TRUE(p.fits(100, 8, 10));
+}
+
+TEST(ResourceProfile, EarliestStartImmediateWhenFree) {
+  ResourceProfile p(8, 0);
+  EXPECT_EQ(p.earliest_start(0, 8, 100), 0);
+}
+
+TEST(ResourceProfile, EarliestStartWaitsForRelease) {
+  ResourceProfile p(8, 0);
+  p.reserve(0, 6, 100);  // 2 free until t=100
+  EXPECT_EQ(p.earliest_start(0, 2, 50), 0);
+  EXPECT_EQ(p.earliest_start(0, 3, 50), 100);
+  EXPECT_EQ(p.earliest_start(0, 8, 1), 100);
+}
+
+TEST(ResourceProfile, EarliestStartSkipsShortGaps) {
+  ResourceProfile p(8, 0);
+  // 6 busy on [0,100), free gap [100,110), 6 busy again [110, 200).
+  p.reserve(0, 6, 100);
+  p.reserve(110, 6, 90);
+  // A 3-node 10s job fits exactly in the gap.
+  EXPECT_EQ(p.earliest_start(0, 3, 10), 100);
+  // An 11s job does not; it must wait until the second block ends.
+  EXPECT_EQ(p.earliest_start(0, 3, 11), 200);
+}
+
+TEST(ResourceProfile, EarliestStartRespectsFromInsideBusyInterval) {
+  ResourceProfile p(8, 0);
+  p.reserve(0, 6, 100);
+  EXPECT_EQ(p.earliest_start(40, 2, 10), 40);
+  EXPECT_EQ(p.earliest_start(40, 4, 10), 100);
+}
+
+TEST(ResourceProfile, EarliestStartFarFuture) {
+  ResourceProfile p(8, 0);
+  p.reserve(0, 8, 1000);
+  EXPECT_EQ(p.earliest_start(0, 1, 10), 1000);
+}
+
+TEST(ResourceProfile, ReleaseRestoresNodes) {
+  ResourceProfile p(8, 0);
+  p.reserve(0, 8, 100);
+  p.release(50, 3, 25);  // give 3 back over [50, 75)
+  EXPECT_EQ(p.free_at(40), 0);
+  EXPECT_EQ(p.free_at(60), 3);
+  EXPECT_EQ(p.free_at(80), 0);
+}
+
+TEST(ResourceProfile, ReleaseClampedAtOrigin) {
+  ResourceProfile p(8, 100);
+  p.reserve(100, 4, 50);
+  // Release starting before origin only affects [origin, ...).
+  p.release(50, 4, 80);  // [50, 130) clamped to [100, 130)
+  EXPECT_EQ(p.free_at(100), 8);
+  EXPECT_EQ(p.free_at(135), 4);
+}
+
+TEST(ResourceProfile, ReleaseOverflowThrows) {
+  ResourceProfile p(8, 0);
+  EXPECT_THROW(p.release(0, 1, 10), Error);
+}
+
+TEST(ResourceProfile, CompactMergesEqualSteps) {
+  ResourceProfile p(8, 0);
+  p.reserve(10, 2, 10);
+  p.release(10, 2, 10);  // back to flat
+  p.compact();
+  EXPECT_EQ(p.step_count(), 1u);
+  EXPECT_EQ(p.free_at(15), 8);
+}
+
+TEST(ResourceProfile, CopyIsIndependent) {
+  ResourceProfile a(8, 0);
+  a.reserve(0, 4, 100);
+  ResourceProfile b = a;
+  b.reserve(0, 4, 50);
+  EXPECT_EQ(a.free_at(25), 4);
+  EXPECT_EQ(b.free_at(25), 0);
+}
+
+// ---------------------------------------------------------------------------
+// Property test: random reservation workloads checked against a brute-force
+// per-second timeline.
+
+class BruteForce {
+ public:
+  BruteForce(int capacity, int horizon) : free_(horizon, capacity) {}
+
+  int free_at(int t) const { return free_[t]; }
+
+  bool fits(int start, int nodes, int duration) const {
+    for (int t = start; t < start + duration; ++t)
+      if (t < static_cast<int>(free_.size()) && free_[t] < nodes) return false;
+    return true;
+  }
+
+  int earliest_start(int from, int nodes, int duration) const {
+    for (int t = from;; ++t)
+      if (fits(t, nodes, duration)) return t;
+  }
+
+  void reserve(int start, int nodes, int duration) {
+    for (int t = start; t < start + duration && t < static_cast<int>(free_.size());
+         ++t)
+      free_[t] -= nodes;
+  }
+
+ private:
+  std::vector<int> free_;
+};
+
+class ProfileProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ProfileProperty, MatchesBruteForceTimeline) {
+  const int capacity = 16;
+  const int horizon = 400;
+  Rng rng(GetParam());
+  ResourceProfile profile(capacity, 0);
+  BruteForce reference(capacity, horizon);
+
+  for (int step = 0; step < 60; ++step) {
+    const int nodes = static_cast<int>(rng.uniform_int(1, capacity));
+    const int duration = static_cast<int>(rng.uniform_int(1, 40));
+    const int from = static_cast<int>(rng.uniform_int(0, 200));
+
+    const Time start = profile.earliest_start(from, nodes, duration);
+    const int expected = reference.earliest_start(from, nodes, duration);
+    ASSERT_EQ(start, expected) << "step " << step;
+
+    // Randomly commit about half of the queries.
+    if (rng.bernoulli(0.5) && start + duration < horizon) {
+      profile.reserve(start, nodes, duration);
+      reference.reserve(static_cast<int>(start), nodes, duration);
+    }
+
+    // Spot-check free counts at random times.
+    for (int probe = 0; probe < 5; ++probe) {
+      const int t = static_cast<int>(rng.uniform_int(0, horizon - 1));
+      ASSERT_EQ(profile.free_at(t), reference.free_at(t)) << "t=" << t;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomWorkloads, ProfileProperty,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11,
+                                           12, 13, 14, 15, 16));
+
+}  // namespace
+}  // namespace sbs

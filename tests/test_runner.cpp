@@ -1,0 +1,84 @@
+#include "exp/runner.hpp"
+
+#include <gtest/gtest.h>
+
+#include "exp/policy_factory.hpp"
+#include "workload/generator.hpp"
+
+namespace sbs {
+namespace {
+
+GeneratorConfig small_config() {
+  GeneratorConfig cfg;
+  cfg.job_scale = 0.15;
+  return cfg;
+}
+
+TEST(Runner, FcfsHasZeroExcessAgainstItsOwnMaxWait) {
+  // By construction (paper §4): E^max_fcfs-bf of FCFS-backfill is zero.
+  const Trace t = generate_month("9/03", small_config());
+  const Thresholds th = fcfs_thresholds(t);
+  const MonthEval eval = evaluate_spec(t, "FCFS-BF", 1000, th);
+  EXPECT_DOUBLE_EQ(eval.e_max.total_h, 0.0);
+  EXPECT_EQ(eval.e_max.count, 0u);
+}
+
+TEST(Runner, FcfsP98ExcessCoversAboutTwoPercent) {
+  const Trace t = generate_month("9/03", small_config());
+  const Thresholds th = fcfs_thresholds(t);
+  const MonthEval eval = evaluate_spec(t, "FCFS-BF", 1000, th);
+  const double fraction = static_cast<double>(eval.e_p98.count) /
+                          static_cast<double>(eval.summary.jobs);
+  EXPECT_LE(fraction, 0.03);
+}
+
+TEST(Runner, ThresholdsMatchSummary) {
+  const Trace t = generate_month("9/03", small_config());
+  const Thresholds th = fcfs_thresholds(t);
+  const MonthEval eval = evaluate_spec(t, "FCFS-BF", 1000, th);
+  // Thresholds are rounded to whole seconds; allow that quantum.
+  EXPECT_NEAR(to_hours(th.max_wait), eval.summary.max_wait_h, 1.0 / kHour);
+  EXPECT_NEAR(to_hours(th.p98_wait), eval.summary.p98_wait_h, 1.0 / kHour);
+}
+
+TEST(Runner, EvalCarriesMonthAndPolicyNames) {
+  const Trace t = generate_month("9/03", small_config());
+  const Thresholds th = fcfs_thresholds(t);
+  const MonthEval eval = evaluate_spec(t, "DDS/lxf/dynB", 500, th);
+  EXPECT_EQ(eval.month, "9/03");
+  EXPECT_EQ(eval.policy, "DDS/lxf/dynB");
+  EXPECT_GT(eval.sched.decisions, 0u);
+}
+
+TEST(Runner, OutcomesRetainedOnlyOnRequest) {
+  const Trace t = generate_month("9/03", small_config());
+  const Thresholds th = fcfs_thresholds(t);
+  const MonthEval without = evaluate_spec(t, "FCFS-BF", 1000, th);
+  EXPECT_TRUE(without.outcomes.empty());
+  const MonthEval with = evaluate_spec(t, "FCFS-BF", 1000, th, {}, true);
+  EXPECT_EQ(with.outcomes.size(), t.jobs.size());
+}
+
+TEST(Runner, DeterministicAcrossRuns) {
+  const Trace t = generate_month("9/03", small_config());
+  const Thresholds th = fcfs_thresholds(t);
+  const MonthEval a = evaluate_spec(t, "DDS/lxf/dynB", 1000, th);
+  const MonthEval b = evaluate_spec(t, "DDS/lxf/dynB", 1000, th);
+  EXPECT_DOUBLE_EQ(a.summary.avg_wait_h, b.summary.avg_wait_h);
+  EXPECT_DOUBLE_EQ(a.summary.max_wait_h, b.summary.max_wait_h);
+  EXPECT_EQ(a.sched.nodes_visited, b.sched.nodes_visited);
+}
+
+TEST(Runner, RequestedRuntimeModeRunsEndToEnd) {
+  const Trace t = generate_month("9/03", small_config());
+  SimConfig sim;
+  sim.use_requested_runtime = true;
+  const Thresholds th = fcfs_thresholds(t, sim);
+  const MonthEval eval = evaluate_spec(t, "DDS/lxf/dynB", 500, th, sim);
+  EXPECT_GT(eval.summary.jobs, 0u);
+  EXPECT_DOUBLE_EQ(
+      evaluate_spec(t, "FCFS-BF", 1000, th, sim).e_max.total_h, 0.0);
+}
+
+}  // namespace
+}  // namespace sbs

@@ -1,0 +1,88 @@
+#include "core/schedule_builder.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_support.hpp"
+#include "util/error.hpp"
+
+namespace sbs {
+namespace {
+
+using test::ProblemBuilder;
+
+TEST(ScheduleBuilder, EmptyMachineStartsEverythingPackable) {
+  ProblemBuilder b(4);
+  b.wait(-kHour, 2, kHour).wait(-kHour, 2, kHour);
+  const SearchProblem p = b.build();
+  const BuiltSchedule s = build_schedule(p, std::vector<std::size_t>{0, 1});
+  EXPECT_EQ(s.starts[0], 0);
+  EXPECT_EQ(s.starts[1], 0);
+  EXPECT_DOUBLE_EQ(s.value.excess_h, 0.0);
+  EXPECT_DOUBLE_EQ(s.value.avg_bsld, 2.0);  // each waited 1h on a 1h job
+}
+
+TEST(ScheduleBuilder, OrderDeterminesWhoWaits) {
+  // Two 3-node jobs on a 4-node machine: only the first in order starts.
+  ProblemBuilder b(4);
+  b.wait(0, 3, kHour).wait(0, 3, kHour);
+  const SearchProblem p = b.build();
+  const BuiltSchedule ab = build_schedule(p, std::vector<std::size_t>{0, 1});
+  EXPECT_EQ(ab.starts[0], 0);
+  EXPECT_EQ(ab.starts[1], kHour);
+  const BuiltSchedule ba = build_schedule(p, std::vector<std::size_t>{1, 0});
+  EXPECT_EQ(ba.starts[1], 0);
+  EXPECT_EQ(ba.starts[0], kHour);
+}
+
+TEST(ScheduleBuilder, LaterJobCanStartEarlierThanPredecessorOnPath) {
+  // Consideration order is not start order (paper §2.2): a wide job placed
+  // first must wait for the drain; a narrow job placed second starts NOW.
+  ProblemBuilder b(4);
+  b.busy(2, kHour);
+  b.wait(0, 4, kHour).wait(0, 1, 30 * kMinute);
+  const SearchProblem p = b.build();
+  const BuiltSchedule s = build_schedule(p, std::vector<std::size_t>{0, 1});
+  EXPECT_EQ(s.starts[0], kHour);  // wide job waits for the busy block
+  EXPECT_EQ(s.starts[1], 0);      // narrow job fills the hole
+}
+
+TEST(ScheduleBuilder, PlacedJobsConstrainLaterOnes) {
+  ProblemBuilder b(4);
+  b.wait(0, 4, kHour).wait(0, 4, kHour).wait(0, 4, kHour);
+  const SearchProblem p = b.build();
+  const BuiltSchedule s =
+      build_schedule(p, std::vector<std::size_t>{2, 0, 1});
+  EXPECT_EQ(s.starts[2], 0);
+  EXPECT_EQ(s.starts[0], kHour);
+  EXPECT_EQ(s.starts[1], 2 * kHour);
+}
+
+TEST(ScheduleBuilder, ExcessAccumulatesBeyondBounds) {
+  // Bound of 30 minutes; second job starts after 1h -> 30m excess.
+  ProblemBuilder b(4);
+  b.wait(0, 4, kHour, 30 * kMinute).wait(0, 4, kHour, 30 * kMinute);
+  const SearchProblem p = b.build();
+  const BuiltSchedule s = build_schedule(p, std::vector<std::size_t>{0, 1});
+  EXPECT_DOUBLE_EQ(s.value.excess_h, 0.5);
+}
+
+TEST(ScheduleBuilder, RejectsNonPermutation) {
+  ProblemBuilder b(4);
+  b.wait(0, 1, kHour).wait(0, 1, kHour);
+  const SearchProblem p = b.build();
+  EXPECT_THROW(build_schedule(p, std::vector<std::size_t>{0, 0}), Error);
+  EXPECT_THROW(build_schedule(p, std::vector<std::size_t>{0}), Error);
+  EXPECT_THROW(build_schedule(p, std::vector<std::size_t>{0, 5}), Error);
+}
+
+TEST(ScheduleBuilder, RespectsBusyProfile) {
+  ProblemBuilder b(8);
+  b.busy(8, 2 * kHour);
+  b.wait(0, 1, kHour);
+  const SearchProblem p = b.build();
+  const BuiltSchedule s = build_schedule(p, std::vector<std::size_t>{0});
+  EXPECT_EQ(s.starts[0], 2 * kHour);
+}
+
+}  // namespace
+}  // namespace sbs

@@ -1,0 +1,118 @@
+#include "core/search_problem.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_support.hpp"
+
+namespace sbs {
+namespace {
+
+using test::job;
+
+TEST(SearchProblem, FromStateSnapshotsQueueAndProfile) {
+  const Job a = job(0, -2 * kHour, 4, kHour);
+  const Job b = job(1, -kHour, 2, 30 * kMinute);
+  const Job running_job = job(2, -3 * kHour, 3, 4 * kHour);
+
+  std::vector<WaitingJob> waiting = {{&a, a.runtime}, {&b, b.runtime}};
+  std::vector<RunningJob> running = {{&running_job, -kHour, kHour}};
+
+  SchedulerState state;
+  state.now = 0;
+  state.capacity = 8;
+  state.free_nodes = 5;
+  state.waiting = waiting;
+  state.running = running;
+
+  const SearchProblem p =
+      SearchProblem::from_state(state, BoundSpec::dynamic_bound());
+  ASSERT_EQ(p.size(), 2u);
+  EXPECT_EQ(p.now, 0);
+  EXPECT_EQ(p.capacity, 8);
+  // Profile: 3 nodes busy until the running job's estimated end (t=1h).
+  EXPECT_EQ(p.base.free_at(0), 5);
+  EXPECT_EQ(p.base.free_at(kHour), 8);
+  // dynB = max current wait = 2h, resolved for every job.
+  EXPECT_EQ(p.jobs[0].bound, 2 * kHour);
+  EXPECT_EQ(p.jobs[1].bound, 2 * kHour);
+  // lxf key: job a waited 2h with a 1h estimate -> slowdown 3.
+  EXPECT_DOUBLE_EQ(p.jobs[0].slowdown_now, 3.0);
+  EXPECT_DOUBLE_EQ(p.jobs[1].slowdown_now, 3.0);  // 1h wait / 30m est
+}
+
+TEST(SearchProblem, FixedBoundIndependentOfQueue) {
+  const Job a = job(0, -10 * kHour, 1, kHour);
+  std::vector<WaitingJob> waiting = {{&a, a.runtime}};
+  SchedulerState state;
+  state.now = 0;
+  state.capacity = 4;
+  state.free_nodes = 4;
+  state.waiting = waiting;
+  const SearchProblem p =
+      SearchProblem::from_state(state, BoundSpec::fixed_bound(5 * kHour));
+  EXPECT_EQ(p.jobs[0].bound, 5 * kHour);
+}
+
+TEST(SearchProblem, EstimateClampedToOneSecond) {
+  const Job a = job(0, 0, 1, 1);
+  std::vector<WaitingJob> waiting = {{&a, 0}};  // degenerate estimate
+  SchedulerState state;
+  state.now = 0;
+  state.capacity = 4;
+  state.free_nodes = 4;
+  state.waiting = waiting;
+  const SearchProblem p =
+      SearchProblem::from_state(state, BoundSpec::dynamic_bound());
+  EXPECT_EQ(p.jobs[0].estimate, 1);
+}
+
+TEST(SearchProblem, ExcessIsWaitBeyondBound) {
+  const Job a = job(0, 0, 1, kHour);
+  std::vector<WaitingJob> waiting = {{&a, a.runtime}};
+  SchedulerState state;
+  state.now = 0;
+  state.capacity = 4;
+  state.free_nodes = 4;
+  state.waiting = waiting;
+  const SearchProblem p =
+      SearchProblem::from_state(state, BoundSpec::fixed_bound(kHour));
+  EXPECT_DOUBLE_EQ(p.excess_h(0, 30 * kMinute), 0.0);  // within bound
+  EXPECT_DOUBLE_EQ(p.excess_h(0, kHour), 0.0);         // exactly at bound
+  EXPECT_DOUBLE_EQ(p.excess_h(0, 3 * kHour), 2.0);     // 2h over
+}
+
+TEST(SearchProblem, BsldUsesEstimateWithMinuteFloor) {
+  const Job a = job(0, 0, 1, 10);  // 10-second estimate -> floored to 1 min
+  std::vector<WaitingJob> waiting = {{&a, a.runtime}};
+  SchedulerState state;
+  state.now = 0;
+  state.capacity = 4;
+  state.free_nodes = 4;
+  state.waiting = waiting;
+  const SearchProblem p =
+      SearchProblem::from_state(state, BoundSpec::dynamic_bound());
+  EXPECT_DOUBLE_EQ(p.bsld(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(p.bsld(0, kMinute), 2.0);
+}
+
+TEST(SearchProblem, OverrunningJobClampedToImminentEnd) {
+  // A running job whose estimated end is already in the past must still
+  // occupy its nodes "until imminently" rather than corrupting the profile.
+  const Job r = job(0, -2 * kHour, 4, kHour);
+  const Job w = job(1, 0, 4, kHour);
+  std::vector<WaitingJob> waiting = {{&w, w.runtime}};
+  std::vector<RunningJob> running = {{&r, -2 * kHour, -kHour}};  // est_end past
+  SchedulerState state;
+  state.now = 0;
+  state.capacity = 4;
+  state.free_nodes = 0;
+  state.waiting = waiting;
+  state.running = running;
+  const SearchProblem p =
+      SearchProblem::from_state(state, BoundSpec::dynamic_bound());
+  EXPECT_EQ(p.base.free_at(0), 0);
+  EXPECT_EQ(p.base.free_at(2), 4);
+}
+
+}  // namespace
+}  // namespace sbs

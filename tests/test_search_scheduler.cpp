@@ -1,0 +1,161 @@
+#include "core/search_scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include "policies/backfill.hpp"
+#include "sim/simulator.hpp"
+#include "test_support.hpp"
+#include "util/rng.hpp"
+
+namespace sbs {
+namespace {
+
+using test::check_feasible;
+using test::job;
+using test::trace_of;
+
+SearchScheduler make(SearchAlgo algo = SearchAlgo::Dds,
+                     Branching branching = Branching::Lxf,
+                     BoundSpec bound = BoundSpec::dynamic_bound(),
+                     std::size_t limit = 1000) {
+  SearchSchedulerConfig cfg;
+  cfg.search.algo = algo;
+  cfg.search.branching = branching;
+  cfg.search.node_limit = limit;
+  cfg.bound = bound;
+  return SearchScheduler(cfg);
+}
+
+TEST(SearchScheduler, NamesMatchPaperNotation) {
+  EXPECT_EQ(make().name(), "DDS/lxf/dynB");
+  EXPECT_EQ(make(SearchAlgo::Lds, Branching::Fcfs,
+                 BoundSpec::fixed_bound(100 * kHour))
+                .name(),
+            "LDS/fcfs/w=100h");
+  EXPECT_EQ(make(SearchAlgo::Dds, Branching::Lxf,
+                 BoundSpec::per_runtime(kHour, 2.0, kHour, 10 * kHour))
+                .name(),
+            "DDS/lxf/w(T)");
+}
+
+TEST(SearchScheduler, StartsJobsPlacedAtNow) {
+  const Trace t = trace_of({job(0, 0, 2, kHour), job(1, 0, 2, kHour)}, 4);
+  auto s = make();
+  const SimResult r = simulate(t, s);
+  EXPECT_EQ(r.outcomes[0].start, 0);
+  EXPECT_EQ(r.outcomes[1].start, 0);
+}
+
+TEST(SearchScheduler, ResolvesContentionViaSearch) {
+  const Trace t = trace_of({job(0, 0, 3, kHour), job(1, 0, 3, kHour)}, 4);
+  auto s = make();
+  const SimResult r = simulate(t, s);
+  // One job now, one at the drain point.
+  const Time s0 = r.outcomes[0].start, s1 = r.outcomes[1].start;
+  EXPECT_EQ(std::min(s0, s1), 0);
+  EXPECT_EQ(std::max(s0, s1), kHour);
+  check_feasible(r.outcomes, 4);
+}
+
+TEST(SearchScheduler, BackfillsThroughSearch) {
+  // The search should discover the backfill move: j2 fits before the wide
+  // j1's earliest start and finishes in time.
+  const Trace t = trace_of({job(0, 0, 3, 100), job(1, 10, 4, 100),
+                            job(2, 20, 1, 50)},
+                           4);
+  auto s = make();
+  const SimResult r = simulate(t, s);
+  EXPECT_EQ(r.outcomes[2].start, 20);
+  check_feasible(r.outcomes, 4);
+}
+
+TEST(SearchScheduler, StatsAccumulateAcrossDecisions) {
+  const Trace t = trace_of({job(0, 0, 4, 100), job(1, 10, 4, 100),
+                            job(2, 20, 4, 100)},
+                           4);
+  auto s = make();
+  simulate(t, s);
+  const SchedulerStats stats = s.stats();
+  EXPECT_GE(stats.decisions, 3u);
+  EXPECT_GT(stats.nodes_visited, 0u);
+  EXPECT_GT(stats.paths_explored, 0u);
+}
+
+TEST(SearchScheduler, FastPathSkipsSearchWhenNothingFits) {
+  // Machine fully busy when the narrow job arrives: the decision at its
+  // arrival must not burn search nodes.
+  const Trace t = trace_of({job(0, 0, 4, 100), job(1, 10, 4, 50)}, 4);
+  auto s = make();
+  simulate(t, s);
+  // Decisions: t=0 (start j0), t=10 (full machine -> fast path), t=100
+  // (start j1), t=150. Node visits only at t=0 and t=100: one job each.
+  EXPECT_EQ(s.stats().nodes_visited, 2u);
+}
+
+TEST(SearchScheduler, DynamicBoundKeepsMaxWaitNearFcfsEnvelope) {
+  // A starvation-prone pattern: one wide job and a stream of narrow ones.
+  // The total-excess objective may delay the wide job in favor of the many
+  // narrow ones, but dynB keeps every wait inside (a small factor of) the
+  // FCFS-backfill max-wait envelope — the paper's headline property.
+  std::vector<Job> jobs;
+  jobs.push_back(job(0, 0, 4, 1000));
+  jobs.push_back(job(1, 10, 4, 500));  // the potential starvation victim
+  for (int i = 2; i < 30; ++i)
+    jobs.push_back(job(i, 20 + i, 1, 900));
+  const Trace t = trace_of(std::move(jobs), 4);
+
+  BackfillConfig fcfs_cfg;
+  BackfillScheduler fcfs(fcfs_cfg);
+  const SimResult base = simulate(t, fcfs);
+  Time fcfs_max_wait = 0;
+  for (const auto& o : base.outcomes)
+    fcfs_max_wait = std::max(fcfs_max_wait, o.wait());
+
+  auto s = make();
+  const SimResult r = simulate(t, s);
+  check_feasible(r.outcomes, 4);
+  Time dds_max_wait = 0;
+  for (const auto& o : r.outcomes)
+    dds_max_wait = std::max(dds_max_wait, o.wait());
+  EXPECT_LE(dds_max_wait, static_cast<Time>(1.2 * fcfs_max_wait));
+}
+
+TEST(SearchScheduler, ProducesFeasibleSchedulesOnRandomLoad) {
+  Rng rng(4242);
+  std::vector<Job> jobs;
+  Time submit = 0;
+  for (int i = 0; i < 120; ++i) {
+    submit += static_cast<Time>(rng.uniform_int(0, 120));
+    jobs.push_back(job(i, submit, static_cast<int>(rng.uniform_int(1, 16)),
+                       static_cast<Time>(rng.uniform_int(1, 2000))));
+  }
+  const Trace t = trace_of(std::move(jobs), 16);
+  for (const SearchAlgo algo : {SearchAlgo::Lds, SearchAlgo::Dds}) {
+    for (const Branching br : {Branching::Fcfs, Branching::Lxf}) {
+      auto s = make(algo, br);
+      const SimResult r = simulate(t, s);
+      EXPECT_NO_THROW(check_feasible(r.outcomes, 16));
+    }
+  }
+}
+
+TEST(SearchScheduler, RequestedRuntimesStillFeasible) {
+  Rng rng(777);
+  std::vector<Job> jobs;
+  Time submit = 0;
+  for (int i = 0; i < 60; ++i) {
+    submit += static_cast<Time>(rng.uniform_int(0, 200));
+    const Time runtime = static_cast<Time>(rng.uniform_int(1, 2000));
+    jobs.push_back(job(i, submit, static_cast<int>(rng.uniform_int(1, 8)),
+                       runtime, runtime * 3));
+  }
+  const Trace t = trace_of(std::move(jobs), 8);
+  SimConfig sim;
+  sim.use_requested_runtime = true;
+  auto s = make();
+  const SimResult r = simulate(t, s, sim);
+  EXPECT_NO_THROW(check_feasible(r.outcomes, 8));
+}
+
+}  // namespace
+}  // namespace sbs

@@ -1,0 +1,131 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace sbs {
+namespace {
+
+TEST(OnlineStats, Empty) {
+  OnlineStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.sum(), 0.0);
+}
+
+TEST(OnlineStats, BasicMoments) {
+  OnlineStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 4.0);  // classic example set
+  EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(OnlineStats, SingleValue) {
+  OnlineStats s;
+  s.add(3.5);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 3.5);
+  EXPECT_DOUBLE_EQ(s.max(), 3.5);
+}
+
+TEST(OnlineStats, MergeMatchesSequential) {
+  Rng rng(7);
+  OnlineStats whole, left, right;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.normal(10, 3);
+    whole.add(x);
+    (i < 400 ? left : right).add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), whole.count());
+  EXPECT_NEAR(left.mean(), whole.mean(), 1e-9);
+  EXPECT_NEAR(left.variance(), whole.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(left.min(), whole.min());
+  EXPECT_DOUBLE_EQ(left.max(), whole.max());
+}
+
+TEST(OnlineStats, MergeWithEmpty) {
+  OnlineStats a, b;
+  a.add(1.0);
+  a.add(3.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  b.merge(a);
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.mean(), 2.0);
+}
+
+TEST(TimeWeightedAverage, PiecewiseConstant) {
+  TimeWeightedAverage a;
+  a.observe(0.0, 2.0);   // value 2 over [0, 10)
+  a.observe(10.0, 6.0);  // value 6 over [10, 20)
+  a.observe(20.0, 0.0);
+  EXPECT_DOUBLE_EQ(a.average(), 4.0);
+}
+
+TEST(TimeWeightedAverage, FirstObservationOnlySetsOrigin) {
+  TimeWeightedAverage a;
+  a.observe(5.0, 100.0);
+  EXPECT_TRUE(a.empty());
+  EXPECT_DOUBLE_EQ(a.average(), 0.0);
+}
+
+TEST(TimeWeightedAverage, RejectsTimeGoingBackwards) {
+  TimeWeightedAverage a;
+  a.observe(10.0, 1.0);
+  EXPECT_THROW(a.observe(5.0, 1.0), Error);
+}
+
+TEST(TimeWeightedAverage, ZeroSpanObservationsIgnored) {
+  TimeWeightedAverage a;
+  a.observe(0.0, 3.0);
+  a.observe(0.0, 5.0);  // zero span, value replaced
+  a.observe(10.0, 0.0);
+  EXPECT_DOUBLE_EQ(a.average(), 5.0);
+}
+
+TEST(Percentile, Empty) { EXPECT_DOUBLE_EQ(percentile({}, 0.5), 0.0); }
+
+TEST(Percentile, MedianOfOddCount) {
+  EXPECT_DOUBLE_EQ(percentile({3, 1, 2}, 0.5), 2.0);
+}
+
+TEST(Percentile, InterpolatesBetweenOrderStatistics) {
+  // Sorted: 10, 20, 30, 40. p=0.5 -> position 1.5 -> 25.
+  EXPECT_DOUBLE_EQ(percentile({40, 10, 30, 20}, 0.5), 25.0);
+}
+
+TEST(Percentile, Extremes) {
+  EXPECT_DOUBLE_EQ(percentile({5, 9, 1}, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile({5, 9, 1}, 1.0), 9.0);
+}
+
+TEST(Percentile, P98OfHundredAndOne) {
+  std::vector<double> v;
+  for (int i = 0; i <= 100; ++i) v.push_back(i);
+  EXPECT_DOUBLE_EQ(percentile(v, 0.98), 98.0);
+}
+
+TEST(Percentile, RejectsOutOfRangeP) {
+  EXPECT_THROW(percentile({1.0}, 1.5), Error);
+  EXPECT_THROW(percentile({1.0}, -0.1), Error);
+}
+
+TEST(MeanMax, Helpers) {
+  EXPECT_DOUBLE_EQ(mean_of({1, 2, 3, 4}), 2.5);
+  EXPECT_DOUBLE_EQ(mean_of({}), 0.0);
+  EXPECT_DOUBLE_EQ(max_of({-5, -2, -9}), -2.0);
+  EXPECT_DOUBLE_EQ(max_of({}), 0.0);
+}
+
+}  // namespace
+}  // namespace sbs

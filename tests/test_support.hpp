@@ -1,0 +1,129 @@
+#pragma once
+
+// Shared builders and invariant checkers for the test suite.
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "jobs/trace.hpp"
+#include "sim/outcome.hpp"
+
+namespace sbs::test {
+
+/// Compact job builder: submit/runtime in seconds.
+inline Job job(int id, Time submit, int nodes, Time runtime,
+               Time requested = 0, bool in_window = true) {
+  Job j;
+  j.id = id;
+  j.submit = submit;
+  j.nodes = nodes;
+  j.runtime = runtime;
+  j.requested = requested > 0 ? requested : runtime;
+  j.in_window = in_window;
+  return j;
+}
+
+/// Builds a trace from jobs (normalized: ids reassigned in submit order).
+inline Trace trace_of(std::vector<Job> jobs, int capacity,
+                      Time window_begin = 0, Time window_end = 0) {
+  Trace t;
+  t.name = "test";
+  t.capacity = capacity;
+  t.jobs = std::move(jobs);
+  t.normalize();
+  t.window_begin = window_begin;
+  if (window_end == 0) {
+    for (const auto& j : t.jobs)
+      window_end = std::max(window_end, j.submit + j.runtime + 1);
+  }
+  t.window_end = window_end;
+  return t;
+}
+
+/// Verifies the outcomes respect the physics of the machine: every job
+/// starts at or after submission, runs exactly its runtime, and the node
+/// usage never exceeds capacity at any instant. Returns the peak usage.
+inline int check_feasible(const std::vector<JobOutcome>& outcomes,
+                          int capacity) {
+  std::map<Time, int> delta;
+  for (const auto& o : outcomes) {
+    if (o.start < o.job.submit)
+      throw std::logic_error("job started before submission");
+    if (o.end - o.start != o.job.runtime)
+      throw std::logic_error("job did not run exactly its runtime");
+    delta[o.start] += o.job.nodes;
+    delta[o.end] -= o.job.nodes;
+  }
+  int used = 0, peak = 0;
+  for (const auto& [t, d] : delta) {
+    used += d;
+    peak = std::max(peak, used);
+    if (used > capacity) throw std::logic_error("capacity exceeded");
+  }
+  if (used != 0) throw std::logic_error("usage did not return to zero");
+  return peak;
+}
+
+}  // namespace sbs::test
+
+#include "core/search_problem.hpp"
+
+namespace sbs::test {
+
+/// Owns the Job storage behind a SearchProblem so tests can build decision
+/// points declaratively. Keep the builder alive while the problem is used.
+class ProblemBuilder {
+ public:
+  explicit ProblemBuilder(int capacity, Time now = 0)
+      : capacity_(capacity), now_(now) {
+    jobs_.reserve(64);  // pointers into this vector must stay valid
+  }
+
+  /// Adds a waiting job; bound defaults to "very large" (never excessive).
+  ProblemBuilder& wait(Time submit, int nodes, Time runtime,
+                       Time bound = 1000 * kHour) {
+    jobs_.push_back(job(static_cast<int>(jobs_.size()), submit, nodes, runtime));
+    bounds_.push_back(bound);
+    return *this;
+  }
+
+  /// Marks nodes busy over [now, now + remaining); nodes <= 0 is a no-op
+  /// so randomized tests can draw from [0, capacity].
+  ProblemBuilder& busy(int nodes, Time remaining) {
+    if (nodes > 0) busy_.emplace_back(nodes, remaining);
+    return *this;
+  }
+
+  SearchProblem build() const {
+    SearchProblem p;
+    p.now = now_;
+    p.capacity = capacity_;
+    p.base = ResourceProfile(capacity_, now_);
+    for (const auto& [nodes, remaining] : busy_)
+      p.base.reserve(now_, nodes, remaining);
+    for (std::size_t i = 0; i < jobs_.size(); ++i) {
+      SearchJob s;
+      s.job = &jobs_[i];
+      s.nodes = jobs_[i].nodes;
+      s.estimate = jobs_[i].runtime;
+      s.submit = jobs_[i].submit;
+      s.bound = bounds_[i];
+      const double est = static_cast<double>(
+          std::max<Time>(s.estimate, kMinute));
+      s.slowdown_now =
+          (static_cast<double>(now_ - s.submit) + est) / est;
+      p.jobs.push_back(s);
+    }
+    return p;
+  }
+
+ private:
+  int capacity_;
+  Time now_;
+  std::vector<Job> jobs_;
+  std::vector<Time> bounds_;
+  std::vector<std::pair<int, Time>> busy_;
+};
+
+}  // namespace sbs::test

@@ -1,0 +1,177 @@
+#include "jobs/swf.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "test_support.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace sbs {
+namespace {
+
+using test::job;
+using test::trace_of;
+
+TEST(Swf, RoundTripPreservesJobs) {
+  Trace original = trace_of(
+      {job(0, 0, 4, 3600, 7200), job(1, 100, 16, 600, 900)}, 64);
+  original.name = "roundtrip";
+  std::stringstream buffer;
+  write_swf(buffer, original);
+  const Trace parsed = read_swf(buffer);
+  ASSERT_EQ(parsed.jobs.size(), 2u);
+  EXPECT_EQ(parsed.capacity, 64);
+  for (std::size_t i = 0; i < 2; ++i) {
+    EXPECT_EQ(parsed.jobs[i].submit, original.jobs[i].submit);
+    EXPECT_EQ(parsed.jobs[i].nodes, original.jobs[i].nodes);
+    EXPECT_EQ(parsed.jobs[i].runtime, original.jobs[i].runtime);
+    EXPECT_EQ(parsed.jobs[i].requested, original.jobs[i].requested);
+  }
+}
+
+TEST(Swf, ParsesMaxNodesHeader) {
+  std::stringstream in("; MaxNodes: 77\n1 0 -1 60 4 -1 -1 4 120 -1 1\n");
+  const Trace t = read_swf(in);
+  EXPECT_EQ(t.capacity, 77);
+  ASSERT_EQ(t.jobs.size(), 1u);
+  EXPECT_EQ(t.jobs[0].nodes, 4);
+  EXPECT_EQ(t.jobs[0].requested, 120);
+}
+
+TEST(Swf, MaxProcsDividedByProcsPerNode) {
+  std::stringstream in("; MaxProcs: 256\n1 0 -1 60 8 -1 -1 8 120 -1 1\n");
+  SwfReadOptions options;
+  options.procs_per_node = 2;
+  const Trace t = read_swf(in, options);
+  EXPECT_EQ(t.capacity, 128);
+  EXPECT_EQ(t.jobs[0].nodes, 4);  // 8 procs / 2 per node
+}
+
+TEST(Swf, MaxNodesWinsOverMaxProcs) {
+  std::stringstream in("; MaxNodes: 100\n; MaxProcs: 400\n1 0 -1 60 4\n");
+  const Trace t = read_swf(in);
+  EXPECT_EQ(t.capacity, 100);
+}
+
+TEST(Swf, FallsBackToRequestedProcs) {
+  // Field 5 (allocated) = -1, field 8 (requested) = 6.
+  std::stringstream in("; MaxNodes: 32\n1 0 -1 60 -1 -1 -1 6 -1 -1 1\n");
+  const Trace t = read_swf(in);
+  ASSERT_EQ(t.jobs.size(), 1u);
+  EXPECT_EQ(t.jobs[0].nodes, 6);
+  // Missing requested time falls back to runtime.
+  EXPECT_EQ(t.jobs[0].requested, 60);
+}
+
+TEST(Swf, SkipsInvalidJobsByDefault) {
+  std::stringstream in(
+      "; MaxNodes: 32\n"
+      "1 0 -1 -1 4\n"    // no runtime
+      "2 0 -1 60 -1\n"   // no processors anywhere
+      "3 5 -1 60 4\n");  // good
+  const Trace t = read_swf(in);
+  ASSERT_EQ(t.jobs.size(), 1u);
+  EXPECT_EQ(t.jobs[0].submit, 5);
+}
+
+TEST(Swf, StrictModeThrowsOnInvalid) {
+  std::stringstream in("; MaxNodes: 32\n1 0 -1 -1 4\n");
+  SwfReadOptions options;
+  options.skip_invalid = false;
+  EXPECT_THROW(read_swf(in, options), Error);
+}
+
+TEST(Swf, RequestedClampedUpToRuntime) {
+  // Requested 10 < runtime 60; reader clamps requested to runtime so the
+  // library invariant R >= T holds.
+  std::stringstream in("; MaxNodes: 32\n1 0 -1 60 4 -1 -1 4 10 -1 1\n");
+  const Trace t = read_swf(in);
+  EXPECT_EQ(t.jobs[0].requested, 60);
+}
+
+TEST(Swf, TooWideJobSkipped) {
+  std::stringstream in("; MaxNodes: 4\n1 0 -1 60 8\n2 0 -1 60 2\n");
+  const Trace t = read_swf(in);
+  ASSERT_EQ(t.jobs.size(), 1u);
+  EXPECT_EQ(t.jobs[0].nodes, 2);
+}
+
+TEST(Swf, WindowSpansSubmitToLastEnd) {
+  std::stringstream in("; MaxNodes: 8\n1 100 -1 60 1\n2 500 -1 100 1\n");
+  const Trace t = read_swf(in);
+  EXPECT_EQ(t.window_begin, 100);
+  EXPECT_EQ(t.window_end, 600);
+}
+
+TEST(Swf, UserFieldRoundTrips) {
+  Trace original = trace_of({job(0, 0, 4, 3600)}, 64);
+  original.jobs[0].user = 17;
+  std::stringstream buffer;
+  write_swf(buffer, original);
+  const Trace parsed = read_swf(buffer);
+  ASSERT_EQ(parsed.jobs.size(), 1u);
+  EXPECT_EQ(parsed.jobs[0].user, 17);
+}
+
+TEST(Swf, MissingUserFieldDefaultsToZero) {
+  std::stringstream in("; MaxNodes: 32\n1 0 -1 60 4\n");
+  const Trace t = read_swf(in);
+  EXPECT_EQ(t.jobs[0].user, 0);
+}
+
+TEST(Swf, MissingFileThrows) {
+  EXPECT_THROW(read_swf_file("/nonexistent/path.swf"), Error);
+}
+
+TEST(Swf, EmptyAndCommentOnlyInputYieldsEmptyTrace) {
+  std::stringstream in("; just a comment\n\n");
+  const Trace t = read_swf(in);
+  EXPECT_TRUE(t.jobs.empty());
+}
+
+// Robustness fuzz: random garbage lines mixed with valid jobs must never
+// crash the lenient reader, and every surviving job must be valid.
+class SwfFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SwfFuzz, LenientReaderSurvivesGarbage) {
+  Rng rng(GetParam());
+  std::stringstream in;
+  in << "; MaxNodes: 64\n";
+  std::size_t valid = 0;
+  for (int line = 0; line < 300; ++line) {
+    switch (rng.index(5)) {
+      case 0: {  // valid job line
+        in << line << ' ' << rng.uniform_int(0, 100000) << " -1 "
+           << rng.uniform_int(1, 86400) << ' ' << rng.uniform_int(1, 64)
+           << "\n";
+        ++valid;
+        break;
+      }
+      case 1:  // truncated
+        in << line << ' ' << rng.uniform_int(0, 1000) << "\n";
+        break;
+      case 2:  // negative / missing fields
+        in << line << " -1 -1 -1 -1 -1 -1 -1 -1\n";
+        break;
+      case 3:  // non-numeric garbage
+        in << "xx yy zz ## " << rng.uniform_int(0, 9) << "\n";
+        break;
+      default:  // stray comment
+        in << "; noise " << rng.uniform_int(0, 9) << "\n";
+        break;
+    }
+  }
+  const Trace t = read_swf(in);
+  EXPECT_EQ(t.capacity, 64);
+  // Exactly the well-formed lines survive; everything else is dropped.
+  EXPECT_EQ(t.jobs.size(), valid);
+  EXPECT_NO_THROW(t.validate());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SwfFuzz,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace sbs

@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/cli.hpp"
+#include "util/csv.hpp"
+#include "util/error.hpp"
+#include "util/table.hpp"
+#include "util/time.hpp"
+
+namespace sbs {
+namespace {
+
+TEST(Table, RendersHeaderRuleAndRows) {
+  Table t({"name", "value"});
+  t.row().add("alpha").add(1.5);
+  t.row().add("b").add(22LL);
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("1.50"), std::string::npos);
+  EXPECT_NE(out.find("22"), std::string::npos);
+  EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(Table, RejectsTooManyCells) {
+  Table t({"only"});
+  t.row().add("x");
+  EXPECT_THROW(t.add("y"), Error);
+}
+
+TEST(Table, RejectsAddBeforeRow) {
+  Table t({"a"});
+  EXPECT_THROW(t.add("x"), Error);
+}
+
+TEST(Table, ShortRowsPadded) {
+  Table t({"a", "b"});
+  t.row().add("only-a");
+  std::ostringstream os;
+  EXPECT_NO_THROW(t.print(os));
+}
+
+TEST(FormatDouble, FixedPrecision) {
+  EXPECT_EQ(format_double(3.14159, 2), "3.14");
+  EXPECT_EQ(format_double(2.0, 0), "2");
+  EXPECT_EQ(format_double(-0.5, 1), "-0.5");
+}
+
+TEST(FormatDuration, Formats) {
+  EXPECT_EQ(format_duration(0), "0h00m00s");
+  EXPECT_EQ(format_duration(3661), "1h01m01s");
+  EXPECT_EQ(format_duration(-kHour), "-1h00m00s");
+  EXPECT_EQ(format_duration(100 * kHour + 59), "100h00m59s");
+}
+
+TEST(TimeConversions, RoundTrip) {
+  EXPECT_DOUBLE_EQ(to_hours(2 * kHour), 2.0);
+  EXPECT_EQ(from_hours(1.5), 5400);
+  EXPECT_EQ(from_hours(0.0), 0);
+  EXPECT_EQ(from_hours(-2.0), -2 * kHour);
+}
+
+TEST(CsvEscape, QuotesOnlyWhenNeeded) {
+  EXPECT_EQ(csv_escape("plain"), "plain");
+  EXPECT_EQ(csv_escape("with,comma"), "\"with,comma\"");
+  EXPECT_EQ(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(csv_escape("line\nbreak"), "\"line\nbreak\"");
+}
+
+TEST(CsvWriter, WritesHeaderAndRows) {
+  const std::string path = "test_csv_writer.csv";
+  {
+    CsvWriter w(path, {"a", "b"});
+    w.write_row({"1", "x,y"});
+  }
+  std::ifstream in(path);
+  std::string line1, line2;
+  std::getline(in, line1);
+  std::getline(in, line2);
+  EXPECT_EQ(line1, "a,b");
+  EXPECT_EQ(line2, "1,\"x,y\"");
+  std::remove(path.c_str());
+}
+
+TEST(CsvWriter, RejectsWrongArity) {
+  const std::string path = "test_csv_arity.csv";
+  CsvWriter w(path, {"a", "b"});
+  EXPECT_THROW(w.write_row({"only-one"}), Error);
+  std::remove(path.c_str());
+}
+
+TEST(CliArgs, ParsesKeyValueAndFlags) {
+  const char* argv[] = {"prog", "--month=7/03", "--paper", "--scale=0.5"};
+  CliArgs args(4, argv, {"month", "paper", "scale"});
+  EXPECT_EQ(args.get("month", ""), "7/03");
+  EXPECT_TRUE(args.get_bool("paper", false));
+  EXPECT_DOUBLE_EQ(args.get_double("scale", 1.0), 0.5);
+  EXPECT_EQ(args.get_int("missing", 7), 7);
+  EXPECT_FALSE(args.has("missing"));
+}
+
+TEST(CliArgs, RejectsUnknownOption) {
+  const char* argv[] = {"prog", "--nope=1"};
+  EXPECT_THROW(CliArgs(2, argv, {"yes"}), Error);
+}
+
+TEST(CliArgs, RejectsPositional) {
+  const char* argv[] = {"prog", "positional"};
+  EXPECT_THROW(CliArgs(2, argv, {}), Error);
+}
+
+TEST(CliArgs, BoolFalseSpellings) {
+  const char* argv[] = {"prog", "--a=0", "--b=false", "--c=no", "--d=yes"};
+  CliArgs args(5, argv, {"a", "b", "c", "d"});
+  EXPECT_FALSE(args.get_bool("a", true));
+  EXPECT_FALSE(args.get_bool("b", true));
+  EXPECT_FALSE(args.get_bool("c", true));
+  EXPECT_TRUE(args.get_bool("d", false));
+}
+
+}  // namespace
+}  // namespace sbs

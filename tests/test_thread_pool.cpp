@@ -1,0 +1,64 @@
+#include "util/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace sbs {
+namespace {
+
+TEST(ThreadPool, RunsSubmittedTasks) {
+  ThreadPool pool(4);
+  auto f = pool.submit([] { return 6 * 7; });
+  EXPECT_EQ(f.get(), 42);
+}
+
+TEST(ThreadPool, DefaultsToAtLeastOneWorker) {
+  ThreadPool pool(0);
+  EXPECT_GE(pool.size(), 1u);
+}
+
+TEST(ThreadPool, ParallelForCoversAllIndices) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(100);
+  pool.parallel_for(100, [&](std::size_t i) { hits[i]++; });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForPropagatesExceptions) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.parallel_for(10,
+                                 [](std::size_t i) {
+                                   if (i == 5) throw std::runtime_error("boom");
+                                 }),
+               std::runtime_error);
+}
+
+TEST(ThreadPool, SubmitPropagatesExceptionViaFuture) {
+  ThreadPool pool(1);
+  auto f = pool.submit([]() -> int { throw std::logic_error("nope"); });
+  EXPECT_THROW(f.get(), std::logic_error);
+}
+
+TEST(ThreadPool, ManySmallTasksSum) {
+  ThreadPool pool(3);
+  std::atomic<long long> sum{0};
+  pool.parallel_for(1000, [&](std::size_t i) { sum += static_cast<long long>(i); });
+  EXPECT_EQ(sum.load(), 499500);
+}
+
+TEST(ThreadPool, DestructorDrainsCleanly) {
+  std::atomic<int> done{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 50; ++i)
+      pool.submit([&done] { done++; }).wait();
+  }
+  EXPECT_EQ(done.load(), 50);
+}
+
+}  // namespace
+}  // namespace sbs

@@ -1,0 +1,107 @@
+#include "metrics/timeline.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_support.hpp"
+
+namespace sbs {
+namespace {
+
+using test::job;
+
+JobOutcome outcome(Job j, Time start) {
+  JobOutcome o;
+  o.job = j;
+  o.start = start;
+  o.end = start + j.runtime;
+  return o;
+}
+
+TEST(UtilizationTimeline, SingleJobStep) {
+  std::vector<JobOutcome> outs = {outcome(job(0, 0, 4, 100), 10)};
+  const auto tl = utilization_timeline(outs);
+  ASSERT_EQ(tl.size(), 2u);
+  EXPECT_EQ(tl[0].time, 10);
+  EXPECT_EQ(tl[0].value, 4);
+  EXPECT_EQ(tl[1].time, 110);
+  EXPECT_EQ(tl[1].value, 0);
+}
+
+TEST(UtilizationTimeline, OverlapsStack) {
+  std::vector<JobOutcome> outs = {outcome(job(0, 0, 2, 100), 0),
+                                  outcome(job(1, 0, 3, 100), 50)};
+  const auto tl = utilization_timeline(outs);
+  ASSERT_EQ(tl.size(), 4u);
+  EXPECT_EQ(tl[0].value, 2);   // t=0
+  EXPECT_EQ(tl[1].value, 5);   // t=50
+  EXPECT_EQ(tl[2].value, 3);   // t=100
+  EXPECT_EQ(tl[3].value, 0);   // t=150
+}
+
+TEST(UtilizationTimeline, CoincidentStartAndEndCollapse) {
+  std::vector<JobOutcome> outs = {outcome(job(0, 0, 2, 100), 0),
+                                  outcome(job(1, 0, 2, 50), 100)};
+  const auto tl = utilization_timeline(outs);
+  // At t=100 job 0 ends and job 1 starts: one point, value 2.
+  ASSERT_EQ(tl.size(), 3u);
+  EXPECT_EQ(tl[1].time, 100);
+  EXPECT_EQ(tl[1].value, 2);
+}
+
+TEST(QueueTimeline, CountsWaitIntervals) {
+  std::vector<JobOutcome> outs = {
+      outcome(job(0, 0, 2, 100), 0),    // never queued -> no interval
+      outcome(job(1, 10, 2, 50), 60),   // queued [10, 60)
+      outcome(job(2, 20, 2, 50), 60),   // queued [20, 60)
+  };
+  const auto tl = queue_timeline(outs);
+  ASSERT_EQ(tl.size(), 3u);
+  EXPECT_EQ(tl[0].time, 10);
+  EXPECT_EQ(tl[0].value, 1);
+  EXPECT_EQ(tl[1].time, 20);
+  EXPECT_EQ(tl[1].value, 2);
+  EXPECT_EQ(tl[2].time, 60);
+  EXPECT_EQ(tl[2].value, 0);
+}
+
+TEST(TimelineAverage, WeightsBySpan) {
+  std::vector<TimelinePoint> tl = {{0, 4}, {50, 8}, {100, 0}};
+  EXPECT_DOUBLE_EQ(timeline_average(tl, 0, 100), 6.0);
+  EXPECT_DOUBLE_EQ(timeline_average(tl, 0, 200), 3.0);   // 0 beyond 100
+  EXPECT_DOUBLE_EQ(timeline_average(tl, 25, 75), 6.0);
+}
+
+TEST(TimelineAverage, WindowBeforeFirstPointIsZero) {
+  std::vector<TimelinePoint> tl = {{100, 4}};
+  EXPECT_DOUBLE_EQ(timeline_average(tl, 0, 50), 0.0);
+}
+
+TEST(TimelinePeak, FindsMaximumInWindow) {
+  std::vector<TimelinePoint> tl = {{0, 2}, {10, 9}, {20, 1}};
+  EXPECT_EQ(timeline_peak(tl, 0, 30), 9);
+  EXPECT_EQ(timeline_peak(tl, 20, 30), 1);
+  EXPECT_EQ(timeline_peak(tl, 0, 10), 2);
+}
+
+TEST(AverageUtilization, FractionOfCapacity) {
+  std::vector<JobOutcome> outs = {outcome(job(0, 0, 4, 100), 0)};
+  EXPECT_DOUBLE_EQ(average_utilization(outs, 8, 0, 100), 0.5);
+  EXPECT_DOUBLE_EQ(average_utilization(outs, 8, 0, 200), 0.25);
+}
+
+TEST(DailyUtilization, OneEntryPerDay) {
+  std::vector<JobOutcome> outs = {outcome(job(0, 0, 8, kDay), 0)};
+  const auto days = daily_utilization(outs, 8, 0, 2 * kDay);
+  ASSERT_EQ(days.size(), 2u);
+  EXPECT_DOUBLE_EQ(days[0], 1.0);
+  EXPECT_DOUBLE_EQ(days[1], 0.0);
+}
+
+TEST(Timeline, EmptyOutcomes) {
+  EXPECT_TRUE(utilization_timeline({}).empty());
+  EXPECT_TRUE(queue_timeline({}).empty());
+  EXPECT_DOUBLE_EQ(average_utilization({}, 8, 0, 100), 0.0);
+}
+
+}  // namespace
+}  // namespace sbs

@@ -1,0 +1,120 @@
+#include "jobs/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_support.hpp"
+#include "util/error.hpp"
+
+namespace sbs {
+namespace {
+
+using test::job;
+using test::trace_of;
+
+TEST(Trace, NormalizeSortsAndReassignsIds) {
+  Trace t;
+  t.capacity = 8;
+  t.jobs = {job(5, 100, 1, 10), job(9, 50, 1, 10), job(2, 100, 1, 10)};
+  t.normalize();
+  EXPECT_EQ(t.jobs[0].submit, 50);
+  EXPECT_EQ(t.jobs[0].id, 0);
+  EXPECT_EQ(t.jobs[1].id, 1);
+  EXPECT_EQ(t.jobs[2].id, 2);
+  // Stable tie-break by original id: 2 (orig) before 5 (orig).
+  EXPECT_EQ(t.jobs[1].submit, 100);
+}
+
+TEST(Trace, ValidateAcceptsGoodTrace) {
+  const Trace t = trace_of({job(0, 0, 4, 100), job(1, 50, 8, 200)}, 8);
+  EXPECT_NO_THROW(t.validate());
+}
+
+TEST(Trace, ValidateRejectsZeroRuntime) {
+  Trace t = trace_of({job(0, 0, 1, 100)}, 4);
+  t.jobs[0].runtime = 0;
+  EXPECT_THROW(t.validate(), Error);
+}
+
+TEST(Trace, ValidateRejectsZeroRequested) {
+  Trace t = trace_of({job(0, 0, 1, 100)}, 4);
+  t.jobs[0].requested = 0;
+  EXPECT_THROW(t.validate(), Error);
+}
+
+TEST(Trace, ValidateRejectsWideJob) {
+  Trace t = trace_of({job(0, 0, 9, 100)}, 8);
+  EXPECT_THROW(t.validate(), Error);
+}
+
+TEST(Trace, ValidateRejectsUnsorted) {
+  Trace t = trace_of({job(0, 0, 1, 10), job(1, 5, 1, 10)}, 4);
+  std::swap(t.jobs[0], t.jobs[1]);
+  EXPECT_THROW(t.validate(), Error);
+}
+
+TEST(Trace, ValidateRejectsBadCapacity) {
+  Trace t;
+  t.capacity = 0;
+  EXPECT_THROW(t.validate(), Error);
+}
+
+TEST(Trace, InWindowCountSkipsWarmup) {
+  const Trace t = trace_of(
+      {job(0, -10, 1, 5, 0, false), job(1, 0, 1, 5), job(2, 5, 1, 5)}, 4);
+  EXPECT_EQ(t.in_window_count(), 2u);
+}
+
+TEST(Trace, OfferedLoadComputesNodeSecondsOverWindow) {
+  // 4 nodes * 100 s demand on an 8-node machine over 100 s -> load 0.5.
+  Trace t = trace_of({job(0, 0, 4, 100)}, 8, 0, 100);
+  EXPECT_DOUBLE_EQ(t.offered_load(), 0.5);
+}
+
+TEST(Trace, OfferedLoadIgnoresOutOfWindowJobs) {
+  Trace t = trace_of({job(0, 0, 4, 100), job(1, 0, 4, 100, 0, false)}, 8, 0, 100);
+  EXPECT_DOUBLE_EQ(t.offered_load(), 0.5);
+}
+
+TEST(RescaleArrivals, ShrinksSubmitTimesAndWindow) {
+  Trace t = trace_of({job(0, 100, 2, 50), job(1, 200, 2, 50)}, 8, 0, 400);
+  const Trace half = rescale_arrivals(t, 0.5);
+  EXPECT_EQ(half.jobs[0].submit, 50);
+  EXPECT_EQ(half.jobs[1].submit, 100);
+  EXPECT_EQ(half.window_end, 200);
+  // Runtimes and widths untouched.
+  EXPECT_EQ(half.jobs[0].runtime, 50);
+  EXPECT_EQ(half.jobs[0].nodes, 2);
+}
+
+TEST(RescaleArrivals, DoublesOfferedLoadWhenHalved) {
+  Trace t = trace_of({job(0, 0, 4, 100)}, 8, 0, 200);
+  const double before = t.offered_load();
+  const Trace half = rescale_arrivals(t, 0.5);
+  EXPECT_NEAR(half.offered_load(), 2.0 * before, 1e-12);
+}
+
+TEST(RescaleToLoad, HitsTarget) {
+  Trace t = trace_of({job(0, 0, 4, 100), job(1, 100, 4, 100)}, 8, 0, 400);
+  const Trace scaled = rescale_to_load(t, 0.9);
+  EXPECT_NEAR(scaled.offered_load(), 0.9, 0.01);
+}
+
+TEST(RescaleToLoad, RejectsEmptyDemand) {
+  Trace t;
+  t.capacity = 8;
+  t.window_begin = 0;
+  t.window_end = 100;
+  EXPECT_THROW(rescale_to_load(t, 0.9), Error);
+}
+
+TEST(RescaleArrivals, RejectsNonPositiveFactor) {
+  Trace t = trace_of({job(0, 0, 1, 10)}, 4);
+  EXPECT_THROW(rescale_arrivals(t, 0.0), Error);
+}
+
+TEST(JobDemand, NodesTimesRuntime) {
+  EXPECT_DOUBLE_EQ(job_demand(job(0, 0, 4, 250)), 1000.0);
+}
+
+}  // namespace
+}  // namespace sbs

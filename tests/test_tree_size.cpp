@@ -1,0 +1,52 @@
+#include "core/tree_size.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sbs {
+namespace {
+
+TEST(TreeSize, ZeroJobs) {
+  const TreeSize t = search_tree_size(0);
+  EXPECT_DOUBLE_EQ(t.paths, 0.0);
+  EXPECT_DOUBLE_EQ(t.nodes, 0.0);
+}
+
+TEST(TreeSize, SmallCases) {
+  EXPECT_DOUBLE_EQ(search_tree_size(1).paths, 1.0);
+  EXPECT_DOUBLE_EQ(search_tree_size(1).nodes, 1.0);
+  EXPECT_DOUBLE_EQ(search_tree_size(2).paths, 2.0);
+  EXPECT_DOUBLE_EQ(search_tree_size(2).nodes, 4.0);  // 2 + 2
+  EXPECT_DOUBLE_EQ(search_tree_size(3).paths, 6.0);
+  EXPECT_DOUBLE_EQ(search_tree_size(3).nodes, 15.0);  // 3 + 6 + 6
+}
+
+TEST(TreeSize, PaperFigure1dValues) {
+  // Figure 1(d): 4 jobs -> 24 paths, 64 nodes; 10 jobs -> ~10M nodes;
+  // 15 jobs -> 1,307,674M paths and 3,554,627M nodes.
+  EXPECT_DOUBLE_EQ(search_tree_size(4).paths, 24.0);
+  EXPECT_DOUBLE_EQ(search_tree_size(4).nodes, 64.0);
+  EXPECT_DOUBLE_EQ(search_tree_size(10).paths, 3'628'800.0);
+  EXPECT_DOUBLE_EQ(search_tree_size(10).nodes, 9'864'100.0);
+  EXPECT_DOUBLE_EQ(search_tree_size(15).paths, 1'307'674'368'000.0);
+  EXPECT_DOUBLE_EQ(search_tree_size(15).nodes, 3'554'627'472'075.0);
+}
+
+TEST(TreeSize, NodesExceedPathsForNAtLeastTwo) {
+  for (std::size_t n = 2; n <= 20; ++n) {
+    const TreeSize t = search_tree_size(n);
+    EXPECT_GT(t.nodes, t.paths) << n;
+  }
+}
+
+TEST(TreeSize, RecurrenceHolds) {
+  // nodes(n) = n * (1 + nodes(n-1)) — each root child carries a shifted
+  // copy of the (n-1)-job tree.
+  for (std::size_t n = 2; n <= 15; ++n) {
+    const double expected =
+        static_cast<double>(n) * (1.0 + search_tree_size(n - 1).nodes);
+    EXPECT_DOUBLE_EQ(search_tree_size(n).nodes, expected) << n;
+  }
+}
+
+}  // namespace
+}  // namespace sbs

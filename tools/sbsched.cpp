@@ -1,0 +1,246 @@
+// sbsched — command-line driver for the search-based scheduling library.
+//
+//   sbsched generate --month=7/03 --out=month.swf [--scale=1] [--seed=N]
+//       Write a synthetic NCSA-calibrated month as an SWF trace.
+//
+//   sbsched analyze --trace=month.swf [--procs-per-node=1]
+//       Print the trace's job mix (Table-3 style), runtime mix (Table-4
+//       style) and offered load.
+//
+//   sbsched simulate --trace=month.swf --policy=DDS/lxf/dynB
+//            [--nodes=1000] [--rstar=actual|requested|predicted]
+//            [--load=0.9] [--classes] [--timeline=out.csv]
+//       Run one policy and report every aggregate measure; optionally the
+//       per-class wait grid and a utilization/queue timeline CSV.
+//
+//   sbsched compare --trace=month.swf [--policies=FCFS-BF,LXF-BF,DDS/lxf/dynB]
+//            [--nodes=1000] [--rstar=...] [--load=0.9]
+//       Side-by-side comparison with FCFS-derived excessive-wait measures.
+
+#include <iostream>
+#include <memory>
+
+#include "exp/policy_factory.hpp"
+#include "exp/runner.hpp"
+#include "jobs/swf.hpp"
+#include "metrics/job_class.hpp"
+#include "metrics/timeline.hpp"
+#include "metrics/trace_mix.hpp"
+#include "util/cli.hpp"
+#include "util/csv.hpp"
+#include "util/error.hpp"
+#include "util/table.hpp"
+#include "workload/generator.hpp"
+
+namespace sbs::cli {
+namespace {
+
+int usage() {
+  std::cerr
+      << "usage: sbsched <generate|analyze|simulate|compare> [--options]\n"
+         "run `sbsched <command>` with no options for that command's flags\n";
+  return 2;
+}
+
+Trace load_trace(const CliArgs& args) {
+  const std::string path = args.get("trace", "");
+  if (path.empty()) throw Error("--trace=<file.swf> is required");
+  SwfReadOptions options;
+  options.procs_per_node =
+      static_cast<int>(args.get_int("procs-per-node", 1));
+  Trace trace = read_swf_file(path, options);
+  const double load = args.get_double("load", 0.0);
+  if (load > 0.0) trace = rescale_to_load(trace, load);
+  return trace;
+}
+
+SimConfig sim_config(const CliArgs& args,
+                     std::unique_ptr<RuntimePredictor>& predictor) {
+  SimConfig sim;
+  const std::string rstar = args.get("rstar", "actual");
+  if (rstar == "requested") {
+    sim.use_requested_runtime = true;
+  } else if (rstar == "predicted") {
+    predictor = std::make_unique<ClassCorrectionPredictor>();
+    sim.predictor = predictor.get();
+  } else if (rstar != "actual") {
+    throw Error("--rstar must be actual, requested or predicted");
+  }
+  return sim;
+}
+
+int cmd_generate(int argc, char** argv) {
+  CliArgs args(argc, argv, {"month", "out", "scale", "seed", "load"});
+  const std::string month = args.get("month", "7/03");
+  const std::string out = args.get("out", "");
+  if (out.empty()) throw Error("--out=<file.swf> is required");
+  GeneratorConfig cfg;
+  cfg.job_scale = args.get_double("scale", 1.0);
+  cfg.seed = static_cast<std::uint64_t>(args.get_int("seed", 2005));
+  Trace trace = generate_month(month, cfg);
+  const double load = args.get_double("load", 0.0);
+  if (load > 0.0) trace = rescale_to_load(trace, load);
+  write_swf_file(out, trace);
+  std::cout << "wrote " << trace.jobs.size() << " jobs (" << month
+            << ", load " << format_double(trace.offered_load(), 3) << ") to "
+            << out << '\n';
+  return 0;
+}
+
+int cmd_analyze(int argc, char** argv) {
+  CliArgs args(argc, argv, {"trace", "procs-per-node", "load"});
+  const Trace trace = load_trace(args);
+  const TraceMix mix = trace_mix(trace);
+  const RuntimeMix rmix = runtime_mix(trace);
+
+  std::cout << "trace: " << trace.name << '\n'
+            << "capacity: " << trace.capacity << " nodes\n"
+            << "jobs (in window): " << mix.total_jobs << '\n'
+            << "offered load: " << format_double(mix.offered_load, 3)
+            << "\n\nJob mix by requested nodes:\n";
+  Table t({"range", "jobs", "demand"});
+  for (std::size_t r = 0; r < kMixRanges; ++r)
+    t.row()
+        .add(mix_range_label(r))
+        .add(format_double(100.0 * mix.job_fraction[r], 1) + "%")
+        .add(format_double(100.0 * mix.demand_fraction[r], 1) + "%");
+  t.print(std::cout);
+
+  std::cout << "\nRuntime mix (fractions of all jobs):\n";
+  Table rt({"node class", "T<=1h", "T>5h"});
+  for (std::size_t c = 0; c < RuntimeMix::kClasses; ++c)
+    rt.row()
+        .add(runtime_mix_class_label(c))
+        .add(format_double(100.0 * rmix.short_fraction[c], 1) + "%")
+        .add(format_double(100.0 * rmix.long_fraction[c], 1) + "%");
+  rt.print(std::cout);
+  return 0;
+}
+
+int cmd_simulate(int argc, char** argv) {
+  CliArgs args(argc, argv,
+               {"trace", "procs-per-node", "policy", "nodes", "rstar",
+                "load", "classes", "timeline"});
+  const Trace trace = load_trace(args);
+  std::unique_ptr<RuntimePredictor> predictor;
+  const SimConfig sim = sim_config(args, predictor);
+  const std::string spec = args.get("policy", "DDS/lxf/dynB");
+  const auto L = static_cast<std::size_t>(args.get_int("nodes", 1000));
+
+  const Thresholds th = fcfs_thresholds(trace, sim);
+  const MonthEval eval = evaluate_spec(trace, spec, L, th, sim, true);
+
+  std::cout << "policy: " << eval.policy << "\njobs: " << eval.summary.jobs
+            << '\n';
+  Table t({"measure", "value"});
+  t.row().add("avg wait (h)").add(eval.summary.avg_wait_h);
+  t.row().add("max wait (h)").add(eval.summary.max_wait_h);
+  t.row().add("p98 wait (h)").add(eval.summary.p98_wait_h);
+  t.row().add("avg bounded slowdown").add(eval.summary.avg_bounded_slowdown);
+  t.row().add("avg turnaround (h)").add(eval.summary.avg_turnaround_h);
+  t.row().add("avg queue length").add(eval.avg_queue_length);
+  t.row().add("total E^max vs FCFS-BF (h)").add(eval.e_max.total_h);
+  t.row().add("jobs with E^max").add(eval.e_max.count);
+  t.row().add("total E^98% vs FCFS-BF (h)").add(eval.e_p98.total_h);
+  t.row().add("utilization").add(average_utilization(
+      eval.outcomes, trace.capacity, trace.window_begin, trace.window_end));
+  if (eval.sched.nodes_visited > 0) {
+    t.row().add("search nodes visited").add(eval.sched.nodes_visited);
+    t.row().add("scheduling decisions").add(eval.sched.decisions);
+  }
+  t.print(std::cout);
+
+  if (args.get_bool("classes", false)) {
+    const JobClassGrid grid = class_grid(eval.outcomes);
+    std::cout << "\nAvg wait (h) per job class:\n";
+    std::vector<std::string> headers = {"class"};
+    for (std::size_t r = 0; r < JobClassGrid::kRuntimeClasses; ++r)
+      headers.push_back(runtime_class_label(r));
+    Table ct(headers);
+    for (std::size_t n = 0; n < JobClassGrid::kNodeClasses; ++n) {
+      ct.row().add(node_class_label(n));
+      for (std::size_t r = 0; r < JobClassGrid::kRuntimeClasses; ++r)
+        ct.add(grid.count[n][r] ? format_double(grid.avg_wait_h[n][r], 1)
+                                : std::string("-"));
+    }
+    ct.print(std::cout);
+  }
+
+  if (const std::string path = args.get("timeline", ""); !path.empty()) {
+    CsvWriter csv(path, {"time_s", "busy_nodes", "queued_jobs"});
+    const auto util = utilization_timeline(eval.outcomes);
+    const auto queue = queue_timeline(eval.outcomes);
+    // Merge the two step functions on their union of change points.
+    std::size_t qi = 0;
+    int queued = 0;
+    for (const auto& p : util) {
+      while (qi < queue.size() && queue[qi].time <= p.time)
+        queued = queue[qi++].value;
+      csv.write_row({std::to_string(p.time), std::to_string(p.value),
+                     std::to_string(queued)});
+    }
+    std::cout << "\nwrote timeline to " << path << '\n';
+  }
+  return 0;
+}
+
+int cmd_compare(int argc, char** argv) {
+  CliArgs args(argc, argv,
+               {"trace", "procs-per-node", "policies", "nodes", "rstar",
+                "load"});
+  const Trace trace = load_trace(args);
+  std::unique_ptr<RuntimePredictor> predictor;
+  const SimConfig sim = sim_config(args, predictor);
+  const auto L = static_cast<std::size_t>(args.get_int("nodes", 1000));
+
+  std::vector<std::string> specs;
+  std::string list = args.get("policies", "FCFS-BF,LXF-BF,DDS/lxf/dynB");
+  while (!list.empty()) {
+    const auto comma = list.find(',');
+    specs.push_back(list.substr(0, comma));
+    list = comma == std::string::npos ? "" : list.substr(comma + 1);
+  }
+
+  const Thresholds th = fcfs_thresholds(trace, sim);
+  Table t({"policy", "avg wait (h)", "max wait (h)", "p98 wait (h)",
+           "avg bsld", "E^max tot (h)", "#w/E^max"});
+  for (const auto& spec : specs) {
+    // A fresh predictor per policy keeps the comparisons independent.
+    std::unique_ptr<RuntimePredictor> local;
+    SimConfig policy_sim = sim;
+    if (sim.predictor) {
+      local = std::make_unique<ClassCorrectionPredictor>();
+      policy_sim.predictor = local.get();
+    }
+    const MonthEval eval = evaluate_spec(trace, spec, L, th, policy_sim);
+    t.row()
+        .add(eval.policy)
+        .add(eval.summary.avg_wait_h)
+        .add(eval.summary.max_wait_h)
+        .add(eval.summary.p98_wait_h)
+        .add(eval.summary.avg_bounded_slowdown)
+        .add(eval.e_max.total_h, 1)
+        .add(eval.e_max.count);
+  }
+  t.print(std::cout);
+  return 0;
+}
+
+}  // namespace
+}  // namespace sbs::cli
+
+int main(int argc, char** argv) {
+  using namespace sbs::cli;
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+  try {
+    if (command == "generate") return cmd_generate(argc - 1, argv + 1);
+    if (command == "analyze") return cmd_analyze(argc - 1, argv + 1);
+    if (command == "simulate") return cmd_simulate(argc - 1, argv + 1);
+    if (command == "compare") return cmd_compare(argc - 1, argv + 1);
+    return usage();
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+}
