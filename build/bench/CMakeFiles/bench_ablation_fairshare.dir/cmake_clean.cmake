@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_fairshare.dir/bench_ablation_fairshare.cpp.o"
+  "CMakeFiles/bench_ablation_fairshare.dir/bench_ablation_fairshare.cpp.o.d"
+  "bench_ablation_fairshare"
+  "bench_ablation_fairshare.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_fairshare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_reservations.dir/bench_ablation_reservations.cpp.o"
+  "CMakeFiles/bench_ablation_reservations.dir/bench_ablation_reservations.cpp.o.d"
+  "bench_ablation_reservations"
+  "bench_ablation_reservations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_reservations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

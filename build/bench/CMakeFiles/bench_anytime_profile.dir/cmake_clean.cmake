@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_anytime_profile.dir/bench_anytime_profile.cpp.o"
+  "CMakeFiles/bench_anytime_profile.dir/bench_anytime_profile.cpp.o.d"
+  "bench_anytime_profile"
+  "bench_anytime_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_anytime_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

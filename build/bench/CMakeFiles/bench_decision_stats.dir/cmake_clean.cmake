@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_decision_stats.dir/bench_decision_stats.cpp.o"
+  "CMakeFiles/bench_decision_stats.dir/bench_decision_stats.cpp.o.d"
+  "bench_decision_stats"
+  "bench_decision_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_decision_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

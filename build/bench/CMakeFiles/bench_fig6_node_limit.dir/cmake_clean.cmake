@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_node_limit.dir/bench_fig6_node_limit.cpp.o"
+  "CMakeFiles/bench_fig6_node_limit.dir/bench_fig6_node_limit.cpp.o.d"
+  "bench_fig6_node_limit"
+  "bench_fig6_node_limit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_node_limit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

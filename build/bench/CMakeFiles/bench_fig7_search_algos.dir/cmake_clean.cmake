@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_search_algos.dir/bench_fig7_search_algos.cpp.o"
+  "CMakeFiles/bench_fig7_search_algos.dir/bench_fig7_search_algos.cpp.o.d"
+  "bench_fig7_search_algos"
+  "bench_fig7_search_algos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_search_algos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

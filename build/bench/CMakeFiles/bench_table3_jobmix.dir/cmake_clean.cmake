@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_jobmix.dir/bench_table3_jobmix.cpp.o"
+  "CMakeFiles/bench_table3_jobmix.dir/bench_table3_jobmix.cpp.o.d"
+  "bench_table3_jobmix"
+  "bench_table3_jobmix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_jobmix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../lib/libsbs_bench_common.a"
+  "../lib/libsbs_bench_common.pdb"
+  "CMakeFiles/sbs_bench_common.dir/bench_common.cpp.o"
+  "CMakeFiles/sbs_bench_common.dir/bench_common.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sbs_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

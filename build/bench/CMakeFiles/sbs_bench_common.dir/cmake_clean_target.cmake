@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "../lib/libsbs_bench_common.a"
+)

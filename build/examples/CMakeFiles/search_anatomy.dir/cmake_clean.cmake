@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/search_anatomy.dir/search_anatomy.cpp.o"
+  "CMakeFiles/search_anatomy.dir/search_anatomy.cpp.o.d"
+  "search_anatomy"
+  "search_anatomy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/search_anatomy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

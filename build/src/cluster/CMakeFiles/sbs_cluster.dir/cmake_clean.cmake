@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sbs_cluster.dir/resource_profile.cpp.o"
+  "CMakeFiles/sbs_cluster.dir/resource_profile.cpp.o.d"
+  "libsbs_cluster.a"
+  "libsbs_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sbs_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

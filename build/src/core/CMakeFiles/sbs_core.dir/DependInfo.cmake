@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/fairshare.cpp" "src/core/CMakeFiles/sbs_core.dir/fairshare.cpp.o" "gcc" "src/core/CMakeFiles/sbs_core.dir/fairshare.cpp.o.d"
+  "/root/repo/src/core/local_search.cpp" "src/core/CMakeFiles/sbs_core.dir/local_search.cpp.o" "gcc" "src/core/CMakeFiles/sbs_core.dir/local_search.cpp.o.d"
+  "/root/repo/src/core/objective.cpp" "src/core/CMakeFiles/sbs_core.dir/objective.cpp.o" "gcc" "src/core/CMakeFiles/sbs_core.dir/objective.cpp.o.d"
+  "/root/repo/src/core/schedule_builder.cpp" "src/core/CMakeFiles/sbs_core.dir/schedule_builder.cpp.o" "gcc" "src/core/CMakeFiles/sbs_core.dir/schedule_builder.cpp.o.d"
+  "/root/repo/src/core/search.cpp" "src/core/CMakeFiles/sbs_core.dir/search.cpp.o" "gcc" "src/core/CMakeFiles/sbs_core.dir/search.cpp.o.d"
+  "/root/repo/src/core/search_problem.cpp" "src/core/CMakeFiles/sbs_core.dir/search_problem.cpp.o" "gcc" "src/core/CMakeFiles/sbs_core.dir/search_problem.cpp.o.d"
+  "/root/repo/src/core/search_scheduler.cpp" "src/core/CMakeFiles/sbs_core.dir/search_scheduler.cpp.o" "gcc" "src/core/CMakeFiles/sbs_core.dir/search_scheduler.cpp.o.d"
+  "/root/repo/src/core/tree_size.cpp" "src/core/CMakeFiles/sbs_core.dir/tree_size.cpp.o" "gcc" "src/core/CMakeFiles/sbs_core.dir/tree_size.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/sbs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/sbs_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/predict/CMakeFiles/sbs_predict.dir/DependInfo.cmake"
+  "/root/repo/build/src/jobs/CMakeFiles/sbs_jobs.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sbs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

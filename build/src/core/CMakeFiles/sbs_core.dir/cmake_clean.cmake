@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sbs_core.dir/fairshare.cpp.o"
+  "CMakeFiles/sbs_core.dir/fairshare.cpp.o.d"
+  "CMakeFiles/sbs_core.dir/local_search.cpp.o"
+  "CMakeFiles/sbs_core.dir/local_search.cpp.o.d"
+  "CMakeFiles/sbs_core.dir/objective.cpp.o"
+  "CMakeFiles/sbs_core.dir/objective.cpp.o.d"
+  "CMakeFiles/sbs_core.dir/schedule_builder.cpp.o"
+  "CMakeFiles/sbs_core.dir/schedule_builder.cpp.o.d"
+  "CMakeFiles/sbs_core.dir/search.cpp.o"
+  "CMakeFiles/sbs_core.dir/search.cpp.o.d"
+  "CMakeFiles/sbs_core.dir/search_problem.cpp.o"
+  "CMakeFiles/sbs_core.dir/search_problem.cpp.o.d"
+  "CMakeFiles/sbs_core.dir/search_scheduler.cpp.o"
+  "CMakeFiles/sbs_core.dir/search_scheduler.cpp.o.d"
+  "CMakeFiles/sbs_core.dir/tree_size.cpp.o"
+  "CMakeFiles/sbs_core.dir/tree_size.cpp.o.d"
+  "libsbs_core.a"
+  "libsbs_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sbs_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

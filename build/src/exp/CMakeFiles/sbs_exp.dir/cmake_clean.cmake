@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sbs_exp.dir/grid.cpp.o"
+  "CMakeFiles/sbs_exp.dir/grid.cpp.o.d"
+  "CMakeFiles/sbs_exp.dir/policy_factory.cpp.o"
+  "CMakeFiles/sbs_exp.dir/policy_factory.cpp.o.d"
+  "CMakeFiles/sbs_exp.dir/runner.cpp.o"
+  "CMakeFiles/sbs_exp.dir/runner.cpp.o.d"
+  "libsbs_exp.a"
+  "libsbs_exp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sbs_exp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sbs_jobs.dir/swf.cpp.o"
+  "CMakeFiles/sbs_jobs.dir/swf.cpp.o.d"
+  "CMakeFiles/sbs_jobs.dir/trace.cpp.o"
+  "CMakeFiles/sbs_jobs.dir/trace.cpp.o.d"
+  "libsbs_jobs.a"
+  "libsbs_jobs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sbs_jobs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

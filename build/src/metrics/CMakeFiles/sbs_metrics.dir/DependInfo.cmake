@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/metrics/fairness.cpp" "src/metrics/CMakeFiles/sbs_metrics.dir/fairness.cpp.o" "gcc" "src/metrics/CMakeFiles/sbs_metrics.dir/fairness.cpp.o.d"
+  "/root/repo/src/metrics/job_class.cpp" "src/metrics/CMakeFiles/sbs_metrics.dir/job_class.cpp.o" "gcc" "src/metrics/CMakeFiles/sbs_metrics.dir/job_class.cpp.o.d"
+  "/root/repo/src/metrics/summary.cpp" "src/metrics/CMakeFiles/sbs_metrics.dir/summary.cpp.o" "gcc" "src/metrics/CMakeFiles/sbs_metrics.dir/summary.cpp.o.d"
+  "/root/repo/src/metrics/timeline.cpp" "src/metrics/CMakeFiles/sbs_metrics.dir/timeline.cpp.o" "gcc" "src/metrics/CMakeFiles/sbs_metrics.dir/timeline.cpp.o.d"
+  "/root/repo/src/metrics/trace_mix.cpp" "src/metrics/CMakeFiles/sbs_metrics.dir/trace_mix.cpp.o" "gcc" "src/metrics/CMakeFiles/sbs_metrics.dir/trace_mix.cpp.o.d"
+  "/root/repo/src/metrics/users.cpp" "src/metrics/CMakeFiles/sbs_metrics.dir/users.cpp.o" "gcc" "src/metrics/CMakeFiles/sbs_metrics.dir/users.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/sbs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/sbs_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/predict/CMakeFiles/sbs_predict.dir/DependInfo.cmake"
+  "/root/repo/build/src/jobs/CMakeFiles/sbs_jobs.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sbs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sbs_metrics.dir/fairness.cpp.o"
+  "CMakeFiles/sbs_metrics.dir/fairness.cpp.o.d"
+  "CMakeFiles/sbs_metrics.dir/job_class.cpp.o"
+  "CMakeFiles/sbs_metrics.dir/job_class.cpp.o.d"
+  "CMakeFiles/sbs_metrics.dir/summary.cpp.o"
+  "CMakeFiles/sbs_metrics.dir/summary.cpp.o.d"
+  "CMakeFiles/sbs_metrics.dir/timeline.cpp.o"
+  "CMakeFiles/sbs_metrics.dir/timeline.cpp.o.d"
+  "CMakeFiles/sbs_metrics.dir/trace_mix.cpp.o"
+  "CMakeFiles/sbs_metrics.dir/trace_mix.cpp.o.d"
+  "CMakeFiles/sbs_metrics.dir/users.cpp.o"
+  "CMakeFiles/sbs_metrics.dir/users.cpp.o.d"
+  "libsbs_metrics.a"
+  "libsbs_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sbs_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/policies/backfill.cpp" "src/policies/CMakeFiles/sbs_policies.dir/backfill.cpp.o" "gcc" "src/policies/CMakeFiles/sbs_policies.dir/backfill.cpp.o.d"
+  "/root/repo/src/policies/lookahead.cpp" "src/policies/CMakeFiles/sbs_policies.dir/lookahead.cpp.o" "gcc" "src/policies/CMakeFiles/sbs_policies.dir/lookahead.cpp.o.d"
+  "/root/repo/src/policies/multi_queue.cpp" "src/policies/CMakeFiles/sbs_policies.dir/multi_queue.cpp.o" "gcc" "src/policies/CMakeFiles/sbs_policies.dir/multi_queue.cpp.o.d"
+  "/root/repo/src/policies/priority.cpp" "src/policies/CMakeFiles/sbs_policies.dir/priority.cpp.o" "gcc" "src/policies/CMakeFiles/sbs_policies.dir/priority.cpp.o.d"
+  "/root/repo/src/policies/selective.cpp" "src/policies/CMakeFiles/sbs_policies.dir/selective.cpp.o" "gcc" "src/policies/CMakeFiles/sbs_policies.dir/selective.cpp.o.d"
+  "/root/repo/src/policies/slack_backfill.cpp" "src/policies/CMakeFiles/sbs_policies.dir/slack_backfill.cpp.o" "gcc" "src/policies/CMakeFiles/sbs_policies.dir/slack_backfill.cpp.o.d"
+  "/root/repo/src/policies/weighted_priority.cpp" "src/policies/CMakeFiles/sbs_policies.dir/weighted_priority.cpp.o" "gcc" "src/policies/CMakeFiles/sbs_policies.dir/weighted_priority.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/sbs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/sbs_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/predict/CMakeFiles/sbs_predict.dir/DependInfo.cmake"
+  "/root/repo/build/src/jobs/CMakeFiles/sbs_jobs.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sbs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

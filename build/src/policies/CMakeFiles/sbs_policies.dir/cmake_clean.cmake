@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sbs_policies.dir/backfill.cpp.o"
+  "CMakeFiles/sbs_policies.dir/backfill.cpp.o.d"
+  "CMakeFiles/sbs_policies.dir/lookahead.cpp.o"
+  "CMakeFiles/sbs_policies.dir/lookahead.cpp.o.d"
+  "CMakeFiles/sbs_policies.dir/multi_queue.cpp.o"
+  "CMakeFiles/sbs_policies.dir/multi_queue.cpp.o.d"
+  "CMakeFiles/sbs_policies.dir/priority.cpp.o"
+  "CMakeFiles/sbs_policies.dir/priority.cpp.o.d"
+  "CMakeFiles/sbs_policies.dir/selective.cpp.o"
+  "CMakeFiles/sbs_policies.dir/selective.cpp.o.d"
+  "CMakeFiles/sbs_policies.dir/slack_backfill.cpp.o"
+  "CMakeFiles/sbs_policies.dir/slack_backfill.cpp.o.d"
+  "CMakeFiles/sbs_policies.dir/weighted_priority.cpp.o"
+  "CMakeFiles/sbs_policies.dir/weighted_priority.cpp.o.d"
+  "libsbs_policies.a"
+  "libsbs_policies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sbs_policies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

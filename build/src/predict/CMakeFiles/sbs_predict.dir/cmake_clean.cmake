@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sbs_predict.dir/predictor.cpp.o"
+  "CMakeFiles/sbs_predict.dir/predictor.cpp.o.d"
+  "libsbs_predict.a"
+  "libsbs_predict.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sbs_predict.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sbs_sim.dir/scheduler.cpp.o"
+  "CMakeFiles/sbs_sim.dir/scheduler.cpp.o.d"
+  "CMakeFiles/sbs_sim.dir/simulator.cpp.o"
+  "CMakeFiles/sbs_sim.dir/simulator.cpp.o.d"
+  "libsbs_sim.a"
+  "libsbs_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sbs_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

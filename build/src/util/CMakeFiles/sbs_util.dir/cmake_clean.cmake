@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sbs_util.dir/cli.cpp.o"
+  "CMakeFiles/sbs_util.dir/cli.cpp.o.d"
+  "CMakeFiles/sbs_util.dir/csv.cpp.o"
+  "CMakeFiles/sbs_util.dir/csv.cpp.o.d"
+  "CMakeFiles/sbs_util.dir/rng.cpp.o"
+  "CMakeFiles/sbs_util.dir/rng.cpp.o.d"
+  "CMakeFiles/sbs_util.dir/stats.cpp.o"
+  "CMakeFiles/sbs_util.dir/stats.cpp.o.d"
+  "CMakeFiles/sbs_util.dir/table.cpp.o"
+  "CMakeFiles/sbs_util.dir/table.cpp.o.d"
+  "CMakeFiles/sbs_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/sbs_util.dir/thread_pool.cpp.o.d"
+  "CMakeFiles/sbs_util.dir/time.cpp.o"
+  "CMakeFiles/sbs_util.dir/time.cpp.o.d"
+  "libsbs_util.a"
+  "libsbs_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sbs_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

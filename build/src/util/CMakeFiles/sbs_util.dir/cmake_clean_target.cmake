@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsbs_util.a"
+)

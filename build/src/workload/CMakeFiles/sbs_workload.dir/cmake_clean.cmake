@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sbs_workload.dir/arrival.cpp.o"
+  "CMakeFiles/sbs_workload.dir/arrival.cpp.o.d"
+  "CMakeFiles/sbs_workload.dir/generator.cpp.o"
+  "CMakeFiles/sbs_workload.dir/generator.cpp.o.d"
+  "CMakeFiles/sbs_workload.dir/ncsa_tables.cpp.o"
+  "CMakeFiles/sbs_workload.dir/ncsa_tables.cpp.o.d"
+  "libsbs_workload.a"
+  "libsbs_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sbs_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fairshare.dir/test_fairshare.cpp.o"
+  "CMakeFiles/test_fairshare.dir/test_fairshare.cpp.o.d"
+  "test_fairshare"
+  "test_fairshare.pdb"
+  "test_fairshare[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fairshare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_metrics.cpp" "tests/CMakeFiles/test_metrics.dir/test_metrics.cpp.o" "gcc" "tests/CMakeFiles/test_metrics.dir/test_metrics.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/exp/CMakeFiles/sbs_exp.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/sbs_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/policies/CMakeFiles/sbs_policies.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/sbs_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/sbs_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sbs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/sbs_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/predict/CMakeFiles/sbs_predict.dir/DependInfo.cmake"
+  "/root/repo/build/src/jobs/CMakeFiles/sbs_jobs.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sbs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_month_invariants.dir/test_month_invariants.cpp.o"
+  "CMakeFiles/test_month_invariants.dir/test_month_invariants.cpp.o.d"
+  "test_month_invariants"
+  "test_month_invariants.pdb"
+  "test_month_invariants[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_month_invariants.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

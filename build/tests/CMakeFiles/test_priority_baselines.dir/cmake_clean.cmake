@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_priority_baselines.dir/test_priority_baselines.cpp.o"
+  "CMakeFiles/test_priority_baselines.dir/test_priority_baselines.cpp.o.d"
+  "test_priority_baselines"
+  "test_priority_baselines.pdb"
+  "test_priority_baselines[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_priority_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

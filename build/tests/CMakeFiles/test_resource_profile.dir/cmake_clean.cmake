@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_resource_profile.dir/test_resource_profile.cpp.o"
+  "CMakeFiles/test_resource_profile.dir/test_resource_profile.cpp.o.d"
+  "test_resource_profile"
+  "test_resource_profile.pdb"
+  "test_resource_profile[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_resource_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_search_problem.dir/test_search_problem.cpp.o"
+  "CMakeFiles/test_search_problem.dir/test_search_problem.cpp.o.d"
+  "test_search_problem"
+  "test_search_problem.pdb"
+  "test_search_problem[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_search_problem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

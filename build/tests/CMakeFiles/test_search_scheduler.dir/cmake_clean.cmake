@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_search_scheduler.dir/test_search_scheduler.cpp.o"
+  "CMakeFiles/test_search_scheduler.dir/test_search_scheduler.cpp.o.d"
+  "test_search_scheduler"
+  "test_search_scheduler.pdb"
+  "test_search_scheduler[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_search_scheduler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_selective_lookahead.dir/test_selective_lookahead.cpp.o"
+  "CMakeFiles/test_selective_lookahead.dir/test_selective_lookahead.cpp.o.d"
+  "test_selective_lookahead"
+  "test_selective_lookahead.pdb"
+  "test_selective_lookahead[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_selective_lookahead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

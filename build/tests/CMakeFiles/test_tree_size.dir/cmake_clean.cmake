@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tree_size.dir/test_tree_size.cpp.o"
+  "CMakeFiles/test_tree_size.dir/test_tree_size.cpp.o.d"
+  "test_tree_size"
+  "test_tree_size.pdb"
+  "test_tree_size[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tree_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

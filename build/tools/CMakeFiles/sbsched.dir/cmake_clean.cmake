@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sbsched.dir/sbsched.cpp.o"
+  "CMakeFiles/sbsched.dir/sbsched.cpp.o.d"
+  "sbsched"
+  "sbsched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sbsched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

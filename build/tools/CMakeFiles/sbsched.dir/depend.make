@@ -1,0 +1,2 @@
+# Empty dependencies file for sbsched.
+# This may be replaced when dependencies are built.
