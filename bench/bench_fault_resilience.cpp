@@ -1,0 +1,93 @@
+// Fault resilience — how gracefully each policy degrades as node-failure
+// rates rise. For each month we sweep MTBF from "no faults" down to six
+// hours (MTTR fixed at one hour, failed blocks of 1-8 nodes) and report
+// the excessive-wait measures against the month's *healthy* FCFS-backfill
+// thresholds, plus the fault bookkeeping (kills, requeues, lost
+// node-hours). Search policies additionally run under a wall-clock
+// decision deadline so a shrunken machine cannot stall a decision.
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "sim/faults.hpp"
+
+int main(int argc, char** argv) {
+  using namespace sbs;
+  using namespace sbs::bench;
+  try {
+    auto [options, args] = parse_options(argc, argv, {"deadline-ms"});
+    const double deadline_ms = args.get_double("deadline-ms", 250.0);
+    banner("Fault resilience: excessive wait vs node-failure rate", options,
+           "rho = 0.9; MTTR = 1h; blocks 1-8 nodes; thresholds from the "
+           "healthy FCFS-BF run");
+
+    auto csv = csv_for(options, "fault_resilience",
+                       {"month", "mtbf_h", "policy", "avg_wait_h",
+                        "e_max_total_h", "e_max_count", "jobs_killed",
+                        "jobs_requeued", "lost_node_h", "min_capacity",
+                        "deadline_hits"});
+
+    // MTBF sweep, in hours; 0 = fault-free reference row.
+    const std::vector<double> mtbf_hours = {0.0, 96.0, 24.0, 6.0};
+    const std::vector<std::string> specs = {"FCFS-BF", "LXF-BF", "Slack-BF",
+                                            "DDS/lxf/dynB"};
+
+    Table table({"month", "MTBF (h)", "policy", "avg wait (h)",
+                 "E^max tot (h)", "#w/E^max", "killed", "requeued",
+                 "lost node-h", "min cap"});
+    for (const auto& month : prepare_months(options, /*load=*/0.9)) {
+      for (const double mtbf_h : mtbf_hours) {
+        SimConfig sim;
+        std::unique_ptr<FaultInjector> injector;
+        if (mtbf_h > 0.0) {
+          FaultSpec fs;
+          fs.node_mtbf = from_hours(mtbf_h);
+          fs.node_mttr = from_hours(1.0);
+          fs.min_block = 1;
+          fs.max_block = 8;
+          fs.seed = options.seed;
+          injector = std::make_unique<FaultInjector>(FaultInjector::from_spec(
+              fs, month.trace.window_begin, month.trace.window_end,
+              month.trace.capacity));
+          sim.faults = injector.get();
+        }
+        for (const auto& spec : specs) {
+          const MonthEval eval =
+              evaluate_spec(month.trace, spec, 1000, month.thresholds, sim,
+                            false, deadline_ms);
+          const double lost_h = eval.faults.lost_node_seconds / 3600.0;
+          table.row()
+              .add(month.trace.name)
+              .add(mtbf_h, 0)
+              .add(eval.policy)
+              .add(eval.summary.avg_wait_h)
+              .add(eval.e_max.total_h, 1)
+              .add(eval.e_max.count)
+              .add(eval.faults.jobs_killed)
+              .add(eval.faults.jobs_requeued)
+              .add(lost_h, 1)
+              .add(eval.faults.min_capacity);
+          if (csv)
+            csv->write_row(
+                {month.trace.name, format_double(mtbf_h, 0), eval.policy,
+                 format_double(eval.summary.avg_wait_h, 3),
+                 format_double(eval.e_max.total_h, 3),
+                 std::to_string(eval.e_max.count),
+                 std::to_string(eval.faults.jobs_killed),
+                 std::to_string(eval.faults.jobs_requeued),
+                 format_double(lost_h, 3),
+                 std::to_string(eval.faults.min_capacity),
+                 std::to_string(eval.sched.deadline_hits)});
+        }
+      }
+    }
+    table.print(std::cout);
+    std::cout << "\nShape check: all policies finish every faulty run; "
+                 "excessive waits grow as MTBF shrinks, and the search "
+                 "policy degrades no worse than plain backfill.\n";
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+}

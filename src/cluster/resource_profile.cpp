@@ -85,6 +85,16 @@ void ResourceProfile::reserve(Time start, int nodes, Time duration) {
   }
 }
 
+void ResourceProfile::reserve_clamped(Time start, int nodes, Time duration) {
+  SBS_CHECK(duration > 0);
+  SBS_CHECK(nodes >= 1);
+  const Time end = start + duration;
+  const std::size_t first = ensure_boundary(start);
+  const std::size_t last = ensure_boundary(end);  // first step NOT reduced
+  for (std::size_t i = first; i < last; ++i)
+    steps_[i].free = std::max(0, steps_[i].free - nodes);
+}
+
 void ResourceProfile::release(Time start, int nodes, Time duration) {
   SBS_CHECK(duration > 0);
   SBS_CHECK(nodes >= 1);

@@ -46,6 +46,13 @@ class ResourceProfile {
   /// fit (checked); use earliest_start()/fits() first.
   void reserve(Time start, int nodes, Time duration);
 
+  /// Like reserve(), but floors each step's free count at zero instead of
+  /// requiring the interval to fit. Used when reconstructing a profile
+  /// from running jobs on a machine whose capacity shrank underneath them
+  /// (fault injection): the running set may transiently oversubscribe the
+  /// degraded machine, and the profile must saturate, not throw.
+  void reserve_clamped(Time start, int nodes, Time duration);
+
   /// Adds `nodes` back over [start, start + duration), clamped below the
   /// origin (used when building a profile from already-running jobs whose
   /// remaining interval starts at the origin). Free counts may not exceed

@@ -1,6 +1,9 @@
 #include "core/search.hpp"
 
 #include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
 #include <numeric>
 
 #include "util/error.hpp"
@@ -57,6 +60,12 @@ class Engine {
     // One profile per depth; profiles_[d] is the state after d placements.
     profiles_.assign(n_ + 1, p_.base);
     result_.value = worst_objective();
+    if (cfg_.deadline_ms >= 0.0) {
+      has_deadline_ = true;
+      deadline_at_ = std::chrono::steady_clock::now() +
+                     std::chrono::microseconds(static_cast<std::int64_t>(
+                         std::llround(cfg_.deadline_ms * 1000.0)));
+    }
   }
 
   SearchResult run() {
@@ -66,6 +75,7 @@ class Engine {
       // path complete regardless of the limit.
       begin_iteration();
       result_.exhausted = dfs(0, 0.0, 0.0);
+      result_.deadline_hit = deadline_hit_;
       SBS_CHECK_MSG(result_.paths_completed > 0,
                     "search produced no schedule");
       return std::move(result_);
@@ -93,13 +103,25 @@ class Engine {
       }
     }
     result_.exhausted = !done;
+    result_.deadline_hit = deadline_hit_;
 
     SBS_CHECK_MSG(result_.paths_completed > 0, "search produced no schedule");
     return std::move(result_);
   }
 
  private:
-  bool budget_left() const { return result_.nodes_visited < cfg_.node_limit; }
+  /// True while both budgets hold: the node limit and (when configured)
+  /// the wall-clock deadline. The clock is polled every 16th call — a
+  /// placement costs far more than the counter, so the deadline is honored
+  /// within a negligible overshoot.
+  bool budget_left() const {
+    if (result_.nodes_visited >= cfg_.node_limit) return false;
+    if (!has_deadline_ || deadline_hit_) return !deadline_hit_;
+    if ((++deadline_poll_ & 15u) != 0) return true;
+    if (std::chrono::steady_clock::now() >= deadline_at_)
+      deadline_hit_ = true;
+    return !deadline_hit_;
+  }
 
   /// Places job `job` as the depth-d element of the current path.
   /// Returns the start time.
@@ -121,6 +143,11 @@ class Engine {
   void begin_iteration() {
     ++result_.iterations_started;
     result_.paths_per_iteration.push_back(0);
+    // Unconditional clock check at iteration boundaries so even a 0 ms
+    // deadline is detected promptly, independent of the poll counter.
+    if (has_deadline_ && !deadline_hit_ &&
+        std::chrono::steady_clock::now() >= deadline_at_)
+      deadline_hit_ = true;
   }
 
   void complete_path(double excess, double bsld_sum) {
@@ -258,6 +285,10 @@ class Engine {
   std::vector<Time> path_starts_;
   std::vector<ResourceProfile> profiles_;
   SearchResult result_;
+  bool has_deadline_ = false;
+  std::chrono::steady_clock::time_point deadline_at_;
+  mutable std::uint32_t deadline_poll_ = 0;
+  mutable bool deadline_hit_ = false;
 };
 
 }  // namespace

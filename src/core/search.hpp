@@ -41,6 +41,13 @@ struct SearchConfig {
   /// 0th iteration — the pure-heuristic path — always completes even if it
   /// alone exceeds the limit, so a schedule is always produced.
   std::size_t node_limit = 1000;
+  /// Wall-clock decision deadline in milliseconds; negative = disabled.
+  /// Production resource managers must answer within a time budget, not a
+  /// node budget: once the deadline passes, the search stops expanding and
+  /// returns the best schedule found so far. The same anytime guarantee as
+  /// node_limit applies — the pure-heuristic path is exempt, so even a
+  /// 0 ms deadline yields a complete schedule.
+  double deadline_ms = -1.0;
   /// Branch-and-bound extension (paper future work): prune a partial path
   /// whose objective lower bound is already no better than the incumbent.
   /// Only valid with the hierarchical comparator (weighted_alpha == 0).
@@ -77,7 +84,8 @@ struct SearchResult {
   /// Complete paths per iteration (index 0 = the heuristic-only iteration);
   /// the last entry may be partial when the node budget ran out.
   std::vector<std::size_t> paths_per_iteration;
-  bool exhausted = false;  ///< whole tree covered within the node budget
+  bool exhausted = false;      ///< whole tree covered within the budgets
+  bool deadline_hit = false;   ///< the wall-clock deadline cut the search
 };
 
 /// Runs the configured discrepancy search over the problem and returns the

@@ -15,6 +15,9 @@ SearchProblem SearchProblem::from_state(const SchedulerState& state,
   p.jobs.reserve(state.waiting.size());
   const Time dyn = dynamic_bound_of(state.waiting, state.now);
   for (const auto& w : state.waiting) {
+    // Jobs wider than the current (possibly fault-degraded) machine have
+    // no feasible placement in the profile; they park outside the search.
+    if (w.job->nodes > state.capacity) continue;
     SearchJob s;
     s.job = w.job;
     s.nodes = w.job->nodes;

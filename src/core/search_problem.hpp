@@ -31,6 +31,9 @@ struct SearchProblem {
 
   /// Builds the snapshot from a simulator state. The dynB threshold is
   /// evaluated here, once per decision point, as the paper specifies.
+  /// Waiting jobs wider than state.capacity are excluded (parked): on a
+  /// fault-degraded machine they have no feasible placement, so the
+  /// problem may be smaller than the queue — or empty.
   static SearchProblem from_state(const SchedulerState& state,
                                   const BoundSpec& bound);
 

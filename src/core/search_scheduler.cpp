@@ -26,6 +26,9 @@ std::vector<int> SearchScheduler::select_jobs(const SchedulerState& state) {
 
   const auto t0 = std::chrono::steady_clock::now();
   SearchProblem problem = SearchProblem::from_state(state, config_.bound);
+  // Every queued job may be parked (wider than a fault-degraded machine):
+  // nothing to search over, nothing to start.
+  if (problem.size() == 0) return started;
   if (config_.fairshare) {
     for (SearchJob& s : problem.jobs)
       s.bound = fairshare_.adjust_bound(s.bound, s.job->user, state.now);
@@ -33,6 +36,7 @@ std::vector<int> SearchScheduler::select_jobs(const SchedulerState& state) {
   const SearchResult result = run_search(problem, config_.search);
   stats_.nodes_visited += result.nodes_visited;
   stats_.paths_explored += result.paths_completed;
+  if (result.deadline_hit) ++stats_.deadline_hits;
 
   std::span<const Time> starts = result.starts;
   LocalSearchResult refined;

@@ -18,17 +18,20 @@ std::unique_ptr<Scheduler> make_search_policy(SearchAlgo algo,
                                               Branching branching,
                                               BoundSpec bound,
                                               std::size_t node_limit,
-                                              bool prune = false);
+                                              bool prune = false,
+                                              double deadline_ms = -1.0);
 
 /// Parses a policy spec string into a scheduler:
 ///   "FCFS-BF" | "LXF-BF" | "SJF-BF" | "LXF&W-BF"
 ///   "Selective-BF" | "Lookahead" | "Slack-BF"
 ///   "MultiQueue" | "MultiQueue-aged" | "Weighted-BF"
 ///   "<DDS|LDS>/<fcfs|lxf>/<dynB|w=<hours>h|wT>[+ls]"  e.g. "DDS/lxf/dynB",
-///   "LDS/lxf/w=100h", "DDS/lxf/dynB+ls". `node_limit` applies to search
+///   "LDS/lxf/w=100h", "DDS/lxf/dynB+ls". `node_limit` and `deadline_ms`
+///   (wall-clock decision deadline, negative = none) apply to search
 ///   policies only.
 /// Throws sbs::Error on anything unrecognized.
 std::unique_ptr<Scheduler> make_policy(const std::string& spec,
-                                       std::size_t node_limit = 1000);
+                                       std::size_t node_limit = 1000,
+                                       double deadline_ms = -1.0);
 
 }  // namespace sbs

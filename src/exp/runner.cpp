@@ -27,14 +27,16 @@ MonthEval evaluate_policy(const Trace& trace, Scheduler& scheduler,
   eval.e_max = excessive_stats(result.outcomes, thresholds.max_wait);
   eval.e_p98 = excessive_stats(result.outcomes, thresholds.p98_wait);
   eval.sched = result.sched_stats;
+  eval.faults = result.fault_stats;
   if (keep_outcomes) eval.outcomes = std::move(result.outcomes);
   return eval;
 }
 
 MonthEval evaluate_spec(const Trace& trace, const std::string& policy_spec,
                         std::size_t node_limit, const Thresholds& thresholds,
-                        const SimConfig& sim, bool keep_outcomes) {
-  auto scheduler = make_policy(policy_spec, node_limit);
+                        const SimConfig& sim, bool keep_outcomes,
+                        double deadline_ms) {
+  auto scheduler = make_policy(policy_spec, node_limit, deadline_ms);
   return evaluate_policy(trace, *scheduler, thresholds, sim, keep_outcomes);
 }
 

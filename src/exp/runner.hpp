@@ -28,6 +28,7 @@ struct MonthEval {
   ExcessiveWaitStats e_max;  ///< w.r.t. the month's FCFS-backfill max wait
   ExcessiveWaitStats e_p98;  ///< w.r.t. its 98th-percentile wait
   SchedulerStats sched;
+  FaultStats faults;                 ///< all zero on a fault-free run
   std::vector<JobOutcome> outcomes;  ///< retained only when requested
 };
 
@@ -39,9 +40,11 @@ MonthEval evaluate_policy(const Trace& trace, Scheduler& scheduler,
                           bool keep_outcomes = false);
 
 /// Convenience wrapper: builds the policy by spec string (see
-/// make_policy), runs it, and returns the evaluation.
+/// make_policy), runs it, and returns the evaluation. `deadline_ms`
+/// applies to search policies only (negative = no wall-clock deadline).
 MonthEval evaluate_spec(const Trace& trace, const std::string& policy_spec,
                         std::size_t node_limit, const Thresholds& thresholds,
-                        const SimConfig& sim = {}, bool keep_outcomes = false);
+                        const SimConfig& sim = {}, bool keep_outcomes = false,
+                        double deadline_ms = -1.0);
 
 }  // namespace sbs

@@ -1,5 +1,6 @@
 #include "jobs/swf.hpp"
 
+#include <cmath>
 #include <fstream>
 #include <sstream>
 #include <vector>
@@ -8,7 +9,31 @@
 
 namespace sbs {
 
+std::string swf_capacity_source_name(SwfCapacitySource source) {
+  switch (source) {
+    case SwfCapacitySource::Default: return "default";
+    case SwfCapacitySource::MaxNodes: return "MaxNodes header";
+    case SwfCapacitySource::MaxProcs: return "MaxProcs header";
+  }
+  throw Error("unknown SWF capacity source");
+}
+
 namespace {
+
+// Largest magnitude accepted for any SWF numeric field. Times and node
+// counts beyond this would overflow the integral Job fields when cast;
+// real traces stay far below it.
+constexpr double kMaxFieldMagnitude = 9.0e15;
+
+// A field value that can be safely interpreted: finite and castable.
+bool sane_field(double x) {
+  return std::isfinite(x) && std::abs(x) <= kMaxFieldMagnitude;
+}
+
+// Fields cast to int (job number, user id) need the tighter bound.
+bool sane_int_field(double x) {
+  return std::isfinite(x) && std::abs(x) <= 2147483647.0;
+}
 
 // Parses "; MaxNodes: 128"-style header values.
 bool header_value(const std::string& line, const char* key, long long* out) {
@@ -25,13 +50,23 @@ bool header_value(const std::string& line, const char* key, long long* out) {
 
 }  // namespace
 
-Trace read_swf(std::istream& in, const SwfReadOptions& options) {
+Trace read_swf(std::istream& in, const SwfReadOptions& options,
+               SwfReadStats* stats) {
   SBS_CHECK(options.procs_per_node >= 1);
   Trace trace;
   trace.capacity = options.default_capacity;
   std::string line;
   bool capacity_from_header = false;
   Time max_end = 0;
+  SwfReadStats local;
+  SwfReadStats& st = stats ? *stats : local;
+  st = SwfReadStats{};
+
+  // Counts a skipped line (or throws when skipping is off).
+  auto skip = [&](std::size_t& counter, const char* why) {
+    if (!options.skip_invalid) throw Error(std::string(why) + ": " + line);
+    ++counter;
+  };
 
   while (std::getline(in, line)) {
     if (line.empty()) continue;
@@ -40,21 +75,35 @@ Trace read_swf(std::istream& in, const SwfReadOptions& options) {
       if (header_value(line, "MaxNodes", &v) && v > 0) {
         trace.capacity = static_cast<int>(v);
         capacity_from_header = true;
+        st.capacity_source = SwfCapacitySource::MaxNodes;
       } else if (!capacity_from_header && header_value(line, "MaxProcs", &v) &&
                  v > 0) {
         trace.capacity = static_cast<int>(v) / options.procs_per_node;
+        st.capacity_source = SwfCapacitySource::MaxProcs;
       }
       continue;
     }
+    ++st.data_lines;
     std::istringstream is(line);
     std::vector<double> f;
     double x = 0;
     while (is >> x) f.push_back(x);
     if (f.size() < 5) {
-      if (options.skip_invalid) continue;
-      throw Error("SWF line has fewer than 5 fields: " + line);
+      skip(st.skipped_short, "SWF line has fewer than 5 fields");
+      continue;
     }
     auto field = [&](std::size_t i) { return i < f.size() ? f[i] : -1.0; };
+
+    // Reject NaN/inf and magnitudes that would overflow the integral job
+    // fields — a static_cast of those is undefined behaviour, and the
+    // resulting garbage records would silently poison the simulation.
+    if (!sane_int_field(field(0)) || !sane_field(field(1)) ||
+        !sane_field(field(3)) || !sane_field(field(4)) ||
+        !sane_field(field(7)) || !sane_field(field(8)) ||
+        !sane_int_field(field(11))) {
+      skip(st.skipped_malformed, "SWF line with non-finite or overflowing field");
+      continue;
+    }
 
     Job j;
     j.id = static_cast<int>(field(0));
@@ -66,20 +115,27 @@ Trace read_swf(std::istream& in, const SwfReadOptions& options) {
     j.requested = req_time > 0 ? static_cast<Time>(req_time) : j.runtime;
 
     if (j.runtime <= 0 || procs <= 0) {
-      if (options.skip_invalid) continue;
-      throw Error("SWF job with non-positive runtime or processors: " + line);
+      skip(st.skipped_nonpositive,
+           "SWF job with non-positive runtime or processors");
+      continue;
+    }
+    if (procs > static_cast<double>(trace.capacity) *
+                    static_cast<double>(options.procs_per_node)) {
+      skip(st.skipped_too_wide, "SWF job wider than the machine");
+      continue;
     }
     j.nodes = static_cast<int>((procs + options.procs_per_node - 1) /
                                options.procs_per_node);
     if (j.nodes < 1) j.nodes = 1;
     if (j.nodes > trace.capacity) {
-      if (options.skip_invalid) continue;
-      throw Error("SWF job wider than the machine: " + line);
+      skip(st.skipped_too_wide, "SWF job wider than the machine");
+      continue;
     }
     if (j.requested < j.runtime) j.requested = j.runtime;
     const double user = field(11);  // SWF field 12: user id
     j.user = user > 0 ? static_cast<int>(user) : 0;
     trace.jobs.push_back(j);
+    ++st.jobs_accepted;
     max_end = std::max(max_end, j.submit + j.runtime);
   }
 
@@ -89,10 +145,11 @@ Trace read_swf(std::istream& in, const SwfReadOptions& options) {
   return trace;
 }
 
-Trace read_swf_file(const std::string& path, const SwfReadOptions& options) {
+Trace read_swf_file(const std::string& path, const SwfReadOptions& options,
+                    SwfReadStats* stats) {
   std::ifstream in(path);
   SBS_CHECK_MSG(in.good(), "cannot open SWF file " << path);
-  Trace t = read_swf(in, options);
+  Trace t = read_swf(in, options, stats);
   t.name = path;
   return t;
 }

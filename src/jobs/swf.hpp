@@ -26,12 +26,41 @@ struct SwfReadOptions {
   bool skip_invalid = true;    ///< drop jobs with missing runtime/procs
 };
 
+/// Where the trace capacity came from during a read.
+enum class SwfCapacitySource {
+  Default,   ///< no header value — options.default_capacity used
+  MaxNodes,  ///< "; MaxNodes: N" header
+  MaxProcs,  ///< "; MaxProcs: N" header divided by procs_per_node
+};
+
+std::string swf_capacity_source_name(SwfCapacitySource source);
+
+/// Per-read accounting, so lossy loads (skip_invalid dropping lines) are
+/// visible instead of silent. One counter per skip reason.
+struct SwfReadStats {
+  std::size_t data_lines = 0;          ///< non-comment, non-empty lines seen
+  std::size_t jobs_accepted = 0;
+  std::size_t skipped_short = 0;       ///< fewer than 5 whitespace fields
+  std::size_t skipped_malformed = 0;   ///< NaN/inf or out-of-range numbers
+  std::size_t skipped_nonpositive = 0; ///< runtime or processor count <= 0
+  std::size_t skipped_too_wide = 0;    ///< wider than the machine
+  SwfCapacitySource capacity_source = SwfCapacitySource::Default;
+
+  std::size_t skipped_total() const {
+    return skipped_short + skipped_malformed + skipped_nonpositive +
+           skipped_too_wide;
+  }
+};
+
 /// Parses an SWF stream. Throws sbs::Error on malformed numeric fields
-/// unless options.skip_invalid is set (then the line is dropped).
-Trace read_swf(std::istream& in, const SwfReadOptions& options = {});
+/// unless options.skip_invalid is set (then the line is dropped and the
+/// reason counted in `stats`, when provided).
+Trace read_swf(std::istream& in, const SwfReadOptions& options = {},
+               SwfReadStats* stats = nullptr);
 
 /// Convenience file wrapper; throws sbs::Error if the file cannot be read.
-Trace read_swf_file(const std::string& path, const SwfReadOptions& options = {});
+Trace read_swf_file(const std::string& path, const SwfReadOptions& options = {},
+                    SwfReadStats* stats = nullptr);
 
 /// Writes a trace in SWF (one line per job, unused fields as -1).
 void write_swf(std::ostream& out, const Trace& trace);

@@ -11,7 +11,7 @@ Summary summarize(std::span<const JobOutcome> outcomes) {
   OnlineStats wait, bsld, turnaround;
   std::vector<double> waits_h;
   for (const auto& o : outcomes) {
-    if (!o.job.in_window) continue;
+    if (!o.job.in_window || !o.completed) continue;
     wait.add(to_hours(o.wait()));
     bsld.add(bounded_slowdown(o));
     turnaround.add(to_hours(o.turnaround()));
@@ -32,7 +32,7 @@ ExcessiveWaitStats excessive_stats(std::span<const JobOutcome> outcomes,
   ExcessiveWaitStats e;
   OnlineStats excess;
   for (const auto& o : outcomes) {
-    if (!o.job.in_window) continue;
+    if (!o.job.in_window || !o.completed) continue;
     const Time x = excessive_wait(o, threshold);
     if (x > 0) excess.add(to_hours(x));
   }

@@ -30,10 +30,12 @@ struct ExcessiveWaitStats {
 };
 
 /// Computes the summary over outcomes with job.in_window set (the paper
-/// evaluates only jobs submitted inside the month).
+/// evaluates only jobs submitted inside the month). Jobs that never
+/// completed (dropped or parked under fault injection) are excluded.
 Summary summarize(std::span<const JobOutcome> outcomes);
 
-/// Excessive-wait statistics w.r.t. `threshold` over in-window jobs.
+/// Excessive-wait statistics w.r.t. `threshold` over in-window completed
+/// jobs.
 ExcessiveWaitStats excessive_stats(std::span<const JobOutcome> outcomes,
                                    Time threshold);
 

@@ -21,10 +21,18 @@ std::vector<int> LookaheadScheduler::select_jobs(const SchedulerState& state) {
   ResourceProfile profile =
       profile_from_running(state.capacity, state.now, state.running);
 
+  // Jobs wider than the (possibly fault-degraded) machine are parked: they
+  // cannot start, anchor the reservation, or backfill until nodes return.
+  std::vector<std::size_t> eligible;
+  eligible.reserve(state.waiting.size());
+  for (std::size_t i = 0; i < state.waiting.size(); ++i)
+    if (state.waiting[i].job->nodes <= state.capacity) eligible.push_back(i);
+  if (eligible.empty()) return started;
+
   // The waiting span is already in FCFS order. Start the FCFS prefix.
   std::size_t head = 0;
-  while (head < state.waiting.size()) {
-    const WaitingJob& w = state.waiting[head];
+  while (head < eligible.size()) {
+    const WaitingJob& w = state.waiting[eligible[head]];
     const Time est = std::max<Time>(w.estimate, 1);
     if (profile.earliest_start(state.now, w.job->nodes, est) != state.now)
       break;
@@ -32,10 +40,10 @@ std::vector<int> LookaheadScheduler::select_jobs(const SchedulerState& state) {
     started.push_back(w.job->id);
     ++head;
   }
-  if (head >= state.waiting.size()) return started;
+  if (head >= eligible.size()) return started;
 
   // Reservation for the head job at its shadow time.
-  const WaitingJob& h = state.waiting[head];
+  const WaitingJob& h = state.waiting[eligible[head]];
   const Time head_est = std::max<Time>(h.estimate, 1);
   const Time shadow =
       profile.earliest_start(state.now, h.job->nodes, head_est);
@@ -52,8 +60,8 @@ std::vector<int> LookaheadScheduler::select_jobs(const SchedulerState& state) {
   };
   std::vector<Candidate> cand;
   for (std::size_t i = head + 1;
-       i < state.waiting.size() && cand.size() < config_.max_candidates; ++i) {
-    const WaitingJob& w = state.waiting[i];
+       i < eligible.size() && cand.size() < config_.max_candidates; ++i) {
+    const WaitingJob& w = state.waiting[eligible[i]];
     const Time est = std::max<Time>(w.estimate, 1);
     const bool crosses = state.now + est > shadow;
     if (w.job->nodes > free_now) continue;

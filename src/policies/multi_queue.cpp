@@ -48,6 +48,7 @@ std::vector<int> MultiQueueScheduler::select_jobs(const SchedulerState& state) {
   int reservations_made = 0;
   for (std::size_t idx : order) {
     const WaitingJob& w = state.waiting[idx];
+    if (w.job->nodes > state.capacity) continue;  // parked until nodes return
     const Time est = std::max<Time>(w.estimate, 1);
     const Time t = profile.earliest_start(state.now, w.job->nodes, est);
     if (t == state.now) {

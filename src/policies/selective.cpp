@@ -29,6 +29,7 @@ std::vector<int> SelectiveBackfillScheduler::select_jobs(
 
   // FCFS consideration order; reservation only for starved jobs.
   for (const WaitingJob& w : state.waiting) {
+    if (w.job->nodes > state.capacity) continue;  // parked until nodes return
     const Time est = std::max<Time>(w.estimate, 1);
     const Time t = profile.earliest_start(state.now, w.job->nodes, est);
     const double xf = current_slowdown(w, state.now);

@@ -34,6 +34,9 @@ std::vector<int> SlackBackfillScheduler::select_jobs(
     ResourceProfile projection = profile;
     std::unordered_map<int, Time> fresh;
     for (const WaitingJob& w : state.waiting) {
+      // Parked (wider than the degraded machine): no projectable start, so
+      // no promise — it gets a fresh one when failed nodes return.
+      if (w.job->nodes > state.capacity) continue;
       const Time est = std::max<Time>(w.estimate, 1);
       const Time t = projection.earliest_start(state.now, w.job->nodes, est);
       projection.reserve(t, w.job->nodes, est);
@@ -68,6 +71,7 @@ std::vector<int> SlackBackfillScheduler::select_jobs(
     for (std::size_t j = 0; j < horizon; ++j) {
       if (j == skip || taken[j]) continue;
       const WaitingJob& other = state.waiting[j];
+      if (other.job->nodes > state.capacity) continue;  // parked
       const Time oest = std::max<Time>(other.estimate, 1);
       const Time t =
           projection.earliest_start(state.now, other.job->nodes, oest);
@@ -91,8 +95,9 @@ std::vector<int> SlackBackfillScheduler::select_jobs(
     bool ok = true;
     for (std::size_t j = 0; j < horizon && ok; ++j) {
       if (j == i || taken[j]) continue;
-      const Time allowed =
-          std::max(deadline_.at(state.waiting[j].job->id), baseline[j]);
+      const auto dl = deadline_.find(state.waiting[j].job->id);
+      if (dl == deadline_.end()) continue;  // parked job: no promise to keep
+      const Time allowed = std::max(dl->second, baseline[j]);
       if (with_candidate[j] > allowed) ok = false;
     }
     if (!ok) continue;

@@ -1,0 +1,156 @@
+#include "sim/faults.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <exception>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace sbs {
+
+std::string fault_kind_name(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::NodeDown: return "node-down";
+    case FaultKind::NodeUp: return "node-up";
+    case FaultKind::JobKill: return "job-kill";
+  }
+  throw Error("unknown fault kind");
+}
+
+FaultSpec parse_fault_spec(const std::string& spec) {
+  FaultSpec out;
+  std::string rest = spec;
+  while (!rest.empty()) {
+    const auto comma = rest.find(',');
+    const std::string item = rest.substr(0, comma);
+    rest = comma == std::string::npos ? "" : rest.substr(comma + 1);
+    const auto colon = item.find(':');
+    SBS_CHECK_MSG(colon != std::string::npos,
+                  "fault spec item needs key:value — " << item);
+    const std::string key = item.substr(0, colon);
+    const std::string value = item.substr(colon + 1);
+    auto as_ll = [&](const std::string& v) {
+      std::size_t used = 0;
+      long long x = 0;
+      try {
+        x = std::stoll(v, &used);
+      } catch (const std::exception&) {
+        used = 0;  // reported below as a bad number
+      }
+      SBS_CHECK_MSG(used == v.size() && !v.empty(),
+                    "bad number in fault spec: " << item);
+      return x;
+    };
+    if (key == "mtbf") {
+      out.node_mtbf = static_cast<Time>(as_ll(value));
+    } else if (key == "mttr") {
+      out.node_mttr = static_cast<Time>(as_ll(value));
+    } else if (key == "killmtbf") {
+      out.job_kill_mtbf = static_cast<Time>(as_ll(value));
+    } else if (key == "seed") {
+      out.seed = static_cast<std::uint64_t>(as_ll(value));
+    } else if (key == "block") {
+      const auto dash = value.find('-');
+      if (dash == std::string::npos) {
+        out.min_block = out.max_block = static_cast<int>(as_ll(value));
+      } else {
+        out.min_block = static_cast<int>(as_ll(value.substr(0, dash)));
+        out.max_block = static_cast<int>(as_ll(value.substr(dash + 1)));
+      }
+    } else {
+      throw Error("unknown fault spec key: " + key);
+    }
+  }
+  SBS_CHECK_MSG(out.node_mtbf >= 0 && out.node_mttr >= 0 &&
+                    out.job_kill_mtbf >= 0,
+                "fault spec times must be non-negative");
+  SBS_CHECK_MSG(out.node_mtbf == 0 || out.node_mttr > 0,
+                "node failures need mttr > 0 so nodes return to service");
+  SBS_CHECK_MSG(out.min_block >= 1 && out.max_block >= out.min_block,
+                "fault spec block range must satisfy 1 <= min <= max");
+  return out;
+}
+
+FaultInjector FaultInjector::from_spec(const FaultSpec& spec, Time begin,
+                                       Time end, int capacity) {
+  SBS_CHECK(capacity >= 1);
+  SBS_CHECK(end >= begin);
+  FaultInjector inj;
+  std::vector<FaultEvent> events;
+
+  if (spec.node_mtbf > 0) {
+    Rng rng(spec.seed);
+    // Repairs pending at the current failure time, as (repair time, nodes):
+    // walking failures chronologically lets us cap the concurrently-down
+    // node count without sorting the full event list first.
+    std::vector<std::pair<Time, int>> pending;
+    int down = 0;
+    Time t = begin;
+    while (true) {
+      t += std::max<Time>(
+          1, static_cast<Time>(std::llround(
+                 rng.exponential(static_cast<double>(spec.node_mtbf)))));
+      if (t >= end) break;
+      // Retire repairs that completed before this failure.
+      for (std::size_t i = 0; i < pending.size();) {
+        if (pending[i].first <= t) {
+          down -= pending[i].second;
+          pending[i] = pending.back();
+          pending.pop_back();
+        } else {
+          ++i;
+        }
+      }
+      int block = static_cast<int>(
+          rng.uniform_int(spec.min_block, spec.max_block));
+      // Keep at least one node up at all times so the machine can always
+      // make progress eventually.
+      block = std::min(block, capacity - 1 - down);
+      const Time repair =
+          t + std::max<Time>(
+                  1, static_cast<Time>(std::llround(rng.exponential(
+                         static_cast<double>(spec.node_mttr)))));
+      if (block < 1) continue;  // too much already down; skip this failure
+      events.push_back(FaultEvent{t, FaultKind::NodeDown, block, -1, 0});
+      events.push_back(FaultEvent{repair, FaultKind::NodeUp, block, -1, 0});
+      pending.emplace_back(repair, block);
+      down += block;
+    }
+  }
+
+  if (spec.job_kill_mtbf > 0) {
+    Rng rng = Rng(spec.seed).fork(0x6b696c6cULL);  // independent stream
+    Time t = begin;
+    while (true) {
+      t += std::max<Time>(
+          1, static_cast<Time>(std::llround(
+                 rng.exponential(static_cast<double>(spec.job_kill_mtbf)))));
+      if (t >= end) break;
+      events.push_back(FaultEvent{t, FaultKind::JobKill, 0, -1, rng.next()});
+    }
+  }
+
+  std::stable_sort(events.begin(), events.end(),
+                   [](const FaultEvent& a, const FaultEvent& b) {
+                     return a.time < b.time;
+                   });
+  inj.events_ = std::move(events);
+  return inj;
+}
+
+FaultInjector FaultInjector::from_events(std::vector<FaultEvent> events) {
+  SBS_CHECK_MSG(std::is_sorted(events.begin(), events.end(),
+                               [](const FaultEvent& a, const FaultEvent& b) {
+                                 return a.time < b.time;
+                               }),
+                "fault events must be sorted by time");
+  for (const FaultEvent& e : events)
+    SBS_CHECK_MSG(e.kind == FaultKind::JobKill || e.nodes >= 1,
+                  "node fault events need nodes >= 1");
+  FaultInjector inj;
+  inj.events_ = std::move(events);
+  return inj;
+}
+
+}  // namespace sbs

@@ -1,0 +1,82 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/time.hpp"
+
+namespace sbs {
+
+/// Kinds of injected faults. Node events change the machine's capacity as
+/// seen by the simulator and every policy; job kills terminate one running
+/// job without touching capacity (a node OS crash, an OOM kill, ...).
+enum class FaultKind {
+  NodeDown,  ///< a block of nodes fails (capacity shrinks)
+  NodeUp,    ///< a failed block returns to service (capacity grows)
+  JobKill,   ///< one running job dies mid-run
+};
+
+std::string fault_kind_name(FaultKind kind);
+
+/// One injected fault at an absolute simulation time. For JobKill events
+/// either `job_id` names the victim explicitly (>= 0) or `draw` selects one
+/// deterministically among the jobs running at the event time (victim =
+/// running[draw % running.size()]).
+struct FaultEvent {
+  Time time = 0;
+  FaultKind kind = FaultKind::NodeDown;
+  int nodes = 0;           ///< block size for NodeDown/NodeUp
+  int job_id = -1;         ///< explicit JobKill victim; -1 = use `draw`
+  std::uint64_t draw = 0;  ///< seeded victim selector for JobKill
+};
+
+/// Stochastic fault process parameters. All rates are means of exponential
+/// distributions, so the generated processes are Poisson. A zero MTBF
+/// disables that process entirely.
+struct FaultSpec {
+  Time node_mtbf = 0;    ///< mean time between node-block failures
+  Time node_mttr = 0;    ///< mean repair time of a failed block (> 0 when
+                         ///  node_mtbf > 0, otherwise blocks never return)
+  int min_block = 1;     ///< failure block size, uniform in [min, max]
+  int max_block = 1;
+  Time job_kill_mtbf = 0;  ///< mean time between random job-kill events
+  std::uint64_t seed = 2005;
+};
+
+/// Parses a CLI fault spec, e.g. "mtbf:86400,mttr:3600,seed:7" with
+/// optional "block:4" (fixed) or "block:2-8" (uniform range) and
+/// "killmtbf:43200". Throws sbs::Error on unknown keys or bad values.
+FaultSpec parse_fault_spec(const std::string& spec);
+
+/// Deterministic, pre-generated fault schedule. Built once per simulation
+/// from a seeded spec (identical seeds yield identical event lists) or from
+/// an explicit event list (tests, trace replay of real failure logs).
+///
+/// Invariants maintained by from_spec():
+///  - every NodeDown has a matching NodeUp (repairs may land beyond the
+///    horizon so the machine always returns to full capacity),
+///  - concurrently failed nodes never reach `capacity` (at least one node
+///    stays up, so the simulation cannot be wedged forever),
+///  - events are sorted by time (ties keep generation order).
+class FaultInjector {
+ public:
+  /// No faults (the default, fault-free simulation).
+  FaultInjector() = default;
+
+  /// Generates failures over [begin, end) for a `capacity`-node machine.
+  /// Repair events may fall beyond `end`; failure events never do.
+  static FaultInjector from_spec(const FaultSpec& spec, Time begin, Time end,
+                                 int capacity);
+
+  /// Wraps an explicit event list (sorted by time; checked).
+  static FaultInjector from_events(std::vector<FaultEvent> events);
+
+  const std::vector<FaultEvent>& events() const { return events_; }
+  bool empty() const { return events_.empty(); }
+
+ private:
+  std::vector<FaultEvent> events_;
+};
+
+}  // namespace sbs

@@ -6,11 +6,18 @@
 
 namespace sbs {
 
-/// Completed execution of one job.
+/// Execution record of one job. On a fault-free machine every job
+/// completes and `completed` stays true; under fault injection a job may be
+/// killed and restarted (requeue_count > 0, lost_node_seconds accumulates
+/// the work thrown away) or never finish at all (completed == false, either
+/// dropped after a kill or still parked when the simulation drained).
 struct JobOutcome {
   Job job;
   Time start = 0;
   Time end = 0;
+  int requeue_count = 0;        ///< kills survived before the final attempt
+  Time lost_node_seconds = 0;   ///< node-seconds burned by killed attempts
+  bool completed = true;        ///< ran to completion (start/end are final)
 
   Time wait() const { return start - job.submit; }
   Time turnaround() const { return end - job.submit; }

@@ -9,7 +9,10 @@ ResourceProfile profile_from_running(int capacity, Time now,
   ResourceProfile profile(capacity, now);
   for (const auto& r : running) {
     const Time end = std::max(r.est_end, now + 1);
-    profile.reserve(now, r.job->nodes, end - now);
+    // Clamped: after a node failure the running set may exceed the shrunk
+    // capacity until the simulator's kills land; the profile saturates at
+    // zero free nodes instead of rejecting the reconstruction.
+    profile.reserve_clamped(now, r.job->nodes, end - now);
   }
   return profile;
 }

@@ -27,11 +27,14 @@ struct RunningJob {
   Time est_end = 0;
 };
 
-/// Snapshot handed to a policy at each scheduling event.
+/// Snapshot handed to a policy at each scheduling event. Under fault
+/// injection `capacity` is the CURRENT machine size, which can shrink and
+/// grow between decisions; policies must park (skip) waiting jobs wider
+/// than it rather than assume every queued job fits the machine.
 struct SchedulerState {
   Time now = 0;
-  int capacity = 0;
-  int free_nodes = 0;
+  int capacity = 0;     ///< live node count (<= the trace's capacity)
+  int free_nodes = 0;   ///< capacity minus nodes of running jobs (>= 0)
   std::span<const WaitingJob> waiting;  ///< submit order (FCFS order)
   std::span<const RunningJob> running;
 };
@@ -45,6 +48,9 @@ struct SchedulerStats {
                                     ///  select_jobs (search policies track
                                     ///  this; the paper reports 30-65 ms per
                                     ///  1K-8K nodes for its Java simulator)
+  std::uint64_t deadline_hits = 0;  ///< decisions where the search hit its
+                                    ///  wall-clock deadline and degraded to
+                                    ///  the best-so-far (anytime) schedule
 };
 
 /// Non-preemptive scheduling policy. At each event the simulator calls

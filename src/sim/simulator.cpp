@@ -13,6 +13,7 @@ namespace {
 struct Completion {
   Time end;
   int job_id;
+  int attempt;  ///< invalidated (ignored at pop) when the job was killed
   bool operator>(const Completion& other) const {
     if (end != other.end) return end > other.end;
     return job_id > other.job_id;
@@ -34,6 +35,14 @@ SimResult simulate(const Trace& trace, Scheduler& scheduler,
   std::vector<RunningJob> running;
   std::priority_queue<Completion, std::vector<Completion>, std::greater<>>
       completions;
+  // Current attempt per job; a pending Completion with a stale attempt
+  // belongs to a killed run and is skipped when it surfaces.
+  std::vector<int> attempt(jobs.size(), 0);
+
+  static const std::vector<FaultEvent> kNoFaults;
+  const std::vector<FaultEvent>& faults =
+      config.faults ? config.faults->events() : kNoFaults;
+  std::size_t next_fault = 0;
 
   auto estimate_of = [&](const Job& j) {
     if (config.predictor) return std::max<Time>(config.predictor->predict(j), 1);
@@ -47,7 +56,9 @@ SimResult simulate(const Trace& trace, Scheduler& scheduler,
 
   std::size_t next_arrival = 0;
   int used_nodes = 0;
+  int down_nodes = 0;  // failed nodes; live capacity = trace.capacity - down
   std::size_t events = 0;
+  result.fault_stats.min_capacity = trace.capacity;
 
   // Time-weighted queue length restricted to the metrics window.
   double queue_area = 0.0;
@@ -62,20 +73,63 @@ SimResult simulate(const Trace& trace, Scheduler& scheduler,
     last_event = upto;
   };
 
-  while (next_arrival < jobs.size() || !completions.empty()) {
+  // Kills the running job at index `ri` (fault semantics: the work done so
+  // far is lost; the predictor never observes a killed run). Returns true
+  // when the job went back to the queue.
+  bool requeued_this_event = false;
+  auto kill_running = [&](std::size_t ri, Time now) {
+    const Job& j = *running[ri].job;
+    JobOutcome& oc = result.outcomes[static_cast<std::size_t>(j.id)];
+    used_nodes -= j.nodes;
+    oc.lost_node_seconds +=
+        static_cast<Time>(j.nodes) * (now - running[ri].start);
+    result.fault_stats.lost_node_seconds +=
+        static_cast<double>(j.nodes) *
+        static_cast<double>(now - running[ri].start);
+    ++attempt[static_cast<std::size_t>(j.id)];
+    ++result.fault_stats.jobs_killed;
+    if (config.requeue == RequeuePolicy::Resubmit) {
+      ++oc.requeue_count;
+      ++result.fault_stats.jobs_requeued;
+      waiting.push_back(WaitingJob{&j, estimate_of(j)});
+      requeued_this_event = true;
+    } else {
+      oc.completed = false;
+      oc.end = now;
+      ++result.fault_stats.jobs_dropped;
+    }
+    running[ri] = running.back();
+    running.pop_back();
+  };
+
+  while (true) {
+    const bool arrivals_left = next_arrival < jobs.size();
+    // Fault events only matter while work remains or can still arrive (the
+    // capacity they set must be current when the next job shows up, and
+    // NodeUp events must be processed so parked jobs eventually start).
+    const bool faults_matter =
+        next_fault < faults.size() &&
+        (arrivals_left || !waiting.empty() || !running.empty());
+    if (!arrivals_left && completions.empty() && !faults_matter) break;
     SBS_CHECK_MSG(++events <= config.max_events, "simulation event cap hit");
 
-    // Next event time: earliest of next arrival and next completion.
+    // Next event time: earliest of next arrival, next completion (possibly
+    // stale — then the event is a no-op) and next fault.
     Time now = std::numeric_limits<Time>::max();
-    if (next_arrival < jobs.size()) now = jobs[next_arrival].submit;
+    if (arrivals_left) now = jobs[next_arrival].submit;
     if (!completions.empty()) now = std::min(now, completions.top().end);
+    if (faults_matter) now = std::min(now, faults[next_fault].time);
 
     account_queue(now);
+    requeued_this_event = false;
 
-    // Retire every job completing at `now`.
+    // Retire every job completing at `now` (skipping completions of killed
+    // attempts).
     while (!completions.empty() && completions.top().end == now) {
       const int id = completions.top().job_id;
+      const int c_attempt = completions.top().attempt;
       completions.pop();
+      if (c_attempt != attempt[static_cast<std::size_t>(id)]) continue;
       auto it = std::find_if(running.begin(), running.end(),
                              [id](const RunningJob& r) { return r.job->id == id; });
       SBS_CHECK_MSG(it != running.end(), "completion for unknown job " << id);
@@ -86,13 +140,61 @@ SimResult simulate(const Trace& trace, Scheduler& scheduler,
       running.pop_back();
     }
 
+    // Apply every fault event at `now`.
+    while (next_fault < faults.size() && faults[next_fault].time == now) {
+      const FaultEvent& f = faults[next_fault++];
+      if (f.kind == FaultKind::NodeDown) {
+        down_nodes = std::min(trace.capacity, down_nodes + f.nodes);
+        ++result.fault_stats.node_failures;
+        // Shrink below the running set: kill the most recently started
+        // jobs (least work lost) until the survivors fit.
+        while (used_nodes > trace.capacity - down_nodes && !running.empty()) {
+          std::size_t victim = 0;
+          for (std::size_t i = 1; i < running.size(); ++i) {
+            if (running[i].start > running[victim].start ||
+                (running[i].start == running[victim].start &&
+                 running[i].job->id > running[victim].job->id))
+              victim = i;
+          }
+          kill_running(victim, now);
+        }
+      } else if (f.kind == FaultKind::NodeUp) {
+        down_nodes = std::max(0, down_nodes - f.nodes);
+        ++result.fault_stats.node_recoveries;
+      } else {  // JobKill
+        if (running.empty()) continue;
+        std::size_t victim = running.size();
+        if (f.job_id >= 0) {
+          for (std::size_t i = 0; i < running.size(); ++i)
+            if (running[i].job->id == f.job_id) victim = i;
+        } else {
+          victim = static_cast<std::size_t>(f.draw % running.size());
+        }
+        if (victim < running.size()) kill_running(victim, now);
+      }
+      result.fault_stats.min_capacity =
+          std::min(result.fault_stats.min_capacity,
+                   trace.capacity - down_nodes);
+    }
+    const int capacity = trace.capacity - down_nodes;
+
     // Admit every job arriving at `now`.
     while (next_arrival < jobs.size() && jobs[next_arrival].submit == now) {
       const Job& j = jobs[next_arrival++];
       waiting.push_back(WaitingJob{&j, estimate_of(j)});
     }
 
-    if (waiting.empty()) continue;
+    // Requeued jobs keep their original submit time, so restoring FCFS
+    // order re-inserts them at their historical queue position.
+    if (requeued_this_event)
+      std::sort(waiting.begin(), waiting.end(),
+                [](const WaitingJob& a, const WaitingJob& b) {
+                  if (a.job->submit != b.job->submit)
+                    return a.job->submit < b.job->submit;
+                  return a.job->id < b.job->id;
+                });
+
+    if (waiting.empty() || capacity <= 0) continue;
 
     ++result.decision_stats.decisions;
     if (waiting.size() >= 10) ++result.decision_stats.with_10_plus;
@@ -102,8 +204,8 @@ SimResult simulate(const Trace& trace, Scheduler& scheduler,
 
     SchedulerState state;
     state.now = now;
-    state.capacity = trace.capacity;
-    state.free_nodes = trace.capacity - used_nodes;
+    state.capacity = capacity;
+    state.free_nodes = capacity - used_nodes;
     state.waiting = waiting;
     state.running = running;
 
@@ -123,16 +225,23 @@ SimResult simulate(const Trace& trace, Scheduler& scheduler,
       running.push_back(RunningJob{&j, now, now + it->estimate});
       used_nodes += j.nodes;
       const Time occupied = effective_runtime(j);
-      completions.push(Completion{now + occupied, j.id});
+      completions.push(Completion{now + occupied, j.id,
+                                  attempt[static_cast<std::size_t>(j.id)]});
       result.outcomes[static_cast<std::size_t>(j.id)].start = now;
       result.outcomes[static_cast<std::size_t>(j.id)].end = now + occupied;
       *it = waiting.back();
       waiting.pop_back();
     }
 
-    // Progress guarantee: an idle machine with a non-empty queue must start
-    // something, otherwise the simulation would deadlock.
-    SBS_CHECK_MSG(!(running.empty() && !waiting.empty()),
+    // Progress guarantee: an idle machine with a startable job must start
+    // something, otherwise the simulation would deadlock. Jobs wider than
+    // the (possibly degraded) capacity are parked, not startable.
+    const bool startable =
+        std::any_of(waiting.begin(), waiting.end(),
+                    [&](const WaitingJob& w) {
+                      return w.job->nodes <= capacity;
+                    });
+    SBS_CHECK_MSG(!(running.empty() && startable),
                   scheduler.name() << " stalled with an idle machine at t="
                                    << now);
 
@@ -143,6 +252,15 @@ SimResult simulate(const Trace& trace, Scheduler& scheduler,
                   return a.job->submit < b.job->submit;
                 return a.job->id < b.job->id;
               });
+  }
+
+  // Jobs still queued when every event source drained (capacity never
+  // recovered enough): recorded as never started.
+  for (const WaitingJob& w : waiting) {
+    JobOutcome& oc = result.outcomes[static_cast<std::size_t>(w.job->id)];
+    oc.completed = false;
+    oc.start = oc.end = w.job->submit;
+    ++result.fault_stats.jobs_unstarted;
   }
 
   const double window =

@@ -4,10 +4,18 @@
 
 #include "jobs/trace.hpp"
 #include "predict/predictor.hpp"
+#include "sim/faults.hpp"
 #include "sim/outcome.hpp"
 #include "sim/scheduler.hpp"
 
 namespace sbs {
+
+/// What happens to a running job killed by a fault event.
+enum class RequeuePolicy {
+  Resubmit,  ///< the job returns to the queue (original submit time, so it
+             ///  re-enters at its FCFS position) and runs from scratch
+  Drop,      ///< the job is lost — marked incomplete, never restarted
+};
 
 /// Simulation controls shared across experiments.
 struct SimConfig {
@@ -30,6 +38,13 @@ struct SimConfig {
 
   /// Hard cap on events, as a runaway guard for malformed inputs.
   std::size_t max_events = 50'000'000;
+
+  /// Optional fault schedule (node failures/repairs, job kills). Not
+  /// owned; must outlive the simulation. nullptr = fault-free machine.
+  const FaultInjector* faults = nullptr;
+
+  /// Fate of jobs killed by faults.
+  RequeuePolicy requeue = RequeuePolicy::Resubmit;
 };
 
 /// Queue-depth statistics at scheduling decision points (the paper §2.2
@@ -48,19 +63,38 @@ struct DecisionStats {
   }
 };
 
+/// Aggregate fault-handling counters for one run. On a fault-free run all
+/// counters are zero and min_capacity equals the trace capacity.
+struct FaultStats {
+  std::uint64_t node_failures = 0;   ///< NodeDown events applied
+  std::uint64_t node_recoveries = 0; ///< NodeUp events applied
+  std::uint64_t jobs_killed = 0;     ///< running jobs terminated by faults
+  std::uint64_t jobs_requeued = 0;   ///< kills that went back to the queue
+  std::uint64_t jobs_dropped = 0;    ///< kills under RequeuePolicy::Drop
+  std::uint64_t jobs_unstarted = 0;  ///< still waiting when the run drained
+  double lost_node_seconds = 0.0;    ///< work thrown away by kills
+  int min_capacity = 0;              ///< lowest capacity seen during the run
+};
+
 /// Result of simulating one trace under one policy.
 struct SimResult {
   std::vector<JobOutcome> outcomes;  ///< one per trace job, in job-id order
   double avg_queue_length = 0.0;     ///< time-weighted, metrics window only
   SchedulerStats sched_stats;
   DecisionStats decision_stats;
+  FaultStats fault_stats;
 };
 
-/// Event-driven simulation: arrivals and completions trigger exactly one
-/// scheduling decision each (batched when simultaneous). Non-preemptive:
-/// started jobs run to their actual runtime. Throws sbs::Error if the
-/// policy returns an infeasible or unknown job set, or if it stalls (empty
-/// machine + non-empty queue + no selection).
+/// Event-driven simulation: arrivals, completions and fault events trigger
+/// exactly one scheduling decision each (batched when simultaneous).
+/// Non-preemptive from the scheduler's point of view: started jobs run to
+/// their actual runtime unless a fault kills them. Node failures shrink
+/// the capacity every policy sees; if the running jobs no longer fit, the
+/// most recently started jobs are killed (and requeued or dropped per
+/// config.requeue) until they do. Jobs wider than the current capacity
+/// park in the queue until nodes return. Throws sbs::Error if the policy
+/// returns an infeasible or unknown job set, or if it stalls (idle machine
+/// + a startable job + no selection).
 SimResult simulate(const Trace& trace, Scheduler& scheduler,
                    const SimConfig& config = {});
 

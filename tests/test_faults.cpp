@@ -1,0 +1,444 @@
+#include "sim/faults.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <functional>
+#include <vector>
+
+#include "core/search.hpp"
+#include "exp/policy_factory.hpp"
+#include "sim/simulator.hpp"
+#include "test_support.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace sbs {
+namespace {
+
+using test::job;
+using test::trace_of;
+
+/// Scriptable scheduler (same contract exercise as test_simulator).
+class LambdaScheduler : public Scheduler {
+ public:
+  using Fn = std::function<std::vector<int>(const SchedulerState&)>;
+  explicit LambdaScheduler(Fn fn) : fn_(std::move(fn)) {}
+  std::vector<int> select_jobs(const SchedulerState& state) override {
+    return fn_(state);
+  }
+  std::string name() const override { return "lambda"; }
+
+ private:
+  Fn fn_;
+};
+
+std::vector<int> greedy_fcfs(const SchedulerState& state) {
+  std::vector<int> out;
+  int free = state.free_nodes;
+  for (const auto& w : state.waiting) {
+    if (w.job->nodes <= free) {
+      free -= w.job->nodes;
+      out.push_back(w.job->id);
+    } else {
+      break;
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------- spec
+
+TEST(FaultSpecParse, FullSpec) {
+  const FaultSpec s =
+      parse_fault_spec("mtbf:86400,mttr:3600,block:2-8,killmtbf:43200,seed:7");
+  EXPECT_EQ(s.node_mtbf, 86400);
+  EXPECT_EQ(s.node_mttr, 3600);
+  EXPECT_EQ(s.min_block, 2);
+  EXPECT_EQ(s.max_block, 8);
+  EXPECT_EQ(s.job_kill_mtbf, 43200);
+  EXPECT_EQ(s.seed, 7u);
+}
+
+TEST(FaultSpecParse, FixedBlock) {
+  const FaultSpec s = parse_fault_spec("mtbf:1000,mttr:100,block:4");
+  EXPECT_EQ(s.min_block, 4);
+  EXPECT_EQ(s.max_block, 4);
+}
+
+TEST(FaultSpecParse, Rejections) {
+  EXPECT_THROW(parse_fault_spec("mtbf:1000"), Error);        // mttr missing
+  EXPECT_THROW(parse_fault_spec("bogus:1"), Error);          // unknown key
+  EXPECT_THROW(parse_fault_spec("mtbf"), Error);             // no value
+  EXPECT_THROW(parse_fault_spec("mtbf:xyz"), Error);         // not a number
+  EXPECT_THROW(parse_fault_spec("mtbf:1,mttr:1,block:0"), Error);
+  EXPECT_THROW(parse_fault_spec("mtbf:1,mttr:1,block:5-2"), Error);
+}
+
+// ------------------------------------------------------------ injector
+
+FaultSpec stress_spec(std::uint64_t seed = 11) {
+  FaultSpec s;
+  s.node_mtbf = 2000;
+  s.node_mttr = 1500;
+  s.min_block = 1;
+  s.max_block = 8;
+  s.job_kill_mtbf = 5000;
+  s.seed = seed;
+  return s;
+}
+
+TEST(FaultInjector, SeededTraceIsDeterministic) {
+  const FaultSpec spec = stress_spec();
+  const auto a = FaultInjector::from_spec(spec, 0, 100000, 16);
+  const auto b = FaultInjector::from_spec(spec, 0, 100000, 16);
+  ASSERT_FALSE(a.empty());
+  ASSERT_EQ(a.events().size(), b.events().size());
+  for (std::size_t i = 0; i < a.events().size(); ++i) {
+    EXPECT_EQ(a.events()[i].time, b.events()[i].time);
+    EXPECT_EQ(a.events()[i].kind, b.events()[i].kind);
+    EXPECT_EQ(a.events()[i].nodes, b.events()[i].nodes);
+    EXPECT_EQ(a.events()[i].draw, b.events()[i].draw);
+  }
+  // A different seed produces a different trace.
+  const auto c = FaultInjector::from_spec(stress_spec(12), 0, 100000, 16);
+  bool differs = c.events().size() != a.events().size();
+  for (std::size_t i = 0; !differs && i < a.events().size(); ++i)
+    differs = a.events()[i].time != c.events()[i].time;
+  EXPECT_TRUE(differs);
+}
+
+TEST(FaultInjector, InvariantsHold) {
+  const int capacity = 16;
+  const auto inj = FaultInjector::from_spec(stress_spec(), 0, 200000, capacity);
+  ASSERT_FALSE(inj.empty());
+  // Sorted by time.
+  EXPECT_TRUE(std::is_sorted(
+      inj.events().begin(), inj.events().end(),
+      [](const FaultEvent& a, const FaultEvent& b) { return a.time < b.time; }));
+  // Down/up balance: replaying node events never reaches full-capacity down
+  // and ends with every node back in service.
+  int down = 0;
+  int max_down = 0;
+  for (const FaultEvent& e : inj.events()) {
+    if (e.kind == FaultKind::NodeDown) down += e.nodes;
+    if (e.kind == FaultKind::NodeUp) down -= e.nodes;
+    EXPECT_GE(down, 0);
+    max_down = std::max(max_down, down);
+  }
+  EXPECT_EQ(down, 0) << "every failed block must eventually be repaired";
+  EXPECT_LT(max_down, capacity) << "at least one node must stay up";
+  // Failures all land inside the horizon (repairs may exceed it).
+  for (const FaultEvent& e : inj.events()) {
+    if (e.kind == FaultKind::NodeDown) {
+      EXPECT_LT(e.time, 200000);
+    }
+  }
+}
+
+TEST(FaultInjector, FromEventsRequiresSortedInput) {
+  EXPECT_THROW(FaultInjector::from_events(
+                   {FaultEvent{100, FaultKind::NodeDown, 1, -1, 0},
+                    FaultEvent{50, FaultKind::NodeUp, 1, -1, 0}}),
+               Error);
+  EXPECT_THROW(FaultInjector::from_events(
+                   {FaultEvent{100, FaultKind::NodeDown, 0, -1, 0}}),
+               Error);
+}
+
+// ------------------------------------------------------- simulator core
+
+TEST(FaultSim, NodeFailureKillsAndRequeuesOnce) {
+  // One 4-node job on a 4-node machine; 2 nodes fail mid-run and return
+  // 10 s later. The job is killed, requeued, and restarted from scratch.
+  const Trace t = trace_of({job(0, 0, 4, 100)}, 4);
+  const auto inj = FaultInjector::from_events(
+      {FaultEvent{50, FaultKind::NodeDown, 2, -1, 0},
+       FaultEvent{60, FaultKind::NodeUp, 2, -1, 0}});
+  SimConfig cfg;
+  cfg.faults = &inj;
+  LambdaScheduler s(greedy_fcfs);
+  const SimResult r = simulate(t, s, cfg);
+  EXPECT_EQ(r.outcomes[0].requeue_count, 1);
+  EXPECT_TRUE(r.outcomes[0].completed);
+  EXPECT_EQ(r.outcomes[0].start, 60);   // restarted when the nodes returned
+  EXPECT_EQ(r.outcomes[0].end, 160);    // full runtime from scratch
+  EXPECT_EQ(r.outcomes[0].lost_node_seconds, 4 * 50);
+  EXPECT_EQ(r.fault_stats.node_failures, 1u);
+  EXPECT_EQ(r.fault_stats.node_recoveries, 1u);
+  EXPECT_EQ(r.fault_stats.jobs_killed, 1u);
+  EXPECT_EQ(r.fault_stats.jobs_requeued, 1u);
+  EXPECT_EQ(r.fault_stats.jobs_dropped, 0u);
+  EXPECT_EQ(r.fault_stats.min_capacity, 2);
+  EXPECT_DOUBLE_EQ(r.fault_stats.lost_node_seconds, 200.0);
+}
+
+TEST(FaultSim, DropPolicyLosesTheJob) {
+  const Trace t = trace_of({job(0, 0, 4, 100)}, 4);
+  const auto inj = FaultInjector::from_events(
+      {FaultEvent{50, FaultKind::NodeDown, 2, -1, 0},
+       FaultEvent{60, FaultKind::NodeUp, 2, -1, 0}});
+  SimConfig cfg;
+  cfg.faults = &inj;
+  cfg.requeue = RequeuePolicy::Drop;
+  LambdaScheduler s(greedy_fcfs);
+  const SimResult r = simulate(t, s, cfg);
+  EXPECT_FALSE(r.outcomes[0].completed);
+  EXPECT_EQ(r.outcomes[0].requeue_count, 0);
+  EXPECT_EQ(r.outcomes[0].end, 50);  // terminated at the failure
+  EXPECT_EQ(r.fault_stats.jobs_dropped, 1u);
+  EXPECT_EQ(r.fault_stats.jobs_requeued, 0u);
+}
+
+TEST(FaultSim, MostRecentlyStartedJobIsTheVictim) {
+  // Two 2-node jobs; a 2-node failure must kill the LATER-started one.
+  const Trace t = trace_of({job(0, 0, 2, 100), job(1, 10, 2, 100)}, 4);
+  const auto inj = FaultInjector::from_events(
+      {FaultEvent{20, FaultKind::NodeDown, 2, -1, 0},
+       FaultEvent{30, FaultKind::NodeUp, 2, -1, 0}});
+  SimConfig cfg;
+  cfg.faults = &inj;
+  LambdaScheduler s(greedy_fcfs);
+  const SimResult r = simulate(t, s, cfg);
+  EXPECT_EQ(r.outcomes[0].requeue_count, 0);  // survivor, undisturbed
+  EXPECT_EQ(r.outcomes[0].end, 100);
+  EXPECT_EQ(r.outcomes[1].requeue_count, 1);
+  EXPECT_EQ(r.outcomes[1].start, 30);
+  EXPECT_EQ(r.outcomes[1].end, 130);
+  EXPECT_EQ(r.outcomes[1].lost_node_seconds, 2 * 10);
+}
+
+TEST(FaultSim, ExplicitJobKill) {
+  const Trace t = trace_of({job(0, 0, 2, 100), job(1, 0, 1, 100)}, 4);
+  const auto inj = FaultInjector::from_events(
+      {FaultEvent{40, FaultKind::JobKill, 0, /*job_id=*/0, 0}});
+  SimConfig cfg;
+  cfg.faults = &inj;
+  LambdaScheduler s(greedy_fcfs);
+  const SimResult r = simulate(t, s, cfg);
+  // Capacity untouched, so the kill restarts immediately at t=40.
+  EXPECT_EQ(r.outcomes[0].requeue_count, 1);
+  EXPECT_EQ(r.outcomes[0].start, 40);
+  EXPECT_EQ(r.outcomes[0].end, 140);
+  EXPECT_EQ(r.outcomes[1].requeue_count, 0);
+  EXPECT_EQ(r.fault_stats.min_capacity, 4);
+}
+
+TEST(FaultSim, JobKillOnIdleMachineIsANoOp) {
+  const Trace t = trace_of({job(0, 10, 1, 100)}, 4);
+  const auto inj = FaultInjector::from_events(
+      {FaultEvent{5, FaultKind::JobKill, 0, -1, 123}});
+  SimConfig cfg;
+  cfg.faults = &inj;
+  LambdaScheduler s(greedy_fcfs);
+  const SimResult r = simulate(t, s, cfg);
+  EXPECT_EQ(r.fault_stats.jobs_killed, 0u);
+  EXPECT_EQ(r.outcomes[0].start, 10);
+}
+
+TEST(FaultSim, CapacityNeverRecoversLeavesJobUnstarted) {
+  // The repair never comes: the 4-node job parks forever and is recorded
+  // as never started once every event source drains.
+  const Trace t = trace_of({job(0, 0, 4, 100)}, 4);
+  const auto inj = FaultInjector::from_events(
+      {FaultEvent{50, FaultKind::NodeDown, 2, -1, 0}});
+  SimConfig cfg;
+  cfg.faults = &inj;
+  LambdaScheduler s(greedy_fcfs);
+  const SimResult r = simulate(t, s, cfg);
+  EXPECT_FALSE(r.outcomes[0].completed);
+  EXPECT_EQ(r.outcomes[0].requeue_count, 1);  // killed, requeued, stranded
+  EXPECT_EQ(r.fault_stats.jobs_unstarted, 1u);
+  EXPECT_EQ(r.outcomes[0].start, r.outcomes[0].end);
+}
+
+TEST(FaultSim, FaultBeforeFirstArrivalAppliesInOrder) {
+  // A failure on an empty machine must still shrink capacity before the
+  // first arrival shows up (events are consumed in timeline order).
+  const Trace t = trace_of({job(0, 100, 4, 50)}, 4);
+  const auto inj = FaultInjector::from_events(
+      {FaultEvent{10, FaultKind::NodeDown, 2, -1, 0},
+       FaultEvent{200, FaultKind::NodeUp, 2, -1, 0}});
+  SimConfig cfg;
+  cfg.faults = &inj;
+  LambdaScheduler s(greedy_fcfs);
+  const SimResult r = simulate(t, s, cfg);
+  EXPECT_EQ(r.outcomes[0].start, 200);  // parked until the repair
+  EXPECT_TRUE(r.outcomes[0].completed);
+  EXPECT_EQ(r.fault_stats.min_capacity, 2);
+}
+
+TEST(FaultSim, FaultFreeRunsAreUnchanged) {
+  // A null injector and an empty one must both reproduce the plain run.
+  const Trace t = trace_of({job(0, 0, 2, 100), job(1, 10, 4, 50)}, 4);
+  LambdaScheduler s(greedy_fcfs);
+  const SimResult plain = simulate(t, s);
+  const FaultInjector empty;
+  SimConfig cfg;
+  cfg.faults = &empty;
+  const SimResult with_empty = simulate(t, s, cfg);
+  for (std::size_t i = 0; i < plain.outcomes.size(); ++i) {
+    EXPECT_EQ(plain.outcomes[i].start, with_empty.outcomes[i].start);
+    EXPECT_EQ(plain.outcomes[i].end, with_empty.outcomes[i].end);
+    EXPECT_TRUE(with_empty.outcomes[i].completed);
+    EXPECT_EQ(with_empty.outcomes[i].requeue_count, 0);
+  }
+  EXPECT_EQ(with_empty.fault_stats.jobs_killed, 0u);
+  EXPECT_EQ(with_empty.fault_stats.min_capacity, 4);
+}
+
+// ----------------------------------------------------- the policy zoo
+
+/// A deterministic mixed workload that keeps a 16-node machine busy and
+/// queued while faults tear nodes out from under it.
+Trace stress_trace() {
+  Rng rng(99);
+  std::vector<Job> jobs;
+  Time submit = 0;
+  for (int i = 0; i < 80; ++i) {
+    submit += static_cast<Time>(rng.uniform_int(0, 400));
+    const int nodes = static_cast<int>(rng.uniform_int(1, 16));
+    const Time runtime = static_cast<Time>(rng.uniform_int(60, 2400));
+    jobs.push_back(job(i, submit, nodes, runtime));
+  }
+  return trace_of(std::move(jobs), 16);
+}
+
+TEST(FaultSim, EveryPolicySurvivesAFaultyTrace) {
+  const Trace t = stress_trace();
+  const auto inj = FaultInjector::from_spec(stress_spec(), t.window_begin,
+                                            t.window_end, t.capacity);
+  ASSERT_FALSE(inj.empty());
+  const std::vector<std::string> specs = {
+      "FCFS-BF",     "FCFS-cons-BF",   "LXF-BF",      "SJF-BF",
+      "LXF&W-BF",    "Selective-BF",   "Lookahead",   "Slack-BF",
+      "MultiQueue",  "MultiQueue-aged", "Weighted-BF", "DDS/lxf/dynB",
+      "LDS/fcfs/w=100h"};
+  for (const RequeuePolicy requeue :
+       {RequeuePolicy::Resubmit, RequeuePolicy::Drop}) {
+    for (const auto& spec : specs) {
+      SimConfig cfg;
+      cfg.faults = &inj;
+      cfg.requeue = requeue;
+      auto policy = make_policy(spec, /*node_limit=*/200);
+      SimResult r;
+      ASSERT_NO_THROW(r = simulate(t, *policy, cfg)) << spec;
+      // Every outcome is accounted for: completed jobs ran their full
+      // runtime on their final attempt; incomplete ones were dropped or
+      // stranded.
+      std::uint64_t incomplete = 0;
+      for (const auto& o : r.outcomes) {
+        if (o.completed) {
+          EXPECT_EQ(o.end - o.start, o.job.runtime) << spec;
+        } else {
+          ++incomplete;
+        }
+        EXPECT_GE(o.requeue_count, 0) << spec;
+      }
+      EXPECT_EQ(incomplete,
+                r.fault_stats.jobs_dropped + r.fault_stats.jobs_unstarted)
+          << spec;
+      EXPECT_EQ(r.fault_stats.jobs_killed,
+                r.fault_stats.jobs_requeued + r.fault_stats.jobs_dropped)
+          << spec;
+      EXPECT_GE(r.fault_stats.node_failures, 1u) << spec;
+    }
+  }
+}
+
+TEST(FaultSim, BackfillParksWiderThanCapacityJobs) {
+  // An 8-node job is killed by a failure that leaves only 2 nodes; the
+  // backfill policy must park it (not wedge) and run the narrow job.
+  const Trace t = trace_of({job(0, 0, 8, 100), job(1, 10, 2, 30)}, 8);
+  const auto inj = FaultInjector::from_events(
+      {FaultEvent{20, FaultKind::NodeDown, 6, -1, 0},
+       FaultEvent{200, FaultKind::NodeUp, 6, -1, 0}});
+  SimConfig cfg;
+  cfg.faults = &inj;
+  auto policy = make_policy("FCFS-BF");
+  const SimResult r = simulate(t, *policy, cfg);
+  EXPECT_EQ(r.outcomes[1].start, 20);   // narrow job runs on the remnant
+  EXPECT_EQ(r.outcomes[0].start, 200);  // wide job waits for the repair
+  EXPECT_TRUE(r.outcomes[0].completed);
+  EXPECT_EQ(r.outcomes[0].requeue_count, 1);
+}
+
+TEST(FaultSim, SearchSchedulerHandlesAllParkedQueue) {
+  // Same scenario under the search policy: while every queued job is
+  // wider than the degraded machine the search problem is empty and the
+  // scheduler must simply start nothing.
+  const Trace t = trace_of({job(0, 0, 8, 100), job(1, 10, 2, 30)}, 8);
+  const auto inj = FaultInjector::from_events(
+      {FaultEvent{20, FaultKind::NodeDown, 6, -1, 0},
+       FaultEvent{200, FaultKind::NodeUp, 6, -1, 0}});
+  SimConfig cfg;
+  cfg.faults = &inj;
+  auto policy = make_policy("DDS/lxf/dynB");
+  SimResult r;
+  ASSERT_NO_THROW(r = simulate(t, *policy, cfg));
+  EXPECT_EQ(r.outcomes[0].start, 200);
+  EXPECT_TRUE(r.outcomes[0].completed);
+}
+
+// ------------------------------------------------------ search deadline
+
+TEST(SearchDeadline, ZeroDeadlineStillReturnsCompleteSchedule) {
+  test::ProblemBuilder b(8);
+  for (int i = 0; i < 6; ++i) b.wait(/*submit=*/0, /*nodes=*/2, /*runtime=*/100);
+  const SearchProblem p = b.build();
+  SearchConfig cfg;
+  cfg.node_limit = 1000000;
+  cfg.deadline_ms = 0.0;
+  const SearchResult r = run_search(p, cfg);
+  ASSERT_EQ(r.order.size(), p.size());  // the heuristic path is complete
+  ASSERT_EQ(r.starts.size(), p.size());
+  EXPECT_GE(r.paths_completed, 1u);
+  EXPECT_TRUE(r.deadline_hit);
+  EXPECT_FALSE(r.exhausted);
+}
+
+TEST(SearchDeadline, DisabledByDefault) {
+  test::ProblemBuilder b(8);
+  for (int i = 0; i < 4; ++i) b.wait(0, 2, 100);
+  const SearchResult r = run_search(b.build(), SearchConfig{});
+  EXPECT_FALSE(r.deadline_hit);
+  EXPECT_TRUE(r.exhausted);  // tiny tree, default budget covers it
+}
+
+TEST(SearchDeadline, DfsHonorsDeadlineAfterFirstPath) {
+  test::ProblemBuilder b(8);
+  for (int i = 0; i < 8; ++i) b.wait(0, 2, 100);
+  SearchConfig cfg;
+  cfg.algo = SearchAlgo::Dfs;
+  cfg.node_limit = 100000000;  // the deadline, not the node cap, must bind
+  cfg.deadline_ms = 0.0;
+  const SearchResult r = run_search(b.build(), cfg);
+  ASSERT_EQ(r.order.size(), 8u);
+  EXPECT_GE(r.paths_completed, 1u);
+  EXPECT_TRUE(r.deadline_hit);
+}
+
+TEST(SearchDeadline, SchedulerCountsDeadlineHits) {
+  // Three queued jobs at t=0 give the per-decision search a non-trivial
+  // tree; a 0 ms deadline degrades it to the heuristic path and counts.
+  const Trace t =
+      trace_of({job(0, 0, 2, 50), job(1, 0, 2, 50), job(2, 0, 2, 80)}, 4);
+  auto policy = make_search_policy(SearchAlgo::Dds, Branching::Lxf,
+                                   BoundSpec::dynamic_bound(),
+                                   /*node_limit=*/100000, /*prune=*/false,
+                                   /*deadline_ms=*/0.0);
+  SimResult r;
+  ASSERT_NO_THROW(r = simulate(t, *policy, SimConfig{}));
+  EXPECT_GE(r.sched_stats.deadline_hits, 1u);
+  for (const auto& o : r.outcomes) EXPECT_TRUE(o.completed);
+}
+
+TEST(SearchDeadline, FactoryThreadsDeadlineThrough) {
+  auto policy = make_policy("DDS/lxf/dynB", 500, 12.5);
+  const auto* search = dynamic_cast<const SearchScheduler*>(policy.get());
+  ASSERT_NE(search, nullptr);
+  EXPECT_DOUBLE_EQ(search->config().search.deadline_ms, 12.5);
+}
+
+}  // namespace
+}  // namespace sbs

@@ -242,6 +242,21 @@ TEST(Simulator, DecisionStatsSeeBigQueues) {
   EXPECT_GE(r.decision_stats.with_10_plus, 1u);
 }
 
+TEST(ProfileFromRunning, ClampsPastEstimatedEndsToNowPlusOne) {
+  // Estimates can be wrong: a job may still be running past its estimated
+  // end. Its profile entry is clamped to [now, now + 1) — "finishing
+  // imminently" — instead of producing a zero/negative-length interval.
+  const Job a = test::job(0, 0, 4, 1000);
+  const Job b = test::job(1, 0, 2, 1000);
+  const std::vector<RunningJob> running = {
+      RunningJob{&a, /*start=*/0, /*est_end=*/50},    // past: now is 100
+      RunningJob{&b, /*start=*/0, /*est_end=*/150}};  // still in the future
+  const ResourceProfile p = profile_from_running(8, /*now=*/100, running);
+  EXPECT_EQ(p.free_at(100), 8 - 4 - 2);  // overdue job still holds nodes now
+  EXPECT_EQ(p.free_at(101), 8 - 2);      // ...but is expected gone by now+1
+  EXPECT_EQ(p.free_at(150), 8);
+}
+
 TEST(Simulator, NonPreemptive) {
   // A wide job arrives while a narrow one runs; the narrow one is never
   // interrupted — the wide job waits for the full remaining runtime.

@@ -121,6 +121,76 @@ TEST(Swf, MissingUserFieldDefaultsToZero) {
   EXPECT_EQ(t.jobs[0].user, 0);
 }
 
+TEST(Swf, ReadStatsCountEachSkipReason) {
+  std::stringstream in(
+      "; MaxNodes: 8\n"
+      "1 0 -1 60 4\n"        // accepted
+      "2 0 -1 60\n"          // short: 4 fields
+      "3 0 -1 60 1e300\n"    // malformed: overflowing processor count
+      "4 0 -1 -1 4\n"        // non-positive runtime
+      "5 0 -1 60 16\n");     // wider than the machine
+  SwfReadStats stats;
+  const Trace t = read_swf(in, {}, &stats);
+  EXPECT_EQ(t.jobs.size(), 1u);
+  EXPECT_EQ(stats.data_lines, 5u);
+  EXPECT_EQ(stats.jobs_accepted, 1u);
+  EXPECT_EQ(stats.skipped_short, 1u);
+  EXPECT_EQ(stats.skipped_malformed, 1u);
+  EXPECT_EQ(stats.skipped_nonpositive, 1u);
+  EXPECT_EQ(stats.skipped_too_wide, 1u);
+  EXPECT_EQ(stats.skipped_total(), 4u);
+  EXPECT_EQ(stats.capacity_source, SwfCapacitySource::MaxNodes);
+}
+
+TEST(Swf, ReadStatsReportCapacitySource) {
+  SwfReadStats stats;
+  std::stringstream none("1 0 -1 60 4\n");
+  read_swf(none, {}, &stats);
+  EXPECT_EQ(stats.capacity_source, SwfCapacitySource::Default);
+  std::stringstream procs("; MaxProcs: 256\n1 0 -1 60 4\n");
+  read_swf(procs, {}, &stats);
+  EXPECT_EQ(stats.capacity_source, SwfCapacitySource::MaxProcs);
+  EXPECT_EQ(swf_capacity_source_name(SwfCapacitySource::MaxProcs),
+            "MaxProcs header");
+}
+
+TEST(Swf, OverflowingIntFieldsRejectedNotCast) {
+  // Job number and user id are cast to int; values beyond int range would
+  // be undefined behaviour to cast, so the line must be dropped instead.
+  std::stringstream in(
+      "; MaxNodes: 8\n"
+      "1e10 0 -1 60 4\n"                       // job number overflows int
+      "2 0 -1 60 4 -1 -1 4 60 -1 1 1e10\n"     // user id overflows int
+      "3 1e300 -1 60 4\n");                    // submit overflows Time
+  SwfReadStats stats;
+  const Trace t = read_swf(in, {}, &stats);
+  EXPECT_TRUE(t.jobs.empty());
+  EXPECT_EQ(stats.skipped_malformed, 3u);
+}
+
+TEST(Swf, NanAndInfNeverProduceJobs) {
+  // Whether the platform's stream extraction parses "nan"/"inf" into a
+  // double (then rejected as malformed) or fails the extraction (then the
+  // line is short), no job may come out of these lines.
+  std::stringstream in(
+      "; MaxNodes: 8\n"
+      "1 nan -1 60 4\n"
+      "2 0 -1 inf 4\n"
+      "3 0 -1 60 nan\n");
+  SwfReadStats stats;
+  const Trace t = read_swf(in, {}, &stats);
+  EXPECT_TRUE(t.jobs.empty());
+  EXPECT_EQ(stats.skipped_total(), 3u);
+  EXPECT_EQ(stats.jobs_accepted, 0u);
+}
+
+TEST(Swf, StrictModeThrowsOnMalformedNumbers) {
+  std::stringstream in("; MaxNodes: 8\n1 0 -1 60 1e300\n");
+  SwfReadOptions options;
+  options.skip_invalid = false;
+  EXPECT_THROW(read_swf(in, options), Error);
+}
+
 TEST(Swf, MissingFileThrows) {
   EXPECT_THROW(read_swf_file("/nonexistent/path.swf"), Error);
 }

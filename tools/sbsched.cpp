@@ -10,11 +10,15 @@
 //   sbsched simulate --trace=month.swf --policy=DDS/lxf/dynB
 //            [--nodes=1000] [--rstar=actual|requested|predicted]
 //            [--load=0.9] [--classes] [--timeline=out.csv]
+//            [--faults=mtbf:86400,mttr:3600,seed:7[,block:2-8][,killmtbf:N]]
+//            [--requeue=resubmit|drop] [--search-deadline-ms=50]
 //       Run one policy and report every aggregate measure; optionally the
-//       per-class wait grid and a utilization/queue timeline CSV.
+//       per-class wait grid, a utilization/queue timeline CSV, seeded
+//       fault injection and a wall-clock search deadline.
 //
 //   sbsched compare --trace=month.swf [--policies=FCFS-BF,LXF-BF,DDS/lxf/dynB]
-//            [--nodes=1000] [--rstar=...] [--load=0.9]
+//            [--nodes=1000] [--rstar=...] [--load=0.9] [--faults=...]
+//            [--requeue=...] [--search-deadline-ms=N]
 //       Side-by-side comparison with FCFS-derived excessive-wait measures.
 
 #include <iostream>
@@ -42,16 +46,34 @@ int usage() {
   return 2;
 }
 
-Trace load_trace(const CliArgs& args) {
+Trace load_trace(const CliArgs& args, SwfReadStats* stats = nullptr) {
   const std::string path = args.get("trace", "");
   if (path.empty()) throw Error("--trace=<file.swf> is required");
   SwfReadOptions options;
   options.procs_per_node =
       static_cast<int>(args.get_int("procs-per-node", 1));
-  Trace trace = read_swf_file(path, options);
+  Trace trace = read_swf_file(path, options, stats);
   const double load = args.get_double("load", 0.0);
   if (load > 0.0) trace = rescale_to_load(trace, load);
   return trace;
+}
+
+/// Builds the fault schedule from --faults/--requeue and wires it into the
+/// sim config. The injector must outlive the simulation, hence the
+/// caller-owned storage.
+void apply_fault_flags(const CliArgs& args, const Trace& trace, SimConfig& sim,
+                       std::unique_ptr<FaultInjector>& injector) {
+  const std::string requeue = args.get("requeue", "resubmit");
+  if (requeue == "drop") sim.requeue = RequeuePolicy::Drop;
+  else if (requeue != "resubmit")
+    throw Error("--requeue must be resubmit or drop");
+
+  const std::string spec = args.get("faults", "");
+  if (spec.empty()) return;
+  const FaultSpec fs = parse_fault_spec(spec);
+  injector = std::make_unique<FaultInjector>(FaultInjector::from_spec(
+      fs, trace.window_begin, trace.window_end, trace.capacity));
+  sim.faults = injector.get();
 }
 
 SimConfig sim_config(const CliArgs& args,
@@ -89,13 +111,24 @@ int cmd_generate(int argc, char** argv) {
 
 int cmd_analyze(int argc, char** argv) {
   CliArgs args(argc, argv, {"trace", "procs-per-node", "load"});
-  const Trace trace = load_trace(args);
+  SwfReadStats read_stats;
+  const Trace trace = load_trace(args, &read_stats);
   const TraceMix mix = trace_mix(trace);
   const RuntimeMix rmix = runtime_mix(trace);
 
   std::cout << "trace: " << trace.name << '\n'
-            << "capacity: " << trace.capacity << " nodes\n"
-            << "jobs (in window): " << mix.total_jobs << '\n'
+            << "capacity: " << trace.capacity << " nodes (source: "
+            << swf_capacity_source_name(read_stats.capacity_source) << ")\n"
+            << "parsed lines: " << read_stats.data_lines << " ("
+            << read_stats.jobs_accepted << " jobs accepted, "
+            << read_stats.skipped_total() << " skipped)\n";
+  if (read_stats.skipped_total() > 0) {
+    std::cout << "  skipped: " << read_stats.skipped_short << " short, "
+              << read_stats.skipped_malformed << " malformed, "
+              << read_stats.skipped_nonpositive << " non-positive, "
+              << read_stats.skipped_too_wide << " too wide\n";
+  }
+  std::cout << "jobs (in window): " << mix.total_jobs << '\n'
             << "offered load: " << format_double(mix.offered_load, 3)
             << "\n\nJob mix by requested nodes:\n";
   Table t({"range", "jobs", "demand"});
@@ -120,15 +153,25 @@ int cmd_analyze(int argc, char** argv) {
 int cmd_simulate(int argc, char** argv) {
   CliArgs args(argc, argv,
                {"trace", "procs-per-node", "policy", "nodes", "rstar",
-                "load", "classes", "timeline"});
+                "load", "classes", "timeline", "faults", "requeue",
+                "search-deadline-ms"});
   const Trace trace = load_trace(args);
   std::unique_ptr<RuntimePredictor> predictor;
-  const SimConfig sim = sim_config(args, predictor);
+  SimConfig sim = sim_config(args, predictor);
+  std::unique_ptr<FaultInjector> injector;
+  apply_fault_flags(args, trace, sim, injector);
   const std::string spec = args.get("policy", "DDS/lxf/dynB");
   const auto L = static_cast<std::size_t>(args.get_int("nodes", 1000));
+  const double deadline_ms =
+      args.get_double("search-deadline-ms", -1.0);
 
-  const Thresholds th = fcfs_thresholds(trace, sim);
-  const MonthEval eval = evaluate_spec(trace, spec, L, th, sim, true);
+  // Thresholds always come from the fault-free FCFS-backfill run, so the
+  // excessive-wait measures quantify degradation against a healthy machine.
+  SimConfig healthy = sim;
+  healthy.faults = nullptr;
+  const Thresholds th = fcfs_thresholds(trace, healthy);
+  const MonthEval eval = evaluate_spec(trace, spec, L, th, sim, true,
+                                       deadline_ms);
 
   std::cout << "policy: " << eval.policy << "\njobs: " << eval.summary.jobs
             << '\n';
@@ -147,6 +190,19 @@ int cmd_simulate(int argc, char** argv) {
   if (eval.sched.nodes_visited > 0) {
     t.row().add("search nodes visited").add(eval.sched.nodes_visited);
     t.row().add("scheduling decisions").add(eval.sched.decisions);
+  }
+  if (eval.sched.deadline_hits > 0)
+    t.row().add("search deadline hits").add(eval.sched.deadline_hits);
+  if (sim.faults != nullptr) {
+    t.row().add("node failures").add(eval.faults.node_failures);
+    t.row().add("min capacity (nodes)").add(eval.faults.min_capacity);
+    t.row().add("jobs killed by faults").add(eval.faults.jobs_killed);
+    t.row().add("jobs requeued").add(eval.faults.jobs_requeued);
+    t.row().add("jobs dropped").add(eval.faults.jobs_dropped);
+    t.row().add("jobs never started").add(eval.faults.jobs_unstarted);
+    t.row()
+        .add("lost node-hours")
+        .add(eval.faults.lost_node_seconds / 3600.0);
   }
   t.print(std::cout);
 
@@ -187,11 +243,15 @@ int cmd_simulate(int argc, char** argv) {
 int cmd_compare(int argc, char** argv) {
   CliArgs args(argc, argv,
                {"trace", "procs-per-node", "policies", "nodes", "rstar",
-                "load"});
+                "load", "faults", "requeue", "search-deadline-ms"});
   const Trace trace = load_trace(args);
   std::unique_ptr<RuntimePredictor> predictor;
-  const SimConfig sim = sim_config(args, predictor);
+  SimConfig sim = sim_config(args, predictor);
+  std::unique_ptr<FaultInjector> injector;
+  apply_fault_flags(args, trace, sim, injector);
   const auto L = static_cast<std::size_t>(args.get_int("nodes", 1000));
+  const double deadline_ms =
+      args.get_double("search-deadline-ms", -1.0);
 
   std::vector<std::string> specs;
   std::string list = args.get("policies", "FCFS-BF,LXF-BF,DDS/lxf/dynB");
@@ -201,7 +261,10 @@ int cmd_compare(int argc, char** argv) {
     list = comma == std::string::npos ? "" : list.substr(comma + 1);
   }
 
-  const Thresholds th = fcfs_thresholds(trace, sim);
+  // As in cmd_simulate: thresholds from the fault-free FCFS-backfill run.
+  SimConfig healthy = sim;
+  healthy.faults = nullptr;
+  const Thresholds th = fcfs_thresholds(trace, healthy);
   Table t({"policy", "avg wait (h)", "max wait (h)", "p98 wait (h)",
            "avg bsld", "E^max tot (h)", "#w/E^max"});
   for (const auto& spec : specs) {
@@ -212,7 +275,8 @@ int cmd_compare(int argc, char** argv) {
       local = std::make_unique<ClassCorrectionPredictor>();
       policy_sim.predictor = local.get();
     }
-    const MonthEval eval = evaluate_spec(trace, spec, L, th, policy_sim);
+    const MonthEval eval =
+        evaluate_spec(trace, spec, L, th, policy_sim, false, deadline_ms);
     t.row()
         .add(eval.policy)
         .add(eval.summary.avg_wait_h)
