@@ -1,7 +1,10 @@
 #include "bench_common.hpp"
 
 #include <filesystem>
+#include <fstream>
 #include <iostream>
+
+#include "util/error.hpp"
 
 namespace sbs::bench {
 
@@ -54,6 +57,31 @@ std::optional<CsvWriter> csv_for(const BenchOptions& options,
   if (options.csv_dir.empty()) return std::nullopt;
   std::filesystem::create_directories(options.csv_dir);
   return CsvWriter(options.csv_dir + "/" + name + ".csv", header);
+}
+
+obs::JsonWriter bench_json_doc(const BenchOptions& options,
+                               const std::string& name) {
+  obs::JsonWriter doc;
+  doc.begin_object()
+      .field("bench", name)
+      .field("scale", options.scale)
+      .field("seed", options.seed)
+      .key("rows")
+      .begin_array();
+  return doc;
+}
+
+void write_bench_json(const BenchOptions& options, const std::string& name,
+                      const obs::JsonWriter& doc) {
+  std::string dir = options.csv_dir;
+  if (dir.empty()) dir = ".";
+  else std::filesystem::create_directories(dir);
+  const std::string path = dir + "/BENCH_" + name + ".json";
+  std::ofstream out(path, std::ios::trunc);
+  SBS_CHECK_MSG(out.is_open(), "cannot open " << path << " for writing");
+  out << doc.str() << '\n';
+  SBS_CHECK_MSG(out.good(), "write to " << path << " failed");
+  std::cout << "wrote " << path << '\n';
 }
 
 void banner(const std::string& title, const BenchOptions& options,

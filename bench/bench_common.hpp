@@ -12,6 +12,7 @@
 
 #include "exp/policy_factory.hpp"
 #include "exp/runner.hpp"
+#include "obs/json.hpp"
 #include "util/cli.hpp"
 #include "util/csv.hpp"
 #include "util/table.hpp"
@@ -56,6 +57,18 @@ std::vector<PreparedMonth> prepare_months(const BenchOptions& options,
 std::optional<CsvWriter> csv_for(const BenchOptions& options,
                                  const std::string& name,
                                  const std::vector<std::string>& header);
+
+/// Writes `doc` (a complete JSON value) to `BENCH_<name>.json` — in
+/// --csv's directory when given, the working directory otherwise — and
+/// prints the path. The machine-readable companion of the printed table.
+void write_bench_json(const BenchOptions& options, const std::string& name,
+                      const obs::JsonWriter& doc);
+
+/// Opens the standard BENCH_*.json document: an object with the shared
+/// bench metadata (name, scale, seed) filled in and a "rows" array left
+/// open. Close with end_array().end_object() and pass to write_bench_json.
+obs::JsonWriter bench_json_doc(const BenchOptions& options,
+                               const std::string& name);
 
 /// Prints the standard bench banner (what runs, at which scale).
 void banner(const std::string& title, const BenchOptions& options,

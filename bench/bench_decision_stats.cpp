@@ -23,6 +23,7 @@ int main(int argc, char** argv) {
                        {"month", "decisions", "frac_10_plus", "mean_queue",
                         "max_queue", "nodes_visited", "us_per_decision",
                         "ms_per_1k_nodes"});
+    obs::JsonWriter doc = bench_json_doc(options, "decision_stats");
 
     Table table({"month", "decisions", ">=10 waiting", "mean queue",
                  "max queue", "us/decision", "ms/1K nodes"});
@@ -55,8 +56,21 @@ int main(int argc, char** argv) {
                         std::to_string(r.sched_stats.nodes_visited),
                         format_double(us_per_decision, 2),
                         format_double(ms_per_1k, 4)});
+      doc.begin_object()
+          .field("month", month.trace.name)
+          .field("decisions", d.decisions)
+          .field("frac_10_plus", d.fraction_10_plus())
+          .field("mean_queue", d.mean_waiting)
+          .field("max_queue", static_cast<std::uint64_t>(d.max_waiting))
+          .field("nodes_visited", r.sched_stats.nodes_visited)
+          .field("us_per_decision", us_per_decision)
+          .field("max_think_us", r.sched_stats.max_think_time_us)
+          .field("ms_per_1k_nodes", ms_per_1k)
+          .end_object();
     }
     table.print(std::cout);
+    doc.end_array().end_object();
+    write_bench_json(options, "decision_stats", doc);
     std::cout << "\nPaper reference points: most decision points have >= "
                  "10 waiting jobs under rho = 0.9, and its Java simulator "
                  "needed 30-65 ms per 1K-8K nodes (2 GHz P4); this C++ "

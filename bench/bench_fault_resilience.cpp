@@ -26,6 +26,7 @@ int main(int argc, char** argv) {
                         "e_max_total_h", "e_max_count", "jobs_killed",
                         "jobs_requeued", "lost_node_h", "min_capacity",
                         "deadline_hits"});
+    obs::JsonWriter doc = bench_json_doc(options, "fault_resilience");
 
     // MTBF sweep, in hours; 0 = fault-free reference row.
     const std::vector<double> mtbf_hours = {0.0, 96.0, 24.0, 6.0};
@@ -78,10 +79,26 @@ int main(int argc, char** argv) {
                  format_double(lost_h, 3),
                  std::to_string(eval.faults.min_capacity),
                  std::to_string(eval.sched.deadline_hits)});
+          doc.begin_object()
+              .field("month", month.trace.name)
+              .field("mtbf_h", mtbf_h)
+              .field("policy", eval.policy)
+              .field("avg_wait_h", eval.summary.avg_wait_h)
+              .field("e_max_total_h", eval.e_max.total_h)
+              .field("e_max_count",
+                     static_cast<std::uint64_t>(eval.e_max.count))
+              .field("jobs_killed", eval.faults.jobs_killed)
+              .field("jobs_requeued", eval.faults.jobs_requeued)
+              .field("lost_node_h", lost_h)
+              .field("min_capacity", eval.faults.min_capacity)
+              .field("deadline_hits", eval.sched.deadline_hits)
+              .end_object();
         }
       }
     }
     table.print(std::cout);
+    doc.end_array().end_object();
+    write_bench_json(options, "fault_resilience", doc);
     std::cout << "\nShape check: all policies finish every faulty run; "
                  "excessive waits grow as MTBF shrinks, and the search "
                  "policy degrades no worse than plain backfill.\n";

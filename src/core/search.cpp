@@ -162,9 +162,30 @@ class Engine {
       result_.starts.assign(n_, 0);
       for (std::size_t d = 0; d < n_; ++d)
         result_.starts[path_[d]] = path_starts_[d];
-      result_.improvements.push_back(
-          Improvement{result_.nodes_visited, result_.paths_completed, value});
+      result_.improvements.push_back(Improvement{result_.nodes_visited,
+                                                 result_.paths_completed, value,
+                                                 path_discrepancies()});
     }
+  }
+
+  /// Discrepancy count of the current complete path: replays it against
+  /// the heuristic order and counts the levels where a non-first child was
+  /// taken. Only called on incumbent improvements (a handful per search),
+  /// so the O(n^2) replay is off the hot path.
+  std::size_t path_discrepancies() {
+    disc_scratch_.assign(n_, 0);
+    std::size_t disc = 0;
+    for (std::size_t d = 0; d < n_; ++d) {
+      std::size_t child = 0;
+      for (std::size_t j : seq_) {
+        if (disc_scratch_[j]) continue;
+        if (j == path_[d]) break;
+        ++child;
+      }
+      if (child > 0) ++disc;
+      disc_scratch_[path_[d]] = 1;
+    }
+    return disc;
   }
 
   /// Branch-and-bound cut (optional): excess only accumulates along a path
@@ -281,6 +302,7 @@ class Engine {
   const std::size_t n_;
   std::vector<std::size_t> seq_;  ///< heuristic (leftmost-first) job order
   std::vector<char> used_;
+  std::vector<char> disc_scratch_;  ///< path_discrepancies() working set
   std::vector<std::size_t> path_;
   std::vector<Time> path_starts_;
   std::vector<ResourceProfile> profiles_;

@@ -70,6 +70,7 @@ struct Improvement {
   std::size_t nodes = 0;
   std::size_t path = 0;  ///< 1-based index of the improving path
   ObjectiveValue value;
+  std::size_t discrepancies = 0;  ///< non-heuristic branches on the path
 };
 
 struct SearchResult {

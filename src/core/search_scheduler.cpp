@@ -10,6 +10,9 @@ SearchScheduler::SearchScheduler(SearchSchedulerConfig config)
 
 std::vector<int> SearchScheduler::select_jobs(const SchedulerState& state) {
   ++stats_.decisions;
+  stats_.max_queue_depth =
+      std::max<std::uint64_t>(stats_.max_queue_depth, state.waiting.size());
+  if (collect_detail_) detail_ = {};
   std::vector<int> started;
   if (state.waiting.empty()) return started;
 
@@ -37,6 +40,17 @@ std::vector<int> SearchScheduler::select_jobs(const SchedulerState& state) {
   stats_.nodes_visited += result.nodes_visited;
   stats_.paths_explored += result.paths_completed;
   if (result.deadline_hit) ++stats_.deadline_hits;
+  if (collect_detail_) {
+    detail_.iterations = result.iterations_started;
+    detail_.improvements.reserve(result.improvements.size());
+    for (const Improvement& imp : result.improvements)
+      detail_.improvements.push_back(obs::ImprovementPoint{
+          imp.nodes, imp.value.excess_h, imp.value.avg_bsld,
+          imp.discrepancies});
+    if (!result.improvements.empty())
+      detail_.discrepancies = static_cast<std::int64_t>(
+          result.improvements.back().discrepancies);
+  }
 
   std::span<const Time> starts = result.starts;
   LocalSearchResult refined;
@@ -53,10 +67,12 @@ std::vector<int> SearchScheduler::select_jobs(const SchedulerState& state) {
       fairshare_.charge(*problem.jobs[i].job, problem.jobs[i].estimate,
                         state.now);
   }
-  stats_.think_time_us += static_cast<std::uint64_t>(
+  const auto think_us = static_cast<std::uint64_t>(
       std::chrono::duration_cast<std::chrono::microseconds>(
           std::chrono::steady_clock::now() - t0)
           .count());
+  stats_.think_time_us += think_us;
+  stats_.max_think_time_us = std::max(stats_.max_think_time_us, think_us);
   return started;
 }
 

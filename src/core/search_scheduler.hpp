@@ -38,6 +38,14 @@ class SearchScheduler final : public Scheduler {
 
   SchedulerStats stats() const override { return stats_; }
 
+  void set_collect_decision_detail(bool on) override {
+    collect_detail_ = on;
+    if (!on) detail_ = {};
+  }
+  const DecisionDetail* last_decision() const override {
+    return collect_detail_ ? &detail_ : nullptr;
+  }
+
   const SearchSchedulerConfig& config() const { return config_; }
 
   /// Fair-share ledger (empty unless fairshare mode is on).
@@ -47,6 +55,8 @@ class SearchScheduler final : public Scheduler {
   SearchSchedulerConfig config_;
   SchedulerStats stats_;
   FairShareTracker fairshare_;
+  bool collect_detail_ = false;
+  DecisionDetail detail_;
 };
 
 }  // namespace sbs

@@ -1,0 +1,53 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+#include "util/time.hpp"
+
+namespace sbs::obs {
+
+/// One incumbent improvement inside a single decision's search, in the flat
+/// numeric form telemetry records (the core library's Improvement carries
+/// the same data with its own ObjectiveValue type; schedulers convert).
+struct ImprovementPoint {
+  std::uint64_t nodes = 0;       ///< tree nodes visited when found
+  double excess_h = 0.0;         ///< objective level 1 of the incumbent
+  double avg_bsld = 0.0;         ///< objective level 2 of the incumbent
+  std::uint64_t discrepancies = 0;  ///< discrepancies of the improving path
+};
+
+/// One scheduling decision, as recorded by the simulator. Search counters
+/// are per-decision deltas of the policy's cumulative SchedulerStats, so
+/// summing any field over a run's decision records reproduces the run
+/// aggregate exactly. Non-search policies report zero nodes/paths and -1
+/// discrepancies.
+struct DecisionRecord {
+  Time now = 0;
+  std::string_view policy;
+  int queue_depth = 0;   ///< waiting jobs when the policy was invoked
+  int free_nodes = 0;
+  int capacity = 0;      ///< live machine size (shrinks under faults)
+  double max_wait_h = 0.0;  ///< longest current wait in the queue, hours
+  std::uint64_t nodes_visited = 0;
+  std::uint64_t paths_explored = 0;
+  std::uint64_t iterations = 0;
+  std::int64_t discrepancies = -1;  ///< winning path; -1 = not a search
+  bool deadline_hit = false;
+  std::uint64_t think_us = 0;
+  std::span<const int> started;  ///< job ids dispatched at `now`
+  std::span<const ImprovementPoint> improvements;  ///< anytime profile
+};
+
+/// Run boundary record: everything after it (until the next RunRecord)
+/// belongs to this trace/policy pair. Compare-style runs append several
+/// runs into one stream.
+struct RunRecord {
+  std::string_view trace;
+  std::string_view policy;
+  int capacity = 0;
+  std::uint64_t jobs = 0;
+};
+
+}  // namespace sbs::obs

@@ -1,0 +1,345 @@
+#include "obs/json.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+#include "util/error.hpp"
+
+namespace sbs::obs {
+
+// ---------------------------------------------------------------- writer
+
+void JsonWriter::separate() {
+  if (need_comma_.back()) out_.push_back(',');
+  need_comma_.back() = true;
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  separate();
+  out_.push_back('{');
+  need_comma_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  need_comma_.pop_back();
+  out_.push_back('}');
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  separate();
+  out_.push_back('[');
+  need_comma_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  need_comma_.pop_back();
+  out_.push_back(']');
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(std::string_view name) {
+  separate();
+  out_.push_back('"');
+  json_escape(name, out_);
+  out_ += "\":";
+  need_comma_.back() = false;  // the value that follows needs no comma
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view s) {
+  separate();
+  out_.push_back('"');
+  json_escape(s, out_);
+  out_.push_back('"');
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool b) {
+  separate();
+  out_ += b ? "true" : "false";
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double d) {
+  separate();
+  if (!std::isfinite(d)) {  // JSON has no inf/nan; null keeps lines parseable
+    out_ += "null";
+    return *this;
+  }
+  char buf[32];
+  const auto [end, ec] = std::to_chars(buf, buf + sizeof(buf), d);
+  SBS_CHECK(ec == std::errc());
+  out_.append(buf, end);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t v) {
+  separate();
+  char buf[24];
+  const auto [end, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+  SBS_CHECK(ec == std::errc());
+  out_.append(buf, end);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t v) {
+  separate();
+  char buf[24];
+  const auto [end, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+  SBS_CHECK(ec == std::errc());
+  out_.append(buf, end);
+  return *this;
+}
+
+void JsonWriter::clear() {
+  out_.clear();
+  need_comma_.assign(1, false);
+}
+
+void json_escape(std::string_view s, std::string& out) {
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+}
+
+// ---------------------------------------------------------------- parser
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : s_(text) {}
+
+  JsonValue parse() {
+    JsonValue v = parse_value();
+    skip_ws();
+    SBS_CHECK_MSG(pos_ == s_.size(), "trailing bytes after JSON value at "
+                                         << pos_);
+    return v;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           (s_[pos_] == ' ' || s_[pos_] == '\t' || s_[pos_] == '\n' ||
+            s_[pos_] == '\r'))
+      ++pos_;
+  }
+
+  char peek() {
+    SBS_CHECK_MSG(pos_ < s_.size(), "unexpected end of JSON input");
+    return s_[pos_];
+  }
+
+  void expect(char c) {
+    SBS_CHECK_MSG(pos_ < s_.size() && s_[pos_] == c,
+                  "expected '" << c << "' at byte " << pos_);
+    ++pos_;
+  }
+
+  bool consume_literal(std::string_view lit) {
+    if (s_.substr(pos_, lit.size()) != lit) return false;
+    pos_ += lit.size();
+    return true;
+  }
+
+  JsonValue parse_value() {
+    skip_ws();
+    switch (peek()) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': {
+        JsonValue v;
+        v.kind = JsonValue::Kind::String;
+        v.string = parse_string();
+        return v;
+      }
+      case 't': {
+        SBS_CHECK_MSG(consume_literal("true"), "bad literal at " << pos_);
+        JsonValue v;
+        v.kind = JsonValue::Kind::Bool;
+        v.boolean = true;
+        return v;
+      }
+      case 'f': {
+        SBS_CHECK_MSG(consume_literal("false"), "bad literal at " << pos_);
+        JsonValue v;
+        v.kind = JsonValue::Kind::Bool;
+        return v;
+      }
+      case 'n': {
+        SBS_CHECK_MSG(consume_literal("null"), "bad literal at " << pos_);
+        return {};
+      }
+      default: return parse_number();
+    }
+  }
+
+  JsonValue parse_object() {
+    expect('{');
+    JsonValue v;
+    v.kind = JsonValue::Kind::Object;
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      skip_ws();
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      v.object.emplace_back(std::move(key), parse_value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return v;
+    }
+  }
+
+  JsonValue parse_array() {
+    expect('[');
+    JsonValue v;
+    v.kind = JsonValue::Kind::Array;
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      v.array.push_back(parse_value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return v;
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      SBS_CHECK_MSG(pos_ < s_.size(), "unterminated JSON string");
+      const char c = s_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      SBS_CHECK_MSG(pos_ < s_.size(), "unterminated escape in JSON string");
+      const char e = s_[pos_++];
+      switch (e) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          SBS_CHECK_MSG(pos_ + 4 <= s_.size(), "truncated \\u escape");
+          unsigned cp = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = s_[pos_++];
+            cp <<= 4;
+            if (h >= '0' && h <= '9') cp |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') cp |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') cp |= static_cast<unsigned>(h - 'A' + 10);
+            else throw Error("bad hex digit in \\u escape");
+          }
+          // Telemetry strings are ASCII; encode the code point as UTF-8.
+          if (cp < 0x80) {
+            out.push_back(static_cast<char>(cp));
+          } else if (cp < 0x800) {
+            out.push_back(static_cast<char>(0xC0 | (cp >> 6)));
+            out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+          } else {
+            out.push_back(static_cast<char>(0xE0 | (cp >> 12)));
+            out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+          }
+          break;
+        }
+        default: throw Error("unknown escape in JSON string");
+      }
+    }
+  }
+
+  JsonValue parse_number() {
+    const std::size_t start = pos_;
+    if (pos_ < s_.size() && (s_[pos_] == '-' || s_[pos_] == '+')) ++pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
+            s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
+            s_[pos_] == '-' || s_[pos_] == '+'))
+      ++pos_;
+    JsonValue v;
+    v.kind = JsonValue::Kind::Number;
+    const auto [end, ec] =
+        std::from_chars(s_.data() + start, s_.data() + pos_, v.number);
+    SBS_CHECK_MSG(ec == std::errc() && end == s_.data() + pos_,
+                  "malformed JSON number at byte " << start);
+    return v;
+  }
+
+  std::string_view s_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+const JsonValue* JsonValue::find(std::string_view key) const {
+  if (kind != Kind::Object) return nullptr;
+  for (const auto& [k, v] : object)
+    if (k == key) return &v;
+  return nullptr;
+}
+
+const std::string& JsonValue::as_string() const {
+  SBS_CHECK_MSG(kind == Kind::String, "JSON value is not a string");
+  return string;
+}
+
+double JsonValue::as_double() const {
+  SBS_CHECK_MSG(kind == Kind::Number, "JSON value is not a number");
+  return number;
+}
+
+std::int64_t JsonValue::as_int() const {
+  return static_cast<std::int64_t>(as_double());
+}
+
+bool JsonValue::as_bool() const {
+  SBS_CHECK_MSG(kind == Kind::Bool, "JSON value is not a bool");
+  return boolean;
+}
+
+JsonValue parse_json(std::string_view text) { return Parser(text).parse(); }
+
+}  // namespace sbs::obs

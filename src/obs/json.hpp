@@ -1,0 +1,83 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace sbs::obs {
+
+/// Append-only JSON emitter producing one compact value (no whitespace).
+/// Commas are inserted automatically; the caller is responsible for
+/// balancing begin/end calls. Built for the telemetry hot path: everything
+/// appends into one reused std::string, no tree is materialized.
+class JsonWriter {
+ public:
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Emits `"name":` — must be followed by a value or begin_*().
+  JsonWriter& key(std::string_view name);
+
+  JsonWriter& value(std::string_view s);
+  JsonWriter& value(const char* s) { return value(std::string_view(s)); }
+  JsonWriter& value(bool b);
+  JsonWriter& value(double d);  ///< shortest round-trip decimal form
+  JsonWriter& value(std::int64_t v);
+  JsonWriter& value(std::uint64_t v);
+  JsonWriter& value(int v) { return value(static_cast<std::int64_t>(v)); }
+
+  /// Shorthand for key(name).value(v).
+  template <typename T>
+  JsonWriter& field(std::string_view name, T v) {
+    return key(name).value(v);
+  }
+
+  const std::string& str() const { return out_; }
+  void clear();
+
+ private:
+  void separate();
+
+  std::string out_;
+  std::vector<char> need_comma_{false};  ///< one flag per nesting level
+};
+
+/// Escapes `s` for inclusion inside a JSON string literal (quotes not
+/// included).
+void json_escape(std::string_view s, std::string& out);
+
+/// Parsed JSON value (recursive). Object member order is preserved.
+struct JsonValue {
+  enum class Kind { Null, Bool, Number, String, Array, Object };
+
+  Kind kind = Kind::Null;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  bool is_object() const { return kind == Kind::Object; }
+  bool is_array() const { return kind == Kind::Array; }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const JsonValue* find(std::string_view key) const;
+
+  /// Typed accessors; throw sbs::Error on kind mismatch.
+  const std::string& as_string() const;
+  double as_double() const;
+  std::int64_t as_int() const;
+  bool as_bool() const;
+};
+
+/// Parses exactly one JSON value covering all of `text` (surrounding
+/// whitespace allowed). Throws sbs::Error on any syntax error, including
+/// trailing garbage — telemetry consumers must reject malformed lines
+/// loudly, not skip them.
+JsonValue parse_json(std::string_view text);
+
+}  // namespace sbs::obs

@@ -1,0 +1,203 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+#include "obs/json.hpp"
+#include "util/error.hpp"
+#include "util/table.hpp"
+
+namespace sbs::obs {
+
+namespace {
+
+// Relaxed CAS-loop updates for atomic doubles (fetch_add on atomic<double>
+// is C++20 but not universally lowered to hardware; the loop is portable
+// and uncontended in practice — one simulation thread per registry).
+void atomic_add(std::atomic<double>& a, double v) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (!a.compare_exchange_weak(cur, cur + v, std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_min(std::atomic<double>& a, double v) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (v < cur &&
+         !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_max(std::atomic<double>& a, double v) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (v > cur &&
+         !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+std::string compact_number(double v) {
+  if (v == static_cast<double>(static_cast<long long>(v)))
+    return std::to_string(static_cast<long long>(v));
+  return format_double(v, 2);
+}
+
+std::string bucket_label(const std::vector<double>& bounds, std::size_t i) {
+  if (i < bounds.size()) return "<= " + compact_number(bounds[i]);
+  return "> " + compact_number(bounds.back());
+}
+
+}  // namespace
+
+void Gauge::set(std::int64_t v) {
+  value_.store(v, std::memory_order_relaxed);
+  std::int64_t cur = max_.load(std::memory_order_relaxed);
+  while (v > cur &&
+         !max_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+Histogram::Histogram(std::string name, std::span<const double> bounds)
+    : name_(std::move(name)), bounds_(bounds.begin(), bounds.end()) {
+  SBS_CHECK_MSG(!bounds_.empty(), "histogram " << name_ << " has no buckets");
+  SBS_CHECK_MSG(std::is_sorted(bounds_.begin(), bounds_.end()),
+                "histogram " << name_ << " bounds not ascending");
+  cells_ = std::make_unique<std::atomic<std::uint64_t>[]>(bounds_.size() + 1);
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) cells_[i] = 0;
+}
+
+void Histogram::observe(double v) {
+  std::size_t cell = bounds_.size();  // overflow unless a bound catches it
+  for (std::size_t i = 0; i < bounds_.size(); ++i) {
+    if (v <= bounds_[i]) {
+      cell = i;
+      break;
+    }
+  }
+  cells_[cell].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  atomic_add(sum_, v);
+  atomic_min(min_, v);
+  atomic_max(max_, v);
+}
+
+HistogramSnapshot Histogram::snapshot() const {
+  HistogramSnapshot s;
+  s.name = name_;
+  s.bounds = bounds_;
+  s.counts.resize(bounds_.size() + 1);
+  for (std::size_t i = 0; i <= bounds_.size(); ++i)
+    s.counts[i] = cells_[i].load(std::memory_order_relaxed);
+  s.count = count_.load(std::memory_order_relaxed);
+  s.sum = sum_.load(std::memory_order_relaxed);
+  s.min = s.count ? min_.load(std::memory_order_relaxed) : 0.0;
+  s.max = s.count ? max_.load(std::memory_order_relaxed) : 0.0;
+  return s;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& c : counters_)
+    if (c->name() == name) return *c;
+  counters_.push_back(std::make_unique<Counter>(std::string(name)));
+  return *counters_.back();
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& g : gauges_)
+    if (g->name() == name) return *g;
+  gauges_.push_back(std::make_unique<Gauge>(std::string(name)));
+  return *gauges_.back();
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name,
+                                      std::span<const double> bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& h : histograms_)
+    if (h->name() == name) return *h;
+  histograms_.push_back(std::make_unique<Histogram>(std::string(name), bounds));
+  return *histograms_.back();
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot s;
+  for (const auto& c : counters_)
+    s.counters.push_back({c->name(), c->value()});
+  for (const auto& g : gauges_) {
+    const bool ever = g->max() != std::numeric_limits<std::int64_t>::min();
+    s.gauges.push_back({g->name(), g->value(), ever ? g->max() : 0, ever});
+  }
+  for (const auto& h : histograms_) s.histograms.push_back(h->snapshot());
+  return s;
+}
+
+void MetricsSnapshot::print(std::ostream& os) const {
+  if (!counters.empty() || !gauges.empty()) {
+    Table t({"metric", "value", "max"});
+    for (const auto& c : counters)
+      t.row().add(c.name).add(static_cast<long long>(c.value)).add("-");
+    for (const auto& g : gauges) {
+      if (!g.ever_set) continue;
+      t.row()
+          .add(g.name)
+          .add(static_cast<long long>(g.value))
+          .add(static_cast<long long>(g.max));
+    }
+    t.print(os);
+  }
+  for (const auto& h : histograms) {
+    if (h.count == 0) continue;
+    os << '\n'
+       << h.name << ": n=" << h.count << " mean=" << format_double(h.mean(), 2)
+       << " min=" << format_double(h.min, 2)
+       << " max=" << format_double(h.max, 2) << '\n';
+    Table t({"bucket", "count", "share"});
+    for (std::size_t i = 0; i < h.counts.size(); ++i) {
+      if (h.counts[i] == 0) continue;
+      t.row()
+          .add(bucket_label(h.bounds, i))
+          .add(static_cast<long long>(h.counts[i]))
+          .add(format_double(100.0 * static_cast<double>(h.counts[i]) /
+                                 static_cast<double>(h.count),
+                             1) +
+               "%");
+    }
+    t.print(os);
+  }
+}
+
+std::string MetricsSnapshot::to_json() const {
+  JsonWriter w;
+  w.begin_object();
+  w.key("counters").begin_object();
+  for (const auto& c : counters) w.field(c.name, c.value);
+  w.end_object();
+  w.key("gauges").begin_object();
+  for (const auto& g : gauges) {
+    if (!g.ever_set) continue;
+    w.key(g.name).begin_object();
+    w.field("value", g.value).field("max", g.max);
+    w.end_object();
+  }
+  w.end_object();
+  w.key("histograms").begin_object();
+  for (const auto& h : histograms) {
+    w.key(h.name).begin_object();
+    w.field("count", h.count)
+        .field("sum", h.sum)
+        .field("min", h.min)
+        .field("max", h.max);
+    w.key("bounds").begin_array();
+    for (const double b : h.bounds) w.value(b);
+    w.end_array();
+    w.key("counts").begin_array();
+    for (const std::uint64_t c : h.counts) w.value(c);
+    w.end_array();
+    w.end_object();
+  }
+  w.end_object();
+  w.end_object();
+  return w.str();
+}
+
+}  // namespace sbs::obs

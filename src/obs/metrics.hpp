@@ -1,0 +1,127 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <limits>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sbs::obs {
+
+/// Monotone event counter. Increments are single relaxed atomic adds so
+/// hot-path instrumentation costs a handful of nanoseconds.
+class Counter {
+ public:
+  explicit Counter(std::string name) : name_(std::move(name)) {}
+
+  void add(std::uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  const std::string& name() const { return name_; }
+
+ private:
+  std::string name_;
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-value gauge that also tracks the maximum ever set — the cheap way
+/// to get "peak queue depth" style facts without a histogram.
+class Gauge {
+ public:
+  explicit Gauge(std::string name) : name_(std::move(name)) {}
+
+  void set(std::int64_t v);
+  std::int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  std::int64_t max() const { return max_.load(std::memory_order_relaxed); }
+  const std::string& name() const { return name_; }
+
+ private:
+  std::string name_;
+  std::atomic<std::int64_t> value_{0};
+  std::atomic<std::int64_t> max_{std::numeric_limits<std::int64_t>::min()};
+};
+
+/// Immutable copy of a histogram's state; see Histogram::snapshot().
+struct HistogramSnapshot {
+  std::string name;
+  std::vector<double> bounds;          ///< ascending inclusive upper bounds
+  std::vector<std::uint64_t> counts;   ///< bounds.size() cells + 1 overflow
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;  ///< meaningful only when count > 0
+  double max = 0.0;
+
+  double mean() const { return count ? sum / static_cast<double>(count) : 0.0; }
+};
+
+/// Fixed-bucket histogram: observe() finds the first bucket whose upper
+/// bound is >= the value (linear scan — bucket lists are short) and bumps
+/// one relaxed atomic cell. sum/min/max use CAS loops, still lock-free.
+class Histogram {
+ public:
+  Histogram(std::string name, std::span<const double> bounds);
+
+  void observe(double v);
+  HistogramSnapshot snapshot() const;
+  const std::string& name() const { return name_; }
+
+ private:
+  std::string name_;
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> cells_;  ///< + overflow cell
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> min_{std::numeric_limits<double>::infinity()};
+  std::atomic<double> max_{-std::numeric_limits<double>::infinity()};
+};
+
+/// Value-copy of a whole registry at one instant. Later registry updates
+/// never show through a snapshot (the test suite asserts this isolation).
+struct MetricsSnapshot {
+  struct CounterValue {
+    std::string name;
+    std::uint64_t value = 0;
+  };
+  struct GaugeValue {
+    std::string name;
+    std::int64_t value = 0;
+    std::int64_t max = 0;
+    bool ever_set = false;
+  };
+
+  std::vector<CounterValue> counters;
+  std::vector<GaugeValue> gauges;
+  std::vector<HistogramSnapshot> histograms;
+
+  /// Fixed-width tables: counters/gauges, then one bucket table per
+  /// histogram. Empty (never-touched) instruments are skipped.
+  void print(std::ostream& os) const;
+
+  /// One JSON object: {"counters":{...},"gauges":{...},"histograms":{...}}.
+  std::string to_json() const;
+};
+
+/// Named-instrument registry. Creation (first call per name) takes a mutex;
+/// the returned references are stable for the registry's lifetime, so hot
+/// paths resolve each instrument once and then increment lock-free.
+class MetricsRegistry {
+ public:
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  /// `bounds` (ascending) is consulted only on first creation.
+  Histogram& histogram(std::string_view name, std::span<const double> bounds);
+
+  MetricsSnapshot snapshot() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<Counter>> counters_;
+  std::vector<std::unique_ptr<Gauge>> gauges_;
+  std::vector<std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace sbs::obs

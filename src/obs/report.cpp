@@ -1,0 +1,297 @@
+#include "obs/report.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <ostream>
+
+#include "obs/json.hpp"
+#include "obs/telemetry.hpp"
+#include "util/error.hpp"
+#include "util/table.hpp"
+
+namespace sbs::obs {
+
+namespace {
+
+// Node budgets at which the anytime profile samples incumbent quality.
+constexpr std::uint64_t kAnytimeBudgets[] = {
+    1, 2, 5, 10, 20, 50, 100, 200, 500, 1'000, 2'000, 5'000, 10'000,
+    20'000, 50'000, 100'000};
+
+HistogramSnapshot make_hist(std::string name, std::span<const double> bounds) {
+  HistogramSnapshot h;
+  h.name = std::move(name);
+  h.bounds.assign(bounds.begin(), bounds.end());
+  h.counts.assign(bounds.size() + 1, 0);
+  return h;
+}
+
+void hist_observe(HistogramSnapshot& h, double v) {
+  std::size_t cell = h.bounds.size();
+  for (std::size_t i = 0; i < h.bounds.size(); ++i) {
+    if (v <= h.bounds[i]) {
+      cell = i;
+      break;
+    }
+  }
+  ++h.counts[cell];
+  if (h.count == 0) {
+    h.min = h.max = v;
+  } else {
+    h.min = std::min(h.min, v);
+    h.max = std::max(h.max, v);
+  }
+  ++h.count;
+  h.sum += v;
+}
+
+RunReport fresh_run() {
+  RunReport r;
+  r.think_us_hist = make_hist("search.think_time_us", think_us_bounds());
+  r.nodes_hist = make_hist("search.nodes_per_decision",
+                           nodes_per_decision_bounds());
+  r.queue_hist = make_hist("sim.queue_depth_at_decision", queue_depth_bounds());
+  r.max_wait_hist = make_hist("sim.max_wait_h_at_decision", wait_h_bounds());
+  for (const std::uint64_t b : kAnytimeBudgets)
+    r.anytime.push_back({b, 0, 0, 0.0, 0.0});
+  return r;
+}
+
+// Field accessors that fail loudly with the line number on schema breaks.
+const JsonValue& need(const JsonValue& rec, std::string_view key,
+                      std::size_t lineno) {
+  const JsonValue* v = rec.find(key);
+  SBS_CHECK_MSG(v != nullptr,
+                "telemetry line " << lineno << " lacks field \"" << key << '"');
+  return *v;
+}
+
+std::uint64_t need_u64(const JsonValue& rec, std::string_view key,
+                       std::size_t lineno) {
+  return static_cast<std::uint64_t>(need(rec, key, lineno).as_int());
+}
+
+void apply_decision(RunReport& r, const JsonValue& rec, std::size_t lineno) {
+  ++r.decisions;
+  const std::uint64_t nodes = need_u64(rec, "nodes_visited", lineno);
+  const std::uint64_t think = need_u64(rec, "think_us", lineno);
+  const std::uint64_t queue = need_u64(rec, "queue_depth", lineno);
+  r.nodes_visited += nodes;
+  r.paths_explored += need_u64(rec, "paths_explored", lineno);
+  r.think_time_us += think;
+  r.max_think_time_us = std::max(r.max_think_time_us, think);
+  r.max_queue_depth = std::max(r.max_queue_depth, queue);
+  if (need(rec, "deadline_hit", lineno).as_bool()) ++r.deadline_hits;
+  r.started_via_decisions += need(rec, "started", lineno).array.size();
+
+  hist_observe(r.think_us_hist, static_cast<double>(think));
+  hist_observe(r.nodes_hist, static_cast<double>(nodes));
+  hist_observe(r.queue_hist, static_cast<double>(queue));
+  hist_observe(r.max_wait_hist, need(rec, "max_wait_h", lineno).as_double());
+
+  const std::int64_t disc = need(rec, "discrepancies", lineno).as_int();
+  if (disc >= 0) {
+    ++r.decisions_with_search;
+    ++r.discrepancy_profile[disc];
+  }
+
+  const JsonValue& improvements = need(rec, "improvements", lineno);
+  SBS_CHECK_MSG(improvements.is_array(),
+                "telemetry line " << lineno << ": improvements not an array");
+  r.improvements_total += improvements.array.size();
+  if (improvements.array.empty()) return;
+  const JsonValue& fin = improvements.array.back();
+  const double final_excess = need(fin, "excess_h", lineno).as_double();
+  const double final_bsld = need(fin, "avg_bsld", lineno).as_double();
+  for (RunReport::AnytimePoint& pt : r.anytime) {
+    // Last incumbent found within the first `budget` visited nodes.
+    const JsonValue* best = nullptr;
+    for (const JsonValue& imp : improvements.array) {
+      if (need_u64(imp, "nodes", lineno) > pt.budget) break;
+      best = &imp;
+    }
+    if (best == nullptr) continue;
+    ++pt.with_incumbent;
+    const double eg = need(*best, "excess_h", lineno).as_double() - final_excess;
+    const double bg = need(*best, "avg_bsld", lineno).as_double() - final_bsld;
+    pt.excess_gap_h += eg;
+    pt.bsld_gap += bg;
+    if (eg <= 1e-9 && bg <= 1e-9) ++pt.converged;
+  }
+}
+
+void apply_record(RunReport& r, const JsonValue& rec, const std::string& type,
+                  std::size_t lineno) {
+  if (type == "decision") {
+    apply_decision(r, rec, lineno);
+  } else if (type == "submit") {
+    ++r.submits;
+    need(rec, "job", lineno);
+  } else if (type == "start") {
+    ++r.starts;
+    need(rec, "job", lineno);
+  } else if (type == "finish") {
+    ++r.finishes;
+    need(rec, "job", lineno);
+  } else if (type == "kill") {
+    ++r.kills;
+    if (need(rec, "requeued", lineno).as_bool()) ++r.requeues;
+  } else if (type == "unstarted") {
+    ++r.unstarted;
+    need(rec, "job", lineno);
+  } else if (type == "fault") {
+    const std::string& kind = need(rec, "kind", lineno).as_string();
+    if (kind == "node_down") ++r.faults_down;
+    else if (kind == "node_up") ++r.faults_up;
+    else throw Error("telemetry line " + std::to_string(lineno) +
+                     ": unknown fault kind " + kind);
+  } else {
+    throw Error("telemetry line " + std::to_string(lineno) +
+                ": unknown record type \"" + type + '"');
+  }
+}
+
+}  // namespace
+
+std::vector<RunReport> summarize_telemetry(const std::string& path) {
+  std::ifstream in(path);
+  SBS_CHECK_MSG(in.is_open(), "cannot open telemetry file " << path);
+
+  std::vector<RunReport> runs;
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    SBS_CHECK_MSG(!line.empty(), "telemetry line " << lineno << " is empty");
+    JsonValue rec;
+    try {
+      rec = parse_json(line);
+    } catch (const Error& e) {
+      throw Error("telemetry line " + std::to_string(lineno) + ": " +
+                  e.what());
+    }
+    SBS_CHECK_MSG(rec.is_object(),
+                  "telemetry line " << lineno << " is not a JSON object");
+    const std::string& type = need(rec, "type", lineno).as_string();
+    if (type == "run") {
+      RunReport r = fresh_run();
+      r.trace = need(rec, "trace", lineno).as_string();
+      r.policy = need(rec, "policy", lineno).as_string();
+      r.capacity = static_cast<int>(need(rec, "capacity", lineno).as_int());
+      r.trace_jobs = need_u64(rec, "jobs", lineno);
+      runs.push_back(std::move(r));
+      continue;
+    }
+    SBS_CHECK_MSG(!runs.empty(), "telemetry line "
+                                     << lineno
+                                     << " appears before any run record");
+    apply_record(runs.back(), rec, type, lineno);
+  }
+  SBS_CHECK_MSG(lineno > 0, "telemetry file " << path << " is empty");
+  return runs;
+}
+
+void print_report(const std::vector<RunReport>& runs, std::ostream& os) {
+  Table top({"trace", "policy", "decisions", "jobs started", "avg think (us)",
+             "max think (us)", "max queue", "deadline hits"});
+  for (const RunReport& r : runs) {
+    const double avg_think =
+        r.decisions ? static_cast<double>(r.think_time_us) /
+                          static_cast<double>(r.decisions)
+                    : 0.0;
+    top.row()
+        .add(r.trace)
+        .add(r.policy)
+        .add(static_cast<long long>(r.decisions))
+        .add(static_cast<long long>(r.starts))
+        .add(avg_think, 1)
+        .add(static_cast<long long>(r.max_think_time_us))
+        .add(static_cast<long long>(r.max_queue_depth))
+        .add(static_cast<long long>(r.deadline_hits));
+  }
+  top.print(os);
+
+  for (const RunReport& r : runs) {
+    os << "\n== " << r.trace << " / " << r.policy << " (capacity "
+       << r.capacity << ", " << r.trace_jobs << " jobs) ==\n";
+
+    os << "\nAggregates reconstructed from the event stream:\n";
+    Table agg({"measure", "value"});
+    agg.row().add("decisions").add(static_cast<long long>(r.decisions));
+    agg.row()
+        .add("jobs started")
+        .add(static_cast<long long>(r.started_via_decisions));
+    agg.row().add("submits").add(static_cast<long long>(r.submits));
+    agg.row().add("finishes").add(static_cast<long long>(r.finishes));
+    if (r.kills || r.unstarted || r.faults_down) {
+      agg.row().add("kills").add(static_cast<long long>(r.kills));
+      agg.row().add("requeues").add(static_cast<long long>(r.requeues));
+      agg.row().add("never started").add(static_cast<long long>(r.unstarted));
+      agg.row()
+          .add("node faults (down/up)")
+          .add(std::to_string(r.faults_down) + "/" +
+               std::to_string(r.faults_up));
+    }
+    agg.row()
+        .add("search nodes visited")
+        .add(static_cast<long long>(r.nodes_visited));
+    agg.row()
+        .add("paths explored")
+        .add(static_cast<long long>(r.paths_explored));
+    agg.row()
+        .add("think time total (ms)")
+        .add(static_cast<double>(r.think_time_us) / 1000.0, 1);
+    agg.row()
+        .add("max think time (us)")
+        .add(static_cast<long long>(r.max_think_time_us));
+    agg.row()
+        .add("max queue depth")
+        .add(static_cast<long long>(r.max_queue_depth));
+    agg.row()
+        .add("deadline hits")
+        .add(static_cast<long long>(r.deadline_hits));
+    agg.print(os);
+
+    MetricsSnapshot hists;
+    hists.histograms = {r.think_us_hist, r.nodes_hist, r.queue_hist,
+                        r.max_wait_hist};
+    hists.print(os);
+
+    if (!r.discrepancy_profile.empty()) {
+      os << "\nWinning-path discrepancies (" << r.decisions_with_search
+         << " search decisions):\n";
+      Table disc({"discrepancies", "decisions", "share"});
+      for (const auto& [d, n] : r.discrepancy_profile)
+        disc.row()
+            .add(static_cast<long long>(d))
+            .add(static_cast<long long>(n))
+            .add(format_double(100.0 * static_cast<double>(n) /
+                                   static_cast<double>(r.decisions_with_search),
+                               1) +
+                 "%");
+      disc.print(os);
+    }
+
+    if (r.improvements_total > 0) {
+      os << "\nAnytime profile (incumbent quality vs node budget; gaps are "
+            "means over decisions with an incumbent by that budget):\n";
+      Table any({"node budget", "decisions", "converged", "excess gap (h)",
+                 "bsld gap"});
+      for (const RunReport::AnytimePoint& pt : r.anytime) {
+        if (pt.with_incumbent == 0) continue;
+        const double n = static_cast<double>(pt.with_incumbent);
+        any.row()
+            .add(static_cast<long long>(pt.budget))
+            .add(static_cast<long long>(pt.with_incumbent))
+            .add(format_double(
+                     100.0 * static_cast<double>(pt.converged) / n, 1) +
+                 "%")
+            .add(pt.excess_gap_h / n, 4)
+            .add(pt.bsld_gap / n, 4);
+      }
+      any.print(os);
+    }
+  }
+}
+
+}  // namespace sbs::obs

@@ -1,0 +1,77 @@
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace sbs::obs {
+
+/// Everything reconstructed from one run's slice of a telemetry JSONL
+/// stream — no access to the live SimResult. The test suite asserts that
+/// the reconstructed aggregates equal the run's SchedulerStats exactly,
+/// which is what makes the event stream trustworthy as evidence.
+struct RunReport {
+  std::string trace;
+  std::string policy;
+  int capacity = 0;
+  std::uint64_t trace_jobs = 0;
+
+  // Job lifecycle tallies.
+  std::uint64_t submits = 0;
+  std::uint64_t starts = 0;       ///< start records (restarts count again)
+  std::uint64_t finishes = 0;
+  std::uint64_t kills = 0;
+  std::uint64_t requeues = 0;
+  std::uint64_t unstarted = 0;
+  std::uint64_t faults_down = 0;
+  std::uint64_t faults_up = 0;
+
+  // SchedulerStats reconstructed by summing per-decision deltas.
+  std::uint64_t decisions = 0;
+  std::uint64_t nodes_visited = 0;
+  std::uint64_t paths_explored = 0;
+  std::uint64_t think_time_us = 0;
+  std::uint64_t deadline_hits = 0;
+  std::uint64_t max_think_time_us = 0;
+  std::uint64_t max_queue_depth = 0;
+  std::uint64_t started_via_decisions = 0;  ///< sum of started[] lengths
+
+  // Distributions over decisions (same buckets as the live registry).
+  HistogramSnapshot think_us_hist;
+  HistogramSnapshot nodes_hist;
+  HistogramSnapshot queue_hist;
+  HistogramSnapshot max_wait_hist;
+
+  /// Anytime-improvement profile: at node budget `budget`, how close the
+  /// incumbent already was to the decision's final schedule, averaged over
+  /// the decisions whose search recorded at least one incumbent by then.
+  struct AnytimePoint {
+    std::uint64_t budget = 0;
+    std::uint64_t with_incumbent = 0;  ///< decisions with a value by then
+    std::uint64_t converged = 0;       ///< incumbent already == final
+    double excess_gap_h = 0.0;         ///< summed excess-vs-final gap
+    double bsld_gap = 0.0;             ///< summed avg-bsld-vs-final gap
+  };
+  std::vector<AnytimePoint> anytime;
+  std::uint64_t improvements_total = 0;
+  std::uint64_t decisions_with_search = 0;  ///< discrepancies >= 0
+
+  /// Winning-path discrepancy profile: discrepancy count -> decisions.
+  std::map<std::int64_t, std::uint64_t> discrepancy_profile;
+};
+
+/// Parses a telemetry JSONL file and aggregates per run. Throws sbs::Error
+/// on unreadable files, malformed lines, unknown record types, or missing
+/// schema fields — a telemetry file must be fully trustworthy or rejected.
+std::vector<RunReport> summarize_telemetry(const std::string& path);
+
+/// Human-readable report: per-run reconstructed aggregates, per-decision
+/// histograms, the anytime-improvement profile, and (for multi-run files)
+/// a cross-policy summary table.
+void print_report(const std::vector<RunReport>& runs, std::ostream& os);
+
+}  // namespace sbs::obs

@@ -1,0 +1,200 @@
+#include "obs/telemetry.hpp"
+
+namespace sbs::obs {
+
+namespace {
+
+// Bucket bounds sized to the quantities the paper discusses: think times of
+// tens of microseconds to tens of milliseconds, node budgets of 1K-100K,
+// queues of "at least 10 waiting jobs", waits of hours to days.
+constexpr double kThinkUsBounds[] = {10,    50,     100,    500,    1'000,
+                                     5'000, 10'000, 50'000, 100'000, 500'000};
+constexpr double kNodesBounds[] = {1,    10,    100,    500,     1'000,
+                                   4'000, 8'000, 32'000, 100'000};
+constexpr double kQueueBounds[] = {1, 2, 5, 10, 20, 50, 100, 200, 500};
+constexpr double kWaitHBounds[] = {0.25, 0.5, 1, 2, 4, 8, 16, 32, 64, 128};
+
+}  // namespace
+
+std::span<const double> think_us_bounds() { return kThinkUsBounds; }
+std::span<const double> nodes_per_decision_bounds() { return kNodesBounds; }
+std::span<const double> queue_depth_bounds() { return kQueueBounds; }
+std::span<const double> wait_h_bounds() { return kWaitHBounds; }
+
+Telemetry::Telemetry(std::unique_ptr<TraceSink> sink)
+    : sink_(std::move(sink)) {
+  decisions_ = &registry_.counter("sim.decisions");
+  deadline_hits_ = &registry_.counter("search.deadline_hits");
+  nodes_visited_ = &registry_.counter("search.nodes_visited");
+  paths_explored_ = &registry_.counter("search.paths_explored");
+  jobs_submitted_ = &registry_.counter("sim.jobs.submitted");
+  jobs_started_ = &registry_.counter("sim.jobs.started");
+  jobs_finished_ = &registry_.counter("sim.jobs.finished");
+  jobs_killed_ = &registry_.counter("sim.jobs.killed");
+  jobs_requeued_ = &registry_.counter("sim.jobs.requeued");
+  jobs_unstarted_ = &registry_.counter("sim.jobs.unstarted");
+  faults_down_ = &registry_.counter("sim.faults.node_down");
+  faults_up_ = &registry_.counter("sim.faults.node_up");
+  queue_depth_ = &registry_.gauge("sim.queue_depth");
+  free_nodes_ = &registry_.gauge("sim.free_nodes");
+  capacity_ = &registry_.gauge("sim.capacity");
+  think_us_ = &registry_.histogram("search.think_time_us", kThinkUsBounds);
+  nodes_per_decision_ =
+      &registry_.histogram("search.nodes_per_decision", kNodesBounds);
+  queue_at_decision_ =
+      &registry_.histogram("sim.queue_depth_at_decision", kQueueBounds);
+  max_wait_at_decision_ =
+      &registry_.histogram("sim.max_wait_h_at_decision", kWaitHBounds);
+}
+
+void Telemetry::emit() {
+  if (sink_) sink_->write(line_.str());
+  line_.clear();
+}
+
+void Telemetry::begin_run(const RunRecord& run) {
+  if (!sink_) return;
+  line_.clear();
+  line_.begin_object()
+      .field("type", "run")
+      .field("trace", run.trace)
+      .field("policy", run.policy)
+      .field("capacity", run.capacity)
+      .field("jobs", run.jobs)
+      .end_object();
+  emit();
+}
+
+void Telemetry::decision(const DecisionRecord& d) {
+  decisions_->add();
+  if (d.deadline_hit) deadline_hits_->add();
+  nodes_visited_->add(d.nodes_visited);
+  paths_explored_->add(d.paths_explored);
+  jobs_started_->add(d.started.size());
+  queue_depth_->set(d.queue_depth);
+  free_nodes_->set(d.free_nodes);
+  capacity_->set(d.capacity);
+  think_us_->observe(static_cast<double>(d.think_us));
+  nodes_per_decision_->observe(static_cast<double>(d.nodes_visited));
+  queue_at_decision_->observe(static_cast<double>(d.queue_depth));
+  max_wait_at_decision_->observe(d.max_wait_h);
+
+  if (!sink_) return;
+  line_.clear();
+  line_.begin_object()
+      .field("type", "decision")
+      .field("t", static_cast<std::int64_t>(d.now))
+      .field("policy", d.policy)
+      .field("queue_depth", d.queue_depth)
+      .field("free_nodes", d.free_nodes)
+      .field("capacity", d.capacity)
+      .field("max_wait_h", d.max_wait_h)
+      .field("nodes_visited", d.nodes_visited)
+      .field("paths_explored", d.paths_explored)
+      .field("iterations", d.iterations)
+      .field("discrepancies", d.discrepancies)
+      .field("deadline_hit", d.deadline_hit)
+      .field("think_us", d.think_us);
+  line_.key("started").begin_array();
+  for (const int id : d.started) line_.value(id);
+  line_.end_array();
+  line_.key("improvements").begin_array();
+  for (const ImprovementPoint& p : d.improvements) {
+    line_.begin_object()
+        .field("nodes", p.nodes)
+        .field("excess_h", p.excess_h)
+        .field("avg_bsld", p.avg_bsld)
+        .field("discrepancies", p.discrepancies)
+        .end_object();
+  }
+  line_.end_array().end_object();
+  emit();
+}
+
+void Telemetry::job_submitted(Time t, int job, int nodes, Time runtime,
+                              Time requested, int user) {
+  jobs_submitted_->add();
+  if (!sink_) return;
+  line_.clear();
+  line_.begin_object()
+      .field("type", "submit")
+      .field("t", static_cast<std::int64_t>(t))
+      .field("job", job)
+      .field("nodes", nodes)
+      .field("runtime", static_cast<std::int64_t>(runtime))
+      .field("requested", static_cast<std::int64_t>(requested))
+      .field("user", user)
+      .end_object();
+  emit();
+}
+
+void Telemetry::job_started(Time t, int job, int nodes) {
+  if (!sink_) return;  // counted in decision() via started.size()
+  line_.clear();
+  line_.begin_object()
+      .field("type", "start")
+      .field("t", static_cast<std::int64_t>(t))
+      .field("job", job)
+      .field("nodes", nodes)
+      .end_object();
+  emit();
+}
+
+void Telemetry::job_finished(Time t, int job) {
+  jobs_finished_->add();
+  if (!sink_) return;
+  line_.clear();
+  line_.begin_object()
+      .field("type", "finish")
+      .field("t", static_cast<std::int64_t>(t))
+      .field("job", job)
+      .end_object();
+  emit();
+}
+
+void Telemetry::job_killed(Time t, int job, bool requeued) {
+  jobs_killed_->add();
+  if (requeued) jobs_requeued_->add();
+  if (!sink_) return;
+  line_.clear();
+  line_.begin_object()
+      .field("type", "kill")
+      .field("t", static_cast<std::int64_t>(t))
+      .field("job", job)
+      .field("requeued", requeued)
+      .end_object();
+  emit();
+}
+
+void Telemetry::job_unstarted(Time t, int job) {
+  jobs_unstarted_->add();
+  if (!sink_) return;
+  line_.clear();
+  line_.begin_object()
+      .field("type", "unstarted")
+      .field("t", static_cast<std::int64_t>(t))
+      .field("job", job)
+      .end_object();
+  emit();
+}
+
+void Telemetry::node_fault(Time t, bool down, int nodes, int capacity_after) {
+  (down ? faults_down_ : faults_up_)->add();
+  capacity_->set(capacity_after);
+  if (!sink_) return;
+  line_.clear();
+  line_.begin_object()
+      .field("type", "fault")
+      .field("t", static_cast<std::int64_t>(t))
+      .field("kind", down ? "node_down" : "node_up")
+      .field("nodes", nodes)
+      .field("capacity", capacity_after)
+      .end_object();
+  emit();
+}
+
+void Telemetry::flush() {
+  if (sink_) sink_->flush();
+}
+
+}  // namespace sbs::obs

@@ -1,0 +1,89 @@
+#pragma once
+
+#include <memory>
+
+#include "obs/events.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace_sink.hpp"
+
+namespace sbs::obs {
+
+/// Canonical histogram bucket bounds, shared by the live registry and the
+/// offline report so both render identical tables.
+std::span<const double> think_us_bounds();
+std::span<const double> nodes_per_decision_bounds();
+std::span<const double> queue_depth_bounds();
+std::span<const double> wait_h_bounds();
+
+/// Decision-level telemetry front end: one call per scheduling event / job
+/// lifecycle transition / fault. Every call updates the metrics registry
+/// (cheap counters + fixed-bucket histograms) and, when a sink is attached,
+/// appends one JSONL record. Attach via SimConfig::telemetry; a null
+/// pointer there keeps the simulator's hot path entirely untouched.
+///
+/// JSONL schema (one object per line, discriminated by "type"):
+///   run       trace, policy, capacity, jobs
+///   decision  t, policy, queue_depth, free_nodes, capacity, max_wait_h,
+///             nodes_visited, paths_explored, iterations, discrepancies,
+///             deadline_hit, think_us, started[], improvements[]
+///   submit    t, job, nodes, runtime, requested, user
+///   start     t, job, nodes
+///   finish    t, job
+///   kill      t, job, requeued
+///   unstarted t, job
+///   fault     t, kind ("node_down"|"node_up"), nodes, capacity
+/// Field-by-field documentation lives in docs/architecture.md.
+class Telemetry {
+ public:
+  /// `sink` may be null: metrics only, no event stream.
+  explicit Telemetry(std::unique_ptr<TraceSink> sink = nullptr);
+
+  MetricsRegistry& metrics() { return registry_; }
+  const MetricsRegistry& metrics() const { return registry_; }
+  bool has_sink() const { return sink_ != nullptr; }
+
+  void begin_run(const RunRecord& run);
+  void decision(const DecisionRecord& d);
+  void job_submitted(Time t, int job, int nodes, Time runtime, Time requested,
+                     int user);
+  void job_started(Time t, int job, int nodes);
+  void job_finished(Time t, int job);
+  void job_killed(Time t, int job, bool requeued);
+  void job_unstarted(Time t, int job);
+  void node_fault(Time t, bool down, int nodes, int capacity_after);
+
+  /// Drains the sink's buffer to disk. Called by the simulator at the end
+  /// of every run so the file is complete between runs.
+  void flush();
+
+ private:
+  void emit();  ///< writes line_ to the sink and clears it
+
+  MetricsRegistry registry_;
+  std::unique_ptr<TraceSink> sink_;
+  JsonWriter line_;
+
+  // Hot-path instrument handles, resolved once at construction.
+  Counter* decisions_;
+  Counter* deadline_hits_;
+  Counter* nodes_visited_;
+  Counter* paths_explored_;
+  Counter* jobs_submitted_;
+  Counter* jobs_started_;
+  Counter* jobs_finished_;
+  Counter* jobs_killed_;
+  Counter* jobs_requeued_;
+  Counter* jobs_unstarted_;
+  Counter* faults_down_;
+  Counter* faults_up_;
+  Gauge* queue_depth_;
+  Gauge* free_nodes_;
+  Gauge* capacity_;
+  Histogram* think_us_;
+  Histogram* nodes_per_decision_;
+  Histogram* queue_at_decision_;
+  Histogram* max_wait_at_decision_;
+};
+
+}  // namespace sbs::obs

@@ -1,0 +1,38 @@
+#include "obs/trace_sink.hpp"
+
+#include "util/error.hpp"
+
+namespace sbs::obs {
+
+namespace {
+constexpr std::size_t kFlushThreshold = 64 * 1024;
+}
+
+JsonlSink::JsonlSink(const std::string& path) : path_(path), out_(path) {
+  SBS_CHECK_MSG(out_.is_open(), "cannot open telemetry file " << path);
+  buffer_.reserve(2 * kFlushThreshold);
+}
+
+JsonlSink::~JsonlSink() { flush(); }
+
+void JsonlSink::write(std::string_view json_line) {
+  std::lock_guard<std::mutex> lock(mu_);
+  buffer_.append(json_line);
+  buffer_.push_back('\n');
+  ++lines_;
+  if (buffer_.size() >= kFlushThreshold) {
+    out_.write(buffer_.data(), static_cast<std::streamsize>(buffer_.size()));
+    buffer_.clear();
+  }
+}
+
+void JsonlSink::flush() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!buffer_.empty()) {
+    out_.write(buffer_.data(), static_cast<std::streamsize>(buffer_.size()));
+    buffer_.clear();
+  }
+  out_.flush();
+}
+
+}  // namespace sbs::obs

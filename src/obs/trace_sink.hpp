@@ -1,0 +1,45 @@
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+namespace sbs::obs {
+
+/// Destination for structured telemetry records. Implementations receive
+/// one complete JSON object per call (no trailing newline) and decide how
+/// to persist it.
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+
+  virtual void write(std::string_view json_line) = 0;
+  virtual void flush() {}
+};
+
+/// Buffered JSON-Lines file sink: records accumulate in memory and are
+/// written in ~64 KiB chunks, so per-event cost is an append, not a
+/// syscall. flush() drains the buffer and flushes the stream; the
+/// destructor flushes too, so a sink going out of scope never loses lines.
+class JsonlSink final : public TraceSink {
+ public:
+  explicit JsonlSink(const std::string& path);
+  ~JsonlSink() override;
+
+  void write(std::string_view json_line) override;
+  void flush() override;
+
+  const std::string& path() const { return path_; }
+  std::uint64_t lines_written() const { return lines_; }
+
+ private:
+  std::string path_;
+  std::ofstream out_;
+  std::string buffer_;
+  std::uint64_t lines_ = 0;
+  std::mutex mu_;
+};
+
+}  // namespace sbs::obs

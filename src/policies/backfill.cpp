@@ -1,6 +1,7 @@
 #include "policies/backfill.hpp"
 
 #include <algorithm>
+#include <chrono>
 
 #include "util/error.hpp"
 
@@ -11,32 +12,43 @@ BackfillScheduler::BackfillScheduler(BackfillConfig config) : config_(config) {
 }
 
 std::vector<int> BackfillScheduler::select_jobs(const SchedulerState& state) {
+  const auto t0 = std::chrono::steady_clock::now();
   ++stats_.decisions;
+  stats_.max_queue_depth =
+      std::max<std::uint64_t>(stats_.max_queue_depth, state.waiting.size());
   std::vector<int> started;
-  if (state.waiting.empty()) return started;
 
-  ResourceProfile profile =
-      profile_from_running(state.capacity, state.now, state.running);
+  if (!state.waiting.empty()) {
+    ResourceProfile profile =
+        profile_from_running(state.capacity, state.now, state.running);
 
-  const auto order = priority_order(config_.priority, state.waiting, state.now,
-                                    config_.wait_weight);
-  int reservations_made = 0;
-  for (std::size_t idx : order) {
-    const WaitingJob& w = state.waiting[idx];
-    if (w.job->nodes > state.capacity) continue;  // parked until nodes return
-    const Time est = std::max<Time>(w.estimate, 1);
-    const Time t = profile.earliest_start(state.now, w.job->nodes, est);
-    if (t == state.now) {
-      profile.reserve(t, w.job->nodes, est);
-      started.push_back(w.job->id);
-    } else if (reservations_made < config_.reservations) {
-      profile.reserve(t, w.job->nodes, est);
-      ++reservations_made;
+    const auto order = priority_order(config_.priority, state.waiting,
+                                      state.now, config_.wait_weight);
+    int reservations_made = 0;
+    for (std::size_t idx : order) {
+      const WaitingJob& w = state.waiting[idx];
+      if (w.job->nodes > state.capacity) continue;  // parked until nodes return
+      const Time est = std::max<Time>(w.estimate, 1);
+      const Time t = profile.earliest_start(state.now, w.job->nodes, est);
+      if (t == state.now) {
+        profile.reserve(t, w.job->nodes, est);
+        started.push_back(w.job->id);
+      } else if (reservations_made < config_.reservations) {
+        profile.reserve(t, w.job->nodes, est);
+        ++reservations_made;
+      }
+      // Jobs beyond the reservation quota that cannot start now are skipped;
+      // they may only backfill, which the t == now branch covers because the
+      // profile already carries every reservation made so far.
     }
-    // Jobs beyond the reservation quota that cannot start now are skipped;
-    // they may only backfill, which the t == now branch covers because the
-    // profile already carries every reservation made so far.
   }
+
+  const auto think_us = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - t0)
+          .count());
+  stats_.think_time_us += think_us;
+  stats_.max_think_time_us = std::max(stats_.max_think_time_us, think_us);
   return started;
 }
 

@@ -7,6 +7,7 @@
 
 #include "cluster/resource_profile.hpp"
 #include "jobs/job.hpp"
+#include "obs/events.hpp"
 
 namespace sbs {
 
@@ -51,6 +52,20 @@ struct SchedulerStats {
   std::uint64_t deadline_hits = 0;  ///< decisions where the search hit its
                                     ///  wall-clock deadline and degraded to
                                     ///  the best-so-far (anytime) schedule
+  std::uint64_t max_think_time_us = 0;  ///< slowest single decision
+  std::uint64_t max_queue_depth = 0;    ///< deepest queue seen at a decision
+};
+
+/// Per-decision search detail a policy may expose for telemetry: the
+/// iteration count, the winning path's discrepancy count, and the anytime
+/// improvement timeline. Cumulative counters (nodes, paths, think time)
+/// are NOT duplicated here — the simulator derives per-decision deltas
+/// from stats(), which keeps the event stream reconcilable with the run
+/// aggregates by construction.
+struct DecisionDetail {
+  std::uint64_t iterations = 0;
+  std::int64_t discrepancies = -1;  ///< winning path; -1 = not a search
+  std::vector<obs::ImprovementPoint> improvements;
 };
 
 /// Non-preemptive scheduling policy. At each event the simulator calls
@@ -67,6 +82,13 @@ class Scheduler {
   virtual std::string name() const = 0;
 
   virtual SchedulerStats stats() const { return {}; }
+
+  /// Telemetry opt-in. The simulator enables detail collection once per
+  /// run when a telemetry sink is attached; policies that keep per-decision
+  /// detail then make it retrievable via last_decision() until the next
+  /// select_jobs() call. Default: no detail, zero bookkeeping.
+  virtual void set_collect_decision_detail(bool) {}
+  virtual const DecisionDetail* last_decision() const { return nullptr; }
 };
 
 /// Builds the free-node profile implied by the running jobs: full capacity

@@ -4,6 +4,7 @@
 #include <limits>
 #include <queue>
 
+#include "obs/telemetry.hpp"
 #include "util/error.hpp"
 
 namespace sbs {
@@ -60,6 +61,15 @@ SimResult simulate(const Trace& trace, Scheduler& scheduler,
   std::size_t events = 0;
   result.fault_stats.min_capacity = trace.capacity;
 
+  obs::Telemetry* const tel = config.telemetry;
+  std::string policy_name;
+  if (tel) {
+    policy_name = scheduler.name();
+    scheduler.set_collect_decision_detail(true);
+    tel->begin_run(obs::RunRecord{trace.name, policy_name, trace.capacity,
+                                  jobs.size()});
+  }
+
   // Time-weighted queue length restricted to the metrics window.
   double queue_area = 0.0;
   Time last_event = jobs.empty() ? trace.window_begin : jobs.front().submit;
@@ -88,6 +98,7 @@ SimResult simulate(const Trace& trace, Scheduler& scheduler,
         static_cast<double>(now - running[ri].start);
     ++attempt[static_cast<std::size_t>(j.id)];
     ++result.fault_stats.jobs_killed;
+    if (tel) tel->job_killed(now, j.id, config.requeue == RequeuePolicy::Resubmit);
     if (config.requeue == RequeuePolicy::Resubmit) {
       ++oc.requeue_count;
       ++result.fault_stats.jobs_requeued;
@@ -135,6 +146,7 @@ SimResult simulate(const Trace& trace, Scheduler& scheduler,
       SBS_CHECK_MSG(it != running.end(), "completion for unknown job " << id);
       if (config.predictor)
         config.predictor->observe(*it->job, effective_runtime(*it->job));
+      if (tel) tel->job_finished(now, id);
       used_nodes -= it->job->nodes;
       *it = running.back();
       running.pop_back();
@@ -146,6 +158,8 @@ SimResult simulate(const Trace& trace, Scheduler& scheduler,
       if (f.kind == FaultKind::NodeDown) {
         down_nodes = std::min(trace.capacity, down_nodes + f.nodes);
         ++result.fault_stats.node_failures;
+        if (tel)
+          tel->node_fault(now, true, f.nodes, trace.capacity - down_nodes);
         // Shrink below the running set: kill the most recently started
         // jobs (least work lost) until the survivors fit.
         while (used_nodes > trace.capacity - down_nodes && !running.empty()) {
@@ -161,6 +175,8 @@ SimResult simulate(const Trace& trace, Scheduler& scheduler,
       } else if (f.kind == FaultKind::NodeUp) {
         down_nodes = std::max(0, down_nodes - f.nodes);
         ++result.fault_stats.node_recoveries;
+        if (tel)
+          tel->node_fault(now, false, f.nodes, trace.capacity - down_nodes);
       } else {  // JobKill
         if (running.empty()) continue;
         std::size_t victim = running.size();
@@ -182,6 +198,8 @@ SimResult simulate(const Trace& trace, Scheduler& scheduler,
     while (next_arrival < jobs.size() && jobs[next_arrival].submit == now) {
       const Job& j = jobs[next_arrival++];
       waiting.push_back(WaitingJob{&j, estimate_of(j)});
+      if (tel)
+        tel->job_submitted(now, j.id, j.nodes, j.runtime, j.requested, j.user);
     }
 
     // Requeued jobs keep their original submit time, so restoring FCFS
@@ -209,7 +227,41 @@ SimResult simulate(const Trace& trace, Scheduler& scheduler,
     state.waiting = waiting;
     state.running = running;
 
+    // Queue shape must be captured before select_jobs: dispatching below
+    // swap-erases `waiting`.
+    double max_wait_h = 0.0;
+    SchedulerStats before;
+    if (tel) {
+      for (const WaitingJob& w : waiting)
+        max_wait_h = std::max(max_wait_h, to_hours(now - w.job->submit));
+      before = scheduler.stats();
+    }
+
     const std::vector<int> chosen = scheduler.select_jobs(state);
+
+    if (tel) {
+      // Per-decision deltas of the cumulative SchedulerStats: summing the
+      // decision records of a run reproduces the aggregates exactly.
+      const SchedulerStats after = scheduler.stats();
+      obs::DecisionRecord d;
+      d.now = now;
+      d.policy = policy_name;
+      d.queue_depth = static_cast<int>(state.waiting.size());
+      d.free_nodes = state.free_nodes;
+      d.capacity = capacity;
+      d.max_wait_h = max_wait_h;
+      d.nodes_visited = after.nodes_visited - before.nodes_visited;
+      d.paths_explored = after.paths_explored - before.paths_explored;
+      d.deadline_hit = after.deadline_hits > before.deadline_hits;
+      d.think_us = after.think_time_us - before.think_time_us;
+      if (const DecisionDetail* detail = scheduler.last_decision()) {
+        d.iterations = detail->iterations;
+        d.discrepancies = detail->discrepancies;
+        d.improvements = detail->improvements;
+      }
+      d.started = chosen;
+      tel->decision(d);
+    }
 
     int chosen_nodes = 0;
     for (int id : chosen) {
@@ -224,6 +276,7 @@ SimResult simulate(const Trace& trace, Scheduler& scheduler,
                                      << now);
       running.push_back(RunningJob{&j, now, now + it->estimate});
       used_nodes += j.nodes;
+      if (tel) tel->job_started(now, j.id, j.nodes);
       const Time occupied = effective_runtime(j);
       completions.push(Completion{now + occupied, j.id,
                                   attempt[static_cast<std::size_t>(j.id)]});
@@ -261,6 +314,7 @@ SimResult simulate(const Trace& trace, Scheduler& scheduler,
     oc.completed = false;
     oc.start = oc.end = w.job->submit;
     ++result.fault_stats.jobs_unstarted;
+    if (tel) tel->job_unstarted(last_event, w.job->id);
   }
 
   const double window =
@@ -270,6 +324,7 @@ SimResult simulate(const Trace& trace, Scheduler& scheduler,
   if (result.decision_stats.decisions > 0)
     result.decision_stats.mean_waiting /=
         static_cast<double>(result.decision_stats.decisions);
+  if (tel) tel->flush();
   return result;
 }
 

@@ -10,6 +10,10 @@
 
 namespace sbs {
 
+namespace obs {
+class Telemetry;
+}
+
 /// What happens to a running job killed by a fault event.
 enum class RequeuePolicy {
   Resubmit,  ///< the job returns to the queue (original submit time, so it
@@ -45,6 +49,11 @@ struct SimConfig {
 
   /// Fate of jobs killed by faults.
   RequeuePolicy requeue = RequeuePolicy::Resubmit;
+
+  /// Optional decision-level telemetry (metrics registry + JSONL event
+  /// stream). Not owned; must outlive the simulation. nullptr (the
+  /// default) reduces every hook to one pointer test.
+  obs::Telemetry* telemetry = nullptr;
 };
 
 /// Queue-depth statistics at scheduling decision points (the paper §2.2

@@ -1,0 +1,425 @@
+// Telemetry subsystem tests: instrument semantics, snapshot isolation,
+// the JSON writer/parser pair, the JSONL sink, and — most importantly —
+// end-to-end reconciliation: every aggregate `sbsched report` rebuilds
+// from the event stream must equal the live SimResult exactly.
+
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/search_scheduler.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/report.hpp"
+#include "obs/telemetry.hpp"
+#include "obs/trace_sink.hpp"
+#include "policies/backfill.hpp"
+#include "sim/faults.hpp"
+#include "sim/simulator.hpp"
+#include "test_support.hpp"
+#include "util/error.hpp"
+
+namespace sbs {
+namespace {
+
+using test::job;
+using test::trace_of;
+
+// ---------------------------------------------------------------------------
+// Metrics registry
+
+TEST(Counter, AccumulatesAdds) {
+  obs::Counter c("events");
+  EXPECT_EQ(c.value(), 0u);
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+  EXPECT_EQ(c.name(), "events");
+}
+
+TEST(Gauge, TracksLastValueAndMax) {
+  obs::Gauge g("depth");
+  g.set(3);
+  g.set(17);
+  g.set(5);
+  EXPECT_EQ(g.value(), 5);
+  EXPECT_EQ(g.max(), 17);
+}
+
+TEST(Histogram, PlacesValuesInInclusiveBuckets) {
+  const double bounds[] = {1.0, 10.0, 100.0};
+  obs::Histogram h("lat", bounds);
+  h.observe(0.5);    // <= 1
+  h.observe(1.0);    // <= 1 (inclusive upper bound)
+  h.observe(10.0);   // <= 10
+  h.observe(99.0);   // <= 100
+  h.observe(1000.0); // overflow
+
+  const obs::HistogramSnapshot s = h.snapshot();
+  ASSERT_EQ(s.counts.size(), 4u);  // 3 buckets + overflow
+  EXPECT_EQ(s.counts[0], 2u);
+  EXPECT_EQ(s.counts[1], 1u);
+  EXPECT_EQ(s.counts[2], 1u);
+  EXPECT_EQ(s.counts[3], 1u);
+  EXPECT_EQ(s.count, 5u);
+  EXPECT_DOUBLE_EQ(s.sum, 0.5 + 1.0 + 10.0 + 99.0 + 1000.0);
+  EXPECT_DOUBLE_EQ(s.min, 0.5);
+  EXPECT_DOUBLE_EQ(s.max, 1000.0);
+  EXPECT_DOUBLE_EQ(s.mean(), s.sum / 5.0);
+}
+
+TEST(MetricsRegistry, ReturnsSameInstrumentPerName) {
+  obs::MetricsRegistry reg;
+  obs::Counter& a = reg.counter("x");
+  obs::Counter& b = reg.counter("x");
+  EXPECT_EQ(&a, &b);
+  a.add(7);
+  EXPECT_EQ(b.value(), 7u);
+
+  const double bounds[] = {1.0, 2.0};
+  obs::Histogram& h1 = reg.histogram("h", bounds);
+  obs::Histogram& h2 = reg.histogram("h", {});  // bounds ignored on reuse
+  EXPECT_EQ(&h1, &h2);
+}
+
+TEST(MetricsRegistry, SnapshotIsIsolatedFromLaterUpdates) {
+  obs::MetricsRegistry reg;
+  obs::Counter& c = reg.counter("n");
+  obs::Gauge& g = reg.gauge("q");
+  const double bounds[] = {10.0};
+  obs::Histogram& h = reg.histogram("t", bounds);
+  c.add(5);
+  g.set(2);
+  h.observe(3.0);
+
+  const obs::MetricsSnapshot snap = reg.snapshot();
+  c.add(100);
+  g.set(99);
+  h.observe(50.0);
+
+  ASSERT_EQ(snap.counters.size(), 1u);
+  EXPECT_EQ(snap.counters[0].value, 5u);
+  ASSERT_EQ(snap.gauges.size(), 1u);
+  EXPECT_EQ(snap.gauges[0].value, 2);
+  EXPECT_EQ(snap.gauges[0].max, 2);
+  EXPECT_TRUE(snap.gauges[0].ever_set);
+  ASSERT_EQ(snap.histograms.size(), 1u);
+  EXPECT_EQ(snap.histograms[0].count, 1u);
+  EXPECT_DOUBLE_EQ(snap.histograms[0].sum, 3.0);
+}
+
+TEST(MetricsSnapshot, ToJsonParses) {
+  obs::MetricsRegistry reg;
+  reg.counter("sim.decisions").add(3);
+  reg.gauge("sim.queue_depth").set(4);
+  const double bounds[] = {1.0, 5.0};
+  reg.histogram("search.think", bounds).observe(2.0);
+
+  const obs::JsonValue v = obs::parse_json(reg.snapshot().to_json());
+  ASSERT_TRUE(v.is_object());
+  const obs::JsonValue* counters = v.find("counters");
+  ASSERT_NE(counters, nullptr);
+  ASSERT_NE(counters->find("sim.decisions"), nullptr);
+  EXPECT_EQ(counters->find("sim.decisions")->as_int(), 3);
+  const obs::JsonValue* hists = v.find("histograms");
+  ASSERT_NE(hists, nullptr);
+  ASSERT_NE(hists->find("search.think"), nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// JSON writer and parser
+
+TEST(JsonWriter, EmitsCompactNestedDocument) {
+  obs::JsonWriter w;
+  w.begin_object()
+      .field("type", "decision")
+      .field("ok", true)
+      .field("n", std::uint64_t{7})
+      .key("xs")
+      .begin_array()
+      .value(1)
+      .value(2)
+      .end_array()
+      .end_object();
+  EXPECT_EQ(w.str(), R"({"type":"decision","ok":true,"n":7,"xs":[1,2]})");
+}
+
+TEST(JsonWriter, EscapesStringsAndRoundTrips) {
+  obs::JsonWriter w;
+  w.begin_object().field("s", "a\"b\\c\nd\ttab").end_object();
+  const obs::JsonValue v = obs::parse_json(w.str());
+  ASSERT_NE(v.find("s"), nullptr);
+  EXPECT_EQ(v.find("s")->as_string(), "a\"b\\c\nd\ttab");
+}
+
+TEST(JsonParser, RejectsMalformedInput) {
+  EXPECT_THROW(obs::parse_json("{"), Error);
+  EXPECT_THROW(obs::parse_json("{\"a\":1} trailing"), Error);
+  EXPECT_THROW(obs::parse_json("[1,]"), Error);
+  EXPECT_THROW(obs::parse_json(""), Error);
+}
+
+TEST(JsonParser, ParsesNumbersAndNull) {
+  const obs::JsonValue v =
+      obs::parse_json(R"({"a":-2.5,"b":1e3,"c":null,"d":false})");
+  EXPECT_DOUBLE_EQ(v.find("a")->as_double(), -2.5);
+  EXPECT_DOUBLE_EQ(v.find("b")->as_double(), 1000.0);
+  EXPECT_EQ(v.find("c")->kind, obs::JsonValue::Kind::Null);
+  EXPECT_FALSE(v.find("d")->as_bool());
+}
+
+// ---------------------------------------------------------------------------
+// JSONL sink
+
+TEST(JsonlSink, WritesOneLinePerRecord) {
+  const std::string path =
+      testing::TempDir() + "/sbs_test_sink.jsonl";
+  {
+    obs::JsonlSink sink(path);
+    sink.write(R"({"a":1})");
+    sink.write(R"({"b":2})");
+    EXPECT_EQ(sink.lines_written(), 2u);
+  }  // destructor flushes
+  std::ifstream in(path);
+  std::string line;
+  std::vector<std::string> lines;
+  while (std::getline(in, line)) lines.push_back(line);
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[0], R"({"a":1})");
+  EXPECT_EQ(lines[1], R"({"b":2})");
+  std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end: simulate with telemetry, then reconcile the event stream
+
+Trace bursty_trace() {
+  // Enough contention that the search actually explores: bursts of mixed
+  // widths on a small machine.
+  std::vector<Job> jobs;
+  int id = 0;
+  for (int burst = 0; burst < 6; ++burst) {
+    const Time t = burst * 600;
+    jobs.push_back(job(id++, t, 8, 1800));
+    jobs.push_back(job(id++, t, 4, 900));
+    jobs.push_back(job(id++, t + 60, 2, 3600));
+    jobs.push_back(job(id++, t + 120, 14, 600));
+  }
+  return trace_of(std::move(jobs), 16);
+}
+
+struct TelemetryRun {
+  SimResult result;
+  std::string policy_name;
+  std::vector<obs::JsonValue> records;
+  obs::RunReport report;
+};
+
+TelemetryRun run_with_telemetry(const Trace& trace, Scheduler& scheduler,
+                                SimConfig sim, const std::string& tag) {
+  const std::string path = testing::TempDir() + "/sbs_tel_" + tag + ".jsonl";
+  obs::Telemetry tel(std::make_unique<obs::JsonlSink>(path));
+  sim.telemetry = &tel;
+
+  TelemetryRun out;
+  out.result = simulate(trace, scheduler, sim);
+  out.policy_name = scheduler.name();
+
+  std::ifstream in(path);
+  std::string line;
+  while (std::getline(in, line)) out.records.push_back(obs::parse_json(line));
+
+  const std::vector<obs::RunReport> runs = obs::summarize_telemetry(path);
+  EXPECT_EQ(runs.size(), 1u);
+  out.report = runs.front();
+  std::remove(path.c_str());
+  return out;
+}
+
+// Every record type carries its documented fields (spot-check the schema).
+void check_schema(const std::vector<obs::JsonValue>& records) {
+  static const std::set<std::string> known = {
+      "run", "decision", "submit", "start", "finish",
+      "kill", "unstarted", "fault"};
+  ASSERT_FALSE(records.empty());
+  EXPECT_EQ(records.front().find("type")->as_string(), "run");
+  for (const obs::JsonValue& rec : records) {
+    ASSERT_TRUE(rec.is_object());
+    const obs::JsonValue* type = rec.find("type");
+    ASSERT_NE(type, nullptr);
+    ASSERT_TRUE(known.count(type->as_string()))
+        << "unknown record type " << type->as_string();
+    if (type->as_string() == "decision") {
+      for (const char* key :
+           {"t", "policy", "queue_depth", "free_nodes", "capacity",
+            "max_wait_h", "nodes_visited", "paths_explored", "iterations",
+            "discrepancies", "deadline_hit", "think_us", "started",
+            "improvements"})
+        EXPECT_NE(rec.find(key), nullptr) << "decision lacks " << key;
+    } else if (type->as_string() != "run") {
+      EXPECT_NE(rec.find("t"), nullptr);
+    }
+  }
+}
+
+// The reconstructed aggregates must equal the live run's exactly — the
+// decision records carry per-decision deltas of SchedulerStats, so the
+// sums match by construction, and any drift is an instrumentation bug.
+void check_reconciliation(const TelemetryRun& run, const Trace& trace) {
+  const SchedulerStats& live = run.result.sched_stats;
+  const obs::RunReport& rep = run.report;
+
+  EXPECT_EQ(rep.trace, trace.name);
+  EXPECT_EQ(rep.policy, run.policy_name);
+  EXPECT_EQ(rep.capacity, trace.capacity);
+  EXPECT_EQ(rep.trace_jobs, trace.jobs.size());
+
+  EXPECT_EQ(rep.decisions, live.decisions);
+  EXPECT_EQ(rep.nodes_visited, live.nodes_visited);
+  EXPECT_EQ(rep.paths_explored, live.paths_explored);
+  EXPECT_EQ(rep.think_time_us, live.think_time_us);
+  EXPECT_EQ(rep.deadline_hits, live.deadline_hits);
+  EXPECT_EQ(rep.max_think_time_us, live.max_think_time_us);
+  EXPECT_EQ(rep.max_queue_depth, live.max_queue_depth);
+
+  EXPECT_EQ(rep.submits, trace.jobs.size());
+  EXPECT_EQ(rep.starts, rep.started_via_decisions);
+
+  const FaultStats& faults = run.result.fault_stats;
+  EXPECT_EQ(rep.kills, faults.jobs_killed);
+  EXPECT_EQ(rep.requeues, faults.jobs_requeued);
+  EXPECT_EQ(rep.unstarted, faults.jobs_unstarted);
+  EXPECT_EQ(rep.faults_down, faults.node_failures);
+  EXPECT_EQ(rep.faults_up, faults.node_recoveries);
+
+  // Every started attempt terminates as exactly one finish or one kill
+  // (the drain completes all surviving runs).
+  EXPECT_EQ(rep.starts, rep.finishes + rep.kills);
+}
+
+TEST(TelemetryEndToEnd, SearchPolicyStreamReconciles) {
+  const Trace trace = bursty_trace();
+  SearchSchedulerConfig cfg;
+  cfg.search.node_limit = 500;
+  SearchScheduler scheduler(cfg);
+
+  const TelemetryRun run = run_with_telemetry(trace, scheduler, {}, "search");
+  check_schema(run.records);
+  check_reconciliation(run, trace);
+
+  // Fault-free run: every job starts and finishes exactly once.
+  EXPECT_EQ(run.report.starts, trace.jobs.size());
+  EXPECT_EQ(run.report.finishes, trace.jobs.size());
+  EXPECT_EQ(run.report.kills, 0u);
+  EXPECT_EQ(run.report.unstarted, 0u);
+
+  // A search policy reports search evidence: visited nodes, improvements,
+  // and winning-path discrepancy counts on searched decisions.
+  EXPECT_GT(run.report.nodes_visited, 0u);
+  EXPECT_GT(run.report.improvements_total, 0u);
+  EXPECT_GT(run.report.decisions_with_search, 0u);
+
+  // Lifecycle events appear exactly once per transition.
+  std::set<int> started_ids;
+  for (const obs::JsonValue& rec : run.records) {
+    if (rec.find("type")->as_string() != "start") continue;
+    const int id = static_cast<int>(rec.find("job")->as_int());
+    EXPECT_TRUE(started_ids.insert(id).second)
+        << "job " << id << " started twice without a kill";
+  }
+  EXPECT_EQ(started_ids.size(), trace.jobs.size());
+}
+
+TEST(TelemetryEndToEnd, BackfillPolicyStreamReconciles) {
+  const Trace trace = bursty_trace();
+  BackfillScheduler scheduler;
+
+  const TelemetryRun run =
+      run_with_telemetry(trace, scheduler, {}, "backfill");
+  check_schema(run.records);
+  check_reconciliation(run, trace);
+
+  // Non-search policy: zero search counters, every decision discrepancy
+  // field is the -1 sentinel (so none count as search decisions).
+  EXPECT_EQ(run.report.nodes_visited, 0u);
+  EXPECT_EQ(run.report.decisions_with_search, 0u);
+  for (const obs::JsonValue& rec : run.records) {
+    if (rec.find("type")->as_string() != "decision") continue;
+    EXPECT_EQ(rec.find("discrepancies")->as_int(), -1);
+  }
+}
+
+TEST(TelemetryEndToEnd, FaultRunRecordsKillsAndFaults) {
+  const Trace trace = bursty_trace();
+  // Deterministic fault script: take 8 nodes down mid-run, restore later.
+  FaultInjector injector = FaultInjector::from_events({
+      FaultEvent{900, FaultKind::NodeDown, 8, -1, 0},
+      FaultEvent{2400, FaultKind::NodeUp, 8, -1, 0},
+  });
+  SimConfig sim;
+  sim.faults = &injector;
+
+  SearchSchedulerConfig cfg;
+  cfg.search.node_limit = 200;
+  SearchScheduler scheduler(cfg);
+  const TelemetryRun run =
+      run_with_telemetry(trace, scheduler, sim, "faults");
+  check_schema(run.records);
+  check_reconciliation(run, trace);
+
+  EXPECT_EQ(run.report.faults_down, 1u);
+  EXPECT_EQ(run.report.faults_up, 1u);
+  EXPECT_EQ(run.report.kills, run.result.fault_stats.jobs_killed);
+  // Requeued jobs start again: start records exceed submits by the number
+  // of restarts.
+  EXPECT_EQ(run.report.starts,
+            trace.jobs.size() + run.report.requeues - run.report.unstarted);
+}
+
+TEST(TelemetryEndToEnd, MetricsOnlyModeNeedsNoSink) {
+  const Trace trace = bursty_trace();
+  BackfillScheduler scheduler;
+  obs::Telemetry tel;  // no sink: registry only
+  SimConfig sim;
+  sim.telemetry = &tel;
+  const SimResult r = simulate(trace, scheduler, sim);
+
+  EXPECT_FALSE(tel.has_sink());
+  const obs::MetricsSnapshot snap = tel.metrics().snapshot();
+  const auto counter = [&](std::string_view name) -> std::uint64_t {
+    for (const auto& c : snap.counters)
+      if (c.name == name) return c.value;
+    return 0;
+  };
+  EXPECT_EQ(counter("sim.decisions"), r.sched_stats.decisions);
+  EXPECT_EQ(counter("sim.jobs.submitted"), trace.jobs.size());
+  EXPECT_EQ(counter("sim.jobs.started"), trace.jobs.size());
+  EXPECT_EQ(counter("sim.jobs.finished"), trace.jobs.size());
+}
+
+TEST(TelemetryReport, RejectsMalformedStreams) {
+  const std::string path = testing::TempDir() + "/sbs_tel_bad.jsonl";
+  {
+    std::ofstream out(path);
+    out << R"({"type":"decision"})" << '\n';  // before any run record
+  }
+  EXPECT_THROW(obs::summarize_telemetry(path), Error);
+  {
+    std::ofstream out(path);
+    out << "not json" << '\n';
+  }
+  EXPECT_THROW(obs::summarize_telemetry(path), Error);
+  {
+    std::ofstream out(path);
+    out << R"({"type":"mystery"})" << '\n';
+  }
+  EXPECT_THROW(obs::summarize_telemetry(path), Error);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace sbs

@@ -12,14 +12,22 @@
 //            [--load=0.9] [--classes] [--timeline=out.csv]
 //            [--faults=mtbf:86400,mttr:3600,seed:7[,block:2-8][,killmtbf:N]]
 //            [--requeue=resubmit|drop] [--search-deadline-ms=50]
+//            [--telemetry=run.jsonl] [--metrics]
 //       Run one policy and report every aggregate measure; optionally the
 //       per-class wait grid, a utilization/queue timeline CSV, seeded
-//       fault injection and a wall-clock search deadline.
+//       fault injection, a wall-clock search deadline, a decision-level
+//       JSONL event stream and the metrics-registry tables.
 //
 //   sbsched compare --trace=month.swf [--policies=FCFS-BF,LXF-BF,DDS/lxf/dynB]
 //            [--nodes=1000] [--rstar=...] [--load=0.9] [--faults=...]
 //            [--requeue=...] [--search-deadline-ms=N]
+//            [--telemetry=runs.jsonl] [--metrics]
 //       Side-by-side comparison with FCFS-derived excessive-wait measures.
+//
+//   sbsched report --telemetry=run.jsonl
+//       Summarize a telemetry stream written by simulate/compare: per-run
+//       aggregates, decision histograms and the anytime-improvement
+//       profile.
 
 #include <iostream>
 #include <memory>
@@ -30,6 +38,8 @@
 #include "metrics/job_class.hpp"
 #include "metrics/timeline.hpp"
 #include "metrics/trace_mix.hpp"
+#include "obs/report.hpp"
+#include "obs/telemetry.hpp"
 #include "util/cli.hpp"
 #include "util/csv.hpp"
 #include "util/error.hpp"
@@ -40,10 +50,66 @@ namespace sbs::cli {
 namespace {
 
 int usage() {
-  std::cerr
-      << "usage: sbsched <generate|analyze|simulate|compare> [--options]\n"
-         "run `sbsched <command>` with no options for that command's flags\n";
+  std::cerr <<
+      "usage: sbsched <command> [--options]\n"
+      "\n"
+      "  generate  --out=month.swf [--month=7/03] [--scale=1] [--seed=N]\n"
+      "            [--load=0.9]\n"
+      "      Write a synthetic NCSA-calibrated month as an SWF trace.\n"
+      "\n"
+      "  analyze   --trace=month.swf [--procs-per-node=1] [--load=0.9]\n"
+      "      Print the trace's job mix, runtime mix and offered load.\n"
+      "\n"
+      "  simulate  --trace=month.swf [--policy=DDS/lxf/dynB] [--nodes=1000]\n"
+      "            [--rstar=actual|requested|predicted] [--load=0.9]\n"
+      "            [--classes] [--timeline=out.csv]\n"
+      "            [--faults=mtbf:86400,mttr:3600,seed:7[,block:2-8]"
+      "[,killmtbf:N]]\n"
+      "            [--requeue=resubmit|drop] [--search-deadline-ms=50]\n"
+      "            [--telemetry=run.jsonl] [--metrics]\n"
+      "      Run one policy and report every aggregate measure. --faults\n"
+      "      injects seeded node failures/repairs, --requeue picks the fate\n"
+      "      of killed jobs, --search-deadline-ms bounds each decision's\n"
+      "      wall clock. --telemetry streams one JSONL record per decision\n"
+      "      and job lifecycle event; --metrics prints the counter and\n"
+      "      histogram tables.\n"
+      "\n"
+      "  compare   --trace=month.swf [--policies=FCFS-BF,LXF-BF,DDS/lxf/dynB]\n"
+      "            [--nodes=1000] [--rstar=...] [--load=0.9] [--faults=...]\n"
+      "            [--requeue=...] [--search-deadline-ms=N]\n"
+      "            [--telemetry=runs.jsonl] [--metrics]\n"
+      "      Side-by-side comparison with FCFS-derived excessive-wait\n"
+      "      measures; telemetry appends every policy's run to one stream.\n"
+      "\n"
+      "  report    --telemetry=run.jsonl\n"
+      "      Summarize a telemetry stream: per-run aggregates, decision\n"
+      "      histograms and the anytime-improvement profile.\n";
   return 2;
+}
+
+/// Builds the telemetry front end from --telemetry/--metrics. Returns null
+/// when neither flag is given, so the simulator hot path stays untouched.
+std::unique_ptr<obs::Telemetry> make_telemetry(const CliArgs& args) {
+  const std::string path = args.get("telemetry", "");
+  const bool metrics = args.get_bool("metrics", false);
+  if (path.empty() && !metrics) return nullptr;
+  std::unique_ptr<obs::TraceSink> sink;
+  if (!path.empty()) sink = std::make_unique<obs::JsonlSink>(path);
+  return std::make_unique<obs::Telemetry>(std::move(sink));
+}
+
+/// End-of-command telemetry epilogue shared by simulate and compare.
+void finish_telemetry(const CliArgs& args, obs::Telemetry* tel) {
+  if (!tel) return;
+  tel->flush();
+  if (args.get_bool("metrics", false)) {
+    std::cout << '\n';
+    tel->metrics().snapshot().print(std::cout);
+  }
+  if (const std::string path = args.get("telemetry", ""); !path.empty())
+    std::cout << "\nwrote telemetry to " << path
+              << " (inspect with `sbsched report --telemetry=" << path
+              << "`)\n";
 }
 
 Trace load_trace(const CliArgs& args, SwfReadStats* stats = nullptr) {
@@ -154,12 +220,14 @@ int cmd_simulate(int argc, char** argv) {
   CliArgs args(argc, argv,
                {"trace", "procs-per-node", "policy", "nodes", "rstar",
                 "load", "classes", "timeline", "faults", "requeue",
-                "search-deadline-ms"});
+                "search-deadline-ms", "telemetry", "metrics"});
   const Trace trace = load_trace(args);
   std::unique_ptr<RuntimePredictor> predictor;
   SimConfig sim = sim_config(args, predictor);
   std::unique_ptr<FaultInjector> injector;
   apply_fault_flags(args, trace, sim, injector);
+  const std::unique_ptr<obs::Telemetry> telemetry = make_telemetry(args);
+  sim.telemetry = telemetry.get();
   const std::string spec = args.get("policy", "DDS/lxf/dynB");
   const auto L = static_cast<std::size_t>(args.get_int("nodes", 1000));
   const double deadline_ms =
@@ -167,8 +235,11 @@ int cmd_simulate(int argc, char** argv) {
 
   // Thresholds always come from the fault-free FCFS-backfill run, so the
   // excessive-wait measures quantify degradation against a healthy machine.
+  // That internal run stays out of the telemetry stream, which records only
+  // the requested policy.
   SimConfig healthy = sim;
   healthy.faults = nullptr;
+  healthy.telemetry = nullptr;
   const Thresholds th = fcfs_thresholds(trace, healthy);
   const MonthEval eval = evaluate_spec(trace, spec, L, th, sim, true,
                                        deadline_ms);
@@ -191,6 +262,8 @@ int cmd_simulate(int argc, char** argv) {
     t.row().add("search nodes visited").add(eval.sched.nodes_visited);
     t.row().add("scheduling decisions").add(eval.sched.decisions);
   }
+  t.row().add("max think time (us)").add(eval.sched.max_think_time_us);
+  t.row().add("max queue depth").add(eval.sched.max_queue_depth);
   if (eval.sched.deadline_hits > 0)
     t.row().add("search deadline hits").add(eval.sched.deadline_hits);
   if (sim.faults != nullptr) {
@@ -222,6 +295,8 @@ int cmd_simulate(int argc, char** argv) {
     ct.print(std::cout);
   }
 
+  finish_telemetry(args, telemetry.get());
+
   if (const std::string path = args.get("timeline", ""); !path.empty()) {
     CsvWriter csv(path, {"time_s", "busy_nodes", "queued_jobs"});
     const auto util = utilization_timeline(eval.outcomes);
@@ -243,12 +318,15 @@ int cmd_simulate(int argc, char** argv) {
 int cmd_compare(int argc, char** argv) {
   CliArgs args(argc, argv,
                {"trace", "procs-per-node", "policies", "nodes", "rstar",
-                "load", "faults", "requeue", "search-deadline-ms"});
+                "load", "faults", "requeue", "search-deadline-ms",
+                "telemetry", "metrics"});
   const Trace trace = load_trace(args);
   std::unique_ptr<RuntimePredictor> predictor;
   SimConfig sim = sim_config(args, predictor);
   std::unique_ptr<FaultInjector> injector;
   apply_fault_flags(args, trace, sim, injector);
+  const std::unique_ptr<obs::Telemetry> telemetry = make_telemetry(args);
+  sim.telemetry = telemetry.get();
   const auto L = static_cast<std::size_t>(args.get_int("nodes", 1000));
   const double deadline_ms =
       args.get_double("search-deadline-ms", -1.0);
@@ -261,12 +339,15 @@ int cmd_compare(int argc, char** argv) {
     list = comma == std::string::npos ? "" : list.substr(comma + 1);
   }
 
-  // As in cmd_simulate: thresholds from the fault-free FCFS-backfill run.
+  // As in cmd_simulate: thresholds from the fault-free FCFS-backfill run,
+  // kept out of the telemetry stream.
   SimConfig healthy = sim;
   healthy.faults = nullptr;
+  healthy.telemetry = nullptr;
   const Thresholds th = fcfs_thresholds(trace, healthy);
   Table t({"policy", "avg wait (h)", "max wait (h)", "p98 wait (h)",
-           "avg bsld", "E^max tot (h)", "#w/E^max"});
+           "avg bsld", "E^max tot (h)", "#w/E^max", "max think (us)",
+           "max queue"});
   for (const auto& spec : specs) {
     // A fresh predictor per policy keeps the comparisons independent.
     std::unique_ptr<RuntimePredictor> local;
@@ -284,9 +365,21 @@ int cmd_compare(int argc, char** argv) {
         .add(eval.summary.p98_wait_h)
         .add(eval.summary.avg_bounded_slowdown)
         .add(eval.e_max.total_h, 1)
-        .add(eval.e_max.count);
+        .add(eval.e_max.count)
+        .add(eval.sched.max_think_time_us)
+        .add(eval.sched.max_queue_depth);
   }
   t.print(std::cout);
+  finish_telemetry(args, telemetry.get());
+  return 0;
+}
+
+int cmd_report(int argc, char** argv) {
+  CliArgs args(argc, argv, {"telemetry"});
+  const std::string path = args.get("telemetry", "");
+  if (path.empty()) throw Error("--telemetry=<file.jsonl> is required");
+  const std::vector<obs::RunReport> runs = obs::summarize_telemetry(path);
+  obs::print_report(runs, std::cout);
   return 0;
 }
 
@@ -302,6 +395,7 @@ int main(int argc, char** argv) {
     if (command == "analyze") return cmd_analyze(argc - 1, argv + 1);
     if (command == "simulate") return cmd_simulate(argc - 1, argv + 1);
     if (command == "compare") return cmd_compare(argc - 1, argv + 1);
+    if (command == "report") return cmd_report(argc - 1, argv + 1);
     return usage();
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << '\n';
