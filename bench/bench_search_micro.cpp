@@ -2,14 +2,24 @@
 // queries, schedule building, and the discrepancy search itself. The
 // paper reports 30-65 ms to visit 1K-8K nodes in a 30-job tree (Java,
 // 2 GHz P4); BM_Search_30Jobs reports our per-node cost directly.
+//
+// After the google-benchmark suite, main() runs a standalone scaling
+// measurement of the parallel search engine and writes
+// BENCH_search_parallel.json (nodes/sec at 1/2/4/8 workers against the
+// sequential engine) — the machine-readable evidence that
+// --search-threads actually buys throughput.
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <thread>
 #include <vector>
 
+#include "bench_common.hpp"
 #include "core/schedule_builder.hpp"
 #include "core/search.hpp"
 #include "util/rng.hpp"
+#include "util/thread_pool.hpp"
 
 namespace {
 
@@ -126,6 +136,35 @@ void BM_Search_AlgoComparison(benchmark::State& state) {
 }
 BENCHMARK(BM_Search_AlgoComparison)->Arg(0)->Arg(1)->ArgNames({"dds"});
 
+void BM_Search_Parallel(benchmark::State& state) {
+  // Arg = worker threads (0 = the sequential engine). items/s is accepted
+  // search nodes per second; the result is bit-identical at every arg.
+  const auto threads = static_cast<std::size_t>(state.range(0));
+  Fixture f(30);
+  SearchConfig cfg;
+  cfg.algo = SearchAlgo::Dds;
+  cfg.branching = Branching::Lxf;
+  cfg.node_limit = 50000;
+  cfg.threads = threads;
+  ThreadPool pool(threads > 0 ? threads : 1);
+  std::size_t nodes = 0;
+  for (auto _ : state) {
+    const SearchResult r =
+        run_search(f.problem, cfg, threads > 0 ? &pool : nullptr);
+    nodes += r.nodes_visited;
+    benchmark::DoNotOptimize(r.value);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(nodes));
+}
+BENCHMARK(BM_Search_Parallel)
+    ->Arg(0)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->ArgNames({"threads"})
+    ->UseRealTime();
+
 void BM_Search_Pruning(benchmark::State& state) {
   Fixture f(12);
   SearchConfig cfg;
@@ -143,6 +182,68 @@ void BM_Search_Pruning(benchmark::State& state) {
 }
 BENCHMARK(BM_Search_Pruning)->Arg(0)->Arg(1)->ArgNames({"prune"});
 
+// Standalone scaling sweep, independent of google-benchmark's timing: a
+// fixed node budget explored repeatedly at each worker count, reported as
+// nodes/sec and speedup over one worker. Emitted as BENCH_search_parallel
+// .json so CI can assert the >= 2x-at-4-threads acceptance bar. The doc
+// records hardware_concurrency — on fewer than 4 physical cores the
+// speedup rows measure only overhead and consumers must not gate on them.
+void emit_parallel_scaling_json(const sbs::bench::BenchOptions& options) {
+  constexpr std::size_t kNodeLimit = 200000;
+  constexpr int kReps = 3;
+  Fixture f(30);
+  SearchConfig cfg;
+  cfg.algo = SearchAlgo::Dds;
+  cfg.branching = Branching::Lxf;
+  cfg.node_limit = kNodeLimit;
+
+  obs::JsonWriter doc;
+  doc.begin_object()
+      .field("bench", "search_parallel")
+      .field("scale", options.scale)
+      .field("seed", options.seed)
+      .field("hardware_concurrency",
+             static_cast<std::uint64_t>(std::thread::hardware_concurrency()))
+      .key("rows")
+      .begin_array();
+  double base_nodes_per_sec = 0.0;
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{2},
+                                    std::size_t{4}, std::size_t{8}}) {
+    cfg.threads = threads;
+    ThreadPool pool(threads);
+    std::size_t nodes = 0;
+    // Warm-up run so pool threads exist and caches are hot before timing.
+    run_search(f.problem, cfg, &pool);
+    const auto begin = std::chrono::steady_clock::now();
+    for (int rep = 0; rep < kReps; ++rep)
+      nodes += run_search(f.problem, cfg, &pool).nodes_visited;
+    const auto end = std::chrono::steady_clock::now();
+    const double seconds =
+        std::chrono::duration<double>(end - begin).count();
+    const double nodes_per_sec =
+        seconds > 0.0 ? static_cast<double>(nodes) / seconds : 0.0;
+    if (threads == 1) base_nodes_per_sec = nodes_per_sec;
+    doc.begin_object()
+        .field("threads", static_cast<std::uint64_t>(threads))
+        .field("nodes", static_cast<std::uint64_t>(nodes))
+        .field("seconds", seconds)
+        .field("nodes_per_sec", nodes_per_sec)
+        .field("speedup_vs_1",
+               base_nodes_per_sec > 0.0 ? nodes_per_sec / base_nodes_per_sec
+                                        : 0.0)
+        .end_object();
+  }
+  doc.end_array().end_object();
+  sbs::bench::write_bench_json(options, "search_parallel", doc);
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);  // strips --benchmark_* flags
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  const auto [options, args] = sbs::bench::parse_options(argc, argv);
+  emit_parallel_scaling_json(options);
+  return 0;
+}

@@ -88,8 +88,11 @@ int main(int argc, char** argv) {
     std::vector<std::string> headers = {"policy"};
     const auto days = daily_utilization(runs[0].eval.outcomes, trace.capacity,
                                         trace.window_begin, trace.window_end);
-    for (std::size_t d = 0; d < days.size(); ++d)
-      headers.push_back("d" + std::to_string(d + 1));
+    for (std::size_t d = 0; d < days.size(); ++d) {
+      std::string h = "d";  // two steps: GCC 12's restrict warning misfires
+      h += std::to_string(d + 1);  // on operator+(const char*, string&&)
+      headers.push_back(std::move(h));
+    }
     Table daily(headers);
     for (const Run& r : runs) {
       daily.row().add(r.eval.policy);

@@ -21,4 +21,31 @@ struct BuiltSchedule {
 BuiltSchedule build_schedule(const SearchProblem& problem,
                              std::span<const std::size_t> order);
 
+/// Incremental list-scheduling state for tree search: one ResourceProfile
+/// snapshot per depth, so backtracking to depth d and placing a different
+/// job just overwrites snapshot d+1. Every search engine — and every
+/// parallel worker, privately — places jobs through one of these, which
+/// keeps the placement arithmetic in a single spot and bit-identical
+/// across the sequential and parallel paths.
+class ScheduleBuilder {
+ public:
+  explicit ScheduleBuilder(const SearchProblem& problem)
+      : p_(&problem), profiles_(problem.size() + 1, problem.base) {}
+
+  /// Places `job` as the depth-d element of the current path (profiles
+  /// snapshot d -> d+1) and returns its start time.
+  Time place(std::size_t depth, std::size_t job) {
+    ResourceProfile& profile = profiles_[depth + 1];
+    profile = profiles_[depth];
+    const SearchJob& s = p_->jobs[job];
+    const Time t = profile.earliest_start(p_->now, s.nodes, s.estimate);
+    profile.reserve(t, s.nodes, s.estimate);
+    return t;
+  }
+
+ private:
+  const SearchProblem* p_;
+  std::vector<ResourceProfile> profiles_;
+};
+
 }  // namespace sbs

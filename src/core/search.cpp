@@ -1,12 +1,20 @@
 #include "core/search.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cmath>
 #include <cstdint>
+#include <exception>
+#include <future>
+#include <limits>
+#include <memory>
 #include <numeric>
+#include <utility>
 
+#include "core/schedule_builder.hpp"
 #include "util/error.hpp"
+#include "util/thread_pool.hpp"
 
 namespace sbs {
 
@@ -27,7 +35,57 @@ std::string branching_name(Branching branching) {
   throw Error("unknown branching heuristic");
 }
 
+std::vector<std::size_t> branching_order(const SearchProblem& problem,
+                                         Branching branching) {
+  std::vector<std::size_t> seq(problem.size());
+  std::iota(seq.begin(), seq.end(), std::size_t{0});
+  if (branching == Branching::Fcfs) {
+    std::sort(seq.begin(), seq.end(), [&](std::size_t a, std::size_t b) {
+      const SearchJob& ja = problem.jobs[a];
+      const SearchJob& jb = problem.jobs[b];
+      if (ja.submit != jb.submit) return ja.submit < jb.submit;
+      return ja.job->id < jb.job->id;
+    });
+  } else {
+    // Equal slowdowns are ranked by (submit, id), never by sort stability:
+    // jobs of identical shape submitted together have exactly equal
+    // slowdown_now, and a stability-dependent order would make the whole
+    // search tree depend on the caller's array order.
+    std::sort(seq.begin(), seq.end(), [&](std::size_t a, std::size_t b) {
+      const SearchJob& ja = problem.jobs[a];
+      const SearchJob& jb = problem.jobs[b];
+      if (ja.slowdown_now != jb.slowdown_now)
+        return ja.slowdown_now > jb.slowdown_now;
+      if (ja.submit != jb.submit) return ja.submit < jb.submit;
+      return ja.job->id < jb.job->id;
+    });
+  }
+  return seq;
+}
+
 namespace {
+
+/// Discrepancy count of a complete path: replays it against the heuristic
+/// order and counts the levels where a non-first child was taken. Only
+/// called on incumbent improvements (a handful per search), so the O(n^2)
+/// replay is off the hot path.
+std::size_t path_discrepancy_count(std::span<const std::size_t> seq,
+                                   std::span<const std::size_t> path,
+                                   std::vector<char>& scratch) {
+  scratch.assign(seq.size(), 0);
+  std::size_t disc = 0;
+  for (std::size_t d = 0; d < path.size(); ++d) {
+    std::size_t child = 0;
+    for (std::size_t j : seq) {
+      if (scratch[j]) continue;
+      if (j == path[d]) break;
+      ++child;
+    }
+    if (child > 0) ++disc;
+    scratch[path[d]] = 1;
+  }
+  return disc;
+}
 
 /// Depth-first engine shared by LDS and DDS. The tree has one level per
 /// waiting job; the children of a node are the not-yet-placed jobs in the
@@ -37,28 +95,11 @@ namespace {
 class Engine {
  public:
   Engine(const SearchProblem& problem, const SearchConfig& config)
-      : p_(problem), cfg_(config), n_(problem.size()) {
-    seq_.resize(n_);
-    std::iota(seq_.begin(), seq_.end(), std::size_t{0});
-    if (cfg_.branching == Branching::Fcfs) {
-      std::stable_sort(seq_.begin(), seq_.end(),
-                       [&](std::size_t a, std::size_t b) {
-                         const auto& ja = p_.jobs[a];
-                         const auto& jb = p_.jobs[b];
-                         if (ja.submit != jb.submit) return ja.submit < jb.submit;
-                         return ja.job->id < jb.job->id;
-                       });
-    } else {
-      std::stable_sort(seq_.begin(), seq_.end(),
-                       [&](std::size_t a, std::size_t b) {
-                         return p_.jobs[a].slowdown_now > p_.jobs[b].slowdown_now;
-                       });
-    }
+      : p_(problem), cfg_(config), n_(problem.size()),
+        seq_(branching_order(problem, config.branching)), builder_(problem) {
     used_.assign(n_, 0);
     path_.resize(n_);
     path_starts_.resize(n_);
-    // One profile per depth; profiles_[d] is the state after d placements.
-    profiles_.assign(n_ + 1, p_.base);
     result_.value = worst_objective();
     if (cfg_.deadline_ms >= 0.0) {
       has_deadline_ = true;
@@ -127,11 +168,7 @@ class Engine {
   /// Returns the start time.
   Time place(std::size_t depth, std::size_t job) {
     ++result_.nodes_visited;
-    ResourceProfile& profile = profiles_[depth + 1];
-    profile = profiles_[depth];
-    const SearchJob& s = p_.jobs[job];
-    const Time t = profile.earliest_start(p_.now, s.nodes, s.estimate);
-    profile.reserve(t, s.nodes, s.estimate);
+    const Time t = builder_.place(depth, job);
     used_[job] = 1;
     path_[depth] = job;
     path_starts_[depth] = t;
@@ -162,30 +199,10 @@ class Engine {
       result_.starts.assign(n_, 0);
       for (std::size_t d = 0; d < n_; ++d)
         result_.starts[path_[d]] = path_starts_[d];
-      result_.improvements.push_back(Improvement{result_.nodes_visited,
-                                                 result_.paths_completed, value,
-                                                 path_discrepancies()});
+      result_.improvements.push_back(Improvement{
+          result_.nodes_visited, result_.paths_completed, value,
+          path_discrepancy_count(seq_, path_, disc_scratch_)});
     }
-  }
-
-  /// Discrepancy count of the current complete path: replays it against
-  /// the heuristic order and counts the levels where a non-first child was
-  /// taken. Only called on incumbent improvements (a handful per search),
-  /// so the O(n^2) replay is off the hot path.
-  std::size_t path_discrepancies() {
-    disc_scratch_.assign(n_, 0);
-    std::size_t disc = 0;
-    for (std::size_t d = 0; d < n_; ++d) {
-      std::size_t child = 0;
-      for (std::size_t j : seq_) {
-        if (disc_scratch_[j]) continue;
-        if (j == path_[d]) break;
-        ++child;
-      }
-      if (child > 0) ++disc;
-      disc_scratch_[path_[d]] = 1;
-    }
-    return disc;
   }
 
   /// Branch-and-bound cut (optional): excess only accumulates along a path
@@ -300,12 +317,12 @@ class Engine {
   const SearchProblem& p_;
   const SearchConfig cfg_;
   const std::size_t n_;
-  std::vector<std::size_t> seq_;  ///< heuristic (leftmost-first) job order
+  const std::vector<std::size_t> seq_;  ///< heuristic (leftmost-first) order
+  ScheduleBuilder builder_;
   std::vector<char> used_;
-  std::vector<char> disc_scratch_;  ///< path_discrepancies() working set
+  std::vector<char> disc_scratch_;  ///< discrepancy-replay working set
   std::vector<std::size_t> path_;
   std::vector<Time> path_starts_;
-  std::vector<ResourceProfile> profiles_;
   SearchResult result_;
   bool has_deadline_ = false;
   std::chrono::steady_clock::time_point deadline_at_;
@@ -313,16 +330,516 @@ class Engine {
   mutable bool deadline_hit_ = false;
 };
 
+// ---------------------------------------------------------------------------
+// Parallel engine (SearchConfig::threads >= 1).
+//
+// Iterations remain sequential phases — they ARE the anytime profile the
+// paper measures — but within an iteration every root-level branch that
+// survives the LDS/DDS filters becomes an independent subtree task.
+// Workers grab tasks in canonical (heuristic-sequence) order and explore
+// them speculatively, each with a private ScheduleBuilder, under a node
+// cap that is provably >= the nodes the sequential engine would have
+// granted that subtree: the cap is the iteration's remaining budget minus
+// the observed cost of already-FINISHED predecessor tasks (unfinished ones
+// count zero, so the cap only over-estimates). The merge then replays the
+// tasks in canonical order and cuts at exactly the node where the
+// sequential budget would have run out, reconstructing the incumbent, the
+// starts, the anytime profile and the node/path/iteration accounting from
+// per-task records. The merged result is therefore bit-for-bit the
+// sequential result for every thread count; only wall-clock-deadline runs
+// are timing-dependent, exactly as they are sequentially.
+//
+// Worker-side incumbents are kept as a strictly-improving local chain per
+// task. Any global improvement must beat every earlier path, including the
+// task-local incumbent, so the global improvements the sequential engine
+// would record are a subset of the chains the merge replays. (The only
+// theoretical exception needs three objective values whose pairwise gaps
+// straddle the 1e-9 comparison epsilon non-transitively — a measure-zero
+// corner; exact ties are transitive and safe.)
+
+/// One entry of a task's strictly-improving local incumbent chain.
+struct KeptPath {
+  ObjectiveValue value;
+  std::size_t offset = 0;   ///< task-local nodes visited at completion
+  std::size_t ordinal = 0;  ///< 1-based completed-path ordinal in the task
+  std::vector<std::size_t> order;
+  std::vector<Time> starts;  ///< per-depth starts, aligned with `order`
+};
+
+/// Everything the canonical merge needs to know about one subtree task.
+struct TaskResult {
+  std::size_t nodes = 0;
+  bool truncated = false;           ///< stopped by the node cap
+  bool deadline_truncated = false;  ///< stopped by the shared deadline
+  std::vector<std::size_t> path_offsets;  ///< local nodes at each completion
+  std::vector<KeptPath> kept;
+};
+
+/// Shared per-iteration progress: the dynamic task queue plus the observed
+/// cost of finished tasks, which lets later tasks shrink their speculation
+/// caps toward the true sequential allotment.
+class IterationProgress {
+ public:
+  IterationProgress(std::size_t tasks, std::size_t budget)
+      : budget_(budget),
+        cost_(std::make_unique<std::atomic<std::int64_t>[]>(tasks)) {
+    for (std::size_t i = 0; i < tasks; ++i)
+      cost_[i].store(-1, std::memory_order_relaxed);
+  }
+
+  std::size_t grab() { return next_.fetch_add(1, std::memory_order_relaxed); }
+
+  void record(std::size_t task, std::size_t nodes) {
+    cost_[task].store(static_cast<std::int64_t>(nodes),
+                      std::memory_order_release);
+  }
+
+  /// Node cap for `task`: iteration budget minus the observed cost of every
+  /// finished predecessor. Unfinished predecessors contribute zero, so the
+  /// cap never under-estimates what the sequential engine would grant.
+  std::size_t cap_for(std::size_t task) const {
+    std::int64_t sum = 0;
+    for (std::size_t t = 0; t < task; ++t) {
+      const std::int64_t c = cost_[t].load(std::memory_order_acquire);
+      if (c >= 0) sum += c;
+    }
+    const auto b = static_cast<std::int64_t>(budget_);
+    return sum >= b ? 0 : static_cast<std::size_t>(b - sum);
+  }
+
+ private:
+  const std::size_t budget_;
+  std::unique_ptr<std::atomic<std::int64_t>[]> cost_;
+  std::atomic<std::size_t> next_{0};
+};
+
+/// Per-worker explorer: owns a private ScheduleBuilder and path state and
+/// runs one subtree task at a time in canonical depth-first order. Shares
+/// nothing mutable with other workers except the deadline flag.
+class SubtreeExplorer {
+ public:
+  SubtreeExplorer(const SearchProblem& problem, const SearchConfig& config,
+                  std::span<const std::size_t> seq,
+                  const std::chrono::steady_clock::time_point* deadline_at,
+                  std::atomic<bool>* deadline_hit)
+      : p_(problem), cfg_(config), n_(problem.size()), seq_(seq),
+        builder_(problem), deadline_at_(deadline_at),
+        deadline_hit_(deadline_hit) {
+    used_.assign(n_, 0);
+    path_.resize(n_);
+    path_starts_.resize(n_);
+  }
+
+  /// Iteration 0: the whole-tree pure-heuristic path, budget-exempt.
+  TaskResult run_heuristic() {
+    reset(nullptr, 0, std::numeric_limits<std::size_t>::max());
+    double excess = 0.0, bsld_sum = 0.0;
+    for (std::size_t d = 0; d < n_; ++d) {
+      const std::size_t job = first_unused();
+      const Time t = place(d, job);
+      excess += p_.excess_h(job, t);
+      bsld_sum += p_.bsld(job, t);
+    }
+    complete_path(excess, bsld_sum);
+    return std::move(res_);
+  }
+
+  /// LDS iteration `k`, the subtree under root child `c`.
+  TaskResult run_lds(std::size_t c, std::size_t k, std::size_t cap,
+                     const IterationProgress* progress, std::size_t task) {
+    reset(progress, task, cap);
+    if (begin_task()) {
+      const std::size_t j = seq_[c];
+      const Time t = place(0, j);
+      lds(1, p_.excess_h(j, t), p_.bsld(j, t), c > 0 ? 1 : 0, k);
+    }
+    return std::move(res_);
+  }
+
+  /// DDS iteration `target`, the subtree under root child `c`.
+  TaskResult run_dds(std::size_t c, std::size_t target, std::size_t cap,
+                     const IterationProgress* progress, std::size_t task) {
+    reset(progress, task, cap);
+    if (begin_task()) {
+      const std::size_t j = seq_[c];
+      const Time t = place(0, j);
+      dds(1, p_.excess_h(j, t), p_.bsld(j, t), target);
+    }
+    return std::move(res_);
+  }
+
+ private:
+  void reset(const IterationProgress* progress, std::size_t task,
+             std::size_t cap) {
+    res_ = TaskResult{};
+    progress_ = progress;
+    task_ = task;
+    cap_ = cap;
+    local_best_ = worst_objective();
+    std::fill(used_.begin(), used_.end(), 0);
+  }
+
+  /// Mirrors the sequential root-level budget check that precedes the
+  /// subtree's first placement, plus a fast path out when another worker
+  /// already tripped the deadline.
+  bool begin_task() {
+    if (deadline_hit_ != nullptr &&
+        deadline_hit_->load(std::memory_order_relaxed)) {
+      res_.deadline_truncated = true;
+      return false;
+    }
+    return budget_left();
+  }
+
+  /// Node cap first (mirroring the sequential check order), then the
+  /// shared wall-clock deadline, polled every 16th placement like the
+  /// sequential engine. The cap is refreshed from finished predecessors
+  /// every 1024 placements so runaway speculation self-limits.
+  bool budget_left() {
+    if (res_.nodes >= cap_) {
+      res_.truncated = true;
+      return false;
+    }
+    if (progress_ != nullptr && (++refresh_tick_ & 1023u) == 0) {
+      cap_ = std::min(cap_, progress_->cap_for(task_));
+      if (res_.nodes >= cap_) {
+        res_.truncated = true;
+        return false;
+      }
+    }
+    if (deadline_at_ != nullptr && (++deadline_poll_ & 15u) == 0) {
+      if (deadline_hit_->load(std::memory_order_relaxed) ||
+          std::chrono::steady_clock::now() >= *deadline_at_) {
+        deadline_hit_->store(true, std::memory_order_relaxed);
+        res_.deadline_truncated = true;
+        return false;
+      }
+    }
+    return true;
+  }
+
+  Time place(std::size_t depth, std::size_t job) {
+    ++res_.nodes;
+    const Time t = builder_.place(depth, job);
+    used_[job] = 1;
+    path_[depth] = job;
+    path_starts_[depth] = t;
+    return t;
+  }
+
+  void unplace(std::size_t job) { used_[job] = 0; }
+
+  std::size_t first_unused() const {
+    for (std::size_t j : seq_)
+      if (!used_[j]) return j;
+    throw Error("no unused job left");
+  }
+
+  void complete_path(double excess, double bsld_sum) {
+    res_.path_offsets.push_back(res_.nodes);
+    ObjectiveValue value{excess,
+                         bsld_sum / static_cast<double>(std::max<std::size_t>(n_, 1))};
+    if (cfg_.comparator.less(value, local_best_)) {
+      local_best_ = value;
+      KeptPath kp;
+      kp.value = value;
+      kp.offset = res_.nodes;
+      kp.ordinal = res_.path_offsets.size();
+      kp.order.assign(path_.begin(), path_.end());
+      kp.starts.assign(path_starts_.begin(), path_starts_.end());
+      res_.kept.push_back(std::move(kp));
+    }
+  }
+
+  // The recursion bodies replicate the sequential engine's filters exactly
+  // (same code, task-local budget); any divergence here breaks the
+  // differential test.
+  bool lds(std::size_t depth, double excess, double bsld_sum,
+           std::size_t used, std::size_t k) {
+    if (depth == n_) {
+      complete_path(excess, bsld_sum);
+      return true;
+    }
+    const std::size_t remaining = n_ - depth;
+    std::size_t child = 0;
+    for (std::size_t j : seq_) {
+      if (used_[j]) continue;
+      const std::size_t d_used = used + (child > 0 ? 1 : 0);
+      ++child;
+      if (d_used > k) break;
+      const std::size_t max_future = remaining >= 2 ? remaining - 2 : 0;
+      if (d_used + max_future < k) continue;
+      if (!budget_left()) return false;
+      const Time t = place(depth, j);
+      const double e = excess + p_.excess_h(j, t);
+      const double b = bsld_sum + p_.bsld(j, t);
+      const bool ok = lds(depth + 1, e, b, d_used, k);
+      unplace(j);
+      if (!ok) return false;
+    }
+    return true;
+  }
+
+  bool dds(std::size_t depth, double excess, double bsld_sum,
+           std::size_t target) {
+    if (depth == n_) {
+      complete_path(excess, bsld_sum);
+      return true;
+    }
+    const std::size_t child_depth = depth + 1;
+    std::size_t child = 0;
+    for (std::size_t j : seq_) {
+      if (used_[j]) continue;
+      const std::size_t c = child++;
+      if (child_depth == target && c == 0) continue;
+      if (child_depth > target && c > 0) break;
+      if (!budget_left()) return false;
+      const Time t = place(depth, j);
+      const double e = excess + p_.excess_h(j, t);
+      const double b = bsld_sum + p_.bsld(j, t);
+      const bool ok = dds(depth + 1, e, b, target);
+      unplace(j);
+      if (!ok) return false;
+    }
+    return true;
+  }
+
+  const SearchProblem& p_;
+  const SearchConfig& cfg_;
+  const std::size_t n_;
+  const std::span<const std::size_t> seq_;
+  ScheduleBuilder builder_;
+  const std::chrono::steady_clock::time_point* deadline_at_;
+  std::atomic<bool>* deadline_hit_;
+  std::vector<char> used_;
+  std::vector<std::size_t> path_;
+  std::vector<Time> path_starts_;
+  TaskResult res_;
+  const IterationProgress* progress_ = nullptr;
+  std::size_t task_ = 0;
+  std::size_t cap_ = 0;
+  ObjectiveValue local_best_;
+  std::uint32_t refresh_tick_ = 0;
+  std::uint32_t deadline_poll_ = 0;
+};
+
+class ParallelEngine {
+ public:
+  ParallelEngine(const SearchProblem& problem, const SearchConfig& config,
+                 ThreadPool* pool)
+      : p_(problem), cfg_(config), n_(problem.size()),
+        seq_(branching_order(problem, config.branching)),
+        workers_(std::max<std::size_t>(config.threads, 1)) {
+    if (pool == nullptr) {
+      owned_pool_ = std::make_unique<ThreadPool>(workers_);
+      pool = owned_pool_.get();
+    }
+    pool_ = pool;
+    explorers_.resize(workers_);
+    result_.value = worst_objective();
+    result_.threads_used = workers_;
+    result_.worker_nodes.assign(workers_, 0);
+    if (cfg_.deadline_ms >= 0.0) {
+      has_deadline_ = true;
+      deadline_at_ = std::chrono::steady_clock::now() +
+                     std::chrono::microseconds(static_cast<std::int64_t>(
+                         std::llround(cfg_.deadline_ms * 1000.0)));
+    }
+  }
+
+  SearchResult run() {
+    // Iteration 0 on the calling thread: the pure-heuristic path, exempt
+    // from both budgets exactly as in the sequential engine.
+    begin_iteration();
+    SubtreeExplorer main_explorer(p_, cfg_, seq_, deadline_ptr(),
+                                  &deadline_flag_);
+    const TaskResult heuristic = main_explorer.run_heuristic();
+    accept_prefix(heuristic, heuristic.nodes);
+
+    bool done = false;
+    const std::size_t last = n_ >= 2 ? n_ - 1 : 0;
+    for (std::size_t param = 1; !done && param <= last; ++param)
+      done = !run_iteration(param);
+    result_.exhausted = !done;
+    SBS_CHECK_MSG(result_.paths_completed > 0, "search produced no schedule");
+    return std::move(result_);
+  }
+
+ private:
+  const std::chrono::steady_clock::time_point* deadline_ptr() const {
+    return has_deadline_ ? &deadline_at_ : nullptr;
+  }
+
+  /// Iteration bookkeeping plus the sequential engine's unconditional
+  /// iteration-boundary clock check. Returns false once the deadline flag
+  /// is up — the subsequent iteration is then cut before its first
+  /// placement, as sequentially.
+  bool begin_iteration() {
+    ++result_.iterations_started;
+    result_.paths_per_iteration.push_back(0);
+    if (!has_deadline_) return true;
+    if (!deadline_flag_.load(std::memory_order_relaxed) &&
+        std::chrono::steady_clock::now() >= deadline_at_)
+      deadline_flag_.store(true, std::memory_order_relaxed);
+    return !deadline_flag_.load(std::memory_order_relaxed);
+  }
+
+  /// Runs one LDS/DDS iteration across the pool and merges it in canonical
+  /// order. Returns false when a budget or deadline cut ended the search.
+  bool run_iteration(std::size_t param) {
+    if (!begin_iteration()) {
+      result_.deadline_hit = true;
+      return false;
+    }
+    const std::size_t budget =
+        cfg_.node_limit > result_.nodes_visited
+            ? cfg_.node_limit - result_.nodes_visited
+            : 0;
+    // Sequential twin: the root-level budget check before the iteration's
+    // first placement fails, ending the search with the iteration counted.
+    if (budget == 0) return false;
+
+    // Root children surviving the iteration's filters, canonical order.
+    // (Root-level replica of the in-tree filters: for LDS, child 0 cannot
+    // reach k discrepancies once k exceeds the levels below it; for DDS,
+    // child 0 is skipped when the forced discrepancy sits at depth 1.)
+    std::vector<std::size_t> tasks;
+    tasks.reserve(n_);
+    for (std::size_t c = 0; c < n_; ++c) {
+      if (cfg_.algo == SearchAlgo::Lds) {
+        if (c == 0 && (n_ >= 2 ? n_ - 2 : 0) < param) continue;
+      } else {
+        if (c == 0 && param == 1) continue;
+      }
+      tasks.push_back(c);
+    }
+    SBS_CHECK_MSG(!tasks.empty(), "iteration with no root branches");
+
+    IterationProgress progress(tasks.size(), budget);
+    std::vector<TaskResult> results(tasks.size());
+    const std::size_t spawn = std::min(workers_, tasks.size());
+    std::vector<std::future<void>> futures;
+    futures.reserve(spawn);
+    for (std::size_t w = 0; w < spawn; ++w)
+      futures.push_back(
+          pool_->submit([this, w, param, &tasks, &progress, &results] {
+            worker_loop(w, param, tasks, progress, results);
+          }));
+    std::exception_ptr error;
+    for (auto& f : futures) {
+      try {
+        f.get();
+      } catch (...) {
+        if (!error) error = std::current_exception();
+      }
+    }
+    if (error) std::rethrow_exception(error);
+
+    // Canonical merge: accept whole tasks while they fit the remaining
+    // budget; cut inside the first one that does not, exactly where the
+    // sequential engine's budget would have struck.
+    std::size_t remaining = budget;
+    for (std::size_t i = 0; i < tasks.size(); ++i) {
+      const TaskResult& t = results[i];
+      if (t.deadline_truncated) {
+        accept_prefix(t, std::min(t.nodes, remaining));
+        result_.deadline_hit = true;
+        return false;
+      }
+      if (t.truncated || t.nodes > remaining) {
+        SBS_CHECK_MSG(!t.truncated || t.nodes >= remaining,
+                      "subtree cap undercut the sequential budget");
+        accept_prefix(t, remaining);
+        return false;
+      }
+      accept_prefix(t, t.nodes);
+      remaining -= t.nodes;
+    }
+    return true;
+  }
+
+  void worker_loop(std::size_t w, std::size_t param,
+                   const std::vector<std::size_t>& tasks,
+                   IterationProgress& progress,
+                   std::vector<TaskResult>& results) {
+    if (!explorers_[w])
+      explorers_[w] = std::make_unique<SubtreeExplorer>(
+          p_, cfg_, seq_, deadline_ptr(), &deadline_flag_);
+    SubtreeExplorer& explorer = *explorers_[w];
+    for (;;) {
+      const std::size_t i = progress.grab();
+      if (i >= tasks.size()) break;
+      const std::size_t cap = progress.cap_for(i);
+      results[i] = cfg_.algo == SearchAlgo::Lds
+                       ? explorer.run_lds(tasks[i], param, cap, &progress, i)
+                       : explorer.run_dds(tasks[i], param, cap, &progress, i);
+      progress.record(i, results[i].nodes);
+      result_.worker_nodes[w] += results[i].nodes;
+    }
+  }
+
+  /// Accepts the first `accept` nodes of a task: accounting, then the
+  /// incumbent replay over the task's kept chain (canonical order, strict
+  /// improvement only — ties keep the earlier incumbent, as sequentially).
+  void accept_prefix(const TaskResult& t, std::size_t accept) {
+    const std::size_t node_base = result_.nodes_visited;
+    const std::size_t path_base = result_.paths_completed;
+    std::size_t paths = 0;
+    while (paths < t.path_offsets.size() && t.path_offsets[paths] <= accept)
+      ++paths;
+    result_.nodes_visited += accept;
+    result_.paths_completed += paths;
+    result_.paths_per_iteration.back() += paths;
+    for (const KeptPath& kp : t.kept) {
+      if (kp.offset > accept) break;
+      if (!cfg_.comparator.less(kp.value, result_.value)) continue;
+      result_.value = kp.value;
+      result_.order = kp.order;
+      result_.starts.assign(n_, 0);
+      for (std::size_t d = 0; d < n_; ++d)
+        result_.starts[kp.order[d]] = kp.starts[d];
+      result_.improvements.push_back(Improvement{
+          node_base + kp.offset, path_base + kp.ordinal, kp.value,
+          path_discrepancy_count(seq_, kp.order, disc_scratch_)});
+    }
+  }
+
+  const SearchProblem& p_;
+  const SearchConfig cfg_;
+  const std::size_t n_;
+  const std::vector<std::size_t> seq_;
+  const std::size_t workers_;
+  std::unique_ptr<ThreadPool> owned_pool_;
+  ThreadPool* pool_ = nullptr;
+  std::vector<std::unique_ptr<SubtreeExplorer>> explorers_;
+  std::vector<char> disc_scratch_;
+  SearchResult result_;
+  bool has_deadline_ = false;
+  std::chrono::steady_clock::time_point deadline_at_;
+  std::atomic<bool> deadline_flag_{false};
+};
+
 }  // namespace
 
 SearchResult run_search(const SearchProblem& problem,
-                        const SearchConfig& config) {
+                        const SearchConfig& config, ThreadPool* pool) {
   SBS_CHECK_MSG(problem.size() >= 1, "search over an empty queue");
   SBS_CHECK(config.node_limit >= 1);
   SBS_CHECK_MSG(!(config.prune && config.comparator.weighted_alpha > 0.0),
                 "branch-and-bound pruning requires the hierarchical "
                 "objective");
-  Engine engine(problem, config);
+  // Inherently sequential configurations (DFS baseline, cross-subtree
+  // incumbent pruning, the ordered on_path hook) and trivial trees run the
+  // sequential engine regardless of the thread knob; see
+  // SearchConfig::threads.
+  const bool parallel = config.threads > 0 && config.algo != SearchAlgo::Dfs &&
+                        !config.prune && !config.on_path &&
+                        problem.size() >= 2;
+  if (!parallel) {
+    Engine engine(problem, config);
+    return engine.run();
+  }
+  ParallelEngine engine(problem, config, pool);
   return engine.run();
 }
 

@@ -10,6 +10,8 @@
 
 namespace sbs {
 
+class ThreadPool;
+
 /// Complete anytime search algorithms (paper §2.2, plus the DFS baseline
 /// that motivates discrepancy search).
 enum class SearchAlgo {
@@ -34,6 +36,15 @@ enum class Branching {
 std::string algo_name(SearchAlgo algo);
 std::string branching_name(Branching branching);
 
+/// Heuristic (leftmost-first) job order over the problem, as a permutation
+/// of [0, problem.size()). Both orders are strict total orders — Fcfs by
+/// (submit, id), Lxf by (slowdown desc, submit, id) — so the sequence, and
+/// with it every search tree, is independent of the jobs' input order and
+/// of sort-algorithm stability. That invariance is what makes the parallel
+/// engine's canonical merge (and cross-thread determinism) possible.
+std::vector<std::size_t> branching_order(const SearchProblem& problem,
+                                         Branching branching);
+
 struct SearchConfig {
   SearchAlgo algo = SearchAlgo::Dds;
   Branching branching = Branching::Lxf;
@@ -48,6 +59,17 @@ struct SearchConfig {
   /// node_limit applies — the pure-heuristic path is exempt, so even a
   /// 0 ms deadline yields a complete schedule.
   double deadline_ms = -1.0;
+  /// Worker threads for the root-split parallel engine; 0 = the sequential
+  /// engine, preserving today's behavior exactly. Any value >= 1 explores
+  /// each iteration's root-level subtrees concurrently and merges them in
+  /// canonical order, so the result — schedule, objective, anytime profile
+  /// and node accounting — is identical for every thread count, and
+  /// identical to threads == 0 (see docs/architecture.md). Configurations
+  /// that are inherently sequential fall back to the sequential engine:
+  /// the DFS baseline, branch-and-bound pruning (the incumbent bound is
+  /// exploration-order dependent) and the on_path hook (its contract is
+  /// every path in sequential exploration order).
+  std::size_t threads = 0;
   /// Branch-and-bound extension (paper future work): prune a partial path
   /// whose objective lower bound is already no better than the incumbent.
   /// Only valid with the hierarchical comparator (weighted_alpha == 0).
@@ -87,11 +109,23 @@ struct SearchResult {
   std::vector<std::size_t> paths_per_iteration;
   bool exhausted = false;      ///< whole tree covered within the budgets
   bool deadline_hit = false;   ///< the wall-clock deadline cut the search
+  /// Worker threads the parallel engine ran with (0 = sequential engine,
+  /// including the documented fallbacks).
+  std::size_t threads_used = 0;
+  /// Speculative nodes explored per worker (size == threads_used). The sum
+  /// may exceed nodes_visited: subtree work past the canonical budget cut
+  /// is discarded by the merge, and iteration 0 runs on the calling thread
+  /// so it appears in nodes_visited only.
+  std::vector<std::size_t> worker_nodes;
 };
 
 /// Runs the configured discrepancy search over the problem and returns the
-/// best complete schedule found. problem.size() must be >= 1.
+/// best complete schedule found. problem.size() must be >= 1. When
+/// config.threads > 0, subtree tasks run on `pool` (a transient pool of
+/// config.threads workers is created when null); callers issuing many
+/// searches should pass a persistent pool to amortize thread start-up.
 SearchResult run_search(const SearchProblem& problem,
-                        const SearchConfig& config);
+                        const SearchConfig& config,
+                        ThreadPool* pool = nullptr);
 
 }  // namespace sbs

@@ -3,10 +3,14 @@
 #include <algorithm>
 #include <chrono>
 
+#include "util/thread_pool.hpp"
+
 namespace sbs {
 
 SearchScheduler::SearchScheduler(SearchSchedulerConfig config)
     : config_(std::move(config)), fairshare_(config_.fairshare_config) {}
+
+SearchScheduler::~SearchScheduler() = default;
 
 std::vector<int> SearchScheduler::select_jobs(const SchedulerState& state) {
   ++stats_.decisions;
@@ -36,7 +40,9 @@ std::vector<int> SearchScheduler::select_jobs(const SchedulerState& state) {
     for (SearchJob& s : problem.jobs)
       s.bound = fairshare_.adjust_bound(s.bound, s.job->user, state.now);
   }
-  const SearchResult result = run_search(problem, config_.search);
+  if (config_.search.threads > 0 && !pool_)
+    pool_ = std::make_unique<ThreadPool>(config_.search.threads);
+  const SearchResult result = run_search(problem, config_.search, pool_.get());
   stats_.nodes_visited += result.nodes_visited;
   stats_.paths_explored += result.paths_completed;
   if (result.deadline_hit) ++stats_.deadline_hits;
@@ -50,6 +56,9 @@ std::vector<int> SearchScheduler::select_jobs(const SchedulerState& state) {
     if (!result.improvements.empty())
       detail_.discrepancies = static_cast<std::int64_t>(
           result.improvements.back().discrepancies);
+    detail_.threads_used = result.threads_used;
+    detail_.worker_nodes.assign(result.worker_nodes.begin(),
+                                result.worker_nodes.end());
   }
 
   std::span<const Time> starts = result.starts;

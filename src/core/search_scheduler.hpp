@@ -1,11 +1,15 @@
 #pragma once
 
+#include <memory>
+
 #include "core/fairshare.hpp"
 #include "core/local_search.hpp"
 #include "core/search.hpp"
 #include "sim/scheduler.hpp"
 
 namespace sbs {
+
+class ThreadPool;
 
 /// The paper's goal-oriented policies (§2.3): at every scheduling event,
 /// build a SearchProblem from the queue, run the configured discrepancy
@@ -30,6 +34,7 @@ struct SearchSchedulerConfig {
 class SearchScheduler final : public Scheduler {
  public:
   explicit SearchScheduler(SearchSchedulerConfig config);
+  ~SearchScheduler() override;  // out of line: ThreadPool is incomplete here
 
   std::vector<int> select_jobs(const SchedulerState& state) override;
 
@@ -55,6 +60,10 @@ class SearchScheduler final : public Scheduler {
   SearchSchedulerConfig config_;
   SchedulerStats stats_;
   FairShareTracker fairshare_;
+  /// Persistent worker pool for SearchConfig::threads > 0, created lazily
+  /// at the first decision so thread start-up is paid once per run, not
+  /// once per scheduling event.
+  std::unique_ptr<ThreadPool> pool_;
   bool collect_detail_ = false;
   DecisionDetail detail_;
 };

@@ -31,20 +31,23 @@ std::unique_ptr<Scheduler> make_search_policy(SearchAlgo algo,
                                               Branching branching,
                                               BoundSpec bound,
                                               std::size_t node_limit,
-                                              bool prune, double deadline_ms) {
+                                              bool prune, double deadline_ms,
+                                              std::size_t threads) {
   SearchSchedulerConfig cfg;
   cfg.search.algo = algo;
   cfg.search.branching = branching;
   cfg.search.node_limit = node_limit;
   cfg.search.prune = prune;
   cfg.search.deadline_ms = deadline_ms;
+  cfg.search.threads = threads;
   cfg.bound = bound;
   return std::make_unique<SearchScheduler>(cfg);
 }
 
 std::unique_ptr<Scheduler> make_policy(const std::string& spec,
                                        std::size_t node_limit,
-                                       double deadline_ms) {
+                                       double deadline_ms,
+                                       std::size_t threads) {
   if (spec == "FCFS-BF") return make_backfill(PriorityKind::Fcfs);
   if (spec == "FCFS-cons-BF")
     return make_backfill(PriorityKind::Fcfs, kConservativeReservations);
@@ -119,6 +122,7 @@ std::unique_ptr<Scheduler> make_policy(const std::string& spec,
   cfg.search.branching = branching;
   cfg.search.node_limit = node_limit;
   cfg.search.deadline_ms = deadline_ms;
+  cfg.search.threads = threads;
   cfg.bound = bound;
   cfg.refine = refine;
   cfg.fairshare = fairshare;

@@ -19,19 +19,22 @@ std::unique_ptr<Scheduler> make_search_policy(SearchAlgo algo,
                                               BoundSpec bound,
                                               std::size_t node_limit,
                                               bool prune = false,
-                                              double deadline_ms = -1.0);
+                                              double deadline_ms = -1.0,
+                                              std::size_t threads = 0);
 
 /// Parses a policy spec string into a scheduler:
 ///   "FCFS-BF" | "LXF-BF" | "SJF-BF" | "LXF&W-BF"
 ///   "Selective-BF" | "Lookahead" | "Slack-BF"
 ///   "MultiQueue" | "MultiQueue-aged" | "Weighted-BF"
 ///   "<DDS|LDS>/<fcfs|lxf>/<dynB|w=<hours>h|wT>[+ls]"  e.g. "DDS/lxf/dynB",
-///   "LDS/lxf/w=100h", "DDS/lxf/dynB+ls". `node_limit` and `deadline_ms`
-///   (wall-clock decision deadline, negative = none) apply to search
-///   policies only.
+///   "LDS/lxf/w=100h", "DDS/lxf/dynB+ls". `node_limit`, `deadline_ms`
+///   (wall-clock decision deadline, negative = none) and `threads`
+///   (parallel search workers, 0 = sequential) apply to search policies
+///   only.
 /// Throws sbs::Error on anything unrecognized.
 std::unique_ptr<Scheduler> make_policy(const std::string& spec,
                                        std::size_t node_limit = 1000,
-                                       double deadline_ms = -1.0);
+                                       double deadline_ms = -1.0,
+                                       std::size_t threads = 0);
 
 }  // namespace sbs

@@ -35,8 +35,8 @@ MonthEval evaluate_policy(const Trace& trace, Scheduler& scheduler,
 MonthEval evaluate_spec(const Trace& trace, const std::string& policy_spec,
                         std::size_t node_limit, const Thresholds& thresholds,
                         const SimConfig& sim, bool keep_outcomes,
-                        double deadline_ms) {
-  auto scheduler = make_policy(policy_spec, node_limit, deadline_ms);
+                        double deadline_ms, std::size_t threads) {
+  auto scheduler = make_policy(policy_spec, node_limit, deadline_ms, threads);
   return evaluate_policy(trace, *scheduler, thresholds, sim, keep_outcomes);
 }
 

@@ -41,10 +41,11 @@ MonthEval evaluate_policy(const Trace& trace, Scheduler& scheduler,
 
 /// Convenience wrapper: builds the policy by spec string (see
 /// make_policy), runs it, and returns the evaluation. `deadline_ms`
-/// applies to search policies only (negative = no wall-clock deadline).
+/// (negative = no wall-clock deadline) and `threads` (parallel search
+/// workers, 0 = sequential) apply to search policies only.
 MonthEval evaluate_spec(const Trace& trace, const std::string& policy_spec,
                         std::size_t node_limit, const Thresholds& thresholds,
                         const SimConfig& sim = {}, bool keep_outcomes = false,
-                        double deadline_ms = -1.0);
+                        double deadline_ms = -1.0, std::size_t threads = 0);
 
 }  // namespace sbs

@@ -36,8 +36,13 @@ struct DecisionRecord {
   std::int64_t discrepancies = -1;  ///< winning path; -1 = not a search
   bool deadline_hit = false;
   std::uint64_t think_us = 0;
+  std::uint64_t threads_used = 0;  ///< parallel-search workers (0 = sequential)
   std::span<const int> started;  ///< job ids dispatched at `now`
   std::span<const ImprovementPoint> improvements;  ///< anytime profile
+  /// Speculative nodes explored per parallel worker (empty = sequential).
+  /// The sum can exceed nodes_visited: subtree work past the deterministic
+  /// merge cut is discarded but still costs wall clock.
+  std::span<const std::uint64_t> worker_nodes;
 };
 
 /// Run boundary record: everything after it (until the next RunRecord)

@@ -95,6 +95,18 @@ void apply_decision(RunReport& r, const JsonValue& rec, std::size_t lineno) {
     ++r.discrepancy_profile[disc];
   }
 
+  // Optional (newer schema): parallel-search accounting. Tolerating their
+  // absence keeps streams from before the threads_used extension readable.
+  if (const JsonValue* threads = rec.find("threads_used"))
+    r.max_threads_used = std::max(
+        r.max_threads_used, static_cast<std::uint64_t>(threads->as_int()));
+  if (const JsonValue* workers = rec.find("worker_nodes")) {
+    SBS_CHECK_MSG(workers->is_array(),
+                  "telemetry line " << lineno << ": worker_nodes not an array");
+    for (const JsonValue& w : workers->array)
+      r.speculative_nodes += static_cast<std::uint64_t>(w.as_int());
+  }
+
   const JsonValue& improvements = need(rec, "improvements", lineno);
   SBS_CHECK_MSG(improvements.is_array(),
                 "telemetry line " << lineno << ": improvements not an array");
@@ -250,6 +262,14 @@ void print_report(const std::vector<RunReport>& runs, std::ostream& os) {
     agg.row()
         .add("deadline hits")
         .add(static_cast<long long>(r.deadline_hits));
+    if (r.max_threads_used > 0) {
+      agg.row()
+          .add("search threads (max)")
+          .add(static_cast<long long>(r.max_threads_used));
+      agg.row()
+          .add("speculative worker nodes")
+          .add(static_cast<long long>(r.speculative_nodes));
+    }
     agg.print(os);
 
     MetricsSnapshot hists;

@@ -40,6 +40,14 @@ struct RunReport {
   std::uint64_t max_queue_depth = 0;
   std::uint64_t started_via_decisions = 0;  ///< sum of started[] lengths
 
+  // Parallel-search accounting (optional fields: absent in streams written
+  // before the threads_used/worker_nodes schema extension, reported as 0).
+  std::uint64_t max_threads_used = 0;    ///< peak workers over the decisions
+  std::uint64_t speculative_nodes = 0;   ///< sum over worker_nodes[]; the
+                                         ///  overshoot vs nodes_visited is
+                                         ///  work the deterministic merge
+                                         ///  discarded
+
   // Distributions over decisions (same buckets as the live registry).
   HistogramSnapshot think_us_hist;
   HistogramSnapshot nodes_hist;

@@ -94,9 +94,13 @@ void Telemetry::decision(const DecisionRecord& d) {
       .field("iterations", d.iterations)
       .field("discrepancies", d.discrepancies)
       .field("deadline_hit", d.deadline_hit)
-      .field("think_us", d.think_us);
+      .field("think_us", d.think_us)
+      .field("threads_used", d.threads_used);
   line_.key("started").begin_array();
   for (const int id : d.started) line_.value(id);
+  line_.end_array();
+  line_.key("worker_nodes").begin_array();
+  for (const std::uint64_t nodes : d.worker_nodes) line_.value(nodes);
   line_.end_array();
   line_.key("improvements").begin_array();
   for (const ImprovementPoint& p : d.improvements) {

@@ -26,7 +26,8 @@ std::span<const double> wait_h_bounds();
 ///   run       trace, policy, capacity, jobs
 ///   decision  t, policy, queue_depth, free_nodes, capacity, max_wait_h,
 ///             nodes_visited, paths_explored, iterations, discrepancies,
-///             deadline_hit, think_us, started[], improvements[]
+///             deadline_hit, think_us, threads_used, started[],
+///             worker_nodes[], improvements[]
 ///   submit    t, job, nodes, runtime, requested, user
 ///   start     t, job, nodes
 ///   finish    t, job

@@ -66,6 +66,8 @@ struct DecisionDetail {
   std::uint64_t iterations = 0;
   std::int64_t discrepancies = -1;  ///< winning path; -1 = not a search
   std::vector<obs::ImprovementPoint> improvements;
+  std::uint64_t threads_used = 0;  ///< parallel-search workers (0 = sequential)
+  std::vector<std::uint64_t> worker_nodes;  ///< speculative nodes per worker
 };
 
 /// Non-preemptive scheduling policy. At each event the simulator calls

@@ -258,6 +258,8 @@ SimResult simulate(const Trace& trace, Scheduler& scheduler,
         d.iterations = detail->iterations;
         d.discrepancies = detail->discrepancies;
         d.improvements = detail->improvements;
+        d.threads_used = detail->threads_used;
+        d.worker_nodes = detail->worker_nodes;
       }
       d.started = chosen;
       tel->decision(d);

@@ -1,0 +1,141 @@
+// Golden-trace regression: a committed mini SWF workload is replayed under
+// the paper's headline search policy and both backfill baselines, and every
+// per-job outcome must match the committed CSV exactly. Any change to
+// placement, tie-breaking, search order or simulator event handling shows
+// up here as a diff against a human-reviewable fixture.
+//
+// Refreshing the fixtures after an INTENDED behavior change:
+//   SBS_REGEN_GOLDEN=1 ./test_golden_trace   # rewrites tests/data/*.csv
+// then review the diff and commit it alongside the change.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "exp/policy_factory.hpp"
+#include "jobs/swf.hpp"
+#include "sim/simulator.hpp"
+#include "test_support.hpp"
+
+#ifndef SBS_TEST_DATA_DIR
+#error "SBS_TEST_DATA_DIR must point at tests/data"
+#endif
+
+namespace sbs {
+namespace {
+
+struct GoldenRow {
+  int id = 0;
+  Time start = 0;
+  Time end = 0;
+};
+
+std::string csv_path(const std::string& policy) {
+  std::string file = policy;
+  for (char& c : file)
+    if (c == '/') c = '_';
+  return std::string(SBS_TEST_DATA_DIR) + "/golden_" + file + ".csv";
+}
+
+std::vector<GoldenRow> outcome_rows(const std::vector<JobOutcome>& outcomes) {
+  std::vector<GoldenRow> rows;
+  for (const JobOutcome& o : outcomes)
+    rows.push_back({o.job.id, o.start, o.end});
+  return rows;
+}
+
+void write_golden(const std::string& path, const std::vector<GoldenRow>& rows) {
+  std::ofstream out(path);
+  ASSERT_TRUE(out) << "cannot write " << path;
+  out << "id,start,end\n";
+  for (const GoldenRow& r : rows)
+    out << r.id << ',' << r.start << ',' << r.end << '\n';
+}
+
+std::vector<GoldenRow> read_golden(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    ADD_FAILURE() << "missing golden file " << path
+                  << " — run with SBS_REGEN_GOLDEN=1 to create it";
+    return {};
+  }
+  std::vector<GoldenRow> rows;
+  std::string line;
+  std::getline(in, line);  // header
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    GoldenRow r;
+    char comma = 0;
+    std::istringstream ss(line);
+    ss >> r.id >> comma >> r.start >> comma >> r.end;
+    rows.push_back(r);
+  }
+  return rows;
+}
+
+class GoldenTrace : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(GoldenTrace, PerJobOutcomesMatchFixture) {
+  const std::string policy = GetParam();
+  const Trace trace =
+      read_swf_file(std::string(SBS_TEST_DATA_DIR) + "/golden_mini.swf");
+  ASSERT_EQ(trace.capacity, 16);
+  ASSERT_EQ(trace.jobs.size(), 24u);
+
+  auto scheduler = make_policy(policy, /*node_limit=*/300);
+  const SimResult result = simulate(trace, *scheduler);
+  ASSERT_EQ(result.outcomes.size(), trace.jobs.size());
+  EXPECT_NO_THROW(test::check_feasible(result.outcomes, trace.capacity));
+  const std::vector<GoldenRow> actual = outcome_rows(result.outcomes);
+
+  if (std::getenv("SBS_REGEN_GOLDEN") != nullptr) {
+    write_golden(csv_path(policy), actual);
+    GTEST_SKIP() << "regenerated " << csv_path(policy);
+  }
+
+  const std::vector<GoldenRow> expected = read_golden(csv_path(policy));
+  ASSERT_EQ(expected.size(), actual.size());
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    SCOPED_TRACE("job " + std::to_string(expected[i].id));
+    EXPECT_EQ(actual[i].id, expected[i].id);
+    EXPECT_EQ(actual[i].start, expected[i].start);
+    EXPECT_EQ(actual[i].end, expected[i].end);
+  }
+}
+
+// The search policy's golden outcomes must be thread-count invariant too:
+// the parallel engine replayed over the fixture gives the same CSV.
+TEST(GoldenTrace, SearchOutcomesIndependentOfThreads) {
+  const Trace trace =
+      read_swf_file(std::string(SBS_TEST_DATA_DIR) + "/golden_mini.swf");
+  auto sequential = make_policy("DDS/lxf/dynB", 300);
+  const std::vector<GoldenRow> base =
+      outcome_rows(simulate(trace, *sequential).outcomes);
+  for (const std::size_t threads : {2u, 4u}) {
+    auto parallel = make_policy("DDS/lxf/dynB", 300, -1.0, threads);
+    const std::vector<GoldenRow> rows =
+        outcome_rows(simulate(trace, *parallel).outcomes);
+    ASSERT_EQ(rows.size(), base.size());
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      EXPECT_EQ(rows[i].start, base[i].start) << "job " << base[i].id;
+      EXPECT_EQ(rows[i].end, base[i].end) << "job " << base[i].id;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Policies, GoldenTrace,
+                         ::testing::Values("DDS/lxf/dynB", "FCFS-BF",
+                                           "LXF-BF"),
+                         [](const auto& suite_info) {
+                           std::string name = suite_info.param;
+                           for (char& c : name)
+                             if (c == '/' || c == '-' || c == '&') c = '_';
+                           return name;
+                         });
+
+}  // namespace
+}  // namespace sbs

@@ -257,8 +257,8 @@ void check_schema(const std::vector<obs::JsonValue>& records) {
       for (const char* key :
            {"t", "policy", "queue_depth", "free_nodes", "capacity",
             "max_wait_h", "nodes_visited", "paths_explored", "iterations",
-            "discrepancies", "deadline_hit", "think_us", "started",
-            "improvements"})
+            "discrepancies", "deadline_hit", "think_us", "threads_used",
+            "started", "worker_nodes", "improvements"})
         EXPECT_NE(rec.find(key), nullptr) << "decision lacks " << key;
     } else if (type->as_string() != "run") {
       EXPECT_NE(rec.find("t"), nullptr);

@@ -1,0 +1,247 @@
+// Property-based harness: seeded random workloads drive invariants that
+// example-based unit tests cannot pin down — machine physics under every
+// policy, ResourceProfile oversubscription, FCFS queue order across fault
+// requeues, and telemetry-report reconciliation with the live run.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/resource_profile.hpp"
+#include "exp/policy_factory.hpp"
+#include "obs/report.hpp"
+#include "obs/telemetry.hpp"
+#include "obs/trace_sink.hpp"
+#include "sim/faults.hpp"
+#include "sim/simulator.hpp"
+#include "test_support.hpp"
+#include "util/rng.hpp"
+
+namespace sbs {
+namespace {
+
+using test::check_feasible;
+using test::job;
+using test::trace_of;
+
+/// Random open workload: bursty submits (so queues actually form), mixed
+/// widths up to the full machine, runtimes from minutes to hours, and
+/// occasional exact duplicates (tie-break surface for Lxf ordering).
+Trace random_trace(std::uint64_t seed, std::size_t jobs, int capacity) {
+  Rng rng(seed);
+  std::vector<Job> js;
+  Time t = 0;
+  for (std::size_t i = 0; i < jobs; ++i) {
+    if (rng.bernoulli(0.6)) t += static_cast<Time>(rng.uniform_int(0, 1200));
+    const int nodes = static_cast<int>(rng.uniform_int(1, capacity));
+    const Time runtime = static_cast<Time>(rng.uniform_int(kMinute, 4 * kHour));
+    const Time requested =
+        rng.bernoulli(0.5) ? runtime : runtime + static_cast<Time>(rng.uniform_int(0, kHour));
+    js.push_back(job(static_cast<int>(i), t, nodes, runtime, requested));
+    if (rng.bernoulli(0.2))  // same-instant duplicate shape
+      js.push_back(job(static_cast<int>(i) + 1000, t, nodes, runtime, requested));
+  }
+  return trace_of(std::move(js), capacity);
+}
+
+// ---------------------------------------------------------------------------
+// ResourceProfile: a random reserve/release workload can never oversubscribe
+
+TEST(Properties, ResourceProfileNeverOversubscribes) {
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    Rng rng(seed * 7919);
+    const int capacity = static_cast<int>(rng.uniform_int(1, 256));
+    const Time origin = static_cast<Time>(rng.uniform_int(0, 100000));
+    ResourceProfile profile(capacity, origin);
+
+    // Shadow ledger of every accepted reservation, as a usage delta map.
+    std::map<Time, int> delta;
+    std::vector<std::tuple<Time, int, Time>> placed;
+    for (int op = 0; op < 200; ++op) {
+      const int nodes = static_cast<int>(rng.uniform_int(1, capacity));
+      const Time duration = static_cast<Time>(rng.uniform_int(1, 6 * kHour));
+      const Time from = origin + static_cast<Time>(rng.uniform_int(0, 12 * kHour));
+      const Time start = profile.earliest_start(from, nodes, duration);
+      ASSERT_GE(start, from);
+      ASSERT_TRUE(profile.fits(start, nodes, duration));
+      // earliest_start is tight: the same request cannot also fit a second
+      // earlier (only probe one step back — full minimality is O(T) per op).
+      if (start > from) {
+        EXPECT_FALSE(profile.fits(start - 1, nodes, duration))
+            << "earliest_start not minimal at op " << op;
+      }
+      profile.reserve(start, nodes, duration);
+      delta[start] += nodes;
+      delta[start + duration] -= nodes;
+      placed.emplace_back(start, nodes, duration);
+    }
+
+    // The profile agrees with the shadow ledger at every boundary, and the
+    // free count never drops below zero (capacity overlap).
+    int used = 0;
+    for (const auto& [at, d] : delta) {
+      used += d;
+      ASSERT_LE(used, capacity);
+      EXPECT_EQ(profile.free_at(at), capacity - used)
+          << "free-node drift at t=" << at << " (seed " << seed << ")";
+      EXPECT_GE(profile.free_at(at), 0);
+    }
+
+    // Releasing everything restores the empty machine exactly.
+    for (const auto& [start, nodes, duration] : placed)
+      profile.release(start, nodes, duration);
+    profile.compact();
+    for (const auto& [at, d] : delta)
+      EXPECT_EQ(profile.free_at(at), capacity);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Machine physics: every policy, random workloads, fault-free
+
+TEST(Properties, SimulationRespectsMachinePhysics) {
+  const char* kPolicies[] = {"FCFS-BF", "LXF-BF", "Selective-BF",
+                             "DDS/lxf/dynB", "LDS/fcfs/dynB"};
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    Rng shape(seed);
+    const int capacity = static_cast<int>(shape.uniform_int(8, 64));
+    const Trace trace = random_trace(seed * 31, 40, capacity);
+    for (const char* spec : kPolicies) {
+      SCOPED_TRACE(std::string(spec) + " seed=" + std::to_string(seed));
+      auto scheduler = make_policy(spec, /*node_limit=*/200, -1.0,
+                                   /*threads=*/seed % 3);
+      const SimResult r = simulate(trace, *scheduler);
+      ASSERT_EQ(r.outcomes.size(), trace.jobs.size());
+      // check_feasible throws on: start before submit, wrong runtime, or
+      // any instant where the machine is oversubscribed.
+      EXPECT_NO_THROW(check_feasible(r.outcomes, trace.capacity));
+      for (const JobOutcome& o : r.outcomes) EXPECT_TRUE(o.completed);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Fault requeues: the waiting queue stays in FCFS (submit, id) order
+
+/// Pass-through policy that audits the queue order the simulator presents:
+/// the waiting span must be (submit, id)-sorted at EVERY decision, which is
+/// exactly the guarantee that a requeued job re-enters at its original
+/// FCFS position rather than at the back of the queue.
+class QueueOrderProbe final : public Scheduler {
+ public:
+  explicit QueueOrderProbe(std::unique_ptr<Scheduler> inner)
+      : inner_(std::move(inner)) {}
+
+  std::vector<int> select_jobs(const SchedulerState& state) override {
+    for (std::size_t i = 1; i < state.waiting.size(); ++i) {
+      const Job& a = *state.waiting[i - 1].job;
+      const Job& b = *state.waiting[i].job;
+      if (a.submit > b.submit || (a.submit == b.submit && a.id >= b.id))
+        ++violations;
+    }
+    max_queue = std::max(max_queue, state.waiting.size());
+    return inner_->select_jobs(state);
+  }
+  std::string name() const override { return inner_->name(); }
+  SchedulerStats stats() const override { return inner_->stats(); }
+
+  std::uint64_t violations = 0;
+  std::size_t max_queue = 0;
+
+ private:
+  std::unique_ptr<Scheduler> inner_;
+};
+
+TEST(Properties, RequeuedJobsKeepSubmitOrder) {
+  std::uint64_t total_requeues = 0;
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const Trace trace = random_trace(seed * 101, 50, 32);
+    FaultSpec spec;
+    spec.node_mtbf = 2 * kHour;
+    spec.node_mttr = kHour;
+    spec.min_block = 2;
+    spec.max_block = 12;
+    spec.job_kill_mtbf = 3 * kHour;
+    spec.seed = seed;
+    const FaultInjector injector = FaultInjector::from_spec(
+        spec, trace.window_begin, trace.window_end, trace.capacity);
+    SimConfig sim;
+    sim.faults = &injector;
+    sim.requeue = RequeuePolicy::Resubmit;
+
+    QueueOrderProbe probe(make_policy(seed % 2 ? "LXF-BF" : "DDS/lxf/dynB",
+                                      /*node_limit=*/150));
+    const SimResult r = simulate(trace, probe, sim);
+    EXPECT_EQ(probe.violations, 0u) << "queue left FCFS order (seed " << seed
+                                    << ")";
+    EXPECT_GT(probe.max_queue, 0u);
+    total_requeues += r.fault_stats.jobs_requeued;
+
+    // A restarted job still never starts before its submission.
+    for (const JobOutcome& o : r.outcomes) {
+      if (o.completed) {
+        EXPECT_GE(o.start, o.job.submit);
+      }
+    }
+  }
+  // The property must actually have been exercised by the fault schedule.
+  EXPECT_GT(total_requeues, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Telemetry reports reconcile with live SchedulerStats on random runs
+
+TEST(Properties, ReportReconcilesWithLiveStats) {
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    const std::size_t threads = (seed % 3) * 2;  // 0, 2, 4 workers
+    const Trace trace = random_trace(seed * 977, 35, 24);
+    auto scheduler =
+        make_policy("DDS/lxf/dynB", /*node_limit=*/250, -1.0, threads);
+
+    const std::string path = testing::TempDir() + "/sbs_prop_" +
+                             std::to_string(seed) + ".jsonl";
+    obs::Telemetry tel(std::make_unique<obs::JsonlSink>(path));
+    SimConfig sim;
+    sim.telemetry = &tel;
+    const SimResult r = simulate(trace, *scheduler, sim);
+
+    const std::vector<obs::RunReport> runs = obs::summarize_telemetry(path);
+    std::remove(path.c_str());
+    ASSERT_EQ(runs.size(), 1u);
+    const obs::RunReport& rep = runs.front();
+    const SchedulerStats& live = r.sched_stats;
+    SCOPED_TRACE("seed=" + std::to_string(seed) +
+                 " threads=" + std::to_string(threads));
+
+    EXPECT_EQ(rep.decisions, live.decisions);
+    EXPECT_EQ(rep.nodes_visited, live.nodes_visited);
+    EXPECT_EQ(rep.paths_explored, live.paths_explored);
+    EXPECT_EQ(rep.think_time_us, live.think_time_us);
+    EXPECT_EQ(rep.deadline_hits, live.deadline_hits);
+    EXPECT_EQ(rep.max_think_time_us, live.max_think_time_us);
+    EXPECT_EQ(rep.max_queue_depth, live.max_queue_depth);
+    EXPECT_EQ(rep.submits, trace.jobs.size());
+    EXPECT_EQ(rep.starts, rep.started_via_decisions);
+    EXPECT_EQ(rep.starts, rep.finishes + rep.kills);
+
+    // Parallel-search bookkeeping flows through the stream: the max
+    // threads_used equals the configured worker count whenever some
+    // decision actually ran the parallel engine, and a sequential run
+    // never reports workers or speculation.
+    EXPECT_LE(rep.max_threads_used, threads);
+    if (threads == 0) {
+      EXPECT_EQ(rep.max_threads_used, 0u);
+      EXPECT_EQ(rep.speculative_nodes, 0u);
+    } else if (rep.max_threads_used > 0) {
+      EXPECT_EQ(rep.max_threads_used, threads);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sbs

@@ -141,6 +141,54 @@ TEST(Search, LxfBranchingOrdersBySlowdown) {
               p.jobs[first_path[i + 1]].slowdown_now);
 }
 
+TEST(Search, LxfBranchingBreaksSlowdownTiesBySubmitThenId) {
+  // Regression: the old lxf comparator only compared slowdowns and leaned
+  // on std::stable_sort for ties, i.e. on the caller's insertion order.
+  // branching_order() must define a strict total order — equal-slowdown
+  // jobs rank by (submit asc, id asc) regardless of how the problem vector
+  // happens to be arranged.
+  ProblemBuilder b(16, /*now=*/7200);
+  // Jobs 0 and 1: identical shape and submit -> identical slowdown; jobs 2
+  // and 3: different submits but estimates chosen so the slowdowns tie
+  // exactly ((wait + est) / est equal for both).
+  b.wait(0, 2, kHour)        // id 0, slowdown (7200+3600)/3600 = 3
+      .wait(0, 2, kHour)     // id 1, same slowdown, higher id
+      .wait(3600, 4, kHour)  // id 2, slowdown (3600+3600)/3600 = 2
+      .wait(0, 8, 2 * kHour);  // id 3, slowdown (7200+7200)/7200 = 2
+  const SearchProblem p = b.build();
+  ASSERT_DOUBLE_EQ(p.jobs[0].slowdown_now, p.jobs[1].slowdown_now);
+  ASSERT_DOUBLE_EQ(p.jobs[2].slowdown_now, p.jobs[3].slowdown_now);
+
+  const std::vector<std::size_t> order = branching_order(p, Branching::Lxf);
+  // Ties resolve by submit (job 3 submitted at 0 precedes job 2 at 3600),
+  // then by id (0 before 1).
+  const std::vector<std::size_t> expected = {0, 1, 3, 2};
+  EXPECT_EQ(order, expected);
+
+  // The same total order must hold with the jobs fed in reversed
+  // positions — build an equivalent problem whose vector is permuted.
+  ProblemBuilder rev(16, 7200);
+  rev.wait(3600, 4, kHour)   // old id 2 now first in the vector
+      .wait(0, 8, 2 * kHour)
+      .wait(0, 2, kHour)
+      .wait(0, 2, kHour);
+  const SearchProblem pr = rev.build();
+  const std::vector<std::size_t> order_r =
+      branching_order(pr, Branching::Lxf);
+  // ids in pr: 0 = (3600,4), 1 = (0,8), 2/3 = the twins.
+  const std::vector<std::size_t> expected_r = {2, 3, 1, 0};
+  EXPECT_EQ(order_r, expected_r);
+}
+
+TEST(Search, FcfsBranchingBreaksSubmitTiesById) {
+  ProblemBuilder b(8, /*now=*/1000);
+  b.wait(500, 1, kHour).wait(0, 2, kHour).wait(0, 3, kHour);
+  const std::vector<std::size_t> order =
+      branching_order(b.build(), Branching::Fcfs);
+  const std::vector<std::size_t> expected = {1, 2, 0};
+  EXPECT_EQ(order, expected);
+}
+
 TEST(Search, ExhaustiveFindsBruteForceOptimum) {
   const SearchProblem p = four_jobs();
   // Brute force over all permutations via the schedule builder.

@@ -1,0 +1,229 @@
+// Differential harness for the parallel search engine: for a seeded matrix
+// of workloads x {LDS,DDS} x {fcfs,lxf} x {1,2,4,8} threads, the parallel
+// result must be IDENTICAL to the sequential engine's — schedule, objective
+// value, anytime profile and visited-node accounting. Thread-count
+// invariance is the contract that makes --search-threads safe to deploy:
+// a parallel scheduler that drifts from the sequential one is untestable.
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <vector>
+
+#include "core/search.hpp"
+#include "core/search_scheduler.hpp"
+#include "exp/policy_factory.hpp"
+#include "sim/simulator.hpp"
+#include "test_support.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace sbs {
+namespace {
+
+using test::ProblemBuilder;
+
+/// Seeded random decision point: jobs of mixed width/length, some already
+/// waiting a while (distinct slowdowns) and some submitted together in
+/// identical shapes (exact slowdown ties — the Lxf tie-break regression
+/// surface), over a partially busy machine.
+ProblemBuilder random_problem(std::uint64_t seed, std::size_t jobs,
+                              int capacity) {
+  Rng rng(seed);
+  ProblemBuilder b(capacity, /*now=*/static_cast<Time>(36000));
+  b.busy(static_cast<int>(rng.uniform_int(0, capacity / 2)),
+         static_cast<Time>(rng.uniform_int(60, 4 * kHour)));
+  for (std::size_t i = 0; i < jobs; ++i) {
+    const Time submit = static_cast<Time>(rng.uniform_int(0, 36000));
+    const int nodes = static_cast<int>(rng.uniform_int(1, capacity));
+    const Time runtime = static_cast<Time>(rng.uniform_int(kMinute, 8 * kHour));
+    const Time bound = static_cast<Time>(rng.uniform_int(1, 50) * kHour);
+    b.wait(submit, nodes, runtime, bound);
+    if (rng.bernoulli(0.3)) b.wait(submit, nodes, runtime, bound);  // tie twin
+  }
+  return b;
+}
+
+void expect_identical(const SearchResult& seq, const SearchResult& par,
+                      std::size_t threads) {
+  SCOPED_TRACE("threads=" + std::to_string(threads));
+  EXPECT_EQ(seq.order, par.order);
+  EXPECT_EQ(seq.starts, par.starts);
+  EXPECT_EQ(seq.value.excess_h, par.value.excess_h);
+  EXPECT_EQ(seq.value.avg_bsld, par.value.avg_bsld);
+  EXPECT_EQ(seq.nodes_visited, par.nodes_visited);
+  EXPECT_EQ(seq.paths_completed, par.paths_completed);
+  EXPECT_EQ(seq.iterations_started, par.iterations_started);
+  EXPECT_EQ(seq.paths_per_iteration, par.paths_per_iteration);
+  EXPECT_EQ(seq.exhausted, par.exhausted);
+  EXPECT_FALSE(par.deadline_hit);
+  ASSERT_EQ(seq.improvements.size(), par.improvements.size());
+  for (std::size_t i = 0; i < seq.improvements.size(); ++i) {
+    SCOPED_TRACE("improvement " + std::to_string(i));
+    EXPECT_EQ(seq.improvements[i].nodes, par.improvements[i].nodes);
+    EXPECT_EQ(seq.improvements[i].path, par.improvements[i].path);
+    EXPECT_EQ(seq.improvements[i].value.excess_h,
+              par.improvements[i].value.excess_h);
+    EXPECT_EQ(seq.improvements[i].value.avg_bsld,
+              par.improvements[i].value.avg_bsld);
+    EXPECT_EQ(seq.improvements[i].discrepancies,
+              par.improvements[i].discrepancies);
+  }
+  EXPECT_EQ(par.threads_used, threads);
+  ASSERT_EQ(par.worker_nodes.size(), threads);
+  std::size_t speculative = 0;
+  for (std::size_t w : par.worker_nodes) speculative += w;
+  // Workers may overshoot the canonical cut (discarded speculation) but
+  // never undershoot it: everything the merge accepted beyond iteration 0
+  // (which runs on the calling thread, n nodes) was explored by a worker.
+  const std::size_t iter0 = par.order.size();
+  EXPECT_GE(speculative, par.nodes_visited - std::min(par.nodes_visited, iter0));
+}
+
+class SearchParallelMatrix
+    : public ::testing::TestWithParam<std::tuple<SearchAlgo, Branching>> {};
+
+TEST_P(SearchParallelMatrix, MatchesSequentialAcrossThreadCounts) {
+  const auto [algo, branching] = GetParam();
+  const std::size_t kJobs[] = {2, 5, 9, 13};
+  const std::size_t kBudgets[] = {1, 7, 60, 400, 100000};
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    for (const std::size_t jobs : kJobs) {
+      for (const std::size_t budget : kBudgets) {
+        const ProblemBuilder b =
+            random_problem(seed * 977, jobs, /*capacity=*/64);
+        const SearchProblem problem = b.build();
+        SearchConfig cfg;
+        cfg.algo = algo;
+        cfg.branching = branching;
+        cfg.node_limit = budget;
+        const SearchResult seq = run_search(problem, cfg);
+        EXPECT_EQ(seq.threads_used, 0u);
+        EXPECT_TRUE(seq.worker_nodes.empty());
+        for (const std::size_t threads : {1u, 2u, 4u, 8u}) {
+          SCOPED_TRACE("seed=" + std::to_string(seed) +
+                       " jobs=" + std::to_string(jobs) +
+                       " budget=" + std::to_string(budget));
+          SearchConfig par_cfg = cfg;
+          par_cfg.threads = threads;
+          expect_identical(seq, run_search(problem, par_cfg), threads);
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AlgoBranching, SearchParallelMatrix,
+    ::testing::Combine(::testing::Values(SearchAlgo::Lds, SearchAlgo::Dds),
+                       ::testing::Values(Branching::Fcfs, Branching::Lxf)),
+    [](const auto& suite_info) {
+      return algo_name(std::get<0>(suite_info.param)) + "_" +
+             branching_name(std::get<1>(suite_info.param));
+    });
+
+TEST(SearchParallel, ExternalPoolMatchesTransientPool) {
+  const ProblemBuilder b = random_problem(4242, 10, 128);
+  const SearchProblem problem = b.build();
+  SearchConfig cfg;
+  cfg.node_limit = 500;
+  cfg.threads = 4;
+  ThreadPool pool(4);
+  const SearchResult with_pool = run_search(problem, cfg, &pool);
+  const SearchResult transient = run_search(problem, cfg);
+  expect_identical(transient, with_pool, 4);
+  // And a reused pool keeps giving the same answer (no state leaks).
+  expect_identical(transient, run_search(problem, cfg, &pool), 4);
+}
+
+TEST(SearchParallel, SequentialFallbacksReportZeroThreads) {
+  const ProblemBuilder b = random_problem(7, 6, 64);
+  const SearchProblem problem = b.build();
+  SearchConfig cfg;
+  cfg.threads = 4;
+  cfg.node_limit = 100;
+
+  cfg.algo = SearchAlgo::Dfs;  // the DFS baseline stays sequential
+  EXPECT_EQ(run_search(problem, cfg).threads_used, 0u);
+
+  cfg.algo = SearchAlgo::Dds;
+  cfg.prune = true;  // cross-subtree incumbent pruning is order-dependent
+  EXPECT_EQ(run_search(problem, cfg).threads_used, 0u);
+
+  cfg.prune = false;
+  cfg.on_path = [](std::span<const std::size_t>, const ObjectiveValue&) {};
+  EXPECT_EQ(run_search(problem, cfg).threads_used, 0u);
+}
+
+TEST(SearchParallel, SingleJobProblemFallsBackSequential) {
+  ProblemBuilder b(32, 0);
+  b.wait(0, 8, kHour);
+  SearchConfig cfg;
+  cfg.threads = 8;
+  const SearchResult r = run_search(b.build(), cfg);
+  EXPECT_EQ(r.threads_used, 0u);
+  EXPECT_EQ(r.nodes_visited, 1u);
+  EXPECT_TRUE(r.exhausted);
+}
+
+/// The budget cut can land exactly on a subtree boundary or one node into
+/// a task; sweep every budget around the full tree size to pin the edge
+/// cases (iteration counted but zero paths, cut on the last root task...).
+TEST(SearchParallel, EveryBudgetCutPointMatchesSequential) {
+  const ProblemBuilder b = random_problem(99, 3, 64);  // 6 jobs with twins
+  const SearchProblem problem = b.build();
+  for (const SearchAlgo algo : {SearchAlgo::Lds, SearchAlgo::Dds}) {
+    SearchConfig cfg;
+    cfg.algo = algo;
+    cfg.branching = Branching::Lxf;
+    cfg.node_limit = 10000;
+    const SearchResult full = run_search(problem, cfg);
+    ASSERT_TRUE(full.exhausted);
+    for (std::size_t budget = 1; budget <= full.nodes_visited + 1; ++budget) {
+      cfg.node_limit = budget;
+      const SearchResult seq = run_search(problem, cfg);
+      SearchConfig par_cfg = cfg;
+      for (const std::size_t threads : {2u, 5u}) {
+        par_cfg.threads = threads;
+        SCOPED_TRACE("algo=" + algo_name(algo) +
+                     " budget=" + std::to_string(budget));
+        expect_identical(seq, run_search(problem, par_cfg), threads);
+      }
+    }
+  }
+}
+
+/// Scheduler-level differential: the started-job set of every decision in
+/// a simulated run must be independent of the thread count.
+TEST(SearchParallel, SchedulerStartsIdenticalJobsAcrossThreadCounts) {
+  std::vector<Job> jobs;
+  Rng rng(2025);
+  Time t = 0;
+  for (int i = 0; i < 60; ++i) {
+    t += static_cast<Time>(rng.uniform_int(0, 1800));
+    const int nodes = static_cast<int>(rng.uniform_int(1, 100));
+    const Time runtime = static_cast<Time>(rng.uniform_int(kMinute, 6 * kHour));
+    jobs.push_back(test::job(i, t, nodes, runtime));
+    if (rng.bernoulli(0.25))
+      jobs.push_back(test::job(i + 1000, t, nodes, runtime));
+  }
+  const Trace trace = test::trace_of(std::move(jobs), 100);
+
+  auto outcomes_with_threads = [&](std::size_t threads) {
+    auto policy = make_policy("DDS/lxf/dynB", /*node_limit=*/300,
+                              /*deadline_ms=*/-1.0, threads);
+    const SimResult r = simulate(trace, *policy);
+    std::vector<std::pair<Time, Time>> spans;
+    for (const JobOutcome& o : r.outcomes) spans.emplace_back(o.start, o.end);
+    return spans;
+  };
+
+  const auto base = outcomes_with_threads(0);
+  for (const std::size_t threads : {1u, 2u, 4u, 8u}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    EXPECT_EQ(base, outcomes_with_threads(threads));
+  }
+}
+
+}  // namespace
+}  // namespace sbs

@@ -12,15 +12,16 @@
 //            [--load=0.9] [--classes] [--timeline=out.csv]
 //            [--faults=mtbf:86400,mttr:3600,seed:7[,block:2-8][,killmtbf:N]]
 //            [--requeue=resubmit|drop] [--search-deadline-ms=50]
-//            [--telemetry=run.jsonl] [--metrics]
+//            [--search-threads=4] [--telemetry=run.jsonl] [--metrics]
 //       Run one policy and report every aggregate measure; optionally the
 //       per-class wait grid, a utilization/queue timeline CSV, seeded
-//       fault injection, a wall-clock search deadline, a decision-level
+//       fault injection, a wall-clock search deadline, a parallel search
+//       worker count (identical schedules at any count), a decision-level
 //       JSONL event stream and the metrics-registry tables.
 //
 //   sbsched compare --trace=month.swf [--policies=FCFS-BF,LXF-BF,DDS/lxf/dynB]
 //            [--nodes=1000] [--rstar=...] [--load=0.9] [--faults=...]
-//            [--requeue=...] [--search-deadline-ms=N]
+//            [--requeue=...] [--search-deadline-ms=N] [--search-threads=N]
 //            [--telemetry=runs.jsonl] [--metrics]
 //       Side-by-side comparison with FCFS-derived excessive-wait measures.
 //
@@ -66,18 +67,21 @@ int usage() {
       "            [--faults=mtbf:86400,mttr:3600,seed:7[,block:2-8]"
       "[,killmtbf:N]]\n"
       "            [--requeue=resubmit|drop] [--search-deadline-ms=50]\n"
+      "            [--search-threads=4]\n"
       "            [--telemetry=run.jsonl] [--metrics]\n"
       "      Run one policy and report every aggregate measure. --faults\n"
       "      injects seeded node failures/repairs, --requeue picks the fate\n"
       "      of killed jobs, --search-deadline-ms bounds each decision's\n"
-      "      wall clock. --telemetry streams one JSONL record per decision\n"
-      "      and job lifecycle event; --metrics prints the counter and\n"
-      "      histogram tables.\n"
+      "      wall clock. --search-threads runs the tree search on N worker\n"
+      "      threads (0 = sequential; any N yields the identical schedule,\n"
+      "      only faster). --telemetry streams one JSONL record per\n"
+      "      decision and job lifecycle event; --metrics prints the counter\n"
+      "      and histogram tables.\n"
       "\n"
       "  compare   --trace=month.swf [--policies=FCFS-BF,LXF-BF,DDS/lxf/dynB]\n"
       "            [--nodes=1000] [--rstar=...] [--load=0.9] [--faults=...]\n"
       "            [--requeue=...] [--search-deadline-ms=N]\n"
-      "            [--telemetry=runs.jsonl] [--metrics]\n"
+      "            [--search-threads=N] [--telemetry=runs.jsonl] [--metrics]\n"
       "      Side-by-side comparison with FCFS-derived excessive-wait\n"
       "      measures; telemetry appends every policy's run to one stream.\n"
       "\n"
@@ -220,7 +224,8 @@ int cmd_simulate(int argc, char** argv) {
   CliArgs args(argc, argv,
                {"trace", "procs-per-node", "policy", "nodes", "rstar",
                 "load", "classes", "timeline", "faults", "requeue",
-                "search-deadline-ms", "telemetry", "metrics"});
+                "search-deadline-ms", "search-threads", "telemetry",
+                "metrics"});
   const Trace trace = load_trace(args);
   std::unique_ptr<RuntimePredictor> predictor;
   SimConfig sim = sim_config(args, predictor);
@@ -232,6 +237,8 @@ int cmd_simulate(int argc, char** argv) {
   const auto L = static_cast<std::size_t>(args.get_int("nodes", 1000));
   const double deadline_ms =
       args.get_double("search-deadline-ms", -1.0);
+  const auto threads =
+      static_cast<std::size_t>(args.get_int("search-threads", 0));
 
   // Thresholds always come from the fault-free FCFS-backfill run, so the
   // excessive-wait measures quantify degradation against a healthy machine.
@@ -242,7 +249,7 @@ int cmd_simulate(int argc, char** argv) {
   healthy.telemetry = nullptr;
   const Thresholds th = fcfs_thresholds(trace, healthy);
   const MonthEval eval = evaluate_spec(trace, spec, L, th, sim, true,
-                                       deadline_ms);
+                                       deadline_ms, threads);
 
   std::cout << "policy: " << eval.policy << "\njobs: " << eval.summary.jobs
             << '\n';
@@ -319,7 +326,7 @@ int cmd_compare(int argc, char** argv) {
   CliArgs args(argc, argv,
                {"trace", "procs-per-node", "policies", "nodes", "rstar",
                 "load", "faults", "requeue", "search-deadline-ms",
-                "telemetry", "metrics"});
+                "search-threads", "telemetry", "metrics"});
   const Trace trace = load_trace(args);
   std::unique_ptr<RuntimePredictor> predictor;
   SimConfig sim = sim_config(args, predictor);
@@ -330,6 +337,8 @@ int cmd_compare(int argc, char** argv) {
   const auto L = static_cast<std::size_t>(args.get_int("nodes", 1000));
   const double deadline_ms =
       args.get_double("search-deadline-ms", -1.0);
+  const auto threads =
+      static_cast<std::size_t>(args.get_int("search-threads", 0));
 
   std::vector<std::string> specs;
   std::string list = args.get("policies", "FCFS-BF,LXF-BF,DDS/lxf/dynB");
@@ -356,8 +365,8 @@ int cmd_compare(int argc, char** argv) {
       local = std::make_unique<ClassCorrectionPredictor>();
       policy_sim.predictor = local.get();
     }
-    const MonthEval eval =
-        evaluate_spec(trace, spec, L, th, policy_sim, false, deadline_ms);
+    const MonthEval eval = evaluate_spec(trace, spec, L, th, policy_sim,
+                                         false, deadline_ms, threads);
     t.row()
         .add(eval.policy)
         .add(eval.summary.avg_wait_h)
