@@ -3,11 +3,14 @@
 // paper reports 30-65 ms to visit 1K-8K nodes in a 30-job tree (Java,
 // 2 GHz P4); BM_Search_30Jobs reports our per-node cost directly.
 //
-// After the google-benchmark suite, main() runs a standalone scaling
-// measurement of the parallel search engine and writes
-// BENCH_search_parallel.json (nodes/sec at 1/2/4/8 workers against the
-// sequential engine) — the machine-readable evidence that
-// --search-threads actually buys throughput.
+// After the google-benchmark suite, main() runs two standalone
+// measurements: the parallel-engine scaling sweep (BENCH_search_parallel
+// .json — nodes/sec at 1/2/4/8 workers against the sequential engine) and
+// the incremental-builder comparison (BENCH_search_cache.json — placement
+// throughput of the undo-log + memo builder against the naive per-depth
+// snapshot builder at several node budgets). Both are the machine-readable
+// evidence CI gates on: >= 2x at 4 threads, >= 1.5x from the cache at
+// budgets of 2000 nodes and up.
 
 #include <benchmark/benchmark.h>
 
@@ -26,12 +29,15 @@ namespace {
 using namespace sbs;
 
 // Builds a decision point with `n` waiting jobs on a 128-node machine with
-// a realistic busy profile.
+// a realistic busy profile. `arrays` switches the queue composition from
+// all-distinct jobs to NCSA-style job arrays — batches of 3-6 identical
+// (nodes, runtime) submissions, the dominant pattern in the paper's
+// workload and the case the builder's shape-keyed memo exists for.
 struct Fixture {
   std::vector<Job> storage;
   SearchProblem problem;
 
-  explicit Fixture(std::size_t n, std::uint64_t seed = 7) {
+  explicit Fixture(std::size_t n, bool arrays = false, std::uint64_t seed = 7) {
     Rng rng(seed);
     problem.now = 0;
     problem.capacity = 128;
@@ -46,13 +52,18 @@ struct Fixture {
       used += nodes;
     }
     storage.reserve(n);
-    for (std::size_t i = 0; i < n; ++i) {
+    while (storage.size() < n) {
       Job j;
-      j.id = static_cast<int>(i);
+      j.id = static_cast<int>(storage.size());
       j.submit = -static_cast<Time>(rng.uniform_int(0, 12 * kHour));
       j.nodes = static_cast<int>(rng.uniform_int(1, 64));
       j.runtime = j.requested = static_cast<Time>(rng.uniform_int(60, 12 * kHour));
-      storage.push_back(j);
+      const std::size_t batch =
+          arrays ? static_cast<std::size_t>(rng.uniform_int(3, 6)) : 1;
+      for (std::size_t b = 0; b < batch && storage.size() < n; ++b) {
+        storage.push_back(j);
+        j.id = static_cast<int>(storage.size());
+      }
     }
     for (const Job& j : storage) {
       SearchJob s;
@@ -165,6 +176,37 @@ BENCHMARK(BM_Search_Parallel)
     ->ArgNames({"threads"})
     ->UseRealTime();
 
+void BM_Search_CacheOnOff(benchmark::State& state) {
+  // Arg0 = node budget, Arg1 = SearchConfig::cache, Arg2 = job-array
+  // queue (the memo's target case) vs all-distinct jobs (its worst case).
+  // items/s is placements per second; the two cache modes are bit-identical
+  // in results, so the ratio is pure builder throughput.
+  const auto L = static_cast<std::size_t>(state.range(0));
+  Fixture f(30, state.range(2) != 0);
+  SearchConfig cfg;
+  cfg.algo = SearchAlgo::Dds;
+  cfg.branching = Branching::Lxf;
+  cfg.node_limit = L;
+  cfg.cache = state.range(1) != 0;
+  std::size_t nodes = 0;
+  for (auto _ : state) {
+    const SearchResult r = run_search(f.problem, cfg);
+    nodes += r.nodes_visited;
+    benchmark::DoNotOptimize(r.value);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(nodes));
+}
+BENCHMARK(BM_Search_CacheOnOff)
+    ->Args({2000, 0, 1})
+    ->Args({2000, 1, 1})
+    ->Args({8000, 0, 1})
+    ->Args({8000, 1, 1})
+    ->Args({50000, 0, 1})
+    ->Args({50000, 1, 1})
+    ->Args({50000, 0, 0})
+    ->Args({50000, 1, 0})
+    ->ArgNames({"L", "cache", "arrays"});
+
 void BM_Search_Pruning(benchmark::State& state) {
   Fixture f(12);
   SearchConfig cfg;
@@ -237,6 +279,77 @@ void emit_parallel_scaling_json(const sbs::bench::BenchOptions& options) {
   sbs::bench::write_bench_json(options, "search_parallel", doc);
 }
 
+// Standalone cached-vs-naive comparison on the 30-job decision point,
+// emitted as BENCH_search_cache.json. Each row is one (workload, node
+// budget) pair: placements/sec with the naive per-depth snapshot builder,
+// with the undo-log + memo builder, the ratio, and the memo hit rate. The
+// "job_arrays" workload is the NCSA-style queue of identical-shape batches
+// the memo targets — the acceptance bar is >= 1.5x there at budgets of
+// 2000 and up. The "uniform" workload (every shape distinct, so the memo
+// almost never hits) is emitted alongside as the honest worst case.
+void emit_cache_comparison_json(const sbs::bench::BenchOptions& options) {
+  SearchConfig cfg;
+  cfg.algo = SearchAlgo::Dds;
+  cfg.branching = Branching::Lxf;
+
+  obs::JsonWriter doc;
+  doc.begin_object()
+      .field("bench", "search_cache")
+      .field("scale", options.scale)
+      .field("seed", options.seed)
+      .key("rows")
+      .begin_array();
+  for (const bool arrays : {true, false}) {
+    Fixture f(30, arrays);
+    for (const std::size_t budget :
+         {std::size_t{2000}, std::size_t{8000}, std::size_t{50000}}) {
+      cfg.node_limit = budget;
+      // Scale repetitions so every configuration times a few million
+      // placements — a handful of reps at the small budgets measures
+      // microseconds and reports noise.
+      const int reps =
+          static_cast<int>(std::max<std::size_t>(5, 2000000 / budget));
+      double rate[2] = {0.0, 0.0};
+      std::size_t visited[2] = {0, 0};
+      double hit_rate = 0.0;
+      for (const bool cache : {false, true}) {
+        cfg.cache = cache;
+        run_search(f.problem, cfg);  // warm-up
+        std::size_t nodes = 0;
+        std::uint64_t hits = 0;
+        std::uint64_t misses = 0;
+        const auto begin = std::chrono::steady_clock::now();
+        for (int rep = 0; rep < reps; ++rep) {
+          const SearchResult r = run_search(f.problem, cfg);
+          nodes += r.nodes_visited;
+          hits += r.cache_hits;
+          misses += r.cache_misses;
+        }
+        const auto end = std::chrono::steady_clock::now();
+        const double seconds =
+            std::chrono::duration<double>(end - begin).count();
+        rate[cache] = seconds > 0.0 ? static_cast<double>(nodes) / seconds : 0.0;
+        visited[cache] = nodes;
+        if (cache && hits + misses > 0)
+          hit_rate = static_cast<double>(hits) /
+                     static_cast<double>(hits + misses);
+      }
+      doc.begin_object()
+          .field("workload", arrays ? "job_arrays" : "uniform")
+          .field("node_limit", static_cast<std::uint64_t>(budget))
+          .field("nodes_naive", static_cast<std::uint64_t>(visited[0]))
+          .field("nodes_cached", static_cast<std::uint64_t>(visited[1]))
+          .field("naive_nodes_per_sec", rate[0])
+          .field("cached_nodes_per_sec", rate[1])
+          .field("speedup", rate[0] > 0.0 ? rate[1] / rate[0] : 0.0)
+          .field("memo_hit_rate", hit_rate)
+          .end_object();
+    }
+  }
+  doc.end_array().end_object();
+  sbs::bench::write_bench_json(options, "search_cache", doc);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -245,5 +358,6 @@ int main(int argc, char** argv) {
   benchmark::Shutdown();
   const auto [options, args] = sbs::bench::parse_options(argc, argv);
   emit_parallel_scaling_json(options);
+  emit_cache_comparison_json(options);
   return 0;
 }

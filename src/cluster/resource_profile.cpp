@@ -64,11 +64,15 @@ Time ResourceProfile::earliest_start(Time from, int nodes,
   }
 }
 
-std::size_t ResourceProfile::ensure_boundary(Time t) {
+std::size_t ResourceProfile::ensure_boundary(Time t, bool* inserted) {
   const std::size_t i = step_index(t);
-  if (steps_[i].time == t) return i;
+  if (steps_[i].time == t) {
+    if (inserted != nullptr) *inserted = false;
+    return i;
+  }
   steps_.insert(steps_.begin() + static_cast<std::ptrdiff_t>(i) + 1,
                 Step{t, steps_[i].free});
+  if (inserted != nullptr) *inserted = true;
   return i + 1;
 }
 
@@ -83,6 +87,50 @@ void ResourceProfile::reserve(Time start, int nodes, Time duration) {
                   "reservation does not fit at t=" << steps_[i].time);
     steps_[i].free -= nodes;
   }
+}
+
+ResourceProfile::ReserveUndo ResourceProfile::reserve_logged(Time start,
+                                                             int nodes,
+                                                             Time duration) {
+  SBS_CHECK(duration > 0);
+  SBS_CHECK(nodes >= 1);
+  const Time end = start + duration;
+  ReserveUndo u;
+  u.start = start;
+  u.nodes = nodes;
+  bool inserted_first = false;
+  bool inserted_last = false;
+  const std::size_t first = ensure_boundary(start, &inserted_first);
+  const std::size_t last = ensure_boundary(end, &inserted_last);
+  u.first = static_cast<std::uint32_t>(first);
+  u.last = static_cast<std::uint32_t>(last);
+  u.inserted_first = inserted_first;
+  u.inserted_last = inserted_last;
+  for (std::size_t i = first; i < last; ++i) {
+    SBS_CHECK_MSG(steps_[i].free >= nodes,
+                  "reservation does not fit at t=" << steps_[i].time);
+    steps_[i].free -= nodes;
+  }
+  return u;
+}
+
+void ResourceProfile::undo(const ReserveUndo& u) {
+  // LIFO discipline means every step the record touched is still where it
+  // was at apply time: later reservations have already been undone, so the
+  // step vector is byte-identical to the post-apply state.
+  SBS_CHECK_MSG(u.last <= steps_.size() && u.first < u.last,
+                "undo record does not match the profile (LIFO violated?)");
+  SBS_CHECK_MSG(steps_[u.first].time == u.start,
+                "undo record does not match the profile (LIFO violated?)");
+  for (std::size_t i = u.first; i < u.last; ++i) {
+    steps_[i].free += u.nodes;
+    SBS_CHECK_MSG(steps_[i].free <= capacity_,
+                  "undo overflows capacity at t=" << steps_[i].time);
+  }
+  if (u.inserted_last)
+    steps_.erase(steps_.begin() + static_cast<std::ptrdiff_t>(u.last));
+  if (u.inserted_first)
+    steps_.erase(steps_.begin() + static_cast<std::ptrdiff_t>(u.first));
 }
 
 void ResourceProfile::reserve_clamped(Time start, int nodes, Time duration) {

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "util/time.hpp"
@@ -46,6 +47,32 @@ class ResourceProfile {
   /// fit (checked); use earliest_start()/fits() first.
   void reserve(Time start, int nodes, Time duration);
 
+  /// Reversible delta record of one reserve_logged() call: which step range
+  /// was decremented and which boundaries were inserted for it. Opaque to
+  /// callers — hold on to it and hand it back to undo() in strict LIFO
+  /// order.
+  struct ReserveUndo {
+    Time start = 0;
+    int nodes = 0;
+    std::uint32_t first = 0;  ///< first decremented step at apply time
+    std::uint32_t last = 0;   ///< one past the last decremented step
+    bool inserted_first = false;  ///< a boundary was inserted at `start`
+    bool inserted_last = false;   ///< a boundary was inserted at the end
+  };
+
+  /// Exactly reserve(), but returns a delta record that undo() can apply to
+  /// restore the profile byte-for-byte. This is the substrate of the
+  /// incremental search engine: placing a job on the path appends one
+  /// record, backtracking pops it — O(touched steps) instead of an O(steps)
+  /// profile copy per tree node.
+  ReserveUndo reserve_logged(Time start, int nodes, Time duration);
+
+  /// Reverts one reserve_logged() call. Records MUST be undone in reverse
+  /// order of their creation (strict LIFO): only then are the recorded step
+  /// indices guaranteed to address the same steps they did at apply time,
+  /// restoring the exact pre-reserve step vector.
+  void undo(const ReserveUndo& u);
+
   /// Like reserve(), but floors each step's free count at zero instead of
   /// requiring the interval to fit. Used when reconstructing a profile
   /// from running jobs on a machine whose capacity shrank underneath them
@@ -68,8 +95,9 @@ class ResourceProfile {
   std::size_t step_index(Time t) const;
 
   /// Ensures a step boundary exists exactly at t (t >= origin) and returns
-  /// its index.
-  std::size_t ensure_boundary(Time t);
+  /// its index. When `inserted` is non-null it reports whether a new step
+  /// had to be created (the information undo() needs to remove it again).
+  std::size_t ensure_boundary(Time t, bool* inserted = nullptr);
 
   std::vector<Step> steps_;
   int capacity_;

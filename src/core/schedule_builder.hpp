@@ -1,9 +1,12 @@
 #pragma once
 
+#include <cstdint>
 #include <span>
+#include <unordered_map>
 #include <vector>
 
 #include "core/search_problem.hpp"
+#include "util/error.hpp"
 
 namespace sbs {
 
@@ -17,35 +20,364 @@ struct BuiltSchedule {
 /// List-schedules the jobs in the given consideration order (paper §2.2):
 /// each job receives the earliest start feasible against the running jobs
 /// and every job placed before it on the path. The order is a permutation
-/// of [0, problem.size()).
+/// of [0, problem.size()). This free function always rebuilds from the
+/// base profile — it is the naive reference the incremental engine is
+/// proven against.
 BuiltSchedule build_schedule(const SearchProblem& problem,
                              std::span<const std::size_t> order);
 
-/// Incremental list-scheduling state for tree search: one ResourceProfile
-/// snapshot per depth, so backtracking to depth d and placing a different
-/// job just overwrites snapshot d+1. Every search engine — and every
-/// parallel worker, privately — places jobs through one of these, which
-/// keeps the placement arithmetic in a single spot and bit-identical
-/// across the sequential and parallel paths.
+/// Cache-effectiveness counters of one ScheduleBuilder (telemetry only —
+/// they never influence a placement).
+struct BuilderCacheStats {
+  std::uint64_t hits = 0;           ///< memoized earliest-start reuses
+  std::uint64_t misses = 0;         ///< profile scans actually performed
+  std::uint64_t invalidations = 0;  ///< memo discards (size-bound resets)
+};
+
+/// Incremental list-scheduling state for tree search. Every search engine
+/// — and every parallel worker, privately — places jobs through one of
+/// these, which keeps the placement arithmetic in a single spot and
+/// bit-identical across the sequential, parallel, and cached paths.
+///
+/// Two modes, selected at construction and proven equivalent by the
+/// differential suite (tests/test_search_incremental.cpp):
+///
+///  - cache = false (naive): one ResourceProfile snapshot per depth;
+///    place(d, job) copies snapshot d into d+1 and reserves. Backtracking
+///    is free (the next place overwrites the snapshot) but every placement
+///    pays a full profile copy plus an earliest-start scan over the
+///    array-of-structs step vector.
+///
+///  - cache = true (incremental): a single undo-log profile held as two
+///    parallel arrays (times / free counts). place() appends reversible
+///    reserve deltas, unplace() pops them in O(touched steps) — no copies,
+///    ever. Because the profile is never copied, it can afford the layout
+///    that copies would punish: the free counts are a dense int array, so
+///    the earliest-start scan touches a few cache lines instead of the
+///    16-byte AoS steps, and the scan's end position seeds the reserve
+///    directly (no re-searching for the boundaries). On top sits a
+///    per-node earliest-start memo keyed on (profile version, placement
+///    shape): a version id names a profile state, and jobs with identical
+///    (nodes, estimate) — job arrays, tie twins — are the same pure-
+///    function input, so sibling placements of a repeated shape and
+///    LDS/DDS path-prefix replays both skip the scan entirely. The memoed
+///    start feeds the exact same reserve arithmetic, so results cannot
+///    diverge.
+///
+/// Both modes mutate an identical step sequence through identical reserve
+/// arithmetic, so earliest-start answers — and with them every schedule,
+/// objective, and node count — are bit-identical by construction.
 class ScheduleBuilder {
  public:
-  explicit ScheduleBuilder(const SearchProblem& problem)
-      : p_(&problem), profiles_(problem.size() + 1, problem.base) {}
+  explicit ScheduleBuilder(const SearchProblem& problem, bool cache = true)
+      : p_(&problem), cache_(cache) {
+    if (!cache_) {
+      profiles_.assign(problem.size() + 1, problem.base);
+      return;
+    }
+    const std::size_t n = problem.size();
+    times_.reserve(problem.base.step_count() + 2 * n + 2);
+    free_.reserve(problem.base.step_count() + 2 * n + 2);
+    for (const auto& s : problem.base.steps()) {
+      times_.push_back(s.time);
+      free_.push_back(s.free);
+    }
+    undo_log_.reserve(n);
+    version_stack_.reserve(n);
+    // Dense shape ids: jobs with the same (nodes, estimate) are the same
+    // input to earliest_start, so they share memo entries.
+    shape_of_.reserve(n);
+    std::unordered_map<std::uint64_t, std::uint32_t> ids;
+    ids.reserve(n);
+    for (const SearchJob& s : problem.jobs) {
+      const std::uint64_t key =
+          static_cast<std::uint64_t>(s.estimate) * 0x10000u +
+          static_cast<std::uint64_t>(s.nodes);
+      const auto [it, fresh] =
+          ids.emplace(key, static_cast<std::uint32_t>(ids.size()));
+      (void)fresh;
+      shape_of_.push_back(it->second);
+    }
+    n_shapes_ = ids.size();
+    memo_.assign(kMemoInitialSlots, MemoSlot{});
+    memo_mask_ = kMemoInitialSlots - 1;
+  }
 
-  /// Places `job` as the depth-d element of the current path (profiles
-  /// snapshot d -> d+1) and returns its start time.
+  bool cache_enabled() const { return cache_; }
+
+  /// Places `job` as the depth-d element of the current path and returns
+  /// its start time. In cache mode `depth` must equal the number of
+  /// outstanding placements (strict stack discipline, checked).
   Time place(std::size_t depth, std::size_t job) {
-    ResourceProfile& profile = profiles_[depth + 1];
-    profile = profiles_[depth];
     const SearchJob& s = p_->jobs[job];
-    const Time t = profile.earliest_start(p_->now, s.nodes, s.estimate);
-    profile.reserve(t, s.nodes, s.estimate);
+    if (!cache_) {
+      ResourceProfile& profile = profiles_[depth + 1];
+      profile = profiles_[depth];
+      const Time t = profile.earliest_start(p_->now, s.nodes, s.estimate);
+      profile.reserve(t, s.nodes, s.estimate);
+      return t;
+    }
+    SBS_CHECK_MSG(depth == undo_log_.size(),
+                  "cached ScheduleBuilder requires stack discipline");
+    const std::uint64_t key =
+        version_ * n_shapes_ + shape_of_[job] + 1;  // 0 = empty slot
+    Time t;
+    std::uint64_t child_version;
+    std::size_t first_hint;
+    std::size_t end_hint;
+    if (MemoSlot* slot = memo_find(key); slot != nullptr) {
+      // The version in the key names the exact profile state the miss saw,
+      // so the recorded scan positions are still valid — a hit performs no
+      // search at all, only the reserve deltas.
+      t = slot->start;
+      child_version = slot->child_version;
+      first_hint = slot->first_hint;
+      end_hint = slot->end_hint;
+      ++stats_.hits;
+    } else {
+      t = soa_earliest_start(p_->now, s.nodes, s.estimate, first_hint,
+                             end_hint);
+      child_version = ++last_version_;
+      memo_insert(key, t, child_version, first_hint, end_hint);
+      ++stats_.misses;
+    }
+    undo_log_.push_back(
+        soa_reserve(t, s.nodes, s.estimate, first_hint, end_hint));
+    version_stack_.push_back(version_);
+    version_ = child_version;
     return t;
   }
 
+  /// Backtracks the most recent outstanding placement. A no-op in naive
+  /// mode (snapshots are simply overwritten by the next place).
+  void unplace() {
+    if (!cache_) return;
+    SBS_CHECK_MSG(!undo_log_.empty(), "unplace without a placement");
+    const SoaUndo& u = undo_log_.back();
+    // LIFO discipline means every index the record captured is still
+    // valid: later placements have already been undone, so the arrays are
+    // byte-identical to the post-reserve state.
+    for (std::size_t i = u.first; i < u.last; ++i) free_[i] += u.nodes;
+    if (u.inserted_last) erase_step(u.last);
+    if (u.inserted_first) erase_step(u.first);
+    undo_log_.pop_back();
+    version_ = version_stack_.back();
+    version_stack_.pop_back();
+  }
+
+  /// Backtracks every outstanding placement (task reset between parallel
+  /// subtrees). The memo survives — it is keyed by version, and versions
+  /// name states, not paths.
+  void rewind() {
+    while (!undo_log_.empty()) unplace();
+  }
+
+  /// Outstanding placements (cache mode; 0 in naive mode).
+  std::size_t depth() const { return undo_log_.size(); }
+
+  const BuilderCacheStats& cache_stats() const { return stats_; }
+
+  /// Materializes the current live profile as a step vector (tests). In
+  /// naive mode this is the snapshot at the given depth.
+  std::vector<ResourceProfile::Step> live_steps(std::size_t depth = 0) const {
+    std::vector<ResourceProfile::Step> out;
+    if (!cache_) {
+      out = profiles_[depth].steps();
+      return out;
+    }
+    out.reserve(times_.size());
+    for (std::size_t i = 0; i < times_.size(); ++i)
+      out.push_back(ResourceProfile::Step{times_[i], free_[i]});
+    return out;
+  }
+
  private:
+  /// Undo record of one SoA reserve; indices are valid only under strict
+  /// LIFO undo (same contract as ResourceProfile::ReserveUndo).
+  struct SoaUndo {
+    int nodes = 0;
+    std::uint32_t first = 0;  ///< first decremented step index
+    std::uint32_t last = 0;   ///< one past the last decremented index
+    bool inserted_first = false;
+    bool inserted_last = false;
+  };
+
+  struct MemoSlot {
+    std::uint64_t key = 0;  ///< 0 = empty
+    Time start = 0;
+    std::uint64_t child_version = 0;
+    std::uint32_t first_hint = 0;  ///< scan positions at the keyed version;
+    std::uint32_t end_hint = 0;    ///< valid again on every hit
+  };
+
+  static constexpr std::size_t kMemoInitialSlots = std::size_t{1} << 10;
+  /// Memo slot bound: a search that outgrows it (node budgets far past the
+  /// paper's 100K) drops the whole memo and restarts — correctness never
+  /// depends on retention.
+  static constexpr std::size_t kMemoCapacity = std::size_t{1} << 21;
+
+  /// Last step index with times_[i] <= t (mirror of
+  /// ResourceProfile::step_index).
+  std::size_t soa_step_index(Time t) const {
+    SBS_CHECK_MSG(t >= times_.front(), "query before profile origin");
+    std::size_t lo = 0;
+    std::size_t hi = times_.size();
+    while (lo + 1 < hi) {
+      const std::size_t mid = (lo + hi) / 2;
+      if (times_[mid] <= t) {
+        lo = mid;
+      } else {
+        hi = mid;
+      }
+    }
+    return lo;
+  }
+
+  /// Mirror of ResourceProfile::earliest_start over the SoA arrays, with
+  /// one addition: it reports the scan's end position (`first_hint` = step
+  /// containing the start, `end_hint` = first step at or past start +
+  /// duration) so the subsequent reserve needs no boundary search. The
+  /// returned time is bit-identical to the AoS implementation — the scan
+  /// is the same algorithm over the same step sequence.
+  Time soa_earliest_start(Time from, int nodes, Time duration,
+                          std::size_t& first_hint,
+                          std::size_t& end_hint) const {
+    SBS_CHECK(nodes >= 1);
+    SBS_CHECK(duration > 0);
+    if (from < times_.front()) from = times_.front();
+    std::size_t i = soa_step_index(from);
+    const std::size_t n = times_.size();
+    while (true) {
+      const Time t = from > times_[i] ? from : times_[i];
+      if (free_[i] >= nodes) {
+        const Time end = t + duration;
+        std::size_t k = i + 1;
+        while (k < n && times_[k] < end && free_[k] >= nodes) ++k;
+        if (k >= n || times_[k] >= end) {
+          first_hint = i;
+          end_hint = k;
+          return t;
+        }
+        i = k;
+      }
+      ++i;
+      SBS_CHECK_MSG(i < n || free_.back() >= nodes,
+                    "no feasible start found — inconsistent profile");
+      if (i >= n) {
+        first_hint = n - 1;
+        end_hint = n;
+        return from > times_.back() ? from : times_.back();
+      }
+    }
+  }
+
+  void insert_step(std::size_t at, Time t, int f) {
+    times_.insert(times_.begin() + static_cast<std::ptrdiff_t>(at), t);
+    free_.insert(free_.begin() + static_cast<std::ptrdiff_t>(at), f);
+  }
+
+  void erase_step(std::size_t at) {
+    times_.erase(times_.begin() + static_cast<std::ptrdiff_t>(at));
+    free_.erase(free_.begin() + static_cast<std::ptrdiff_t>(at));
+  }
+
+  /// SoA reserve, boundary-seeded by the scan hints (`first_hint` = step
+  /// containing start, `end_hint` = first step at or past start +
+  /// duration) — no boundary search of its own. Same boundary-insertion
+  /// arithmetic as ResourceProfile::reserve.
+  SoaUndo soa_reserve(Time start, int nodes, Time duration,
+                      std::size_t first_hint, std::size_t end_hint) {
+    const Time end = start + duration;
+    std::size_t i = first_hint;
+    std::size_t k = end_hint;
+    SoaUndo u;
+    u.nodes = nodes;
+    std::size_t first = i;
+    if (times_[i] != start) {
+      ++first;
+      insert_step(first, start, free_[i]);
+      ++k;
+      u.inserted_first = true;
+    }
+    const std::size_t last = k;
+    if (last >= times_.size() || times_[last] != end) {
+      insert_step(last, end, free_[last - 1]);
+      u.inserted_last = true;
+    }
+    for (std::size_t j = first; j < last; ++j) {
+      SBS_CHECK_MSG(free_[j] >= nodes,
+                    "reservation does not fit at t=" << times_[j]);
+      free_[j] -= nodes;
+    }
+    u.first = static_cast<std::uint32_t>(first);
+    u.last = static_cast<std::uint32_t>(last);
+    return u;
+  }
+
+  static std::uint64_t memo_hash(std::uint64_t key) {
+    key *= 0x9E3779B97F4A7C15ull;
+    return key ^ (key >> 32);
+  }
+
+  MemoSlot* memo_find(std::uint64_t key) {
+    std::size_t idx = memo_hash(key) & memo_mask_;
+    while (memo_[idx].key != 0) {
+      if (memo_[idx].key == key) return &memo_[idx];
+      idx = (idx + 1) & memo_mask_;
+    }
+    return nullptr;
+  }
+
+  void memo_insert(std::uint64_t key, Time start, std::uint64_t child_version,
+                   std::size_t first_hint, std::size_t end_hint) {
+    if ((memo_count_ + 1) * 4 > memo_.size() * 3) memo_grow();
+    std::size_t idx = memo_hash(key) & memo_mask_;
+    while (memo_[idx].key != 0) idx = (idx + 1) & memo_mask_;
+    memo_[idx] = MemoSlot{key, start, child_version,
+                          static_cast<std::uint32_t>(first_hint),
+                          static_cast<std::uint32_t>(end_hint)};
+    ++memo_count_;
+  }
+
+  void memo_grow() {
+    if (memo_.size() >= kMemoCapacity) {
+      // Size bound reached: drop everything (counted as an invalidation)
+      // rather than growing without limit.
+      for (MemoSlot& slot : memo_) slot = MemoSlot{};
+      memo_count_ = 0;
+      ++stats_.invalidations;
+      return;
+    }
+    std::vector<MemoSlot> old;
+    old.swap(memo_);
+    memo_.assign(old.size() * 2, MemoSlot{});
+    memo_mask_ = memo_.size() - 1;
+    for (const MemoSlot& slot : old) {
+      if (slot.key == 0) continue;
+      std::size_t idx = memo_hash(slot.key) & memo_mask_;
+      while (memo_[idx].key != 0) idx = (idx + 1) & memo_mask_;
+      memo_[idx] = slot;
+    }
+  }
+
   const SearchProblem* p_;
-  std::vector<ResourceProfile> profiles_;
+  const bool cache_;
+  std::vector<ResourceProfile> profiles_;  ///< naive mode: per-depth copies
+
+  // Cache mode: the one live profile as parallel arrays, its undo log,
+  // and the (version, shape) memo.
+  std::vector<Time> times_;
+  std::vector<int> free_;
+  std::vector<SoaUndo> undo_log_;
+  std::vector<std::uint64_t> version_stack_;
+  std::vector<std::uint32_t> shape_of_;
+  std::uint64_t n_shapes_ = 0;
+  std::vector<MemoSlot> memo_;
+  std::size_t memo_mask_ = 0;
+  std::size_t memo_count_ = 0;
+  std::uint64_t version_ = 0;
+  std::uint64_t last_version_ = 0;
+  BuilderCacheStats stats_;
 };
 
 }  // namespace sbs

@@ -87,6 +87,35 @@ std::size_t path_discrepancy_count(std::span<const std::size_t> seq,
   return disc;
 }
 
+/// Seeds `result` with the warm-start incumbent (SearchConfig::warm_order)
+/// when the carried order is still a valid permutation of this problem's
+/// jobs. The warm path is list-scheduled by the naive reference builder —
+/// identical arithmetic to every engine — and recorded as a zero-node,
+/// zero-path improvement so the anytime profile shows where the incumbent
+/// came from. Returns false (cold start) on any mismatch. Shared by the
+/// sequential and parallel engines so warm-start behavior is thread-count
+/// invariant by construction.
+bool apply_warm_start(const SearchProblem& p, const SearchConfig& cfg,
+                      std::span<const std::size_t> seq,
+                      std::vector<char>& scratch, SearchResult& result) {
+  if (cfg.warm_order == nullptr) return false;
+  const std::vector<std::size_t>& w = *cfg.warm_order;
+  if (w.size() != p.size() || w.empty()) return false;
+  scratch.assign(p.size(), 0);
+  for (std::size_t j : w) {
+    if (j >= p.size() || scratch[j]) return false;
+    scratch[j] = 1;
+  }
+  const BuiltSchedule warm = build_schedule(p, w);
+  result.value = warm.value;
+  result.order = w;
+  result.starts = warm.starts;
+  result.warm_start_used = true;
+  result.improvements.push_back(
+      Improvement{0, 0, warm.value, path_discrepancy_count(seq, w, scratch)});
+  return true;
+}
+
 /// Depth-first engine shared by LDS and DDS. The tree has one level per
 /// waiting job; the children of a node are the not-yet-placed jobs in the
 /// branching-heuristic order; child index 0 follows the heuristic and any
@@ -96,7 +125,8 @@ class Engine {
  public:
   Engine(const SearchProblem& problem, const SearchConfig& config)
       : p_(problem), cfg_(config), n_(problem.size()),
-        seq_(branching_order(problem, config.branching)), builder_(problem) {
+        seq_(branching_order(problem, config.branching)),
+        builder_(problem, config.cache) {
     used_.assign(n_, 0);
     path_.resize(n_);
     path_starts_.resize(n_);
@@ -110,16 +140,15 @@ class Engine {
   }
 
   SearchResult run() {
+    apply_warm_start(p_, cfg_, seq_, disc_scratch_, result_);
+
     if (cfg_.algo == SearchAlgo::Dfs) {
       // Chronological DFS visits the leftmost (pure-heuristic) path first
       // by construction; the budget guard inside dfs() lets that first
       // path complete regardless of the limit.
       begin_iteration();
       result_.exhausted = dfs(0, 0.0, 0.0);
-      result_.deadline_hit = deadline_hit_;
-      SBS_CHECK_MSG(result_.paths_completed > 0,
-                    "search produced no schedule");
-      return std::move(result_);
+      return finish();
     }
 
     // Iteration 0: the pure-heuristic path. Always completed, so the
@@ -144,13 +173,20 @@ class Engine {
       }
     }
     result_.exhausted = !done;
-    result_.deadline_hit = deadline_hit_;
+    return finish();
+  }
 
+ private:
+  SearchResult finish() {
+    result_.deadline_hit = deadline_hit_;
+    const BuilderCacheStats& cs = builder_.cache_stats();
+    result_.cache_hits = cs.hits;
+    result_.cache_misses = cs.misses;
+    result_.cache_invalidations = cs.invalidations;
     SBS_CHECK_MSG(result_.paths_completed > 0, "search produced no schedule");
     return std::move(result_);
   }
 
- private:
   /// True while both budgets hold: the node limit and (when configured)
   /// the wall-clock deadline. The clock is polled every 16th call — a
   /// placement costs far more than the counter, so the deadline is honored
@@ -175,7 +211,10 @@ class Engine {
     return t;
   }
 
-  void unplace(std::size_t job) { used_[job] = 0; }
+  void unplace(std::size_t job) {
+    used_[job] = 0;
+    builder_.unplace();
+  }
 
   void begin_iteration() {
     ++result_.iterations_started;
@@ -209,7 +248,11 @@ class Engine {
   /// and every remaining job contributes bounded slowdown >= 1, so a
   /// partial path already no better than the incumbent cannot improve.
   bool pruned(double excess, double bsld_sum, std::size_t depth) const {
-    if (!cfg_.prune || result_.paths_completed == 0) return false;
+    // Gate on the incumbent's existence (improvements, not completed
+    // paths): cold searches behave identically — the first completed path
+    // always records an improvement — and a warm-start incumbent can prune
+    // from the very first placement.
+    if (!cfg_.prune || result_.improvements.empty()) return false;
     const ObjectiveValue& best = result_.value;
     if (excess > best.excess_h + kObjectiveEps) return true;
     if (excess < best.excess_h - kObjectiveEps) return false;
@@ -423,7 +466,7 @@ class SubtreeExplorer {
                   const std::chrono::steady_clock::time_point* deadline_at,
                   std::atomic<bool>* deadline_hit)
       : p_(problem), cfg_(config), n_(problem.size()), seq_(seq),
-        builder_(problem), deadline_at_(deadline_at),
+        builder_(problem, config.cache), deadline_at_(deadline_at),
         deadline_hit_(deadline_hit) {
     used_.assign(n_, 0);
     path_.resize(n_);
@@ -468,9 +511,20 @@ class SubtreeExplorer {
     return std::move(res_);
   }
 
+  /// Builder memo counters, cumulative across this worker's tasks. The
+  /// memo deliberately survives reset(): versions name profile states, so
+  /// prefixes replayed by later subtree tasks still hit.
+  const BuilderCacheStats& cache_stats() const {
+    return builder_.cache_stats();
+  }
+
  private:
   void reset(const IterationProgress* progress, std::size_t task,
              std::size_t cap) {
+    // run_heuristic/run_lds/run_dds return with their root placement (and,
+    // for the heuristic path, the whole path) still outstanding; pop all of
+    // it so the next task starts from the base profile.
+    builder_.rewind();
     res_ = TaskResult{};
     progress_ = progress;
     task_ = task;
@@ -527,7 +581,10 @@ class SubtreeExplorer {
     return t;
   }
 
-  void unplace(std::size_t job) { used_[job] = 0; }
+  void unplace(std::size_t job) {
+    used_[job] = 0;
+    builder_.unplace();
+  }
 
   std::size_t first_unused() const {
     for (std::size_t j : seq_)
@@ -648,6 +705,10 @@ class ParallelEngine {
   }
 
   SearchResult run() {
+    // Warm start first, through the same shared helper as the sequential
+    // engine — the seeded incumbent is thread-count invariant.
+    apply_warm_start(p_, cfg_, seq_, disc_scratch_, result_);
+
     // Iteration 0 on the calling thread: the pure-heuristic path, exempt
     // from both budgets exactly as in the sequential engine.
     begin_iteration();
@@ -661,6 +722,14 @@ class ParallelEngine {
     for (std::size_t param = 1; !done && param <= last; ++param)
       done = !run_iteration(param);
     result_.exhausted = !done;
+
+    // Memo telemetry: the calling thread's iteration-0 builder plus every
+    // worker's. Speculative (merge-discarded) work is included — these
+    // counters report cache effectiveness, not canonical node accounting.
+    add_cache_stats(main_explorer.cache_stats());
+    for (const auto& e : explorers_)
+      if (e) add_cache_stats(e->cache_stats());
+
     SBS_CHECK_MSG(result_.paths_completed > 0, "search produced no schedule");
     return std::move(result_);
   }
@@ -776,6 +845,12 @@ class ParallelEngine {
       progress.record(i, results[i].nodes);
       result_.worker_nodes[w] += results[i].nodes;
     }
+  }
+
+  void add_cache_stats(const BuilderCacheStats& cs) {
+    result_.cache_hits += cs.hits;
+    result_.cache_misses += cs.misses;
+    result_.cache_invalidations += cs.invalidations;
   }
 
   /// Accepts the first `accept` nodes of a task: accounting, then the

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <span>
 #include <string>
@@ -70,6 +71,23 @@ struct SearchConfig {
   /// exploration-order dependent) and the on_path hook (its contract is
   /// every path in sequential exploration order).
   std::size_t threads = 0;
+  /// Incremental schedule-building state (the default): a single undo-log
+  /// ResourceProfile plus a per-node earliest-start memo keyed on
+  /// (job, profile version), instead of one profile copy per tree level.
+  /// Proven bit-identical to the naive builder by the differential suite
+  /// (tests/test_search_incremental.cpp); `false` is the escape hatch
+  /// (`sbsched --search-cache off`) and the differential baseline.
+  bool cache = true;
+  /// Optional cross-event warm start: the previous decision point's best
+  /// consideration order, re-validated against this problem and — when it
+  /// is still a permutation of the queue — list-scheduled as the initial
+  /// incumbent before iteration 0. The warm path costs no tree nodes and
+  /// does not count as a completed path; it only seeds the incumbent, so
+  /// the returned schedule is never worse than the cold search under the
+  /// same budgets, and identical whenever the search runs to exhaustion.
+  /// Invalidated orders (arrivals/completions changed the queue) fall back
+  /// to a cold start silently. The pointee must outlive the search.
+  const std::vector<std::size_t>* warm_order = nullptr;
   /// Branch-and-bound extension (paper future work): prune a partial path
   /// whose objective lower bound is already no better than the incumbent.
   /// Only valid with the hierarchical comparator (weighted_alpha == 0).
@@ -112,6 +130,18 @@ struct SearchResult {
   /// Worker threads the parallel engine ran with (0 = sequential engine,
   /// including the documented fallbacks).
   std::size_t threads_used = 0;
+  /// Earliest-start memo telemetry (SearchConfig::cache). Hits are
+  /// placements answered from the (job, profile-version) memo without
+  /// touching the profile; misses paid a profile scan; invalidations are
+  /// whole-memo resets at the size bound. Telemetry only — never part of
+  /// the bit-identity contract (parallel workers speculate, so their
+  /// counters legitimately differ from the sequential engine's).
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t cache_invalidations = 0;
+  /// The warm-start order was valid for this problem and seeded the
+  /// incumbent (see SearchConfig::warm_order).
+  bool warm_start_used = false;
   /// Speculative nodes explored per worker (size == threads_used). The sum
   /// may exceed nodes_visited: subtree work past the canonical budget cut
   /// is discarded by the merge, and iteration 0 runs on the calling thread

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <unordered_map>
 
 #include "util/thread_pool.hpp"
 
@@ -42,10 +43,49 @@ std::vector<int> SearchScheduler::select_jobs(const SchedulerState& state) {
   }
   if (config_.search.threads > 0 && !pool_)
     pool_ = std::make_unique<ThreadPool>(config_.search.threads);
-  const SearchResult result = run_search(problem, config_.search, pool_.get());
+
+  // Warm start: re-resolve the previous decision's best order (job ids)
+  // against this queue. Survivors keep their relative order; jobs that
+  // started or completed drop out; arrivals are appended in heuristic
+  // order, so the warm path is a complete permutation of the new problem.
+  // With no survivor the warm path would be exactly the iteration-0
+  // heuristic path — skip it rather than report a meaningless warm start.
+  SearchConfig search_cfg = config_.search;
+  std::vector<std::size_t> warm;
+  if (config_.warm_start && !warm_ids_.empty() && problem.size() >= 2) {
+    std::unordered_map<int, std::size_t> index;
+    index.reserve(problem.size());
+    for (std::size_t i = 0; i < problem.size(); ++i)
+      index.emplace(problem.jobs[i].job->id, i);
+    warm.reserve(problem.size());
+    std::vector<char> taken(problem.size(), 0);
+    for (int id : warm_ids_) {
+      const auto it = index.find(id);
+      if (it == index.end()) continue;
+      warm.push_back(it->second);
+      taken[it->second] = 1;
+    }
+    if (!warm.empty()) {
+      for (std::size_t j : branching_order(problem, search_cfg.branching))
+        if (!taken[j]) warm.push_back(j);
+      search_cfg.warm_order = &warm;
+    }
+  }
+
+  const SearchResult result = run_search(problem, search_cfg, pool_.get());
   stats_.nodes_visited += result.nodes_visited;
   stats_.paths_explored += result.paths_completed;
   if (result.deadline_hit) ++stats_.deadline_hits;
+  stats_.cache_hits += result.cache_hits;
+  stats_.cache_misses += result.cache_misses;
+  stats_.cache_invalidations += result.cache_invalidations;
+  if (result.warm_start_used) ++stats_.warm_starts;
+  if (config_.warm_start) {
+    warm_ids_.clear();
+    warm_ids_.reserve(result.order.size());
+    for (std::size_t j : result.order)
+      warm_ids_.push_back(problem.jobs[j].job->id);
+  }
   if (collect_detail_) {
     detail_.iterations = result.iterations_started;
     detail_.improvements.reserve(result.improvements.size());

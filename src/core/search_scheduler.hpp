@@ -20,6 +20,14 @@ class ThreadPool;
 struct SearchSchedulerConfig {
   SearchConfig search;
   BoundSpec bound = BoundSpec::dynamic_bound();
+  /// Cross-event warm start (default off, preserving the paper's
+  /// re-plan-from-scratch semantics): carry the previous decision's best
+  /// consideration order — as job ids, re-resolved against the new queue —
+  /// into the next search as its initial incumbent. Jobs that started or
+  /// left drop out; new arrivals are appended in heuristic order. The
+  /// search result is never worse than a cold start under the same budgets
+  /// (see SearchConfig::warm_order).
+  bool warm_start = false;
   /// Hybrid mode (paper future work): refine the best tree-search path
   /// with local search before dispatching.
   bool refine = false;
@@ -64,6 +72,10 @@ class SearchScheduler final : public Scheduler {
   /// at the first decision so thread start-up is paid once per run, not
   /// once per scheduling event.
   std::unique_ptr<ThreadPool> pool_;
+  /// Previous decision's best consideration order, as job ids (warm-start
+  /// mode). Ids, not indices: the queue composition changes between
+  /// events, so the order is re-resolved against each new problem.
+  std::vector<int> warm_ids_;
   bool collect_detail_ = false;
   DecisionDetail detail_;
 };

@@ -32,7 +32,8 @@ std::unique_ptr<Scheduler> make_search_policy(SearchAlgo algo,
                                               BoundSpec bound,
                                               std::size_t node_limit,
                                               bool prune, double deadline_ms,
-                                              std::size_t threads) {
+                                              std::size_t threads, bool cache,
+                                              bool warm_start) {
   SearchSchedulerConfig cfg;
   cfg.search.algo = algo;
   cfg.search.branching = branching;
@@ -40,14 +41,17 @@ std::unique_ptr<Scheduler> make_search_policy(SearchAlgo algo,
   cfg.search.prune = prune;
   cfg.search.deadline_ms = deadline_ms;
   cfg.search.threads = threads;
+  cfg.search.cache = cache;
   cfg.bound = bound;
+  cfg.warm_start = warm_start;
   return std::make_unique<SearchScheduler>(cfg);
 }
 
 std::unique_ptr<Scheduler> make_policy(const std::string& spec,
                                        std::size_t node_limit,
                                        double deadline_ms,
-                                       std::size_t threads) {
+                                       std::size_t threads, bool cache,
+                                       bool warm_start) {
   if (spec == "FCFS-BF") return make_backfill(PriorityKind::Fcfs);
   if (spec == "FCFS-cons-BF")
     return make_backfill(PriorityKind::Fcfs, kConservativeReservations);
@@ -123,9 +127,11 @@ std::unique_ptr<Scheduler> make_policy(const std::string& spec,
   cfg.search.node_limit = node_limit;
   cfg.search.deadline_ms = deadline_ms;
   cfg.search.threads = threads;
+  cfg.search.cache = cache;
   cfg.bound = bound;
   cfg.refine = refine;
   cfg.fairshare = fairshare;
+  cfg.warm_start = warm_start;
   return std::make_unique<SearchScheduler>(cfg);
 }
 

@@ -20,7 +20,9 @@ std::unique_ptr<Scheduler> make_search_policy(SearchAlgo algo,
                                               std::size_t node_limit,
                                               bool prune = false,
                                               double deadline_ms = -1.0,
-                                              std::size_t threads = 0);
+                                              std::size_t threads = 0,
+                                              bool cache = true,
+                                              bool warm_start = false);
 
 /// Parses a policy spec string into a scheduler:
 ///   "FCFS-BF" | "LXF-BF" | "SJF-BF" | "LXF&W-BF"
@@ -28,13 +30,17 @@ std::unique_ptr<Scheduler> make_search_policy(SearchAlgo algo,
 ///   "MultiQueue" | "MultiQueue-aged" | "Weighted-BF"
 ///   "<DDS|LDS>/<fcfs|lxf>/<dynB|w=<hours>h|wT>[+ls]"  e.g. "DDS/lxf/dynB",
 ///   "LDS/lxf/w=100h", "DDS/lxf/dynB+ls". `node_limit`, `deadline_ms`
-///   (wall-clock decision deadline, negative = none) and `threads`
-///   (parallel search workers, 0 = sequential) apply to search policies
-///   only.
+///   (wall-clock decision deadline, negative = none), `threads` (parallel
+///   search workers, 0 = sequential), `cache` (incremental schedule
+///   builder; false = the naive per-depth-snapshot baseline) and
+///   `warm_start` (carry the previous event's best path as the next
+///   search's initial incumbent) apply to search policies only.
 /// Throws sbs::Error on anything unrecognized.
 std::unique_ptr<Scheduler> make_policy(const std::string& spec,
                                        std::size_t node_limit = 1000,
                                        double deadline_ms = -1.0,
-                                       std::size_t threads = 0);
+                                       std::size_t threads = 0,
+                                       bool cache = true,
+                                       bool warm_start = false);
 
 }  // namespace sbs

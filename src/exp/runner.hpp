@@ -41,11 +41,14 @@ MonthEval evaluate_policy(const Trace& trace, Scheduler& scheduler,
 
 /// Convenience wrapper: builds the policy by spec string (see
 /// make_policy), runs it, and returns the evaluation. `deadline_ms`
-/// (negative = no wall-clock deadline) and `threads` (parallel search
-/// workers, 0 = sequential) apply to search policies only.
+/// (negative = no wall-clock deadline), `threads` (parallel search
+/// workers, 0 = sequential), `cache` (incremental schedule builder) and
+/// `warm_start` (cross-event incumbent carry) apply to search policies
+/// only.
 MonthEval evaluate_spec(const Trace& trace, const std::string& policy_spec,
                         std::size_t node_limit, const Thresholds& thresholds,
                         const SimConfig& sim = {}, bool keep_outcomes = false,
-                        double deadline_ms = -1.0, std::size_t threads = 0);
+                        double deadline_ms = -1.0, std::size_t threads = 0,
+                        bool cache = true, bool warm_start = false);
 
 }  // namespace sbs

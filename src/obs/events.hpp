@@ -37,6 +37,13 @@ struct DecisionRecord {
   bool deadline_hit = false;
   std::uint64_t think_us = 0;
   std::uint64_t threads_used = 0;  ///< parallel-search workers (0 = sequential)
+  /// Earliest-start memo deltas for this decision (zero for non-search
+  /// policies and for `--search-cache off`); see SchedulerStats.
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t cache_invalidations = 0;
+  bool warm_start_used = false;  ///< search seeded by the previous event's
+                                 ///  best path (SearchConfig::warm_order)
   std::span<const int> started;  ///< job ids dispatched at `now`
   std::span<const ImprovementPoint> improvements;  ///< anytime profile
   /// Speculative nodes explored per parallel worker (empty = sequential).

@@ -107,6 +107,16 @@ void apply_decision(RunReport& r, const JsonValue& rec, std::size_t lineno) {
       r.speculative_nodes += static_cast<std::uint64_t>(w.as_int());
   }
 
+  // Optional (newer schema): incremental-engine accounting.
+  if (const JsonValue* hits = rec.find("cache_hits"))
+    r.cache_hits += static_cast<std::uint64_t>(hits->as_int());
+  if (const JsonValue* misses = rec.find("cache_misses"))
+    r.cache_misses += static_cast<std::uint64_t>(misses->as_int());
+  if (const JsonValue* inv = rec.find("cache_invalidations"))
+    r.cache_invalidations += static_cast<std::uint64_t>(inv->as_int());
+  if (const JsonValue* warm = rec.find("warm_start_used"))
+    if (warm->as_bool()) ++r.warm_starts;
+
   const JsonValue& improvements = need(rec, "improvements", lineno);
   SBS_CHECK_MSG(improvements.is_array(),
                 "telemetry line " << lineno << ": improvements not an array");
@@ -270,6 +280,24 @@ void print_report(const std::vector<RunReport>& runs, std::ostream& os) {
           .add("speculative worker nodes")
           .add(static_cast<long long>(r.speculative_nodes));
     }
+    if (r.cache_hits || r.cache_misses) {
+      const double total =
+          static_cast<double>(r.cache_hits + r.cache_misses);
+      agg.row()
+          .add("cache hits / misses")
+          .add(std::to_string(r.cache_hits) + "/" +
+               std::to_string(r.cache_misses) + " (" +
+               format_double(100.0 * static_cast<double>(r.cache_hits) / total,
+                             1) +
+               "% hit)");
+      agg.row()
+          .add("cache invalidations")
+          .add(static_cast<long long>(r.cache_invalidations));
+    }
+    if (r.warm_starts > 0)
+      agg.row()
+          .add("warm-started decisions")
+          .add(static_cast<long long>(r.warm_starts));
     agg.print(os);
 
     MetricsSnapshot hists;

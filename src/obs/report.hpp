@@ -48,6 +48,14 @@ struct RunReport {
                                          ///  work the deterministic merge
                                          ///  discarded
 
+  // Incremental-engine accounting (optional fields: absent in streams
+  // written before the search-cache schema extension, reported as 0).
+  std::uint64_t cache_hits = 0;           ///< earliest-start memo hits
+  std::uint64_t cache_misses = 0;         ///< memo misses (profile scans)
+  std::uint64_t cache_invalidations = 0;  ///< whole-memo size-bound resets
+  std::uint64_t warm_starts = 0;          ///< decisions seeded by the
+                                          ///  previous event's best path
+
   // Distributions over decisions (same buckets as the live registry).
   HistogramSnapshot think_us_hist;
   HistogramSnapshot nodes_hist;

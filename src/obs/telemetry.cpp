@@ -27,6 +27,10 @@ Telemetry::Telemetry(std::unique_ptr<TraceSink> sink)
   deadline_hits_ = &registry_.counter("search.deadline_hits");
   nodes_visited_ = &registry_.counter("search.nodes_visited");
   paths_explored_ = &registry_.counter("search.paths_explored");
+  cache_hits_ = &registry_.counter("search.cache_hits");
+  cache_misses_ = &registry_.counter("search.cache_misses");
+  cache_invalidations_ = &registry_.counter("search.cache_invalidations");
+  warm_starts_ = &registry_.counter("search.warm_starts");
   jobs_submitted_ = &registry_.counter("sim.jobs.submitted");
   jobs_started_ = &registry_.counter("sim.jobs.started");
   jobs_finished_ = &registry_.counter("sim.jobs.finished");
@@ -70,6 +74,10 @@ void Telemetry::decision(const DecisionRecord& d) {
   if (d.deadline_hit) deadline_hits_->add();
   nodes_visited_->add(d.nodes_visited);
   paths_explored_->add(d.paths_explored);
+  cache_hits_->add(d.cache_hits);
+  cache_misses_->add(d.cache_misses);
+  cache_invalidations_->add(d.cache_invalidations);
+  if (d.warm_start_used) warm_starts_->add();
   jobs_started_->add(d.started.size());
   queue_depth_->set(d.queue_depth);
   free_nodes_->set(d.free_nodes);
@@ -95,7 +103,11 @@ void Telemetry::decision(const DecisionRecord& d) {
       .field("discrepancies", d.discrepancies)
       .field("deadline_hit", d.deadline_hit)
       .field("think_us", d.think_us)
-      .field("threads_used", d.threads_used);
+      .field("threads_used", d.threads_used)
+      .field("cache_hits", d.cache_hits)
+      .field("cache_misses", d.cache_misses)
+      .field("cache_invalidations", d.cache_invalidations)
+      .field("warm_start_used", d.warm_start_used);
   line_.key("started").begin_array();
   for (const int id : d.started) line_.value(id);
   line_.end_array();

@@ -26,8 +26,9 @@ std::span<const double> wait_h_bounds();
 ///   run       trace, policy, capacity, jobs
 ///   decision  t, policy, queue_depth, free_nodes, capacity, max_wait_h,
 ///             nodes_visited, paths_explored, iterations, discrepancies,
-///             deadline_hit, think_us, threads_used, started[],
-///             worker_nodes[], improvements[]
+///             deadline_hit, think_us, threads_used, cache_hits,
+///             cache_misses, cache_invalidations, warm_start_used,
+///             started[], worker_nodes[], improvements[]
 ///   submit    t, job, nodes, runtime, requested, user
 ///   start     t, job, nodes
 ///   finish    t, job
@@ -70,6 +71,10 @@ class Telemetry {
   Counter* deadline_hits_;
   Counter* nodes_visited_;
   Counter* paths_explored_;
+  Counter* cache_hits_;
+  Counter* cache_misses_;
+  Counter* cache_invalidations_;
+  Counter* warm_starts_;
   Counter* jobs_submitted_;
   Counter* jobs_started_;
   Counter* jobs_finished_;

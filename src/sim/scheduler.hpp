@@ -54,6 +54,12 @@ struct SchedulerStats {
                                     ///  the best-so-far (anytime) schedule
   std::uint64_t max_think_time_us = 0;  ///< slowest single decision
   std::uint64_t max_queue_depth = 0;    ///< deepest queue seen at a decision
+  std::uint64_t cache_hits = 0;    ///< earliest-start memo hits (search
+                                   ///  policies with SearchConfig::cache)
+  std::uint64_t cache_misses = 0;  ///< memo misses (profile scans paid)
+  std::uint64_t cache_invalidations = 0;  ///< whole-memo size-bound resets
+  std::uint64_t warm_starts = 0;   ///< decisions whose search was seeded by
+                                   ///  the previous event's best path
 };
 
 /// Per-decision search detail a policy may expose for telemetry: the

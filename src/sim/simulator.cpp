@@ -254,6 +254,11 @@ SimResult simulate(const Trace& trace, Scheduler& scheduler,
       d.paths_explored = after.paths_explored - before.paths_explored;
       d.deadline_hit = after.deadline_hits > before.deadline_hits;
       d.think_us = after.think_time_us - before.think_time_us;
+      d.cache_hits = after.cache_hits - before.cache_hits;
+      d.cache_misses = after.cache_misses - before.cache_misses;
+      d.cache_invalidations =
+          after.cache_invalidations - before.cache_invalidations;
+      d.warm_start_used = after.warm_starts > before.warm_starts;
       if (const DecisionDetail* detail = scheduler.last_decision()) {
         d.iterations = detail->iterations;
         d.discrepancies = detail->discrepancies;

@@ -1,0 +1,265 @@
+// Seeded random-workload fuzzer: every iteration draws a workload (a
+// scaled synthetic month or an adversarial hand-rolled trace), a policy,
+// and optionally a fault schedule, simulates it, and asserts the machine's
+// physics — no job starts before submission, every completed job runs
+// exactly its runtime, node usage never exceeds capacity, fault accounting
+// balances. A second layer fuzzes ResourceProfile operation sequences
+// directly. Iteration count defaults low for the tier-1 loop and scales up
+// in scheduled CI via the SBS_FUZZ_ITERS environment variable (the
+// sanitizer jobs run hundreds of iterations).
+//
+// Every assertion message carries the iteration seed, so any failure is
+// reproducible by pinning that seed in a unit test.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "cluster/resource_profile.hpp"
+#include "exp/policy_factory.hpp"
+#include "sim/faults.hpp"
+#include "sim/simulator.hpp"
+#include "test_support.hpp"
+#include "util/rng.hpp"
+#include "workload/generator.hpp"
+
+namespace sbs {
+namespace {
+
+std::uint64_t fuzz_iters() {
+  if (const char* env = std::getenv("SBS_FUZZ_ITERS")) {
+    const long v = std::atol(env);
+    if (v > 0) return static_cast<std::uint64_t>(v);
+  }
+  return 8;  // tier-1 default: seconds, not minutes
+}
+
+// The policy pool rotates across iterations; search policies run with a
+// small node budget so a fuzz iteration stays cheap.
+const char* const kPolicies[] = {
+    "FCFS-BF",       "LXF-BF",          "Slack-BF",
+    "Selective-BF",  "MultiQueue-aged", "DDS/lxf/dynB",
+    "LDS/fcfs/dynB", "DFS/lxf/dynB",    "DDS/lxf/dynB+fs",
+};
+constexpr std::size_t kPolicyCount = std::size(kPolicies);
+
+/// Adversarial hand-rolled trace: extreme widths (1 node and the full
+/// machine), runtimes from one second to days, simultaneous submissions,
+/// occasional requested < runtime (public SWF traces contain those), and a
+/// burst of identical twins.
+Trace adversarial_trace(std::uint64_t seed) {
+  Rng rng(seed);
+  const int capacity = static_cast<int>(rng.uniform_int(4, 128));
+  const std::size_t count = static_cast<std::size_t>(rng.uniform_int(20, 60));
+  std::vector<Job> jobs;
+  Time submit = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    if (!rng.bernoulli(0.25)) submit += static_cast<Time>(rng.uniform_int(0, 2 * kHour));
+    Job j;
+    j.submit = submit;
+    switch (rng.uniform_int(0, 3)) {
+      case 0: j.nodes = 1; break;
+      case 1: j.nodes = capacity; break;
+      default: j.nodes = static_cast<int>(rng.uniform_int(1, capacity));
+    }
+    switch (rng.uniform_int(0, 3)) {
+      case 0: j.runtime = 1; break;
+      case 1: j.runtime = static_cast<Time>(rng.uniform_int(20, 60)) * kHour; break;
+      default: j.runtime = static_cast<Time>(rng.uniform_int(kMinute, 6 * kHour));
+    }
+    j.requested = rng.bernoulli(0.15)
+                      ? std::max<Time>(1, j.runtime / 2)  // under-request
+                      : j.runtime * static_cast<Time>(rng.uniform_int(1, 8));
+    j.user = static_cast<int>(rng.uniform_int(0, 5));
+    jobs.push_back(j);
+    if (rng.bernoulli(0.2)) jobs.push_back(j);  // identical twin
+  }
+  Trace t = test::trace_of(std::move(jobs), capacity);
+  t.name = "fuzz-" + std::to_string(seed);
+  return t;
+}
+
+/// A scaled-down synthetic month with a randomized generator seed and
+/// burst setting — realistic marginals, fuzzed realization.
+Trace month_trace(std::uint64_t seed) {
+  Rng rng(seed);
+  const char* const months[] = {"6/03", "7/03", "9/03", "10/03", "1/04"};
+  GeneratorConfig gen;
+  gen.seed = seed;
+  gen.job_scale = 0.02;
+  gen.warmup_cooldown = rng.bernoulli(0.5);
+  gen.arrivals.burst_fraction = rng.bernoulli(0.5) ? 0.3 : 0.0;
+  return generate_month(months[rng.index(5)], gen);
+}
+
+/// Fault-free machine physics. `outcomes.size() == jobs.size()`, every job
+/// completes, runs exactly its runtime at or after submission, and the
+/// capacity envelope holds at every instant.
+void check_fault_free(const Trace& trace, const SimResult& result,
+                      const std::string& where) {
+  SCOPED_TRACE(where);
+  ASSERT_EQ(result.outcomes.size(), trace.jobs.size());
+  for (const auto& o : result.outcomes) {
+    EXPECT_TRUE(o.completed);
+    EXPECT_EQ(o.requeue_count, 0);
+    EXPECT_EQ(o.lost_node_seconds, 0);
+  }
+  EXPECT_NO_THROW(test::check_feasible(result.outcomes, trace.capacity));
+  EXPECT_EQ(result.fault_stats.node_failures, 0u);
+  EXPECT_EQ(result.fault_stats.jobs_killed, 0u);
+  EXPECT_EQ(result.fault_stats.min_capacity, trace.capacity);
+}
+
+/// Relaxed physics under fault injection: completed jobs still obey the
+/// machine (the final attempt's start/end are the recorded ones), the
+/// capacity envelope never exceeds the full machine, and the fault
+/// counters balance.
+void check_with_faults(const Trace& trace, const SimResult& result,
+                       RequeuePolicy requeue, const std::string& where) {
+  SCOPED_TRACE(where);
+  ASSERT_EQ(result.outcomes.size(), trace.jobs.size());
+  std::vector<JobOutcome> completed;
+  for (const auto& o : result.outcomes) {
+    if (!o.completed) continue;
+    completed.push_back(o);
+    EXPECT_GE(o.lost_node_seconds, 0);
+  }
+  EXPECT_NO_THROW(test::check_feasible(completed, trace.capacity));
+
+  const FaultStats& f = result.fault_stats;
+  EXPECT_EQ(f.jobs_killed, f.jobs_requeued + f.jobs_dropped);
+  EXPECT_LE(f.node_recoveries, f.node_failures);
+  EXPECT_GE(f.min_capacity, 1);  // the injector never downs the whole machine
+  EXPECT_LE(f.min_capacity, trace.capacity);
+  if (requeue == RequeuePolicy::Resubmit) {
+    EXPECT_EQ(f.jobs_dropped, 0u);
+    // Repairs always restore full capacity, so a resubmit run drains.
+    for (const auto& o : result.outcomes) EXPECT_TRUE(o.completed);
+  } else {
+    EXPECT_EQ(f.jobs_requeued, 0u);
+    EXPECT_EQ(completed.size() + f.jobs_dropped + f.jobs_unstarted,
+              result.outcomes.size());
+  }
+}
+
+TEST(FuzzInvariants, RandomWorkloadsFaultFree) {
+  const std::uint64_t iters = fuzz_iters();
+  for (std::uint64_t it = 0; it < iters; ++it) {
+    const std::uint64_t seed = 0xF00D + it * 7919;
+    Rng rng(seed);
+    const Trace trace =
+        rng.bernoulli(0.5) ? adversarial_trace(seed) : month_trace(seed);
+    ASSERT_NO_THROW(trace.validate());
+    const char* spec = kPolicies[rng.index(kPolicyCount)];
+    auto policy = make_policy(spec, /*node_limit=*/150);
+    SimConfig sim;
+    sim.use_requested_runtime = rng.bernoulli(0.3);
+    const SimResult result = simulate(trace, *policy, sim);
+    check_fault_free(trace, result,
+                     "seed=" + std::to_string(seed) + " policy=" + spec +
+                         " trace=" + trace.name);
+  }
+}
+
+TEST(FuzzInvariants, RandomWorkloadsUnderFaultInjection) {
+  const std::uint64_t iters = fuzz_iters();
+  for (std::uint64_t it = 0; it < iters; ++it) {
+    const std::uint64_t seed = 0xBEEF + it * 6271;
+    Rng rng(seed);
+    const Trace trace =
+        rng.bernoulli(0.5) ? adversarial_trace(seed) : month_trace(seed);
+    const char* spec = kPolicies[rng.index(kPolicyCount)];
+    auto policy = make_policy(spec, /*node_limit=*/150);
+
+    FaultSpec fs;
+    fs.seed = seed;
+    fs.node_mtbf = static_cast<Time>(rng.uniform_int(6, 48)) * kHour;
+    fs.node_mttr = static_cast<Time>(rng.uniform_int(1, 8)) * kHour;
+    fs.min_block = 1;
+    fs.max_block = std::max(1, trace.capacity / 8);
+    fs.job_kill_mtbf = rng.bernoulli(0.5)
+                           ? static_cast<Time>(rng.uniform_int(12, 72)) * kHour
+                           : 0;
+    const Time horizon = trace.jobs.empty()
+                             ? 0
+                             : trace.jobs.back().submit + 7 * 24 * kHour;
+    const FaultInjector faults =
+        FaultInjector::from_spec(fs, 0, horizon, trace.capacity);
+
+    SimConfig sim;
+    sim.faults = &faults;
+    sim.requeue =
+        rng.bernoulli(0.7) ? RequeuePolicy::Resubmit : RequeuePolicy::Drop;
+    const SimResult result = simulate(trace, *policy, sim);
+    check_with_faults(trace, result, sim.requeue,
+                      "seed=" + std::to_string(seed) + " policy=" + spec +
+                          " trace=" + trace.name);
+  }
+}
+
+// Direct ResourceProfile operation fuzz: random earliest_start /
+// reserve / reserve_logged / undo sequences must keep the step vector
+// well-formed — strictly increasing times, free counts within
+// [0, capacity] — and earliest_start must return a start no earlier than
+// requested at which the job actually fits.
+TEST(FuzzInvariants, ResourceProfileOperationSequences) {
+  const std::uint64_t iters = fuzz_iters();
+  for (std::uint64_t it = 0; it < iters; ++it) {
+    const std::uint64_t seed = 0xCAFE + it * 4099;
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    Rng rng(seed);
+    const int capacity = static_cast<int>(rng.uniform_int(1, 96));
+    ResourceProfile profile(capacity, static_cast<Time>(rng.uniform_int(0, 5000)));
+    std::vector<ResourceProfile::ReserveUndo> undos;
+
+    for (int op = 0; op < 200; ++op) {
+      const int nodes = static_cast<int>(rng.uniform_int(1, capacity));
+      const Time duration = static_cast<Time>(rng.uniform_int(1, 100000));
+      const Time from = static_cast<Time>(rng.uniform_int(0, 200000));
+      const Time start = profile.earliest_start(from, nodes, duration);
+      ASSERT_GE(start, from);
+
+      // The job must actually fit over [start, start + duration): every
+      // step whose active interval intersects the job's window has room.
+      // (Step i's free count holds from steps[i].time to the next step.)
+      {
+        const auto& steps = profile.steps();
+        for (std::size_t i = 0; i < steps.size(); ++i) {
+          const Time lo = steps[i].time;
+          const Time hi = i + 1 < steps.size()
+                              ? steps[i + 1].time
+                              : std::numeric_limits<Time>::max();
+          if (hi <= start || lo >= start + duration) continue;
+          ASSERT_GE(steps[i].free, nodes) << "at step time " << lo;
+        }
+      }
+
+      if (rng.bernoulli(0.5)) {
+        undos.push_back(profile.reserve_logged(start, nodes, duration));
+      } else {
+        profile.reserve(start, nodes, duration);
+        undos.clear();  // plain reserves are permanent; LIFO chain broken
+      }
+      if (!undos.empty() && rng.bernoulli(0.3)) {
+        profile.undo(undos.back());
+        undos.pop_back();
+      }
+
+      // Step-vector well-formedness after every operation.
+      const auto& steps = profile.steps();
+      for (std::size_t i = 0; i < steps.size(); ++i) {
+        ASSERT_GE(steps[i].free, 0);
+        ASSERT_LE(steps[i].free, capacity);
+        if (i > 0) {
+          ASSERT_LT(steps[i - 1].time, steps[i].time);
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sbs

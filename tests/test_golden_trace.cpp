@@ -18,6 +18,7 @@
 
 #include "exp/policy_factory.hpp"
 #include "jobs/swf.hpp"
+#include "sim/faults.hpp"
 #include "sim/simulator.hpp"
 #include "test_support.hpp"
 
@@ -125,6 +126,81 @@ TEST(GoldenTrace, SearchOutcomesIndependentOfThreads) {
       EXPECT_EQ(rows[i].end, base[i].end) << "job " << base[i].id;
     }
   }
+}
+
+// Golden fault-injection replay: the mini workload under a hand-written
+// fault schedule — a 4-node block failing mid-schedule and recovering, plus
+// one seeded job kill — with killed jobs resubmitted. Outcomes (including
+// requeue counts and completion flags) are pinned to a committed CSV, and
+// the incremental builder with warm start enabled must reproduce the
+// cache-off engine exactly even across fault-perturbed decision points.
+TEST(GoldenTrace, FaultInjectionOutcomesMatchFixture) {
+  const Trace trace =
+      read_swf_file(std::string(SBS_TEST_DATA_DIR) + "/golden_mini.swf");
+  const FaultInjector faults = FaultInjector::from_events({
+      {/*time=*/5000, FaultKind::NodeDown, /*nodes=*/4},
+      {/*time=*/7000, FaultKind::JobKill, /*nodes=*/0, /*job_id=*/-1,
+       /*draw=*/1},
+      {/*time=*/9000, FaultKind::NodeUp, /*nodes=*/4},
+  });
+  SimConfig sim;
+  sim.faults = &faults;
+  sim.requeue = RequeuePolicy::Resubmit;
+
+  auto run = [&](bool cache, bool warm_start) {
+    auto policy = make_policy("DDS/lxf/dynB", /*node_limit=*/300,
+                              /*deadline_ms=*/-1.0, /*threads=*/0, cache,
+                              warm_start);
+    return simulate(trace, *policy, sim);
+  };
+
+  const SimResult result = run(/*cache=*/true, /*warm_start=*/true);
+  ASSERT_EQ(result.outcomes.size(), trace.jobs.size());
+  EXPECT_GT(result.fault_stats.node_failures, 0u);
+  EXPECT_GT(result.fault_stats.jobs_requeued, 0u);
+  for (const auto& o : result.outcomes) EXPECT_TRUE(o.completed);
+
+  // Bit-identity under faults: the naive cold-start engine produces the
+  // exact same outcome table.
+  const SimResult naive = run(/*cache=*/false, /*warm_start=*/false);
+  ASSERT_EQ(naive.outcomes.size(), result.outcomes.size());
+  for (std::size_t i = 0; i < result.outcomes.size(); ++i) {
+    SCOPED_TRACE("job " + std::to_string(result.outcomes[i].job.id));
+    EXPECT_EQ(naive.outcomes[i].start, result.outcomes[i].start);
+    EXPECT_EQ(naive.outcomes[i].end, result.outcomes[i].end);
+    EXPECT_EQ(naive.outcomes[i].requeue_count,
+              result.outcomes[i].requeue_count);
+  }
+
+  const std::string path =
+      std::string(SBS_TEST_DATA_DIR) + "/golden_faults_DDS_lxf_dynB.csv";
+  std::vector<std::string> actual;
+  for (const JobOutcome& o : result.outcomes) {
+    std::ostringstream row;
+    row << o.job.id << ',' << o.start << ',' << o.end << ','
+        << o.requeue_count << ',' << (o.completed ? 1 : 0);
+    actual.push_back(row.str());
+  }
+
+  if (std::getenv("SBS_REGEN_GOLDEN") != nullptr) {
+    std::ofstream out(path);
+    ASSERT_TRUE(out) << "cannot write " << path;
+    out << "id,start,end,requeues,completed\n";
+    for (const std::string& row : actual) out << row << '\n';
+    GTEST_SKIP() << "regenerated " << path;
+  }
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in) << "missing golden file " << path
+                  << " — run with SBS_REGEN_GOLDEN=1 to create it";
+  std::string line;
+  std::getline(in, line);  // header
+  std::vector<std::string> expected;
+  while (std::getline(in, line))
+    if (!line.empty()) expected.push_back(line);
+  ASSERT_EQ(expected.size(), actual.size());
+  for (std::size_t i = 0; i < expected.size(); ++i)
+    EXPECT_EQ(actual[i], expected[i]) << "row " << i;
 }
 
 INSTANTIATE_TEST_SUITE_P(Policies, GoldenTrace,

@@ -258,7 +258,8 @@ void check_schema(const std::vector<obs::JsonValue>& records) {
            {"t", "policy", "queue_depth", "free_nodes", "capacity",
             "max_wait_h", "nodes_visited", "paths_explored", "iterations",
             "discrepancies", "deadline_hit", "think_us", "threads_used",
-            "started", "worker_nodes", "improvements"})
+            "cache_hits", "cache_misses", "cache_invalidations",
+            "warm_start_used", "started", "worker_nodes", "improvements"})
         EXPECT_NE(rec.find(key), nullptr) << "decision lacks " << key;
     } else if (type->as_string() != "run") {
       EXPECT_NE(rec.find("t"), nullptr);
@@ -285,6 +286,10 @@ void check_reconciliation(const TelemetryRun& run, const Trace& trace) {
   EXPECT_EQ(rep.deadline_hits, live.deadline_hits);
   EXPECT_EQ(rep.max_think_time_us, live.max_think_time_us);
   EXPECT_EQ(rep.max_queue_depth, live.max_queue_depth);
+  EXPECT_EQ(rep.cache_hits, live.cache_hits);
+  EXPECT_EQ(rep.cache_misses, live.cache_misses);
+  EXPECT_EQ(rep.cache_invalidations, live.cache_invalidations);
+  EXPECT_EQ(rep.warm_starts, live.warm_starts);
 
   EXPECT_EQ(rep.submits, trace.jobs.size());
   EXPECT_EQ(rep.starts, rep.started_via_decisions);

@@ -1,0 +1,540 @@
+// Differential proof of the incremental search engine: across a seeded
+// matrix of workloads x {LDS,DDS,DFS} x {fcfs,lxf} x bound mix x node
+// budgets x threads, the cached engine (single undo-log profile + per-node
+// earliest-start memo, SearchConfig::cache) must produce results IDENTICAL
+// to the naive per-depth-snapshot engine — schedule, objective, anytime
+// profile and node accounting, bit for bit. The undo-log substrate gets
+// its own stress layer (random reserve/undo walks checked step-for-step
+// against rebuilt reference profiles), and the cross-event warm start is
+// pinned to its contract: never worse than cold under the same budget,
+// exactly equal when the search exhausts the tree, and thread-count
+// invariant.
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <span>
+#include <tuple>
+#include <vector>
+
+#include "cluster/resource_profile.hpp"
+#include "core/schedule_builder.hpp"
+#include "core/search.hpp"
+#include "test_support.hpp"
+#include "util/rng.hpp"
+
+namespace sbs {
+namespace {
+
+using test::ProblemBuilder;
+
+/// Seeded random decision point (same recipe as the parallel differential
+/// suite): mixed widths and lengths, slowdown ties from twin submissions,
+/// a partially busy machine, and a bound mix of tight and loose targets so
+/// both objective levels are exercised.
+ProblemBuilder random_problem(std::uint64_t seed, std::size_t jobs,
+                              int capacity, bool tight_bounds) {
+  Rng rng(seed);
+  ProblemBuilder b(capacity, /*now=*/static_cast<Time>(36000));
+  b.busy(static_cast<int>(rng.uniform_int(0, capacity / 2)),
+         static_cast<Time>(rng.uniform_int(60, 4 * kHour)));
+  for (std::size_t i = 0; i < jobs; ++i) {
+    const Time submit = static_cast<Time>(rng.uniform_int(0, 36000));
+    const int nodes = static_cast<int>(rng.uniform_int(1, capacity));
+    const Time runtime = static_cast<Time>(rng.uniform_int(kMinute, 8 * kHour));
+    // Tight bounds put paths over the excess-wait level (level-1 activity);
+    // loose bounds leave everything to the slowdown level.
+    const Time bound = tight_bounds
+                           ? static_cast<Time>(rng.uniform_int(1, 4) * kHour)
+                           : static_cast<Time>(rng.uniform_int(20, 60) * kHour);
+    b.wait(submit, nodes, runtime, bound);
+    if (rng.bernoulli(0.3)) b.wait(submit, nodes, runtime, bound);  // tie twin
+  }
+  return b;
+}
+
+/// Full bit-identity check between two search results. `check_counters`
+/// additionally requires hit/miss accounting to add up (sequential cached
+/// runs only — parallel workers speculate, so their counters are not
+/// canonical).
+void expect_identical(const SearchResult& a, const SearchResult& b) {
+  EXPECT_EQ(a.order, b.order);
+  EXPECT_EQ(a.starts, b.starts);
+  EXPECT_EQ(a.value.excess_h, b.value.excess_h);
+  EXPECT_EQ(a.value.avg_bsld, b.value.avg_bsld);
+  EXPECT_EQ(a.nodes_visited, b.nodes_visited);
+  EXPECT_EQ(a.paths_completed, b.paths_completed);
+  EXPECT_EQ(a.iterations_started, b.iterations_started);
+  EXPECT_EQ(a.paths_per_iteration, b.paths_per_iteration);
+  EXPECT_EQ(a.exhausted, b.exhausted);
+  EXPECT_EQ(a.warm_start_used, b.warm_start_used);
+  ASSERT_EQ(a.improvements.size(), b.improvements.size());
+  for (std::size_t i = 0; i < a.improvements.size(); ++i) {
+    SCOPED_TRACE("improvement " + std::to_string(i));
+    EXPECT_EQ(a.improvements[i].nodes, b.improvements[i].nodes);
+    EXPECT_EQ(a.improvements[i].path, b.improvements[i].path);
+    EXPECT_EQ(a.improvements[i].value.excess_h,
+              b.improvements[i].value.excess_h);
+    EXPECT_EQ(a.improvements[i].value.avg_bsld,
+              b.improvements[i].value.avg_bsld);
+    EXPECT_EQ(a.improvements[i].discrepancies, b.improvements[i].discrepancies);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Differential matrix: cache on/off x threads, against the naive engine.
+
+class SearchIncrementalMatrix
+    : public ::testing::TestWithParam<std::tuple<SearchAlgo, Branching, bool>> {
+};
+
+TEST_P(SearchIncrementalMatrix, CachedEngineMatchesNaiveAcrossThreadCounts) {
+  const auto [algo, branching, tight_bounds] = GetParam();
+  const std::size_t kJobs[] = {2, 5, 9};
+  const std::size_t kBudgets[] = {1, 7, 60, 400, 100000};
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    for (const std::size_t jobs : kJobs) {
+      for (const std::size_t budget : kBudgets) {
+        SCOPED_TRACE("seed=" + std::to_string(seed) +
+                     " jobs=" + std::to_string(jobs) +
+                     " budget=" + std::to_string(budget));
+        const ProblemBuilder b =
+            random_problem(seed * 1009, jobs, /*capacity=*/64, tight_bounds);
+        const SearchProblem problem = b.build();
+        SearchConfig naive_cfg;
+        naive_cfg.algo = algo;
+        naive_cfg.branching = branching;
+        naive_cfg.node_limit = budget;
+        naive_cfg.cache = false;
+        const SearchResult naive = run_search(problem, naive_cfg);
+        // The naive builder never touches the memo.
+        EXPECT_EQ(naive.cache_hits, 0u);
+        EXPECT_EQ(naive.cache_misses, 0u);
+
+        for (const std::size_t threads : {0u, 1u, 4u}) {
+          SCOPED_TRACE("threads=" + std::to_string(threads));
+          SearchConfig cached_cfg = naive_cfg;
+          cached_cfg.cache = true;
+          cached_cfg.threads = threads;
+          const SearchResult cached = run_search(problem, cached_cfg);
+          expect_identical(naive, cached);
+          if (cached.threads_used == 0) {
+            // Sequential cached run: every placement is answered by exactly
+            // one memo hit or one miss.
+            EXPECT_EQ(cached.cache_hits + cached.cache_misses,
+                      cached.nodes_visited);
+          } else {
+            EXPECT_GE(cached.cache_hits + cached.cache_misses,
+                      cached.nodes_visited);
+          }
+          // Naive mode must also be thread-count invariant.
+          SearchConfig naive_par = naive_cfg;
+          naive_par.threads = threads;
+          expect_identical(naive, run_search(problem, naive_par));
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AlgoBranchingBound, SearchIncrementalMatrix,
+    ::testing::Combine(::testing::Values(SearchAlgo::Lds, SearchAlgo::Dds,
+                                         SearchAlgo::Dfs),
+                       ::testing::Values(Branching::Fcfs, Branching::Lxf),
+                       ::testing::Bool()),
+    [](const auto& param_info) {
+      return algo_name(std::get<0>(param_info.param)) + "_" +
+             branching_name(std::get<1>(param_info.param)) +
+             (std::get<2>(param_info.param) ? "_tight" : "_loose");
+    });
+
+// Every budget cut point: on a tree small enough to enumerate, run the
+// cached and naive engines at EVERY node limit from 1 to past exhaustion.
+// This sweeps the truncation boundary through every placement, so a cache
+// bug that shifts behavior at any single node is caught.
+TEST(SearchIncremental, EveryBudgetCutPointIsIdentical) {
+  const ProblemBuilder b =
+      random_problem(/*seed=*/4242, /*jobs=*/5, /*capacity=*/16, true);
+  const SearchProblem problem = b.build();
+  for (const SearchAlgo algo : {SearchAlgo::Lds, SearchAlgo::Dds}) {
+    SearchConfig probe;
+    probe.algo = algo;
+    probe.node_limit = 1'000'000;
+    probe.cache = false;
+    const std::size_t total = run_search(problem, probe).nodes_visited;
+    ASSERT_GT(total, 100u);  // the sweep must actually cover a real tree
+    for (std::size_t budget = 1; budget <= total + 2; ++budget) {
+      SCOPED_TRACE(algo_name(algo) + " budget=" + std::to_string(budget));
+      SearchConfig cfg = probe;
+      cfg.node_limit = budget;
+      const SearchResult naive = run_search(problem, cfg);
+      cfg.cache = true;
+      expect_identical(naive, run_search(problem, cfg));
+    }
+  }
+}
+
+// The on_path hook sees every completed path in exploration order; the
+// cached engine must deliver the exact same sequence of (order, value)
+// pairs, not just the same incumbent.
+TEST(SearchIncremental, OnPathSequenceIsIdentical) {
+  const ProblemBuilder b =
+      random_problem(/*seed=*/77, /*jobs=*/6, /*capacity=*/32, false);
+  const SearchProblem problem = b.build();
+  for (const SearchAlgo algo :
+       {SearchAlgo::Lds, SearchAlgo::Dds, SearchAlgo::Dfs}) {
+    SCOPED_TRACE(algo_name(algo));
+    struct Seen {
+      std::vector<std::vector<std::size_t>> orders;
+      std::vector<ObjectiveValue> values;
+    };
+    Seen naive_seen, cached_seen;
+    const auto run_with = [&](bool cache, Seen& seen) {
+      SearchConfig cfg;
+      cfg.algo = algo;
+      cfg.node_limit = 500;
+      cfg.cache = cache;
+      cfg.on_path = [&seen](std::span<const std::size_t> path,
+                            const ObjectiveValue& value) {
+        seen.orders.emplace_back(path.begin(), path.end());
+        seen.values.push_back(value);
+      };
+      return run_search(problem, cfg);
+    };
+    expect_identical(run_with(false, naive_seen), run_with(true, cached_seen));
+    ASSERT_EQ(naive_seen.orders.size(), cached_seen.orders.size());
+    for (std::size_t i = 0; i < naive_seen.orders.size(); ++i) {
+      EXPECT_EQ(naive_seen.orders[i], cached_seen.orders[i]);
+      EXPECT_EQ(naive_seen.values[i].excess_h, cached_seen.values[i].excess_h);
+      EXPECT_EQ(naive_seen.values[i].avg_bsld, cached_seen.values[i].avg_bsld);
+    }
+  }
+}
+
+// Branch-and-bound pruning with the cached builder: the pruned search must
+// agree with its naive twin on everything, including the node count the
+// pruning produces.
+TEST(SearchIncremental, PruningIsIdenticalUnderCache) {
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    const ProblemBuilder b =
+        random_problem(seed * 31, /*jobs=*/6, /*capacity=*/32, true);
+    const SearchProblem problem = b.build();
+    for (const SearchAlgo algo :
+         {SearchAlgo::Lds, SearchAlgo::Dds, SearchAlgo::Dfs}) {
+      SearchConfig cfg;
+      cfg.algo = algo;
+      cfg.node_limit = 2000;
+      cfg.prune = true;
+      cfg.cache = false;
+      const SearchResult naive = run_search(problem, cfg);
+      cfg.cache = true;
+      expect_identical(naive, run_search(problem, cfg));
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Undo-log substrate: reserve_logged/undo against rebuilt references.
+
+void expect_same_steps(const ResourceProfile& got, const ResourceProfile& want,
+                       const std::string& where) {
+  SCOPED_TRACE(where);
+  ASSERT_EQ(got.step_count(), want.step_count());
+  for (std::size_t i = 0; i < got.steps().size(); ++i) {
+    EXPECT_EQ(got.steps()[i].time, want.steps()[i].time) << "step " << i;
+    EXPECT_EQ(got.steps()[i].free, want.steps()[i].free) << "step " << i;
+  }
+}
+
+/// One pending reservation of the stress walk, kept so the reference
+/// profile can be rebuilt from scratch with plain reserve().
+struct PendingReservation {
+  Time start;
+  int nodes;
+  Time duration;
+  ResourceProfile::ReserveUndo undo;
+};
+
+// Random LIFO walk: push reservations at earliest feasible starts, pop
+// some of them back, and after EVERY operation compare the step vector
+// against a reference profile rebuilt from the outstanding set. This is
+// the exactness claim the whole engine rests on: undo restores the profile
+// byte-for-byte, not merely equivalently.
+TEST(ReserveUndo, RandomWalkMatchesRebuiltReferenceExactly) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    Rng rng(seed * 131);
+    const int capacity = 32;
+    const Time origin = 1000;
+    ResourceProfile live(capacity, origin);
+    std::vector<PendingReservation> stack;
+
+    const auto reference = [&] {
+      ResourceProfile ref(capacity, origin);
+      for (const PendingReservation& r : stack)
+        ref.reserve(r.start, r.nodes, r.duration);
+      return ref;
+    };
+
+    for (int op = 0; op < 300; ++op) {
+      const bool push = stack.empty() || rng.bernoulli(0.6);
+      if (push) {
+        const int nodes = static_cast<int>(rng.uniform_int(1, capacity));
+        const Time duration = static_cast<Time>(rng.uniform_int(1, 5000));
+        const Time from =
+            origin + static_cast<Time>(rng.uniform_int(0, 20000));
+        const Time start = live.earliest_start(from, nodes, duration);
+        PendingReservation r;
+        r.start = start;
+        r.nodes = nodes;
+        r.duration = duration;
+        r.undo = live.reserve_logged(start, nodes, duration);
+        stack.push_back(r);
+      } else {
+        live.undo(stack.back().undo);
+        stack.pop_back();
+      }
+      expect_same_steps(live, reference(), "op " + std::to_string(op));
+    }
+
+    // Full unwind restores the pristine profile.
+    while (!stack.empty()) {
+      live.undo(stack.back().undo);
+      stack.pop_back();
+    }
+    expect_same_steps(live, ResourceProfile(capacity, origin), "unwound");
+  }
+}
+
+// reserve_logged must mutate exactly as reserve does (same step vector),
+// and its undo must restore the previous vector at every depth of a full
+// place-then-unwind pass — the "backtracks through every depth" case.
+TEST(ReserveUndo, UndoRestoresEveryDepthOfAFullDescent) {
+  Rng rng(2026);
+  const int capacity = 24;
+  ResourceProfile live(capacity, 0);
+  std::vector<ResourceProfile::ReserveUndo> undos;
+  std::vector<std::vector<ResourceProfile::Step>> snapshots;  // pre-reserve
+
+  for (int depth = 0; depth < 40; ++depth) {
+    snapshots.push_back(live.steps());
+    const int nodes = static_cast<int>(rng.uniform_int(1, capacity));
+    const Time duration = static_cast<Time>(rng.uniform_int(60, 7200));
+    const Time start = live.earliest_start(
+        static_cast<Time>(rng.uniform_int(0, 10000)), nodes, duration);
+
+    // Twin profile through plain reserve(): identical mutation.
+    ResourceProfile twin = live;
+    twin.reserve(start, nodes, duration);
+    undos.push_back(live.reserve_logged(start, nodes, duration));
+    expect_same_steps(live, twin, "depth " + std::to_string(depth));
+  }
+
+  for (int depth = 39; depth >= 0; --depth) {
+    live.undo(undos.back());
+    undos.pop_back();
+    const auto& want = snapshots[static_cast<std::size_t>(depth)];
+    ASSERT_EQ(live.steps().size(), want.size()) << "depth " << depth;
+    for (std::size_t i = 0; i < want.size(); ++i) {
+      EXPECT_EQ(live.steps()[i].time, want[i].time);
+      EXPECT_EQ(live.steps()[i].free, want[i].free);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// ScheduleBuilder: cached vs naive on random place/unplace walks.
+
+TEST(ScheduleBuilderIncremental, RandomWalkMatchesNaiveBuilder) {
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    const ProblemBuilder b =
+        random_problem(seed * 17, /*jobs=*/7, /*capacity=*/32, false);
+    const SearchProblem problem = b.build();
+    const std::size_t n = problem.size();
+    ScheduleBuilder cached(problem, /*cache=*/true);
+    ScheduleBuilder naive(problem, /*cache=*/false);
+
+    Rng rng(seed * 911);
+    std::vector<std::size_t> path;  // jobs currently placed, bottom-up
+    std::vector<char> used(n, 0);
+    std::size_t placements = 0;
+    for (int op = 0; op < 400; ++op) {
+      const bool descend =
+          path.empty() || (path.size() < n && rng.bernoulli(0.55));
+      if (descend) {
+        std::size_t job = rng.uniform_int(0, n - 1);
+        while (used[job]) job = (job + 1) % n;
+        const std::size_t depth = path.size();
+        EXPECT_EQ(cached.place(depth, job), naive.place(depth, job))
+            << "op " << op;
+        used[job] = 1;
+        path.push_back(job);
+        ++placements;
+      } else {
+        used[path.back()] = 0;
+        path.pop_back();
+        cached.unplace();
+        naive.unplace();  // no-op by contract
+      }
+      EXPECT_EQ(cached.depth(), path.size());
+      // The cached builder's live SoA profile must equal the naive
+      // builder's snapshot at the current depth, step for step.
+      const auto live = cached.live_steps();
+      const auto want = naive.live_steps(path.size());
+      ASSERT_EQ(live.size(), want.size()) << "op " << op;
+      for (std::size_t i = 0; i < live.size(); ++i) {
+        ASSERT_EQ(live[i].time, want[i].time) << "op " << op << " step " << i;
+        ASSERT_EQ(live[i].free, want[i].free) << "op " << op << " step " << i;
+      }
+    }
+    // Replays hit the memo: a walk this long revisits (version, job) pairs,
+    // and every placement is answered by exactly one hit or one miss.
+    EXPECT_GT(cached.cache_stats().hits, 0u);
+    EXPECT_EQ(cached.cache_stats().hits + cached.cache_stats().misses,
+              placements);
+  }
+}
+
+TEST(ScheduleBuilderIncremental, RewindRestoresTheBaseProfile) {
+  const ProblemBuilder b =
+      random_problem(/*seed=*/5, /*jobs=*/6, /*capacity=*/16, false);
+  const SearchProblem problem = b.build();
+  ScheduleBuilder builder(problem, /*cache=*/true);
+  for (std::size_t d = 0; d < problem.size(); ++d) builder.place(d, d);
+  EXPECT_EQ(builder.depth(), problem.size());
+  builder.rewind();
+  EXPECT_EQ(builder.depth(), 0u);
+  const auto live = builder.live_steps();
+  const auto& want = problem.base.steps();
+  ASSERT_EQ(live.size(), want.size());
+  for (std::size_t i = 0; i < live.size(); ++i) {
+    EXPECT_EQ(live[i].time, want[i].time) << "step " << i;
+    EXPECT_EQ(live[i].free, want[i].free) << "step " << i;
+  }
+
+  // After a rewind the builder replays identically, entirely from memo.
+  const std::uint64_t misses_before = builder.cache_stats().misses;
+  ScheduleBuilder fresh(problem, /*cache=*/false);
+  for (std::size_t d = 0; d < problem.size(); ++d)
+    EXPECT_EQ(builder.place(d, d), fresh.place(d, d));
+  EXPECT_EQ(builder.cache_stats().misses, misses_before);
+  builder.rewind();
+}
+
+// ---------------------------------------------------------------------------
+// Cross-event warm start.
+
+TEST(WarmStart, ExhaustedSearchIsIdenticalToCold) {
+  const ProblemBuilder b =
+      random_problem(/*seed=*/11, /*jobs=*/5, /*capacity=*/32, true);
+  const SearchProblem problem = b.build();
+  SearchConfig cfg;
+  cfg.node_limit = 1'000'000;  // exhausts the 5-job tree
+  const SearchResult cold = run_search(problem, cfg);
+  ASSERT_TRUE(cold.exhausted);
+
+  // Warm-start with the heuristic order (a plausible previous-event path).
+  const std::vector<std::size_t> warm_order =
+      branching_order(problem, cfg.branching);
+  SearchConfig warm_cfg = cfg;
+  warm_cfg.warm_order = &warm_order;
+  const SearchResult warm = run_search(problem, warm_cfg);
+  EXPECT_TRUE(warm.warm_start_used);
+  EXPECT_FALSE(cold.warm_start_used);
+
+  // An exhausted search finds the global optimum regardless of the seed.
+  EXPECT_EQ(cold.value.excess_h, warm.value.excess_h);
+  EXPECT_EQ(cold.value.avg_bsld, warm.value.avg_bsld);
+  EXPECT_EQ(cold.order, warm.order);
+  EXPECT_EQ(cold.starts, warm.starts);
+  EXPECT_EQ(cold.nodes_visited, warm.nodes_visited);
+}
+
+TEST(WarmStart, NeverWorseThanColdUnderTruncatedBudgets) {
+  ObjectiveComparator cmp;
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const ProblemBuilder b =
+        random_problem(seed * 503, /*jobs=*/9, /*capacity=*/64, true);
+    const SearchProblem problem = b.build();
+    for (const std::size_t budget : {1u, 5u, 40u, 300u}) {
+      SCOPED_TRACE("seed=" + std::to_string(seed) +
+                   " budget=" + std::to_string(budget));
+      SearchConfig cfg;
+      cfg.node_limit = budget;
+      const SearchResult cold = run_search(problem, cfg);
+
+      // Use the cold search's best order as the carried path — exactly what
+      // the scheduler hands the next event when the queue did not change.
+      SearchConfig warm_cfg = cfg;
+      warm_cfg.warm_order = &cold.order;
+      const SearchResult warm = run_search(problem, warm_cfg);
+      EXPECT_TRUE(warm.warm_start_used);
+      // Anytime contract: the warm result is at least as good as both the
+      // cold result and the seed itself.
+      EXPECT_FALSE(cmp.less(cold.value, warm.value));
+      // The seed costs no nodes: exploration is unchanged (prune is off).
+      EXPECT_EQ(cold.nodes_visited, warm.nodes_visited);
+      EXPECT_EQ(cold.paths_completed, warm.paths_completed);
+      // The warm incumbent enters the anytime profile at node 0.
+      ASSERT_FALSE(warm.improvements.empty());
+      EXPECT_EQ(warm.improvements.front().nodes, 0u);
+      EXPECT_EQ(warm.improvements.front().path, 0u);
+    }
+  }
+}
+
+TEST(WarmStart, InvalidOrdersFallBackToColdSilently) {
+  const ProblemBuilder b =
+      random_problem(/*seed=*/23, /*jobs=*/4, /*capacity=*/16, false);
+  const SearchProblem problem = b.build();
+  SearchConfig cfg;
+  cfg.node_limit = 50;
+  const SearchResult cold = run_search(problem, cfg);
+
+  const std::vector<std::size_t> wrong_size = {0, 1, 2};
+  const std::vector<std::size_t> duplicate = {0, 1, 1, 3};
+  const std::vector<std::size_t> out_of_range = {0, 1, 2, 9};
+  for (const auto* bad : {&wrong_size, &duplicate, &out_of_range}) {
+    SearchConfig warm_cfg = cfg;
+    warm_cfg.warm_order = bad;
+    const SearchResult r = run_search(problem, warm_cfg);
+    EXPECT_FALSE(r.warm_start_used);
+    expect_identical(cold, r);
+  }
+}
+
+TEST(WarmStart, ThreadCountInvariant) {
+  const ProblemBuilder b =
+      random_problem(/*seed=*/61, /*jobs=*/8, /*capacity=*/64, true);
+  const SearchProblem problem = b.build();
+  const std::vector<std::size_t> warm_order =
+      branching_order(problem, Branching::Lxf);
+  // Reverse it so the seed is NOT the iteration-0 path — the interesting
+  // case, where the warm incumbent can survive several iterations.
+  std::vector<std::size_t> reversed(warm_order.rbegin(), warm_order.rend());
+
+  for (const std::size_t budget : {3u, 25u, 200u, 100000u}) {
+    SCOPED_TRACE("budget=" + std::to_string(budget));
+    SearchConfig cfg;
+    cfg.node_limit = budget;
+    cfg.warm_order = &reversed;
+    const SearchResult seq = run_search(problem, cfg);
+    EXPECT_TRUE(seq.warm_start_used);
+    for (const std::size_t threads : {1u, 4u}) {
+      SCOPED_TRACE("threads=" + std::to_string(threads));
+      SearchConfig par = cfg;
+      par.threads = threads;
+      expect_identical(seq, run_search(problem, par));
+    }
+    // And cache off agrees too.
+    SearchConfig naive = cfg;
+    naive.cache = false;
+    expect_identical(seq, run_search(problem, naive));
+  }
+}
+
+}  // namespace
+}  // namespace sbs

@@ -12,16 +12,19 @@
 //            [--load=0.9] [--classes] [--timeline=out.csv]
 //            [--faults=mtbf:86400,mttr:3600,seed:7[,block:2-8][,killmtbf:N]]
 //            [--requeue=resubmit|drop] [--search-deadline-ms=50]
-//            [--search-threads=4] [--telemetry=run.jsonl] [--metrics]
+//            [--search-threads=4] [--search-cache=on|off]
+//            [--warm-start=on|off] [--telemetry=run.jsonl] [--metrics]
 //       Run one policy and report every aggregate measure; optionally the
 //       per-class wait grid, a utilization/queue timeline CSV, seeded
 //       fault injection, a wall-clock search deadline, a parallel search
-//       worker count (identical schedules at any count), a decision-level
-//       JSONL event stream and the metrics-registry tables.
+//       worker count (identical schedules at any count), the incremental
+//       search engine escape hatch, cross-event warm starts, a
+//       decision-level JSONL event stream and the metrics-registry tables.
 //
 //   sbsched compare --trace=month.swf [--policies=FCFS-BF,LXF-BF,DDS/lxf/dynB]
 //            [--nodes=1000] [--rstar=...] [--load=0.9] [--faults=...]
 //            [--requeue=...] [--search-deadline-ms=N] [--search-threads=N]
+//            [--search-cache=on|off] [--warm-start=on|off]
 //            [--telemetry=runs.jsonl] [--metrics]
 //       Side-by-side comparison with FCFS-derived excessive-wait measures.
 //
@@ -67,21 +70,28 @@ int usage() {
       "            [--faults=mtbf:86400,mttr:3600,seed:7[,block:2-8]"
       "[,killmtbf:N]]\n"
       "            [--requeue=resubmit|drop] [--search-deadline-ms=50]\n"
-      "            [--search-threads=4]\n"
+      "            [--search-threads=4] [--search-cache=on|off]\n"
+      "            [--warm-start=on|off]\n"
       "            [--telemetry=run.jsonl] [--metrics]\n"
       "      Run one policy and report every aggregate measure. --faults\n"
       "      injects seeded node failures/repairs, --requeue picks the fate\n"
       "      of killed jobs, --search-deadline-ms bounds each decision's\n"
       "      wall clock. --search-threads runs the tree search on N worker\n"
       "      threads (0 = sequential; any N yields the identical schedule,\n"
-      "      only faster). --telemetry streams one JSONL record per\n"
+      "      only faster). --search-cache=off disables the incremental\n"
+      "      schedule builder (escape hatch; schedules are identical either\n"
+      "      way, off is only slower). --warm-start=on seeds each search\n"
+      "      with the previous decision's best path (never worse under the\n"
+      "      same budget; default off preserves the paper's re-plan-from-\n"
+      "      scratch semantics). --telemetry streams one JSONL record per\n"
       "      decision and job lifecycle event; --metrics prints the counter\n"
       "      and histogram tables.\n"
       "\n"
       "  compare   --trace=month.swf [--policies=FCFS-BF,LXF-BF,DDS/lxf/dynB]\n"
       "            [--nodes=1000] [--rstar=...] [--load=0.9] [--faults=...]\n"
       "            [--requeue=...] [--search-deadline-ms=N]\n"
-      "            [--search-threads=N] [--telemetry=runs.jsonl] [--metrics]\n"
+      "            [--search-threads=N] [--search-cache=on|off]\n"
+      "            [--warm-start=on|off] [--telemetry=runs.jsonl] [--metrics]\n"
       "      Side-by-side comparison with FCFS-derived excessive-wait\n"
       "      measures; telemetry appends every policy's run to one stream.\n"
       "\n"
@@ -144,6 +154,15 @@ void apply_fault_flags(const CliArgs& args, const Trace& trace, SimConfig& sim,
   injector = std::make_unique<FaultInjector>(FaultInjector::from_spec(
       fs, trace.window_begin, trace.window_end, trace.capacity));
   sim.faults = injector.get();
+}
+
+/// Parses an on|off flag shared by --search-cache and --warm-start.
+bool on_off_flag(const CliArgs& args, const std::string& key,
+                 bool default_on) {
+  const std::string v = args.get(key, default_on ? "on" : "off");
+  if (v == "on") return true;
+  if (v == "off") return false;
+  throw Error("--" + key + " must be on or off");
 }
 
 SimConfig sim_config(const CliArgs& args,
@@ -224,8 +243,8 @@ int cmd_simulate(int argc, char** argv) {
   CliArgs args(argc, argv,
                {"trace", "procs-per-node", "policy", "nodes", "rstar",
                 "load", "classes", "timeline", "faults", "requeue",
-                "search-deadline-ms", "search-threads", "telemetry",
-                "metrics"});
+                "search-deadline-ms", "search-threads", "search-cache",
+                "warm-start", "telemetry", "metrics"});
   const Trace trace = load_trace(args);
   std::unique_ptr<RuntimePredictor> predictor;
   SimConfig sim = sim_config(args, predictor);
@@ -239,6 +258,8 @@ int cmd_simulate(int argc, char** argv) {
       args.get_double("search-deadline-ms", -1.0);
   const auto threads =
       static_cast<std::size_t>(args.get_int("search-threads", 0));
+  const bool cache = on_off_flag(args, "search-cache", true);
+  const bool warm = on_off_flag(args, "warm-start", false);
 
   // Thresholds always come from the fault-free FCFS-backfill run, so the
   // excessive-wait measures quantify degradation against a healthy machine.
@@ -249,7 +270,7 @@ int cmd_simulate(int argc, char** argv) {
   healthy.telemetry = nullptr;
   const Thresholds th = fcfs_thresholds(trace, healthy);
   const MonthEval eval = evaluate_spec(trace, spec, L, th, sim, true,
-                                       deadline_ms, threads);
+                                       deadline_ms, threads, cache, warm);
 
   std::cout << "policy: " << eval.policy << "\njobs: " << eval.summary.jobs
             << '\n';
@@ -326,7 +347,8 @@ int cmd_compare(int argc, char** argv) {
   CliArgs args(argc, argv,
                {"trace", "procs-per-node", "policies", "nodes", "rstar",
                 "load", "faults", "requeue", "search-deadline-ms",
-                "search-threads", "telemetry", "metrics"});
+                "search-threads", "search-cache", "warm-start", "telemetry",
+                "metrics"});
   const Trace trace = load_trace(args);
   std::unique_ptr<RuntimePredictor> predictor;
   SimConfig sim = sim_config(args, predictor);
@@ -339,6 +361,8 @@ int cmd_compare(int argc, char** argv) {
       args.get_double("search-deadline-ms", -1.0);
   const auto threads =
       static_cast<std::size_t>(args.get_int("search-threads", 0));
+  const bool cache = on_off_flag(args, "search-cache", true);
+  const bool warm = on_off_flag(args, "warm-start", false);
 
   std::vector<std::string> specs;
   std::string list = args.get("policies", "FCFS-BF,LXF-BF,DDS/lxf/dynB");
@@ -366,7 +390,8 @@ int cmd_compare(int argc, char** argv) {
       policy_sim.predictor = local.get();
     }
     const MonthEval eval = evaluate_spec(trace, spec, L, th, policy_sim,
-                                         false, deadline_ms, threads);
+                                         false, deadline_ms, threads, cache,
+                                         warm);
     t.row()
         .add(eval.policy)
         .add(eval.summary.avg_wait_h)
