@@ -47,6 +47,26 @@ double FairShareTracker::share_ratio(int user, Time now) const {
   return usage(user, now) / fair;
 }
 
+std::vector<FairShareTracker::AccountEntry> FairShareTracker::export_accounts()
+    const {
+  std::vector<AccountEntry> out;
+  out.reserve(ledger_.size());
+  for (const auto& [user, account] : ledger_)
+    out.push_back({user, account.usage, account.updated});
+  std::sort(out.begin(), out.end(),
+            [](const AccountEntry& a, const AccountEntry& b) {
+              return a.user < b.user;
+            });
+  return out;
+}
+
+void FairShareTracker::import_accounts(
+    const std::vector<AccountEntry>& accounts) {
+  ledger_.clear();
+  for (const AccountEntry& a : accounts)
+    ledger_[a.user] = Account{a.usage, a.updated};
+}
+
 Time FairShareTracker::adjust_bound(Time base_bound, int user, Time now) const {
   const double ratio =
       std::clamp(share_ratio(user, now), 1.0 / config_.max_scale, 1.0);

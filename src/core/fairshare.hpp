@@ -1,6 +1,7 @@
 #pragma once
 
 #include <unordered_map>
+#include <vector>
 
 #include "jobs/job.hpp"
 
@@ -50,6 +51,18 @@ class FairShareTracker {
   Time adjust_bound(Time base_bound, int user, Time now) const;
 
   std::size_t tracked_users() const { return ledger_.size(); }
+
+  /// Checkpoint support: the ledger as (user, usage, updated) rows in
+  /// ascending user order (deterministic output for golden snapshots), and
+  /// its exact restoration. Usage doubles round-trip bit-exactly through
+  /// the shortest-round-trip decimal form the JSON layer emits.
+  struct AccountEntry {
+    int user = 0;
+    double usage = 0.0;
+    Time updated = 0;
+  };
+  std::vector<AccountEntry> export_accounts() const;
+  void import_accounts(const std::vector<AccountEntry>& accounts);
 
  private:
   struct Account {

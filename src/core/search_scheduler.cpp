@@ -4,6 +4,8 @@
 #include <chrono>
 #include <unordered_map>
 
+#include "obs/json.hpp"
+#include "util/error.hpp"
 #include "util/thread_pool.hpp"
 
 namespace sbs {
@@ -123,6 +125,61 @@ std::vector<int> SearchScheduler::select_jobs(const SchedulerState& state) {
   stats_.think_time_us += think_us;
   stats_.max_think_time_us = std::max(stats_.max_think_time_us, think_us);
   return started;
+}
+
+std::string SearchScheduler::save_state() const {
+  obs::JsonWriter w;
+  w.begin_object();
+  w.field("kind", "search");
+  append_stats_json(w, "stats", stats_);
+  w.key("warm_ids").begin_array();
+  for (const int id : warm_ids_) w.value(id);
+  w.end_array();
+  w.key("fairshare").begin_array();
+  for (const FairShareTracker::AccountEntry& a : fairshare_.export_accounts()) {
+    w.begin_object()
+        .field("user", a.user)
+        .field("usage", a.usage)
+        .field("updated", static_cast<std::int64_t>(a.updated))
+        .end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.str();
+}
+
+void SearchScheduler::restore_state(std::string_view state) {
+  const obs::JsonValue v = obs::parse_json(state);
+  SBS_CHECK_MSG(v.is_object(), "search scheduler state is not a JSON object");
+  const obs::JsonValue* kind = v.find("kind");
+  SBS_CHECK_MSG(kind != nullptr && kind->as_string() == "search",
+                "state is not a search-scheduler snapshot");
+  const obs::JsonValue* stats = v.find("stats");
+  SBS_CHECK_MSG(stats != nullptr, "search scheduler state lacks stats");
+  stats_ = stats_from_json(*stats);
+  const obs::JsonValue* warm = v.find("warm_ids");
+  SBS_CHECK_MSG(warm != nullptr && warm->is_array(),
+                "search scheduler state lacks warm_ids");
+  warm_ids_.clear();
+  for (const obs::JsonValue& id : warm->array)
+    warm_ids_.push_back(static_cast<int>(id.as_int()));
+  const obs::JsonValue* fs = v.find("fairshare");
+  SBS_CHECK_MSG(fs != nullptr && fs->is_array(),
+                "search scheduler state lacks fairshare ledger");
+  std::vector<FairShareTracker::AccountEntry> accounts;
+  for (const obs::JsonValue& row : fs->array) {
+    SBS_CHECK_MSG(row.is_object(), "malformed fairshare ledger row");
+    FairShareTracker::AccountEntry a;
+    const obs::JsonValue* user = row.find("user");
+    const obs::JsonValue* usage = row.find("usage");
+    const obs::JsonValue* updated = row.find("updated");
+    SBS_CHECK_MSG(user && usage && updated, "malformed fairshare ledger row");
+    a.user = static_cast<int>(user->as_int());
+    a.usage = usage->as_double();
+    a.updated = static_cast<Time>(updated->as_int());
+    accounts.push_back(a);
+  }
+  fairshare_.import_accounts(accounts);
 }
 
 std::string SearchScheduler::name() const {

@@ -64,6 +64,13 @@ class SearchScheduler final : public Scheduler {
   /// Fair-share ledger (empty unless fairshare mode is on).
   const FairShareTracker& fairshare_tracker() const { return fairshare_; }
 
+  /// Checkpoint support: cumulative stats, the warm-start order carried
+  /// across events, and the fair-share ledger. The thread pool and memo
+  /// caches are NOT state — the pool is rebuilt lazily and the caches are
+  /// per-decision — so a restored scheduler decides bit-identically.
+  std::string save_state() const override;
+  void restore_state(std::string_view state) override;
+
  private:
   SearchSchedulerConfig config_;
   SchedulerStats stats_;

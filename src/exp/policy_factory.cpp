@@ -7,6 +7,7 @@
 #include "policies/selective.hpp"
 #include "policies/slack_backfill.hpp"
 #include "policies/weighted_priority.hpp"
+#include "resilience/governed_scheduler.hpp"
 #include "util/error.hpp"
 
 namespace sbs {
@@ -47,11 +48,10 @@ std::unique_ptr<Scheduler> make_search_policy(SearchAlgo algo,
   return std::make_unique<SearchScheduler>(cfg);
 }
 
-std::unique_ptr<Scheduler> make_policy(const std::string& spec,
-                                       std::size_t node_limit,
-                                       double deadline_ms,
-                                       std::size_t threads, bool cache,
-                                       bool warm_start) {
+namespace {
+
+/// The fixed-name (non-search) policies; nullptr when `spec` is not one.
+std::unique_ptr<Scheduler> make_named_policy(const std::string& spec) {
   if (spec == "FCFS-BF") return make_backfill(PriorityKind::Fcfs);
   if (spec == "FCFS-cons-BF")
     return make_backfill(PriorityKind::Fcfs, kConservativeReservations);
@@ -70,6 +70,21 @@ std::unique_ptr<Scheduler> make_policy(const std::string& spec,
   }
   if (spec == "Weighted-BF")
     return std::make_unique<WeightedPriorityScheduler>();
+  return nullptr;
+}
+
+}  // namespace
+
+std::unique_ptr<Scheduler> make_policy(
+    const std::string& spec, std::size_t node_limit, double deadline_ms,
+    std::size_t threads, bool cache, bool warm_start,
+    const resilience::GovernorConfig* governor) {
+  if (auto named = make_named_policy(spec)) {
+    SBS_CHECK_MSG(governor == nullptr,
+                  "--governor requires a search policy spec; \""
+                      << spec << "\" has no search to degrade");
+    return named;
+  }
 
   // Search policies: "<algo>/<branching>/<bound>[+ls][+fs]" (suffixes in
   // any order).
@@ -132,6 +147,8 @@ std::unique_ptr<Scheduler> make_policy(const std::string& spec,
   cfg.refine = refine;
   cfg.fairshare = fairshare;
   cfg.warm_start = warm_start;
+  if (governor != nullptr)
+    return std::make_unique<resilience::GovernedScheduler>(cfg, *governor);
   return std::make_unique<SearchScheduler>(cfg);
 }
 

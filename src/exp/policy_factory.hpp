@@ -7,6 +7,10 @@
 #include "policies/backfill.hpp"
 #include "sim/scheduler.hpp"
 
+namespace sbs::resilience {
+struct GovernorConfig;
+}  // namespace sbs::resilience
+
 namespace sbs {
 
 /// Builders for every policy the experiments use.
@@ -35,12 +39,14 @@ std::unique_ptr<Scheduler> make_search_policy(SearchAlgo algo,
 ///   builder; false = the naive per-depth-snapshot baseline) and
 ///   `warm_start` (carry the previous event's best path as the next
 ///   search's initial incumbent) apply to search policies only.
+/// A non-null `governor` wraps the search policy in the overload governor
+/// (resilience::GovernedScheduler); combining it with a non-search spec
+/// throws — every non-search policy already IS the fallback rung.
 /// Throws sbs::Error on anything unrecognized.
-std::unique_ptr<Scheduler> make_policy(const std::string& spec,
-                                       std::size_t node_limit = 1000,
-                                       double deadline_ms = -1.0,
-                                       std::size_t threads = 0,
-                                       bool cache = true,
-                                       bool warm_start = false);
+std::unique_ptr<Scheduler> make_policy(
+    const std::string& spec, std::size_t node_limit = 1000,
+    double deadline_ms = -1.0, std::size_t threads = 0, bool cache = true,
+    bool warm_start = false,
+    const resilience::GovernorConfig* governor = nullptr);
 
 }  // namespace sbs

@@ -36,9 +36,10 @@ MonthEval evaluate_spec(const Trace& trace, const std::string& policy_spec,
                         std::size_t node_limit, const Thresholds& thresholds,
                         const SimConfig& sim, bool keep_outcomes,
                         double deadline_ms, std::size_t threads, bool cache,
-                        bool warm_start) {
+                        bool warm_start,
+                        const resilience::GovernorConfig* governor) {
   auto scheduler = make_policy(policy_spec, node_limit, deadline_ms, threads,
-                               cache, warm_start);
+                               cache, warm_start, governor);
   return evaluate_policy(trace, *scheduler, thresholds, sim, keep_outcomes);
 }
 

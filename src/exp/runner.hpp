@@ -7,6 +7,10 @@
 #include "metrics/summary.hpp"
 #include "sim/simulator.hpp"
 
+namespace sbs::resilience {
+struct GovernorConfig;
+}  // namespace sbs::resilience
+
 namespace sbs {
 
 /// Per-month excessive-wait thresholds, derived from the month's
@@ -44,11 +48,12 @@ MonthEval evaluate_policy(const Trace& trace, Scheduler& scheduler,
 /// (negative = no wall-clock deadline), `threads` (parallel search
 /// workers, 0 = sequential), `cache` (incremental schedule builder) and
 /// `warm_start` (cross-event incumbent carry) apply to search policies
-/// only.
+/// only; a non-null `governor` wraps the search in the overload governor.
 MonthEval evaluate_spec(const Trace& trace, const std::string& policy_spec,
                         std::size_t node_limit, const Thresholds& thresholds,
                         const SimConfig& sim = {}, bool keep_outcomes = false,
                         double deadline_ms = -1.0, std::size_t threads = 0,
-                        bool cache = true, bool warm_start = false);
+                        bool cache = true, bool warm_start = false,
+                        const resilience::GovernorConfig* governor = nullptr);
 
 }  // namespace sbs

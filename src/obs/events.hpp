@@ -18,6 +18,16 @@ struct ImprovementPoint {
   std::uint64_t discrepancies = 0;  ///< discrepancies of the improving path
 };
 
+/// One overload-governor level change, recorded inside the decision that
+/// caused it. `kind` is "degrade", "probe", "probe_fail", or "recover";
+/// levels are the resilience ladder (0 = full search .. 3 = backfill
+/// fallback).
+struct GovernorTransition {
+  std::string_view kind;
+  int from = 0;
+  int to = 0;
+};
+
 /// One scheduling decision, as recorded by the simulator. Search counters
 /// are per-decision deltas of the policy's cumulative SchedulerStats, so
 /// summing any field over a run's decision records reproduces the run
@@ -50,6 +60,13 @@ struct DecisionRecord {
   /// The sum can exceed nodes_visited: subtree work past the deterministic
   /// merge cut is discarded but still costs wall clock.
   std::span<const std::uint64_t> worker_nodes;
+  /// Degradation-ladder level the governor ran this decision at, -1 when no
+  /// governor wraps the policy (the field is then omitted from JSONL).
+  int governor_level = -1;
+  bool governor_probe = false;  ///< this decision was a half-open probe
+  /// Level changes the governor made while handling this decision (each is
+  /// also emitted as its own "governor" record).
+  std::span<const GovernorTransition> governor_transitions;
 };
 
 /// Run boundary record: everything after it (until the next RunRecord)
@@ -60,6 +77,18 @@ struct RunRecord {
   std::string_view policy;
   int capacity = 0;
   std::uint64_t jobs = 0;
+};
+
+/// Provenance echoed into the run record and the metrics JSON so a run is
+/// reproducible from its artifacts alone: the resolved RNG seed, the
+/// governor spec (empty = no governor), and checkpoint lineage (the id of
+/// the snapshot this run resumed from, empty for a fresh run).
+struct RunContext {
+  bool has_seed = false;
+  std::uint64_t seed = 0;
+  std::string governor;          ///< resolved --governor/--governor-thresholds
+  std::string checkpoint_parent; ///< snapshot id resumed from, "" = fresh
+  bool resumed = false;
 };
 
 }  // namespace sbs::obs

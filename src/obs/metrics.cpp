@@ -118,9 +118,21 @@ Histogram& MetricsRegistry::histogram(std::string_view name,
   return *histograms_.back();
 }
 
+void MetricsRegistry::set_label(std::string_view name, std::string_view value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& l : labels_) {
+    if (l.name == name) {
+      l.value = std::string(value);
+      return;
+    }
+  }
+  labels_.push_back({std::string(name), std::string(value)});
+}
+
 MetricsSnapshot MetricsRegistry::snapshot() const {
   std::lock_guard<std::mutex> lock(mu_);
   MetricsSnapshot s;
+  s.labels = labels_;
   for (const auto& c : counters_)
     s.counters.push_back({c->name(), c->value()});
   for (const auto& g : gauges_) {
@@ -132,6 +144,12 @@ MetricsSnapshot MetricsRegistry::snapshot() const {
 }
 
 void MetricsSnapshot::print(std::ostream& os) const {
+  if (!labels.empty()) {
+    Table t({"label", "value"});
+    for (const auto& l : labels) t.row().add(l.name).add(l.value);
+    t.print(os);
+    os << '\n';
+  }
   if (!counters.empty() || !gauges.empty()) {
     Table t({"metric", "value", "max"});
     for (const auto& c : counters)
@@ -169,6 +187,9 @@ void MetricsSnapshot::print(std::ostream& os) const {
 std::string MetricsSnapshot::to_json() const {
   JsonWriter w;
   w.begin_object();
+  w.key("labels").begin_object();
+  for (const auto& l : labels) w.field(l.name, l.value);
+  w.end_object();
   w.key("counters").begin_object();
   for (const auto& c : counters) w.field(c.name, c.value);
   w.end_object();

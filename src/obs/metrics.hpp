@@ -93,6 +93,12 @@ struct MetricsSnapshot {
     bool ever_set = false;
   };
 
+  struct LabelValue {
+    std::string name;
+    std::string value;
+  };
+
+  std::vector<LabelValue> labels;
   std::vector<CounterValue> counters;
   std::vector<GaugeValue> gauges;
   std::vector<HistogramSnapshot> histograms;
@@ -115,10 +121,15 @@ class MetricsRegistry {
   /// `bounds` (ascending) is consulted only on first creation.
   Histogram& histogram(std::string_view name, std::span<const double> bounds);
 
+  /// Free-form provenance string attached to snapshots (seed, governor
+  /// spec, checkpoint lineage, ...). Re-setting a name overwrites it.
+  void set_label(std::string_view name, std::string_view value);
+
   MetricsSnapshot snapshot() const;
 
  private:
   mutable std::mutex mu_;
+  std::vector<MetricsSnapshot::LabelValue> labels_;
   std::vector<std::unique_ptr<Counter>> counters_;
   std::vector<std::unique_ptr<Gauge>> gauges_;
   std::vector<std::unique_ptr<Histogram>> histograms_;

@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <fstream>
+#include <iterator>
 #include <ostream>
 
 #include "obs/json.hpp"
 #include "obs/telemetry.hpp"
+#include "obs/trace_sink.hpp"
 #include "util/error.hpp"
 #include "util/table.hpp"
 
@@ -107,6 +109,14 @@ void apply_decision(RunReport& r, const JsonValue& rec, std::size_t lineno) {
       r.speculative_nodes += static_cast<std::uint64_t>(w.as_int());
   }
 
+  // Optional (newer schema): overload-governor accounting.
+  if (const JsonValue* level = rec.find("gov_level")) {
+    const int lv = static_cast<int>(level->as_int());
+    ++r.gov_level_decisions[lv];
+    r.gov_final_level = lv;
+    r.gov_max_level = std::max(r.gov_max_level, lv);
+  }
+
   // Optional (newer schema): incremental-engine accounting.
   if (const JsonValue* hits = rec.find("cache_hits"))
     r.cache_hits += static_cast<std::uint64_t>(hits->as_int());
@@ -146,6 +156,17 @@ void apply_record(RunReport& r, const JsonValue& rec, const std::string& type,
                   std::size_t lineno) {
   if (type == "decision") {
     apply_decision(r, rec, lineno);
+  } else if (type == "governor") {
+    const std::string& kind = need(rec, "kind", lineno).as_string();
+    if (kind == "degrade") ++r.gov_degrades;
+    else if (kind == "recover") ++r.gov_recoveries;
+    else if (kind == "probe") ++r.gov_probes;
+    else if (kind == "probe_fail") ++r.gov_probe_failures;
+    else throw Error("telemetry line " + std::to_string(lineno) +
+                     ": unknown governor kind " + kind);
+    const int to = static_cast<int>(need(rec, "to", lineno).as_int());
+    r.gov_final_level = to;
+    r.gov_max_level = std::max(r.gov_max_level, to);
   } else if (type == "submit") {
     ++r.submits;
     need(rec, "job", lineno);
@@ -175,42 +196,82 @@ void apply_record(RunReport& r, const JsonValue& rec, const std::string& type,
 
 }  // namespace
 
-std::vector<RunReport> summarize_telemetry(const std::string& path) {
-  std::ifstream in(path);
-  SBS_CHECK_MSG(in.is_open(), "cannot open telemetry file " << path);
+TelemetrySummary read_telemetry(const std::string& path) {
+  TelemetrySummary summary;
+  summary.segments = JsonlSink::segment_paths(path);
+  SBS_CHECK_MSG(!summary.segments.empty(),
+                "cannot open telemetry file " << path);
 
-  std::vector<RunReport> runs;
-  std::string line;
   std::size_t lineno = 0;
-  while (std::getline(in, line)) {
-    ++lineno;
-    SBS_CHECK_MSG(!line.empty(), "telemetry line " << lineno << " is empty");
-    JsonValue rec;
-    try {
-      rec = parse_json(line);
-    } catch (const Error& e) {
-      throw Error("telemetry line " + std::to_string(lineno) + ": " +
-                  e.what());
+  for (std::size_t seg = 0; seg < summary.segments.size(); ++seg) {
+    const std::string& seg_path = summary.segments[seg];
+    const bool last_segment = seg + 1 == summary.segments.size();
+    std::ifstream in(seg_path, std::ios::binary);
+    SBS_CHECK_MSG(in.is_open(), "cannot open telemetry file " << seg_path);
+    std::string text((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+
+    std::size_t pos = 0;
+    while (pos < text.size()) {
+      const std::size_t nl = text.find('\n', pos);
+      const bool terminated = nl != std::string::npos;
+      const std::string_view line(
+          text.data() + pos, (terminated ? nl : text.size()) - pos);
+      pos = terminated ? nl + 1 : text.size();
+      ++lineno;
+
+      // A final line with no trailing newline is the signature of a killed
+      // writer: the last buffered write was cut mid-line. If it does not
+      // parse as a complete record, skip and count it instead of rejecting
+      // the whole stream. (A truncation can only parse if the cut landed
+      // exactly after the closing brace, i.e. the record is whole.)
+      const bool torn_candidate = last_segment && !terminated;
+      SBS_CHECK_MSG(!line.empty(), "telemetry line " << lineno << " is empty");
+      JsonValue rec;
+      try {
+        rec = parse_json(line);
+        SBS_CHECK_MSG(rec.is_object(),
+                      "telemetry line " << lineno << " is not a JSON object");
+      } catch (const Error& e) {
+        if (torn_candidate) {
+          ++summary.torn_records;
+          break;
+        }
+        throw Error("telemetry line " + std::to_string(lineno) + " (" +
+                    seg_path + "): " + e.what());
+      }
+      const std::string& type = need(rec, "type", lineno).as_string();
+      if (type == "run") {
+        RunReport r = fresh_run();
+        r.trace = need(rec, "trace", lineno).as_string();
+        r.policy = need(rec, "policy", lineno).as_string();
+        r.capacity = static_cast<int>(need(rec, "capacity", lineno).as_int());
+        r.trace_jobs = need_u64(rec, "jobs", lineno);
+        if (const JsonValue* seed = rec.find("seed")) {
+          r.has_seed = true;
+          r.seed = static_cast<std::uint64_t>(seed->as_int());
+        }
+        if (const JsonValue* gov = rec.find("governor"))
+          r.governor = gov->as_string();
+        if (const JsonValue* resumed = rec.find("resumed"))
+          r.resumed = resumed->as_bool();
+        if (const JsonValue* parent = rec.find("checkpoint_parent"))
+          r.checkpoint_parent = parent->as_string();
+        summary.runs.push_back(std::move(r));
+        continue;
+      }
+      SBS_CHECK_MSG(!summary.runs.empty(),
+                    "telemetry line " << lineno
+                                      << " appears before any run record");
+      apply_record(summary.runs.back(), rec, type, lineno);
     }
-    SBS_CHECK_MSG(rec.is_object(),
-                  "telemetry line " << lineno << " is not a JSON object");
-    const std::string& type = need(rec, "type", lineno).as_string();
-    if (type == "run") {
-      RunReport r = fresh_run();
-      r.trace = need(rec, "trace", lineno).as_string();
-      r.policy = need(rec, "policy", lineno).as_string();
-      r.capacity = static_cast<int>(need(rec, "capacity", lineno).as_int());
-      r.trace_jobs = need_u64(rec, "jobs", lineno);
-      runs.push_back(std::move(r));
-      continue;
-    }
-    SBS_CHECK_MSG(!runs.empty(), "telemetry line "
-                                     << lineno
-                                     << " appears before any run record");
-    apply_record(runs.back(), rec, type, lineno);
   }
   SBS_CHECK_MSG(lineno > 0, "telemetry file " << path << " is empty");
-  return runs;
+  return summary;
+}
+
+std::vector<RunReport> summarize_telemetry(const std::string& path) {
+  return read_telemetry(path).runs;
 }
 
 void print_report(const std::vector<RunReport>& runs, std::ostream& os) {
@@ -236,6 +297,18 @@ void print_report(const std::vector<RunReport>& runs, std::ostream& os) {
   for (const RunReport& r : runs) {
     os << "\n== " << r.trace << " / " << r.policy << " (capacity "
        << r.capacity << ", " << r.trace_jobs << " jobs) ==\n";
+
+    if (r.has_seed || !r.governor.empty() || r.resumed) {
+      os << "\nProvenance:\n";
+      Table prov({"field", "value"});
+      if (r.has_seed) prov.row().add("seed").add(std::to_string(r.seed));
+      if (!r.governor.empty()) prov.row().add("governor").add(r.governor);
+      if (r.resumed) {
+        prov.row().add("resumed").add("yes");
+        prov.row().add("checkpoint parent").add(r.checkpoint_parent);
+      }
+      prov.print(os);
+    }
 
     os << "\nAggregates reconstructed from the event stream:\n";
     Table agg({"measure", "value"});
@@ -300,6 +373,37 @@ void print_report(const std::vector<RunReport>& runs, std::ostream& os) {
           .add(static_cast<long long>(r.warm_starts));
     agg.print(os);
 
+    // Circuit-breaker state over the run: where the ladder ended, how deep
+    // it went, and how the decisions were spread across the levels.
+    if (r.gov_final_level >= 0) {
+      os << "\nOverload governor (degradation ladder 0=full search .. "
+            "3=backfill fallback):\n";
+      Table gov({"measure", "value"});
+      gov.row().add("final level").add(r.gov_final_level);
+      gov.row().add("deepest level").add(r.gov_max_level);
+      gov.row().add("degrades").add(static_cast<long long>(r.gov_degrades));
+      gov.row()
+          .add("recoveries")
+          .add(static_cast<long long>(r.gov_recoveries));
+      gov.row()
+          .add("probes (failed)")
+          .add(std::to_string(r.gov_probes) + " (" +
+               std::to_string(r.gov_probe_failures) + ")");
+      gov.print(os);
+      if (!r.gov_level_decisions.empty()) {
+        Table levels({"level", "decisions", "share"});
+        for (const auto& [level, n] : r.gov_level_decisions)
+          levels.row()
+              .add(level)
+              .add(static_cast<long long>(n))
+              .add(format_double(100.0 * static_cast<double>(n) /
+                                     static_cast<double>(r.decisions),
+                                 1) +
+                   "%");
+        levels.print(os);
+      }
+    }
+
     MetricsSnapshot hists;
     hists.histograms = {r.think_us_hist, r.nodes_hist, r.queue_hist,
                         r.max_wait_hist};
@@ -340,6 +444,18 @@ void print_report(const std::vector<RunReport>& runs, std::ostream& os) {
       any.print(os);
     }
   }
+}
+
+void print_report(const TelemetrySummary& summary, std::ostream& os) {
+  if (summary.segments.size() > 1)
+    os << "Stream spans " << summary.segments.size()
+       << " rotated segments (" << summary.segments.front() << " .. "
+       << summary.segments.back() << ")\n";
+  if (summary.torn_records > 0)
+    os << "WARNING: skipped " << summary.torn_records
+       << " torn record(s) at the end of the stream (crash artifact; all "
+          "complete records were kept)\n";
+  print_report(summary.runs, os);
 }
 
 }  // namespace sbs::obs

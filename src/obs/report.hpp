@@ -78,16 +78,58 @@ struct RunReport {
 
   /// Winning-path discrepancy profile: discrepancy count -> decisions.
   std::map<std::int64_t, std::uint64_t> discrepancy_profile;
+
+  // Provenance echoed by newer writers into the run record (optional
+  // fields; absent in older streams).
+  bool has_seed = false;
+  std::uint64_t seed = 0;
+  std::string governor;           ///< resolved governor spec, "" = none
+  bool resumed = false;
+  std::string checkpoint_parent;  ///< snapshot id this run resumed from
+
+  // Overload-governor accounting ("governor" records + optional gov_level
+  // decision fields; all zero when no governor wrapped the policy).
+  std::uint64_t gov_degrades = 0;
+  std::uint64_t gov_recoveries = 0;
+  std::uint64_t gov_probes = 0;
+  std::uint64_t gov_probe_failures = 0;
+  int gov_final_level = -1;  ///< ladder level after the last decision
+  int gov_max_level = -1;    ///< deepest degradation reached
+  /// Ladder level -> decisions the governor ran at that level.
+  std::map<int, std::uint64_t> gov_level_decisions;
 };
 
-/// Parses a telemetry JSONL file and aggregates per run. Throws sbs::Error
-/// on unreadable files, malformed lines, unknown record types, or missing
-/// schema fields — a telemetry file must be fully trustworthy or rejected.
+/// Result of reading a (possibly rotated, possibly crash-truncated)
+/// telemetry stream.
+struct TelemetrySummary {
+  std::vector<RunReport> runs;
+  std::vector<std::string> segments;  ///< files read, in write order
+  /// Torn final lines skipped (0 or 1): a crash can cut the stream's last
+  /// write mid-line, leaving a final line with no trailing newline. Such a
+  /// line that fails to parse is a crash artifact, not corruption — it is
+  /// skipped and counted here. Malformed *complete* lines still throw.
+  std::uint64_t torn_records = 0;
+};
+
+/// Parses a telemetry JSONL stream — `path` plus any rotated segments
+/// (`path.1`, `path.2`, ...) — and aggregates per run. Throws sbs::Error on
+/// unreadable files, malformed complete lines, unknown record types, or
+/// missing schema fields — a telemetry file must be fully trustworthy or
+/// rejected. The sole tolerated defect is a torn final line (no trailing
+/// newline, the signature of a killed writer), which is skipped and counted
+/// in TelemetrySummary::torn_records.
+TelemetrySummary read_telemetry(const std::string& path);
+
+/// Compatibility wrapper around read_telemetry() returning just the runs.
 std::vector<RunReport> summarize_telemetry(const std::string& path);
 
 /// Human-readable report: per-run reconstructed aggregates, per-decision
 /// histograms, the anytime-improvement profile, and (for multi-run files)
 /// a cross-policy summary table.
 void print_report(const std::vector<RunReport>& runs, std::ostream& os);
+
+/// As above, prefixed with stream-level facts (rotated segments read, torn
+/// records skipped) when they are non-trivial.
+void print_report(const TelemetrySummary& summary, std::ostream& os);
 
 }  // namespace sbs::obs

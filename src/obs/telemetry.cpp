@@ -39,6 +39,11 @@ Telemetry::Telemetry(std::unique_ptr<TraceSink> sink)
   jobs_unstarted_ = &registry_.counter("sim.jobs.unstarted");
   faults_down_ = &registry_.counter("sim.faults.node_down");
   faults_up_ = &registry_.counter("sim.faults.node_up");
+  gov_degrades_ = &registry_.counter("governor.degrades");
+  gov_recoveries_ = &registry_.counter("governor.recoveries");
+  gov_probes_ = &registry_.counter("governor.probes");
+  gov_probe_failures_ = &registry_.counter("governor.probe_failures");
+  gov_level_ = &registry_.gauge("governor.level");
   queue_depth_ = &registry_.gauge("sim.queue_depth");
   free_nodes_ = &registry_.gauge("sim.free_nodes");
   capacity_ = &registry_.gauge("sim.capacity");
@@ -56,6 +61,19 @@ void Telemetry::emit() {
   line_.clear();
 }
 
+void Telemetry::set_context(const RunContext& ctx) {
+  context_ = ctx;
+  has_context_ = true;
+  if (ctx.has_seed)
+    registry_.set_label("run.seed", std::to_string(ctx.seed));
+  if (!ctx.governor.empty())
+    registry_.set_label("run.governor", ctx.governor);
+  if (ctx.resumed) {
+    registry_.set_label("run.resumed", "true");
+    registry_.set_label("run.checkpoint_parent", ctx.checkpoint_parent);
+  }
+}
+
 void Telemetry::begin_run(const RunRecord& run) {
   if (!sink_) return;
   line_.clear();
@@ -64,12 +82,43 @@ void Telemetry::begin_run(const RunRecord& run) {
       .field("trace", run.trace)
       .field("policy", run.policy)
       .field("capacity", run.capacity)
-      .field("jobs", run.jobs)
+      .field("jobs", run.jobs);
+  if (has_context_) {
+    if (context_.has_seed) line_.field("seed", context_.seed);
+    if (!context_.governor.empty())
+      line_.field("governor", context_.governor);
+    line_.field("resumed", context_.resumed);
+    if (context_.resumed)
+      line_.field("checkpoint_parent", context_.checkpoint_parent);
+  }
+  line_.end_object();
+  emit();
+}
+
+void Telemetry::governor_transition(Time t, const GovernorTransition& tr) {
+  if (tr.kind == "degrade") gov_degrades_->add();
+  else if (tr.kind == "recover") gov_recoveries_->add();
+  else if (tr.kind == "probe") gov_probes_->add();
+  else if (tr.kind == "probe_fail") gov_probe_failures_->add();
+  gov_level_->set(tr.to);
+  if (!sink_) return;
+  line_.clear();
+  line_.begin_object()
+      .field("type", "governor")
+      .field("t", static_cast<std::int64_t>(t))
+      .field("kind", tr.kind)
+      .field("from", tr.from)
+      .field("to", tr.to)
       .end_object();
   emit();
 }
 
 void Telemetry::decision(const DecisionRecord& d) {
+  // Ladder transitions come first so a reader replaying the stream knows
+  // the level this very decision ran at by the time it sees the record.
+  for (const GovernorTransition& tr : d.governor_transitions)
+    governor_transition(d.now, tr);
+  if (d.governor_level >= 0) gov_level_->set(d.governor_level);
   decisions_->add();
   if (d.deadline_hit) deadline_hits_->add();
   nodes_visited_->add(d.nodes_visited);
@@ -108,6 +157,10 @@ void Telemetry::decision(const DecisionRecord& d) {
       .field("cache_misses", d.cache_misses)
       .field("cache_invalidations", d.cache_invalidations)
       .field("warm_start_used", d.warm_start_used);
+  if (d.governor_level >= 0) {
+    line_.field("gov_level", d.governor_level)
+        .field("gov_probe", d.governor_probe);
+  }
   line_.key("started").begin_array();
   for (const int id : d.started) line_.value(id);
   line_.end_array();

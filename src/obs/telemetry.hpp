@@ -24,11 +24,16 @@ std::span<const double> wait_h_bounds();
 ///
 /// JSONL schema (one object per line, discriminated by "type"):
 ///   run       trace, policy, capacity, jobs
+///             [+ seed, governor, checkpoint_parent, resumed when a
+///              RunContext was set — provenance for reproducing the run]
 ///   decision  t, policy, queue_depth, free_nodes, capacity, max_wait_h,
 ///             nodes_visited, paths_explored, iterations, discrepancies,
 ///             deadline_hit, think_us, threads_used, cache_hits,
 ///             cache_misses, cache_invalidations, warm_start_used,
 ///             started[], worker_nodes[], improvements[]
+///             [+ gov_level, gov_probe when a governor wraps the policy]
+///   governor  t, kind ("degrade"|"probe"|"probe_fail"|"recover"),
+///             from, to  — one record per degradation-ladder transition
 ///   submit    t, job, nodes, runtime, requested, user
 ///   start     t, job, nodes
 ///   finish    t, job
@@ -45,8 +50,15 @@ class Telemetry {
   const MetricsRegistry& metrics() const { return registry_; }
   bool has_sink() const { return sink_ != nullptr; }
 
+  /// Provenance echoed into subsequent run records and into metrics-JSON
+  /// labels. Call before begin_run().
+  void set_context(const RunContext& ctx);
+
   void begin_run(const RunRecord& run);
   void decision(const DecisionRecord& d);
+  /// One degradation-ladder transition (also summarized in the enclosing
+  /// decision record's gov_level field and in governor.* counters).
+  void governor_transition(Time t, const GovernorTransition& tr);
   void job_submitted(Time t, int job, int nodes, Time runtime, Time requested,
                      int user);
   void job_started(Time t, int job, int nodes);
@@ -65,6 +77,8 @@ class Telemetry {
   MetricsRegistry registry_;
   std::unique_ptr<TraceSink> sink_;
   JsonWriter line_;
+  RunContext context_;
+  bool has_context_ = false;
 
   // Hot-path instrument handles, resolved once at construction.
   Counter* decisions_;
@@ -83,6 +97,11 @@ class Telemetry {
   Counter* jobs_unstarted_;
   Counter* faults_down_;
   Counter* faults_up_;
+  Counter* gov_degrades_;
+  Counter* gov_recoveries_;
+  Counter* gov_probes_;
+  Counter* gov_probe_failures_;
+  Gauge* gov_level_;
   Gauge* queue_depth_;
   Gauge* free_nodes_;
   Gauge* capacity_;

@@ -1,38 +1,181 @@
 #include "obs/trace_sink.hpp"
 
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
 #include "util/error.hpp"
 
 namespace sbs::obs {
 
 namespace {
-constexpr std::size_t kFlushThreshold = 64 * 1024;
+
+// Live-sink registry backing the std::atexit flush. Function-local statics
+// so the registry outlives every sink regardless of construction order.
+std::mutex& registry_mutex() {
+  static std::mutex mu;
+  return mu;
 }
 
-JsonlSink::JsonlSink(const std::string& path) : path_(path), out_(path) {
-  SBS_CHECK_MSG(out_.is_open(), "cannot open telemetry file " << path);
-  buffer_.reserve(2 * kFlushThreshold);
+std::vector<JsonlSink*>& registry() {
+  static std::vector<JsonlSink*> sinks;
+  return sinks;
 }
 
-JsonlSink::~JsonlSink() { flush(); }
+void register_sink(JsonlSink* sink) {
+  static bool atexit_installed = [] {
+    std::atexit(&JsonlSink::flush_all);
+    return true;
+  }();
+  (void)atexit_installed;
+  std::lock_guard<std::mutex> lock(registry_mutex());
+  registry().push_back(sink);
+}
+
+void unregister_sink(JsonlSink* sink) {
+  std::lock_guard<std::mutex> lock(registry_mutex());
+  auto& sinks = registry();
+  sinks.erase(std::remove(sinks.begin(), sinks.end(), sink), sinks.end());
+}
+
+bool file_exists(const std::string& path) {
+  struct stat st{};
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+std::uint64_t file_size(const std::string& path) {
+  struct stat st{};
+  if (::stat(path.c_str(), &st) != 0) return 0;
+  return static_cast<std::uint64_t>(st.st_size);
+}
+
+void write_fully(int fd, const char* data, std::size_t size,
+                 const std::string& path) {
+  while (size > 0) {
+    const ssize_t n = ::write(fd, data, size);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      SBS_CHECK_MSG(false, "write to telemetry file " << path
+                               << " failed: " << std::strerror(errno));
+    }
+    data += n;
+    size -= static_cast<std::size_t>(n);
+  }
+}
+
+}  // namespace
+
+JsonlSink::JsonlSink(const std::string& path, JsonlSinkOptions options)
+    : path_(path), options_(options) {
+  SBS_CHECK_MSG(options_.flush_bytes > 0, "flush_bytes must be positive");
+  std::size_t segment = 0;
+  if (options_.append && options_.rotate_bytes > 0) {
+    // Resume writing into the newest existing segment of the stream.
+    while (file_exists(segment_name(segment + 1))) ++segment;
+  }
+  open_segment(segment, options_.append);
+  buffer_.reserve(2 * options_.flush_bytes);
+  register_sink(this);
+}
+
+JsonlSink::~JsonlSink() {
+  unregister_sink(this);
+  std::lock_guard<std::mutex> lock(mu_);
+  drain_locked();
+  sync_locked();
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = -1;
+}
+
+std::string JsonlSink::segment_name(std::size_t segment) const {
+  if (segment == 0) return path_;
+  return path_ + "." + std::to_string(segment);
+}
+
+void JsonlSink::open_segment(std::size_t segment, bool append) {
+  const std::string name = segment_name(segment);
+  int flags = O_WRONLY | O_CREAT | O_CLOEXEC;
+  flags |= append ? O_APPEND : O_TRUNC;
+  const int fd = ::open(name.c_str(), flags, 0644);
+  SBS_CHECK_MSG(fd >= 0, "cannot open telemetry file "
+                             << name << ": " << std::strerror(errno));
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = fd;
+  segment_ = segment;
+  segment_bytes_ = append ? file_size(name) : 0;
+}
 
 void JsonlSink::write(std::string_view json_line) {
   std::lock_guard<std::mutex> lock(mu_);
   buffer_.append(json_line);
   buffer_.push_back('\n');
   ++lines_;
-  if (buffer_.size() >= kFlushThreshold) {
-    out_.write(buffer_.data(), static_cast<std::streamsize>(buffer_.size()));
-    buffer_.clear();
+  ++unsynced_lines_;
+  if (buffer_.size() >= options_.flush_bytes) {
+    drain_locked();
+    maybe_rotate_locked();
+  }
+  if (options_.fsync_every_lines > 0 &&
+      unsynced_lines_ >= options_.fsync_every_lines) {
+    drain_locked();
+    sync_locked();
+    maybe_rotate_locked();
   }
 }
 
 void JsonlSink::flush() {
   std::lock_guard<std::mutex> lock(mu_);
-  if (!buffer_.empty()) {
-    out_.write(buffer_.data(), static_cast<std::streamsize>(buffer_.size()));
-    buffer_.clear();
+  drain_locked();
+  sync_locked();
+}
+
+void JsonlSink::drain_locked() {
+  if (buffer_.empty() || fd_ < 0) return;
+  write_fully(fd_, buffer_.data(), buffer_.size(), segment_name(segment_));
+  segment_bytes_ += buffer_.size();
+  buffer_.clear();
+}
+
+void JsonlSink::sync_locked() {
+  if (fd_ >= 0 && unsynced_lines_ > 0) {
+    ::fsync(fd_);
+    unsynced_lines_ = 0;
   }
-  out_.flush();
+}
+
+void JsonlSink::maybe_rotate_locked() {
+  if (options_.rotate_bytes == 0 || segment_bytes_ < options_.rotate_bytes)
+    return;
+  // Rotation happens on a record boundary (the buffer was just drained),
+  // so every segment holds whole lines and readers can concatenate them.
+  sync_locked();
+  open_segment(segment_ + 1, /*append=*/false);
+}
+
+std::vector<std::string> JsonlSink::segment_paths(const std::string& path) {
+  std::vector<std::string> out;
+  if (!file_exists(path)) return out;
+  out.push_back(path);
+  for (std::size_t i = 1;; ++i) {
+    const std::string name = path + "." + std::to_string(i);
+    if (!file_exists(name)) break;
+    out.push_back(name);
+  }
+  return out;
+}
+
+void JsonlSink::flush_all() {
+  std::vector<JsonlSink*> sinks;
+  {
+    std::lock_guard<std::mutex> lock(registry_mutex());
+    sinks = registry();
+  }
+  for (JsonlSink* sink : sinks) sink->flush();
 }
 
 }  // namespace sbs::obs

@@ -1,10 +1,10 @@
 #pragma once
 
 #include <cstdint>
-#include <fstream>
 #include <mutex>
 #include <string>
 #include <string_view>
+#include <vector>
 
 namespace sbs::obs {
 
@@ -19,26 +19,71 @@ class TraceSink {
   virtual void flush() {}
 };
 
+/// Durability and rotation knobs for JsonlSink. The defaults reproduce the
+/// original buffered behavior: one file, ~64 KiB write chunks, no fsync
+/// until flush()/close.
+struct JsonlSinkOptions {
+  /// Buffer size that triggers a write() syscall.
+  std::size_t flush_bytes = 64 * 1024;
+  /// Records between fsync barriers; 0 = fsync only on flush()/close.
+  /// A crash (even SIGKILL) loses at most this many records plus the
+  /// in-memory buffer — pair with `sbsched report`'s torn-tail tolerance.
+  std::uint64_t fsync_every_lines = 0;
+  /// Size-based rotation: once the active segment exceeds this many bytes
+  /// the sink continues in `<path>.1`, `<path>.2`, ... (0 = never rotate).
+  /// Readers consume segments in that order (see segment_paths()).
+  std::uint64_t rotate_bytes = 0;
+  /// Append to an existing stream instead of truncating — used by resumed
+  /// runs so one stream carries the pre-crash and post-resume portions.
+  /// With rotation, appending continues in the newest existing segment.
+  bool append = false;
+};
+
 /// Buffered JSON-Lines file sink: records accumulate in memory and are
 /// written in ~64 KiB chunks, so per-event cost is an append, not a
-/// syscall. flush() drains the buffer and flushes the stream; the
-/// destructor flushes too, so a sink going out of scope never loses lines.
+/// syscall. flush() drains the buffer, flushes and fsyncs; the destructor
+/// flushes too, so a sink going out of scope never loses lines. Every live
+/// sink is also registered with a process-wide std::atexit hook, so plain
+/// exit() paths (including uncaught-exception terminations routed through
+/// exit) drain whatever buffers remain.
 class JsonlSink final : public TraceSink {
  public:
-  explicit JsonlSink(const std::string& path);
+  explicit JsonlSink(const std::string& path, JsonlSinkOptions options = {});
   ~JsonlSink() override;
 
   void write(std::string_view json_line) override;
+
+  /// Drains the buffer and fsyncs the active segment, so every record
+  /// handed to write() so far survives a crash from here on.
   void flush() override;
 
   const std::string& path() const { return path_; }
   std::uint64_t lines_written() const { return lines_; }
+  /// Segments opened by this sink so far (1 = no rotation yet).
+  std::size_t segments_opened() const { return segment_ + 1; }
+
+  /// Existing on-disk segments of a (possibly rotated) stream, in write
+  /// order: `path`, then `path.1`, `path.2`, ... while they exist.
+  static std::vector<std::string> segment_paths(const std::string& path);
+
+  /// Flushes every live JsonlSink (the atexit hook; safe to call directly).
+  static void flush_all();
 
  private:
+  std::string segment_name(std::size_t segment) const;
+  void open_segment(std::size_t segment, bool append);
+  void drain_locked();       ///< buffer -> write() syscall
+  void sync_locked();        ///< fsync the active fd
+  void maybe_rotate_locked();
+
   std::string path_;
-  std::ofstream out_;
+  JsonlSinkOptions options_;
+  int fd_ = -1;
+  std::size_t segment_ = 0;          ///< 0 = base path, n = "<path>.n"
+  std::uint64_t segment_bytes_ = 0;  ///< bytes written to the active segment
   std::string buffer_;
   std::uint64_t lines_ = 0;
+  std::uint64_t unsynced_lines_ = 0;
   std::mutex mu_;
 };
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 
+#include "obs/json.hpp"
 #include "util/error.hpp"
 
 namespace sbs {
@@ -50,6 +51,26 @@ std::vector<int> BackfillScheduler::select_jobs(const SchedulerState& state) {
   stats_.think_time_us += think_us;
   stats_.max_think_time_us = std::max(stats_.max_think_time_us, think_us);
   return started;
+}
+
+std::string BackfillScheduler::save_state() const {
+  obs::JsonWriter w;
+  w.begin_object();
+  w.field("kind", "backfill");
+  append_stats_json(w, "stats", stats_);
+  w.end_object();
+  return w.str();
+}
+
+void BackfillScheduler::restore_state(std::string_view state) {
+  const obs::JsonValue v = obs::parse_json(state);
+  SBS_CHECK_MSG(v.is_object(), "backfill state is not a JSON object");
+  const obs::JsonValue* kind = v.find("kind");
+  SBS_CHECK_MSG(kind != nullptr && kind->as_string() == "backfill",
+                "state is not a backfill snapshot");
+  const obs::JsonValue* stats = v.find("stats");
+  SBS_CHECK_MSG(stats != nullptr, "backfill state lacks stats");
+  stats_ = stats_from_json(*stats);
 }
 
 std::string BackfillScheduler::name() const {

@@ -31,6 +31,11 @@ class BackfillScheduler final : public Scheduler {
   std::string name() const override;
   SchedulerStats stats() const override { return stats_; }
 
+  /// Checkpoint support: backfill keeps no cross-event state beyond the
+  /// cumulative stats, so that is all that travels.
+  std::string save_state() const override;
+  void restore_state(std::string_view state) override;
+
  private:
   BackfillConfig config_;
   SchedulerStats stats_;

@@ -1,0 +1,263 @@
+#include "resilience/checkpoint.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "obs/json.hpp"
+#include "util/error.hpp"
+
+namespace sbs::resilience {
+
+namespace {
+
+constexpr std::string_view kFormat = "sbs-checkpoint";
+
+void write_fully(int fd, const char* data, std::size_t size,
+                 const std::string& path) {
+  while (size > 0) {
+    const ssize_t n = ::write(fd, data, size);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw Error("write to " + path + " failed: " + std::strerror(errno));
+    }
+    data += n;
+    size -= static_cast<std::size_t>(n);
+  }
+}
+
+const obs::JsonValue& get(const obs::JsonValue& v, std::string_view key,
+                          std::string_view what) {
+  const obs::JsonValue* f = v.find(key);
+  SBS_CHECK_MSG(f != nullptr, "checkpoint " << what << " lacks " << key);
+  return *f;
+}
+
+const obs::JsonValue& at(const obs::JsonValue& row, std::size_t i,
+                         std::string_view what) {
+  SBS_CHECK_MSG(row.is_array() && row.array.size() > i,
+                "checkpoint " << what << " row is malformed");
+  return row.array[i];
+}
+
+void append_snapshot(obs::JsonWriter& w, const sim::SimSnapshot& s) {
+  w.key("snapshot").begin_object();
+  w.field("now", static_cast<std::int64_t>(s.now))
+      .field("events", s.events)
+      .field("next_arrival", static_cast<std::uint64_t>(s.next_arrival))
+      .field("next_fault", static_cast<std::uint64_t>(s.next_fault))
+      .field("used_nodes", s.used_nodes)
+      .field("down_nodes", s.down_nodes)
+      .field("last_event", static_cast<std::int64_t>(s.last_event))
+      .field("queue_area", s.queue_area);
+  w.key("waiting").begin_array();
+  for (const auto& e : s.waiting) {
+    w.begin_array();
+    w.value(e.job_id).value(static_cast<std::int64_t>(e.estimate));
+    w.end_array();
+  }
+  w.end_array();
+  w.key("running").begin_array();
+  for (const auto& e : s.running) {
+    w.begin_array();
+    w.value(e.job_id)
+        .value(static_cast<std::int64_t>(e.start))
+        .value(static_cast<std::int64_t>(e.est_end));
+    w.end_array();
+  }
+  w.end_array();
+  w.key("completions").begin_array();
+  for (const auto& e : s.completions) {
+    w.begin_array();
+    w.value(static_cast<std::int64_t>(e.end)).value(e.job_id).value(e.attempt);
+    w.end_array();
+  }
+  w.end_array();
+  w.key("attempts").begin_array();
+  for (int a : s.attempts) w.value(a);
+  w.end_array();
+  w.key("outcomes").begin_array();
+  for (const auto& e : s.outcomes) {
+    w.begin_array();
+    w.value(e.job_id)
+        .value(static_cast<std::int64_t>(e.start))
+        .value(static_cast<std::int64_t>(e.end))
+        .value(e.requeue_count)
+        .value(static_cast<std::int64_t>(e.lost_node_seconds))
+        .value(e.completed);
+    w.end_array();
+  }
+  w.end_array();
+  w.key("decision_stats").begin_object();
+  w.field("decisions", s.decision_stats.decisions)
+      .field("with_10_plus", s.decision_stats.with_10_plus)
+      .field("max_waiting", s.decision_stats.max_waiting)
+      .field("mean_waiting_sum", s.decision_stats.mean_waiting_sum);
+  w.end_object();
+  w.key("fault_stats").begin_object();
+  w.field("node_failures", s.fault_stats.node_failures)
+      .field("node_recoveries", s.fault_stats.node_recoveries)
+      .field("jobs_killed", s.fault_stats.jobs_killed)
+      .field("jobs_requeued", s.fault_stats.jobs_requeued)
+      .field("jobs_dropped", s.fault_stats.jobs_dropped)
+      .field("jobs_unstarted", s.fault_stats.jobs_unstarted)
+      .field("lost_node_seconds", s.fault_stats.lost_node_seconds)
+      .field("min_capacity", s.fault_stats.min_capacity);
+  w.end_object();
+  w.field("scheduler_state", s.scheduler_state);
+  w.end_object();
+}
+
+sim::SimSnapshot parse_snapshot(const obs::JsonValue& v) {
+  SBS_CHECK_MSG(v.is_object(), "checkpoint snapshot is not a JSON object");
+  sim::SimSnapshot s;
+  s.now = get(v, "now", "snapshot").as_int();
+  s.events = static_cast<std::uint64_t>(get(v, "events", "snapshot").as_int());
+  s.next_arrival = static_cast<std::size_t>(
+      get(v, "next_arrival", "snapshot").as_int());
+  s.next_fault =
+      static_cast<std::size_t>(get(v, "next_fault", "snapshot").as_int());
+  s.used_nodes = static_cast<int>(get(v, "used_nodes", "snapshot").as_int());
+  s.down_nodes = static_cast<int>(get(v, "down_nodes", "snapshot").as_int());
+  s.last_event = get(v, "last_event", "snapshot").as_int();
+  s.queue_area = get(v, "queue_area", "snapshot").as_double();
+  for (const auto& row : get(v, "waiting", "snapshot").array) {
+    sim::SimSnapshot::WaitingEntry e;
+    e.job_id = static_cast<int>(at(row, 0, "waiting").as_int());
+    e.estimate = at(row, 1, "waiting").as_int();
+    s.waiting.push_back(e);
+  }
+  for (const auto& row : get(v, "running", "snapshot").array) {
+    sim::SimSnapshot::RunningEntry e;
+    e.job_id = static_cast<int>(at(row, 0, "running").as_int());
+    e.start = at(row, 1, "running").as_int();
+    e.est_end = at(row, 2, "running").as_int();
+    s.running.push_back(e);
+  }
+  for (const auto& row : get(v, "completions", "snapshot").array) {
+    sim::SimSnapshot::CompletionEntry e;
+    e.end = at(row, 0, "completions").as_int();
+    e.job_id = static_cast<int>(at(row, 1, "completions").as_int());
+    e.attempt = static_cast<int>(at(row, 2, "completions").as_int());
+    s.completions.push_back(e);
+  }
+  for (const auto& a : get(v, "attempts", "snapshot").array)
+    s.attempts.push_back(static_cast<int>(a.as_int()));
+  for (const auto& row : get(v, "outcomes", "snapshot").array) {
+    sim::SimSnapshot::OutcomeEntry e;
+    e.job_id = static_cast<int>(at(row, 0, "outcomes").as_int());
+    e.start = at(row, 1, "outcomes").as_int();
+    e.end = at(row, 2, "outcomes").as_int();
+    e.requeue_count = static_cast<int>(at(row, 3, "outcomes").as_int());
+    e.lost_node_seconds = at(row, 4, "outcomes").as_int();
+    e.completed = at(row, 5, "outcomes").as_bool();
+    s.outcomes.push_back(e);
+  }
+  const obs::JsonValue& d = get(v, "decision_stats", "snapshot");
+  s.decision_stats.decisions =
+      static_cast<std::uint64_t>(get(d, "decisions", "decision_stats").as_int());
+  s.decision_stats.with_10_plus = static_cast<std::uint64_t>(
+      get(d, "with_10_plus", "decision_stats").as_int());
+  s.decision_stats.max_waiting = static_cast<std::uint64_t>(
+      get(d, "max_waiting", "decision_stats").as_int());
+  s.decision_stats.mean_waiting_sum =
+      get(d, "mean_waiting_sum", "decision_stats").as_double();
+  const obs::JsonValue& f = get(v, "fault_stats", "snapshot");
+  s.fault_stats.node_failures = static_cast<std::uint64_t>(
+      get(f, "node_failures", "fault_stats").as_int());
+  s.fault_stats.node_recoveries = static_cast<std::uint64_t>(
+      get(f, "node_recoveries", "fault_stats").as_int());
+  s.fault_stats.jobs_killed =
+      static_cast<std::uint64_t>(get(f, "jobs_killed", "fault_stats").as_int());
+  s.fault_stats.jobs_requeued = static_cast<std::uint64_t>(
+      get(f, "jobs_requeued", "fault_stats").as_int());
+  s.fault_stats.jobs_dropped = static_cast<std::uint64_t>(
+      get(f, "jobs_dropped", "fault_stats").as_int());
+  s.fault_stats.jobs_unstarted = static_cast<std::uint64_t>(
+      get(f, "jobs_unstarted", "fault_stats").as_int());
+  s.fault_stats.lost_node_seconds =
+      get(f, "lost_node_seconds", "fault_stats").as_double();
+  s.fault_stats.min_capacity =
+      static_cast<int>(get(f, "min_capacity", "fault_stats").as_int());
+  s.scheduler_state = get(v, "scheduler_state", "snapshot").as_string();
+  return s;
+}
+
+}  // namespace
+
+std::string checkpoint_id(std::uint64_t events) {
+  return "ck-" + std::to_string(events);
+}
+
+void write_checkpoint(const std::string& path, const CheckpointData& data) {
+  obs::JsonWriter w;
+  w.begin_object();
+  w.field("format", kFormat);
+  w.field("version", data.version);
+  w.field("id", data.id);
+  w.field("parent", data.parent);
+  w.key("cli").begin_object();
+  for (const auto& [key, value] : data.cli) w.field(key, value);
+  w.end_object();
+  append_snapshot(w, data.snapshot);
+  w.end_object();
+
+  const std::string tmp = path + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC,
+                        0644);
+  if (fd < 0)
+    throw Error("cannot open " + tmp + ": " + std::strerror(errno));
+  try {
+    write_fully(fd, w.str().data(), w.str().size(), tmp);
+    write_fully(fd, "\n", 1, tmp);
+    if (::fsync(fd) != 0)
+      throw Error("fsync of " + tmp + " failed: " + std::strerror(errno));
+  } catch (...) {
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    throw;
+  }
+  ::close(fd);
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    const int err = errno;
+    ::unlink(tmp.c_str());
+    throw Error("cannot rename " + tmp + " over " + path + ": " +
+                std::strerror(err));
+  }
+}
+
+CheckpointData read_checkpoint(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  SBS_CHECK_MSG(in.good(), "cannot open checkpoint " << path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string text = buf.str();
+
+  const obs::JsonValue v = obs::parse_json(text);
+  SBS_CHECK_MSG(v.is_object(), "checkpoint " << path
+                                             << " is not a JSON object");
+  const obs::JsonValue& format = get(v, "format", "file");
+  SBS_CHECK_MSG(format.as_string() == kFormat,
+                path << " is not an sbs checkpoint (format \""
+                     << format.as_string() << "\")");
+  CheckpointData data;
+  data.version = static_cast<int>(get(v, "version", "file").as_int());
+  SBS_CHECK_MSG(data.version == sim::SimSnapshot::kVersion,
+                "checkpoint " << path << " has snapshot version "
+                              << data.version << "; this build reads version "
+                              << sim::SimSnapshot::kVersion);
+  data.id = get(v, "id", "file").as_string();
+  data.parent = get(v, "parent", "file").as_string();
+  const obs::JsonValue& cli = get(v, "cli", "file");
+  SBS_CHECK_MSG(cli.is_object(), "checkpoint cli echo is not a JSON object");
+  for (const auto& [key, value] : cli.object)
+    data.cli.emplace_back(key, value.as_string());
+  data.snapshot = parse_snapshot(get(v, "snapshot", "file"));
+  return data;
+}
+
+}  // namespace sbs::resilience

@@ -1,0 +1,41 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/snapshot.hpp"
+
+namespace sbs::resilience {
+
+/// One on-disk checkpoint: the versioned simulator snapshot plus enough
+/// provenance to audit a resumed run — a lineage id derived from the event
+/// count, the parent checkpoint's id (empty for a fresh run), and the
+/// resolved CLI configuration echoed verbatim so `--resume` can verify it
+/// is continuing the same experiment.
+struct CheckpointData {
+  int version = sim::SimSnapshot::kVersion;
+  std::string id;      ///< "ck-<events>"
+  std::string parent;  ///< id of the checkpoint this run resumed from, or ""
+  /// Resolved flag echo (insertion-ordered key/value pairs), e.g.
+  /// {"policy","DDS/lxf/dynB"}, {"seed","42"}. Purely informational for
+  /// the snapshot consumer; sbsched uses it to cross-check --resume.
+  std::vector<std::pair<std::string, std::string>> cli;
+  sim::SimSnapshot snapshot;
+};
+
+/// Lineage id for a snapshot captured after `events` events.
+std::string checkpoint_id(std::uint64_t events);
+
+/// Serializes `data` as one JSON document and writes it atomically:
+/// write to `<path>.tmp`, fsync, rename over `path`. A crash mid-write
+/// therefore never corrupts the previous checkpoint at `path`.
+void write_checkpoint(const std::string& path, const CheckpointData& data);
+
+/// Reads and validates a checkpoint written by write_checkpoint(). Throws
+/// sbs::Error on any malformed field, an unknown format marker, or a
+/// snapshot version this build does not understand.
+CheckpointData read_checkpoint(const std::string& path);
+
+}  // namespace sbs::resilience

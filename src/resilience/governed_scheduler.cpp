@@ -1,0 +1,148 @@
+#include "resilience/governed_scheduler.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+#include "obs/json.hpp"
+#include "util/error.hpp"
+
+namespace sbs::resilience {
+
+GovernedScheduler::GovernedScheduler(const SearchSchedulerConfig& base,
+                                     const GovernorConfig& governor)
+    : config_(governor), governor_(governor), monitor_(governor.health) {
+  rungs_[0] = std::make_unique<SearchScheduler>(base);
+  node_limits_[0] = base.search.node_limit;
+
+  SearchSchedulerConfig reduced = base;
+  reduced.search.node_limit = std::max<std::size_t>(
+      1, static_cast<std::size_t>(static_cast<double>(base.search.node_limit) *
+                                  governor.reduced_budget_factor));
+  reduced.search.threads = base.search.threads / 2;
+  rungs_[1] = std::make_unique<SearchScheduler>(reduced);
+  node_limits_[1] = reduced.search.node_limit;
+
+  SearchSchedulerConfig heuristic = base;
+  heuristic.search.node_limit = 1;  // iteration 0 only: the heuristic path
+  heuristic.search.threads = 0;
+  heuristic.warm_start = false;
+  heuristic.refine = false;
+  rungs_[2] = std::make_unique<SearchScheduler>(heuristic);
+  node_limits_[2] = 1;
+
+  BackfillConfig fallback;
+  fallback.priority = PriorityKind::Lxf;
+  rungs_[3] = std::make_unique<BackfillScheduler>(fallback);
+  node_limits_[3] = 0;
+}
+
+std::vector<int> GovernedScheduler::select_jobs(const SchedulerState& state) {
+  const Governor::Plan plan = governor_.plan();
+  const int rung = static_cast<int>(plan.level);
+  Scheduler& policy = *rungs_[rung];
+
+  const SchedulerStats before = policy.stats();
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<int> started = policy.select_jobs(state);
+  const double think_ms =
+      std::chrono::duration_cast<std::chrono::duration<double, std::milli>>(
+          std::chrono::steady_clock::now() - t0)
+          .count();
+  const SchedulerStats after = policy.stats();
+
+  HealthSignal signal;
+  signal.queue_depth = static_cast<double>(state.waiting.size());
+  signal.think_ms = think_ms;
+  signal.deadline_overrun = after.deadline_hits > before.deadline_hits;
+  signal.budget_exhausted =
+      node_limits_[rung] > 0 &&
+      after.nodes_visited - before.nodes_visited >= node_limits_[rung];
+  governor_.report(monitor_.observe(signal));
+
+  // Drain transitions unconditionally so they cannot pile up when telemetry
+  // is off; attach them (and the rung annotations) to the decision detail.
+  std::vector<obs::GovernorTransition> transitions =
+      governor_.take_transitions();
+  if (collect_detail_) {
+    const DecisionDetail* inner = policy.last_decision();
+    detail_ = inner ? *inner : DecisionDetail{};
+    detail_.governor_level = rung;
+    detail_.governor_probe = plan.probe;
+    detail_.governor_transitions = std::move(transitions);
+  }
+  return started;
+}
+
+std::string GovernedScheduler::name() const {
+  return "gov(" + rungs_[0]->name() + ")";
+}
+
+SchedulerStats GovernedScheduler::stats() const {
+  SchedulerStats total;
+  for (const auto& rung : rungs_) {
+    const SchedulerStats s = rung->stats();
+    total.decisions += s.decisions;
+    total.nodes_visited += s.nodes_visited;
+    total.paths_explored += s.paths_explored;
+    total.think_time_us += s.think_time_us;
+    total.deadline_hits += s.deadline_hits;
+    total.max_think_time_us =
+        std::max(total.max_think_time_us, s.max_think_time_us);
+    total.max_queue_depth = std::max(total.max_queue_depth, s.max_queue_depth);
+    total.cache_hits += s.cache_hits;
+    total.cache_misses += s.cache_misses;
+    total.cache_invalidations += s.cache_invalidations;
+    total.warm_starts += s.warm_starts;
+  }
+  return total;
+}
+
+void GovernedScheduler::set_collect_decision_detail(bool on) {
+  collect_detail_ = on;
+  if (!on) detail_ = {};
+  for (auto& rung : rungs_) rung->set_collect_decision_detail(on);
+}
+
+std::string GovernedScheduler::save_state() const {
+  obs::JsonWriter w;
+  w.begin_object();
+  w.field("kind", "governed");
+  w.field("spec", config_.spec());
+  governor_.append_state(w, "governor");
+  monitor_.append_state(w, "monitor");
+  w.key("rungs").begin_array();
+  for (const auto& rung : rungs_) w.value(rung->save_state());
+  w.end_array();
+  w.end_object();
+  return w.str();
+}
+
+void GovernedScheduler::restore_state(std::string_view state) {
+  const obs::JsonValue v = obs::parse_json(state);
+  SBS_CHECK_MSG(v.is_object(), "governed state is not a JSON object");
+  const obs::JsonValue* kind = v.find("kind");
+  SBS_CHECK_MSG(kind != nullptr && kind->as_string() == "governed",
+                "state is not a governed-scheduler snapshot");
+  const obs::JsonValue* spec = v.find("spec");
+  SBS_CHECK_MSG(spec != nullptr, "governed state lacks spec");
+  SBS_CHECK_MSG(spec->as_string() == config_.spec(),
+                "governed state was written with different governor "
+                "thresholds: snapshot \""
+                    << spec->as_string() << "\" vs configured \""
+                    << config_.spec() << "\"");
+  const obs::JsonValue* gov = v.find("governor");
+  SBS_CHECK_MSG(gov != nullptr, "governed state lacks governor");
+  governor_.restore_state(*gov);
+  const obs::JsonValue* mon = v.find("monitor");
+  SBS_CHECK_MSG(mon != nullptr, "governed state lacks monitor");
+  monitor_.restore_state(*mon);
+  const obs::JsonValue* rungs = v.find("rungs");
+  SBS_CHECK_MSG(rungs != nullptr && rungs->is_array() &&
+                    rungs->array.size() == rungs_.size(),
+                "governed state lacks the " << rungs_.size()
+                                            << " rung snapshots");
+  for (std::size_t i = 0; i < rungs_.size(); ++i)
+    rungs_[i]->restore_state(rungs->array[i].as_string());
+}
+
+}  // namespace sbs::resilience

@@ -1,0 +1,71 @@
+#pragma once
+
+#include <array>
+#include <memory>
+
+#include "core/search_scheduler.hpp"
+#include "policies/backfill.hpp"
+#include "resilience/governor.hpp"
+#include "resilience/health.hpp"
+#include "sim/scheduler.hpp"
+
+namespace sbs::resilience {
+
+/// A search policy wrapped in the overload governor: each decision runs on
+/// the rung the breaker selects, the decision's cost is fed back as health
+/// signals, and the ladder moves with hysteresis. Rungs, cheapest last:
+///
+///   0  the configured search, untouched
+///   1  same search, node budget scaled by reduced_budget_factor and
+///      half the worker threads
+///   2  heuristic-only descent (node_limit = 1, sequential, cold start)
+///   3  plain LXF backfill (one reservation) — no search at all
+///
+/// Every rung is a complete policy, so a governed run always produces a
+/// feasible schedule no matter how hard it is pushed. With the queue-depth
+/// signal only (the wall-clock signals disabled) the whole ladder is
+/// deterministic given the trace; pinning initial_level = 3 reproduces
+/// plain LXF backfill decision-for-decision.
+class GovernedScheduler final : public Scheduler {
+ public:
+  GovernedScheduler(const SearchSchedulerConfig& base,
+                    const GovernorConfig& governor);
+
+  std::vector<int> select_jobs(const SchedulerState& state) override;
+
+  /// "gov(<base name>)", e.g. "gov(DDS/lxf/dynB)".
+  std::string name() const override;
+
+  /// Merged across rungs: counters sum (exactly one rung runs per
+  /// decision), max_* fields take the max.
+  SchedulerStats stats() const override;
+
+  void set_collect_decision_detail(bool on) override;
+  const DecisionDetail* last_decision() const override {
+    return collect_detail_ ? &detail_ : nullptr;
+  }
+
+  /// Checkpoint support: breaker + monitor state and every rung's own
+  /// snapshot, so a resumed run continues at the same ladder position with
+  /// identical warm-start and fair-share state.
+  std::string save_state() const override;
+  void restore_state(std::string_view state) override;
+
+  GovLevel level() const { return governor_.level(); }
+  const GovernorConfig& governor_config() const { return config_; }
+
+ private:
+  GovernorConfig config_;
+  Governor governor_;
+  HealthMonitor monitor_;
+  /// Rungs 0-2 are SearchSchedulers, rung 3 is the backfill fallback; all
+  /// live for the whole run so each keeps its own cross-event state.
+  std::array<std::unique_ptr<Scheduler>, kGovLevels> rungs_;
+  /// Per-rung node budget, for the budget-exhausted signal (0 = no budget,
+  /// i.e. the backfill rung).
+  std::array<std::uint64_t, kGovLevels> node_limits_{};
+  bool collect_detail_ = false;
+  DecisionDetail detail_;
+};
+
+}  // namespace sbs::resilience

@@ -1,0 +1,224 @@
+#include "resilience/governor.hpp"
+
+#include <charconv>
+#include <sstream>
+
+#include "obs/json.hpp"
+#include "util/error.hpp"
+
+namespace sbs::resilience {
+
+const char* gov_level_name(GovLevel level) {
+  switch (level) {
+    case GovLevel::Full: return "full";
+    case GovLevel::Reduced: return "reduced";
+    case GovLevel::Heuristic: return "heuristic";
+    case GovLevel::Fallback: return "fallback";
+  }
+  return "?";
+}
+
+namespace {
+
+std::string trim_zeros(double v) {
+  std::ostringstream os;
+  os << v;  // default precision: compact, round-trips the knob values used
+  return os.str();
+}
+
+double parse_double(std::string_view key, std::string_view value) {
+  try {
+    std::size_t used = 0;
+    const std::string s(value);
+    const double d = std::stod(s, &used);
+    SBS_CHECK_MSG(used == s.size(), "governor threshold " << key
+                                        << " has trailing garbage: " << value);
+    return d;
+  } catch (const Error&) {
+    throw;
+  } catch (const std::exception&) {
+    throw Error("governor threshold " + std::string(key) +
+                " is not a number: " + std::string(value));
+  }
+}
+
+int parse_int(std::string_view key, std::string_view value) {
+  int out = 0;
+  const auto [ptr, ec] =
+      std::from_chars(value.data(), value.data() + value.size(), out);
+  SBS_CHECK_MSG(ec == std::errc{} && ptr == value.data() + value.size(),
+                "governor threshold " << key
+                                      << " is not an integer: " << value);
+  return out;
+}
+
+}  // namespace
+
+std::string GovernorConfig::spec() const {
+  std::string s;
+  s += "queue=" + trim_zeros(health.queue_high);
+  s += ",think-ms=" + trim_zeros(health.think_ms_high);
+  s += ",overrun=" + std::to_string(health.overrun_streak_high);
+  s += ",budget=" + trim_zeros(health.budget_fraction_high);
+  s += ",alpha=" + trim_zeros(health.alpha);
+  s += ",recover=" + trim_zeros(health.recovery_fraction);
+  s += ",trip=" + std::to_string(trip_decisions);
+  s += ",probe=" + std::to_string(probe_after);
+  s += ",promote=" + std::to_string(promote_probes);
+  s += ",reduce=" + trim_zeros(reduced_budget_factor);
+  s += ",level=" + std::to_string(initial_level);
+  return s;
+}
+
+GovernorConfig parse_governor_thresholds(std::string_view spec) {
+  GovernorConfig config;
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    std::size_t comma = spec.find(',', pos);
+    if (comma == std::string_view::npos) comma = spec.size();
+    const std::string_view pair = spec.substr(pos, comma - pos);
+    pos = comma + 1;
+    if (pair.empty()) continue;
+    const std::size_t eq = pair.find('=');
+    SBS_CHECK_MSG(eq != std::string_view::npos,
+                  "governor threshold \"" << pair << "\" is not key=value");
+    const std::string_view key = pair.substr(0, eq);
+    const std::string_view value = pair.substr(eq + 1);
+    if (key == "queue") {
+      config.health.queue_high = parse_double(key, value);
+    } else if (key == "think-ms") {
+      config.health.think_ms_high = parse_double(key, value);
+    } else if (key == "overrun") {
+      config.health.overrun_streak_high = parse_int(key, value);
+    } else if (key == "budget") {
+      config.health.budget_fraction_high = parse_double(key, value);
+    } else if (key == "alpha") {
+      config.health.alpha = parse_double(key, value);
+    } else if (key == "recover") {
+      config.health.recovery_fraction = parse_double(key, value);
+    } else if (key == "trip") {
+      config.trip_decisions = parse_int(key, value);
+    } else if (key == "probe") {
+      config.probe_after = parse_int(key, value);
+    } else if (key == "promote") {
+      config.promote_probes = parse_int(key, value);
+    } else if (key == "reduce") {
+      config.reduced_budget_factor = parse_double(key, value);
+    } else if (key == "level") {
+      config.initial_level = parse_int(key, value);
+    } else {
+      throw Error("unknown governor threshold key \"" + std::string(key) +
+                  "\" (known: queue, think-ms, overrun, budget, alpha, "
+                  "recover, trip, probe, promote, reduce, level)");
+    }
+  }
+  SBS_CHECK_MSG(config.trip_decisions >= 1, "governor trip must be >= 1");
+  SBS_CHECK_MSG(config.probe_after >= 1, "governor probe must be >= 1");
+  SBS_CHECK_MSG(config.promote_probes >= 1, "governor promote must be >= 1");
+  SBS_CHECK_MSG(config.reduced_budget_factor > 0.0 &&
+                    config.reduced_budget_factor <= 1.0,
+                "governor reduce must be in (0, 1]");
+  SBS_CHECK_MSG(config.initial_level >= 0 &&
+                    config.initial_level < kGovLevels,
+                "governor level must be in [0, " << kGovLevels - 1 << "]");
+  return config;
+}
+
+Governor::Governor(const GovernorConfig& config)
+    : config_(config),
+      level_(static_cast<GovLevel>(config.initial_level)) {}
+
+void Governor::emit(std::string_view kind, int from, int to) {
+  transitions_.push_back(obs::GovernorTransition{kind, from, to});
+}
+
+Governor::Plan Governor::plan() {
+  // initial_level is a floor, not just a start: pinning level=3 turns the
+  // governed policy into plain LXF backfill for good (the fallback-
+  // equivalence guarantee), and a run resumed mid-degradation keeps its
+  // configured floor.
+  const int floor = config_.initial_level;
+  const int lv = static_cast<int>(level_);
+  if (lv > floor &&
+      (calm_streak_ >= config_.probe_after || probe_successes_ > 0)) {
+    // Half-open: run ONE decision a level up. Consecutive probes (until
+    // promote_probes or a failure) avoid waiting a whole calm window
+    // between the attempts of one recovery.
+    probing_ = true;
+    emit("probe", lv, lv - 1);
+    return {static_cast<GovLevel>(lv - 1), true};
+  }
+  return {level_, false};
+}
+
+void Governor::report(HealthVerdict verdict) {
+  const int lv = static_cast<int>(level_);
+  if (probing_) {
+    probing_ = false;
+    if (verdict == HealthVerdict::Overloaded) {
+      // The cheaper level is still too expensive: close the breaker again
+      // and restart the calm window from scratch.
+      emit("probe_fail", lv - 1, lv);
+      probe_successes_ = 0;
+      calm_streak_ = 0;
+      unhealthy_streak_ = 0;
+    } else {
+      if (++probe_successes_ >= config_.promote_probes) {
+        emit("recover", lv, lv - 1);
+        level_ = static_cast<GovLevel>(lv - 1);
+        probe_successes_ = 0;
+        calm_streak_ = 0;
+      }
+    }
+    return;
+  }
+  if (verdict == HealthVerdict::Overloaded) {
+    calm_streak_ = 0;
+    probe_successes_ = 0;
+    if (++unhealthy_streak_ >= config_.trip_decisions &&
+        lv < kGovLevels - 1) {
+      emit("degrade", lv, lv + 1);
+      level_ = static_cast<GovLevel>(lv + 1);
+      unhealthy_streak_ = 0;
+    }
+    return;
+  }
+  unhealthy_streak_ = 0;
+  // Only a full recovery verdict (below the low watermark) earns calm
+  // credit; Neutral — inside the hysteresis band — holds the streak.
+  if (verdict == HealthVerdict::Recovered) ++calm_streak_;
+}
+
+std::vector<obs::GovernorTransition> Governor::take_transitions() {
+  std::vector<obs::GovernorTransition> out;
+  out.swap(transitions_);
+  return out;
+}
+
+void Governor::append_state(obs::JsonWriter& w, std::string_view key) const {
+  w.key(key).begin_object();
+  w.field("level", static_cast<int>(level_))
+      .field("probing", probing_)
+      .field("unhealthy_streak", unhealthy_streak_)
+      .field("calm_streak", calm_streak_)
+      .field("probe_successes", probe_successes_);
+  w.end_object();
+}
+
+void Governor::restore_state(const obs::JsonValue& v) {
+  SBS_CHECK_MSG(v.is_object(), "governor state is not a JSON object");
+  auto get = [&](std::string_view key) -> const obs::JsonValue& {
+    const obs::JsonValue* f = v.find(key);
+    SBS_CHECK_MSG(f != nullptr, "governor state lacks " << key);
+    return *f;
+  };
+  const int lv = static_cast<int>(get("level").as_int());
+  SBS_CHECK_MSG(lv >= 0 && lv < kGovLevels, "governor state level invalid");
+  level_ = static_cast<GovLevel>(lv);
+  probing_ = get("probing").as_bool();
+  unhealthy_streak_ = static_cast<int>(get("unhealthy_streak").as_int());
+  calm_streak_ = static_cast<int>(get("calm_streak").as_int());
+  probe_successes_ = static_cast<int>(get("probe_successes").as_int());
+}
+
+}  // namespace sbs::resilience

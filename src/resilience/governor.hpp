@@ -1,0 +1,107 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/events.hpp"
+#include "resilience/health.hpp"
+
+namespace sbs::resilience {
+
+/// The degradation ladder, cheapest-to-run last. Every rung is still a
+/// complete, feasible policy — the anytime property lifted from the search
+/// to the whole system.
+enum class GovLevel : int {
+  Full = 0,       ///< the configured search, untouched
+  Reduced = 1,    ///< same search, reduced node budget and threads
+  Heuristic = 2,  ///< heuristic-only descent: one path, zero discrepancies
+  Fallback = 3,   ///< plain LXF backfill, no search at all
+};
+
+inline constexpr int kGovLevels = 4;
+
+const char* gov_level_name(GovLevel level);
+
+/// Circuit-breaker policy knobs. Parsed from `--governor-thresholds` by
+/// parse_governor_thresholds(); the defaults make a production-ish breaker
+/// (think-time and overrun driven), while tests pin queue-depth-only
+/// configurations for determinism.
+struct GovernorConfig {
+  HealthConfig health{.think_ms_high = 250.0, .overrun_streak_high = 3};
+  /// Consecutive Overloaded verdicts required to degrade one level —
+  /// transient one-decision spikes never move the ladder.
+  int trip_decisions = 3;
+  /// Non-overloaded decisions at a degraded level before a half-open
+  /// recovery probe (one decision run one level up). This is the probe
+  /// window: within it the ladder cannot move up, so a degrade is never
+  /// immediately undone (no A->B->A flap).
+  int probe_after = 25;
+  /// Consecutive successful probes required to actually recover a level.
+  int promote_probes = 2;
+  /// Node-budget scale of GovLevel::Reduced (in (0, 1]).
+  double reduced_budget_factor = 0.25;
+  /// Ladder level the run starts at (0 = Full). Pinning 3 turns the
+  /// governed policy into plain LXF backfill — the fallback-equivalence
+  /// acceptance test.
+  int initial_level = 0;
+
+  /// Canonical echo of the resolved knobs, for telemetry and metrics.
+  std::string spec() const;
+};
+
+/// Parses the `--governor-thresholds` value: comma-separated key=value
+/// pairs. Keys: queue, think-ms, overrun, budget (watermarks; 0 disables),
+/// alpha, recover (monitor smoothing/hysteresis), trip, probe, promote,
+/// reduce, level (breaker knobs). Unknown keys throw sbs::Error. An empty
+/// spec returns the defaults.
+GovernorConfig parse_governor_thresholds(std::string_view spec);
+
+/// The circuit breaker: consumes one health verdict per decision and walks
+/// the ladder with hysteresis and half-open probes. Deterministic given
+/// the verdict sequence; fully serializable. Usage per decision:
+///
+///   const GovernorDecision plan = governor.plan();   // level to run at
+///   ... run the rung plan.level, measure signals ...
+///   governor.report(verdict);                        // may transition
+///   ... read governor.transitions() for telemetry ...
+class Governor {
+ public:
+  explicit Governor(const GovernorConfig& config);
+
+  struct Plan {
+    GovLevel level = GovLevel::Full;  ///< rung to run this decision
+    bool probe = false;               ///< this decision is a half-open probe
+  };
+
+  /// Level for the next decision. Emits a "probe" transition when the calm
+  /// streak at a degraded level has earned a half-open attempt.
+  Plan plan();
+
+  /// Feeds the decision's health verdict; walks the ladder (degrade,
+  /// probe_fail, recover) accordingly.
+  void report(HealthVerdict verdict);
+
+  GovLevel level() const { return level_; }
+
+  /// Transitions emitted since the last take_transitions() call, in order.
+  std::vector<obs::GovernorTransition> take_transitions();
+
+  /// Checkpoint support (breaker state only; the monitor serializes
+  /// itself separately).
+  void append_state(obs::JsonWriter& w, std::string_view key) const;
+  void restore_state(const obs::JsonValue& v);
+
+ private:
+  void emit(std::string_view kind, int from, int to);
+
+  GovernorConfig config_;
+  GovLevel level_;
+  bool probing_ = false;       ///< the decision being planned is a probe
+  int unhealthy_streak_ = 0;   ///< consecutive Overloaded verdicts
+  int calm_streak_ = 0;        ///< non-Overloaded decisions at this level
+  int probe_successes_ = 0;    ///< consecutive successful probes
+  std::vector<obs::GovernorTransition> transitions_;
+};
+
+}  // namespace sbs::resilience

@@ -1,0 +1,84 @@
+#include "resilience/health.hpp"
+
+#include "obs/json.hpp"
+#include "util/error.hpp"
+
+namespace sbs::resilience {
+
+HealthMonitor::HealthMonitor(const HealthConfig& config) : config_(config) {
+  SBS_CHECK_MSG(config_.alpha > 0.0 && config_.alpha <= 1.0,
+                "health alpha must be in (0, 1]");
+  SBS_CHECK_MSG(config_.recovery_fraction > 0.0 &&
+                    config_.recovery_fraction <= 1.0,
+                "health recovery_fraction must be in (0, 1]");
+  SBS_CHECK_MSG(config_.queue_high >= 0.0 && config_.think_ms_high >= 0.0 &&
+                    config_.overrun_streak_high >= 0 &&
+                    config_.budget_fraction_high >= 0.0,
+                "health watermarks must be non-negative");
+}
+
+HealthVerdict HealthMonitor::observe(const HealthSignal& signal) {
+  if (primed_) {
+    const double a = config_.alpha;
+    ewma_queue_ = a * signal.queue_depth + (1.0 - a) * ewma_queue_;
+    ewma_think_ms_ = a * signal.think_ms + (1.0 - a) * ewma_think_ms_;
+    ewma_budget_ = a * (signal.budget_exhausted ? 1.0 : 0.0) +
+                   (1.0 - a) * ewma_budget_;
+  } else {
+    ewma_queue_ = signal.queue_depth;
+    ewma_think_ms_ = signal.think_ms;
+    ewma_budget_ = signal.budget_exhausted ? 1.0 : 0.0;
+    primed_ = true;
+  }
+  overrun_streak_ = signal.deadline_overrun ? overrun_streak_ + 1 : 0;
+
+  bool any_high = false;
+  bool all_low = true;
+  const double low = config_.recovery_fraction;
+  if (config_.queue_high > 0.0) {
+    any_high |= ewma_queue_ >= config_.queue_high;
+    all_low &= ewma_queue_ < config_.queue_high * low;
+  }
+  if (config_.think_ms_high > 0.0) {
+    any_high |= ewma_think_ms_ >= config_.think_ms_high;
+    all_low &= ewma_think_ms_ < config_.think_ms_high * low;
+  }
+  if (config_.overrun_streak_high > 0) {
+    any_high |= overrun_streak_ >= config_.overrun_streak_high;
+    all_low &= overrun_streak_ == 0;
+  }
+  if (config_.budget_fraction_high > 0.0) {
+    any_high |= ewma_budget_ >= config_.budget_fraction_high;
+    all_low &= ewma_budget_ < config_.budget_fraction_high * low;
+  }
+  if (any_high) return HealthVerdict::Overloaded;
+  if (all_low) return HealthVerdict::Recovered;
+  return HealthVerdict::Neutral;
+}
+
+void HealthMonitor::append_state(obs::JsonWriter& w,
+                                 std::string_view key) const {
+  w.key(key).begin_object();
+  w.field("primed", primed_)
+      .field("ewma_queue", ewma_queue_)
+      .field("ewma_think_ms", ewma_think_ms_)
+      .field("ewma_budget", ewma_budget_)
+      .field("overrun_streak", overrun_streak_);
+  w.end_object();
+}
+
+void HealthMonitor::restore_state(const obs::JsonValue& v) {
+  SBS_CHECK_MSG(v.is_object(), "health monitor state is not a JSON object");
+  auto get = [&](std::string_view key) -> const obs::JsonValue& {
+    const obs::JsonValue* f = v.find(key);
+    SBS_CHECK_MSG(f != nullptr, "health monitor state lacks " << key);
+    return *f;
+  };
+  primed_ = get("primed").as_bool();
+  ewma_queue_ = get("ewma_queue").as_double();
+  ewma_think_ms_ = get("ewma_think_ms").as_double();
+  ewma_budget_ = get("ewma_budget").as_double();
+  overrun_streak_ = static_cast<int>(get("overrun_streak").as_int());
+}
+
+}  // namespace sbs::resilience

@@ -1,0 +1,78 @@
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace sbs::obs {
+class JsonWriter;
+struct JsonValue;
+}  // namespace sbs::obs
+
+namespace sbs::resilience {
+
+/// Raw per-decision signals the governed scheduler feeds the monitor —
+/// the quantities telemetry already records, sampled at the source.
+struct HealthSignal {
+  double queue_depth = 0.0;      ///< waiting jobs at the decision
+  double think_ms = 0.0;         ///< wall-clock cost of the decision
+  bool deadline_overrun = false; ///< search hit SearchConfig::deadline_ms
+  bool budget_exhausted = false; ///< search spent its whole node budget
+};
+
+/// Watermarks and smoothing for the health verdict. A watermark of 0
+/// disables that signal entirely — e.g. golden-trace tests use queue-depth
+/// only, because think time and overruns are wall-clock facts and would
+/// make the ladder nondeterministic.
+struct HealthConfig {
+  /// EWMA weight of the newest sample (0 < alpha <= 1); higher = twitchier.
+  double alpha = 0.3;
+  /// Overload when the EWMA queue depth reaches this; 0 = signal off.
+  double queue_high = 0.0;
+  /// Overload when the EWMA think time (ms) reaches this; 0 = signal off.
+  double think_ms_high = 0.0;
+  /// Overload when this many consecutive decisions overran the search
+  /// deadline; 0 = signal off.
+  int overrun_streak_high = 0;
+  /// Overload when the EWMA of the budget-exhausted indicator (fraction of
+  /// recent decisions that spent their full node budget) reaches this;
+  /// 0 = signal off.
+  double budget_fraction_high = 0.0;
+  /// Hysteresis: Recovered requires every enabled EWMA to fall below
+  /// high * recovery_fraction (and the overrun streak to be zero), so the
+  /// monitor cannot oscillate at a watermark.
+  double recovery_fraction = 0.5;
+};
+
+enum class HealthVerdict {
+  Overloaded,  ///< some enabled signal is at or above its high watermark
+  Neutral,     ///< between the watermarks (hysteresis band)
+  Recovered,   ///< every enabled signal is below its low watermark
+};
+
+/// EWMA smoothing of the per-decision signals into one tri-state verdict.
+/// Deterministic given its inputs; fully serializable for checkpointing.
+class HealthMonitor {
+ public:
+  explicit HealthMonitor(const HealthConfig& config);
+
+  HealthVerdict observe(const HealthSignal& signal);
+
+  double ewma_queue() const { return ewma_queue_; }
+  double ewma_think_ms() const { return ewma_think_ms_; }
+  double ewma_budget() const { return ewma_budget_; }
+  int overrun_streak() const { return overrun_streak_; }
+
+  /// Checkpoint support: the EWMAs and streak as one JSON object value.
+  void append_state(obs::JsonWriter& w, std::string_view key) const;
+  void restore_state(const obs::JsonValue& v);
+
+ private:
+  HealthConfig config_;
+  bool primed_ = false;  ///< first sample seeds the EWMAs directly
+  double ewma_queue_ = 0.0;
+  double ewma_think_ms_ = 0.0;
+  double ewma_budget_ = 0.0;
+  int overrun_streak_ = 0;
+};
+
+}  // namespace sbs::resilience

@@ -2,7 +2,49 @@
 
 #include <algorithm>
 
+#include "obs/json.hpp"
+#include "util/error.hpp"
+
 namespace sbs {
+
+void append_stats_json(obs::JsonWriter& w, std::string_view key,
+                       const SchedulerStats& s) {
+  w.key(key).begin_object();
+  w.field("decisions", s.decisions)
+      .field("nodes_visited", s.nodes_visited)
+      .field("paths_explored", s.paths_explored)
+      .field("think_time_us", s.think_time_us)
+      .field("deadline_hits", s.deadline_hits)
+      .field("max_think_time_us", s.max_think_time_us)
+      .field("max_queue_depth", s.max_queue_depth)
+      .field("cache_hits", s.cache_hits)
+      .field("cache_misses", s.cache_misses)
+      .field("cache_invalidations", s.cache_invalidations)
+      .field("warm_starts", s.warm_starts);
+  w.end_object();
+}
+
+SchedulerStats stats_from_json(const obs::JsonValue& v) {
+  SBS_CHECK_MSG(v.is_object(), "scheduler stats state is not a JSON object");
+  auto u64 = [&](std::string_view key) {
+    const obs::JsonValue* f = v.find(key);
+    SBS_CHECK_MSG(f != nullptr, "scheduler stats state lacks " << key);
+    return static_cast<std::uint64_t>(f->as_int());
+  };
+  SchedulerStats s;
+  s.decisions = u64("decisions");
+  s.nodes_visited = u64("nodes_visited");
+  s.paths_explored = u64("paths_explored");
+  s.think_time_us = u64("think_time_us");
+  s.deadline_hits = u64("deadline_hits");
+  s.max_think_time_us = u64("max_think_time_us");
+  s.max_queue_depth = u64("max_queue_depth");
+  s.cache_hits = u64("cache_hits");
+  s.cache_misses = u64("cache_misses");
+  s.cache_invalidations = u64("cache_invalidations");
+  s.warm_starts = u64("warm_starts");
+  return s;
+}
 
 ResourceProfile profile_from_running(int capacity, Time now,
                                      std::span<const RunningJob> running) {

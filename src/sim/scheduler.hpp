@@ -9,6 +9,11 @@
 #include "jobs/job.hpp"
 #include "obs/events.hpp"
 
+namespace sbs::obs {
+class JsonWriter;
+struct JsonValue;
+}  // namespace sbs::obs
+
 namespace sbs {
 
 /// A queued job as seen by a scheduling policy. `estimate` is the runtime
@@ -74,6 +79,12 @@ struct DecisionDetail {
   std::vector<obs::ImprovementPoint> improvements;
   std::uint64_t threads_used = 0;  ///< parallel-search workers (0 = sequential)
   std::vector<std::uint64_t> worker_nodes;  ///< speculative nodes per worker
+  /// Overload-governor annotations (resilience::GovernedScheduler): the
+  /// ladder level this decision ran at (-1 = no governor), whether it was a
+  /// half-open probe, and any level transitions it triggered.
+  int governor_level = -1;
+  bool governor_probe = false;
+  std::vector<obs::GovernorTransition> governor_transitions;
 };
 
 /// Non-preemptive scheduling policy. At each event the simulator calls
@@ -97,7 +108,24 @@ class Scheduler {
   /// select_jobs() call. Default: no detail, zero bookkeeping.
   virtual void set_collect_decision_detail(bool) {}
   virtual const DecisionDetail* last_decision() const { return nullptr; }
+
+  /// Checkpoint support: serialize the policy's cross-event state (stats,
+  /// warm-start order, fair-share ledger, breaker state, ...) as one JSON
+  /// object, and restore it so a resumed run continues bit-identically.
+  /// The default (stateless policy) round-trips nothing. restore_state()
+  /// must accept exactly what save_state() produced for the same policy
+  /// configuration; it throws sbs::Error on malformed or mismatched input.
+  virtual std::string save_state() const { return "{}"; }
+  virtual void restore_state(std::string_view state) { (void)state; }
 };
+
+/// JSON round-trip helpers for SchedulerStats, shared by every policy's
+/// save_state()/restore_state(). The stats travel inside the checkpoint so
+/// a resumed run's cumulative counters (and the telemetry deltas derived
+/// from them) match an uninterrupted run exactly.
+void append_stats_json(obs::JsonWriter& w, std::string_view key,
+                       const SchedulerStats& stats);
+SchedulerStats stats_from_json(const obs::JsonValue& v);
 
 /// Builds the free-node profile implied by the running jobs: full capacity
 /// from `now`, minus each running job over [now, est_end). Estimated ends

@@ -21,6 +21,21 @@ struct Completion {
   }
 };
 
+// priority_queue with its container exposed, so checkpointing can capture
+// the pending completions (including stale entries of killed attempts —
+// they must survive a resume to be skipped at pop exactly as in an
+// uninterrupted run).
+class CompletionQueue
+    : public std::priority_queue<Completion, std::vector<Completion>,
+                                 std::greater<>> {
+ public:
+  const std::vector<Completion>& container() const { return c; }
+  void restore(std::vector<Completion> entries) {
+    c = std::move(entries);
+    std::make_heap(c.begin(), c.end(), comp);
+  }
+};
+
 }  // namespace
 
 SimResult simulate(const Trace& trace, Scheduler& scheduler,
@@ -34,8 +49,7 @@ SimResult simulate(const Trace& trace, Scheduler& scheduler,
 
   std::vector<WaitingJob> waiting;
   std::vector<RunningJob> running;
-  std::priority_queue<Completion, std::vector<Completion>, std::greater<>>
-      completions;
+  CompletionQueue completions;
   // Current attempt per job; a pending Completion with a stale attempt
   // belongs to a killed run and is skipped when it surfaces.
   std::vector<int> attempt(jobs.size(), 0);
@@ -113,6 +127,123 @@ SimResult simulate(const Trace& trace, Scheduler& scheduler,
     running.pop_back();
   };
 
+  SBS_CHECK_MSG(config.checkpoint_every == 0 || config.checkpoint_sink,
+                "checkpoint_every set without a checkpoint_sink");
+
+  // Capture the full mid-run state at an event boundary. Everything the
+  // loop mutates is either here or reconstructible from the inputs (the
+  // fault schedule re-derives from its spec; the trace is reattached by
+  // job id on restore).
+  auto capture_snapshot = [&](Time now) {
+    sim::SimSnapshot snap;
+    snap.now = now;
+    snap.events = events;
+    snap.next_arrival = next_arrival;
+    snap.next_fault = next_fault;
+    snap.used_nodes = used_nodes;
+    snap.down_nodes = down_nodes;
+    snap.last_event = last_event;
+    snap.queue_area = queue_area;
+    snap.waiting.reserve(waiting.size());
+    for (const WaitingJob& w : waiting)
+      snap.waiting.push_back({w.job->id, w.estimate});
+    snap.running.reserve(running.size());
+    for (const RunningJob& r : running)
+      snap.running.push_back({r.job->id, r.start, r.est_end});
+    snap.completions.reserve(completions.container().size());
+    for (const Completion& c : completions.container())
+      snap.completions.push_back({c.end, c.job_id, c.attempt});
+    snap.attempts = attempt;
+    for (std::size_t i = 0; i < result.outcomes.size(); ++i) {
+      const JobOutcome& oc = result.outcomes[i];
+      if (oc.start == 0 && oc.end == 0 && oc.requeue_count == 0 &&
+          oc.lost_node_seconds == 0 && oc.completed)
+        continue;
+      snap.outcomes.push_back({static_cast<int>(i), oc.start, oc.end,
+                               oc.requeue_count, oc.lost_node_seconds,
+                               oc.completed});
+    }
+    snap.decision_stats = {result.decision_stats.decisions,
+                           result.decision_stats.with_10_plus,
+                           result.decision_stats.max_waiting,
+                           result.decision_stats.mean_waiting};
+    snap.fault_stats = {result.fault_stats.node_failures,
+                        result.fault_stats.node_recoveries,
+                        result.fault_stats.jobs_killed,
+                        result.fault_stats.jobs_requeued,
+                        result.fault_stats.jobs_dropped,
+                        result.fault_stats.jobs_unstarted,
+                        result.fault_stats.lost_node_seconds,
+                        result.fault_stats.min_capacity};
+    snap.scheduler_state = scheduler.save_state();
+    config.checkpoint_sink(snap);
+  };
+
+  if (config.resume != nullptr) {
+    const sim::SimSnapshot& snap = *config.resume;
+    SBS_CHECK_MSG(snap.attempts.size() == jobs.size(),
+                  "snapshot is for a different trace (job count mismatch)");
+    next_arrival = snap.next_arrival;
+    SBS_CHECK_MSG(next_arrival <= jobs.size(),
+                  "snapshot arrival cursor out of range");
+    SBS_CHECK_MSG(snap.next_fault <= faults.size(),
+                  "snapshot fault cursor out of range");
+    next_fault = snap.next_fault;
+    used_nodes = snap.used_nodes;
+    down_nodes = snap.down_nodes;
+    events = snap.events;
+    queue_area = snap.queue_area;
+    last_event = snap.last_event;
+    attempt = snap.attempts;
+    waiting.clear();
+    for (const auto& w : snap.waiting) {
+      SBS_CHECK_MSG(w.job_id >= 0 &&
+                        static_cast<std::size_t>(w.job_id) < jobs.size(),
+                    "snapshot waiting job " << w.job_id << " out of range");
+      waiting.push_back(
+          WaitingJob{&jobs[static_cast<std::size_t>(w.job_id)], w.estimate});
+    }
+    running.clear();
+    for (const auto& r : snap.running) {
+      SBS_CHECK_MSG(r.job_id >= 0 &&
+                        static_cast<std::size_t>(r.job_id) < jobs.size(),
+                    "snapshot running job " << r.job_id << " out of range");
+      running.push_back(RunningJob{&jobs[static_cast<std::size_t>(r.job_id)],
+                                   r.start, r.est_end});
+    }
+    std::vector<Completion> pending;
+    pending.reserve(snap.completions.size());
+    for (const auto& c : snap.completions)
+      pending.push_back(Completion{c.end, c.job_id, c.attempt});
+    completions.restore(std::move(pending));
+    for (const auto& oc : snap.outcomes) {
+      SBS_CHECK_MSG(oc.job_id >= 0 &&
+                        static_cast<std::size_t>(oc.job_id) < jobs.size(),
+                    "snapshot outcome job " << oc.job_id << " out of range");
+      JobOutcome& dst = result.outcomes[static_cast<std::size_t>(oc.job_id)];
+      dst.start = oc.start;
+      dst.end = oc.end;
+      dst.requeue_count = oc.requeue_count;
+      dst.lost_node_seconds = oc.lost_node_seconds;
+      dst.completed = oc.completed;
+    }
+    result.decision_stats.decisions = snap.decision_stats.decisions;
+    result.decision_stats.with_10_plus = snap.decision_stats.with_10_plus;
+    result.decision_stats.max_waiting =
+        static_cast<std::size_t>(snap.decision_stats.max_waiting);
+    result.decision_stats.mean_waiting = snap.decision_stats.mean_waiting_sum;
+    result.fault_stats.node_failures = snap.fault_stats.node_failures;
+    result.fault_stats.node_recoveries = snap.fault_stats.node_recoveries;
+    result.fault_stats.jobs_killed = snap.fault_stats.jobs_killed;
+    result.fault_stats.jobs_requeued = snap.fault_stats.jobs_requeued;
+    result.fault_stats.jobs_dropped = snap.fault_stats.jobs_dropped;
+    result.fault_stats.jobs_unstarted = snap.fault_stats.jobs_unstarted;
+    result.fault_stats.lost_node_seconds = snap.fault_stats.lost_node_seconds;
+    result.fault_stats.min_capacity = snap.fault_stats.min_capacity;
+    if (!snap.scheduler_state.empty())
+      scheduler.restore_state(snap.scheduler_state);
+  }
+
   while (true) {
     const bool arrivals_left = next_arrival < jobs.size();
     // Fault events only matter while work remains or can still arrive (the
@@ -122,6 +253,17 @@ SimResult simulate(const Trace& trace, Scheduler& scheduler,
         next_fault < faults.size() &&
         (arrivals_left || !waiting.empty() || !running.empty());
     if (!arrivals_left && completions.empty() && !faults_matter) break;
+
+    // Graceful stop: drain nothing further, persist what telemetry has,
+    // and leave via the error path so the caller can point the user at
+    // the most recent checkpoint.
+    if (config.interrupt != nullptr &&
+        config.interrupt->load(std::memory_order_relaxed)) {
+      if (tel) tel->flush();
+      throw Error("simulation interrupted after " + std::to_string(events) +
+                  " events");
+    }
+
     SBS_CHECK_MSG(++events <= config.max_events, "simulation event cap hit");
 
     // Next event time: earliest of next arrival, next completion (possibly
@@ -212,7 +354,18 @@ SimResult simulate(const Trace& trace, Scheduler& scheduler,
                   return a.job->id < b.job->id;
                 });
 
-    if (waiting.empty() || capacity <= 0) continue;
+    // Event boundary: every mutation for this event is done (or no
+    // decision is needed). A snapshot taken here resumes bit-identically.
+    const auto maybe_checkpoint = [&] {
+      if (config.checkpoint_every > 0 &&
+          events % config.checkpoint_every == 0)
+        capture_snapshot(now);
+    };
+
+    if (waiting.empty() || capacity <= 0) {
+      maybe_checkpoint();
+      continue;
+    }
 
     ++result.decision_stats.decisions;
     if (waiting.size() >= 10) ++result.decision_stats.with_10_plus;
@@ -265,6 +418,9 @@ SimResult simulate(const Trace& trace, Scheduler& scheduler,
         d.improvements = detail->improvements;
         d.threads_used = detail->threads_used;
         d.worker_nodes = detail->worker_nodes;
+        d.governor_level = detail->governor_level;
+        d.governor_probe = detail->governor_probe;
+        d.governor_transitions = detail->governor_transitions;
       }
       d.started = chosen;
       tel->decision(d);
@@ -312,6 +468,8 @@ SimResult simulate(const Trace& trace, Scheduler& scheduler,
                   return a.job->submit < b.job->submit;
                 return a.job->id < b.job->id;
               });
+
+    maybe_checkpoint();
   }
 
   // Jobs still queued when every event source drained (capacity never

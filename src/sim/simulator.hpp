@@ -1,5 +1,7 @@
 #pragma once
 
+#include <atomic>
+#include <functional>
 #include <vector>
 
 #include "jobs/trace.hpp"
@@ -7,6 +9,7 @@
 #include "sim/faults.hpp"
 #include "sim/outcome.hpp"
 #include "sim/scheduler.hpp"
+#include "sim/snapshot.hpp"
 
 namespace sbs {
 
@@ -54,6 +57,25 @@ struct SimConfig {
   /// stream). Not owned; must outlive the simulation. nullptr (the
   /// default) reduces every hook to one pointer test.
   obs::Telemetry* telemetry = nullptr;
+
+  /// Checkpointing: every `checkpoint_every` processed events (0 = off)
+  /// the simulator captures a SimSnapshot at the event boundary and hands
+  /// it to `checkpoint_sink` (required when checkpoint_every > 0). The
+  /// capture point is after the event was fully handled, so a resumed run
+  /// re-enters the loop exactly where an uninterrupted one would be.
+  std::uint64_t checkpoint_every = 0;
+  std::function<void(const sim::SimSnapshot&)> checkpoint_sink;
+
+  /// Resume: start from this snapshot instead of an empty machine. The
+  /// caller must pass the same trace, machine, fault schedule, and an
+  /// identically configured scheduler (restore the scheduler's state via
+  /// Scheduler::restore_state before calling). Not owned.
+  const sim::SimSnapshot* resume = nullptr;
+
+  /// Graceful-stop flag (SIGINT/SIGTERM handlers set it): polled once per
+  /// event; when it becomes true the simulator flushes telemetry and
+  /// throws sbs::Error so the caller can point at the latest checkpoint.
+  const std::atomic<bool>* interrupt = nullptr;
 };
 
 /// Queue-depth statistics at scheduling decision points (the paper §2.2

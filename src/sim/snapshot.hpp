@@ -1,0 +1,99 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/time.hpp"
+
+namespace sbs::sim {
+
+/// Full mid-run simulator state as plain data — everything simulate() needs
+/// to continue a run bit-identically from an event boundary. The sim layer
+/// only captures and restores this struct; serialization to the versioned
+/// on-disk snapshot (and the CLI-flag echo that travels with it) lives in
+/// resilience/checkpoint, which sits above sim in the layering.
+///
+/// What is deliberately NOT here:
+///  - the trace and machine size: a snapshot is only meaningful against the
+///    exact trace/config it was taken from, so the consumer re-loads those
+///    and the checkpoint layer stores enough CLI context to do it;
+///  - the fault schedule: FaultInjector derives it deterministically from
+///    FaultSpec (seed included), so restoring `next_fault` re-synchronizes
+///    the cursor without serializing the event list;
+///  - predictor state: ClassCorrectionPredictor learns online and is not
+///    snapshotted — the checkpoint layer rejects that combination.
+struct SimSnapshot {
+  /// Bumped whenever the struct layout changes incompatibly; the on-disk
+  /// format carries it and the reader rejects mismatches.
+  static constexpr int kVersion = 1;
+
+  struct WaitingEntry {
+    int job_id = 0;
+    Time estimate = 0;  ///< runtime estimate in force when queued
+  };
+  struct RunningEntry {
+    int job_id = 0;
+    Time start = 0;
+    Time est_end = 0;
+  };
+  struct CompletionEntry {
+    Time end = 0;
+    int job_id = 0;
+    int attempt = 0;
+  };
+  /// JobOutcome for a job the run has already touched (started, finished,
+  /// killed, or requeued). Untouched jobs stay at their default outcome and
+  /// are omitted.
+  struct OutcomeEntry {
+    int job_id = 0;
+    Time start = 0;
+    Time end = 0;
+    int requeue_count = 0;
+    Time lost_node_seconds = 0;
+    bool completed = true;
+  };
+  /// Mirrors DecisionStats; mean_waiting is still the running sum here
+  /// (simulate() divides by decisions only at the end of the run).
+  struct DecisionStatsEntry {
+    std::uint64_t decisions = 0;
+    std::uint64_t with_10_plus = 0;
+    std::uint64_t max_waiting = 0;
+    double mean_waiting_sum = 0.0;
+  };
+  /// Mirrors FaultStats.
+  struct FaultStatsEntry {
+    std::uint64_t node_failures = 0;
+    std::uint64_t node_recoveries = 0;
+    std::uint64_t jobs_killed = 0;
+    std::uint64_t jobs_requeued = 0;
+    std::uint64_t jobs_dropped = 0;
+    std::uint64_t jobs_unstarted = 0;
+    double lost_node_seconds = 0.0;
+    int min_capacity = 0;
+  };
+
+  Time now = 0;            ///< clock at the capture boundary
+  std::uint64_t events = 0;  ///< events processed so far
+  std::size_t next_arrival = 0;  ///< cursor into the trace's job list
+  std::size_t next_fault = 0;    ///< cursor into the fault schedule
+  int used_nodes = 0;
+  int down_nodes = 0;
+  Time last_event = 0;     ///< previous event time (queue-area integration)
+  double queue_area = 0.0;
+
+  std::vector<WaitingEntry> waiting;      ///< in queue order
+  std::vector<RunningEntry> running;      ///< in dispatch order
+  std::vector<CompletionEntry> completions;  ///< heap contents, any order
+  std::vector<int> attempts;              ///< per-job attempt counters
+  std::vector<OutcomeEntry> outcomes;     ///< touched jobs only
+
+  DecisionStatsEntry decision_stats;
+  FaultStatsEntry fault_stats;
+
+  /// Opaque policy state from Scheduler::save_state() — cumulative stats,
+  /// warm-start order, fair-share ledger, governor breaker state, ...
+  std::string scheduler_state;
+};
+
+}  // namespace sbs::sim

@@ -1,0 +1,455 @@
+// Crash-safety tests: the durable JSONL sink (fsync cadence, size
+// rotation, append-on-resume), the torn-tail tolerance of the telemetry
+// reader, the versioned checkpoint file format, and — the acceptance
+// criterion — differential resume bit-identity: a run cut at a checkpoint
+// and resumed must produce byte-for-byte the outcomes of the run that was
+// never interrupted, for the backfill baseline, the full search stack
+// (cache + warm start + threads) under faults, and the governed ladder.
+
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "exp/policy_factory.hpp"
+#include "obs/report.hpp"
+#include "obs/telemetry.hpp"
+#include "obs/trace_sink.hpp"
+#include "resilience/checkpoint.hpp"
+#include "resilience/governed_scheduler.hpp"
+#include "resilience/governor.hpp"
+#include "sim/faults.hpp"
+#include "sim/simulator.hpp"
+#include "test_support.hpp"
+#include "util/error.hpp"
+
+namespace sbs {
+namespace {
+
+using resilience::CheckpointData;
+using resilience::GovernedScheduler;
+using resilience::GovernorConfig;
+using test::job;
+using test::trace_of;
+
+std::string temp_path(const std::string& name) {
+  const std::string path = testing::TempDir() + "/" + name;
+  std::remove(path.c_str());
+  return path;
+}
+
+std::vector<std::string> read_lines(const std::string& path) {
+  std::ifstream in(path);
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  return lines;
+}
+
+// ---------------------------------------------------------------------------
+// JsonlSink durability knobs
+
+TEST(JsonlSink, PerLineFsyncLosesNothing) {
+  const std::string path = temp_path("sbs_sink_fsync.jsonl");
+  obs::JsonlSinkOptions opt;
+  opt.fsync_every_lines = 1;
+  {
+    obs::JsonlSink sink(path, opt);
+    for (int i = 0; i < 5; ++i)
+      sink.write("{\"i\":" + std::to_string(i) + "}");
+    // No explicit flush: the per-line barrier already persisted everything.
+    EXPECT_EQ(sink.lines_written(), 5u);
+  }
+  EXPECT_EQ(read_lines(path).size(), 5u);
+  std::remove(path.c_str());
+}
+
+TEST(JsonlSink, RotatesBySizeAndReadersFollowTheSegments) {
+  const std::string path = temp_path("sbs_sink_rotate.jsonl");
+  obs::JsonlSinkOptions opt;
+  opt.flush_bytes = 1;    // drain per record so segment_bytes is live
+  opt.rotate_bytes = 64;  // a few records per segment
+  {
+    obs::JsonlSink sink(path, opt);
+    for (int i = 0; i < 20; ++i)
+      sink.write("{\"record\":" + std::to_string(i) + "}");
+    EXPECT_GT(sink.segments_opened(), 1u);
+  }
+  const std::vector<std::string> segments = obs::JsonlSink::segment_paths(path);
+  ASSERT_GT(segments.size(), 1u);
+  EXPECT_EQ(segments.front(), path);
+  std::size_t total = 0;
+  for (const std::string& segment : segments)
+    total += read_lines(segment).size();
+  EXPECT_EQ(total, 20u);  // rotation never drops or duplicates a record
+  for (const std::string& segment : segments) std::remove(segment.c_str());
+}
+
+TEST(JsonlSink, AppendContinuesAnExistingStream) {
+  const std::string path = temp_path("sbs_sink_append.jsonl");
+  {
+    obs::JsonlSink sink(path);
+    sink.write("{\"phase\":\"before-crash\"}");
+  }
+  obs::JsonlSinkOptions opt;
+  opt.append = true;
+  {
+    obs::JsonlSink sink(path, opt);
+    sink.write("{\"phase\":\"after-resume\"}");
+  }
+  const std::vector<std::string> lines = read_lines(path);
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[0], "{\"phase\":\"before-crash\"}");
+  EXPECT_EQ(lines[1], "{\"phase\":\"after-resume\"}");
+  std::remove(path.c_str());
+}
+
+TEST(JsonlSink, FlushAllDrainsLiveSinks) {
+  const std::string path = temp_path("sbs_sink_flushall.jsonl");
+  obs::JsonlSink sink(path);
+  sink.write("{\"buffered\":true}");
+  obs::JsonlSink::flush_all();  // the atexit hook, called directly
+  EXPECT_EQ(read_lines(path).size(), 1u);
+  std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Torn-tail tolerance
+
+/// A small governed run with telemetry, so the stream has real records.
+void write_run_telemetry(const std::string& path) {
+  const Trace trace = trace_of({job(0, 0, 2, 100), job(1, 0, 2, 100),
+                                job(2, 0, 2, 100)},
+                               /*capacity=*/4);
+  auto scheduler = make_policy("LXF-BF");
+  obs::Telemetry telemetry(std::make_unique<obs::JsonlSink>(path));
+  SimConfig sim;
+  sim.telemetry = &telemetry;
+  simulate(trace, *scheduler, sim);
+}
+
+TEST(TelemetryReader, SkipsAndCountsATornFinalLine) {
+  const std::string path = temp_path("sbs_torn.jsonl");
+  write_run_telemetry(path);
+  const obs::TelemetrySummary clean = obs::read_telemetry(path);
+  ASSERT_EQ(clean.runs.size(), 1u);
+  EXPECT_EQ(clean.torn_records, 0u);
+
+  {  // a SIGKILLed writer leaves a half-record with no trailing newline
+    std::ofstream out(path, std::ios::app);
+    out << R"({"type":"decision","t":42,"queue)";
+  }
+  const obs::TelemetrySummary torn = obs::read_telemetry(path);
+  EXPECT_EQ(torn.torn_records, 1u);
+  ASSERT_EQ(torn.runs.size(), 1u);
+  // The intact prefix is untouched by the torn tail.
+  EXPECT_EQ(torn.runs[0].decisions, clean.runs[0].decisions);
+  EXPECT_EQ(torn.runs[0].finishes, clean.runs[0].finishes);
+  std::remove(path.c_str());
+}
+
+TEST(TelemetryReader, MalformedCompleteLinesStillThrow) {
+  const std::string path = temp_path("sbs_malformed.jsonl");
+  write_run_telemetry(path);
+  {  // newline-terminated garbage is corruption, not a crash artifact
+    std::ofstream out(path, std::ios::app);
+    out << "{\"type\":\"decision\",\"t\":42,\"queue\n";
+  }
+  EXPECT_THROW(obs::read_telemetry(path), Error);
+  std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint file format
+
+CheckpointData sample_checkpoint() {
+  CheckpointData data;
+  data.id = resilience::checkpoint_id(400);
+  data.parent = "ck-200";
+  data.cli = {{"policy", "DDS/lxf/dynB"}, {"nodes", "500"}, {"seed", "42"}};
+  sim::SimSnapshot& s = data.snapshot;
+  s.now = 12345;
+  s.events = 400;
+  s.next_arrival = 37;
+  s.next_fault = 3;
+  s.used_nodes = 96;
+  s.down_nodes = 4;
+  s.last_event = 12000;
+  s.queue_area = 1234.5;
+  s.waiting = {{7, 3600}, {9, 100}};
+  s.running = {{1, 11000, 13000}, {2, 11500, 12500}};
+  s.completions = {{13000, 1, 0}, {12500, 2, 1}};
+  s.attempts = {0, 1, 2, 0};
+  s.outcomes = {{1, 11000, 13000, 0, 0, true}, {3, 500, 900, 1, 800, false}};
+  s.decision_stats = {40, 12, 17, 123.25};
+  s.fault_stats = {2, 1, 3, 2, 1, 0, 456.75, 92};
+  s.scheduler_state = R"({"kind":"search","stats":{"decisions":40}})";
+  return data;
+}
+
+TEST(Checkpoint, IdEncodesTheEventCount) {
+  EXPECT_EQ(resilience::checkpoint_id(400), "ck-400");
+  EXPECT_EQ(resilience::checkpoint_id(0), "ck-0");
+}
+
+TEST(Checkpoint, RoundTripsEveryField) {
+  const std::string path = temp_path("sbs_ckpt_roundtrip.json");
+  const CheckpointData data = sample_checkpoint();
+  resilience::write_checkpoint(path, data);
+  const CheckpointData back = resilience::read_checkpoint(path);
+
+  EXPECT_EQ(back.version, sim::SimSnapshot::kVersion);
+  EXPECT_EQ(back.id, "ck-400");
+  EXPECT_EQ(back.parent, "ck-200");
+  EXPECT_EQ(back.cli, data.cli);
+
+  const sim::SimSnapshot& a = data.snapshot;
+  const sim::SimSnapshot& b = back.snapshot;
+  EXPECT_EQ(b.now, a.now);
+  EXPECT_EQ(b.events, a.events);
+  EXPECT_EQ(b.next_arrival, a.next_arrival);
+  EXPECT_EQ(b.next_fault, a.next_fault);
+  EXPECT_EQ(b.used_nodes, a.used_nodes);
+  EXPECT_EQ(b.down_nodes, a.down_nodes);
+  EXPECT_EQ(b.last_event, a.last_event);
+  EXPECT_DOUBLE_EQ(b.queue_area, a.queue_area);
+  ASSERT_EQ(b.waiting.size(), a.waiting.size());
+  for (std::size_t i = 0; i < a.waiting.size(); ++i) {
+    EXPECT_EQ(b.waiting[i].job_id, a.waiting[i].job_id);
+    EXPECT_EQ(b.waiting[i].estimate, a.waiting[i].estimate);
+  }
+  ASSERT_EQ(b.running.size(), a.running.size());
+  for (std::size_t i = 0; i < a.running.size(); ++i) {
+    EXPECT_EQ(b.running[i].job_id, a.running[i].job_id);
+    EXPECT_EQ(b.running[i].start, a.running[i].start);
+    EXPECT_EQ(b.running[i].est_end, a.running[i].est_end);
+  }
+  ASSERT_EQ(b.completions.size(), a.completions.size());
+  for (std::size_t i = 0; i < a.completions.size(); ++i) {
+    EXPECT_EQ(b.completions[i].end, a.completions[i].end);
+    EXPECT_EQ(b.completions[i].job_id, a.completions[i].job_id);
+    EXPECT_EQ(b.completions[i].attempt, a.completions[i].attempt);
+  }
+  EXPECT_EQ(b.attempts, a.attempts);
+  ASSERT_EQ(b.outcomes.size(), a.outcomes.size());
+  for (std::size_t i = 0; i < a.outcomes.size(); ++i) {
+    EXPECT_EQ(b.outcomes[i].job_id, a.outcomes[i].job_id);
+    EXPECT_EQ(b.outcomes[i].start, a.outcomes[i].start);
+    EXPECT_EQ(b.outcomes[i].end, a.outcomes[i].end);
+    EXPECT_EQ(b.outcomes[i].requeue_count, a.outcomes[i].requeue_count);
+    EXPECT_EQ(b.outcomes[i].lost_node_seconds, a.outcomes[i].lost_node_seconds);
+    EXPECT_EQ(b.outcomes[i].completed, a.outcomes[i].completed);
+  }
+  EXPECT_EQ(b.decision_stats.decisions, a.decision_stats.decisions);
+  EXPECT_EQ(b.decision_stats.with_10_plus, a.decision_stats.with_10_plus);
+  EXPECT_EQ(b.decision_stats.max_waiting, a.decision_stats.max_waiting);
+  EXPECT_DOUBLE_EQ(b.decision_stats.mean_waiting_sum,
+                   a.decision_stats.mean_waiting_sum);
+  EXPECT_EQ(b.fault_stats.node_failures, a.fault_stats.node_failures);
+  EXPECT_EQ(b.fault_stats.jobs_killed, a.fault_stats.jobs_killed);
+  EXPECT_EQ(b.fault_stats.jobs_requeued, a.fault_stats.jobs_requeued);
+  EXPECT_DOUBLE_EQ(b.fault_stats.lost_node_seconds,
+                   a.fault_stats.lost_node_seconds);
+  EXPECT_EQ(b.fault_stats.min_capacity, a.fault_stats.min_capacity);
+  EXPECT_EQ(b.scheduler_state, a.scheduler_state);
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, RejectsForeignAndFutureFiles) {
+  const std::string path = temp_path("sbs_ckpt_bad.json");
+  {  // not a checkpoint at all
+    std::ofstream out(path);
+    out << "{\"format\":\"something-else\",\"version\":1}\n";
+  }
+  EXPECT_THROW(resilience::read_checkpoint(path), Error);
+  {  // a snapshot version this build does not understand
+    std::ofstream out(path);
+    out << "{\"format\":\"sbs-checkpoint\",\"version\":999}\n";
+  }
+  EXPECT_THROW(resilience::read_checkpoint(path), Error);
+  {  // truncated JSON (crash while writing a NON-atomic copy)
+    std::ofstream out(path);
+    out << "{\"format\":\"sbs-checkpoint\",\"ver";
+  }
+  EXPECT_THROW(resilience::read_checkpoint(path), Error);
+  EXPECT_THROW(resilience::read_checkpoint(path + ".does-not-exist"), Error);
+  std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Differential resume bit-identity
+
+/// A queue that stays busy for a while: mixed widths/runtimes, enough
+/// arrivals that decisions overlap and warm starts matter.
+Trace busy_trace() {
+  std::vector<Job> jobs;
+  for (int i = 0; i < 36; ++i) {
+    const int nodes = 1 + (i * 5) % 7;
+    const Time runtime = 120 + (i * 37) % 400;
+    jobs.push_back(job(i, i * 45, nodes, runtime, runtime * 2));
+  }
+  return trace_of(std::move(jobs), /*capacity=*/12);
+}
+
+void expect_identical(const SimResult& resumed, const SimResult& reference) {
+  ASSERT_EQ(resumed.outcomes.size(), reference.outcomes.size());
+  for (std::size_t i = 0; i < reference.outcomes.size(); ++i) {
+    SCOPED_TRACE("job " + std::to_string(reference.outcomes[i].job.id));
+    EXPECT_EQ(resumed.outcomes[i].start, reference.outcomes[i].start);
+    EXPECT_EQ(resumed.outcomes[i].end, reference.outcomes[i].end);
+    EXPECT_EQ(resumed.outcomes[i].requeue_count,
+              reference.outcomes[i].requeue_count);
+    EXPECT_EQ(resumed.outcomes[i].lost_node_seconds,
+              reference.outcomes[i].lost_node_seconds);
+    EXPECT_EQ(resumed.outcomes[i].completed, reference.outcomes[i].completed);
+  }
+  EXPECT_EQ(resumed.sched_stats.decisions, reference.sched_stats.decisions);
+  EXPECT_EQ(resumed.sched_stats.nodes_visited,
+            reference.sched_stats.nodes_visited);
+  EXPECT_DOUBLE_EQ(resumed.avg_queue_length, reference.avg_queue_length);
+  EXPECT_EQ(resumed.decision_stats.decisions,
+            reference.decision_stats.decisions);
+  EXPECT_EQ(resumed.fault_stats.jobs_killed, reference.fault_stats.jobs_killed);
+  EXPECT_EQ(resumed.fault_stats.jobs_requeued,
+            reference.fault_stats.jobs_requeued);
+}
+
+/// The full uninterrupted-vs-resumed differential, routed through the
+/// on-disk checkpoint format: run once to the end; run again capturing a
+/// mid-run checkpoint to a real file; build a THIRD scheduler, resume it
+/// from the file, and require bit-identical results. `make_scheduler` must
+/// return an identically configured fresh instance each call.
+template <typename MakeScheduler>
+void run_resume_differential(const Trace& trace, MakeScheduler make_scheduler,
+                             SimConfig base, const std::string& tag) {
+  auto reference_sched = make_scheduler();
+  const SimResult reference = simulate(trace, *reference_sched, base);
+
+  const std::string path = temp_path("sbs_resume_" + tag + ".json");
+  SimConfig writing = base;
+  writing.checkpoint_every = 20;
+  std::uint64_t snapshots = 0;
+  writing.checkpoint_sink = [&](const sim::SimSnapshot& snap) {
+    // Keep the first mid-run capture: resuming from it replays the longest
+    // tail, which is the harshest version of the differential.
+    ++snapshots;
+    if (snapshots > 1) return;
+    CheckpointData data;
+    data.id = resilience::checkpoint_id(snap.events);
+    data.cli = {{"tag", tag}};
+    data.snapshot = snap;
+    resilience::write_checkpoint(path, data);
+  };
+  auto writer_sched = make_scheduler();
+  const SimResult full = simulate(trace, *writer_sched, writing);
+  expect_identical(full, reference);  // checkpointing itself must not perturb
+  ASSERT_GE(snapshots, 1u) << "trace too small for checkpoint_every=20";
+
+  const CheckpointData data = resilience::read_checkpoint(path);
+  ASSERT_GT(data.snapshot.events, 0u);
+  ASSERT_LT(data.snapshot.next_arrival, trace.jobs.size())
+      << "checkpoint fell after the last arrival; weaken checkpoint_every";
+  SimConfig resuming = base;
+  resuming.resume = &data.snapshot;
+  auto resumed_sched = make_scheduler();
+  const SimResult resumed = simulate(trace, *resumed_sched, resuming);
+  expect_identical(resumed, reference);
+  std::remove(path.c_str());
+}
+
+TEST(ResumeDifferential, BackfillBaseline) {
+  run_resume_differential(
+      busy_trace(), [] { return make_policy("LXF-BF"); }, SimConfig{},
+      "backfill");
+}
+
+TEST(ResumeDifferential, SearchWithCacheWarmStartAndThreads) {
+  run_resume_differential(
+      busy_trace(),
+      [] {
+        return make_policy("DDS/lxf/dynB", /*node_limit=*/400,
+                           /*deadline_ms=*/-1.0, /*threads=*/2,
+                           /*cache=*/true, /*warm_start=*/true);
+      },
+      SimConfig{}, "search");
+}
+
+TEST(ResumeDifferential, SearchUnderFaultsWithRequeue) {
+  const Trace trace = busy_trace();
+  FaultSpec spec;
+  spec.node_mtbf = 900;
+  spec.node_mttr = 400;
+  spec.min_block = 1;
+  spec.max_block = 3;
+  spec.job_kill_mtbf = 1500;
+  spec.seed = 7;
+  const FaultInjector faults = FaultInjector::from_spec(
+      spec, trace.window_begin, trace.window_end, trace.capacity);
+  SimConfig base;
+  base.faults = &faults;
+  run_resume_differential(
+      trace,
+      [] {
+        return make_policy("DDS/lxf/dynB", /*node_limit=*/300,
+                           /*deadline_ms=*/-1.0, /*threads=*/2,
+                           /*cache=*/true, /*warm_start=*/true);
+      },
+      base, "faults");
+}
+
+TEST(ResumeDifferential, GovernedLadderResumesMidDegradation) {
+  // Heavy burst up front so the breaker trips before the first checkpoint;
+  // the resumed run must rejoin at the same ladder position (the breaker,
+  // monitor, and every rung's warm state travel in scheduler_state).
+  std::vector<Job> jobs;
+  for (int i = 0; i < 16; ++i) jobs.push_back(job(i, 0, 4, 150));
+  for (int i = 16; i < 28; ++i)
+    jobs.push_back(job(i, 2000 + (i - 16) * 400, 2, 200));
+  const Trace trace = trace_of(std::move(jobs), /*capacity=*/8);
+
+  GovernorConfig gov;
+  gov.health = {};
+  gov.health.alpha = 1.0;
+  gov.health.queue_high = 8.0;
+  gov.trip_decisions = 2;
+  gov.probe_after = 3;
+  gov.promote_probes = 1;
+  SearchSchedulerConfig base_cfg;
+  base_cfg.search.node_limit = 200;
+  run_resume_differential(
+      trace,
+      [&] { return std::make_unique<GovernedScheduler>(base_cfg, gov); },
+      SimConfig{}, "governed");
+}
+
+TEST(GovernedScheduler, RestoreRejectsADifferentConfiguration) {
+  GovernorConfig gov;
+  gov.health.queue_high = 8.0;
+  SearchSchedulerConfig base_cfg;
+  GovernedScheduler original(base_cfg, gov);
+  const std::string state = original.save_state();
+
+  GovernorConfig other = gov;
+  other.trip_decisions = 99;  // a different breaker is a different policy
+  GovernedScheduler mismatched(base_cfg, other);
+  EXPECT_THROW(mismatched.restore_state(state), Error);
+}
+
+// ---------------------------------------------------------------------------
+// Graceful interrupt
+
+TEST(Interrupt, FlagStopsTheRunViaTheErrorPath) {
+  const Trace trace = busy_trace();
+  auto scheduler = make_policy("LXF-BF");
+  std::atomic<bool> stop{true};  // raised before the first event
+  SimConfig sim;
+  sim.interrupt = &stop;
+  EXPECT_THROW(simulate(trace, *scheduler, sim), Error);
+}
+
+}  // namespace
+}  // namespace sbs

@@ -1,0 +1,475 @@
+// Overload-governor tests: the health monitor's EWMA hysteresis, the
+// breaker's threshold parser and ladder walk (degrade / half-open probe /
+// recover, no flapping), the governed scheduler's fallback equivalence
+// (pinned at the bottom rung it IS plain LXF backfill), and an end-to-end
+// overload-then-idle run whose enter-ladder / probe / full-recovery
+// transitions happen exactly once each and are pinned to a golden CSV.
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "exp/policy_factory.hpp"
+#include "jobs/swf.hpp"
+#include "obs/json.hpp"
+#include "obs/report.hpp"
+#include "obs/telemetry.hpp"
+#include "obs/trace_sink.hpp"
+#include "policies/backfill.hpp"
+#include "resilience/governed_scheduler.hpp"
+#include "resilience/governor.hpp"
+#include "resilience/health.hpp"
+#include "sim/simulator.hpp"
+#include "test_support.hpp"
+#include "util/error.hpp"
+
+#ifndef SBS_TEST_DATA_DIR
+#error "SBS_TEST_DATA_DIR must point at tests/data"
+#endif
+
+namespace sbs {
+namespace {
+
+using resilience::GovernedScheduler;
+using resilience::Governor;
+using resilience::GovernorConfig;
+using resilience::GovLevel;
+using resilience::HealthConfig;
+using resilience::HealthMonitor;
+using resilience::HealthSignal;
+using resilience::HealthVerdict;
+using test::job;
+using test::trace_of;
+
+// ---------------------------------------------------------------------------
+// HealthMonitor
+
+TEST(HealthMonitor, FirstSamplePrimesTheEwmas) {
+  HealthConfig cfg;
+  cfg.queue_high = 10.0;
+  HealthMonitor m(cfg);
+  m.observe({.queue_depth = 8.0});
+  EXPECT_DOUBLE_EQ(m.ewma_queue(), 8.0);  // seeded, not 0.3 * 8
+}
+
+TEST(HealthMonitor, VerdictsFollowTheWatermarksWithHysteresis) {
+  HealthConfig cfg;
+  cfg.alpha = 1.0;  // EWMA == current sample: verdicts purely thresholded
+  cfg.queue_high = 10.0;
+  cfg.recovery_fraction = 0.5;  // low watermark 5
+  HealthMonitor m(cfg);
+  EXPECT_EQ(m.observe({.queue_depth = 12.0}), HealthVerdict::Overloaded);
+  EXPECT_EQ(m.observe({.queue_depth = 10.0}), HealthVerdict::Overloaded);
+  EXPECT_EQ(m.observe({.queue_depth = 7.0}), HealthVerdict::Neutral);
+  EXPECT_EQ(m.observe({.queue_depth = 5.0}), HealthVerdict::Neutral);
+  EXPECT_EQ(m.observe({.queue_depth = 4.0}), HealthVerdict::Recovered);
+}
+
+TEST(HealthMonitor, DisabledSignalsNeverTrip) {
+  HealthMonitor m(HealthConfig{});  // every watermark 0 = everything off
+  const HealthSignal brutal{.queue_depth = 1e9,
+                            .think_ms = 1e9,
+                            .deadline_overrun = true,
+                            .budget_exhausted = true};
+  EXPECT_EQ(m.observe(brutal), HealthVerdict::Recovered);
+}
+
+TEST(HealthMonitor, OverrunStreakResetsOnAnyCleanDecision) {
+  HealthConfig cfg;
+  cfg.overrun_streak_high = 3;
+  HealthMonitor m(cfg);
+  EXPECT_EQ(m.observe({.deadline_overrun = true}), HealthVerdict::Neutral);
+  EXPECT_EQ(m.observe({.deadline_overrun = true}), HealthVerdict::Neutral);
+  EXPECT_EQ(m.observe({.deadline_overrun = false}), HealthVerdict::Recovered);
+  EXPECT_EQ(m.observe({.deadline_overrun = true}), HealthVerdict::Neutral);
+  EXPECT_EQ(m.observe({.deadline_overrun = true}), HealthVerdict::Neutral);
+  EXPECT_EQ(m.observe({.deadline_overrun = true}), HealthVerdict::Overloaded);
+}
+
+TEST(HealthMonitor, StateRoundTripsThroughJson) {
+  HealthConfig cfg;
+  cfg.queue_high = 10.0;
+  cfg.think_ms_high = 50.0;
+  HealthMonitor m(cfg);
+  m.observe({.queue_depth = 7.0, .think_ms = 3.5, .deadline_overrun = true});
+  m.observe({.queue_depth = 9.0, .think_ms = 1.25, .deadline_overrun = true});
+
+  obs::JsonWriter w;
+  w.begin_object();
+  m.append_state(w, "monitor");
+  w.end_object();
+
+  HealthMonitor restored(cfg);
+  restored.restore_state(*obs::parse_json(w.str()).find("monitor"));
+  EXPECT_DOUBLE_EQ(restored.ewma_queue(), m.ewma_queue());
+  EXPECT_DOUBLE_EQ(restored.ewma_think_ms(), m.ewma_think_ms());
+  EXPECT_DOUBLE_EQ(restored.ewma_budget(), m.ewma_budget());
+  EXPECT_EQ(restored.overrun_streak(), 2);
+}
+
+TEST(HealthMonitor, RejectsBadConfig) {
+  HealthConfig bad;
+  bad.alpha = 0.0;
+  EXPECT_THROW(HealthMonitor{bad}, Error);
+  bad = {};
+  bad.recovery_fraction = 1.5;
+  EXPECT_THROW(HealthMonitor{bad}, Error);
+}
+
+// ---------------------------------------------------------------------------
+// Threshold parser
+
+TEST(GovernorThresholds, EmptySpecYieldsDefaults) {
+  const GovernorConfig cfg = resilience::parse_governor_thresholds("");
+  EXPECT_EQ(cfg.trip_decisions, 3);
+  EXPECT_EQ(cfg.probe_after, 25);
+  EXPECT_DOUBLE_EQ(cfg.health.think_ms_high, 250.0);
+  EXPECT_EQ(cfg.health.overrun_streak_high, 3);
+}
+
+TEST(GovernorThresholds, ParsesEveryKeyAndEchoesCanonically) {
+  const std::string spec =
+      "queue=20,think-ms=0,overrun=0,budget=0.8,alpha=0.5,recover=0.25,"
+      "trip=2,probe=10,promote=3,reduce=0.1,level=1";
+  const GovernorConfig cfg = resilience::parse_governor_thresholds(spec);
+  EXPECT_DOUBLE_EQ(cfg.health.queue_high, 20.0);
+  EXPECT_DOUBLE_EQ(cfg.health.budget_fraction_high, 0.8);
+  EXPECT_EQ(cfg.trip_decisions, 2);
+  EXPECT_EQ(cfg.promote_probes, 3);
+  EXPECT_EQ(cfg.initial_level, 1);
+  EXPECT_EQ(cfg.spec(), spec);  // the echo is the canonical spelling
+}
+
+TEST(GovernorThresholds, RejectsUnknownKeysAndBadValues) {
+  EXPECT_THROW(resilience::parse_governor_thresholds("turbo=1"), Error);
+  EXPECT_THROW(resilience::parse_governor_thresholds("queue"), Error);
+  EXPECT_THROW(resilience::parse_governor_thresholds("trip=zero"), Error);
+  EXPECT_THROW(resilience::parse_governor_thresholds("trip=0"), Error);
+  EXPECT_THROW(resilience::parse_governor_thresholds("reduce=0"), Error);
+  EXPECT_THROW(resilience::parse_governor_thresholds("level=4"), Error);
+}
+
+// ---------------------------------------------------------------------------
+// Governor ladder walk (driven verdict sequences)
+
+GovernorConfig breaker(int trip, int probe, int promote) {
+  GovernorConfig cfg;
+  cfg.health = {};  // irrelevant here: verdicts are fed directly
+  cfg.trip_decisions = trip;
+  cfg.probe_after = probe;
+  cfg.promote_probes = promote;
+  return cfg;
+}
+
+/// One plan/report cycle; returns the level the decision ran at.
+GovLevel step(Governor& g, HealthVerdict v) {
+  const Governor::Plan plan = g.plan();
+  g.report(v);
+  return plan.level;
+}
+
+TEST(Governor, TripsOnlyAfterConsecutiveOverloads) {
+  Governor g(breaker(/*trip=*/3, 25, 2));
+  step(g, HealthVerdict::Overloaded);
+  step(g, HealthVerdict::Overloaded);
+  step(g, HealthVerdict::Neutral);  // streak broken
+  step(g, HealthVerdict::Overloaded);
+  step(g, HealthVerdict::Overloaded);
+  EXPECT_EQ(g.level(), GovLevel::Full);
+  step(g, HealthVerdict::Overloaded);  // third consecutive
+  EXPECT_EQ(g.level(), GovLevel::Reduced);
+  const auto transitions = g.take_transitions();
+  ASSERT_EQ(transitions.size(), 1u);
+  EXPECT_EQ(transitions[0].kind, "degrade");
+  EXPECT_EQ(transitions[0].from, 0);
+  EXPECT_EQ(transitions[0].to, 1);
+}
+
+TEST(Governor, NeverRecoversInsideTheProbeWindow) {
+  // A degrade is never immediately undone: even a string of Recovered
+  // verdicts shorter than probe_after leaves the level alone (monotone
+  // within the window — no A->B->A flap).
+  Governor g(breaker(/*trip=*/1, /*probe=*/5, /*promote=*/1));
+  step(g, HealthVerdict::Overloaded);
+  ASSERT_EQ(g.level(), GovLevel::Reduced);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(step(g, HealthVerdict::Recovered), GovLevel::Reduced);
+    EXPECT_EQ(g.level(), GovLevel::Reduced);
+  }
+  // 5th calm decision earns the half-open probe; its success recovers.
+  EXPECT_EQ(step(g, HealthVerdict::Recovered), GovLevel::Reduced);
+  EXPECT_EQ(step(g, HealthVerdict::Recovered), GovLevel::Full);  // the probe
+  EXPECT_EQ(g.level(), GovLevel::Full);
+}
+
+TEST(Governor, FailedProbeFallsBackAndRestartsTheCalmWindow) {
+  Governor g(breaker(/*trip=*/1, /*probe=*/2, /*promote=*/1));
+  step(g, HealthVerdict::Overloaded);
+  step(g, HealthVerdict::Recovered);
+  step(g, HealthVerdict::Recovered);
+  g.take_transitions();
+  // Probe runs at Full but comes back Overloaded: stay at Reduced.
+  EXPECT_EQ(step(g, HealthVerdict::Overloaded), GovLevel::Full);
+  EXPECT_EQ(g.level(), GovLevel::Reduced);
+  const auto transitions = g.take_transitions();
+  ASSERT_EQ(transitions.size(), 2u);
+  EXPECT_EQ(transitions[0].kind, "probe");
+  EXPECT_EQ(transitions[1].kind, "probe_fail");
+  // The calm window restarts: the very next decision must not probe.
+  EXPECT_EQ(step(g, HealthVerdict::Recovered), GovLevel::Reduced);
+}
+
+TEST(Governor, PromotionNeedsConsecutiveSuccessfulProbes) {
+  Governor g(breaker(/*trip=*/1, /*probe=*/2, /*promote=*/2));
+  step(g, HealthVerdict::Overloaded);
+  step(g, HealthVerdict::Recovered);
+  step(g, HealthVerdict::Recovered);
+  // First probe succeeds but promote=2: still Reduced, next decision is
+  // the second (consecutive) probe, whose success recovers.
+  EXPECT_EQ(step(g, HealthVerdict::Recovered), GovLevel::Full);
+  EXPECT_EQ(g.level(), GovLevel::Reduced);
+  EXPECT_EQ(step(g, HealthVerdict::Recovered), GovLevel::Full);
+  EXPECT_EQ(g.level(), GovLevel::Full);
+}
+
+TEST(Governor, LadderBottomsOutAtFallback) {
+  Governor g(breaker(/*trip=*/1, 25, 1));
+  for (int i = 0; i < 10; ++i) step(g, HealthVerdict::Overloaded);
+  EXPECT_EQ(g.level(), GovLevel::Fallback);  // clamped, no overflow
+}
+
+TEST(Governor, InitialLevelIsAFloor) {
+  GovernorConfig cfg = breaker(/*trip=*/1, /*probe=*/1, /*promote=*/1);
+  cfg.initial_level = 3;
+  Governor g(cfg);
+  for (int i = 0; i < 20; ++i)
+    EXPECT_EQ(step(g, HealthVerdict::Recovered), GovLevel::Fallback);
+  EXPECT_TRUE(g.take_transitions().empty());  // pinned: no probes, ever
+}
+
+TEST(Governor, StateRoundTripsThroughJson) {
+  Governor g(breaker(/*trip=*/3, /*probe=*/4, /*promote=*/2));
+  step(g, HealthVerdict::Overloaded);
+  step(g, HealthVerdict::Overloaded);
+  step(g, HealthVerdict::Overloaded);
+  step(g, HealthVerdict::Recovered);
+  step(g, HealthVerdict::Recovered);
+  g.take_transitions();
+
+  obs::JsonWriter w;
+  w.begin_object();
+  g.append_state(w, "governor");
+  w.end_object();
+
+  Governor restored(breaker(3, 4, 2));
+  restored.restore_state(*obs::parse_json(w.str()).find("governor"));
+  EXPECT_EQ(restored.level(), g.level());
+  // The clone must continue identically: both reach calm_streak = 4 two
+  // decisions later, so both probe on the third (plan() precedes report(),
+  // so the probe fires on the decision after the streak hits probe_after).
+  for (Governor* ptr : {&g, &restored}) {
+    step(*ptr, HealthVerdict::Recovered);
+    EXPECT_TRUE(ptr->take_transitions().empty());
+    step(*ptr, HealthVerdict::Recovered);
+    EXPECT_TRUE(ptr->take_transitions().empty());
+    step(*ptr, HealthVerdict::Recovered);
+    const auto t = ptr->take_transitions();
+    ASSERT_EQ(t.size(), 1u);
+    EXPECT_EQ(t[0].kind, "probe");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// GovernedScheduler
+
+/// Queue-depth-only monitor with alpha=1: the ladder depends only on the
+/// simulated queue, never on wall clock — fully deterministic.
+GovernorConfig deterministic_governor(double queue_high, int trip, int probe,
+                                      int promote) {
+  GovernorConfig cfg;
+  cfg.health = {};
+  cfg.health.alpha = 1.0;
+  cfg.health.queue_high = queue_high;
+  cfg.trip_decisions = trip;
+  cfg.probe_after = probe;
+  cfg.promote_probes = promote;
+  return cfg;
+}
+
+TEST(GovernedScheduler, PinnedFallbackReproducesPlainLxfBackfillExactly) {
+  const Trace trace =
+      read_swf_file(std::string(SBS_TEST_DATA_DIR) + "/golden_mini.swf");
+
+  BackfillConfig bf;
+  bf.priority = PriorityKind::Lxf;
+  BackfillScheduler plain(bf);
+  const SimResult expected = simulate(trace, plain);
+
+  GovernorConfig gov = deterministic_governor(4.0, 1, 2, 1);
+  gov.initial_level = 3;  // pinned at the bottom rung for the whole run
+  SearchSchedulerConfig base;
+  base.search.node_limit = 300;
+  GovernedScheduler governed(base, gov);
+  const SimResult actual = simulate(trace, governed);
+
+  ASSERT_EQ(actual.outcomes.size(), expected.outcomes.size());
+  for (std::size_t i = 0; i < expected.outcomes.size(); ++i) {
+    SCOPED_TRACE("job " + std::to_string(expected.outcomes[i].job.id));
+    EXPECT_EQ(actual.outcomes[i].start, expected.outcomes[i].start);
+    EXPECT_EQ(actual.outcomes[i].end, expected.outcomes[i].end);
+  }
+  EXPECT_EQ(governed.level(), GovLevel::Fallback);
+}
+
+TEST(GovernedScheduler, MergesStatsAcrossRungsAndNames) {
+  SearchSchedulerConfig base;
+  base.search.node_limit = 100;
+  GovernedScheduler gov(base, deterministic_governor(1e9, 3, 25, 2));
+  EXPECT_EQ(gov.name(), "gov(DDS/lxf/dynB)");
+
+  const Trace trace = trace_of({job(0, 0, 2, 100), job(1, 0, 2, 100),
+                                job(2, 10, 2, 100)},
+                               /*capacity=*/4);
+  const SimResult result = simulate(trace, gov);
+  EXPECT_EQ(result.outcomes.size(), 3u);
+  EXPECT_EQ(gov.stats().decisions, result.sched_stats.decisions);
+  EXPECT_GT(gov.stats().nodes_visited, 0u);
+}
+
+TEST(GovernedScheduler, FactoryWiresGovernorAndRejectsNonSearchSpecs) {
+  const GovernorConfig gov = deterministic_governor(10.0, 2, 5, 1);
+  const auto governed = make_policy("DDS/lxf/dynB", 500, -1.0, 0, true, false,
+                                    &gov);
+  EXPECT_EQ(governed->name(), "gov(DDS/lxf/dynB)");
+  EXPECT_THROW(
+      make_policy("LXF-BF", 500, -1.0, 0, true, false, &gov), Error);
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end hysteresis: overload burst, then drain. With capacity equal to
+// every job's width the machine serializes the queue, so the queue depth at
+// decision k is exactly 12 - k: two Overloaded decisions (12, 11) trip the
+// breaker once, the drain from 10 down crosses the hysteresis band, and
+// the calm streak earns exactly one successful probe. The run must show
+// degrade / probe / recover EXACTLY once each.
+
+struct GovernorEvent {
+  Time t = 0;
+  std::string kind;
+  int from = 0;
+  int to = 0;
+};
+
+std::vector<GovernorEvent> run_overload_recovery(const std::string& path) {
+  std::vector<Job> jobs;
+  for (int i = 0; i < 12; ++i) jobs.push_back(job(i, 0, 4, 100));
+  const Trace trace = trace_of(std::move(jobs), /*capacity=*/4);
+
+  // Thresholds: high 10, low 5 (recover=0.5), trip 2, probe after 3 calm
+  // decisions, one successful probe promotes.
+  GovernorConfig gov = deterministic_governor(10.0, 2, 3, 1);
+  SearchSchedulerConfig base;
+  base.search.node_limit = 200;
+  GovernedScheduler scheduler(base, gov);
+
+  {
+    obs::Telemetry telemetry(std::make_unique<obs::JsonlSink>(path));
+    SimConfig sim;
+    sim.telemetry = &telemetry;
+    simulate(trace, scheduler, sim);
+  }
+
+  std::vector<GovernorEvent> events;
+  std::ifstream in(path);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    const obs::JsonValue v = obs::parse_json(line);
+    if (const obs::JsonValue* type = v.find("type");
+        type == nullptr || type->as_string() != "governor")
+      continue;
+    GovernorEvent e;
+    e.t = v.find("t")->as_int();
+    e.kind = v.find("kind")->as_string();
+    e.from = static_cast<int>(v.find("from")->as_int());
+    e.to = static_cast<int>(v.find("to")->as_int());
+    events.push_back(e);
+  }
+  return events;
+}
+
+TEST(GovernedScheduler, OverloadThenIdleWalksTheLadderExactlyOnce) {
+  const std::string path =
+      testing::TempDir() + "/sbs_governor_hysteresis.jsonl";
+  const std::vector<GovernorEvent> events = run_overload_recovery(path);
+
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].kind, "degrade");
+  EXPECT_EQ(events[0].from, 0);
+  EXPECT_EQ(events[0].to, 1);
+  EXPECT_EQ(events[1].kind, "probe");
+  EXPECT_EQ(events[1].from, 1);
+  EXPECT_EQ(events[1].to, 0);
+  EXPECT_EQ(events[2].kind, "recover");
+  EXPECT_EQ(events[2].from, 1);
+  EXPECT_EQ(events[2].to, 0);
+  EXPECT_LT(events[0].t, events[1].t);  // enter-ladder before the probe
+
+  // The report layer tallies the same story.
+  const obs::TelemetrySummary summary = obs::read_telemetry(path);
+  ASSERT_EQ(summary.runs.size(), 1u);
+  const obs::RunReport& run = summary.runs[0];
+  EXPECT_EQ(run.gov_degrades, 1u);
+  EXPECT_EQ(run.gov_probes, 1u);
+  EXPECT_EQ(run.gov_probe_failures, 0u);
+  EXPECT_EQ(run.gov_recoveries, 1u);
+  EXPECT_EQ(run.gov_final_level, 0);
+  EXPECT_EQ(run.gov_max_level, 1);
+  std::remove(path.c_str());
+}
+
+// Golden governor trace: the transition sequence (time, kind, from, to) of
+// the overload-recovery run is pinned to a committed CSV. Regenerate after
+// an INTENDED ladder change with SBS_REGEN_GOLDEN=1, review, commit.
+TEST(GovernedScheduler, TransitionSequenceMatchesGoldenCsv) {
+  const std::string jsonl =
+      testing::TempDir() + "/sbs_governor_golden.jsonl";
+  const std::vector<GovernorEvent> events = run_overload_recovery(jsonl);
+  std::remove(jsonl.c_str());
+
+  std::vector<std::string> actual;
+  for (const GovernorEvent& e : events) {
+    std::ostringstream row;
+    row << e.t << ',' << e.kind << ',' << e.from << ',' << e.to;
+    actual.push_back(row.str());
+  }
+
+  const std::string path =
+      std::string(SBS_TEST_DATA_DIR) + "/golden_governor_overload.csv";
+  if (std::getenv("SBS_REGEN_GOLDEN") != nullptr) {
+    std::ofstream out(path);
+    ASSERT_TRUE(out) << "cannot write " << path;
+    out << "t,kind,from,to\n";
+    for (const std::string& row : actual) out << row << '\n';
+    GTEST_SKIP() << "regenerated " << path;
+  }
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in) << "missing golden file " << path
+                  << " — run with SBS_REGEN_GOLDEN=1 to create it";
+  std::string line;
+  std::getline(in, line);  // header
+  std::vector<std::string> expected;
+  while (std::getline(in, line))
+    if (!line.empty()) expected.push_back(line);
+  ASSERT_EQ(expected.size(), actual.size());
+  for (std::size_t i = 0; i < expected.size(); ++i)
+    EXPECT_EQ(actual[i], expected[i]) << "transition " << i;
+}
+
+}  // namespace
+}  // namespace sbs

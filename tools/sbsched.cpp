@@ -13,13 +13,20 @@
 //            [--faults=mtbf:86400,mttr:3600,seed:7[,block:2-8][,killmtbf:N]]
 //            [--requeue=resubmit|drop] [--search-deadline-ms=50]
 //            [--search-threads=4] [--search-cache=on|off]
-//            [--warm-start=on|off] [--telemetry=run.jsonl] [--metrics]
+//            [--warm-start=on|off] [--governor=on|off]
+//            [--governor-thresholds=queue=20,trip=3,...]
+//            [--checkpoint=run.ckpt --checkpoint-every=N] [--resume=run.ckpt]
+//            [--outcomes=jobs.csv] [--telemetry=run.jsonl]
+//            [--telemetry-fsync=N] [--telemetry-rotate-mb=N] [--metrics]
 //       Run one policy and report every aggregate measure; optionally the
 //       per-class wait grid, a utilization/queue timeline CSV, seeded
 //       fault injection, a wall-clock search deadline, a parallel search
 //       worker count (identical schedules at any count), the incremental
-//       search engine escape hatch, cross-event warm starts, a
-//       decision-level JSONL event stream and the metrics-registry tables.
+//       search engine escape hatch, cross-event warm starts, the overload
+//       governor (graceful search degradation), periodic crash-safe
+//       checkpoints with bit-identical --resume, a per-job outcome CSV, a
+//       decision-level JSONL event stream with durability knobs, and the
+//       metrics-registry tables.
 //
 //   sbsched compare --trace=month.swf [--policies=FCFS-BF,LXF-BF,DDS/lxf/dynB]
 //            [--nodes=1000] [--rstar=...] [--load=0.9] [--faults=...]
@@ -33,8 +40,11 @@
 //       aggregates, decision histograms and the anytime-improvement
 //       profile.
 
+#include <atomic>
+#include <csignal>
 #include <iostream>
 #include <memory>
+#include <optional>
 
 #include "exp/policy_factory.hpp"
 #include "exp/runner.hpp"
@@ -44,6 +54,9 @@
 #include "metrics/trace_mix.hpp"
 #include "obs/report.hpp"
 #include "obs/telemetry.hpp"
+#include "obs/trace_sink.hpp"
+#include "resilience/checkpoint.hpp"
+#include "resilience/governor.hpp"
 #include "util/cli.hpp"
 #include "util/csv.hpp"
 #include "util/error.hpp"
@@ -52,6 +65,18 @@
 
 namespace sbs::cli {
 namespace {
+
+/// Set by SIGINT/SIGTERM and polled by the simulator between events, so an
+/// interrupted run flushes its telemetry, leaves the newest checkpoint
+/// intact and exits through the normal (atexit-flushing) path.
+std::atomic<bool> g_interrupted{false};
+
+void handle_interrupt(int) { g_interrupted.store(true); }
+
+void install_signal_handlers() {
+  std::signal(SIGINT, handle_interrupt);
+  std::signal(SIGTERM, handle_interrupt);
+}
 
 int usage() {
   std::cerr <<
@@ -71,8 +96,12 @@ int usage() {
       "[,killmtbf:N]]\n"
       "            [--requeue=resubmit|drop] [--search-deadline-ms=50]\n"
       "            [--search-threads=4] [--search-cache=on|off]\n"
-      "            [--warm-start=on|off]\n"
-      "            [--telemetry=run.jsonl] [--metrics]\n"
+      "            [--warm-start=on|off] [--governor=on|off]\n"
+      "            [--governor-thresholds=queue=20,trip=3,...]\n"
+      "            [--checkpoint=run.ckpt --checkpoint-every=N]\n"
+      "            [--resume=run.ckpt] [--outcomes=jobs.csv]\n"
+      "            [--telemetry=run.jsonl] [--telemetry-fsync=N]\n"
+      "            [--telemetry-rotate-mb=N] [--metrics]\n"
       "      Run one policy and report every aggregate measure. --faults\n"
       "      injects seeded node failures/repairs, --requeue picks the fate\n"
       "      of killed jobs, --search-deadline-ms bounds each decision's\n"
@@ -83,9 +112,19 @@ int usage() {
       "      way, off is only slower). --warm-start=on seeds each search\n"
       "      with the previous decision's best path (never worse under the\n"
       "      same budget; default off preserves the paper's re-plan-from-\n"
-      "      scratch semantics). --telemetry streams one JSONL record per\n"
-      "      decision and job lifecycle event; --metrics prints the counter\n"
-      "      and histogram tables.\n"
+      "      scratch semantics). --governor=on wraps the search policy in\n"
+      "      the overload governor: a circuit breaker that degrades\n"
+      "      full search -> reduced budget -> heuristic-only -> LXF\n"
+      "      backfill under overload and recovers through half-open\n"
+      "      probes (--governor-thresholds tunes it; see DESIGN.md).\n"
+      "      --checkpoint + --checkpoint-every=N atomically rewrite a\n"
+      "      versioned snapshot every N events; --resume continues from it\n"
+      "      bit-identically (same trace and flags required; SIGINT/SIGTERM\n"
+      "      stop cleanly at the next event). --outcomes writes the per-job\n"
+      "      CSV. --telemetry streams one JSONL record per decision and job\n"
+      "      lifecycle event (--telemetry-fsync=N fsyncs every N lines,\n"
+      "      --telemetry-rotate-mb=N rotates segments); --metrics prints\n"
+      "      the counter and histogram tables.\n"
       "\n"
       "  compare   --trace=month.swf [--policies=FCFS-BF,LXF-BF,DDS/lxf/dynB]\n"
       "            [--nodes=1000] [--rstar=...] [--load=0.9] [--faults=...]\n"
@@ -97,18 +136,31 @@ int usage() {
       "\n"
       "  report    --telemetry=run.jsonl\n"
       "      Summarize a telemetry stream: per-run aggregates, decision\n"
-      "      histograms and the anytime-improvement profile.\n";
+      "      histograms, the anytime-improvement profile, governor breaker\n"
+      "      activity and run provenance. Reads rotated segments; a torn\n"
+      "      final line (crash mid-write) is skipped with a warning.\n";
   return 2;
 }
 
-/// Builds the telemetry front end from --telemetry/--metrics. Returns null
-/// when neither flag is given, so the simulator hot path stays untouched.
-std::unique_ptr<obs::Telemetry> make_telemetry(const CliArgs& args) {
+/// Builds the telemetry front end from --telemetry/--metrics and the
+/// durability knobs. Returns null when neither flag is given, so the
+/// simulator hot path stays untouched. A resumed run appends to the
+/// existing stream instead of truncating it.
+std::unique_ptr<obs::Telemetry> make_telemetry(const CliArgs& args,
+                                               bool append = false) {
   const std::string path = args.get("telemetry", "");
   const bool metrics = args.get_bool("metrics", false);
   if (path.empty() && !metrics) return nullptr;
   std::unique_ptr<obs::TraceSink> sink;
-  if (!path.empty()) sink = std::make_unique<obs::JsonlSink>(path);
+  if (!path.empty()) {
+    obs::JsonlSinkOptions options;
+    options.fsync_every_lines =
+        static_cast<std::size_t>(args.get_int("telemetry-fsync", 0));
+    options.rotate_bytes = static_cast<std::size_t>(
+        args.get_int("telemetry-rotate-mb", 0) * 1024 * 1024);
+    options.append = append;
+    sink = std::make_unique<obs::JsonlSink>(path, options);
+  }
   return std::make_unique<obs::Telemetry>(std::move(sink));
 }
 
@@ -140,20 +192,23 @@ Trace load_trace(const CliArgs& args, SwfReadStats* stats = nullptr) {
 
 /// Builds the fault schedule from --faults/--requeue and wires it into the
 /// sim config. The injector must outlive the simulation, hence the
-/// caller-owned storage.
-void apply_fault_flags(const CliArgs& args, const Trace& trace, SimConfig& sim,
-                       std::unique_ptr<FaultInjector>& injector) {
+/// caller-owned storage. Returns the resolved fault seed (the only RNG the
+/// simulator has) so runs can echo it into telemetry and metrics.
+std::optional<std::uint64_t> apply_fault_flags(
+    const CliArgs& args, const Trace& trace, SimConfig& sim,
+    std::unique_ptr<FaultInjector>& injector) {
   const std::string requeue = args.get("requeue", "resubmit");
   if (requeue == "drop") sim.requeue = RequeuePolicy::Drop;
   else if (requeue != "resubmit")
     throw Error("--requeue must be resubmit or drop");
 
   const std::string spec = args.get("faults", "");
-  if (spec.empty()) return;
+  if (spec.empty()) return std::nullopt;
   const FaultSpec fs = parse_fault_spec(spec);
   injector = std::make_unique<FaultInjector>(FaultInjector::from_spec(
       fs, trace.window_begin, trace.window_end, trace.capacity));
   sim.faults = injector.get();
+  return fs.seed;
 }
 
 /// Parses an on|off flag shared by --search-cache and --warm-start.
@@ -163,6 +218,18 @@ bool on_off_flag(const CliArgs& args, const std::string& key,
   if (v == "on") return true;
   if (v == "off") return false;
   throw Error("--" + key + " must be on or off");
+}
+
+/// Parses --governor/--governor-thresholds. nullopt = governor off.
+std::optional<resilience::GovernorConfig> governor_flags(const CliArgs& args) {
+  const bool on = on_off_flag(args, "governor", false);
+  const std::string spec = args.get("governor-thresholds", "");
+  if (!on) {
+    if (!spec.empty())
+      throw Error("--governor-thresholds requires --governor=on");
+    return std::nullopt;
+  }
+  return resilience::parse_governor_thresholds(spec);
 }
 
 SimConfig sim_config(const CliArgs& args,
@@ -244,14 +311,16 @@ int cmd_simulate(int argc, char** argv) {
                {"trace", "procs-per-node", "policy", "nodes", "rstar",
                 "load", "classes", "timeline", "faults", "requeue",
                 "search-deadline-ms", "search-threads", "search-cache",
-                "warm-start", "telemetry", "metrics"});
+                "warm-start", "governor", "governor-thresholds",
+                "checkpoint", "checkpoint-every", "resume", "outcomes",
+                "telemetry", "telemetry-fsync", "telemetry-rotate-mb",
+                "metrics"});
   const Trace trace = load_trace(args);
   std::unique_ptr<RuntimePredictor> predictor;
   SimConfig sim = sim_config(args, predictor);
   std::unique_ptr<FaultInjector> injector;
-  apply_fault_flags(args, trace, sim, injector);
-  const std::unique_ptr<obs::Telemetry> telemetry = make_telemetry(args);
-  sim.telemetry = telemetry.get();
+  const std::optional<std::uint64_t> seed =
+      apply_fault_flags(args, trace, sim, injector);
   const std::string spec = args.get("policy", "DDS/lxf/dynB");
   const auto L = static_cast<std::size_t>(args.get_int("nodes", 1000));
   const double deadline_ms =
@@ -260,17 +329,108 @@ int cmd_simulate(int argc, char** argv) {
       static_cast<std::size_t>(args.get_int("search-threads", 0));
   const bool cache = on_off_flag(args, "search-cache", true);
   const bool warm = on_off_flag(args, "warm-start", false);
+  const std::optional<resilience::GovernorConfig> governor =
+      governor_flags(args);
+
+  const std::string ckpt_path = args.get("checkpoint", "");
+  const auto ckpt_every =
+      static_cast<std::uint64_t>(args.get_int("checkpoint-every", 0));
+  const std::string resume_path = args.get("resume", "");
+  if (ckpt_path.empty() != (ckpt_every == 0))
+    throw Error("--checkpoint and --checkpoint-every must be given together");
+  if ((!ckpt_path.empty() || !resume_path.empty()) && sim.predictor != nullptr)
+    throw Error("--rstar=predicted cannot be checkpointed or resumed: the "
+                "predictor learns online and its state is not snapshotted");
+
+  // The resolved configuration that must match between the checkpointing
+  // run and the resuming run for bit-identity; echoed into every
+  // checkpoint and cross-checked by --resume.
+  const std::vector<std::pair<std::string, std::string>> cli_echo = {
+      {"policy", spec},
+      {"nodes", std::to_string(L)},
+      {"rstar", args.get("rstar", "actual")},
+      {"load", args.get("load", "")},
+      {"faults", args.get("faults", "")},
+      {"requeue", args.get("requeue", "resubmit")},
+      {"search-threads", std::to_string(threads)},
+      {"search-cache", cache ? "on" : "off"},
+      {"warm-start", warm ? "on" : "off"},
+      {"governor", governor ? "on" : "off"},
+      {"governor-thresholds", governor ? governor->spec() : ""},
+  };
+
+  resilience::CheckpointData resume_data;
+  std::string parent_id;
+  if (!resume_path.empty()) {
+    resume_data = resilience::read_checkpoint(resume_path);
+    parent_id = resume_data.id;
+    for (const auto& [key, stored] : resume_data.cli)
+      for (const auto& [ours_key, ours] : cli_echo)
+        if (key == ours_key && stored != ours)
+          throw Error("--resume configuration mismatch: checkpoint has --" +
+                      key + "=" + stored + ", this run has --" + key + "=" +
+                      ours);
+    sim.resume = &resume_data.snapshot;
+    std::cout << "resuming from " << resume_path << " (" << resume_data.id
+              << ", event " << resume_data.snapshot.events << ", t="
+              << resume_data.snapshot.now << "s)\n";
+  }
+  if (!ckpt_path.empty()) {
+    sim.checkpoint_every = ckpt_every;
+    sim.checkpoint_sink = [&](const sim::SimSnapshot& snap) {
+      resilience::CheckpointData data;
+      data.id = resilience::checkpoint_id(snap.events);
+      data.parent = parent_id;
+      data.cli = cli_echo;
+      data.snapshot = snap;
+      resilience::write_checkpoint(ckpt_path, data);
+    };
+  }
+
+  install_signal_handlers();
+  sim.interrupt = &g_interrupted;
+
+  const std::unique_ptr<obs::Telemetry> telemetry =
+      make_telemetry(args, /*append=*/!resume_path.empty());
+  sim.telemetry = telemetry.get();
+  if (telemetry) {
+    obs::RunContext context;
+    if (seed) {
+      context.has_seed = true;
+      context.seed = *seed;
+    }
+    if (governor) context.governor = governor->spec();
+    context.checkpoint_parent = parent_id;
+    context.resumed = !resume_path.empty();
+    telemetry->set_context(context);
+  }
 
   // Thresholds always come from the fault-free FCFS-backfill run, so the
   // excessive-wait measures quantify degradation against a healthy machine.
   // That internal run stays out of the telemetry stream, which records only
-  // the requested policy.
+  // the requested policy. On --resume it is simply re-run: it is
+  // deterministic, so the thresholds are identical to the original run's.
   SimConfig healthy = sim;
   healthy.faults = nullptr;
   healthy.telemetry = nullptr;
-  const Thresholds th = fcfs_thresholds(trace, healthy);
-  const MonthEval eval = evaluate_spec(trace, spec, L, th, sim, true,
-                                       deadline_ms, threads, cache, warm);
+  healthy.resume = nullptr;
+  healthy.checkpoint_every = 0;
+  healthy.checkpoint_sink = nullptr;
+  MonthEval eval;
+  try {
+    const Thresholds th = fcfs_thresholds(trace, healthy);
+    eval = evaluate_spec(trace, spec, L, th, sim, true, deadline_ms, threads,
+                         cache, warm, governor ? &*governor : nullptr);
+  } catch (const Error& e) {
+    if (g_interrupted.load()) {
+      std::cerr << "interrupted: " << e.what() << '\n';
+      if (!ckpt_path.empty())
+        std::cerr << "resume with: sbsched simulate --resume=" << ckpt_path
+                  << " <same flags>\n";
+      return 130;
+    }
+    throw;
+  }
 
   std::cout << "policy: " << eval.policy << "\njobs: " << eval.summary.jobs
             << '\n';
@@ -325,6 +485,17 @@ int cmd_simulate(int argc, char** argv) {
 
   finish_telemetry(args, telemetry.get());
 
+  if (const std::string path = args.get("outcomes", ""); !path.empty()) {
+    CsvWriter csv(path, {"job_id", "start_s", "end_s", "requeues",
+                         "lost_node_s", "completed"});
+    for (const auto& o : eval.outcomes)
+      csv.write_row({std::to_string(o.job.id), std::to_string(o.start),
+                     std::to_string(o.end), std::to_string(o.requeue_count),
+                     std::to_string(o.lost_node_seconds),
+                     o.completed ? "1" : "0"});
+    std::cout << "\nwrote outcomes to " << path << '\n';
+  }
+
   if (const std::string path = args.get("timeline", ""); !path.empty()) {
     CsvWriter csv(path, {"time_s", "busy_nodes", "queued_jobs"});
     const auto util = utilization_timeline(eval.outcomes);
@@ -347,15 +518,28 @@ int cmd_compare(int argc, char** argv) {
   CliArgs args(argc, argv,
                {"trace", "procs-per-node", "policies", "nodes", "rstar",
                 "load", "faults", "requeue", "search-deadline-ms",
-                "search-threads", "search-cache", "warm-start", "telemetry",
-                "metrics"});
+                "search-threads", "search-cache", "warm-start", "governor",
+                "governor-thresholds", "telemetry", "telemetry-fsync",
+                "telemetry-rotate-mb", "metrics"});
   const Trace trace = load_trace(args);
   std::unique_ptr<RuntimePredictor> predictor;
   SimConfig sim = sim_config(args, predictor);
   std::unique_ptr<FaultInjector> injector;
-  apply_fault_flags(args, trace, sim, injector);
+  const std::optional<std::uint64_t> seed =
+      apply_fault_flags(args, trace, sim, injector);
+  const std::optional<resilience::GovernorConfig> governor =
+      governor_flags(args);
   const std::unique_ptr<obs::Telemetry> telemetry = make_telemetry(args);
   sim.telemetry = telemetry.get();
+  if (telemetry) {
+    obs::RunContext context;
+    if (seed) {
+      context.has_seed = true;
+      context.seed = *seed;
+    }
+    if (governor) context.governor = governor->spec();
+    telemetry->set_context(context);
+  }
   const auto L = static_cast<std::size_t>(args.get_int("nodes", 1000));
   const double deadline_ms =
       args.get_double("search-deadline-ms", -1.0);
@@ -389,9 +573,9 @@ int cmd_compare(int argc, char** argv) {
       local = std::make_unique<ClassCorrectionPredictor>();
       policy_sim.predictor = local.get();
     }
-    const MonthEval eval = evaluate_spec(trace, spec, L, th, policy_sim,
-                                         false, deadline_ms, threads, cache,
-                                         warm);
+    const MonthEval eval =
+        evaluate_spec(trace, spec, L, th, policy_sim, false, deadline_ms,
+                      threads, cache, warm, governor ? &*governor : nullptr);
     t.row()
         .add(eval.policy)
         .add(eval.summary.avg_wait_h)
@@ -412,8 +596,8 @@ int cmd_report(int argc, char** argv) {
   CliArgs args(argc, argv, {"telemetry"});
   const std::string path = args.get("telemetry", "");
   if (path.empty()) throw Error("--telemetry=<file.jsonl> is required");
-  const std::vector<obs::RunReport> runs = obs::summarize_telemetry(path);
-  obs::print_report(runs, std::cout);
+  const obs::TelemetrySummary summary = obs::read_telemetry(path);
+  obs::print_report(summary, std::cout);
   return 0;
 }
 
