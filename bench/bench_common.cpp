@@ -3,6 +3,11 @@
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <thread>
+
+#ifdef __linux__
+#include <sched.h>
+#endif
 
 #include "util/error.hpp"
 
@@ -59,15 +64,33 @@ std::optional<CsvWriter> csv_for(const BenchOptions& options,
   return CsvWriter(options.csv_dir + "/" + name + ".csv", header);
 }
 
+unsigned affinity_cpus() {
+#ifdef __linux__
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  if (sched_getaffinity(0, sizeof(set), &set) == 0) {
+    const int n = CPU_COUNT(&set);
+    if (n > 0) return static_cast<unsigned>(n);
+  }
+#endif
+  return std::thread::hardware_concurrency();
+}
+
+obs::JsonWriter& append_host_provenance(obs::JsonWriter& doc) {
+  return doc
+      .field("hardware_concurrency",
+             static_cast<std::uint64_t>(std::thread::hardware_concurrency()))
+      .field("affinity_cpus", static_cast<std::uint64_t>(affinity_cpus()));
+}
+
 obs::JsonWriter bench_json_doc(const BenchOptions& options,
                                const std::string& name) {
   obs::JsonWriter doc;
   doc.begin_object()
       .field("bench", name)
       .field("scale", options.scale)
-      .field("seed", options.seed)
-      .key("rows")
-      .begin_array();
+      .field("seed", options.seed);
+  append_host_provenance(doc).key("rows").begin_array();
   return doc;
 }
 

@@ -64,9 +64,22 @@ std::optional<CsvWriter> csv_for(const BenchOptions& options,
 void write_bench_json(const BenchOptions& options, const std::string& name,
                       const obs::JsonWriter& doc);
 
+/// CPUs this process may actually run on (the scheduler affinity mask),
+/// which on pinned CI runners and cgroup-limited containers is smaller
+/// than hardware_concurrency. Falls back to hardware_concurrency where
+/// affinity cannot be queried.
+unsigned affinity_cpus();
+
+/// Appends the host provenance fields ("hardware_concurrency",
+/// "affinity_cpus") to an open JSON object. Every BENCH_*.json carries
+/// them so consumers can tell a real measurement from one taken on a
+/// machine too small to exercise the parallelism under test.
+obs::JsonWriter& append_host_provenance(obs::JsonWriter& doc);
+
 /// Opens the standard BENCH_*.json document: an object with the shared
-/// bench metadata (name, scale, seed) filled in and a "rows" array left
-/// open. Close with end_array().end_object() and pass to write_bench_json.
+/// bench metadata (name, scale, seed, host provenance) filled in and a
+/// "rows" array left open. Close with end_array().end_object() and pass
+/// to write_bench_json.
 obs::JsonWriter bench_json_doc(const BenchOptions& options,
                                const std::string& name);
 

@@ -14,7 +14,9 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <chrono>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -228,8 +230,10 @@ BENCHMARK(BM_Search_Pruning)->Arg(0)->Arg(1)->ArgNames({"prune"});
 // fixed node budget explored repeatedly at each worker count, reported as
 // nodes/sec and speedup over one worker. Emitted as BENCH_search_parallel
 // .json so CI can assert the >= 2x-at-4-threads acceptance bar. The doc
-// records hardware_concurrency — on fewer than 4 physical cores the
-// speedup rows measure only overhead and consumers must not gate on them.
+// carries an explicit scaling_measurable verdict: on fewer than 4 usable
+// cores (hardware or affinity mask) the speedup rows measure only
+// overhead, and consumers must see the skip_reason rather than silently
+// pass.
 void emit_parallel_scaling_json(const sbs::bench::BenchOptions& options) {
   constexpr std::size_t kNodeLimit = 200000;
   constexpr int kReps = 3;
@@ -239,15 +243,21 @@ void emit_parallel_scaling_json(const sbs::bench::BenchOptions& options) {
   cfg.branching = Branching::Lxf;
   cfg.node_limit = kNodeLimit;
 
+  const unsigned usable = std::min(std::thread::hardware_concurrency(),
+                                   sbs::bench::affinity_cpus());
+  const bool measurable = usable >= 4;
+
   obs::JsonWriter doc;
   doc.begin_object()
       .field("bench", "search_parallel")
       .field("scale", options.scale)
-      .field("seed", options.seed)
-      .field("hardware_concurrency",
-             static_cast<std::uint64_t>(std::thread::hardware_concurrency()))
-      .key("rows")
-      .begin_array();
+      .field("seed", options.seed);
+  sbs::bench::append_host_provenance(doc).field("scaling_measurable",
+                                                measurable);
+  if (!measurable)
+    doc.field("skip_reason", "unmeasurable on " + std::to_string(usable) +
+                                 " cores");
+  doc.key("rows").begin_array();
   double base_nodes_per_sec = 0.0;
   for (const std::size_t threads : {std::size_t{1}, std::size_t{2},
                                     std::size_t{4}, std::size_t{8}}) {
@@ -296,7 +306,8 @@ void emit_cache_comparison_json(const sbs::bench::BenchOptions& options) {
   doc.begin_object()
       .field("bench", "search_cache")
       .field("scale", options.scale)
-      .field("seed", options.seed)
+      .field("seed", options.seed);
+  sbs::bench::append_host_provenance(doc)
       .key("rows")
       .begin_array();
   for (const bool arrays : {true, false}) {

@@ -79,6 +79,40 @@ struct RunRecord {
   std::uint64_t jobs = 0;
 };
 
+/// Final accounting record of a `sbsched serve` run, emitted once when the
+/// drain completes. Every counter is the server-side truth the load
+/// generator's client-side tallies reconcile against: admitted must equal
+/// the client's accepted submissions, each rejected_* its rejection class,
+/// completed the jobs the drain finished. Latency quantiles are
+/// nearest-rank over the most recent samples (bounded ring buffers):
+/// request_* covers request handling wall time, think_* the scheduler's
+/// per-decision wall time.
+struct ServiceRecord {
+  Time t = 0;  ///< virtual time at drain completion
+  std::uint64_t requests = 0;
+  std::uint64_t protocol_errors = 0;
+  std::uint64_t timeouts = 0;
+  std::uint64_t connections = 0;
+  std::uint64_t admitted = 0;
+  std::uint64_t rejected_backpressure = 0;
+  std::uint64_t rejected_shed = 0;
+  std::uint64_t rejected_drain = 0;
+  std::uint64_t started = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t decisions = 0;
+  std::uint64_t checkpoints = 0;
+  std::uint64_t request_p50_us = 0;
+  std::uint64_t request_p99_us = 0;
+  std::uint64_t request_p999_us = 0;
+  std::uint64_t think_p50_us = 0;
+  std::uint64_t think_p99_us = 0;
+  std::uint64_t think_p999_us = 0;
+  /// Decisions executed at each governor rung (index = ladder level; all
+  /// at [0] when no governor wraps the policy).
+  std::span<const std::uint64_t> gov_decisions;
+  int shed_floor = 0;  ///< admission shed floor at drain time
+};
+
 /// Provenance echoed into the run record and the metrics JSON so a run is
 /// reproducible from its artifacts alone: the resolved RNG seed, the
 /// governor spec (empty = no governor), and checkpoint lineage (the id of

@@ -188,6 +188,64 @@ void apply_record(RunReport& r, const JsonValue& rec, const std::string& type,
     else if (kind == "node_up") ++r.faults_up;
     else throw Error("telemetry line " + std::to_string(lineno) +
                      ": unknown fault kind " + kind);
+  } else if (type == "admit") {
+    ++r.admits;
+    need(rec, "job", lineno);
+  } else if (type == "reject") {
+    const std::string& reason = need(rec, "reason", lineno).as_string();
+    if (reason == "backpressure") ++r.rejects_backpressure;
+    else if (reason == "shed") ++r.rejects_shed;
+    else if (reason == "draining") ++r.rejects_draining;
+    else throw Error("telemetry line " + std::to_string(lineno) +
+                     ": unknown reject reason " + reason);
+  } else if (type == "drain") {
+    const std::string& phase = need(rec, "phase", lineno).as_string();
+    if (phase == "begin") ++r.drain_begins;
+    else if (phase == "complete") ++r.drain_completes;
+    else throw Error("telemetry line " + std::to_string(lineno) +
+                     ": unknown drain phase " + phase);
+  } else if (type == "service") {
+    r.has_service_record = true;
+    r.svc_requests = need_u64(rec, "requests", lineno);
+    r.svc_protocol_errors = need_u64(rec, "protocol_errors", lineno);
+    r.svc_timeouts = need_u64(rec, "timeouts", lineno);
+    r.svc_connections = need_u64(rec, "connections", lineno);
+    r.svc_started = need_u64(rec, "started", lineno);
+    r.svc_checkpoints = need_u64(rec, "checkpoints", lineno);
+    r.svc_request_p50_us = need_u64(rec, "request_p50_us", lineno);
+    r.svc_request_p99_us = need_u64(rec, "request_p99_us", lineno);
+    r.svc_request_p999_us = need_u64(rec, "request_p999_us", lineno);
+    r.svc_think_p50_us = need_u64(rec, "think_p50_us", lineno);
+    r.svc_think_p99_us = need_u64(rec, "think_p99_us", lineno);
+    r.svc_think_p999_us = need_u64(rec, "think_p999_us", lineno);
+    r.svc_shed_floor = static_cast<int>(need(rec, "shed_floor", lineno).as_int());
+    const JsonValue& gov = need(rec, "gov_decisions", lineno);
+    SBS_CHECK_MSG(gov.is_array(),
+                  "telemetry line " << lineno << ": gov_decisions not an array");
+    r.svc_gov_decisions.clear();
+    for (const JsonValue& n : gov.array)
+      r.svc_gov_decisions.push_back(static_cast<std::uint64_t>(n.as_int()));
+    // The final record is the server's own ledger; the event stream must
+    // agree with it exactly or the stream is not trustworthy evidence.
+    const auto check = [&](std::string_view what, std::uint64_t record,
+                           std::uint64_t tallied) {
+      SBS_CHECK_MSG(record == tallied,
+                    "telemetry line " << lineno << ": service record claims "
+                        << record << " " << what << " but the stream tallies "
+                        << tallied);
+    };
+    check("admitted", need_u64(rec, "admitted", lineno), r.admits);
+    check("backpressure rejections",
+          need_u64(rec, "rejected_backpressure", lineno),
+          r.rejects_backpressure);
+    check("shed rejections", need_u64(rec, "rejected_shed", lineno),
+          r.rejects_shed);
+    check("drain rejections", need_u64(rec, "rejected_drain", lineno),
+          r.rejects_draining);
+    check("completions", need_u64(rec, "completed", lineno), r.finishes);
+    check("starts", r.svc_started, r.starts);
+    check("decisions", need_u64(rec, "decisions", lineno), r.decisions);
+    check("submissions (admit vs submit records)", r.admits, r.submits);
   } else {
     throw Error("telemetry line " + std::to_string(lineno) +
                 ": unknown record type \"" + type + '"');
@@ -197,21 +255,32 @@ void apply_record(RunReport& r, const JsonValue& rec, const std::string& type,
 }  // namespace
 
 TelemetrySummary read_telemetry(const std::string& path) {
+  return read_telemetry_files(JsonlSink::segment_paths(path));
+}
+
+TelemetrySummary read_telemetry_files(const std::vector<std::string>& paths) {
   TelemetrySummary summary;
-  summary.segments = JsonlSink::segment_paths(path);
-  SBS_CHECK_MSG(!summary.segments.empty(),
-                "cannot open telemetry file " << path);
+  summary.segments = paths;
+  SBS_CHECK_MSG(!summary.segments.empty(), "no telemetry files to read");
 
   std::size_t lineno = 0;
+  // A segment ending without a newline whose tail does not parse on its
+  // own: an external rotation cut a record at the boundary. The tail is
+  // prepended to the next segment and the combined line must parse.
+  std::string carry;
   for (std::size_t seg = 0; seg < summary.segments.size(); ++seg) {
     const std::string& seg_path = summary.segments[seg];
     const bool last_segment = seg + 1 == summary.segments.size();
     std::ifstream in(seg_path, std::ios::binary);
     SBS_CHECK_MSG(in.is_open(), "cannot open telemetry file " << seg_path);
-    std::string text((std::istreambuf_iterator<char>(in)),
-                     std::istreambuf_iterator<char>());
+    std::string text = carry;
+    const bool stitching = !carry.empty();
+    carry.clear();
+    text.append((std::istreambuf_iterator<char>(in)),
+                std::istreambuf_iterator<char>());
 
     std::size_t pos = 0;
+    bool first_line = true;
     while (pos < text.size()) {
       const std::size_t nl = text.find('\n', pos);
       const bool terminated = nl != std::string::npos;
@@ -219,6 +288,22 @@ TelemetrySummary read_telemetry(const std::string& path) {
           text.data() + pos, (terminated ? nl : text.size()) - pos);
       pos = terminated ? nl + 1 : text.size();
       ++lineno;
+
+      if (!terminated && !last_segment) {
+        // Dangling tail mid-stream. A tail that parses whole merely lost
+        // its newline to the rotation; anything else must complete in the
+        // next segment's head.
+        try {
+          const JsonValue probe = parse_json(line);
+          if (!probe.is_object()) throw Error("not an object");
+        } catch (const Error&) {
+          carry.assign(line);
+          --lineno;
+          break;
+        }
+      }
+      if (first_line && stitching) ++summary.stitched_records;
+      first_line = false;
 
       // A final line with no trailing newline is the signature of a killed
       // writer: the last buffered write was cut mid-line. If it does not
@@ -266,7 +351,10 @@ TelemetrySummary read_telemetry(const std::string& path) {
       apply_record(summary.runs.back(), rec, type, lineno);
     }
   }
-  SBS_CHECK_MSG(lineno > 0, "telemetry file " << path << " is empty");
+  SBS_CHECK_MSG(carry.empty(), "telemetry stream ends inside a record "
+                "carried past " << summary.segments.back());
+  SBS_CHECK_MSG(lineno > 0, "telemetry file " << summary.segments.front()
+                                              << " is empty");
   return summary;
 }
 
@@ -404,6 +492,65 @@ void print_report(const std::vector<RunReport>& runs, std::ostream& os) {
       }
     }
 
+    // Service-mode section: admission ledger + latency quantiles of a
+    // `sbsched serve` run. The reader already verified the final service
+    // record against the tallied events, so these numbers are reconciled.
+    if (r.admits || r.rejects_backpressure || r.rejects_shed ||
+        r.rejects_draining || r.has_service_record) {
+      os << "\nService admission (reconciled against the final service "
+            "record):\n";
+      Table svc({"measure", "value"});
+      svc.row().add("admitted").add(static_cast<long long>(r.admits));
+      svc.row()
+          .add("rejected: backpressure")
+          .add(static_cast<long long>(r.rejects_backpressure));
+      svc.row()
+          .add("rejected: shed")
+          .add(static_cast<long long>(r.rejects_shed));
+      svc.row()
+          .add("rejected: draining")
+          .add(static_cast<long long>(r.rejects_draining));
+      svc.row()
+          .add("drain begin/complete")
+          .add(std::to_string(r.drain_begins) + "/" +
+               std::to_string(r.drain_completes));
+      if (r.has_service_record) {
+        svc.row()
+            .add("requests (protocol errors)")
+            .add(std::to_string(r.svc_requests) + " (" +
+                 std::to_string(r.svc_protocol_errors) + ")");
+        svc.row()
+            .add("request timeouts")
+            .add(static_cast<long long>(r.svc_timeouts));
+        svc.row()
+            .add("connections")
+            .add(static_cast<long long>(r.svc_connections));
+        svc.row()
+            .add("checkpoints")
+            .add(static_cast<long long>(r.svc_checkpoints));
+        svc.row()
+            .add("request p50/p99/p999 (us)")
+            .add(std::to_string(r.svc_request_p50_us) + "/" +
+                 std::to_string(r.svc_request_p99_us) + "/" +
+                 std::to_string(r.svc_request_p999_us));
+        svc.row()
+            .add("decision p50/p99/p999 (us)")
+            .add(std::to_string(r.svc_think_p50_us) + "/" +
+                 std::to_string(r.svc_think_p99_us) + "/" +
+                 std::to_string(r.svc_think_p999_us));
+        svc.row().add("final shed floor").add(r.svc_shed_floor);
+        std::string occupancy;
+        for (std::size_t i = 0; i < r.svc_gov_decisions.size(); ++i) {
+          if (i > 0) occupancy += "/";
+          occupancy += std::to_string(r.svc_gov_decisions[i]);
+        }
+        svc.row().add("decisions per governor rung").add(occupancy);
+      } else {
+        svc.row().add("final service record").add("MISSING (unclean exit)");
+      }
+      svc.print(os);
+    }
+
     MetricsSnapshot hists;
     hists.histograms = {r.think_us_hist, r.nodes_hist, r.queue_hist,
                         r.max_wait_hist};
@@ -451,6 +598,10 @@ void print_report(const TelemetrySummary& summary, std::ostream& os) {
     os << "Stream spans " << summary.segments.size()
        << " rotated segments (" << summary.segments.front() << " .. "
        << summary.segments.back() << ")\n";
+  if (summary.stitched_records > 0)
+    os << "Stitched " << summary.stitched_records
+       << " record(s) cut across segment boundaries by an external "
+          "rotation\n";
   if (summary.torn_records > 0)
     os << "WARNING: skipped " << summary.torn_records
        << " torn record(s) at the end of the stream (crash artifact; all "

@@ -97,6 +97,34 @@ struct RunReport {
   int gov_max_level = -1;    ///< deepest degradation reached
   /// Ladder level -> decisions the governor ran at that level.
   std::map<int, std::uint64_t> gov_level_decisions;
+
+  // Service-mode accounting ("admit"/"reject"/"drain" events from an
+  // `sbsched serve` run; all zero for offline simulator runs).
+  std::uint64_t admits = 0;
+  std::uint64_t rejects_backpressure = 0;
+  std::uint64_t rejects_shed = 0;
+  std::uint64_t rejects_draining = 0;
+  std::uint64_t drain_begins = 0;
+  std::uint64_t drain_completes = 0;
+  /// The final "service" accounting record, when the run drained cleanly.
+  /// read_telemetry() cross-checks its counters against the tallied
+  /// admit/reject/finish/decision records and throws on any mismatch, so a
+  /// present service record certifies the whole stream reconciles.
+  bool has_service_record = false;
+  std::uint64_t svc_requests = 0;
+  std::uint64_t svc_protocol_errors = 0;
+  std::uint64_t svc_timeouts = 0;
+  std::uint64_t svc_connections = 0;
+  std::uint64_t svc_started = 0;
+  std::uint64_t svc_checkpoints = 0;
+  std::uint64_t svc_request_p50_us = 0;
+  std::uint64_t svc_request_p99_us = 0;
+  std::uint64_t svc_request_p999_us = 0;
+  std::uint64_t svc_think_p50_us = 0;
+  std::uint64_t svc_think_p99_us = 0;
+  std::uint64_t svc_think_p999_us = 0;
+  int svc_shed_floor = 0;
+  std::vector<std::uint64_t> svc_gov_decisions;  ///< rung occupancy
 };
 
 /// Result of reading a (possibly rotated, possibly crash-truncated)
@@ -109,6 +137,11 @@ struct TelemetrySummary {
   /// line that fails to parse is a crash artifact, not corruption — it is
   /// skipped and counted here. Malformed *complete* lines still throw.
   std::uint64_t torn_records = 0;
+  /// Records reassembled across a segment boundary: an external rotation
+  /// (e.g. logrotate copying mid-write) can cut a record between two
+  /// segments; the dangling tail of one segment is stitched to the head of
+  /// the next and the combined line must parse.
+  std::uint64_t stitched_records = 0;
 };
 
 /// Parses a telemetry JSONL stream — `path` plus any rotated segments
@@ -119,6 +152,13 @@ struct TelemetrySummary {
 /// newline, the signature of a killed writer), which is skipped and counted
 /// in TelemetrySummary::torn_records.
 TelemetrySummary read_telemetry(const std::string& path);
+
+/// As read_telemetry(), over an explicit ordered segment list (from a glob
+/// or a comma-separated --telemetry value). The files are treated as one
+/// logical stream in the given order: records may be stitched across
+/// boundaries (stitched_records) and only the very last file may end in a
+/// torn line.
+TelemetrySummary read_telemetry_files(const std::vector<std::string>& paths);
 
 /// Compatibility wrapper around read_telemetry() returning just the runs.
 std::vector<RunReport> summarize_telemetry(const std::string& path);

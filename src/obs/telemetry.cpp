@@ -47,6 +47,12 @@ Telemetry::Telemetry(std::unique_ptr<TraceSink> sink)
   queue_depth_ = &registry_.gauge("sim.queue_depth");
   free_nodes_ = &registry_.gauge("sim.free_nodes");
   capacity_ = &registry_.gauge("sim.capacity");
+  svc_admitted_ = &registry_.counter("service.admitted");
+  svc_rejected_backpressure_ =
+      &registry_.counter("service.rejected.backpressure");
+  svc_rejected_shed_ = &registry_.counter("service.rejected.shed");
+  svc_rejected_drain_ = &registry_.counter("service.rejected.draining");
+  svc_requests_ = &registry_.counter("service.requests");
   think_us_ = &registry_.histogram("search.think_time_us", kThinkUsBounds);
   nodes_per_decision_ =
       &registry_.histogram("search.nodes_per_decision", kNodesBounds);
@@ -54,6 +60,7 @@ Telemetry::Telemetry(std::unique_ptr<TraceSink> sink)
       &registry_.histogram("sim.queue_depth_at_decision", kQueueBounds);
   max_wait_at_decision_ =
       &registry_.histogram("sim.max_wait_h_at_decision", kWaitHBounds);
+  request_us_ = &registry_.histogram("service.request_us", kThinkUsBounds);
 }
 
 void Telemetry::emit() {
@@ -260,6 +267,87 @@ void Telemetry::node_fault(Time t, bool down, int nodes, int capacity_after) {
       .field("capacity", capacity_after)
       .end_object();
   emit();
+}
+
+void Telemetry::job_admitted(Time t, int job, int priority, int queue_depth) {
+  svc_admitted_->add();
+  if (!sink_) return;
+  line_.clear();
+  line_.begin_object()
+      .field("type", "admit")
+      .field("t", static_cast<std::int64_t>(t))
+      .field("job", job)
+      .field("priority", priority)
+      .field("queue_depth", queue_depth)
+      .end_object();
+  emit();
+}
+
+void Telemetry::job_rejected(Time t, std::string_view reason, int priority,
+                             std::int64_t retry_ms) {
+  if (reason == "backpressure") svc_rejected_backpressure_->add();
+  else if (reason == "shed") svc_rejected_shed_->add();
+  else svc_rejected_drain_->add();
+  if (!sink_) return;
+  line_.clear();
+  line_.begin_object()
+      .field("type", "reject")
+      .field("t", static_cast<std::int64_t>(t))
+      .field("reason", reason)
+      .field("priority", priority)
+      .field("retry_ms", retry_ms)
+      .end_object();
+  emit();
+}
+
+void Telemetry::drain_phase(Time t, std::string_view phase,
+                            std::size_t waiting, std::size_t running) {
+  if (!sink_) return;
+  line_.clear();
+  line_.begin_object()
+      .field("type", "drain")
+      .field("t", static_cast<std::int64_t>(t))
+      .field("phase", phase)
+      .field("waiting", static_cast<std::uint64_t>(waiting))
+      .field("running", static_cast<std::uint64_t>(running))
+      .end_object();
+  emit();
+}
+
+void Telemetry::service_run(const ServiceRecord& r) {
+  if (!sink_) return;
+  line_.clear();
+  line_.begin_object()
+      .field("type", "service")
+      .field("t", static_cast<std::int64_t>(r.t))
+      .field("requests", r.requests)
+      .field("protocol_errors", r.protocol_errors)
+      .field("timeouts", r.timeouts)
+      .field("connections", r.connections)
+      .field("admitted", r.admitted)
+      .field("rejected_backpressure", r.rejected_backpressure)
+      .field("rejected_shed", r.rejected_shed)
+      .field("rejected_drain", r.rejected_drain)
+      .field("started", r.started)
+      .field("completed", r.completed)
+      .field("decisions", r.decisions)
+      .field("checkpoints", r.checkpoints)
+      .field("request_p50_us", r.request_p50_us)
+      .field("request_p99_us", r.request_p99_us)
+      .field("request_p999_us", r.request_p999_us)
+      .field("think_p50_us", r.think_p50_us)
+      .field("think_p99_us", r.think_p99_us)
+      .field("think_p999_us", r.think_p999_us)
+      .field("shed_floor", r.shed_floor);
+  line_.key("gov_decisions").begin_array();
+  for (const std::uint64_t n : r.gov_decisions) line_.value(n);
+  line_.end_array().end_object();
+  emit();
+}
+
+void Telemetry::request_handled(std::uint64_t us) {
+  svc_requests_->add();
+  request_us_->observe(static_cast<double>(us));
 }
 
 void Telemetry::flush() {

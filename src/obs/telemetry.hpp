@@ -40,6 +40,13 @@ std::span<const double> wait_h_bounds();
 ///   kill      t, job, requeued
 ///   unstarted t, job
 ///   fault     t, kind ("node_down"|"node_up"), nodes, capacity
+/// Service-mode records (`sbsched serve`; absent from offline runs):
+///   admit     t, job, priority, queue_depth — submission admitted
+///   reject    t, reason ("backpressure"|"shed"|"draining"), priority,
+///             retry_ms — submission refused
+///   drain     t, phase ("begin"|"complete"), waiting, running
+///   service   t + every ServiceRecord counter and latency quantile —
+///             the final accounting record of a serve run
 /// Field-by-field documentation lives in docs/architecture.md.
 class Telemetry {
  public:
@@ -66,6 +73,16 @@ class Telemetry {
   void job_killed(Time t, int job, bool requeued);
   void job_unstarted(Time t, int job);
   void node_fault(Time t, bool down, int nodes, int capacity_after);
+
+  // Service-mode events (`sbsched serve`).
+  void job_admitted(Time t, int job, int priority, int queue_depth);
+  void job_rejected(Time t, std::string_view reason, int priority,
+                    std::int64_t retry_ms);
+  void drain_phase(Time t, std::string_view phase, std::size_t waiting,
+                   std::size_t running);
+  void service_run(const ServiceRecord& r);
+  /// Metrics-only: one request's server-side handling latency.
+  void request_handled(std::uint64_t us);
 
   /// Drains the sink's buffer to disk. Called by the simulator at the end
   /// of every run so the file is complete between runs.
@@ -105,10 +122,16 @@ class Telemetry {
   Gauge* queue_depth_;
   Gauge* free_nodes_;
   Gauge* capacity_;
+  Counter* svc_admitted_;
+  Counter* svc_rejected_backpressure_;
+  Counter* svc_rejected_shed_;
+  Counter* svc_rejected_drain_;
+  Counter* svc_requests_;
   Histogram* think_us_;
   Histogram* nodes_per_decision_;
   Histogram* queue_at_decision_;
   Histogram* max_wait_at_decision_;
+  Histogram* request_us_;
 };
 
 }  // namespace sbs::obs

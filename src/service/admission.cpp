@@ -1,0 +1,158 @@
+#include "service/admission.hpp"
+
+#include <algorithm>
+#include <string>
+
+#include "obs/json.hpp"
+#include "util/error.hpp"
+
+namespace sbs::service {
+
+namespace {
+
+double parse_spec_double(std::string_view key, std::string_view value) {
+  try {
+    return std::stod(std::string(value));
+  } catch (const std::exception&) {
+    throw UsageError("admission key \"" + std::string(key) +
+                     "\" has non-numeric value \"" + std::string(value) + "\"");
+  }
+}
+
+std::int64_t parse_spec_int(std::string_view key, std::string_view value) {
+  const double d = parse_spec_double(key, value);
+  const auto i = static_cast<std::int64_t>(d);
+  if (static_cast<double>(i) != d)
+    throw UsageError("admission key \"" + std::string(key) +
+                     "\" needs an integer, got \"" + std::string(value) + "\"");
+  return i;
+}
+
+}  // namespace
+
+AdmissionConfig parse_admission_spec(std::string_view spec) {
+  AdmissionConfig config;
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    std::size_t comma = spec.find(',', pos);
+    if (comma == std::string_view::npos) comma = spec.size();
+    const std::string_view pair = spec.substr(pos, comma - pos);
+    pos = comma + 1;
+    if (pair.empty()) continue;
+    const std::size_t eq = pair.find('=');
+    if (eq == std::string_view::npos)
+      throw UsageError("admission setting \"" + std::string(pair) +
+                       "\" is not key=value");
+    const std::string_view key = pair.substr(0, eq);
+    const std::string_view value = pair.substr(eq + 1);
+    if (key == "limit") {
+      const std::int64_t limit = parse_spec_int(key, value);
+      if (limit <= 0) throw UsageError("admission limit must be positive");
+      config.queue_limit = static_cast<std::size_t>(limit);
+    } else if (key == "retry-base-ms") {
+      config.retry_base_ms = parse_spec_int(key, value);
+    } else if (key == "retry-cap-ms") {
+      config.retry_cap_ms = parse_spec_int(key, value);
+    } else if (key == "priorities") {
+      config.priority_levels = static_cast<int>(parse_spec_int(key, value));
+    } else if (key == "queue") {
+      config.health.queue_high = parse_spec_double(key, value);
+    } else if (key == "think-ms") {
+      config.health.think_ms_high = parse_spec_double(key, value);
+    } else if (key == "alpha") {
+      config.health.alpha = parse_spec_double(key, value);
+    } else if (key == "recover") {
+      config.health.recovery_fraction = parse_spec_double(key, value);
+    } else {
+      throw UsageError("unknown admission key \"" + std::string(key) +
+                       "\" (known: limit, retry-base-ms, retry-cap-ms, "
+                       "priorities, queue, think-ms, alpha, recover)");
+    }
+  }
+  return config;
+}
+
+const char* admission_state_name(AdmissionState s) {
+  switch (s) {
+    case AdmissionState::Accepting: return "accepting";
+    case AdmissionState::Shedding: return "shedding";
+    case AdmissionState::Draining: return "draining";
+  }
+  return "?";
+}
+
+AdmissionControl::AdmissionControl(const AdmissionConfig& config)
+    : config_(config), monitor_(config.health) {
+  SBS_CHECK_MSG(config_.queue_limit > 0, "queue_limit must be positive");
+  SBS_CHECK_MSG(config_.priority_levels > 0,
+                "priority_levels must be positive");
+  SBS_CHECK_MSG(config_.retry_base_ms > 0 &&
+                    config_.retry_cap_ms >= config_.retry_base_ms,
+                "retry delay knobs out of order");
+}
+
+void AdmissionControl::observe_decision(
+    const resilience::HealthSignal& signal) {
+  const resilience::HealthVerdict verdict = monitor_.observe(signal);
+  if (verdict == resilience::HealthVerdict::Overloaded) {
+    shed_floor_ = std::min(shed_floor_ + 1, config_.priority_levels - 1);
+  } else if (verdict == resilience::HealthVerdict::Recovered) {
+    shed_floor_ = std::max(shed_floor_ - 1, 0);
+  }
+  // Neutral (the hysteresis band) holds the floor where it is.
+}
+
+AdmissionVerdict AdmissionControl::admit(int priority,
+                                         std::size_t queue_depth) const {
+  AdmissionVerdict v;
+  if (draining_) {
+    v.kind = AdmissionVerdict::Kind::Drain;
+    return v;
+  }
+  if (shed_floor_ > 0 && priority < shed_floor_) {
+    v.kind = AdmissionVerdict::Kind::Shed;
+    v.floor = shed_floor_;
+    return v;
+  }
+  if (queue_depth >= config_.queue_limit) {
+    v.kind = AdmissionVerdict::Kind::RetryAfter;
+    // The hint scales with how far past the bound the queue is: one base
+    // unit per overflowing job, capped. An honest signal, not a promise —
+    // clients layer their own jittered backoff on top.
+    const auto overflow =
+        static_cast<std::int64_t>(queue_depth - config_.queue_limit + 1);
+    v.retry_ms = std::min(config_.retry_cap_ms, config_.retry_base_ms * overflow);
+    return v;
+  }
+  v.kind = AdmissionVerdict::Kind::Admit;
+  return v;
+}
+
+AdmissionState AdmissionControl::state() const {
+  if (draining_) return AdmissionState::Draining;
+  if (shed_floor_ > 0) return AdmissionState::Shedding;
+  return AdmissionState::Accepting;
+}
+
+void AdmissionControl::append_state(obs::JsonWriter& w,
+                                    std::string_view key) const {
+  w.key(key).begin_object();
+  w.field("shed_floor", shed_floor_).field("draining", draining_);
+  monitor_.append_state(w, "monitor");
+  w.end_object();
+}
+
+void AdmissionControl::restore_state(const obs::JsonValue& v) {
+  SBS_CHECK_MSG(v.is_object(), "admission state is not a JSON object");
+  const obs::JsonValue* floor = v.find("shed_floor");
+  const obs::JsonValue* draining = v.find("draining");
+  const obs::JsonValue* monitor = v.find("monitor");
+  SBS_CHECK_MSG(floor && draining && monitor, "admission state incomplete");
+  shed_floor_ = static_cast<int>(floor->as_int());
+  SBS_CHECK_MSG(shed_floor_ >= 0 && shed_floor_ < config_.priority_levels,
+                "restored shed floor " << shed_floor_ << " out of range");
+  draining_ = draining->as_bool();
+  monitor_.restore_state(*monitor);
+}
+
+}  // namespace sbs::service

@@ -1,0 +1,108 @@
+#pragma once
+
+// Admission control for the `sbsched serve` daemon: a bounded queue with
+// explicit backpressure, priority-ordered load shedding driven by the
+// resilience HealthMonitor, and the drain state machine. Pure policy — no
+// sockets, no clock — so every transition is unit-testable.
+
+#include <cstdint>
+#include <string_view>
+
+#include "resilience/health.hpp"
+
+namespace sbs::obs {
+class JsonWriter;
+struct JsonValue;
+}  // namespace sbs::obs
+
+namespace sbs::service {
+
+/// The service's externally visible admission state.
+enum class AdmissionState {
+  Accepting,  ///< normal operation (backpressure may still apply per job)
+  Shedding,   ///< health degraded: lowest-priority submissions rejected
+  Draining,   ///< drain requested: no submissions admitted at all
+};
+
+const char* admission_state_name(AdmissionState s);
+
+/// One admission decision for a submit request.
+struct AdmissionVerdict {
+  enum class Kind {
+    Admit,       ///< enqueue the job
+    RetryAfter,  ///< bounded queue full — client should back off retry_ms
+    Shed,        ///< priority below the shed floor while overloaded
+    Drain,       ///< server is draining, submission permanently refused
+  };
+  Kind kind = Kind::Admit;
+  std::int64_t retry_ms = 0;  ///< meaningful for RetryAfter
+  int floor = 0;              ///< shed floor in force (meaningful for Shed)
+};
+
+/// Knobs. The health watermarks come from the same HealthConfig the
+/// overload governor uses (queue-depth and think-time EWMAs), so one
+/// definition of "overloaded" drives both search degradation and shedding.
+struct AdmissionConfig {
+  /// Bounded admission queue: submissions arriving with `queue_limit`
+  /// jobs already waiting get a retry_after response.
+  std::size_t queue_limit = 1000;
+  /// Base unit of the server-suggested retry delay; the suggestion grows
+  /// linearly with the overflow depth and is capped at retry_cap_ms.
+  std::int64_t retry_base_ms = 50;
+  std::int64_t retry_cap_ms = 5000;
+  /// Number of distinct priority classes ([0, priority_levels) accepted;
+  /// the shed floor never rises above priority_levels - 1, so the highest
+  /// class is only ever refused by backpressure or drain).
+  int priority_levels = 4;
+  /// Health watermarks feeding the shed ladder.
+  resilience::HealthConfig health{.queue_high = 200.0,
+                                  .think_ms_high = 250.0};
+};
+
+/// Parses a `--admission=key=value,...` flag into an AdmissionConfig.
+/// Known keys: limit (queue_limit), retry-base-ms, retry-cap-ms,
+/// priorities (priority_levels), queue / think-ms / alpha / recover
+/// (health watermarks, same meanings as the governor thresholds). Unset
+/// keys keep their defaults; an unknown key or malformed value throws
+/// sbs::UsageError.
+AdmissionConfig parse_admission_spec(std::string_view spec);
+
+/// Tracks overload verdicts and turns each submit request into an
+/// AdmissionVerdict. The shed floor walks one priority class per observed
+/// decision: up while the monitor says Overloaded, down once it says
+/// Recovered — the same hysteresis band the governor uses, so shedding
+/// never flaps at a watermark. Deterministic given its inputs; fully
+/// serializable for crash-safe checkpoints.
+class AdmissionControl {
+ public:
+  explicit AdmissionControl(const AdmissionConfig& config);
+
+  /// Feeds one scheduling decision's health signals (queue depth at the
+  /// decision, think time). Moves the shed floor.
+  void observe_decision(const resilience::HealthSignal& signal);
+
+  /// Classifies one submit request against the current state.
+  /// `queue_depth` is the number of jobs waiting right now.
+  AdmissionVerdict admit(int priority, std::size_t queue_depth) const;
+
+  /// Drain is one-way: once requested the service never admits again.
+  void begin_drain() { draining_ = true; }
+  bool draining() const { return draining_; }
+
+  AdmissionState state() const;
+  int shed_floor() const { return shed_floor_; }
+  const AdmissionConfig& config() const { return config_; }
+
+  /// Checkpoint support: floor + drain flag + monitor EWMAs as one JSON
+  /// object value.
+  void append_state(obs::JsonWriter& w, std::string_view key) const;
+  void restore_state(const obs::JsonValue& v);
+
+ private:
+  AdmissionConfig config_;
+  resilience::HealthMonitor monitor_;
+  int shed_floor_ = 0;  ///< priorities below this are shed
+  bool draining_ = false;
+};
+
+}  // namespace sbs::service

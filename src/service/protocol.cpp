@@ -1,0 +1,247 @@
+#include "service/protocol.hpp"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "util/error.hpp"
+
+namespace sbs::service {
+
+void encode_frame(std::string_view payload, std::string& out) {
+  SBS_CHECK_MSG(payload.size() <= kMaxFrameBytes,
+                "frame payload of " << payload.size() << " bytes exceeds the "
+                << kMaxFrameBytes << "-byte protocol limit");
+  const auto n = static_cast<std::uint32_t>(payload.size());
+  out.push_back(static_cast<char>((n >> 24) & 0xff));
+  out.push_back(static_cast<char>((n >> 16) & 0xff));
+  out.push_back(static_cast<char>((n >> 8) & 0xff));
+  out.push_back(static_cast<char>(n & 0xff));
+  out.append(payload);
+}
+
+std::optional<std::string> FrameDecoder::next() {
+  // Compact lazily: move the unread tail down once half the buffer is dead.
+  if (consumed_ > 0 && consumed_ * 2 >= buffer_.size()) {
+    buffer_.erase(0, consumed_);
+    consumed_ = 0;
+  }
+  const std::size_t avail = buffer_.size() - consumed_;
+  if (avail < 4) return std::nullopt;
+  const auto* p = reinterpret_cast<const unsigned char*>(buffer_.data() + consumed_);
+  const std::uint32_t n = (std::uint32_t{p[0]} << 24) | (std::uint32_t{p[1]} << 16) |
+                          (std::uint32_t{p[2]} << 8) | std::uint32_t{p[3]};
+  SBS_CHECK_MSG(n <= kMaxFrameBytes, "frame prefix announces " << n
+                    << " bytes, protocol limit is " << kMaxFrameBytes);
+  if (avail < 4 + static_cast<std::size_t>(n)) return std::nullopt;
+  std::string payload = buffer_.substr(consumed_ + 4, n);
+  consumed_ += 4 + n;
+  return payload;
+}
+
+namespace {
+
+const obs::JsonValue& need(const obs::JsonValue& v, std::string_view key) {
+  const obs::JsonValue* f = v.find(key);
+  SBS_CHECK_MSG(f != nullptr, "request lacks field \"" << key << '"');
+  return *f;
+}
+
+std::int64_t need_pos(const obs::JsonValue& v, std::string_view key,
+                      std::int64_t max) {
+  const std::int64_t n = need(v, key).as_int();
+  SBS_CHECK_MSG(n > 0 && n <= max,
+                "field \"" << key << "\" = " << n << " out of range (1.."
+                           << max << ")");
+  return n;
+}
+
+}  // namespace
+
+Request parse_request(std::string_view payload) {
+  const obs::JsonValue v = obs::parse_json(payload);
+  SBS_CHECK_MSG(v.is_object(), "request is not a JSON object");
+  const std::string& op = need(v, "op").as_string();
+  Request req;
+  req.id = need(v, "id").as_int();
+  if (op == "submit") {
+    req.op = Request::Op::Submit;
+    req.submit.id = req.id;
+    req.submit.nodes = static_cast<int>(need_pos(v, "nodes", 1 << 20));
+    req.submit.runtime = need_pos(v, "runtime", Time{1} << 40);
+    if (const obs::JsonValue* r = v.find("requested")) {
+      req.submit.requested = r->as_int();
+      SBS_CHECK_MSG(req.submit.requested >= 0, "negative requested runtime");
+    }
+    if (const obs::JsonValue* u = v.find("user")) {
+      req.submit.user = static_cast<int>(u->as_int());
+      SBS_CHECK_MSG(req.submit.user >= 0, "negative user id");
+    }
+    if (const obs::JsonValue* p = v.find("priority")) {
+      req.submit.priority = static_cast<int>(p->as_int());
+      SBS_CHECK_MSG(req.submit.priority >= 0, "negative priority");
+    }
+  } else if (op == "status") {
+    req.op = Request::Op::Status;
+    req.job = need(v, "job").as_int();
+  } else if (op == "stats") {
+    req.op = Request::Op::Stats;
+  } else if (op == "drain") {
+    req.op = Request::Op::Drain;
+  } else {
+    throw Error("unknown op \"" + op + '"');
+  }
+  return req;
+}
+
+std::string accepted_response(std::int64_t id, int job) {
+  obs::JsonWriter w;
+  w.begin_object()
+      .field("id", id)
+      .field("status", "accepted")
+      .field("job", job)
+      .end_object();
+  return w.str();
+}
+
+std::string retry_after_response(std::int64_t id, std::int64_t delay_ms) {
+  obs::JsonWriter w;
+  w.begin_object()
+      .field("id", id)
+      .field("status", "retry_after")
+      .field("delay_ms", delay_ms)
+      .end_object();
+  return w.str();
+}
+
+std::string shed_response(std::int64_t id, int floor) {
+  obs::JsonWriter w;
+  w.begin_object()
+      .field("id", id)
+      .field("status", "shed")
+      .field("floor", floor)
+      .end_object();
+  return w.str();
+}
+
+std::string draining_response(std::int64_t id) {
+  obs::JsonWriter w;
+  w.begin_object().field("id", id).field("status", "draining").end_object();
+  return w.str();
+}
+
+std::string error_response(std::int64_t id, std::string_view message) {
+  obs::JsonWriter w;
+  w.begin_object()
+      .field("id", id)
+      .field("status", "error")
+      .field("message", message)
+      .end_object();
+  return w.str();
+}
+
+// ---------------------------------------------------------------------------
+// Blocking client
+
+Client::Client(const std::string& socket_path, int timeout_ms)
+    : timeout_ms_(timeout_ms) {
+  fd_ = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  SBS_CHECK_MSG(fd_ >= 0, "socket(): " << std::strerror(errno));
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  SBS_CHECK_MSG(socket_path.size() < sizeof(addr.sun_path),
+                "socket path too long: " << socket_path);
+  std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
+  if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    const int err = errno;
+    ::close(fd_);
+    fd_ = -1;
+    throw Error("cannot connect to " + socket_path + ": " +
+                std::strerror(err));
+  }
+}
+
+Client::~Client() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+obs::JsonValue Client::request(std::string_view payload) {
+  std::string frame;
+  encode_frame(payload, frame);
+  std::size_t off = 0;
+  while (off < frame.size()) {
+    const ssize_t n = ::write(fd_, frame.data() + off, frame.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw Error(std::string("write to server failed: ") +
+                  std::strerror(errno));
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  char buf[4096];
+  while (true) {
+    if (std::optional<std::string> reply = decoder_.next()) {
+      const obs::JsonValue v = obs::parse_json(*reply);
+      SBS_CHECK_MSG(v.is_object(), "response is not a JSON object");
+      return v;
+    }
+    pollfd pfd{fd_, POLLIN, 0};
+    const int pr = ::poll(&pfd, 1, timeout_ms_);
+    SBS_CHECK_MSG(pr >= 0 || errno == EINTR,
+                  "poll(): " << std::strerror(errno));
+    SBS_CHECK_MSG(pr != 0, "server response timed out after " << timeout_ms_
+                               << " ms");
+    if (pr <= 0) continue;
+    const ssize_t n = ::read(fd_, buf, sizeof(buf));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw Error(std::string("read from server failed: ") +
+                  std::strerror(errno));
+    }
+    SBS_CHECK_MSG(n != 0, "server closed the connection mid-response");
+    decoder_.feed(std::string_view(buf, static_cast<std::size_t>(n)));
+  }
+}
+
+obs::JsonValue Client::submit(const SubmitRequest& req) {
+  obs::JsonWriter w;
+  w.begin_object()
+      .field("op", "submit")
+      .field("id", req.id != 0 ? req.id : next_id_++)
+      .field("nodes", req.nodes)
+      .field("runtime", static_cast<std::int64_t>(req.runtime))
+      .field("requested", static_cast<std::int64_t>(req.requested))
+      .field("user", req.user)
+      .field("priority", req.priority)
+      .end_object();
+  return request(w.str());
+}
+
+obs::JsonValue Client::status(std::int64_t job) {
+  obs::JsonWriter w;
+  w.begin_object()
+      .field("op", "status")
+      .field("id", next_id_++)
+      .field("job", job)
+      .end_object();
+  return request(w.str());
+}
+
+obs::JsonValue Client::stats() {
+  obs::JsonWriter w;
+  w.begin_object().field("op", "stats").field("id", next_id_++).end_object();
+  return request(w.str());
+}
+
+obs::JsonValue Client::drain() {
+  obs::JsonWriter w;
+  w.begin_object().field("op", "drain").field("id", next_id_++).end_object();
+  return request(w.str());
+}
+
+}  // namespace sbs::service

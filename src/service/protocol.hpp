@@ -1,0 +1,127 @@
+#pragma once
+
+// Wire protocol of the `sbsched serve` daemon: length-prefixed JSON over a
+// Unix-domain stream socket. Every frame is a 4-byte big-endian payload
+// length followed by exactly that many bytes of UTF-8 JSON (one object).
+// The prefix makes framing independent of the payload (no newline
+// scanning), bounds each request up front (oversized prefixes are a
+// protocol error, not an allocation), and lets a reader detect a torn
+// frame — a stalled prefix or short payload — and time the peer out.
+//
+// Requests (client -> server), discriminated by "op"; every request
+// carries a client-chosen "id" that the response echoes so clients can
+// pipeline:
+//   submit  {op, id, nodes, runtime, requested?, user?, priority?}
+//   status  {op, id, job}
+//   stats   {op, id}
+//   drain   {op, id}
+// Responses carry "id" and "status":
+//   accepted     {id, status, job}            submit admitted; job = server id
+//   retry_after  {id, status, delay_ms}       bounded queue full; the delay
+//                                             is the server's backoff hint
+//   shed         {id, status, floor}          load-shed (priority < floor)
+//   draining     {id, status}                 server no longer admits work
+//   ok           {id, status, ...}            status/stats/drain payloads
+//   error        {id, status, message}        malformed request
+// Field-by-field documentation lives in docs/architecture.md.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "obs/json.hpp"
+#include "util/time.hpp"
+
+namespace sbs::service {
+
+/// Frames larger than this are rejected as protocol errors before any
+/// payload is read — a malicious or corrupt prefix must not drive an
+/// allocation.
+inline constexpr std::uint32_t kMaxFrameBytes = 1 << 20;
+
+/// Appends the 4-byte big-endian length prefix + payload to `out`.
+void encode_frame(std::string_view payload, std::string& out);
+
+/// Incremental frame decoder: feed bytes as they arrive, take complete
+/// frames out. One decoder per connection.
+class FrameDecoder {
+ public:
+  /// Appends raw bytes received from the peer.
+  void feed(std::string_view bytes) { buffer_.append(bytes); }
+
+  /// Extracts the next complete frame's payload, or nullopt when the
+  /// buffered bytes do not yet hold one. Throws sbs::Error when the
+  /// buffered prefix announces a frame larger than kMaxFrameBytes.
+  std::optional<std::string> next();
+
+  /// Bytes buffered but not yet consumed (a partially received frame).
+  std::size_t pending_bytes() const { return buffer_.size() - consumed_; }
+
+ private:
+  std::string buffer_;
+  std::size_t consumed_ = 0;
+};
+
+/// Parsed submit request payload.
+struct SubmitRequest {
+  std::int64_t id = 0;     ///< client correlation id (echoed back)
+  int nodes = 1;
+  Time runtime = 0;        ///< actual runtime the machine will hold nodes for
+  Time requested = 0;      ///< user estimate the scheduler plans with
+                           ///  (0 = plan with `runtime`)
+  int user = 0;
+  int priority = 0;        ///< load-shed ordering: lower sheds first
+};
+
+/// Every request, decoded. Exactly one of the op-specific members is
+/// meaningful, per `op`.
+struct Request {
+  enum class Op { Submit, Status, Stats, Drain };
+  Op op = Op::Submit;
+  std::int64_t id = 0;
+  SubmitRequest submit;    ///< op == Submit
+  std::int64_t job = -1;   ///< op == Status
+};
+
+/// Parses one request payload. Throws sbs::Error on malformed JSON, an
+/// unknown op, missing fields, or out-of-range values — the server turns
+/// that into an `error` response and a protocol_errors tick.
+Request parse_request(std::string_view payload);
+
+/// Response builders. Each returns the complete JSON payload (unframed).
+std::string accepted_response(std::int64_t id, int job);
+std::string retry_after_response(std::int64_t id, std::int64_t delay_ms);
+std::string shed_response(std::int64_t id, int floor);
+std::string draining_response(std::int64_t id);
+std::string error_response(std::int64_t id, std::string_view message);
+
+/// Blocking convenience client used by tests, the CLI and simple tools
+/// (the open-loop load generator drives the socket itself, nonblocking).
+/// Methods throw sbs::Error on connection failure, a malformed response,
+/// or when `timeout_ms` elapses mid-response.
+class Client {
+ public:
+  explicit Client(const std::string& socket_path, int timeout_ms = 5000);
+  ~Client();
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Sends one request payload and blocks for the matching response.
+  obs::JsonValue request(std::string_view payload);
+
+  /// Typed wrappers. submit() returns the raw response (callers branch on
+  /// "status"); stats() and drain() return the parsed `ok` payload.
+  obs::JsonValue submit(const SubmitRequest& req);
+  obs::JsonValue status(std::int64_t job);
+  obs::JsonValue stats();
+  obs::JsonValue drain();
+
+ private:
+  int fd_ = -1;
+  int timeout_ms_;
+  std::int64_t next_id_ = 1;
+  FrameDecoder decoder_;
+};
+
+}  // namespace sbs::service

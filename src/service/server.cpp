@@ -1,0 +1,880 @@
+#include "service/server.hpp"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cmath>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "exp/policy_factory.hpp"
+#include "obs/telemetry.hpp"
+#include "util/error.hpp"
+
+namespace sbs::service {
+
+using sim::Completion;
+
+namespace {
+
+constexpr std::string_view kCheckpointFormat = "sbs-service-checkpoint";
+constexpr int kCheckpointVersion = 1;
+constexpr std::size_t kRing = 8192;
+/// Poll never sleeps longer than this so signals and the virtual clock are
+/// checked promptly even on an idle socket.
+constexpr int kMaxPollMs = 50;
+
+std::int64_t steady_ms() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void ring_push(std::vector<std::uint64_t>& ring, std::size_t& next,
+               std::uint64_t v) {
+  if (ring.size() < kRing) {
+    ring.push_back(v);
+    next = ring.size() % kRing;
+  } else {
+    ring[next] = v;
+    next = (next + 1) % kRing;
+  }
+}
+
+void write_fully(int fd, const char* data, std::size_t size,
+                 const std::string& path) {
+  while (size > 0) {
+    const ssize_t n = ::write(fd, data, size);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw Error("write to " + path + " failed: " + std::strerror(errno));
+    }
+    data += n;
+    size -= static_cast<std::size_t>(n);
+  }
+}
+
+const obs::JsonValue& get(const obs::JsonValue& v, std::string_view key) {
+  const obs::JsonValue* f = v.find(key);
+  SBS_CHECK_MSG(f != nullptr, "service checkpoint lacks \"" << key << '"');
+  return *f;
+}
+
+std::uint64_t get_u64(const obs::JsonValue& v, std::string_view key) {
+  const std::int64_t n = get(v, key).as_int();
+  SBS_CHECK_MSG(n >= 0, "service checkpoint field \"" << key
+                            << "\" is negative");
+  return static_cast<std::uint64_t>(n);
+}
+
+}  // namespace
+
+std::uint64_t nearest_rank_us(std::vector<std::uint64_t> samples, double q) {
+  if (samples.empty()) return 0;
+  std::sort(samples.begin(), samples.end());
+  const auto n = static_cast<double>(samples.size());
+  auto rank = static_cast<std::size_t>(std::ceil(q * n));
+  rank = std::min(std::max<std::size_t>(rank, 1), samples.size());
+  return samples[rank - 1];
+}
+
+SchedulerService::SchedulerService(const ServiceConfig& config)
+    : config_(config), admission_(config.admission) {
+  SBS_CHECK_MSG(!config_.socket_path.empty(), "serve requires a socket path");
+  SBS_CHECK_MSG(config_.capacity > 0, "capacity must be positive");
+  SBS_CHECK_MSG(config_.time_scale > 0, "time scale must be positive");
+  SBS_CHECK_MSG(config_.batch_ms >= 0, "batch window must be >= 0");
+  scheduler_ = make_policy(
+      config_.policy, config_.node_limit, config_.deadline_ms,
+      config_.threads, config_.cache, config_.warm_start,
+      config_.governor ? &*config_.governor : nullptr);
+  // Detail is always collected: the stats op reports the governor rung and
+  // the drain report needs rung occupancy even without a telemetry sink.
+  scheduler_->set_collect_decision_detail(true);
+  policy_name_ = scheduler_->name();
+  tel_ = config_.telemetry;
+  base_wall_ms_ = steady_ms();
+  if (!config_.resume_path.empty()) restore_checkpoint(config_.resume_path);
+  setup_socket();
+}
+
+SchedulerService::~SchedulerService() {
+  for (Conn& c : conns_)
+    if (c.fd >= 0) ::close(c.fd);
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    ::unlink(config_.socket_path.c_str());
+  }
+}
+
+std::int64_t SchedulerService::wall_ms() const {
+  return steady_ms() - base_wall_ms_;
+}
+
+Time SchedulerService::virtual_now() const {
+  return base_virtual_ + wall_ms() * config_.time_scale / 1000;
+}
+
+// ---------------------------------------------------------------------------
+// Sockets
+
+void SchedulerService::setup_socket() {
+  ::unlink(config_.socket_path.c_str());  // a stale socket from a crashed run
+  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  SBS_CHECK_MSG(listen_fd_ >= 0, "socket(): " << std::strerror(errno));
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  SBS_CHECK_MSG(config_.socket_path.size() < sizeof(addr.sun_path),
+                "socket path too long: " << config_.socket_path);
+  std::memcpy(addr.sun_path, config_.socket_path.c_str(),
+              config_.socket_path.size() + 1);
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0)
+    throw Error("cannot bind " + config_.socket_path + ": " +
+                std::strerror(errno));
+  if (::listen(listen_fd_, 64) != 0)
+    throw Error("listen on " + config_.socket_path + " failed: " +
+                std::strerror(errno));
+}
+
+void SchedulerService::accept_connections() {
+  while (listen_fd_ >= 0) {
+    const int fd =
+        ::accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      throw Error(std::string("accept(): ") + std::strerror(errno));
+    }
+    if (conns_.size() >= static_cast<std::size_t>(config_.max_connections)) {
+      ::close(fd);  // over the connection cap: refuse by closing
+      continue;
+    }
+    ++stats_.connections;
+    Conn c;
+    c.fd = fd;
+    c.last_activity_ms = wall_ms();
+    conns_.push_back(std::move(c));
+  }
+}
+
+void SchedulerService::service_readable(Conn& conn) {
+  char buf[65536];
+  while (conn.fd >= 0) {
+    const ssize_t n = ::read(conn.fd, buf, sizeof(buf));
+    if (n > 0) {
+      conn.last_activity_ms = wall_ms();
+      try {
+        conn.decoder.feed(std::string_view(buf, static_cast<std::size_t>(n)));
+        while (std::optional<std::string> frame = conn.decoder.next())
+          handle_frame(conn, *frame);
+      } catch (const Error& e) {
+        // An unframeable stream (oversized prefix) cannot be resynced;
+        // answer once and drop the connection.
+        ++stats_.protocol_errors;
+        reply(conn, error_response(0, e.what()));
+        conn.closing = true;
+        return;
+      }
+      continue;
+    }
+    if (n == 0) {  // peer closed; flush what we owe, then close
+      conn.closing = true;
+      return;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+    close_conn(conn);
+    return;
+  }
+}
+
+void SchedulerService::flush_writes(Conn& conn) {
+  while (conn.fd >= 0 && !conn.out.empty()) {
+    const ssize_t n = ::write(conn.fd, conn.out.data(), conn.out.size());
+    if (n > 0) {
+      conn.out.erase(0, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return;
+    close_conn(conn);
+    return;
+  }
+  if (conn.fd >= 0 && conn.out.empty() && conn.closing) close_conn(conn);
+}
+
+void SchedulerService::reply(Conn& conn, std::string_view payload) {
+  if (conn.fd < 0) return;
+  encode_frame(payload, conn.out);
+}
+
+void SchedulerService::close_conn(Conn& conn) {
+  if (conn.fd >= 0) ::close(conn.fd);
+  conn.fd = -1;
+  conn.out.clear();
+}
+
+// ---------------------------------------------------------------------------
+// Requests
+
+void SchedulerService::handle_frame(Conn& conn, std::string_view payload) {
+  const std::int64_t t0_us =
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count();
+  ++stats_.requests;
+  std::string response;
+  try {
+    const Request req = parse_request(payload);
+    switch (req.op) {
+      case Request::Op::Submit:
+        response = handle_submit(req);
+        break;
+      case Request::Op::Status:
+        response = status_payload(req.id, req.job);
+        break;
+      case Request::Op::Stats:
+        response = stats_payload(req.id);
+        break;
+      case Request::Op::Drain: {
+        drain_requested_ = true;
+        obs::JsonWriter w;
+        w.begin_object()
+            .field("id", req.id)
+            .field("status", "ok")
+            .field("state", "draining")
+            .end_object();
+        response = w.str();
+        break;
+      }
+    }
+  } catch (const Error& e) {
+    ++stats_.protocol_errors;
+    response = error_response(0, e.what());
+  }
+  reply(conn, response);
+  const std::int64_t t1_us =
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count();
+  const auto us = static_cast<std::uint64_t>(t1_us - t0_us);
+  ring_push(request_ring_, request_next_, us);
+  if (tel_) tel_->request_handled(us);
+}
+
+std::string SchedulerService::handle_submit(const Request& req) {
+  const SubmitRequest& s = req.submit;
+  const Time vnow = virtual_now();
+  if (s.nodes > config_.capacity) {
+    ++stats_.protocol_errors;
+    std::ostringstream msg;
+    msg << "job wants " << s.nodes << " nodes, machine has "
+        << config_.capacity;
+    return error_response(req.id, msg.str());
+  }
+  const AdmissionVerdict v = admission_.admit(s.priority, waiting_.size());
+  switch (v.kind) {
+    case AdmissionVerdict::Kind::RetryAfter:
+      ++stats_.rejected_backpressure;
+      if (tel_) tel_->job_rejected(vnow, "backpressure", s.priority, v.retry_ms);
+      return retry_after_response(req.id, v.retry_ms);
+    case AdmissionVerdict::Kind::Shed:
+      ++stats_.rejected_shed;
+      if (tel_) tel_->job_rejected(vnow, "shed", s.priority, 0);
+      return shed_response(req.id, v.floor);
+    case AdmissionVerdict::Kind::Drain:
+      ++stats_.rejected_drain;
+      if (tel_) tel_->job_rejected(vnow, "draining", s.priority, 0);
+      return draining_response(req.id);
+    case AdmissionVerdict::Kind::Admit:
+      break;
+  }
+  const int id = next_job_id_++;
+  jobs_.push_back(Job{id, vnow, s.nodes, s.runtime, s.requested, s.user, true});
+  const Job& j = jobs_.back();
+  const Time estimate = s.requested > 0 ? s.requested : s.runtime;
+  waiting_.push_back(WaitingJob{&j, estimate});
+  info_[id] = JobInfo{JobInfo::State::Waiting, s.priority, 0, 0};
+  ++stats_.admitted;
+  dirty_ = true;
+  // An admission mutates crash-relevant state even when the machine is
+  // full and no decision will fire; count it toward the checkpoint cadence
+  // so SIGKILL cannot lose queued-but-never-scheduled jobs.
+  ++decisions_since_checkpoint_;
+  if (tel_) {
+    tel_->job_submitted(vnow, id, j.nodes, j.runtime, j.requested, j.user);
+    tel_->job_admitted(vnow, id, s.priority,
+                       static_cast<int>(waiting_.size()));
+  }
+  return accepted_response(req.id, id);
+}
+
+std::string SchedulerService::status_payload(std::int64_t id,
+                                             std::int64_t job) const {
+  obs::JsonWriter w;
+  w.begin_object().field("id", id).field("status", "ok").field("job", job);
+  const auto it = info_.find(static_cast<int>(job));
+  if (it == info_.end()) {
+    w.field("state", "unknown");
+  } else {
+    switch (it->second.state) {
+      case JobInfo::State::Waiting:
+        w.field("state", "waiting");
+        break;
+      case JobInfo::State::Running:
+        w.field("state", "running")
+            .field("start", static_cast<std::int64_t>(it->second.start));
+        break;
+      case JobInfo::State::Done:
+        w.field("state", "done")
+            .field("start", static_cast<std::int64_t>(it->second.start))
+            .field("end", static_cast<std::int64_t>(it->second.end));
+        break;
+    }
+  }
+  w.end_object();
+  return w.str();
+}
+
+std::string SchedulerService::stats_payload(std::int64_t id) const {
+  obs::JsonWriter w;
+  w.begin_object()
+      .field("id", id)
+      .field("status", "ok")
+      .field("state", admission_state_name(admission_.state()))
+      .field("t_virtual", static_cast<std::int64_t>(virtual_now()))
+      .field("capacity", config_.capacity)
+      .field("free_nodes", config_.capacity - used_nodes_)
+      .field("queue_depth", static_cast<std::uint64_t>(waiting_.size()))
+      .field("running", static_cast<std::uint64_t>(running_.size()))
+      .field("shed_floor", admission_.shed_floor())
+      .field("gov_level", last_gov_level_);
+  w.key("gov_decisions").begin_array();
+  for (const std::uint64_t n : gov_decisions_) w.value(n);
+  w.end_array();
+  w.field("requests", stats_.requests)
+      .field("protocol_errors", stats_.protocol_errors)
+      .field("timeouts", stats_.timeouts)
+      .field("connections", stats_.connections)
+      .field("admitted", stats_.admitted)
+      .field("rejected_backpressure", stats_.rejected_backpressure)
+      .field("rejected_shed", stats_.rejected_shed)
+      .field("rejected_drain", stats_.rejected_drain)
+      .field("started", stats_.started)
+      .field("completed", stats_.completed)
+      .field("decisions", stats_.decisions)
+      .field("checkpoints", stats_.checkpoints)
+      .field("think_p50_us", nearest_rank_us(think_ring_, 0.50))
+      .field("think_p99_us", nearest_rank_us(think_ring_, 0.99))
+      .field("request_p50_us", nearest_rank_us(request_ring_, 0.50))
+      .field("request_p99_us", nearest_rank_us(request_ring_, 0.99))
+      .end_object();
+  return w.str();
+}
+
+// ---------------------------------------------------------------------------
+// Machine
+
+void SchedulerService::pop_due_completions(Time vnow) {
+  while (!completions_.empty() && completions_.top().end <= vnow) {
+    const Completion c = completions_.top();
+    completions_.pop();
+    const auto it = std::find_if(
+        running_.begin(), running_.end(),
+        [&](const RunningJob& r) { return r.job->id == c.job_id; });
+    SBS_CHECK_MSG(it != running_.end(),
+                  "completion for job " << c.job_id << " which is not running");
+    used_nodes_ -= it->job->nodes;
+    JobInfo& ji = info_[c.job_id];
+    ji.state = JobInfo::State::Done;
+    ji.end = c.end;
+    if (tel_) tel_->job_finished(c.end, c.job_id);
+    ++stats_.completed;
+    *it = running_.back();
+    running_.pop_back();
+    dirty_ = true;
+  }
+}
+
+bool SchedulerService::want_decision(std::int64_t now_ms) const {
+  return dirty_ && !waiting_.empty() && used_nodes_ < config_.capacity &&
+         now_ms >= next_decision_ms_;
+}
+
+void SchedulerService::decide(Time vnow) {
+  SchedulerState state;
+  state.now = vnow;
+  state.capacity = config_.capacity;
+  state.free_nodes = config_.capacity - used_nodes_;
+  state.waiting = waiting_;
+  state.running = running_;
+
+  double max_wait_h = 0.0;
+  if (tel_)
+    for (const WaitingJob& w : waiting_)
+      max_wait_h = std::max(max_wait_h, to_hours(vnow - w.job->submit));
+  const SchedulerStats before = scheduler_->stats();
+
+  const auto t0 = std::chrono::steady_clock::now();
+  const std::vector<int> chosen = scheduler_->select_jobs(state);
+  const auto wall_us = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - t0)
+          .count());
+  const SchedulerStats after = scheduler_->stats();
+  ++stats_.decisions;
+  ring_push(think_ring_, think_next_, wall_us);
+
+  const DecisionDetail* detail = scheduler_->last_decision();
+  const int level = detail ? detail->governor_level : -1;
+  last_gov_level_ = level;
+  gov_decisions_[static_cast<std::size_t>(std::max(level, 0))] += 1;
+
+  if (tel_) {
+    // Per-decision deltas of the cumulative SchedulerStats, exactly as the
+    // offline simulator records them: summing a run's decision records
+    // reproduces the aggregates.
+    obs::DecisionRecord d;
+    d.now = vnow;
+    d.policy = policy_name_;
+    d.queue_depth = static_cast<int>(state.waiting.size());
+    d.free_nodes = state.free_nodes;
+    d.capacity = state.capacity;
+    d.max_wait_h = max_wait_h;
+    d.nodes_visited = after.nodes_visited - before.nodes_visited;
+    d.paths_explored = after.paths_explored - before.paths_explored;
+    d.deadline_hit = after.deadline_hits > before.deadline_hits;
+    d.think_us = after.think_time_us - before.think_time_us;
+    d.cache_hits = after.cache_hits - before.cache_hits;
+    d.cache_misses = after.cache_misses - before.cache_misses;
+    d.cache_invalidations =
+        after.cache_invalidations - before.cache_invalidations;
+    d.warm_start_used = after.warm_starts > before.warm_starts;
+    if (detail) {
+      d.iterations = detail->iterations;
+      d.discrepancies = detail->discrepancies;
+      d.improvements = detail->improvements;
+      d.threads_used = detail->threads_used;
+      d.worker_nodes = detail->worker_nodes;
+      d.governor_level = detail->governor_level;
+      d.governor_probe = detail->governor_probe;
+      d.governor_transitions = detail->governor_transitions;
+    }
+    d.started = chosen;
+    tel_->decision(d);
+  }
+
+  int chosen_nodes = 0;
+  for (const int id : chosen) {
+    auto it = std::find_if(waiting_.begin(), waiting_.end(),
+                           [id](const WaitingJob& w) { return w.job->id == id; });
+    SBS_CHECK_MSG(it != waiting_.end(),
+                  policy_name_ << " selected non-waiting job " << id);
+    const Job& j = *it->job;
+    chosen_nodes += j.nodes;
+    SBS_CHECK_MSG(chosen_nodes <= state.free_nodes,
+                  policy_name_ << " over-committed the machine at t=" << vnow);
+    running_.push_back(RunningJob{&j, vnow, vnow + it->estimate});
+    used_nodes_ += j.nodes;
+    completions_.push(Completion{vnow + j.runtime, j.id, 0});
+    JobInfo& ji = info_[j.id];
+    ji.state = JobInfo::State::Running;
+    ji.start = vnow;
+    ++stats_.started;
+    if (tel_) tel_->job_started(vnow, j.id, j.nodes);
+    *it = waiting_.back();
+    waiting_.pop_back();
+  }
+
+  // Progress guarantee, as in the offline simulator: an idle machine with
+  // queued work must start something (every admitted job fits the machine).
+  SBS_CHECK_MSG(!(running_.empty() && !waiting_.empty()),
+                policy_name_ << " stalled with an idle machine at t=" << vnow);
+
+  std::sort(waiting_.begin(), waiting_.end(),
+            [](const WaitingJob& a, const WaitingJob& b) {
+              if (a.job->submit != b.job->submit)
+                return a.job->submit < b.job->submit;
+              return a.job->id < b.job->id;
+            });
+
+  // One health stream drives both defenses: the governor inside the policy
+  // already consumed this decision; the admission shed floor moves here.
+  admission_.observe_decision(resilience::HealthSignal{
+      .queue_depth = static_cast<double>(state.waiting.size()),
+      .think_ms = static_cast<double>(wall_us) / 1000.0,
+      .deadline_overrun = after.deadline_hits > before.deadline_hits,
+      .budget_exhausted = false});
+
+  dirty_ = false;
+  next_decision_ms_ = wall_ms() + config_.batch_ms;
+  ++decisions_since_checkpoint_;
+}
+
+int SchedulerService::poll_timeout_ms() const {
+  std::int64_t timeout = kMaxPollMs;
+  if (!completions_.empty()) {
+    const Time dv = completions_.top().end - virtual_now();
+    if (dv <= 0) return 0;
+    timeout = std::min<std::int64_t>(
+        timeout, dv * 1000 / config_.time_scale + 1);
+  }
+  if (dirty_ && !waiting_.empty() && used_nodes_ < config_.capacity)
+    timeout = std::min<std::int64_t>(
+        timeout, std::max<std::int64_t>(next_decision_ms_ - wall_ms(), 0));
+  return static_cast<int>(std::max<std::int64_t>(timeout, 0));
+}
+
+// ---------------------------------------------------------------------------
+// Event loop
+
+ServiceStats SchedulerService::run() {
+  if (tel_) {
+    obs::RunRecord run;
+    run.trace = "live";
+    run.policy = policy_name_;
+    run.capacity = config_.capacity;
+    run.jobs = 0;  // open-ended: the service does not know its workload
+    tel_->begin_run(run);
+    tel_->flush();
+  }
+
+  std::vector<pollfd> pfds;
+  while (!drained_) {
+    pop_due_completions(virtual_now());
+
+    if (!drain_requested_ &&
+        ((config_.interrupt && config_.interrupt->load()) ||
+         (config_.max_decisions > 0 &&
+          stats_.decisions >= config_.max_decisions)))
+      drain_requested_ = true;
+    if (drain_requested_) {
+      drain_fast_forward();
+      break;
+    }
+
+    if (want_decision(wall_ms())) decide(virtual_now());
+    // Outside the want_decision branch: admissions advance the checkpoint
+    // counter too (see handle_submit), and those must reach disk even when
+    // a full machine keeps decisions from firing.
+    maybe_checkpoint();
+
+    pfds.clear();
+    pfds.push_back(pollfd{listen_fd_, POLLIN, 0});
+    for (const Conn& c : conns_) {
+      short events = POLLIN;
+      if (!c.out.empty()) events |= POLLOUT;
+      pfds.push_back(pollfd{c.fd, events, 0});
+    }
+    const int pr = ::poll(pfds.data(), pfds.size(), poll_timeout_ms());
+    SBS_CHECK_MSG(pr >= 0 || errno == EINTR,
+                  "poll(): " << std::strerror(errno));
+
+    if (pr > 0) {
+      // Connections accepted below grow conns_ past pfds; they are polled
+      // from the next iteration on.
+      const std::size_t polled = pfds.size() - 1;
+      if (pfds[0].revents & POLLIN) accept_connections();
+      for (std::size_t i = 0; i < polled; ++i) {
+        Conn& c = conns_[i];
+        const short re = pfds[i + 1].revents;
+        if (c.fd < 0) continue;
+        if (re & (POLLERR | POLLHUP | POLLNVAL)) {
+          // Peer is gone; drain whatever it sent, then close.
+          service_readable(c);
+          close_conn(c);
+          continue;
+        }
+        if (re & POLLIN) service_readable(c);
+        if (c.fd >= 0 && (re & POLLOUT || !c.out.empty())) flush_writes(c);
+      }
+    }
+
+    // Per-request timeout: a connection stalled mid-frame is dropped.
+    const std::int64_t now_ms = wall_ms();
+    for (Conn& c : conns_) {
+      if (c.fd >= 0 && c.decoder.pending_bytes() > 0 &&
+          now_ms - c.last_activity_ms > config_.request_timeout_ms) {
+        ++stats_.timeouts;
+        close_conn(c);
+      }
+    }
+    std::erase_if(conns_, [](const Conn& c) { return c.fd < 0; });
+  }
+  return stats_;
+}
+
+// ---------------------------------------------------------------------------
+// Drain
+
+void SchedulerService::begin_drain(Time vnow) {
+  if (admission_.draining()) return;
+  admission_.begin_drain();
+  if (tel_)
+    tel_->drain_phase(vnow, "begin", waiting_.size(), running_.size());
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    ::unlink(config_.socket_path.c_str());
+  }
+}
+
+void SchedulerService::drain_fast_forward() {
+  begin_drain(virtual_now());
+
+  // Best-effort flush of queued replies (drain acknowledgements and any
+  // in-flight responses), bounded so a dead peer cannot stall the drain.
+  const std::int64_t flush_deadline = wall_ms() + 250;
+  while (wall_ms() < flush_deadline) {
+    bool pending = false;
+    for (Conn& c : conns_) {
+      if (c.fd >= 0 && !c.out.empty()) {
+        flush_writes(c);
+        pending |= c.fd >= 0 && !c.out.empty();
+      }
+    }
+    if (!pending) break;
+    pollfd pfd{-1, POLLOUT, 0};  // settle; peers are local, one pass suffices
+    ::poll(&pfd, 0, 5);
+  }
+  for (Conn& c : conns_) close_conn(c);
+  conns_.clear();
+
+  // Finish the admitted work by fast-forwarding the virtual clock through
+  // the remaining completions — no wall time is spent "running" jobs.
+  while (!waiting_.empty() || !running_.empty()) {
+    Time vnow = virtual_now();
+    if (!waiting_.empty() && used_nodes_ < config_.capacity) decide(vnow);
+    if (waiting_.empty() && running_.empty()) break;
+    SBS_CHECK_MSG(!completions_.empty(),
+                  "drain stalled: queued work but nothing running");
+    const Time next = completions_.top().end;
+    if (next > vnow) {
+      base_virtual_ += next - vnow;
+      vnow = virtual_now();
+    }
+    pop_due_completions(vnow);
+  }
+
+  if (!config_.checkpoint_path.empty()) {
+    write_checkpoint();
+    ++stats_.checkpoints;
+  }
+  emit_final_records(virtual_now());
+  drained_ = true;
+}
+
+void SchedulerService::emit_final_records(Time vnow) {
+  if (!tel_) return;
+  tel_->drain_phase(vnow, "complete", waiting_.size(), running_.size());
+  obs::ServiceRecord r;
+  r.t = vnow;
+  r.requests = stats_.requests;
+  r.protocol_errors = stats_.protocol_errors;
+  r.timeouts = stats_.timeouts;
+  r.connections = stats_.connections;
+  r.admitted = stats_.admitted;
+  r.rejected_backpressure = stats_.rejected_backpressure;
+  r.rejected_shed = stats_.rejected_shed;
+  r.rejected_drain = stats_.rejected_drain;
+  r.started = stats_.started;
+  r.completed = stats_.completed;
+  r.decisions = stats_.decisions;
+  r.checkpoints = stats_.checkpoints;
+  r.request_p50_us = nearest_rank_us(request_ring_, 0.50);
+  r.request_p99_us = nearest_rank_us(request_ring_, 0.99);
+  r.request_p999_us = nearest_rank_us(request_ring_, 0.999);
+  r.think_p50_us = nearest_rank_us(think_ring_, 0.50);
+  r.think_p99_us = nearest_rank_us(think_ring_, 0.99);
+  r.think_p999_us = nearest_rank_us(think_ring_, 0.999);
+  r.gov_decisions = gov_decisions_;
+  r.shed_floor = admission_.shed_floor();
+  tel_->service_run(r);
+  tel_->flush();
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoints
+
+void SchedulerService::maybe_checkpoint() {
+  if (config_.checkpoint_path.empty() || config_.checkpoint_every == 0)
+    return;
+  if (decisions_since_checkpoint_ < config_.checkpoint_every) return;
+  decisions_since_checkpoint_ = 0;
+  write_checkpoint();
+  ++stats_.checkpoints;
+}
+
+void SchedulerService::write_checkpoint() const {
+  obs::JsonWriter w;
+  w.begin_object()
+      .field("format", kCheckpointFormat)
+      .field("version", kCheckpointVersion)
+      .field("policy", config_.policy)
+      .field("capacity", config_.capacity)
+      .field("next_job_id", next_job_id_)
+      .field("virtual_now", static_cast<std::int64_t>(virtual_now()));
+  w.key("stats").begin_object();
+  w.field("requests", stats_.requests)
+      .field("protocol_errors", stats_.protocol_errors)
+      .field("timeouts", stats_.timeouts)
+      .field("connections", stats_.connections)
+      .field("admitted", stats_.admitted)
+      .field("rejected_backpressure", stats_.rejected_backpressure)
+      .field("rejected_shed", stats_.rejected_shed)
+      .field("rejected_drain", stats_.rejected_drain)
+      .field("started", stats_.started)
+      .field("completed", stats_.completed)
+      .field("decisions", stats_.decisions)
+      .field("checkpoints", stats_.checkpoints)
+      .end_object();
+  w.key("gov_decisions").begin_array();
+  for (const std::uint64_t n : gov_decisions_) w.value(n);
+  w.end_array();
+  admission_.append_state(w, "admission");
+  w.field("scheduler", scheduler_->save_state());
+  // Live jobs only (waiting + running): done jobs need no recovery.
+  w.key("jobs").begin_array();
+  const auto append_job = [&](const Job& j, char state, Time start,
+                              Time estimate) {
+    const auto it = info_.find(j.id);
+    const int priority = it == info_.end() ? 0 : it->second.priority;
+    w.begin_array()
+        .value(j.id)
+        .value(static_cast<std::int64_t>(j.submit))
+        .value(j.nodes)
+        .value(static_cast<std::int64_t>(j.runtime))
+        .value(static_cast<std::int64_t>(j.requested))
+        .value(j.user)
+        .value(priority)
+        .value(std::string_view(&state, 1))
+        .value(static_cast<std::int64_t>(start))
+        .value(static_cast<std::int64_t>(estimate))
+        .end_array();
+  };
+  for (const WaitingJob& wj : waiting_)
+    append_job(*wj.job, 'w', 0, wj.estimate);
+  for (const RunningJob& rj : running_)
+    append_job(*rj.job, 'r', rj.start, rj.est_end - rj.start);
+  w.end_array();
+  w.end_object();
+
+  const std::string& path = config_.checkpoint_path;
+  const std::string tmp = path + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC,
+                        0644);
+  if (fd < 0) throw Error("cannot open " + tmp + ": " + std::strerror(errno));
+  try {
+    write_fully(fd, w.str().data(), w.str().size(), tmp);
+    write_fully(fd, "\n", 1, tmp);
+    if (::fsync(fd) != 0)
+      throw Error("fsync of " + tmp + " failed: " + std::strerror(errno));
+  } catch (...) {
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    throw;
+  }
+  ::close(fd);
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    const int err = errno;
+    ::unlink(tmp.c_str());
+    throw Error("rename " + tmp + " -> " + path + " failed: " +
+                std::strerror(err));
+  }
+}
+
+void SchedulerService::restore_checkpoint(const std::string& path) {
+  std::ifstream in(path);
+  SBS_CHECK_MSG(in, "cannot read service checkpoint " << path);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const obs::JsonValue v = obs::parse_json(buf.str());
+  SBS_CHECK_MSG(v.is_object(), "service checkpoint is not a JSON object");
+  SBS_CHECK_MSG(get(v, "format").as_string() == kCheckpointFormat,
+                "not a service checkpoint: " << path);
+  SBS_CHECK_MSG(get(v, "version").as_int() == kCheckpointVersion,
+                "unsupported service checkpoint version");
+  SBS_CHECK_MSG(get(v, "policy").as_string() == config_.policy,
+                "checkpoint was taken with policy "
+                    << get(v, "policy").as_string() << ", serve runs "
+                    << config_.policy);
+  SBS_CHECK_MSG(get(v, "capacity").as_int() == config_.capacity,
+                "checkpoint machine size does not match --capacity");
+
+  next_job_id_ = static_cast<int>(get(v, "next_job_id").as_int());
+  base_virtual_ = get(v, "virtual_now").as_int();
+
+  const obs::JsonValue& st = get(v, "stats");
+  stats_.requests = get_u64(st, "requests");
+  stats_.protocol_errors = get_u64(st, "protocol_errors");
+  stats_.timeouts = get_u64(st, "timeouts");
+  stats_.connections = get_u64(st, "connections");
+  stats_.admitted = get_u64(st, "admitted");
+  stats_.rejected_backpressure = get_u64(st, "rejected_backpressure");
+  stats_.rejected_shed = get_u64(st, "rejected_shed");
+  stats_.rejected_drain = get_u64(st, "rejected_drain");
+  stats_.started = get_u64(st, "started");
+  stats_.completed = get_u64(st, "completed");
+  stats_.decisions = get_u64(st, "decisions");
+  stats_.checkpoints = get_u64(st, "checkpoints");
+
+  const obs::JsonValue& gov = get(v, "gov_decisions");
+  SBS_CHECK_MSG(gov.is_array() && gov.array.size() == gov_decisions_.size(),
+                "gov_decisions shape mismatch in service checkpoint");
+  for (std::size_t i = 0; i < gov_decisions_.size(); ++i)
+    gov_decisions_[i] = static_cast<std::uint64_t>(gov.array[i].as_int());
+
+  admission_.restore_state(get(v, "admission"));
+  scheduler_->restore_state(get(v, "scheduler").as_string());
+
+  const obs::JsonValue& jobs = get(v, "jobs");
+  SBS_CHECK_MSG(jobs.is_array(), "service checkpoint jobs is not an array");
+  for (const obs::JsonValue& row : jobs.array) {
+    SBS_CHECK_MSG(row.is_array() && row.array.size() == 10,
+                  "malformed job row in service checkpoint");
+    Job j;
+    j.id = static_cast<int>(row.array[0].as_int());
+    j.submit = row.array[1].as_int();
+    j.nodes = static_cast<int>(row.array[2].as_int());
+    j.runtime = row.array[3].as_int();
+    j.requested = row.array[4].as_int();
+    j.user = static_cast<int>(row.array[5].as_int());
+    const int priority = static_cast<int>(row.array[6].as_int());
+    const std::string& state = row.array[7].as_string();
+    const Time start = row.array[8].as_int();
+    const Time estimate = row.array[9].as_int();
+    SBS_CHECK_MSG(j.id >= 0 && j.id < next_job_id_ && j.nodes > 0 &&
+                      j.nodes <= config_.capacity && j.runtime > 0,
+                  "job row " << j.id << " fails validation in checkpoint");
+    jobs_.push_back(j);
+    const Job& stored = jobs_.back();
+    if (state == "w") {
+      waiting_.push_back(WaitingJob{&stored, estimate});
+      info_[stored.id] = JobInfo{JobInfo::State::Waiting, priority, 0, 0};
+    } else if (state == "r") {
+      running_.push_back(RunningJob{&stored, start, start + estimate});
+      completions_.push(Completion{start + stored.runtime, stored.id, 0});
+      used_nodes_ += stored.nodes;
+      info_[stored.id] = JobInfo{JobInfo::State::Running, priority, start, 0};
+    } else {
+      throw Error("unknown job state \"" + state + "\" in service checkpoint");
+    }
+  }
+  std::sort(waiting_.begin(), waiting_.end(),
+            [](const WaitingJob& a, const WaitingJob& b) {
+              if (a.job->submit != b.job->submit)
+                return a.job->submit < b.job->submit;
+              return a.job->id < b.job->id;
+            });
+  dirty_ = !waiting_.empty();
+}
+
+}  // namespace sbs::service

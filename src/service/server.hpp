@@ -1,0 +1,213 @@
+#pragma once
+
+// The `sbsched serve` daemon: a long-running scheduler service that accepts
+// job submissions over a Unix-domain socket (see protocol.hpp), batches
+// arrivals between scheduling decisions, and runs the machine against a
+// virtual clock so a wall-clock second covers `time_scale` seconds of
+// simulated machine time. The service defends itself like a real one:
+//   - bounded admission queue with explicit RETRY_AFTER backpressure,
+//   - priority load shedding when the health monitor says Overloaded
+//     (admission.hpp), while the overload governor independently degrades
+//     the search itself (resilience::GovernedScheduler),
+//   - per-request timeouts on stalled partial frames,
+//   - graceful drain on request or signal: stop admitting, finish the
+//     queued work by fast-forwarding the virtual clock, checkpoint, flush
+//     telemetry, exit cleanly,
+//   - crash-safe periodic checkpoints (atomic tmp+fsync+rename) restoring
+//     the admission queue and every in-flight job via --resume.
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "resilience/governor.hpp"
+#include "service/admission.hpp"
+#include "service/protocol.hpp"
+#include "sim/completion_queue.hpp"
+#include "sim/scheduler.hpp"
+#include "util/time.hpp"
+
+namespace sbs::obs {
+class Telemetry;
+}  // namespace sbs::obs
+
+namespace sbs::service {
+
+/// Everything `sbsched serve` configures. Flags map 1:1; defaults match
+/// the CLI defaults.
+struct ServiceConfig {
+  std::string socket_path;          ///< Unix-domain socket to listen on
+  int capacity = 128;               ///< machine size in nodes
+
+  // Policy knobs, same meaning as `sbsched simulate`.
+  std::string policy = "DDS/lxf/dynB";
+  std::size_t node_limit = 1000;    ///< search-tree node budget per decision
+  double deadline_ms = -1.0;        ///< per-decision wall deadline (<0 = none)
+  std::size_t threads = 0;          ///< parallel-search workers
+  bool cache = true;
+  bool warm_start = false;
+  /// Engaged = wrap the policy in the overload governor.
+  std::optional<resilience::GovernorConfig> governor;
+
+  AdmissionConfig admission;
+
+  /// Virtual seconds of machine time per wall-clock second. The default
+  /// compresses ~17 simulated minutes into each wall second, so a 30 s
+  /// smoke run covers a realistic workload slice.
+  std::int64_t time_scale = 1000;
+  /// Arrival batching window: at most one scheduling decision per this many
+  /// wall milliseconds, so a burst of submissions is planned as one batch.
+  int batch_ms = 10;
+  /// A connection holding a partial frame longer than this is timed out.
+  int request_timeout_ms = 5000;
+  int max_connections = 64;
+
+  obs::Telemetry* telemetry = nullptr;  ///< not owned; may be null
+  std::string checkpoint_path;          ///< "" = no checkpoints
+  std::uint64_t checkpoint_every = 0;   ///< decisions between checkpoints
+                                        ///  (0 = only at drain)
+  std::string resume_path;              ///< restore from this checkpoint
+  /// Polled every loop iteration; true = begin graceful drain (the CLI
+  /// points this at its SIGINT/SIGTERM flag).
+  const std::atomic<bool>* interrupt = nullptr;
+  /// Drain automatically after this many decisions (0 = unbounded).
+  std::uint64_t max_decisions = 0;
+};
+
+/// Service-side counters, reported via the `stats` op, the final `service`
+/// telemetry record, and the run() return value. requests counts every
+/// well-framed request; protocol_errors counts malformed frames/requests
+/// and unsatisfiable submissions (wider than the machine).
+struct ServiceStats {
+  std::uint64_t requests = 0;
+  std::uint64_t protocol_errors = 0;
+  std::uint64_t timeouts = 0;            ///< connections timed out mid-frame
+  std::uint64_t connections = 0;         ///< accepted over the lifetime
+  std::uint64_t admitted = 0;
+  std::uint64_t rejected_backpressure = 0;
+  std::uint64_t rejected_shed = 0;
+  std::uint64_t rejected_drain = 0;
+  std::uint64_t started = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t decisions = 0;
+  std::uint64_t checkpoints = 0;
+};
+
+/// The daemon. Constructing binds and listens on config.socket_path (and
+/// restores the resume checkpoint if one is named), so a client may connect
+/// as soon as the constructor returns; run() executes the event loop until
+/// a drain completes and returns the final counters. Fatal conditions
+/// (socket setup failure, corrupt checkpoint, a policy invariant violation)
+/// throw sbs::Error.
+class SchedulerService {
+ public:
+  explicit SchedulerService(const ServiceConfig& config);
+  ~SchedulerService();
+  SchedulerService(const SchedulerService&) = delete;
+  SchedulerService& operator=(const SchedulerService&) = delete;
+
+  ServiceStats run();
+
+  /// Virtual machine time right now (monotone; jumps forward during drain).
+  Time virtual_now() const;
+
+  const ServiceStats& stats() const { return stats_; }
+  const AdmissionControl& admission() const { return admission_; }
+
+ private:
+  struct Conn {
+    int fd = -1;
+    FrameDecoder decoder;
+    std::string out;                  ///< bytes queued for write
+    std::int64_t last_activity_ms = 0;
+    bool closing = false;             ///< close once `out` drains
+  };
+
+  /// Everything the service knows about a job it admitted.
+  struct JobInfo {
+    enum class State { Waiting, Running, Done };
+    State state = State::Waiting;
+    int priority = 0;
+    Time start = 0;
+    Time end = 0;
+  };
+
+  std::int64_t wall_ms() const;
+
+  void setup_socket();
+  void accept_connections();
+  void service_readable(Conn& conn);
+  void flush_writes(Conn& conn);
+  void handle_frame(Conn& conn, std::string_view payload);
+  std::string handle_submit(const Request& req);
+  std::string stats_payload(std::int64_t id) const;
+  std::string status_payload(std::int64_t id, std::int64_t job) const;
+  void reply(Conn& conn, std::string_view payload);
+  void close_conn(Conn& conn);
+
+  void pop_due_completions(Time vnow);
+  bool want_decision(std::int64_t now_ms) const;
+  void decide(Time vnow);
+  int poll_timeout_ms() const;
+
+  void begin_drain(Time vnow);
+  void drain_fast_forward();
+  void maybe_checkpoint();
+  void write_checkpoint() const;
+  void restore_checkpoint(const std::string& path);
+  void emit_final_records(Time vnow);
+
+  ServiceConfig config_;
+  AdmissionControl admission_;
+  std::unique_ptr<Scheduler> scheduler_;
+  std::string policy_name_;  ///< scheduler_->name(), stable for telemetry
+  obs::Telemetry* tel_ = nullptr;
+
+  int listen_fd_ = -1;
+  std::vector<Conn> conns_;
+
+  // Machine state. jobs_ is a deque so Job pointers stay stable.
+  std::deque<Job> jobs_;
+  std::unordered_map<int, JobInfo> info_;
+  std::vector<WaitingJob> waiting_;
+  std::vector<RunningJob> running_;
+  sim::CompletionQueue completions_;
+  int used_nodes_ = 0;
+  int next_job_id_ = 0;
+
+  // Virtual clock: virtual_now = base_virtual + wall_elapsed * scale.
+  std::int64_t base_wall_ms_ = 0;
+  Time base_virtual_ = 0;
+
+  ServiceStats stats_;
+  bool dirty_ = false;                   ///< queue/machine changed since the
+                                         ///  last decision
+  std::int64_t next_decision_ms_ = 0;    ///< batching gate (wall clock)
+  std::uint64_t decisions_since_checkpoint_ = 0;
+  bool drained_ = false;
+  bool drain_requested_ = false;
+
+  /// Recent per-decision wall latencies and per-request handling
+  /// latencies (µs), ring buffers for the stats op / final record.
+  std::vector<std::uint64_t> think_ring_;
+  std::vector<std::uint64_t> request_ring_;
+  std::size_t think_next_ = 0;
+  std::size_t request_next_ = 0;
+
+  /// Decisions executed at each governor rung (occupancy; all at [0] when
+  /// no governor is configured).
+  std::array<std::uint64_t, resilience::kGovLevels> gov_decisions_{};
+  int last_gov_level_ = -1;
+};
+
+/// Quantile over an unordered sample set (nearest-rank); 0 when empty.
+/// Shared by the stats op and the load generator's percentile math.
+std::uint64_t nearest_rank_us(std::vector<std::uint64_t> samples, double q);
+
+}  // namespace sbs::service

@@ -1,0 +1,41 @@
+#pragma once
+
+#include <algorithm>
+#include <queue>
+#include <vector>
+
+#include "util/time.hpp"
+
+namespace sbs::sim {
+
+/// A pending job-completion event. `attempt` is the attempt number the
+/// completion was scheduled for; a holder whose job was killed since leaves
+/// the stale entry in the queue and ignores it at pop (removing from the
+/// middle of a binary heap would cost more than skipping).
+struct Completion {
+  Time end = 0;
+  int job_id = 0;
+  int attempt = 0;  ///< invalidated (ignored at pop) when the job was killed
+  bool operator>(const Completion& other) const {
+    if (end != other.end) return end > other.end;
+    return job_id > other.job_id;
+  }
+};
+
+/// Min-heap of pending completions with its container exposed, so
+/// checkpointing can capture the full pending set (including stale entries
+/// of killed attempts — they must survive a resume to be skipped at pop
+/// exactly as in an uninterrupted run). Shared by the offline simulator
+/// and the live `sbsched serve` event loop.
+class CompletionQueue
+    : public std::priority_queue<Completion, std::vector<Completion>,
+                                 std::greater<>> {
+ public:
+  const std::vector<Completion>& container() const { return c; }
+  void restore(std::vector<Completion> entries) {
+    c = std::move(entries);
+    std::make_heap(c.begin(), c.end(), comp);
+  }
+};
+
+}  // namespace sbs::sim

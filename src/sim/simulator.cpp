@@ -2,41 +2,15 @@
 
 #include <algorithm>
 #include <limits>
-#include <queue>
 
 #include "obs/telemetry.hpp"
+#include "sim/completion_queue.hpp"
 #include "util/error.hpp"
 
 namespace sbs {
 
-namespace {
-
-struct Completion {
-  Time end;
-  int job_id;
-  int attempt;  ///< invalidated (ignored at pop) when the job was killed
-  bool operator>(const Completion& other) const {
-    if (end != other.end) return end > other.end;
-    return job_id > other.job_id;
-  }
-};
-
-// priority_queue with its container exposed, so checkpointing can capture
-// the pending completions (including stale entries of killed attempts —
-// they must survive a resume to be skipped at pop exactly as in an
-// uninterrupted run).
-class CompletionQueue
-    : public std::priority_queue<Completion, std::vector<Completion>,
-                                 std::greater<>> {
- public:
-  const std::vector<Completion>& container() const { return c; }
-  void restore(std::vector<Completion> entries) {
-    c = std::move(entries);
-    std::make_heap(c.begin(), c.end(), comp);
-  }
-};
-
-}  // namespace
+using sim::Completion;
+using sim::CompletionQueue;
 
 SimResult simulate(const Trace& trace, Scheduler& scheduler,
                    const SimConfig& config) {

@@ -12,7 +12,7 @@ CliArgs::CliArgs(int argc, const char* const* argv,
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg.rfind("--", 0) != 0)
-      throw Error("unexpected positional argument: " + arg);
+      throw UsageError("unexpected positional argument: " + arg);
     arg = arg.substr(2);
     std::string key = arg;
     std::string value = "1";  // bare flag means true
@@ -21,7 +21,7 @@ CliArgs::CliArgs(int argc, const char* const* argv,
       value = arg.substr(eq + 1);
     }
     if (std::find(allowed.begin(), allowed.end(), key) == allowed.end())
-      throw Error("unknown option --" + key);
+      throw UsageError("unknown option --" + key);
     values_[key] = value;
   }
 }

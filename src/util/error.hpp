@@ -12,6 +12,15 @@ class Error : public std::runtime_error {
   explicit Error(const std::string& what) : std::runtime_error(what) {}
 };
 
+/// Thrown on command-line misuse: an unknown option or subcommand, a
+/// malformed flag value, a missing required flag. CLI drivers catch it
+/// separately from Error so operator mistakes get usage text on stderr and
+/// exit code 2, while genuine runtime failures stay exit code 1.
+class UsageError : public Error {
+ public:
+  explicit UsageError(const std::string& what) : Error(what) {}
+};
+
 namespace detail {
 [[noreturn]] inline void fail(const char* expr, const char* file, int line,
                               const std::string& msg) {

@@ -1,0 +1,200 @@
+#!/usr/bin/env bash
+# Signal-path contract of `sbsched serve`:
+#
+#   sigterm — SIGTERM mid-burst is a graceful drain: the daemon finishes
+#             the queued work in virtual time, writes the final drain and
+#             service telemetry records, and exits 0 with no torn JSONL.
+#   sigkill — SIGKILL is a crash: the periodic checkpoint survives, and a
+#             restart with --resume restores the admission queue (running
+#             and waiting jobs alike) before serving again.
+#
+# Usage: test_serve_signals.sh <sigterm|sigkill> <sbsched> <sbsched_loadgen>
+set -u
+
+MODE=${1:?mode (sigterm|sigkill) required}
+SBSCHED=${2:?path to sbsched required}
+LOADGEN=${3:?path to sbsched_loadgen required}
+
+DIR=$(mktemp -d "${TMPDIR:-/tmp}/sbs_signals.XXXXXX")
+SOCK="$DIR/serve.sock"
+SERVE_PID=""
+LOADGEN_PID=""
+
+cleanup() {
+  [ -n "$LOADGEN_PID" ] && kill -9 "$LOADGEN_PID" 2>/dev/null
+  [ -n "$SERVE_PID" ] && kill -9 "$SERVE_PID" 2>/dev/null
+  wait 2>/dev/null
+  rm -rf "$DIR"
+}
+trap cleanup EXIT
+
+fail() {
+  echo "FAIL($MODE): $*" >&2
+  exit 1
+}
+
+# Tiny protocol client: one request per invocation, JSON response on
+# stdout. Mirrors the 4-byte big-endian length framing of protocol.hpp.
+client() {
+  python3 - "$SOCK" "$1" <<'EOF'
+import json, socket, struct, sys
+sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+sock.settimeout(10)
+sock.connect(sys.argv[1])
+payload = sys.argv[2].encode()
+sock.sendall(struct.pack(">I", len(payload)) + payload)
+hdr = b""
+while len(hdr) < 4:
+    chunk = sock.recv(4 - len(hdr))
+    if not chunk:
+        raise SystemExit("server closed mid-header")
+    hdr += chunk
+n = struct.unpack(">I", hdr)[0]
+buf = b""
+while len(buf) < n:
+    chunk = sock.recv(n - len(buf))
+    if not chunk:
+        raise SystemExit("server closed mid-payload")
+    buf += chunk
+print(buf.decode())
+EOF
+}
+
+wait_for_socket() {
+  for _ in $(seq 1 200); do
+    if client '{"op":"stats","id":0}' >/dev/null 2>&1; then
+      return 0
+    fi
+    kill -0 "$SERVE_PID" 2>/dev/null || fail "serve died before readiness"
+    sleep 0.05
+  done
+  fail "serve socket never became ready"
+}
+
+stats_field() {
+  client '{"op":"stats","id":0}' | python3 -c \
+    "import json,sys; print(json.load(sys.stdin)[sys.argv[1]])" "$1"
+}
+
+case "$MODE" in
+  sigterm)
+    TELEM="$DIR/serve.jsonl"
+    "$SBSCHED" serve --socket="$SOCK" --capacity=16 --time-scale=5000 \
+        --batch-ms=1 --telemetry="$TELEM" >"$DIR/serve.log" 2>&1 &
+    SERVE_PID=$!
+    wait_for_socket
+
+    # Open-loop burst; the generator keeps offering work while we pull the
+    # rug out, so the drain really happens mid-traffic. Its exit status is
+    # irrelevant — the server closing on it mid-sweep is expected.
+    "$LOADGEN" --socket="$SOCK" --rate-start=40 --rate-stop=40 \
+        --step-seconds=30 --settle-ms=0 --nodes-min=1 --nodes-max=8 \
+        --runtime-min=60 --runtime-max=600 --drain=off \
+        --out="$DIR/loadgen.json" >/dev/null 2>&1 &
+    LOADGEN_PID=$!
+
+    sleep 1
+    ADMITTED=$(stats_field admitted)
+    [ "$ADMITTED" -gt 0 ] || fail "no jobs admitted before SIGTERM"
+
+    kill -TERM "$SERVE_PID"
+    wait "$SERVE_PID"
+    RC=$?
+    SERVE_PID=""
+    [ "$RC" -eq 0 ] || fail "SIGTERM drain exited $RC, want 0"
+
+    kill "$LOADGEN_PID" 2>/dev/null
+    wait "$LOADGEN_PID" 2>/dev/null
+    LOADGEN_PID=""
+
+    # Every telemetry line must parse (no torn JSONL) and the stream must
+    # end with the drain + service summary records a clean exit writes.
+    python3 - "$TELEM" <<'EOF'
+import json, sys
+records = []
+with open(sys.argv[1], "rb") as f:
+    for i, line in enumerate(f.read().split(b"\n")):
+        if not line:
+            continue
+        try:
+            records.append(json.loads(line))
+        except ValueError:
+            raise SystemExit(f"torn telemetry record at line {i + 1}")
+types = [r.get("type") for r in records]
+if "drain" not in types:
+    raise SystemExit("no drain record after SIGTERM")
+if types[-1] != "service":
+    raise SystemExit(f"stream ends with {types[-1]!r}, want 'service'")
+drains = [r for r in records if r.get("type") == "drain"]
+if drains[-1].get("phase") != "complete":
+    raise SystemExit("final drain record is not phase=complete")
+EOF
+    [ $? -eq 0 ] || fail "telemetry stream check failed"
+
+    # The reporter reconciles decision deltas against the service record;
+    # a clean exit here certifies the whole stream.
+    "$SBSCHED" report --telemetry="$TELEM" >/dev/null \
+        || fail "sbsched report rejected the drained telemetry"
+    ;;
+
+  sigkill)
+    CKPT="$DIR/serve.ckpt"
+    # time-scale=1 keeps the submitted jobs effectively frozen, so the
+    # checkpoint we crash on still holds 2 running + 2 waiting.
+    "$SBSCHED" serve --socket="$SOCK" --capacity=4 --time-scale=1 \
+        --batch-ms=1 --checkpoint="$CKPT" --checkpoint-every=1 \
+        >"$DIR/serve.log" 2>&1 &
+    SERVE_PID=$!
+    wait_for_socket
+
+    for i in 0 1 2 3; do
+      OUT=$(client "{\"op\":\"submit\",\"id\":$i,\"nodes\":2,\"runtime\":1000000,\"priority\":3}")
+      echo "$OUT" | grep -q '"status":"accepted"' \
+          || fail "submit $i not accepted: $OUT"
+    done
+
+    for _ in $(seq 1 200); do
+      RUNNING=$(stats_field running)
+      DEPTH=$(stats_field queue_depth)
+      CKPTS=$(stats_field checkpoints)
+      if [ "$RUNNING" -eq 2 ] && [ "$DEPTH" -eq 2 ] && [ "$CKPTS" -ge 1 ]; then
+        break
+      fi
+      sleep 0.05
+    done
+    [ "$RUNNING" -eq 2 ] || fail "expected 2 running before crash, got $RUNNING"
+    [ "$DEPTH" -eq 2 ] || fail "expected 2 queued before crash, got $DEPTH"
+
+    kill -9 "$SERVE_PID"
+    wait "$SERVE_PID" 2>/dev/null
+    SERVE_PID=""
+    [ -s "$CKPT" ] || fail "no checkpoint survived SIGKILL"
+
+    SOCK="$DIR/serve2.sock"
+    "$SBSCHED" serve --socket="$SOCK" --capacity=4 --time-scale=5000 \
+        --batch-ms=1 --resume="$CKPT" >"$DIR/serve2.log" 2>&1 &
+    SERVE_PID=$!
+    wait_for_socket
+
+    ADMITTED=$(stats_field admitted)
+    RUNNING=$(stats_field running)
+    DEPTH=$(stats_field queue_depth)
+    [ "$ADMITTED" -eq 4 ] || fail "resume lost admissions: $ADMITTED, want 4"
+    [ $((RUNNING + DEPTH)) -eq 4 ] \
+        || fail "resume lost queued work: running=$RUNNING depth=$DEPTH, want 4 total"
+
+    # The restored queue must drain to completion, not just be counted.
+    client '{"op":"drain","id":9}' >/dev/null || fail "drain request failed"
+    wait "$SERVE_PID"
+    RC=$?
+    SERVE_PID=""
+    [ "$RC" -eq 0 ] || fail "post-resume drain exited $RC, want 0"
+    ;;
+
+  *)
+    fail "unknown mode '$MODE'"
+    ;;
+esac
+
+echo "PASS($MODE)"
+exit 0

@@ -5,6 +5,7 @@
 
 #include <cstdio>
 #include <fstream>
+#include <iterator>
 #include <set>
 #include <string>
 #include <vector>
@@ -404,6 +405,113 @@ TEST(TelemetryEndToEnd, MetricsOnlyModeNeedsNoSink) {
   EXPECT_EQ(counter("sim.jobs.submitted"), trace.jobs.size());
   EXPECT_EQ(counter("sim.jobs.started"), trace.jobs.size());
   EXPECT_EQ(counter("sim.jobs.finished"), trace.jobs.size());
+}
+
+// ---------------------------------------------------------------------------
+// Externally rotated streams: records cut at a segment boundary
+
+void write_file(const std::string& path, std::string_view bytes) {
+  std::ofstream out(path, std::ios::binary);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+/// One reconciling stream as raw bytes plus its single-file summary.
+struct SplitFixture {
+  std::string bytes;
+  obs::TelemetrySummary whole;
+};
+
+SplitFixture stream_fixture() {
+  const Trace trace = bursty_trace();
+  SearchSchedulerConfig cfg;
+  cfg.search.node_limit = 200;
+  SearchScheduler scheduler(cfg);
+  const std::string path = testing::TempDir() + "/sbs_tel_fixture.jsonl";
+  {
+    obs::Telemetry tel(std::make_unique<obs::JsonlSink>(path));
+    SimConfig sim;
+    sim.telemetry = &tel;
+    simulate(trace, scheduler, sim);
+  }
+  SplitFixture f;
+  std::ifstream in(path, std::ios::binary);
+  f.bytes.assign(std::istreambuf_iterator<char>(in),
+                 std::istreambuf_iterator<char>());
+  f.whole = obs::read_telemetry(path);
+  std::remove(path.c_str());
+  return f;
+}
+
+void expect_same_run(const obs::TelemetrySummary& got,
+                     const obs::TelemetrySummary& want) {
+  ASSERT_EQ(got.runs.size(), want.runs.size());
+  const obs::RunReport& a = got.runs.front();
+  const obs::RunReport& b = want.runs.front();
+  EXPECT_EQ(a.decisions, b.decisions);
+  EXPECT_EQ(a.submits, b.submits);
+  EXPECT_EQ(a.starts, b.starts);
+  EXPECT_EQ(a.finishes, b.finishes);
+  EXPECT_EQ(a.nodes_visited, b.nodes_visited);
+  EXPECT_EQ(a.think_time_us, b.think_time_us);
+}
+
+TEST(TelemetryReport, StitchesRecordCutMidDecisionAcrossSegments) {
+  const SplitFixture f = stream_fixture();
+  // Cut INSIDE a decision record, the way an external rotation (logrotate
+  // copying mid-write) can: the dangling tail of segment 0 and the head of
+  // segment 1 must reassemble into one record.
+  const std::size_t rec = f.bytes.find("\"type\":\"decision\"");
+  ASSERT_NE(rec, std::string::npos);
+  const std::size_t cut = rec + 8;  // mid-way through the type field itself
+  const std::string a = testing::TempDir() + "/sbs_tel_split_a.jsonl";
+  const std::string b = testing::TempDir() + "/sbs_tel_split_b.jsonl";
+  write_file(a, std::string_view(f.bytes).substr(0, cut));
+  write_file(b, std::string_view(f.bytes).substr(cut));
+
+  const obs::TelemetrySummary split = obs::read_telemetry_files({a, b});
+  EXPECT_EQ(split.stitched_records, 1u);
+  EXPECT_EQ(split.torn_records, 0u);
+  expect_same_run(split, f.whole);
+  std::remove(a.c_str());
+  std::remove(b.c_str());
+}
+
+TEST(TelemetryReport, CleanSegmentBoundaryNeedsNoStitch) {
+  const SplitFixture f = stream_fixture();
+  // Cut exactly after a newline: both segments hold whole lines.
+  const std::size_t cut = f.bytes.find('\n', f.bytes.size() / 2);
+  ASSERT_NE(cut, std::string::npos);
+  const std::string a = testing::TempDir() + "/sbs_tel_clean_a.jsonl";
+  const std::string b = testing::TempDir() + "/sbs_tel_clean_b.jsonl";
+  write_file(a, std::string_view(f.bytes).substr(0, cut + 1));
+  write_file(b, std::string_view(f.bytes).substr(cut + 1));
+
+  const obs::TelemetrySummary split = obs::read_telemetry_files({a, b});
+  EXPECT_EQ(split.stitched_records, 0u);
+  EXPECT_EQ(split.torn_records, 0u);
+  expect_same_run(split, f.whole);
+  std::remove(a.c_str());
+  std::remove(b.c_str());
+}
+
+TEST(TelemetryReport, LostNewlineAtBoundaryParsesTailAlone) {
+  const SplitFixture f = stream_fixture();
+  // Segment 0 ends with a COMPLETE record whose newline was lost in the
+  // rotation: the tail must parse alone, not be glued onto segment 1's
+  // first record.
+  const std::size_t cut = f.bytes.find('\n', f.bytes.size() / 2);
+  ASSERT_NE(cut, std::string::npos);
+  const std::string a = testing::TempDir() + "/sbs_tel_nonl_a.jsonl";
+  const std::string b = testing::TempDir() + "/sbs_tel_nonl_b.jsonl";
+  write_file(a, std::string_view(f.bytes).substr(0, cut));  // no newline
+  write_file(b, std::string_view(f.bytes).substr(cut + 1));
+
+  const obs::TelemetrySummary split = obs::read_telemetry_files({a, b});
+  EXPECT_EQ(split.stitched_records, 0u);
+  EXPECT_EQ(split.torn_records, 0u);
+  expect_same_run(split, f.whole);
+  std::remove(a.c_str());
+  std::remove(b.c_str());
 }
 
 TEST(TelemetryReport, RejectsMalformedStreams) {

@@ -1,0 +1,544 @@
+// Service-mode tests: wire framing, request parsing, the admission
+// ladder's backpressure/shed/drain semantics, checkpoint state round
+// trips, and in-process end-to-end runs of the daemon over a real
+// Unix-domain socket (submit/status/stats/drain, resume from a periodic
+// checkpoint, telemetry reconciliation).
+
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/json.hpp"
+#include "obs/report.hpp"
+#include "obs/telemetry.hpp"
+#include "obs/trace_sink.hpp"
+#include "service/admission.hpp"
+#include "service/protocol.hpp"
+#include "service/server.hpp"
+#include "util/error.hpp"
+
+namespace sbs::service {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Framing
+
+TEST(Framing, RoundTripsFramesFedByteAtATime) {
+  const std::vector<std::string> payloads = {"{}", R"({"op":"stats","id":7})",
+                                             std::string(1000, 'x')};
+  std::string wire;
+  for (const std::string& p : payloads) encode_frame(p, wire);
+
+  FrameDecoder decoder;
+  std::vector<std::string> out;
+  for (const char c : wire) {
+    decoder.feed(std::string_view(&c, 1));
+    while (auto frame = decoder.next()) out.push_back(*frame);
+  }
+  EXPECT_EQ(out, payloads);
+  EXPECT_EQ(decoder.pending_bytes(), 0u);
+}
+
+TEST(Framing, DecoderRejectsOversizedPrefix) {
+  // A prefix announcing 2 MiB must throw before any payload arrives.
+  const char prefix[4] = {0x00, 0x20, 0x00, 0x00};
+  FrameDecoder decoder;
+  decoder.feed(std::string_view(prefix, 4));
+  EXPECT_THROW(decoder.next(), Error);
+}
+
+TEST(Framing, EncodeRejectsOversizedPayload) {
+  std::string wire;
+  const std::string big(kMaxFrameBytes + 1, 'x');
+  EXPECT_THROW(encode_frame(big, wire), Error);
+}
+
+TEST(Framing, PartialFrameReportsPendingBytes) {
+  std::string wire;
+  encode_frame("{\"a\":1}", wire);
+  FrameDecoder decoder;
+  decoder.feed(std::string_view(wire).substr(0, wire.size() - 2));
+  EXPECT_EQ(decoder.next(), std::nullopt);
+  EXPECT_GT(decoder.pending_bytes(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Request parsing
+
+TEST(ParseRequest, AcceptsEveryOpAndDefaultsOptionalFields) {
+  const Request submit = parse_request(
+      R"({"op":"submit","id":3,"nodes":4,"runtime":600})");
+  EXPECT_EQ(submit.op, Request::Op::Submit);
+  EXPECT_EQ(submit.id, 3);
+  EXPECT_EQ(submit.submit.nodes, 4);
+  EXPECT_EQ(submit.submit.runtime, 600);
+  EXPECT_EQ(submit.submit.requested, 0);
+  EXPECT_EQ(submit.submit.user, 0);
+  EXPECT_EQ(submit.submit.priority, 0);
+
+  const Request full = parse_request(
+      R"({"op":"submit","id":4,"nodes":2,"runtime":60,"requested":120,)"
+      R"("user":9,"priority":3})");
+  EXPECT_EQ(full.submit.requested, 120);
+  EXPECT_EQ(full.submit.user, 9);
+  EXPECT_EQ(full.submit.priority, 3);
+
+  const Request status = parse_request(R"({"op":"status","id":1,"job":42})");
+  EXPECT_EQ(status.op, Request::Op::Status);
+  EXPECT_EQ(status.job, 42);
+
+  EXPECT_EQ(parse_request(R"({"op":"stats","id":1})").op, Request::Op::Stats);
+  EXPECT_EQ(parse_request(R"({"op":"drain","id":1})").op, Request::Op::Drain);
+}
+
+TEST(ParseRequest, RejectsMalformedRequests) {
+  EXPECT_THROW(parse_request("not json"), Error);
+  EXPECT_THROW(parse_request("[1,2]"), Error);                  // not an object
+  EXPECT_THROW(parse_request(R"({"id":1})"), Error);            // no op
+  EXPECT_THROW(parse_request(R"({"op":"submit"})"), Error);     // no id
+  EXPECT_THROW(parse_request(R"({"op":"mystery","id":1})"), Error);
+  EXPECT_THROW(parse_request(R"({"op":"status","id":1})"), Error);  // no job
+  // Submission field ranges.
+  EXPECT_THROW(parse_request(R"({"op":"submit","id":1,"runtime":60})"),
+               Error);  // no nodes
+  EXPECT_THROW(parse_request(R"({"op":"submit","id":1,"nodes":4})"),
+               Error);  // no runtime
+  EXPECT_THROW(
+      parse_request(R"({"op":"submit","id":1,"nodes":0,"runtime":60})"),
+      Error);
+  EXPECT_THROW(
+      parse_request(R"({"op":"submit","id":1,"nodes":4,"runtime":0})"),
+      Error);
+  EXPECT_THROW(parse_request(R"({"op":"submit","id":1,"nodes":4,)"
+                             R"("runtime":60,"priority":-1})"),
+               Error);
+}
+
+// ---------------------------------------------------------------------------
+// Quantiles
+
+TEST(NearestRank, MatchesHandComputedRanks) {
+  EXPECT_EQ(nearest_rank_us({}, 0.5), 0u);
+  const std::vector<std::uint64_t> s = {40, 10, 30, 20};  // unsorted on entry
+  EXPECT_EQ(nearest_rank_us(s, 0.50), 20u);   // ceil(0.5*4)=2nd
+  EXPECT_EQ(nearest_rank_us(s, 0.99), 40u);   // ceil(3.96)=4th
+  EXPECT_EQ(nearest_rank_us(s, 0.001), 10u);  // clamped to 1st
+}
+
+// ---------------------------------------------------------------------------
+// Admission control
+
+AdmissionConfig twitchy_admission() {
+  // alpha=1 makes the EWMA equal the latest sample, so the ladder's
+  // response to a signal sequence is exact and easy to reason about.
+  AdmissionConfig cfg;
+  cfg.queue_limit = 10;
+  cfg.retry_base_ms = 50;
+  cfg.retry_cap_ms = 200;
+  cfg.priority_levels = 4;
+  cfg.health = resilience::HealthConfig{};
+  cfg.health.alpha = 1.0;
+  cfg.health.queue_high = 10.0;
+  cfg.health.recovery_fraction = 0.5;
+  return cfg;
+}
+
+resilience::HealthSignal depth(double queue) {
+  resilience::HealthSignal s;
+  s.queue_depth = queue;
+  return s;
+}
+
+TEST(Admission, BackpressureDelayGrowsWithOverflowAndCaps) {
+  const AdmissionControl ac{twitchy_admission()};
+  EXPECT_EQ(ac.admit(0, 9).kind, AdmissionVerdict::Kind::Admit);
+
+  const AdmissionVerdict at_limit = ac.admit(0, 10);
+  EXPECT_EQ(at_limit.kind, AdmissionVerdict::Kind::RetryAfter);
+  EXPECT_EQ(at_limit.retry_ms, 50);  // one base unit at the boundary
+
+  EXPECT_EQ(ac.admit(0, 12).retry_ms, 150);  // 3 jobs over -> 3 units
+  EXPECT_EQ(ac.admit(0, 50).retry_ms, 200);  // capped
+}
+
+TEST(Admission, ShedFloorWalksUpUnderOverloadAndBackDownOnRecovery) {
+  AdmissionControl ac{twitchy_admission()};
+  EXPECT_EQ(ac.state(), AdmissionState::Accepting);
+
+  // Each Overloaded decision raises the floor one class, saturating below
+  // the top class (priority 3 is never shed).
+  for (int expected : {1, 2, 3, 3}) {
+    ac.observe_decision(depth(20.0));
+    EXPECT_EQ(ac.shed_floor(), expected);
+  }
+  EXPECT_EQ(ac.state(), AdmissionState::Shedding);
+  EXPECT_EQ(ac.admit(2, 0).kind, AdmissionVerdict::Kind::Shed);
+  EXPECT_EQ(ac.admit(2, 0).floor, 3);
+  EXPECT_EQ(ac.admit(3, 0).kind, AdmissionVerdict::Kind::Admit);
+
+  // The hysteresis band (between recover*high and high) holds the floor.
+  ac.observe_decision(depth(7.0));
+  EXPECT_EQ(ac.shed_floor(), 3);
+
+  // Recovered decisions walk it back down to zero.
+  for (int expected : {2, 1, 0, 0}) {
+    ac.observe_decision(depth(0.0));
+    EXPECT_EQ(ac.shed_floor(), expected);
+  }
+  EXPECT_EQ(ac.state(), AdmissionState::Accepting);
+  EXPECT_EQ(ac.admit(0, 0).kind, AdmissionVerdict::Kind::Admit);
+}
+
+TEST(Admission, DrainIsOneWayAndRefusesEveryPriority) {
+  AdmissionControl ac{twitchy_admission()};
+  ac.begin_drain();
+  EXPECT_EQ(ac.state(), AdmissionState::Draining);
+  EXPECT_EQ(ac.admit(3, 0).kind, AdmissionVerdict::Kind::Drain);
+  EXPECT_EQ(ac.admit(0, 50).kind, AdmissionVerdict::Kind::Drain);
+  // Recovery signals do not un-drain.
+  ac.observe_decision(depth(0.0));
+  EXPECT_EQ(ac.state(), AdmissionState::Draining);
+}
+
+TEST(Admission, StateRoundTripsThroughJson) {
+  AdmissionControl ac{twitchy_admission()};
+  ac.observe_decision(depth(20.0));
+  ac.observe_decision(depth(20.0));
+  ASSERT_EQ(ac.shed_floor(), 2);
+
+  obs::JsonWriter w;
+  w.begin_object();
+  ac.append_state(w, "admission");
+  w.end_object();
+  const obs::JsonValue v = obs::parse_json(w.str());
+
+  AdmissionControl restored{twitchy_admission()};
+  restored.restore_state(*v.find("admission"));
+  EXPECT_EQ(restored.shed_floor(), 2);
+  EXPECT_FALSE(restored.draining());
+  // The restored monitor continues the same trajectory.
+  restored.observe_decision(depth(20.0));
+  ac.observe_decision(depth(20.0));
+  EXPECT_EQ(restored.shed_floor(), ac.shed_floor());
+}
+
+TEST(Admission, SpecParserOverridesKnobsAndRejectsUnknownKeys) {
+  const AdmissionConfig cfg = parse_admission_spec(
+      "limit=7,retry-base-ms=10,retry-cap-ms=40,priorities=2,queue=5,"
+      "think-ms=99,alpha=0.7,recover=0.25");
+  EXPECT_EQ(cfg.queue_limit, 7u);
+  EXPECT_EQ(cfg.retry_base_ms, 10);
+  EXPECT_EQ(cfg.retry_cap_ms, 40);
+  EXPECT_EQ(cfg.priority_levels, 2);
+  EXPECT_DOUBLE_EQ(cfg.health.queue_high, 5.0);
+  EXPECT_DOUBLE_EQ(cfg.health.think_ms_high, 99.0);
+  EXPECT_DOUBLE_EQ(cfg.health.alpha, 0.7);
+  EXPECT_DOUBLE_EQ(cfg.health.recovery_fraction, 0.25);
+
+  // Empty spec = defaults.
+  EXPECT_EQ(parse_admission_spec("").queue_limit, AdmissionConfig{}.queue_limit);
+
+  EXPECT_THROW(parse_admission_spec("bogus=1"), UsageError);
+  EXPECT_THROW(parse_admission_spec("limit"), UsageError);
+  EXPECT_THROW(parse_admission_spec("limit=abc"), UsageError);
+  EXPECT_THROW(parse_admission_spec("limit=0"), UsageError);
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end over a real socket
+
+/// Runs a SchedulerService on its own thread. The constructor returns once
+/// the socket is listening (SchedulerService binds in its constructor), so
+/// clients can connect immediately.
+struct Harness {
+  explicit Harness(ServiceConfig cfg) : config(std::move(cfg)) {
+    service = std::make_unique<SchedulerService>(config);
+    thread = std::thread([this] { final_stats = service->run(); });
+  }
+
+  ~Harness() {
+    if (thread.joinable()) thread.join();
+    std::remove(config.socket_path.c_str());
+  }
+
+  void join() { thread.join(); }
+
+  ServiceConfig config;
+  std::unique_ptr<SchedulerService> service;
+  std::thread thread;
+  ServiceStats final_stats;
+};
+
+std::string sock_path(const std::string& tag) {
+  return testing::TempDir() + "/sbs_" + tag + "_" +
+         std::to_string(::getpid()) + ".sock";
+}
+
+SubmitRequest job_of(int nodes, Time runtime, int priority = 0) {
+  SubmitRequest j;
+  j.nodes = nodes;
+  j.runtime = runtime;
+  j.priority = priority;
+  return j;
+}
+
+std::int64_t json_int(const obs::JsonValue& v, const char* key) {
+  const obs::JsonValue* f = v.find(key);
+  return f ? f->as_int() : -1;
+}
+
+/// Polls the stats op until `pred` holds or ~10 s elapse.
+template <typename Pred>
+obs::JsonValue wait_for(Client& client, Pred pred) {
+  for (int i = 0; i < 1000; ++i) {
+    obs::JsonValue stats = client.stats();
+    if (pred(stats)) return stats;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  ADD_FAILURE() << "condition not reached within the polling budget";
+  return obs::JsonValue{};
+}
+
+TEST(ServiceEndToEnd, SubmitsRunDrainAndTelemetryReconciles) {
+  const std::string tel_path = testing::TempDir() + "/sbs_svc_e2e.jsonl";
+  obs::Telemetry tel(std::make_unique<obs::JsonlSink>(tel_path));
+
+  ServiceConfig cfg;
+  cfg.socket_path = sock_path("e2e");
+  cfg.capacity = 8;
+  cfg.time_scale = 20000;  // 600 s jobs finish in 30 ms of wall clock
+  cfg.batch_ms = 1;
+  cfg.telemetry = &tel;
+
+  ServiceStats final_stats;
+  {
+    Harness h(cfg);
+    Client client(cfg.socket_path);
+    std::vector<int> ids;
+    for (int i = 0; i < 6; ++i) {
+      const obs::JsonValue r = client.submit(job_of(4, 600, i % 4));
+      ASSERT_EQ(r.find("status")->as_string(), "accepted");
+      ids.push_back(static_cast<int>(json_int(r, "job")));
+    }
+    // Server-assigned ids are dense and ordered.
+    for (int i = 0; i < 6; ++i) EXPECT_EQ(ids[i], i);
+
+    const obs::JsonValue st = client.status(ids.front());
+    const std::string state = st.find("state")->as_string();
+    EXPECT_TRUE(state == "waiting" || state == "running" || state == "done")
+        << state;
+
+    // Let everything finish on the virtual clock, then drain.
+    wait_for(client, [](const obs::JsonValue& s) {
+      return json_int(s, "completed") == 6;
+    });
+    EXPECT_EQ(client.status(ids.front()).find("state")->as_string(), "done");
+    client.drain();
+    h.join();
+    final_stats = h.final_stats;
+  }
+
+  EXPECT_EQ(final_stats.admitted, 6u);
+  EXPECT_EQ(final_stats.started, 6u);
+  EXPECT_EQ(final_stats.completed, 6u);
+  EXPECT_EQ(final_stats.protocol_errors, 0u);
+  EXPECT_EQ(final_stats.rejected_backpressure, 0u);
+  EXPECT_GT(final_stats.decisions, 0u);
+
+  // The stream must reconcile: read_telemetry throws on any mismatch
+  // between the final service record and the tallied events.
+  tel.flush();
+  const obs::TelemetrySummary summary = obs::read_telemetry(tel_path);
+  ASSERT_EQ(summary.runs.size(), 1u);
+  const obs::RunReport& rep = summary.runs.front();
+  EXPECT_TRUE(rep.has_service_record);
+  EXPECT_EQ(rep.admits, 6u);
+  EXPECT_EQ(rep.finishes, 6u);
+  EXPECT_EQ(rep.drain_begins, 1u);
+  EXPECT_EQ(rep.drain_completes, 1u);
+  std::remove(tel_path.c_str());
+}
+
+TEST(ServiceEndToEnd, RejectsJobsWiderThanTheMachine) {
+  ServiceConfig cfg;
+  cfg.socket_path = sock_path("wide");
+  cfg.capacity = 8;
+  Harness h(cfg);
+  {
+    Client client(cfg.socket_path);
+    const obs::JsonValue r = client.submit(job_of(64, 600));
+    EXPECT_EQ(r.find("status")->as_string(), "error");
+    client.drain();
+  }
+  h.join();
+  EXPECT_EQ(h.final_stats.protocol_errors, 1u);
+  EXPECT_EQ(h.final_stats.admitted, 0u);
+}
+
+TEST(ServiceEndToEnd, BackpressureKicksInAtTheQueueLimit) {
+  ServiceConfig cfg;
+  cfg.socket_path = sock_path("bp");
+  cfg.capacity = 4;
+  cfg.time_scale = 1;  // jobs effectively never finish during the test
+  cfg.admission.queue_limit = 2;
+  Harness h(cfg);
+  {
+    Client client(cfg.socket_path);
+    // Full-width jobs: only one can run, the rest pile up in the queue.
+    bool saw_retry = false;
+    std::int64_t delay_ms = 0;
+    for (int i = 0; i < 6; ++i) {
+      const obs::JsonValue r = client.submit(job_of(4, 1 << 20));
+      if (r.find("status")->as_string() == "retry_after") {
+        saw_retry = true;
+        delay_ms = json_int(r, "delay_ms");
+        break;
+      }
+    }
+    EXPECT_TRUE(saw_retry);
+    EXPECT_GT(delay_ms, 0);
+    client.drain();
+  }
+  h.join();
+  EXPECT_GT(h.final_stats.rejected_backpressure, 0u);
+  // Drain completed the admitted jobs by fast-forwarding virtual time.
+  EXPECT_EQ(h.final_stats.completed, h.final_stats.admitted);
+}
+
+TEST(ServiceEndToEnd, ShedsLowPriorityWhenOverloaded) {
+  ServiceConfig cfg;
+  cfg.socket_path = sock_path("shed");
+  cfg.capacity = 4;
+  cfg.time_scale = 1;
+  cfg.batch_ms = 1;
+  // Overload instantly: any waiting job at a decision trips the monitor.
+  cfg.admission = parse_admission_spec("queue=1,alpha=1,recover=0.5");
+  Harness h(cfg);
+  {
+    Client client(cfg.socket_path);
+    // One running + a few waiting keeps every decision "overloaded".
+    for (int i = 0; i < 4; ++i)
+      ASSERT_EQ(client.submit(job_of(4, 1 << 20, 3)).find("status")->as_string(),
+                "accepted");
+    wait_for(client, [](const obs::JsonValue& s) {
+      return json_int(s, "shed_floor") >= 1;
+    });
+    const obs::JsonValue r = client.submit(job_of(1, 60, 0));
+    EXPECT_EQ(r.find("status")->as_string(), "shed");
+    EXPECT_GE(json_int(r, "floor"), 1);
+    // The top priority class is never shed (only backpressure applies,
+    // and the queue is below its limit here).
+    const obs::JsonValue top = client.submit(job_of(1, 60, 3));
+    EXPECT_EQ(top.find("status")->as_string(), "accepted");
+    client.drain();
+  }
+  h.join();
+  EXPECT_GT(h.final_stats.rejected_shed, 0u);
+}
+
+TEST(ServiceEndToEnd, MaxDecisionsDrainsWithoutAClientRequest) {
+  ServiceConfig cfg;
+  cfg.socket_path = sock_path("maxd");
+  cfg.capacity = 8;
+  cfg.time_scale = 1000;
+  cfg.batch_ms = 1;
+  cfg.max_decisions = 1;
+  Harness h(cfg);
+  {
+    Client client(cfg.socket_path);
+    ASSERT_EQ(client.submit(job_of(2, 600)).find("status")->as_string(),
+              "accepted");
+  }
+  h.join();  // the service exits by itself after the first decision
+  EXPECT_EQ(h.final_stats.completed, 1u);
+  EXPECT_GE(h.final_stats.decisions, 1u);
+}
+
+TEST(ServiceEndToEnd, ResumeRestoresTheAdmissionQueueFromACheckpoint) {
+  const std::string ckpt = testing::TempDir() + "/sbs_svc_resume.ckpt";
+  const std::string copy = ckpt + ".captured";
+
+  ServiceConfig cfg;
+  cfg.socket_path = sock_path("ckpt");
+  cfg.capacity = 4;
+  cfg.time_scale = 1;  // nothing completes on its own
+  cfg.batch_ms = 1;
+  cfg.checkpoint_path = ckpt;
+  cfg.checkpoint_every = 1;
+  {
+    Harness h(cfg);
+    Client client(cfg.socket_path);
+    // 2 two-node jobs run, 2 wait.
+    for (int i = 0; i < 4; ++i)
+      ASSERT_EQ(client.submit(job_of(2, 1 << 20)).find("status")->as_string(),
+                "accepted");
+    wait_for(client, [](const obs::JsonValue& s) {
+      return json_int(s, "running") == 2 && json_int(s, "queue_depth") == 2 &&
+             json_int(s, "checkpoints") >= 1;
+    });
+    // Capture the periodic checkpoint as a SIGKILL would leave it: with
+    // the queue still loaded (the final drain checkpoint will be empty).
+    {
+      std::ifstream in(ckpt, std::ios::binary);
+      std::ofstream out(copy, std::ios::binary);
+      out << in.rdbuf();
+    }
+    client.drain();
+    h.join();
+  }
+
+  ServiceConfig cfg2 = cfg;
+  cfg2.socket_path = sock_path("ckpt2");
+  cfg2.checkpoint_path.clear();
+  cfg2.checkpoint_every = 0;
+  cfg2.resume_path = copy;
+  {
+    Harness h(cfg2);
+    Client client(cfg2.socket_path);
+    const obs::JsonValue stats = client.stats();
+    EXPECT_EQ(json_int(stats, "running"), 2);
+    EXPECT_EQ(json_int(stats, "queue_depth"), 2);
+    EXPECT_EQ(json_int(stats, "admitted"), 4);  // counters restored too
+    // Job state survived: id 0 started, id 3 is still waiting.
+    EXPECT_EQ(client.status(0).find("state")->as_string(), "running");
+    EXPECT_EQ(client.status(3).find("state")->as_string(), "waiting");
+    client.drain();
+    h.join();
+    // Draining the restored service completes all four restored jobs.
+    EXPECT_EQ(h.final_stats.completed, 4u);
+  }
+  std::remove(ckpt.c_str());
+  std::remove(copy.c_str());
+}
+
+TEST(ServiceEndToEnd, InterruptFlagTriggersGracefulDrain) {
+  std::atomic<bool> interrupt{false};
+  ServiceConfig cfg;
+  cfg.socket_path = sock_path("intr");
+  cfg.capacity = 8;
+  cfg.time_scale = 1;
+  cfg.interrupt = &interrupt;
+  Harness h(cfg);
+  {
+    Client client(cfg.socket_path);
+    for (int i = 0; i < 3; ++i)
+      ASSERT_EQ(client.submit(job_of(2, 1 << 20)).find("status")->as_string(),
+                "accepted");
+  }
+  interrupt.store(true);
+  h.join();
+  EXPECT_EQ(h.final_stats.admitted, 3u);
+  EXPECT_EQ(h.final_stats.completed, 3u);  // drained, not abandoned
+}
+
+}  // namespace
+}  // namespace sbs::service

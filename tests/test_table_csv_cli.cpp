@@ -1,6 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <sys/wait.h>
+
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
 
@@ -106,13 +109,77 @@ TEST(CliArgs, ParsesKeyValueAndFlags) {
 
 TEST(CliArgs, RejectsUnknownOption) {
   const char* argv[] = {"prog", "--nope=1"};
-  EXPECT_THROW(CliArgs(2, argv, {"yes"}), Error);
+  // Specifically a UsageError, so CLI drivers can map operator mistakes to
+  // usage text + exit 2 (a plain Error would exit 1).
+  EXPECT_THROW(CliArgs(2, argv, {"yes"}), UsageError);
 }
 
 TEST(CliArgs, RejectsPositional) {
   const char* argv[] = {"prog", "positional"};
-  EXPECT_THROW(CliArgs(2, argv, {}), Error);
+  EXPECT_THROW(CliArgs(2, argv, {}), UsageError);
 }
+
+// ---------------------------------------------------------------------------
+// sbsched exit-code contract: operator errors (unknown subcommand, unknown
+// option, malformed flag value) exit 2 with usage on stderr; runtime
+// failures (e.g. an unreadable input file) exit 1.
+
+#ifdef SBS_SBSCHED_BIN
+
+int run_sbsched(const std::string& args) {
+  const std::string cmd =
+      std::string(SBS_SBSCHED_BIN) + " " + args + " >/dev/null 2>&1";
+  const int rc = std::system(cmd.c_str());
+  return WEXITSTATUS(rc);
+}
+
+TEST(SbschedExitCodes, NoArgumentsIsUsage) {
+  EXPECT_EQ(run_sbsched(""), 2);
+}
+
+TEST(SbschedExitCodes, UnknownSubcommandIsUsage) {
+  EXPECT_EQ(run_sbsched("frobnicate"), 2);
+}
+
+TEST(SbschedExitCodes, UnknownOptionIsUsage) {
+  EXPECT_EQ(run_sbsched("simulate --no-such-flag=1"), 2);
+}
+
+TEST(SbschedExitCodes, MissingRequiredFlagIsUsage) {
+  EXPECT_EQ(run_sbsched("simulate"), 2);           // no --trace
+  EXPECT_EQ(run_sbsched("generate"), 2);           // no --out
+  EXPECT_EQ(run_sbsched("report"), 2);             // no --telemetry
+  EXPECT_EQ(run_sbsched("serve"), 2);              // no --socket
+}
+
+TEST(SbschedExitCodes, MalformedFlagValueIsUsage) {
+  EXPECT_EQ(run_sbsched("simulate --trace=x.swf --rstar=banana"), 2);
+  EXPECT_EQ(run_sbsched("simulate --trace=x.swf --search-cache=maybe"), 2);
+  EXPECT_EQ(run_sbsched("serve --socket=/tmp/x.sock --admission=bogus=1"), 2);
+  EXPECT_EQ(run_sbsched("serve --socket=/tmp/x.sock --time-scale=0"), 2);
+}
+
+TEST(SbschedExitCodes, RuntimeFailureIsOne) {
+  // Well-formed invocation, nonexistent input: a runtime error, not usage.
+  EXPECT_EQ(run_sbsched("analyze --trace=/nonexistent/never.swf"), 1);
+  EXPECT_EQ(run_sbsched("report --telemetry=/nonexistent/never.jsonl"), 1);
+}
+
+TEST(SbschedExitCodes, UsageErrorsNameTheProblemOnStderr) {
+  const std::string out_path = "test_cli_stderr.txt";
+  const std::string cmd = std::string(SBS_SBSCHED_BIN) +
+                          " frobnicate >/dev/null 2>" + out_path;
+  ASSERT_EQ(WEXITSTATUS(std::system(cmd.c_str())), 2);
+  std::ifstream in(out_path);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  const std::string err = ss.str();
+  EXPECT_NE(err.find("unknown command"), std::string::npos) << err;
+  EXPECT_NE(err.find("usage: sbsched"), std::string::npos) << err;
+  std::remove(out_path.c_str());
+}
+
+#endif  // SBS_SBSCHED_BIN
 
 TEST(CliArgs, BoolFalseSpellings) {
   const char* argv[] = {"prog", "--a=0", "--b=false", "--c=no", "--d=yes"};

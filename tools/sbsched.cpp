@@ -35,16 +35,38 @@
 //            [--telemetry=runs.jsonl] [--metrics]
 //       Side-by-side comparison with FCFS-derived excessive-wait measures.
 //
-//   sbsched report --telemetry=run.jsonl
-//       Summarize a telemetry stream written by simulate/compare: per-run
-//       aggregates, decision histograms and the anytime-improvement
-//       profile.
+//   sbsched serve --socket=/tmp/sbsched.sock [--capacity=128]
+//            [--policy=DDS/lxf/dynB] [--time-scale=1000] [--batch-ms=10]
+//            [--admission=limit=1000,priorities=4,...]
+//            [--governor=on] [--checkpoint=svc.ckpt] [--resume=svc.ckpt]
+//            [--telemetry=svc.jsonl] [--max-decisions=N]
+//       Run the scheduler as a long-lived daemon: job submissions arrive
+//       over a Unix-domain socket (length-prefixed JSON, see
+//       src/service/protocol.hpp), arrivals are batched between decisions,
+//       and the machine runs against a compressed virtual clock. Bounded
+//       admission queue with RETRY_AFTER backpressure, priority load
+//       shedding under overload, graceful drain on SIGINT/SIGTERM, and
+//       crash-safe checkpoints. Pairs with tools/sbsched_loadgen.
+//
+//   sbsched report --telemetry=run.jsonl[,more.jsonl|glob*]
+//       Summarize a telemetry stream written by simulate/compare/serve:
+//       per-run aggregates, decision histograms, the anytime-improvement
+//       profile and the service admission ledger. Accepts a single path
+//       (rotated segments are discovered automatically), a comma-separated
+//       list, or a glob — explicit lists are read as one logical stream
+//       with records stitched across segment boundaries.
 
+#include <glob.h>
+
+#include <algorithm>
 #include <atomic>
 #include <csignal>
 #include <iostream>
 #include <memory>
 #include <optional>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "exp/policy_factory.hpp"
 #include "exp/runner.hpp"
@@ -57,6 +79,7 @@
 #include "obs/trace_sink.hpp"
 #include "resilience/checkpoint.hpp"
 #include "resilience/governor.hpp"
+#include "service/server.hpp"
 #include "util/cli.hpp"
 #include "util/csv.hpp"
 #include "util/error.hpp"
@@ -134,11 +157,42 @@ int usage() {
       "      Side-by-side comparison with FCFS-derived excessive-wait\n"
       "      measures; telemetry appends every policy's run to one stream.\n"
       "\n"
-      "  report    --telemetry=run.jsonl\n"
+      "  serve     --socket=/tmp/sbsched.sock [--capacity=128]\n"
+      "            [--policy=DDS/lxf/dynB] [--nodes=1000]\n"
+      "            [--search-deadline-ms=N] [--search-threads=N]\n"
+      "            [--search-cache=on|off] [--warm-start=on|off]\n"
+      "            [--governor=on|off] [--governor-thresholds=...]\n"
+      "            [--admission=limit=1000,retry-base-ms=50,retry-cap-ms=5000,"
+      "priorities=4,queue=200,think-ms=250,alpha=...,recover=...]\n"
+      "            [--time-scale=1000] [--batch-ms=10]\n"
+      "            [--request-timeout-ms=5000] [--max-connections=64]\n"
+      "            [--max-decisions=N]\n"
+      "            [--checkpoint=svc.ckpt] [--checkpoint-every=N]\n"
+      "            [--resume=svc.ckpt] [--telemetry=svc.jsonl]\n"
+      "            [--telemetry-fsync=N] [--telemetry-rotate-mb=N]\n"
+      "            [--metrics]\n"
+      "      Run the scheduler as a long-lived daemon on a Unix-domain\n"
+      "      socket (length-prefixed JSON protocol; drive it with\n"
+      "      sbsched_loadgen). Arrivals are batched between decisions\n"
+      "      (--batch-ms) and the machine runs --time-scale virtual seconds\n"
+      "      per wall second. --admission tunes the bounded queue,\n"
+      "      retry_after backoff hints and priority shedding watermarks.\n"
+      "      SIGINT/SIGTERM (or a client drain request) stops admissions,\n"
+      "      fast-forwards the queued work, checkpoints, flushes telemetry\n"
+      "      and exits 0. --resume restores a service checkpoint, admission\n"
+      "      queue included.\n"
+      "\n"
+      "  report    --telemetry=run.jsonl[,more.jsonl|glob*]\n"
       "      Summarize a telemetry stream: per-run aggregates, decision\n"
       "      histograms, the anytime-improvement profile, governor breaker\n"
-      "      activity and run provenance. Reads rotated segments; a torn\n"
-      "      final line (crash mid-write) is skipped with a warning.\n";
+      "      activity, service admission ledger and run provenance. A\n"
+      "      single path reads its rotated segments automatically; a\n"
+      "      comma-separated list or glob is read as one logical stream,\n"
+      "      stitching records cut at segment boundaries. A torn final\n"
+      "      line (crash mid-write) is skipped with a warning.\n"
+      "\n"
+      "Operator errors (unknown command or option, malformed flag value)\n"
+      "print this text and exit 2; runtime failures exit 1.\n";
   return 2;
 }
 
@@ -180,7 +234,7 @@ void finish_telemetry(const CliArgs& args, obs::Telemetry* tel) {
 
 Trace load_trace(const CliArgs& args, SwfReadStats* stats = nullptr) {
   const std::string path = args.get("trace", "");
-  if (path.empty()) throw Error("--trace=<file.swf> is required");
+  if (path.empty()) throw UsageError("--trace=<file.swf> is required");
   SwfReadOptions options;
   options.procs_per_node =
       static_cast<int>(args.get_int("procs-per-node", 1));
@@ -200,7 +254,7 @@ std::optional<std::uint64_t> apply_fault_flags(
   const std::string requeue = args.get("requeue", "resubmit");
   if (requeue == "drop") sim.requeue = RequeuePolicy::Drop;
   else if (requeue != "resubmit")
-    throw Error("--requeue must be resubmit or drop");
+    throw UsageError("--requeue must be resubmit or drop");
 
   const std::string spec = args.get("faults", "");
   if (spec.empty()) return std::nullopt;
@@ -217,7 +271,7 @@ bool on_off_flag(const CliArgs& args, const std::string& key,
   const std::string v = args.get(key, default_on ? "on" : "off");
   if (v == "on") return true;
   if (v == "off") return false;
-  throw Error("--" + key + " must be on or off");
+  throw UsageError("--" + key + " must be on or off");
 }
 
 /// Parses --governor/--governor-thresholds. nullopt = governor off.
@@ -226,7 +280,7 @@ std::optional<resilience::GovernorConfig> governor_flags(const CliArgs& args) {
   const std::string spec = args.get("governor-thresholds", "");
   if (!on) {
     if (!spec.empty())
-      throw Error("--governor-thresholds requires --governor=on");
+      throw UsageError("--governor-thresholds requires --governor=on");
     return std::nullopt;
   }
   return resilience::parse_governor_thresholds(spec);
@@ -242,7 +296,7 @@ SimConfig sim_config(const CliArgs& args,
     predictor = std::make_unique<ClassCorrectionPredictor>();
     sim.predictor = predictor.get();
   } else if (rstar != "actual") {
-    throw Error("--rstar must be actual, requested or predicted");
+    throw UsageError("--rstar must be actual, requested or predicted");
   }
   return sim;
 }
@@ -251,7 +305,7 @@ int cmd_generate(int argc, char** argv) {
   CliArgs args(argc, argv, {"month", "out", "scale", "seed", "load"});
   const std::string month = args.get("month", "7/03");
   const std::string out = args.get("out", "");
-  if (out.empty()) throw Error("--out=<file.swf> is required");
+  if (out.empty()) throw UsageError("--out=<file.swf> is required");
   GeneratorConfig cfg;
   cfg.job_scale = args.get_double("scale", 1.0);
   cfg.seed = static_cast<std::uint64_t>(args.get_int("seed", 2005));
@@ -315,12 +369,10 @@ int cmd_simulate(int argc, char** argv) {
                 "checkpoint", "checkpoint-every", "resume", "outcomes",
                 "telemetry", "telemetry-fsync", "telemetry-rotate-mb",
                 "metrics"});
-  const Trace trace = load_trace(args);
+  // Validate every flag before touching the filesystem, so operator
+  // mistakes exit 2 even when the inputs are also wrong.
   std::unique_ptr<RuntimePredictor> predictor;
   SimConfig sim = sim_config(args, predictor);
-  std::unique_ptr<FaultInjector> injector;
-  const std::optional<std::uint64_t> seed =
-      apply_fault_flags(args, trace, sim, injector);
   const std::string spec = args.get("policy", "DDS/lxf/dynB");
   const auto L = static_cast<std::size_t>(args.get_int("nodes", 1000));
   const double deadline_ms =
@@ -332,15 +384,22 @@ int cmd_simulate(int argc, char** argv) {
   const std::optional<resilience::GovernorConfig> governor =
       governor_flags(args);
 
+  const Trace trace = load_trace(args);
+  std::unique_ptr<FaultInjector> injector;
+  const std::optional<std::uint64_t> seed =
+      apply_fault_flags(args, trace, sim, injector);
+
   const std::string ckpt_path = args.get("checkpoint", "");
   const auto ckpt_every =
       static_cast<std::uint64_t>(args.get_int("checkpoint-every", 0));
   const std::string resume_path = args.get("resume", "");
   if (ckpt_path.empty() != (ckpt_every == 0))
-    throw Error("--checkpoint and --checkpoint-every must be given together");
+    throw UsageError(
+        "--checkpoint and --checkpoint-every must be given together");
   if ((!ckpt_path.empty() || !resume_path.empty()) && sim.predictor != nullptr)
-    throw Error("--rstar=predicted cannot be checkpointed or resumed: the "
-                "predictor learns online and its state is not snapshotted");
+    throw UsageError(
+        "--rstar=predicted cannot be checkpointed or resumed: the "
+        "predictor learns online and its state is not snapshotted");
 
   // The resolved configuration that must match between the checkpointing
   // run and the resuming run for bit-identity; echoed into every
@@ -521,14 +580,14 @@ int cmd_compare(int argc, char** argv) {
                 "search-threads", "search-cache", "warm-start", "governor",
                 "governor-thresholds", "telemetry", "telemetry-fsync",
                 "telemetry-rotate-mb", "metrics"});
-  const Trace trace = load_trace(args);
   std::unique_ptr<RuntimePredictor> predictor;
   SimConfig sim = sim_config(args, predictor);
+  const std::optional<resilience::GovernorConfig> governor =
+      governor_flags(args);
+  const Trace trace = load_trace(args);
   std::unique_ptr<FaultInjector> injector;
   const std::optional<std::uint64_t> seed =
       apply_fault_flags(args, trace, sim, injector);
-  const std::optional<resilience::GovernorConfig> governor =
-      governor_flags(args);
   const std::unique_ptr<obs::Telemetry> telemetry = make_telemetry(args);
   sim.telemetry = telemetry.get();
   if (telemetry) {
@@ -592,11 +651,154 @@ int cmd_compare(int argc, char** argv) {
   return 0;
 }
 
+int cmd_serve(int argc, char** argv) {
+  CliArgs args(argc, argv,
+               {"socket", "capacity", "policy", "nodes", "search-deadline-ms",
+                "search-threads", "search-cache", "warm-start", "governor",
+                "governor-thresholds", "admission", "time-scale", "batch-ms",
+                "request-timeout-ms", "max-connections", "max-decisions",
+                "checkpoint", "checkpoint-every", "resume", "telemetry",
+                "telemetry-fsync", "telemetry-rotate-mb", "metrics"});
+  service::ServiceConfig cfg;
+  cfg.socket_path = args.get("socket", "");
+  if (cfg.socket_path.empty())
+    throw UsageError("--socket=<path> is required");
+  cfg.capacity = static_cast<int>(args.get_int("capacity", 128));
+  if (cfg.capacity <= 0) throw UsageError("--capacity must be positive");
+  cfg.policy = args.get("policy", "DDS/lxf/dynB");
+  cfg.node_limit = static_cast<std::size_t>(args.get_int("nodes", 1000));
+  cfg.deadline_ms = args.get_double("search-deadline-ms", -1.0);
+  cfg.threads = static_cast<std::size_t>(args.get_int("search-threads", 0));
+  cfg.cache = on_off_flag(args, "search-cache", true);
+  cfg.warm_start = on_off_flag(args, "warm-start", false);
+  cfg.governor = governor_flags(args);
+  cfg.admission = service::parse_admission_spec(args.get("admission", ""));
+  cfg.time_scale = args.get_int("time-scale", 1000);
+  if (cfg.time_scale <= 0) throw UsageError("--time-scale must be positive");
+  cfg.batch_ms = static_cast<int>(args.get_int("batch-ms", 10));
+  if (cfg.batch_ms < 0) throw UsageError("--batch-ms must be >= 0");
+  cfg.request_timeout_ms =
+      static_cast<int>(args.get_int("request-timeout-ms", 5000));
+  cfg.max_connections = static_cast<int>(args.get_int("max-connections", 64));
+  cfg.max_decisions =
+      static_cast<std::uint64_t>(args.get_int("max-decisions", 0));
+  cfg.checkpoint_path = args.get("checkpoint", "");
+  cfg.checkpoint_every =
+      static_cast<std::uint64_t>(args.get_int("checkpoint-every", 0));
+  cfg.resume_path = args.get("resume", "");
+  if (!args.has("checkpoint") && args.has("checkpoint-every"))
+    throw UsageError("--checkpoint-every requires --checkpoint");
+
+  install_signal_handlers();
+  cfg.interrupt = &g_interrupted;
+
+  const std::unique_ptr<obs::Telemetry> telemetry =
+      make_telemetry(args, /*append=*/!cfg.resume_path.empty());
+  cfg.telemetry = telemetry.get();
+  if (telemetry) {
+    obs::RunContext context;
+    if (cfg.governor) context.governor = cfg.governor->spec();
+    context.resumed = !cfg.resume_path.empty();
+    telemetry->set_context(context);
+  }
+
+  service::SchedulerService service(cfg);
+  // Flushed before the event loop so a harness can wait for this line as
+  // the readiness signal.
+  std::cout << "serving on " << cfg.socket_path << ": capacity "
+            << cfg.capacity << " nodes, policy " << cfg.policy << ", x"
+            << cfg.time_scale << " virtual time"
+            << (cfg.resume_path.empty() ? "" : " (resumed)") << std::endl;
+  const service::ServiceStats stats = service.run();
+
+  std::cout << "drained at t=" << service.virtual_now() << "s\n";
+  Table t({"counter", "value"});
+  t.row().add("requests").add(stats.requests);
+  t.row().add("protocol errors").add(stats.protocol_errors);
+  t.row().add("connections").add(stats.connections);
+  t.row().add("request timeouts").add(stats.timeouts);
+  t.row().add("admitted").add(stats.admitted);
+  t.row().add("rejected (backpressure)").add(stats.rejected_backpressure);
+  t.row().add("rejected (shed)").add(stats.rejected_shed);
+  t.row().add("rejected (draining)").add(stats.rejected_drain);
+  t.row().add("started").add(stats.started);
+  t.row().add("completed").add(stats.completed);
+  t.row().add("decisions").add(stats.decisions);
+  t.row().add("checkpoints").add(stats.checkpoints);
+  t.print(std::cout);
+
+  finish_telemetry(args, telemetry.get());
+  return 0;
+}
+
+/// Orders telemetry segment files in write order. Rotation keeps the bare
+/// path as the oldest segment and appends ".1", ".2", ... for newer ones,
+/// so "run.jsonl.10" must sort after "run.jsonl.2" — plain lexicographic
+/// order (what glob() returns) would interleave them.
+void sort_segment_paths(std::vector<std::string>& paths) {
+  const auto split = [](const std::string& p) {
+    const auto dot = p.find_last_of('.');
+    std::pair<std::string, long long> out{p, -1};
+    if (dot == std::string::npos || dot + 1 == p.size()) return out;
+    const std::string suffix = p.substr(dot + 1);
+    if (suffix.find_first_not_of("0123456789") != std::string::npos)
+      return out;
+    out.first = p.substr(0, dot);
+    out.second = std::stoll(suffix);
+    return out;
+  };
+  std::stable_sort(paths.begin(), paths.end(),
+                   [&](const std::string& a, const std::string& b) {
+                     const auto ka = split(a);
+                     const auto kb = split(b);
+                     return ka.first != kb.first ? ka.first < kb.first
+                                                 : ka.second < kb.second;
+                   });
+}
+
+/// Expands a --telemetry value that names multiple files: a comma-separated
+/// list whose entries may be globs. List order is preserved; each glob's
+/// matches are sorted into segment write order.
+std::vector<std::string> expand_telemetry_paths(const std::string& value) {
+  std::vector<std::string> paths;
+  std::string rest = value;
+  while (!rest.empty()) {
+    const auto comma = rest.find(',');
+    const std::string token = rest.substr(0, comma);
+    rest = comma == std::string::npos ? "" : rest.substr(comma + 1);
+    if (token.empty()) continue;
+    if (token.find_first_of("*?[") != std::string::npos) {
+      ::glob_t g{};
+      const int rc = ::glob(token.c_str(), 0, nullptr, &g);
+      if (rc == GLOB_NOMATCH) {
+        ::globfree(&g);
+        throw Error("--telemetry glob \"" + token + "\" matched no files");
+      }
+      SBS_CHECK_MSG(rc == 0, "glob(" << token << ") failed");
+      std::vector<std::string> matched(g.gl_pathv, g.gl_pathv + g.gl_pathc);
+      ::globfree(&g);
+      sort_segment_paths(matched);
+      paths.insert(paths.end(), matched.begin(), matched.end());
+    } else {
+      paths.push_back(token);
+    }
+  }
+  if (paths.empty())
+    throw Error("--telemetry \"" + value + "\" names no files");
+  return paths;
+}
+
 int cmd_report(int argc, char** argv) {
   CliArgs args(argc, argv, {"telemetry"});
-  const std::string path = args.get("telemetry", "");
-  if (path.empty()) throw Error("--telemetry=<file.jsonl> is required");
-  const obs::TelemetrySummary summary = obs::read_telemetry(path);
+  const std::string value = args.get("telemetry", "");
+  if (value.empty())
+    throw UsageError("--telemetry=<file.jsonl[,more|glob]> is required");
+  // A plain single path keeps the automatic `.1`, `.2` segment discovery;
+  // a list or glob is read exactly as given, as one logical stream.
+  const bool multi = value.find_first_of(",*?[") != std::string::npos;
+  const obs::TelemetrySummary summary =
+      multi ? obs::read_telemetry_files(expand_telemetry_paths(value))
+            : obs::read_telemetry(value);
   obs::print_report(summary, std::cout);
   return 0;
 }
@@ -613,7 +815,13 @@ int main(int argc, char** argv) {
     if (command == "analyze") return cmd_analyze(argc - 1, argv + 1);
     if (command == "simulate") return cmd_simulate(argc - 1, argv + 1);
     if (command == "compare") return cmd_compare(argc - 1, argv + 1);
+    if (command == "serve") return cmd_serve(argc - 1, argv + 1);
     if (command == "report") return cmd_report(argc - 1, argv + 1);
+    throw sbs::UsageError("unknown command \"" + command + "\"");
+  } catch (const sbs::UsageError& e) {
+    // Operator error: say what was wrong, show usage, exit 2 — distinct
+    // from runtime failures (exit 1) so scripts can tell them apart.
+    std::cerr << "error: " << e.what() << '\n';
     return usage();
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << '\n';

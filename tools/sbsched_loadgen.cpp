@@ -1,0 +1,648 @@
+// sbsched_loadgen — open-loop overload harness for `sbsched serve`.
+//
+//   sbsched_loadgen --socket=/tmp/sbsched.sock
+//       [--rate-start=5] [--rate-stop=50] [--rate-step=5]
+//       [--step-seconds=5] [--nodes-min=1] [--nodes-max=32]
+//       [--runtime-min=60] [--runtime-max=3600] [--priorities=4]
+//       [--seed=1] [--retry-base-ms=50] [--retry-cap-ms=5000]
+//       [--max-retries=6] [--stats-interval-ms=500] [--settle-ms=2000]
+//       [--drain=on|off] [--out=loadgen.json]
+//
+// Sweeps the arrival rate from --rate-start to --rate-stop jobs/second in
+// --rate-step increments, holding each rate for --step-seconds of wall
+// clock. The generator is OPEN-LOOP: submissions fire on a Poisson arrival
+// schedule that does not wait for responses, so offered load keeps rising
+// even while the server is rejecting — exactly the regime that exercises
+// backpressure, shedding and the overload governor. Rejected submissions
+// (retry_after) are retried with capped exponential backoff plus jitter,
+// honoring the server's delay hint; shed and draining rejections are
+// terminal. A stats poll every --stats-interval-ms samples queue depth,
+// shed floor and governor rung occupancy.
+//
+// Output is one machine-readable JSON document (stdout or --out): a row
+// per rate step with client-side p50/p99/p999 request latency, the
+// server's decision-latency quantiles, rejection counts by class, queue
+// depth, and the governor-rung occupancy delta over the step; plus totals
+// and the server's own final counters so a harness can reconcile the two
+// sides exactly. Everything random is derived from --seed.
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cmath>
+#include <csignal>
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "service/protocol.hpp"
+#include "service/server.hpp"
+#include "util/cli.hpp"
+#include "util/error.hpp"
+
+namespace sbs::loadgen {
+namespace {
+
+std::int64_t wall_us() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// SplitMix64: tiny, seedable, identical on every platform (unlike the
+/// standard-library distributions, whose output may differ by vendor).
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform in [0, 1).
+  double u01() { return static_cast<double>(next() >> 11) * 0x1.0p-53; }
+
+  /// Uniform integer in [lo, hi].
+  std::int64_t uniform(std::int64_t lo, std::int64_t hi) {
+    return lo + static_cast<std::int64_t>(
+                    next() % static_cast<std::uint64_t>(hi - lo + 1));
+  }
+
+  /// Exponential inter-arrival gap (µs) for `rate` arrivals per second.
+  std::int64_t exp_gap_us(double rate) {
+    const double u = 1.0 - u01();  // (0, 1]
+    return static_cast<std::int64_t>(-std::log(u) / rate * 1e6) + 1;
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// One rate step's accumulators.
+struct StepStats {
+  double rate = 0.0;
+  std::int64_t begin_us = 0;
+  std::int64_t end_us = 0;
+  std::uint64_t offered = 0;    ///< first-attempt submissions fired
+  std::uint64_t attempts = 0;   ///< submissions including retries
+  std::uint64_t accepted = 0;
+  std::uint64_t rejected_backpressure = 0;
+  std::uint64_t rejected_shed = 0;
+  std::uint64_t rejected_draining = 0;
+  std::uint64_t gave_up = 0;    ///< retry budget exhausted
+  std::uint64_t errors = 0;     ///< error responses
+  std::vector<std::uint64_t> request_us;  ///< client-side latencies
+  std::uint64_t queue_depth_max = 0;
+  std::uint64_t queue_depth_sum = 0;
+  std::uint64_t queue_samples = 0;
+  int shed_floor_max = 0;
+  int gov_level_max = -1;
+  std::uint64_t think_p50_us = 0;  ///< last server sample in the step
+  std::uint64_t think_p99_us = 0;
+  std::vector<std::uint64_t> gov_begin;  ///< rung occupancy at step start
+  std::vector<std::uint64_t> gov_end;
+};
+
+/// A scheduled future action, ordered by due time.
+struct Event {
+  enum class Kind { Arrival, Retry, StatsPoll };
+  std::int64_t due_us = 0;
+  Kind kind = Kind::Arrival;
+  service::SubmitRequest job;  ///< meaningful for Retry
+  int attempt = 0;             ///< retries already made (Retry)
+  bool operator>(const Event& other) const { return due_us > other.due_us; }
+};
+
+/// What we remember about an in-flight request until its response arrives.
+struct Pending {
+  bool is_stats = false;
+  std::int64_t sent_us = 0;
+  int step = 0;
+  int attempt = 0;
+  service::SubmitRequest job;
+};
+
+struct Config {
+  std::string socket_path;
+  double rate_start = 5.0;
+  double rate_stop = 50.0;
+  double rate_step = 5.0;
+  double step_seconds = 5.0;
+  int nodes_min = 1, nodes_max = 32;
+  std::int64_t runtime_min = 60, runtime_max = 3600;
+  int priorities = 4;
+  std::uint64_t seed = 1;
+  std::int64_t retry_base_ms = 50, retry_cap_ms = 5000;
+  int max_retries = 6;
+  std::int64_t stats_interval_ms = 500;
+  std::int64_t settle_ms = 2000;
+  bool drain = false;
+  std::string out_path;
+};
+
+class LoadGen {
+ public:
+  explicit LoadGen(const Config& cfg) : cfg_(cfg), rng_(cfg.seed) {
+    connect_socket();
+  }
+
+  ~LoadGen() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  int run() {
+    const std::int64_t t0 = wall_us();
+    begin_step(t0);
+    schedule_at(t0 + rng_.exp_gap_us(current_rate()), Event::Kind::Arrival);
+    schedule_at(t0, Event::Kind::StatsPoll);
+
+    while (true) {
+      const std::int64_t now = wall_us();
+      // Step boundaries are checked eagerly so a stalled socket cannot
+      // stretch a step.
+      if (!sweep_done_ && now >= step_end_us_) advance_step(now);
+      if (sweep_done_ && finished(now)) break;
+      fire_due_events(now);
+      pump_socket();
+    }
+    finish();
+    write_output();
+    return 0;
+  }
+
+ private:
+  double current_rate() const {
+    return cfg_.rate_start + cfg_.rate_step * static_cast<double>(step_);
+  }
+
+  bool last_step() const {
+    return cfg_.rate_start + cfg_.rate_step * static_cast<double>(step_ + 1) >
+           cfg_.rate_stop + 1e-9;
+  }
+
+  bool finished(std::int64_t now) const {
+    if (!inflight_.empty() && now < sweep_end_us_ + cfg_.settle_ms * 1000)
+      return false;
+    return true;
+  }
+
+  void connect_socket() {
+    fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    SBS_CHECK_MSG(fd_ >= 0, "socket(): " << std::strerror(errno));
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    SBS_CHECK_MSG(cfg_.socket_path.size() < sizeof(addr.sun_path),
+                  "socket path too long: " << cfg_.socket_path);
+    std::strncpy(addr.sun_path, cfg_.socket_path.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    const int rc = ::connect(fd_, reinterpret_cast<sockaddr*>(&addr),
+                             sizeof(addr));
+    SBS_CHECK_MSG(rc == 0, "connect(" << cfg_.socket_path
+                                      << "): " << std::strerror(errno));
+    const int flags = ::fcntl(fd_, F_GETFL, 0);
+    ::fcntl(fd_, F_SETFL, flags | O_NONBLOCK);
+  }
+
+  void schedule(Event e) { events_.push(std::move(e)); }
+
+  void schedule_at(std::int64_t due_us, Event::Kind kind) {
+    Event e;
+    e.due_us = due_us;
+    e.kind = kind;
+    schedule(std::move(e));
+  }
+
+  void begin_step(std::int64_t now) {
+    StepStats s;
+    s.rate = current_rate();
+    s.begin_us = now;
+    s.gov_begin = last_gov_;
+    steps_.push_back(std::move(s));
+    step_end_us_ =
+        now + static_cast<std::int64_t>(cfg_.step_seconds * 1e6);
+  }
+
+  void advance_step(std::int64_t now) {
+    steps_.back().end_us = now;
+    steps_.back().gov_end = last_gov_;
+    if (last_step()) {
+      sweep_done_ = true;
+      sweep_end_us_ = now;
+      return;
+    }
+    ++step_;
+    begin_step(now);
+  }
+
+  void fire_due_events(std::int64_t now) {
+    while (!events_.empty() && events_.top().due_us <= now) {
+      Event e = events_.top();
+      events_.pop();
+      switch (e.kind) {
+        case Event::Kind::Arrival: {
+          if (sweep_done_) break;  // sweep over: stop generating
+          service::SubmitRequest job;
+          job.nodes = static_cast<int>(
+              rng_.uniform(cfg_.nodes_min, cfg_.nodes_max));
+          job.runtime = rng_.uniform(cfg_.runtime_min, cfg_.runtime_max);
+          job.requested = job.runtime;
+          job.user = static_cast<int>(rng_.uniform(0, 16));
+          job.priority = static_cast<int>(
+              rng_.uniform(0, cfg_.priorities - 1));
+          ++steps_.back().offered;
+          send_submit(job, /*attempt=*/0, now);
+          schedule_at(now + rng_.exp_gap_us(current_rate()),
+                      Event::Kind::Arrival);
+          break;
+        }
+        case Event::Kind::Retry:
+          send_submit(e.job, e.attempt, now);
+          break;
+        case Event::Kind::StatsPoll: {
+          send_stats(now);
+          schedule_at(now + cfg_.stats_interval_ms * 1000,
+                      Event::Kind::StatsPoll);
+          break;
+        }
+      }
+    }
+  }
+
+  void send_submit(const service::SubmitRequest& job, int attempt,
+                   std::int64_t now) {
+    const std::int64_t id = next_id_++;
+    obs::JsonWriter w;
+    w.begin_object()
+        .field("op", "submit")
+        .field("id", id)
+        .field("nodes", job.nodes)
+        .field("runtime", static_cast<std::int64_t>(job.runtime))
+        .field("requested", static_cast<std::int64_t>(job.requested))
+        .field("user", job.user)
+        .field("priority", job.priority)
+        .end_object();
+    service::encode_frame(w.str(), out_);
+    inflight_[id] = Pending{false, now, step_, attempt, job};
+    ++steps_.back().attempts;
+  }
+
+  void send_stats(std::int64_t now) {
+    const std::int64_t id = next_id_++;
+    obs::JsonWriter w;
+    w.begin_object().field("op", "stats").field("id", id).end_object();
+    service::encode_frame(w.str(), out_);
+    Pending p;
+    p.is_stats = true;
+    p.sent_us = now;
+    p.step = step_;
+    inflight_[id] = p;
+  }
+
+  /// One poll round: flush queued writes, read whatever arrived, dispatch
+  /// complete response frames. The poll timeout is bounded by the next
+  /// scheduled event so arrivals stay on schedule.
+  void pump_socket() {
+    const std::int64_t now = wall_us();
+    std::int64_t next_due = step_end_us_;
+    if (!events_.empty()) next_due = std::min(next_due, events_.top().due_us);
+    int timeout_ms =
+        static_cast<int>(std::max<std::int64_t>(0, (next_due - now) / 1000));
+    timeout_ms = std::min(timeout_ms, 50);
+
+    pollfd pfd{fd_, POLLIN, 0};
+    if (!out_.empty()) pfd.events |= POLLOUT;
+    const int rc = ::poll(&pfd, 1, timeout_ms);
+    if (rc <= 0) return;
+
+    if (pfd.revents & POLLOUT) {
+      const ssize_t n = ::write(fd_, out_.data(), out_.size());
+      if (n > 0) out_.erase(0, static_cast<std::size_t>(n));
+      else if (n < 0 && errno != EAGAIN && errno != EINTR)
+        throw Error(std::string("write(): ") + std::strerror(errno));
+    }
+    if (pfd.revents & (POLLIN | POLLHUP)) {
+      char buf[65536];
+      const ssize_t n = ::read(fd_, buf, sizeof(buf));
+      if (n > 0) {
+        decoder_.feed(std::string_view(buf, static_cast<std::size_t>(n)));
+        while (auto payload = decoder_.next()) handle_response(*payload);
+      } else if (n == 0) {
+        throw Error("server closed the connection mid-run");
+      } else if (errno != EAGAIN && errno != EINTR) {
+        throw Error(std::string("read(): ") + std::strerror(errno));
+      }
+    }
+  }
+
+  void handle_response(std::string_view payload) {
+    const obs::JsonValue v = obs::parse_json(payload);
+    const obs::JsonValue* idv = v.find("id");
+    const obs::JsonValue* statusv = v.find("status");
+    SBS_CHECK_MSG(idv && statusv, "response missing id/status: " << payload);
+    const auto it = inflight_.find(idv->as_int());
+    if (it == inflight_.end()) return;  // late response for a forgotten id
+    const Pending p = it->second;
+    inflight_.erase(it);
+    const std::int64_t now = wall_us();
+    StepStats& s = steps_[static_cast<std::size_t>(p.step)];
+
+    if (p.is_stats) {
+      record_stats_sample(v, s);
+      return;
+    }
+
+    s.request_us.push_back(static_cast<std::uint64_t>(now - p.sent_us));
+    const std::string& status = statusv->as_string();
+    if (status == "accepted") {
+      ++s.accepted;
+    } else if (status == "retry_after") {
+      ++s.rejected_backpressure;
+      retry_later(p, v, now, s);
+    } else if (status == "shed") {
+      ++s.rejected_shed;  // terminal: same priority would shed again
+    } else if (status == "draining") {
+      ++s.rejected_draining;  // terminal: the server never re-admits
+    } else if (status == "error") {
+      ++s.errors;
+    } else {
+      throw Error("unknown response status \"" + status + "\"");
+    }
+  }
+
+  /// Backoff: at least the server's hint, at least base*2^attempt, plus up
+  /// to 25% jitter, capped. The jitter keeps synchronized retries from
+  /// re-forming the burst that caused the rejection.
+  void retry_later(const Pending& p, const obs::JsonValue& v,
+                   std::int64_t now, StepStats& s) {
+    if (p.attempt >= cfg_.max_retries) {
+      ++s.gave_up;
+      return;
+    }
+    const obs::JsonValue* hint = v.find("delay_ms");
+    std::int64_t delay = hint ? hint->as_int() : cfg_.retry_base_ms;
+    delay = std::max(delay, cfg_.retry_base_ms << p.attempt);
+    delay = std::min(delay, cfg_.retry_cap_ms);
+    delay += static_cast<std::int64_t>(static_cast<double>(delay) * 0.25 *
+                                       rng_.u01());
+    delay = std::min(delay, cfg_.retry_cap_ms);
+    Event e;
+    e.due_us = now + delay * 1000;
+    e.kind = Event::Kind::Retry;
+    e.job = p.job;
+    e.attempt = p.attempt + 1;
+    schedule(std::move(e));
+  }
+
+  void record_stats_sample(const obs::JsonValue& v, StepStats& s) {
+    const auto u64 = [&](const char* key) -> std::uint64_t {
+      const obs::JsonValue* f = v.find(key);
+      return f ? static_cast<std::uint64_t>(f->as_int()) : 0;
+    };
+    const std::uint64_t depth = u64("queue_depth");
+    s.queue_depth_max = std::max(s.queue_depth_max, depth);
+    s.queue_depth_sum += depth;
+    ++s.queue_samples;
+    if (const obs::JsonValue* f = v.find("shed_floor"))
+      s.shed_floor_max =
+          std::max(s.shed_floor_max, static_cast<int>(f->as_int()));
+    if (const obs::JsonValue* f = v.find("gov_level"))
+      s.gov_level_max =
+          std::max(s.gov_level_max, static_cast<int>(f->as_int()));
+    s.think_p50_us = u64("think_p50_us");
+    s.think_p99_us = u64("think_p99_us");
+    if (const obs::JsonValue* g = v.find("gov_decisions");
+        g && g->is_array()) {
+      last_gov_.clear();
+      for (const obs::JsonValue& e : g->array)
+        last_gov_.push_back(static_cast<std::uint64_t>(e.as_int()));
+    }
+  }
+
+  /// After the sweep: capture the server's final counters with one last
+  /// synchronous stats round-trip, then optionally ask it to drain.
+  void finish() {
+    if (!steps_.empty() && steps_.back().end_us == 0) {
+      steps_.back().end_us = wall_us();
+      steps_.back().gov_end = last_gov_;
+    }
+    service::Client client(cfg_.socket_path);
+    final_stats_ = client.stats();
+    if (cfg_.drain) {
+      client.drain();
+      drained_ = true;
+    }
+  }
+
+  void append_step(obs::JsonWriter& w, const StepStats& s) const {
+    using service::nearest_rank_us;
+    w.begin_object()
+        .field("rate_jobs_per_s", s.rate)
+        .field("duration_ms", (s.end_us - s.begin_us) / 1000)
+        .field("offered", s.offered)
+        .field("attempts", s.attempts)
+        .field("accepted", s.accepted)
+        .field("rejected_backpressure", s.rejected_backpressure)
+        .field("rejected_shed", s.rejected_shed)
+        .field("rejected_draining", s.rejected_draining)
+        .field("gave_up", s.gave_up)
+        .field("errors", s.errors)
+        .field("request_p50_us", nearest_rank_us(s.request_us, 0.50))
+        .field("request_p99_us", nearest_rank_us(s.request_us, 0.99))
+        .field("request_p999_us", nearest_rank_us(s.request_us, 0.999))
+        .field("think_p50_us", s.think_p50_us)
+        .field("think_p99_us", s.think_p99_us)
+        .field("queue_depth_max", s.queue_depth_max)
+        .field("queue_depth_mean",
+               s.queue_samples
+                   ? static_cast<double>(s.queue_depth_sum) /
+                         static_cast<double>(s.queue_samples)
+                   : 0.0)
+        .field("shed_floor_max", s.shed_floor_max)
+        .field("gov_level_max", s.gov_level_max);
+    // Occupancy delta: decisions spent on each governor rung during this
+    // step (from the stats samples bracketing it).
+    w.key("gov_decisions_delta").begin_array();
+    for (std::size_t i = 0; i < s.gov_end.size(); ++i) {
+      const std::uint64_t before = i < s.gov_begin.size() ? s.gov_begin[i] : 0;
+      w.value(s.gov_end[i] - before);
+    }
+    w.end_array();
+    w.end_object();
+  }
+
+  void write_output() const {
+    obs::JsonWriter w;
+    w.begin_object()
+        .field("socket", cfg_.socket_path)
+        .field("seed", cfg_.seed)
+        .field("drained", drained_);
+    w.key("steps").begin_array();
+    for (const StepStats& s : steps_) append_step(w, s);
+    w.end_array();
+
+    StepStats total;
+    std::vector<std::uint64_t> all_us;
+    for (const StepStats& s : steps_) {
+      total.offered += s.offered;
+      total.attempts += s.attempts;
+      total.accepted += s.accepted;
+      total.rejected_backpressure += s.rejected_backpressure;
+      total.rejected_shed += s.rejected_shed;
+      total.rejected_draining += s.rejected_draining;
+      total.gave_up += s.gave_up;
+      total.errors += s.errors;
+      all_us.insert(all_us.end(), s.request_us.begin(), s.request_us.end());
+    }
+    w.key("totals")
+        .begin_object()
+        .field("offered", total.offered)
+        .field("attempts", total.attempts)
+        .field("accepted", total.accepted)
+        .field("rejected_backpressure", total.rejected_backpressure)
+        .field("rejected_shed", total.rejected_shed)
+        .field("rejected_draining", total.rejected_draining)
+        .field("gave_up", total.gave_up)
+        .field("errors", total.errors)
+        .field("request_p50_us", service::nearest_rank_us(all_us, 0.50))
+        .field("request_p99_us", service::nearest_rank_us(all_us, 0.99))
+        .field("request_p999_us", service::nearest_rank_us(all_us, 0.999))
+        .end_object();
+
+    // The server's own counters at sweep end, verbatim, so a harness can
+    // reconcile both sides without a second tool.
+    w.key("server").begin_object();
+    if (final_stats_.is_object())
+      for (const auto& [key, value] : final_stats_.object) {
+        if (key == "id" || key == "status") continue;
+        if (value.kind == obs::JsonValue::Kind::Number) {
+          w.field(key, value.as_double());
+        } else if (value.kind == obs::JsonValue::Kind::String) {
+          w.field(key, value.as_string());
+        } else if (value.is_array()) {
+          w.key(key).begin_array();
+          for (const obs::JsonValue& e : value.array) w.value(e.as_double());
+          w.end_array();
+        }
+      }
+    w.end_object();
+    w.end_object();
+
+    if (cfg_.out_path.empty()) {
+      std::cout << w.str() << '\n';
+    } else {
+      std::ofstream out(cfg_.out_path);
+      SBS_CHECK_MSG(out.good(), "cannot open " << cfg_.out_path);
+      out << w.str() << '\n';
+      std::cerr << "wrote " << cfg_.out_path << '\n';
+    }
+  }
+
+  Config cfg_;
+  Rng rng_;
+  int fd_ = -1;
+  std::string out_;
+  service::FrameDecoder decoder_;
+  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> events_;
+  std::map<std::int64_t, Pending> inflight_;
+  std::int64_t next_id_ = 1;
+  int step_ = 0;
+  std::int64_t step_end_us_ = 0;
+  std::int64_t sweep_end_us_ = 0;
+  bool sweep_done_ = false;
+  bool drained_ = false;
+  std::vector<StepStats> steps_;
+  std::vector<std::uint64_t> last_gov_;
+  obs::JsonValue final_stats_;
+};
+
+int usage() {
+  std::cerr <<
+      "usage: sbsched_loadgen --socket=<path>\n"
+      "    [--rate-start=5] [--rate-stop=50] [--rate-step=5]\n"
+      "    [--step-seconds=5] [--nodes-min=1] [--nodes-max=32]\n"
+      "    [--runtime-min=60] [--runtime-max=3600] [--priorities=4]\n"
+      "    [--seed=1] [--retry-base-ms=50] [--retry-cap-ms=5000]\n"
+      "    [--max-retries=6] [--stats-interval-ms=500] [--settle-ms=2000]\n"
+      "    [--drain=on|off] [--out=loadgen.json]\n"
+      "Open-loop Poisson load sweep against an `sbsched serve` socket;\n"
+      "prints one JSON document of per-step latency/rejection/governor\n"
+      "measurements. --drain=on asks the server to drain afterwards.\n";
+  return 2;
+}
+
+int run(int argc, char** argv) {
+  CliArgs args(argc, argv,
+               {"socket", "rate-start", "rate-stop", "rate-step",
+                "step-seconds", "nodes-min", "nodes-max", "runtime-min",
+                "runtime-max", "priorities", "seed", "retry-base-ms",
+                "retry-cap-ms", "max-retries", "stats-interval-ms",
+                "settle-ms", "drain", "out"});
+  Config cfg;
+  cfg.socket_path = args.get("socket", "");
+  if (cfg.socket_path.empty()) throw UsageError("--socket=<path> is required");
+  cfg.rate_start = args.get_double("rate-start", 5.0);
+  cfg.rate_stop = args.get_double("rate-stop", 50.0);
+  cfg.rate_step = args.get_double("rate-step", 5.0);
+  if (cfg.rate_start <= 0 || cfg.rate_step <= 0 ||
+      cfg.rate_stop < cfg.rate_start)
+    throw UsageError("rates must satisfy 0 < rate-start <= rate-stop "
+                     "with rate-step > 0");
+  cfg.step_seconds = args.get_double("step-seconds", 5.0);
+  if (cfg.step_seconds <= 0) throw UsageError("--step-seconds must be > 0");
+  cfg.nodes_min = static_cast<int>(args.get_int("nodes-min", 1));
+  cfg.nodes_max = static_cast<int>(args.get_int("nodes-max", 32));
+  if (cfg.nodes_min < 1 || cfg.nodes_max < cfg.nodes_min)
+    throw UsageError("need 1 <= nodes-min <= nodes-max");
+  cfg.runtime_min = args.get_int("runtime-min", 60);
+  cfg.runtime_max = args.get_int("runtime-max", 3600);
+  if (cfg.runtime_min < 1 || cfg.runtime_max < cfg.runtime_min)
+    throw UsageError("need 1 <= runtime-min <= runtime-max");
+  cfg.priorities = static_cast<int>(args.get_int("priorities", 4));
+  if (cfg.priorities < 1) throw UsageError("--priorities must be >= 1");
+  cfg.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  cfg.retry_base_ms = args.get_int("retry-base-ms", 50);
+  cfg.retry_cap_ms = args.get_int("retry-cap-ms", 5000);
+  cfg.max_retries = static_cast<int>(args.get_int("max-retries", 6));
+  cfg.stats_interval_ms = args.get_int("stats-interval-ms", 500);
+  cfg.settle_ms = args.get_int("settle-ms", 2000);
+  const std::string drain = args.get("drain", "off");
+  if (drain != "on" && drain != "off")
+    throw UsageError("--drain must be on or off");
+  cfg.drain = drain == "on";
+  cfg.out_path = args.get("out", "");
+
+  LoadGen gen(cfg);
+  return gen.run();
+}
+
+}  // namespace
+}  // namespace sbs::loadgen
+
+int main(int argc, char** argv) {
+  std::signal(SIGPIPE, SIG_IGN);
+  try {
+    return sbs::loadgen::run(argc, argv);
+  } catch (const sbs::UsageError& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return sbs::loadgen::usage();
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+}
