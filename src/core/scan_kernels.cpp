@@ -1,0 +1,147 @@
+// Vector bodies of the earliest-start kernels (see scan_kernels.hpp for
+// the testing contract). Structure shared by all five:
+//
+//  - 8 x int32 GCC vector extensions, loaded/stored via memcpy (the
+//    portable unaligned access idiom — compiles to plain vector moves).
+//
+//  - The find-first scans walk 32-element blocks, OR-combining the four
+//    comparison masks in the vector domain and testing the combined mask
+//    once per block. Testing per 8-lane vector would bounce every mask
+//    through the stack (the only portable lane reduction), and that
+//    store-load round trip costs more than the comparisons themselves; a
+//    hit rescans its block, so the returned index is still exact.
+//
+//  - Where the toolchain supports it, each kernel is cloned for AVX2 and
+//    the loader picks the widest body the CPU has (target_clones/ifunc);
+//    the default clone remains baseline x86-64, so the binary runs
+//    anywhere. On toolchains without the attribute the plain body is
+//    compiled alone — still correct, still vectorized at 128 bits.
+//
+// Every body returns exactly what its *_scalar reference returns for
+// every input (integer arithmetic, no reassociation) — that equivalence
+// is what tests/test_search_simd.cpp pins, and the differential matrix
+// extends it to whole schedules.
+
+#include "core/scan_kernels.hpp"
+
+#if SBS_SIMD_KERNELS
+
+// The vectors never cross a real ABI boundary (everything here is file-
+// local or takes scalar parameters), so the psABI warning does not apply.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wpsabi"
+
+#if defined(__x86_64__) && defined(__has_attribute)
+#if __has_attribute(target_clones) && defined(__gnu_linux__)
+#define SBS_KERNEL_CLONES __attribute__((target_clones("default", "avx2")))
+#endif
+#endif
+#ifndef SBS_KERNEL_CLONES
+#define SBS_KERNEL_CLONES
+#endif
+
+namespace sbs::kernels {
+
+namespace {
+
+typedef int V8i __attribute__((vector_size(32)));
+
+inline V8i splat(int x) { return V8i{x, x, x, x, x, x, x, x}; }
+
+inline V8i load(const int* p) {
+  V8i v;
+  std::memcpy(&v, p, sizeof v);
+  return v;
+}
+
+inline void store(int* p, V8i v) { std::memcpy(p, &v, sizeof v); }
+
+/// True when any lane of a comparison-result vector (-1/0 per lane) is
+/// set. The memcpy round trip is the portable reduction — callers batch
+/// several vectors per test to amortize it.
+inline bool any_lane(V8i mask) {
+  std::uint64_t w[4];
+  std::memcpy(w, &mask, sizeof w);
+  return (w[0] | w[1] | w[2] | w[3]) != 0;
+}
+
+}  // namespace
+
+SBS_KERNEL_CLONES
+std::size_t first_lt(const int* v, std::size_t lo, std::size_t hi, int x) {
+  std::size_t i = lo;
+  const V8i xs = splat(x);
+  // 32-element blocks, one mask test per block; break rescans the block.
+  for (; i + 32 <= hi; i += 32) {
+    const V8i m = (load(v + i) < xs) | (load(v + i + 8) < xs) |
+                  (load(v + i + 16) < xs) | (load(v + i + 24) < xs);
+    if (any_lane(m)) break;
+  }
+  for (; i + 8 <= hi; i += 8) {
+    if (any_lane(load(v + i) < xs)) {
+      for (std::size_t k = i; k < i + 8; ++k)
+        if (v[k] < x) return k;
+    }
+  }
+  return first_lt_scalar(v, i, hi, x);
+}
+
+SBS_KERNEL_CLONES
+std::size_t first_ge(const int* v, std::size_t lo, std::size_t hi, int x) {
+  std::size_t i = lo;
+  const V8i xs = splat(x);
+  for (; i + 32 <= hi; i += 32) {
+    const V8i m = (load(v + i) >= xs) | (load(v + i + 8) >= xs) |
+                  (load(v + i + 16) >= xs) | (load(v + i + 24) >= xs);
+    if (any_lane(m)) break;
+  }
+  for (; i + 8 <= hi; i += 8) {
+    if (any_lane(load(v + i) >= xs)) {
+      for (std::size_t k = i; k < i + 8; ++k)
+        if (v[k] >= x) return k;
+    }
+  }
+  return first_ge_scalar(v, i, hi, x);
+}
+
+SBS_KERNEL_CLONES
+int range_min(const int* v, std::size_t lo, std::size_t hi) {
+  std::size_t i = lo;
+  int m = std::numeric_limits<int>::max();
+  if (i + 8 <= hi) {
+    V8i acc = splat(m);
+    for (; i + 8 <= hi; i += 8) {
+      const V8i lane = load(v + i);
+      const V8i lt = lane < acc;
+      acc = (lane & lt) | (acc & ~lt);
+    }
+    int lanes[8];
+    std::memcpy(lanes, &acc, sizeof lanes);
+    for (int lane : lanes)
+      if (lane < m) m = lane;
+  }
+  const int tail = range_min_scalar(v, i, hi);
+  return tail < m ? tail : m;
+}
+
+SBS_KERNEL_CLONES
+void range_sub(int* v, std::size_t lo, std::size_t hi, int x) {
+  std::size_t i = lo;
+  const V8i xs = splat(x);
+  for (; i + 8 <= hi; i += 8) store(v + i, load(v + i) - xs);
+  range_sub_scalar(v, i, hi, x);
+}
+
+SBS_KERNEL_CLONES
+void range_add(int* v, std::size_t lo, std::size_t hi, int x) {
+  std::size_t i = lo;
+  const V8i xs = splat(x);
+  for (; i + 8 <= hi; i += 8) store(v + i, load(v + i) + xs);
+  range_add_scalar(v, i, hi, x);
+}
+
+}  // namespace sbs::kernels
+
+#pragma GCC diagnostic pop
+
+#endif  // SBS_SIMD_KERNELS

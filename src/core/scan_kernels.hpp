@@ -1,0 +1,107 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <limits>
+
+namespace sbs::kernels {
+
+// Portable SIMD kernels for the earliest-start hot path: find-first scans
+// and range updates over the schedule builder's dense free-node array.
+//
+// The vector forms use GCC/Clang vector extensions (8 x int32 = 256-bit
+// lanes, lowered to whatever the target ISA provides — two SSE2 ops on
+// baseline x86-64, one AVX2 op with -mavx2, NEON pairs on aarch64) with a
+// scalar tail for the trailing < 8 elements. No intrinsics headers, no
+// extra dependencies; on compilers without the extension every kernel
+// falls back to its scalar reference.
+//
+// TESTING CONTRACT: each kernel has an always-compiled *_scalar reference
+// with the same signature. The vector form must return bit-identical
+// results for every input — tests/test_search_simd.cpp proves it on random
+// arrays and the differential matrix proves it end to end (the scalar
+// reference is what `--search-simd=off` runs in production).
+
+#if (defined(__GNUC__) || defined(__clang__)) && !defined(SBS_NO_SIMD)
+#define SBS_SIMD_KERNELS 1
+#else
+#define SBS_SIMD_KERNELS 0
+#endif
+
+/// True when the vector forms actually vectorize on this build (otherwise
+/// they alias the scalar references and the `simd` knob is a no-op).
+constexpr bool simd_compiled() { return SBS_SIMD_KERNELS != 0; }
+
+/// First index in [lo, hi) with v[i] < x; hi when none.
+inline std::size_t first_lt_scalar(const int* v, std::size_t lo,
+                                   std::size_t hi, int x) {
+  for (std::size_t i = lo; i < hi; ++i)
+    if (v[i] < x) return i;
+  return hi;
+}
+
+/// First index in [lo, hi) with v[i] >= x; hi when none.
+inline std::size_t first_ge_scalar(const int* v, std::size_t lo,
+                                   std::size_t hi, int x) {
+  for (std::size_t i = lo; i < hi; ++i)
+    if (v[i] >= x) return i;
+  return hi;
+}
+
+/// Minimum of v[lo..hi); INT_MAX on an empty range.
+inline int range_min_scalar(const int* v, std::size_t lo, std::size_t hi) {
+  int m = std::numeric_limits<int>::max();
+  for (std::size_t i = lo; i < hi; ++i)
+    if (v[i] < m) m = v[i];
+  return m;
+}
+
+/// v[i] -= x over [lo, hi).
+inline void range_sub_scalar(int* v, std::size_t lo, std::size_t hi, int x) {
+  for (std::size_t i = lo; i < hi; ++i) v[i] -= x;
+}
+
+/// v[i] += x over [lo, hi).
+inline void range_add_scalar(int* v, std::size_t lo, std::size_t hi, int x) {
+  for (std::size_t i = lo; i < hi; ++i) v[i] += x;
+}
+
+#if SBS_SIMD_KERNELS
+
+// Out-of-line (scan_kernels.cpp): the vector forms are real functions, not
+// header inlines, for two reasons. The loops test a whole block of lanes
+// with one reduction instead of round-tripping a mask through memory every
+// 8 elements, and the definitions carry target_clones (where the
+// toolchain supports it) so the loader picks an AVX2 body on hardware
+// that has it while the shipped binary stays baseline-x86-64 portable.
+// The call overhead is noise against the scans they exist for.
+std::size_t first_lt(const int* v, std::size_t lo, std::size_t hi, int x);
+std::size_t first_ge(const int* v, std::size_t lo, std::size_t hi, int x);
+int range_min(const int* v, std::size_t lo, std::size_t hi);
+void range_sub(int* v, std::size_t lo, std::size_t hi, int x);
+void range_add(int* v, std::size_t lo, std::size_t hi, int x);
+
+#else  // !SBS_SIMD_KERNELS
+
+inline std::size_t first_lt(const int* v, std::size_t lo, std::size_t hi,
+                            int x) {
+  return first_lt_scalar(v, lo, hi, x);
+}
+inline std::size_t first_ge(const int* v, std::size_t lo, std::size_t hi,
+                            int x) {
+  return first_ge_scalar(v, lo, hi, x);
+}
+inline int range_min(const int* v, std::size_t lo, std::size_t hi) {
+  return range_min_scalar(v, lo, hi);
+}
+inline void range_sub(int* v, std::size_t lo, std::size_t hi, int x) {
+  range_sub_scalar(v, lo, hi, x);
+}
+inline void range_add(int* v, std::size_t lo, std::size_t hi, int x) {
+  range_add_scalar(v, lo, hi, x);
+}
+
+#endif  // SBS_SIMD_KERNELS
+
+}  // namespace sbs::kernels

@@ -1,11 +1,14 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <unordered_map>
 #include <vector>
 
+#include "core/scan_kernels.hpp"
 #include "core/search_problem.hpp"
+#include "util/arena.hpp"
 #include "util/error.hpp"
 
 namespace sbs {
@@ -37,7 +40,7 @@ struct BuilderCacheStats {
 /// Incremental list-scheduling state for tree search. Every search engine
 /// — and every parallel worker, privately — places jobs through one of
 /// these, which keeps the placement arithmetic in a single spot and
-/// bit-identical across the sequential, parallel, and cached paths.
+/// bit-identical across the sequential, parallel, cached and SIMD paths.
 ///
 /// Two modes, selected at construction and proven equivalent by the
 /// differential suite (tests/test_search_incremental.cpp):
@@ -64,29 +67,60 @@ struct BuilderCacheStats {
 ///    start feeds the exact same reserve arithmetic, so results cannot
 ///    diverge.
 ///
-/// Both modes mutate an identical step sequence through identical reserve
+/// The `simd` knob (cache mode only) selects between two provably
+/// equivalent implementations of the scan and reserve arithmetic:
+///
+///  - simd = false: the scalar reference — the original fused loop,
+///    kept compiled verbatim (soa_earliest_start_scalar) as the
+///    differential baseline for tests and `--search-simd=off`.
+///
+///  - simd = true (default): the same scan decomposed into vectorizable
+///    kernels (core/scan_kernels.hpp): find-first-ge over the free array
+///    to skip infeasible steps 8 lanes at a time, a galloping search over
+///    the sorted times for the window end, find-first-lt for the first
+///    free-count violation inside the window, and range-sub/range-add for
+///    the reserve/undo updates. Every kernel answer is the index/value the
+///    scalar loop computes — integer arithmetic only, so the equivalence
+///    is exact, and tests/test_search_simd.cpp proves it cell by cell.
+///
+/// In cache mode all per-path state (the SoA arrays, undo log, version
+/// stack, shape table) lives in a bump Arena — the caller's per-worker
+/// arena when one is passed, else a private one — so a search performs no
+/// per-node heap traffic (the memo table is the one ordinary heap
+/// allocation, sized in powers of two).
+///
+/// All modes mutate an identical step sequence through identical reserve
 /// arithmetic, so earliest-start answers — and with them every schedule,
 /// objective, and node count — are bit-identical by construction.
 class ScheduleBuilder {
  public:
-  explicit ScheduleBuilder(const SearchProblem& problem, bool cache = true)
-      : p_(&problem), cache_(cache) {
+  explicit ScheduleBuilder(const SearchProblem& problem, bool cache = true,
+                           bool simd = true, Arena* arena = nullptr)
+      : p_(&problem), cache_(cache), simd_(simd) {
     if (!cache_) {
       profiles_.assign(problem.size() + 1, problem.base);
       return;
     }
+    if (arena == nullptr) {
+      owned_arena_ = std::make_unique<Arena>();
+      arena = owned_arena_.get();
+    }
     const std::size_t n = problem.size();
-    times_.reserve(problem.base.step_count() + 2 * n + 2);
-    free_.reserve(problem.base.step_count() + 2 * n + 2);
+    // Exact capacity bounds: each outstanding placement inserts at most
+    // two boundary steps and at most n placements are outstanding.
+    const std::size_t step_cap = problem.base.step_count() + 2 * n + 2;
+    const std::size_t depth_cap = n > 0 ? n : 1;
+    times_.init(*arena, step_cap);
+    free_.init(*arena, step_cap);
+    undo_log_.init(*arena, depth_cap);
+    version_stack_.init(*arena, depth_cap);
+    shape_of_.init(*arena, depth_cap);
     for (const auto& s : problem.base.steps()) {
       times_.push_back(s.time);
       free_.push_back(s.free);
     }
-    undo_log_.reserve(n);
-    version_stack_.reserve(n);
     // Dense shape ids: jobs with the same (nodes, estimate) are the same
     // input to earliest_start, so they share memo entries.
-    shape_of_.reserve(n);
     std::unordered_map<std::uint64_t, std::uint32_t> ids;
     ids.reserve(n);
     for (const SearchJob& s : problem.jobs) {
@@ -104,6 +138,7 @@ class ScheduleBuilder {
   }
 
   bool cache_enabled() const { return cache_; }
+  bool simd_enabled() const { return simd_; }
 
   /// Places `job` as the depth-d element of the current path and returns
   /// its start time. In cache mode `depth` must equal the number of
@@ -157,7 +192,11 @@ class ScheduleBuilder {
     // LIFO discipline means every index the record captured is still
     // valid: later placements have already been undone, so the arrays are
     // byte-identical to the post-reserve state.
-    for (std::size_t i = u.first; i < u.last; ++i) free_[i] += u.nodes;
+    if (simd_) {
+      kernels::range_add(free_.data(), u.first, u.last, u.nodes);
+    } else {
+      for (std::size_t i = u.first; i < u.last; ++i) free_[i] += u.nodes;
+    }
     if (u.inserted_last) erase_step(u.last);
     if (u.inserted_first) erase_step(u.first);
     undo_log_.pop_back();
@@ -233,15 +272,28 @@ class ScheduleBuilder {
     return lo;
   }
 
-  /// Mirror of ResourceProfile::earliest_start over the SoA arrays, with
-  /// one addition: it reports the scan's end position (`first_hint` = step
+  /// Knob dispatch: both implementations return bit-identical answers and
+  /// hints for every input (tests/test_search_simd.cpp).
+  Time soa_earliest_start(Time from, int nodes, Time duration,
+                          std::size_t& first_hint,
+                          std::size_t& end_hint) const {
+    return simd_ ? soa_earliest_start_simd(from, nodes, duration, first_hint,
+                                           end_hint)
+                 : soa_earliest_start_scalar(from, nodes, duration,
+                                             first_hint, end_hint);
+  }
+
+  /// SCALAR REFERENCE (kept compiled verbatim — the `--search-simd=off`
+  /// path and the differential baseline). Mirror of
+  /// ResourceProfile::earliest_start over the SoA arrays, with one
+  /// addition: it reports the scan's end position (`first_hint` = step
   /// containing the start, `end_hint` = first step at or past start +
   /// duration) so the subsequent reserve needs no boundary search. The
   /// returned time is bit-identical to the AoS implementation — the scan
   /// is the same algorithm over the same step sequence.
-  Time soa_earliest_start(Time from, int nodes, Time duration,
-                          std::size_t& first_hint,
-                          std::size_t& end_hint) const {
+  Time soa_earliest_start_scalar(Time from, int nodes, Time duration,
+                                 std::size_t& first_hint,
+                                 std::size_t& end_hint) const {
     SBS_CHECK(nodes >= 1);
     SBS_CHECK(duration > 0);
     if (from < times_.front()) from = times_.front();
@@ -271,14 +323,73 @@ class ScheduleBuilder {
     }
   }
 
+  /// First step index >= lo with times_[idx] >= end (galloping probe, then
+  /// a binary search of the bracketed range — the window is usually a
+  /// handful of steps, so the probe terminates in one or two iterations).
+  std::size_t soa_first_time_ge(Time end, std::size_t lo) const {
+    const std::size_t n = times_.size();
+    std::size_t bound = 1;
+    std::size_t known = lo;  ///< every index < known has times_ < end
+    std::size_t probe = lo;
+    while (probe < n && times_[probe] < end) {
+      known = probe + 1;
+      probe = lo + bound;
+      bound *= 2;
+    }
+    std::size_t a = known;
+    std::size_t b = probe < n ? probe : n;
+    while (a < b) {
+      const std::size_t mid = (a + b) / 2;
+      if (times_[mid] < end) {
+        a = mid + 1;
+      } else {
+        b = mid;
+      }
+    }
+    return a;
+  }
+
+  /// Vector form of the same scan, decomposed for the kernels: skip
+  /// infeasible steps with find-first-ge, bound the window end against the
+  /// sorted times, and detect the first in-window free-count violation
+  /// with find-first-lt. Each candidate step and each failure index equals
+  /// the scalar loop's — the loop structure differs, the visited decision
+  /// sequence does not.
+  Time soa_earliest_start_simd(Time from, int nodes, Time duration,
+                               std::size_t& first_hint,
+                               std::size_t& end_hint) const {
+    SBS_CHECK(nodes >= 1);
+    SBS_CHECK(duration > 0);
+    if (from < times_.front()) from = times_.front();
+    std::size_t i = soa_step_index(from);
+    const std::size_t n = times_.size();
+    for (;;) {
+      if (free_[i] < nodes) {
+        i = kernels::first_ge(free_.data(), i + 1, n, nodes);
+        SBS_CHECK_MSG(i < n, "no feasible start found — inconsistent profile");
+      }
+      const Time t = from > times_[i] ? from : times_[i];
+      const Time end = t + duration;
+      const std::size_t k_time = soa_first_time_ge(end, i + 1);
+      const std::size_t k_free =
+          kernels::first_lt(free_.data(), i + 1, k_time, nodes);
+      if (k_free >= k_time) {
+        first_hint = i;
+        end_hint = k_time;
+        return t;
+      }
+      i = k_free;
+    }
+  }
+
   void insert_step(std::size_t at, Time t, int f) {
-    times_.insert(times_.begin() + static_cast<std::ptrdiff_t>(at), t);
-    free_.insert(free_.begin() + static_cast<std::ptrdiff_t>(at), f);
+    times_.insert_at(at, t);
+    free_.insert_at(at, f);
   }
 
   void erase_step(std::size_t at) {
-    times_.erase(times_.begin() + static_cast<std::ptrdiff_t>(at));
-    free_.erase(free_.begin() + static_cast<std::ptrdiff_t>(at));
+    times_.erase_at(at);
+    free_.erase_at(at);
   }
 
   /// SoA reserve, boundary-seeded by the scan hints (`first_hint` = step
@@ -304,10 +415,21 @@ class ScheduleBuilder {
       insert_step(last, end, free_[last - 1]);
       u.inserted_last = true;
     }
-    for (std::size_t j = first; j < last; ++j) {
-      SBS_CHECK_MSG(free_[j] >= nodes,
-                    "reservation does not fit at t=" << times_[j]);
-      free_[j] -= nodes;
+    if (simd_) {
+      if (kernels::range_min(free_.data(), first, last) < nodes) {
+        // Unreachable on a consistent profile; replay the scalar loop for
+        // its exact per-step diagnostic.
+        for (std::size_t j = first; j < last; ++j)
+          SBS_CHECK_MSG(free_[j] >= nodes,
+                        "reservation does not fit at t=" << times_[j]);
+      }
+      kernels::range_sub(free_.data(), first, last, nodes);
+    } else {
+      for (std::size_t j = first; j < last; ++j) {
+        SBS_CHECK_MSG(free_[j] >= nodes,
+                      "reservation does not fit at t=" << times_[j]);
+        free_[j] -= nodes;
+      }
     }
     u.first = static_cast<std::uint32_t>(first);
     u.last = static_cast<std::uint32_t>(last);
@@ -362,15 +484,17 @@ class ScheduleBuilder {
 
   const SearchProblem* p_;
   const bool cache_;
+  const bool simd_;
   std::vector<ResourceProfile> profiles_;  ///< naive mode: per-depth copies
+  std::unique_ptr<Arena> owned_arena_;  ///< when no caller arena was given
 
   // Cache mode: the one live profile as parallel arrays, its undo log,
-  // and the (version, shape) memo.
-  std::vector<Time> times_;
-  std::vector<int> free_;
-  std::vector<SoaUndo> undo_log_;
-  std::vector<std::uint64_t> version_stack_;
-  std::vector<std::uint32_t> shape_of_;
+  // and the (version, shape) memo. All arena-backed except the memo.
+  ArenaVector<Time> times_;
+  ArenaVector<int> free_;
+  ArenaVector<SoaUndo> undo_log_;
+  ArenaVector<std::uint64_t> version_stack_;
+  ArenaVector<std::uint32_t> shape_of_;
   std::uint64_t n_shapes_ = 0;
   std::vector<MemoSlot> memo_;
   std::size_t memo_mask_ = 0;

@@ -13,6 +13,7 @@
 #include <utility>
 
 #include "core/schedule_builder.hpp"
+#include "util/arena.hpp"
 #include "util/error.hpp"
 #include "util/thread_pool.hpp"
 
@@ -126,10 +127,19 @@ class Engine {
   Engine(const SearchProblem& problem, const SearchConfig& config)
       : p_(problem), cfg_(config), n_(problem.size()),
         seq_(branching_order(problem, config.branching)),
-        builder_(problem, config.cache) {
+        builder_(problem, config.cache, config.simd, &worker_arena()) {
+    Arena& arena = worker_arena();
+    used_.init(arena, n_);
+    path_.init(arena, n_);
+    path_starts_.init(arena, n_);
     used_.assign(n_, 0);
     path_.resize(n_);
     path_starts_.resize(n_);
+    twin_prev_ = cfg_.dominance
+                     ? p_.twin_prev()
+                     : std::vector<std::size_t>(n_, SearchProblem::kNoTwin);
+    frozen_active_ =
+        cfg_.dominance && cfg_.comparator.weighted_alpha == 0.0;
     result_.value = worst_objective();
     if (cfg_.deadline_ms >= 0.0) {
       has_deadline_ = true;
@@ -219,6 +229,13 @@ class Engine {
   void begin_iteration() {
     ++result_.iterations_started;
     result_.paths_per_iteration.push_back(0);
+    // Freeze the incumbent for this iteration's dominance bound. Frozen at
+    // the boundary — never mid-iteration — so the cut is independent of the
+    // order improvements are discovered inside the iteration, which is what
+    // keeps it identical across thread counts (the parallel engine freezes
+    // at the same boundary).
+    frozen_valid_ = frozen_active_ && !result_.improvements.empty();
+    if (frozen_valid_) frozen_best_ = result_.value;
     // Unconditional clock check at iteration boundaries so even a 0 ms
     // deadline is detected promptly, independent of the poll counter.
     if (has_deadline_ && !deadline_hit_ &&
@@ -244,21 +261,50 @@ class Engine {
     }
   }
 
-  /// Branch-and-bound cut (optional): excess only accumulates along a path
-  /// and every remaining job contributes bounded slowdown >= 1, so a
-  /// partial path already no better than the incumbent cannot improve.
-  bool pruned(double excess, double bsld_sum, std::size_t depth) const {
-    // Gate on the incumbent's existence (improvements, not completed
-    // paths): cold searches behave identically — the first completed path
-    // always records an improvement — and a warm-start incumbent can prune
-    // from the very first placement.
-    if (!cfg_.prune || result_.improvements.empty()) return false;
-    const ObjectiveValue& best = result_.value;
-    if (excess > best.excess_h + kObjectiveEps) return true;
-    if (excess < best.excess_h - kObjectiveEps) return false;
-    const double lb =
-        (bsld_sum + static_cast<double>(n_ - depth)) / static_cast<double>(n_);
-    return lb >= best.avg_bsld - kObjectiveEps;
+  /// Lower-bound cut: excess only accumulates along a path and every
+  /// remaining job contributes bounded slowdown >= 1, so a partial path
+  /// whose admissible bound is already no better than the reference
+  /// incumbent cannot improve on it. The reference is the LIVE incumbent
+  /// under branch-and-bound (cfg_.prune — gated on the incumbent's
+  /// existence via improvements, not completed paths, so a warm-start
+  /// incumbent can prune from the very first placement) and otherwise the
+  /// iteration-FROZEN incumbent of the dominance layer. When both are on,
+  /// the live incumbent subsumes the frozen one: live <= frozen at every
+  /// point, so any path the frozen bound would cut, the live bound cuts
+  /// too.
+  bool bound_cut(double excess, double bsld_sum, std::size_t depth) {
+    const ObjectiveValue* best = nullptr;
+    if (cfg_.prune && !result_.improvements.empty())
+      best = &result_.value;
+    else if (frozen_valid_)
+      best = &frozen_best_;
+    if (best == nullptr) return false;
+    bool cut;
+    if (excess > best->excess_h + kObjectiveEps) {
+      cut = true;
+    } else if (excess < best->excess_h - kObjectiveEps) {
+      cut = false;
+    } else {
+      const double lb = (bsld_sum + static_cast<double>(n_ - depth)) /
+                        static_cast<double>(n_);
+      cut = lb >= best->avg_bsld - kObjectiveEps;
+    }
+    if (cut) ++result_.pruned_bound;
+    return cut;
+  }
+
+  /// Twin skip (SearchConfig::dominance): placing `j` while its earlier
+  /// twin still waits only permutes interchangeable jobs — the canonical
+  /// subtree (earlier twin first) contains a value-identical schedule for
+  /// every completion under this branch. Never fires for the first unused
+  /// job in seq_ (its earlier twin, sorting strictly before it in both
+  /// branching orders, would itself be the first unused), so every interior
+  /// node keeps at least one child and the heuristic path is untouched.
+  bool twin_skip(std::size_t j) {
+    const std::size_t tp = twin_prev_[j];
+    if (tp == SearchProblem::kNoTwin || used_[tp]) return false;
+    ++result_.pruned_twins;
+    return true;
   }
 
   void descend_leftmost() {
@@ -291,6 +337,9 @@ class Engine {
     std::size_t child = 0;
     for (std::size_t j : seq_) {
       if (used_[j]) continue;
+      // Twin skip BEFORE child counting: the reduced tree is renumbered, so
+      // skipping a twin does not spend a discrepancy slot on it.
+      if (twin_skip(j)) continue;
       const std::size_t d_used = used + (child > 0 ? 1 : 0);
       ++child;
       if (d_used > k) break;  // children are visited left to right
@@ -302,7 +351,7 @@ class Engine {
       const double e = excess + p_.excess_h(j, t);
       const double b = bsld_sum + p_.bsld(j, t);
       bool ok = true;
-      if (!pruned(e, b, depth + 1)) ok = lds(depth + 1, e, b, d_used, k);
+      if (!bound_cut(e, b, depth + 1)) ok = lds(depth + 1, e, b, d_used, k);
       unplace(j);
       if (!ok) return false;
     }
@@ -318,12 +367,13 @@ class Engine {
     }
     for (std::size_t j : seq_) {
       if (used_[j]) continue;
+      if (twin_skip(j)) continue;
       if (!budget_left() && result_.paths_completed > 0) return false;
       const Time t = place(depth, j);
       const double e = excess + p_.excess_h(j, t);
       const double b = bsld_sum + p_.bsld(j, t);
       bool ok = true;
-      if (!pruned(e, b, depth + 1)) ok = dfs(depth + 1, e, b);
+      if (!bound_cut(e, b, depth + 1)) ok = dfs(depth + 1, e, b);
       unplace(j);
       if (!ok) return false;
     }
@@ -342,6 +392,7 @@ class Engine {
     std::size_t child = 0;
     for (std::size_t j : seq_) {
       if (used_[j]) continue;
+      if (twin_skip(j)) continue;  // reduced tree: twins are not children
       const std::size_t c = child++;
       if (child_depth == target && c == 0) continue;  // discrepancy required
       if (child_depth > target && c > 0) break;       // heuristic only below
@@ -350,7 +401,7 @@ class Engine {
       const double e = excess + p_.excess_h(j, t);
       const double b = bsld_sum + p_.bsld(j, t);
       bool ok = true;
-      if (!pruned(e, b, depth + 1)) ok = dds(depth + 1, e, b, target);
+      if (!bound_cut(e, b, depth + 1)) ok = dds(depth + 1, e, b, target);
       unplace(j);
       if (!ok) return false;
     }
@@ -362,11 +413,17 @@ class Engine {
   const std::size_t n_;
   const std::vector<std::size_t> seq_;  ///< heuristic (leftmost-first) order
   ScheduleBuilder builder_;
-  std::vector<char> used_;
+  ArenaVector<char> used_;
   std::vector<char> disc_scratch_;  ///< discrepancy-replay working set
-  std::vector<std::size_t> path_;
-  std::vector<Time> path_starts_;
+  ArenaVector<std::size_t> path_;
+  ArenaVector<Time> path_starts_;
+  std::vector<std::size_t> twin_prev_;
   SearchResult result_;
+  /// Dominance bound state: frozen_active_ when the config and comparator
+  /// admit the frozen cut at all; frozen_valid_/frozen_best_ per iteration.
+  bool frozen_active_ = false;
+  bool frozen_valid_ = false;
+  ObjectiveValue frozen_best_;
   bool has_deadline_ = false;
   std::chrono::steady_clock::time_point deadline_at_;
   mutable std::uint32_t deadline_poll_ = 0;
@@ -416,6 +473,10 @@ struct TaskResult {
   bool deadline_truncated = false;  ///< stopped by the shared deadline
   std::vector<std::size_t> path_offsets;  ///< local nodes at each completion
   std::vector<KeptPath> kept;
+  /// Dominance telemetry (twin skips / frozen-bound cuts inside the task);
+  /// summed over every task, including speculative work the merge discards.
+  std::uint64_t pruned_twins = 0;
+  std::uint64_t pruned_bound = 0;
 };
 
 /// Shared per-iteration progress: the dynamic task queue plus the observed
@@ -463,19 +524,27 @@ class SubtreeExplorer {
  public:
   SubtreeExplorer(const SearchProblem& problem, const SearchConfig& config,
                   std::span<const std::size_t> seq,
+                  const std::vector<std::size_t>* twin_prev,
                   const std::chrono::steady_clock::time_point* deadline_at,
                   std::atomic<bool>* deadline_hit)
       : p_(problem), cfg_(config), n_(problem.size()), seq_(seq),
-        builder_(problem, config.cache), deadline_at_(deadline_at),
-        deadline_hit_(deadline_hit) {
+        twin_prev_(twin_prev),
+        builder_(problem, config.cache, config.simd, &worker_arena()),
+        deadline_at_(deadline_at), deadline_hit_(deadline_hit) {
+    Arena& arena = worker_arena();
+    used_.init(arena, n_);
+    path_.init(arena, n_);
+    path_starts_.init(arena, n_);
     used_.assign(n_, 0);
     path_.resize(n_);
     path_starts_.resize(n_);
   }
 
-  /// Iteration 0: the whole-tree pure-heuristic path, budget-exempt.
+  /// Iteration 0: the whole-tree pure-heuristic path, budget-exempt. (The
+  /// heuristic path needs no twin skip: the first unused job in seq_ never
+  /// has an unplaced earlier twin.)
   TaskResult run_heuristic() {
-    reset(nullptr, 0, std::numeric_limits<std::size_t>::max());
+    reset(nullptr, 0, std::numeric_limits<std::size_t>::max(), nullptr);
     double excess = 0.0, bsld_sum = 0.0;
     for (std::size_t d = 0; d < n_; ++d) {
       const std::size_t job = first_unused();
@@ -487,26 +556,35 @@ class SubtreeExplorer {
     return std::move(res_);
   }
 
-  /// LDS iteration `k`, the subtree under root child `c`.
-  TaskResult run_lds(std::size_t c, std::size_t k, std::size_t cap,
-                     const IterationProgress* progress, std::size_t task) {
-    reset(progress, task, cap);
+  /// LDS iteration `k`, the subtree under root child `c`. `root_disc` is
+  /// the root branch's discrepancy contribution in the twin-REDUCED tree —
+  /// the caller renumbers surviving root children, so the raw seq index no
+  /// longer implies it.
+  TaskResult run_lds(std::size_t c, bool root_disc, std::size_t k,
+                     std::size_t cap, const IterationProgress* progress,
+                     std::size_t task, const ObjectiveValue* frozen) {
+    reset(progress, task, cap, frozen);
     if (begin_task()) {
       const std::size_t j = seq_[c];
       const Time t = place(0, j);
-      lds(1, p_.excess_h(j, t), p_.bsld(j, t), c > 0 ? 1 : 0, k);
+      const double e = p_.excess_h(j, t);
+      const double b = p_.bsld(j, t);
+      if (!bound_cut(e, b, 1)) lds(1, e, b, root_disc ? 1 : 0, k);
     }
     return std::move(res_);
   }
 
   /// DDS iteration `target`, the subtree under root child `c`.
   TaskResult run_dds(std::size_t c, std::size_t target, std::size_t cap,
-                     const IterationProgress* progress, std::size_t task) {
-    reset(progress, task, cap);
+                     const IterationProgress* progress, std::size_t task,
+                     const ObjectiveValue* frozen) {
+    reset(progress, task, cap, frozen);
     if (begin_task()) {
       const std::size_t j = seq_[c];
       const Time t = place(0, j);
-      dds(1, p_.excess_h(j, t), p_.bsld(j, t), target);
+      const double e = p_.excess_h(j, t);
+      const double b = p_.bsld(j, t);
+      if (!bound_cut(e, b, 1)) dds(1, e, b, target);
     }
     return std::move(res_);
   }
@@ -520,7 +598,7 @@ class SubtreeExplorer {
 
  private:
   void reset(const IterationProgress* progress, std::size_t task,
-             std::size_t cap) {
+             std::size_t cap, const ObjectiveValue* frozen) {
     // run_heuristic/run_lds/run_dds return with their root placement (and,
     // for the heuristic path, the whole path) still outstanding; pop all of
     // it so the next task starts from the base profile.
@@ -529,8 +607,35 @@ class SubtreeExplorer {
     progress_ = progress;
     task_ = task;
     cap_ = cap;
+    frozen_ = frozen;
     local_best_ = worst_objective();
     std::fill(used_.begin(), used_.end(), 0);
+  }
+
+  /// The sequential engine's bound_cut with the per-iteration FROZEN
+  /// incumbent only — the live branch-and-bound variant never reaches the
+  /// parallel engine (cfg_.prune forces the sequential fallback).
+  bool bound_cut(double excess, double bsld_sum, std::size_t depth) {
+    if (frozen_ == nullptr) return false;
+    bool cut;
+    if (excess > frozen_->excess_h + kObjectiveEps) {
+      cut = true;
+    } else if (excess < frozen_->excess_h - kObjectiveEps) {
+      cut = false;
+    } else {
+      const double lb = (bsld_sum + static_cast<double>(n_ - depth)) /
+                        static_cast<double>(n_);
+      cut = lb >= frozen_->avg_bsld - kObjectiveEps;
+    }
+    if (cut) ++res_.pruned_bound;
+    return cut;
+  }
+
+  bool twin_skip(std::size_t j) {
+    const std::size_t tp = (*twin_prev_)[j];
+    if (tp == SearchProblem::kNoTwin || used_[tp]) return false;
+    ++res_.pruned_twins;
+    return true;
   }
 
   /// Mirrors the sequential root-level budget check that precedes the
@@ -621,6 +726,7 @@ class SubtreeExplorer {
     std::size_t child = 0;
     for (std::size_t j : seq_) {
       if (used_[j]) continue;
+      if (twin_skip(j)) continue;
       const std::size_t d_used = used + (child > 0 ? 1 : 0);
       ++child;
       if (d_used > k) break;
@@ -630,7 +736,8 @@ class SubtreeExplorer {
       const Time t = place(depth, j);
       const double e = excess + p_.excess_h(j, t);
       const double b = bsld_sum + p_.bsld(j, t);
-      const bool ok = lds(depth + 1, e, b, d_used, k);
+      bool ok = true;
+      if (!bound_cut(e, b, depth + 1)) ok = lds(depth + 1, e, b, d_used, k);
       unplace(j);
       if (!ok) return false;
     }
@@ -647,6 +754,7 @@ class SubtreeExplorer {
     std::size_t child = 0;
     for (std::size_t j : seq_) {
       if (used_[j]) continue;
+      if (twin_skip(j)) continue;
       const std::size_t c = child++;
       if (child_depth == target && c == 0) continue;
       if (child_depth > target && c > 0) break;
@@ -654,7 +762,8 @@ class SubtreeExplorer {
       const Time t = place(depth, j);
       const double e = excess + p_.excess_h(j, t);
       const double b = bsld_sum + p_.bsld(j, t);
-      const bool ok = dds(depth + 1, e, b, target);
+      bool ok = true;
+      if (!bound_cut(e, b, depth + 1)) ok = dds(depth + 1, e, b, target);
       unplace(j);
       if (!ok) return false;
     }
@@ -665,16 +774,18 @@ class SubtreeExplorer {
   const SearchConfig& cfg_;
   const std::size_t n_;
   const std::span<const std::size_t> seq_;
+  const std::vector<std::size_t>* twin_prev_;
   ScheduleBuilder builder_;
   const std::chrono::steady_clock::time_point* deadline_at_;
   std::atomic<bool>* deadline_hit_;
-  std::vector<char> used_;
-  std::vector<std::size_t> path_;
-  std::vector<Time> path_starts_;
+  ArenaVector<char> used_;
+  ArenaVector<std::size_t> path_;
+  ArenaVector<Time> path_starts_;
   TaskResult res_;
   const IterationProgress* progress_ = nullptr;
   std::size_t task_ = 0;
   std::size_t cap_ = 0;
+  const ObjectiveValue* frozen_ = nullptr;
   ObjectiveValue local_best_;
   std::uint32_t refresh_tick_ = 0;
   std::uint32_t deadline_poll_ = 0;
@@ -683,16 +794,22 @@ class SubtreeExplorer {
 class ParallelEngine {
  public:
   ParallelEngine(const SearchProblem& problem, const SearchConfig& config,
-                 ThreadPool* pool)
+                 ThreadPool* pool, std::uint64_t arena_epoch)
       : p_(problem), cfg_(config), n_(problem.size()),
         seq_(branching_order(problem, config.branching)),
-        workers_(std::max<std::size_t>(config.threads, 1)) {
+        workers_(std::max<std::size_t>(config.threads, 1)),
+        arena_epoch_(arena_epoch) {
     if (pool == nullptr) {
       owned_pool_ = std::make_unique<ThreadPool>(workers_);
       pool = owned_pool_.get();
     }
     pool_ = pool;
     explorers_.resize(workers_);
+    twin_prev_ = cfg_.dominance
+                     ? p_.twin_prev()
+                     : std::vector<std::size_t>(n_, SearchProblem::kNoTwin);
+    frozen_active_ =
+        cfg_.dominance && cfg_.comparator.weighted_alpha == 0.0;
     result_.value = worst_objective();
     result_.threads_used = workers_;
     result_.worker_nodes.assign(workers_, 0);
@@ -712,8 +829,8 @@ class ParallelEngine {
     // Iteration 0 on the calling thread: the pure-heuristic path, exempt
     // from both budgets exactly as in the sequential engine.
     begin_iteration();
-    SubtreeExplorer main_explorer(p_, cfg_, seq_, deadline_ptr(),
-                                  &deadline_flag_);
+    SubtreeExplorer main_explorer(p_, cfg_, seq_, &twin_prev_,
+                                  deadline_ptr(), &deadline_flag_);
     const TaskResult heuristic = main_explorer.run_heuristic();
     accept_prefix(heuristic, heuristic.nodes);
 
@@ -753,6 +870,14 @@ class ParallelEngine {
     return !deadline_flag_.load(std::memory_order_relaxed);
   }
 
+  /// One root-level branch surviving the iteration's filters: its raw seq
+  /// index plus whether it counts as a discrepancy in the twin-reduced tree
+  /// (renumbered child index > 0).
+  struct RootTask {
+    std::size_t c = 0;
+    bool disc = false;
+  };
+
   /// Runs one LDS/DDS iteration across the pool and merges it in canonical
   /// order. Returns false when a budget or deadline cut ended the search.
   bool run_iteration(std::size_t param) {
@@ -760,6 +885,35 @@ class ParallelEngine {
       result_.deadline_hit = true;
       return false;
     }
+
+    // Root children surviving the twin skip and the iteration's filters,
+    // canonical order, renumbered AFTER the twin skip exactly as the
+    // sequential loops renumber. (Root-level replica of the in-tree
+    // filters: for LDS, child 0 cannot reach k discrepancies once k
+    // exceeds the levels below it; for DDS, child 0 is skipped when the
+    // forced discrepancy sits at depth 1. At the root nothing is placed,
+    // so a job is a twin skip iff it has an earlier twin at all.)
+    std::vector<RootTask> tasks;
+    tasks.reserve(n_);
+    std::size_t renumbered = 0;
+    for (std::size_t c = 0; c < n_; ++c) {
+      const std::size_t j = seq_[c];
+      if (twin_prev_[j] != SearchProblem::kNoTwin) {
+        ++result_.pruned_twins;
+        continue;
+      }
+      const std::size_t rc = renumbered++;
+      if (cfg_.algo == SearchAlgo::Lds) {
+        if (rc == 0 && (n_ >= 2 ? n_ - 2 : 0) < param) continue;
+      } else {
+        if (rc == 0 && param == 1) continue;
+      }
+      tasks.push_back(RootTask{c, rc > 0});
+    }
+    // Every root branch was twin-skipped or filtered: the sequential loop
+    // would fall through without touching the budget and move on.
+    if (tasks.empty()) return true;
+
     const std::size_t budget =
         cfg_.node_limit > result_.nodes_visited
             ? cfg_.node_limit - result_.nodes_visited
@@ -768,21 +922,12 @@ class ParallelEngine {
     // first placement fails, ending the search with the iteration counted.
     if (budget == 0) return false;
 
-    // Root children surviving the iteration's filters, canonical order.
-    // (Root-level replica of the in-tree filters: for LDS, child 0 cannot
-    // reach k discrepancies once k exceeds the levels below it; for DDS,
-    // child 0 is skipped when the forced discrepancy sits at depth 1.)
-    std::vector<std::size_t> tasks;
-    tasks.reserve(n_);
-    for (std::size_t c = 0; c < n_; ++c) {
-      if (cfg_.algo == SearchAlgo::Lds) {
-        if (c == 0 && (n_ >= 2 ? n_ - 2 : 0) < param) continue;
-      } else {
-        if (c == 0 && param == 1) continue;
-      }
-      tasks.push_back(c);
-    }
-    SBS_CHECK_MSG(!tasks.empty(), "iteration with no root branches");
+    // Freeze the incumbent for the iteration's dominance bound at the same
+    // boundary as the sequential engine; workers only read it.
+    const bool frozen_valid = frozen_active_ && !result_.improvements.empty();
+    const ObjectiveValue frozen_best =
+        frozen_valid ? result_.value : worst_objective();
+    const ObjectiveValue* frozen = frozen_valid ? &frozen_best : nullptr;
 
     IterationProgress progress(tasks.size(), budget);
     std::vector<TaskResult> results(tasks.size());
@@ -790,9 +935,9 @@ class ParallelEngine {
     std::vector<std::future<void>> futures;
     futures.reserve(spawn);
     for (std::size_t w = 0; w < spawn; ++w)
-      futures.push_back(
-          pool_->submit([this, w, param, &tasks, &progress, &results] {
-            worker_loop(w, param, tasks, progress, results);
+      futures.push_back(pool_->submit(
+          [this, w, param, frozen, &tasks, &progress, &results] {
+            worker_loop(w, param, frozen, tasks, progress, results);
           }));
     std::exception_ptr error;
     for (auto& f : futures) {
@@ -803,6 +948,13 @@ class ParallelEngine {
       }
     }
     if (error) std::rethrow_exception(error);
+
+    // Pruning telemetry over every task — including speculative work the
+    // canonical merge below discards, like the cache counters.
+    for (const TaskResult& t : results) {
+      result_.pruned_twins += t.pruned_twins;
+      result_.pruned_bound += t.pruned_bound;
+    }
 
     // Canonical merge: accept whole tasks while they fit the remaining
     // budget; cut inside the first one that does not, exactly where the
@@ -828,20 +980,28 @@ class ParallelEngine {
   }
 
   void worker_loop(std::size_t w, std::size_t param,
-                   const std::vector<std::size_t>& tasks,
+                   const ObjectiveValue* frozen,
+                   const std::vector<RootTask>& tasks,
                    IterationProgress& progress,
                    std::vector<TaskResult>& results) {
+    // Claim the search's arena epoch on this pool thread. A no-op after
+    // the first iteration's claim, so explorer state (whose storage lives
+    // in this thread's arena) survives across iterations of one search.
+    worker_arena().begin_epoch(arena_epoch_);
     if (!explorers_[w])
       explorers_[w] = std::make_unique<SubtreeExplorer>(
-          p_, cfg_, seq_, deadline_ptr(), &deadline_flag_);
+          p_, cfg_, seq_, &twin_prev_, deadline_ptr(), &deadline_flag_);
     SubtreeExplorer& explorer = *explorers_[w];
     for (;;) {
       const std::size_t i = progress.grab();
       if (i >= tasks.size()) break;
       const std::size_t cap = progress.cap_for(i);
-      results[i] = cfg_.algo == SearchAlgo::Lds
-                       ? explorer.run_lds(tasks[i], param, cap, &progress, i)
-                       : explorer.run_dds(tasks[i], param, cap, &progress, i);
+      results[i] =
+          cfg_.algo == SearchAlgo::Lds
+              ? explorer.run_lds(tasks[i].c, tasks[i].disc, param, cap,
+                                 &progress, i, frozen)
+              : explorer.run_dds(tasks[i].c, param, cap, &progress, i,
+                                 frozen);
       progress.record(i, results[i].nodes);
       result_.worker_nodes[w] += results[i].nodes;
     }
@@ -884,6 +1044,9 @@ class ParallelEngine {
   const std::size_t n_;
   const std::vector<std::size_t> seq_;
   const std::size_t workers_;
+  const std::uint64_t arena_epoch_;
+  std::vector<std::size_t> twin_prev_;
+  bool frozen_active_ = false;
   std::unique_ptr<ThreadPool> owned_pool_;
   ThreadPool* pool_ = nullptr;
   std::vector<std::unique_ptr<SubtreeExplorer>> explorers_;
@@ -910,11 +1073,16 @@ SearchResult run_search(const SearchProblem& problem,
   const bool parallel = config.threads > 0 && config.algo != SearchAlgo::Dfs &&
                         !config.prune && !config.on_path &&
                         problem.size() >= 2;
+  // One scheduling decision = one arena epoch: the calling thread's arena
+  // resets here, and each parallel worker claims the same epoch on its own
+  // thread-local arena before touching explorer state.
+  const std::uint64_t epoch = next_arena_epoch();
+  worker_arena().begin_epoch(epoch);
   if (!parallel) {
     Engine engine(problem, config);
     return engine.run();
   }
-  ParallelEngine engine(problem, config, pool);
+  ParallelEngine engine(problem, config, pool, epoch);
   return engine.run();
 }
 

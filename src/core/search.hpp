@@ -78,6 +78,35 @@ struct SearchConfig {
   /// (tests/test_search_incremental.cpp); `false` is the escape hatch
   /// (`sbsched --search-cache off`) and the differential baseline.
   bool cache = true;
+  /// Vectorized earliest-start kernels inside the cached schedule builder
+  /// (core/scan_kernels.hpp): find-first scans and range updates over the
+  /// free-node array, 8 int lanes at a time with a scalar tail. The
+  /// integer arithmetic is exact, so the answers are bit-identical to the
+  /// scalar reference, which stays compiled and is selected by `false`
+  /// (`sbsched --search-simd=off`) — and is what compilers without vector
+  /// extensions run either way. No effect in naive (cache = false) mode.
+  bool simd = true;
+  /// Dominance/symmetry pruning (`sbsched --search-prune=off` disables):
+  ///
+  ///  - twin skip: jobs with identical (nodes, estimate, submit, bound,
+  ///    user) — job-array twins — are interchangeable, so only the
+  ///    canonical (ascending-id) placement order is explored; a branch
+  ///    placing a twin whose earlier sibling still waits is skipped.
+  ///
+  ///  - frozen-bound cut: within an iteration, a partial path whose
+  ///    admissible objective lower bound cannot beat the incumbent AS OF
+  ///    THE ITERATION'S START is cut. Freezing the bound per iteration
+  ///    makes the cut independent of discovery order inside the
+  ///    iteration, so it is thread-count invariant and stays parallel —
+  ///    unlike `prune` below, whose live incumbent forces the sequential
+  ///    engine. Inactive under the weighted comparator (weighted_alpha >
+  ///    0), which admits no such bound.
+  ///
+  /// Neither cut can remove a strictly-improving completion, so the best
+  /// objective at any equal node budget is never worse, and at exhaustion
+  /// it is identical (tests/test_fuzz_invariants.cpp proves both). Cut
+  /// counts surface as SearchResult::pruned_twins / pruned_bound.
+  bool dominance = true;
   /// Optional cross-event warm start: the previous decision point's best
   /// consideration order, re-validated against this problem and — when it
   /// is still a permutation of the queue — list-scheduled as the initial
@@ -142,6 +171,13 @@ struct SearchResult {
   /// The warm-start order was valid for this problem and seeded the
   /// incumbent (see SearchConfig::warm_order).
   bool warm_start_used = false;
+  /// Dominance-pruning telemetry (SearchConfig::dominance): subtrees
+  /// skipped as non-canonical twin permutations, and partial paths cut by
+  /// the (frozen or branch-and-bound) lower bound. Telemetry only, like
+  /// the cache counters — parallel workers count speculative work past the
+  /// canonical budget cut, so totals legitimately vary by thread count.
+  std::uint64_t pruned_twins = 0;
+  std::uint64_t pruned_bound = 0;
   /// Speculative nodes explored per worker (size == threads_used). The sum
   /// may exceed nodes_visited: subtree work past the canonical budget cut
   /// is discarded by the merge, and iteration 0 runs on the calling thread

@@ -1,6 +1,8 @@
 #include "core/search_problem.hpp"
 
 #include <algorithm>
+#include <numeric>
+#include <tuple>
 
 #include "util/error.hpp"
 
@@ -31,6 +33,28 @@ SearchProblem SearchProblem::from_state(const SchedulerState& state,
     p.jobs.push_back(s);
   }
   return p;
+}
+
+std::vector<std::size_t> SearchProblem::twin_prev() const {
+  std::vector<std::size_t> prev(jobs.size(), kNoTwin);
+  std::vector<std::size_t> idx(jobs.size());
+  std::iota(idx.begin(), idx.end(), std::size_t{0});
+  const auto key = [this](std::size_t i) {
+    const SearchJob& s = jobs[i];
+    return std::make_tuple(s.nodes, s.estimate, s.submit, s.bound,
+                           s.job->user, s.job->id);
+  };
+  std::sort(idx.begin(), idx.end(),
+            [&](std::size_t a, std::size_t b) { return key(a) < key(b); });
+  for (std::size_t i = 1; i < idx.size(); ++i) {
+    const SearchJob& a = jobs[idx[i - 1]];
+    const SearchJob& b = jobs[idx[i]];
+    if (a.nodes == b.nodes && a.estimate == b.estimate &&
+        a.submit == b.submit && a.bound == b.bound &&
+        a.job->user == b.job->user)
+      prev[idx[i]] = idx[i - 1];
+  }
+  return prev;
 }
 
 double SearchProblem::excess_h(std::size_t i, Time start) const {

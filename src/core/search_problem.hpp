@@ -39,6 +39,20 @@ struct SearchProblem {
 
   std::size_t size() const { return jobs.size(); }
 
+  /// Sentinel for twin_prev(): the job has no earlier twin.
+  static constexpr std::size_t kNoTwin = static_cast<std::size_t>(-1);
+
+  /// For each job, the index of its nearest earlier twin — a job with
+  /// identical (nodes, estimate, submit, bound, user) and the next-smaller
+  /// id — or kNoTwin. Twins are interchangeable everywhere the search can
+  /// see: they contribute identical objective terms at any start time, and
+  /// both branching orders rank them by ascending id. The dominance layer
+  /// (SearchConfig::dominance) therefore explores only the canonical
+  /// placement order — a job whose earlier twin is still waiting is
+  /// skipped, since the resulting schedule is a value-identical
+  /// permutation of one the canonical subtree contains.
+  std::vector<std::size_t> twin_prev() const;
+
   /// First-level contribution of starting job i at `start`: wait time in
   /// excess of the job's bound, in hours.
   double excess_h(std::size_t i, Time start) const;

@@ -82,6 +82,8 @@ std::vector<int> SearchScheduler::select_jobs(const SchedulerState& state) {
   stats_.cache_misses += result.cache_misses;
   stats_.cache_invalidations += result.cache_invalidations;
   if (result.warm_start_used) ++stats_.warm_starts;
+  stats_.pruned_twins += result.pruned_twins;
+  stats_.pruned_bound += result.pruned_bound;
   if (config_.warm_start) {
     warm_ids_.clear();
     warm_ids_.reserve(result.order.size());

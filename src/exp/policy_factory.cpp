@@ -34,7 +34,8 @@ std::unique_ptr<Scheduler> make_search_policy(SearchAlgo algo,
                                               std::size_t node_limit,
                                               bool prune, double deadline_ms,
                                               std::size_t threads, bool cache,
-                                              bool warm_start) {
+                                              bool warm_start, bool simd,
+                                              bool dominance) {
   SearchSchedulerConfig cfg;
   cfg.search.algo = algo;
   cfg.search.branching = branching;
@@ -43,6 +44,8 @@ std::unique_ptr<Scheduler> make_search_policy(SearchAlgo algo,
   cfg.search.deadline_ms = deadline_ms;
   cfg.search.threads = threads;
   cfg.search.cache = cache;
+  cfg.search.simd = simd;
+  cfg.search.dominance = dominance;
   cfg.bound = bound;
   cfg.warm_start = warm_start;
   return std::make_unique<SearchScheduler>(cfg);
@@ -78,7 +81,7 @@ std::unique_ptr<Scheduler> make_named_policy(const std::string& spec) {
 std::unique_ptr<Scheduler> make_policy(
     const std::string& spec, std::size_t node_limit, double deadline_ms,
     std::size_t threads, bool cache, bool warm_start,
-    const resilience::GovernorConfig* governor) {
+    const resilience::GovernorConfig* governor, bool simd, bool dominance) {
   if (auto named = make_named_policy(spec)) {
     SBS_CHECK_MSG(governor == nullptr,
                   "--governor requires a search policy spec; \""
@@ -143,6 +146,8 @@ std::unique_ptr<Scheduler> make_policy(
   cfg.search.deadline_ms = deadline_ms;
   cfg.search.threads = threads;
   cfg.search.cache = cache;
+  cfg.search.simd = simd;
+  cfg.search.dominance = dominance;
   cfg.bound = bound;
   cfg.refine = refine;
   cfg.fairshare = fairshare;

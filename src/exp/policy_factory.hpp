@@ -26,7 +26,9 @@ std::unique_ptr<Scheduler> make_search_policy(SearchAlgo algo,
                                               double deadline_ms = -1.0,
                                               std::size_t threads = 0,
                                               bool cache = true,
-                                              bool warm_start = false);
+                                              bool warm_start = false,
+                                              bool simd = true,
+                                              bool dominance = true);
 
 /// Parses a policy spec string into a scheduler:
 ///   "FCFS-BF" | "LXF-BF" | "SJF-BF" | "LXF&W-BF"
@@ -38,7 +40,10 @@ std::unique_ptr<Scheduler> make_search_policy(SearchAlgo algo,
 ///   search workers, 0 = sequential), `cache` (incremental schedule
 ///   builder; false = the naive per-depth-snapshot baseline) and
 ///   `warm_start` (carry the previous event's best path as the next
-///   search's initial incumbent) apply to search policies only.
+///   search's initial incumbent), `simd` (vectorized earliest-start
+///   kernels; false = the scalar reference) and `dominance` (twin-
+///   permutation skip + frozen-bound cut; false = the unreduced tree)
+///   apply to search policies only.
 /// A non-null `governor` wraps the search policy in the overload governor
 /// (resilience::GovernedScheduler); combining it with a non-search spec
 /// throws — every non-search policy already IS the fallback rung.
@@ -47,6 +52,7 @@ std::unique_ptr<Scheduler> make_policy(
     const std::string& spec, std::size_t node_limit = 1000,
     double deadline_ms = -1.0, std::size_t threads = 0, bool cache = true,
     bool warm_start = false,
-    const resilience::GovernorConfig* governor = nullptr);
+    const resilience::GovernorConfig* governor = nullptr, bool simd = true,
+    bool dominance = true);
 
 }  // namespace sbs

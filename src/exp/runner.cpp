@@ -37,9 +37,10 @@ MonthEval evaluate_spec(const Trace& trace, const std::string& policy_spec,
                         const SimConfig& sim, bool keep_outcomes,
                         double deadline_ms, std::size_t threads, bool cache,
                         bool warm_start,
-                        const resilience::GovernorConfig* governor) {
+                        const resilience::GovernorConfig* governor, bool simd,
+                        bool dominance) {
   auto scheduler = make_policy(policy_spec, node_limit, deadline_ms, threads,
-                               cache, warm_start, governor);
+                               cache, warm_start, governor, simd, dominance);
   return evaluate_policy(trace, *scheduler, thresholds, sim, keep_outcomes);
 }
 

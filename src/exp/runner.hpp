@@ -47,13 +47,16 @@ MonthEval evaluate_policy(const Trace& trace, Scheduler& scheduler,
 /// make_policy), runs it, and returns the evaluation. `deadline_ms`
 /// (negative = no wall-clock deadline), `threads` (parallel search
 /// workers, 0 = sequential), `cache` (incremental schedule builder) and
-/// `warm_start` (cross-event incumbent carry) apply to search policies
-/// only; a non-null `governor` wraps the search in the overload governor.
+/// `warm_start` (cross-event incumbent carry), `simd` (vectorized
+/// earliest-start kernels) and `dominance` (twin skip + frozen-bound cut)
+/// apply to search policies only; a non-null `governor` wraps the search
+/// in the overload governor.
 MonthEval evaluate_spec(const Trace& trace, const std::string& policy_spec,
                         std::size_t node_limit, const Thresholds& thresholds,
                         const SimConfig& sim = {}, bool keep_outcomes = false,
                         double deadline_ms = -1.0, std::size_t threads = 0,
                         bool cache = true, bool warm_start = false,
-                        const resilience::GovernorConfig* governor = nullptr);
+                        const resilience::GovernorConfig* governor = nullptr,
+                        bool simd = true, bool dominance = true);
 
 }  // namespace sbs

@@ -54,6 +54,10 @@ struct DecisionRecord {
   std::uint64_t cache_invalidations = 0;
   bool warm_start_used = false;  ///< search seeded by the previous event's
                                  ///  best path (SearchConfig::warm_order)
+  /// Dominance-pruning deltas for this decision (zero for non-search
+  /// policies and for `--search-prune off`); see SchedulerStats.
+  std::uint64_t pruned_twins = 0;
+  std::uint64_t pruned_bound = 0;
   std::span<const int> started;  ///< job ids dispatched at `now`
   std::span<const ImprovementPoint> improvements;  ///< anytime profile
   /// Speculative nodes explored per parallel worker (empty = sequential).

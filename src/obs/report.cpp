@@ -127,6 +127,12 @@ void apply_decision(RunReport& r, const JsonValue& rec, std::size_t lineno) {
   if (const JsonValue* warm = rec.find("warm_start_used"))
     if (warm->as_bool()) ++r.warm_starts;
 
+  // Optional (newer schema): dominance-pruning accounting.
+  if (const JsonValue* twins = rec.find("pruned_twins"))
+    r.pruned_twins += static_cast<std::uint64_t>(twins->as_int());
+  if (const JsonValue* bound = rec.find("pruned_bound"))
+    r.pruned_bound += static_cast<std::uint64_t>(bound->as_int());
+
   const JsonValue& improvements = need(rec, "improvements", lineno);
   SBS_CHECK_MSG(improvements.is_array(),
                 "telemetry line " << lineno << ": improvements not an array");
@@ -459,6 +465,14 @@ void print_report(const std::vector<RunReport>& runs, std::ostream& os) {
       agg.row()
           .add("warm-started decisions")
           .add(static_cast<long long>(r.warm_starts));
+    if (r.pruned_twins || r.pruned_bound) {
+      agg.row()
+          .add("pruned twin subtrees")
+          .add(static_cast<long long>(r.pruned_twins));
+      agg.row()
+          .add("pruned by bound")
+          .add(static_cast<long long>(r.pruned_bound));
+    }
     agg.print(os);
 
     // Circuit-breaker state over the run: where the ladder ended, how deep

@@ -55,6 +55,10 @@ struct RunReport {
   std::uint64_t cache_invalidations = 0;  ///< whole-memo size-bound resets
   std::uint64_t warm_starts = 0;          ///< decisions seeded by the
                                           ///  previous event's best path
+  std::uint64_t pruned_twins = 0;         ///< twin-permutation subtrees
+                                          ///  skipped (dominance layer)
+  std::uint64_t pruned_bound = 0;         ///< partial paths cut by the
+                                          ///  lower bound
 
   // Distributions over decisions (same buckets as the live registry).
   HistogramSnapshot think_us_hist;

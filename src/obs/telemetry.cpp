@@ -31,6 +31,8 @@ Telemetry::Telemetry(std::unique_ptr<TraceSink> sink)
   cache_misses_ = &registry_.counter("search.cache_misses");
   cache_invalidations_ = &registry_.counter("search.cache_invalidations");
   warm_starts_ = &registry_.counter("search.warm_starts");
+  pruned_twins_ = &registry_.counter("search.pruned_twins");
+  pruned_bound_ = &registry_.counter("search.pruned_bound");
   jobs_submitted_ = &registry_.counter("sim.jobs.submitted");
   jobs_started_ = &registry_.counter("sim.jobs.started");
   jobs_finished_ = &registry_.counter("sim.jobs.finished");
@@ -134,6 +136,8 @@ void Telemetry::decision(const DecisionRecord& d) {
   cache_misses_->add(d.cache_misses);
   cache_invalidations_->add(d.cache_invalidations);
   if (d.warm_start_used) warm_starts_->add();
+  pruned_twins_->add(d.pruned_twins);
+  pruned_bound_->add(d.pruned_bound);
   jobs_started_->add(d.started.size());
   queue_depth_->set(d.queue_depth);
   free_nodes_->set(d.free_nodes);
@@ -163,7 +167,9 @@ void Telemetry::decision(const DecisionRecord& d) {
       .field("cache_hits", d.cache_hits)
       .field("cache_misses", d.cache_misses)
       .field("cache_invalidations", d.cache_invalidations)
-      .field("warm_start_used", d.warm_start_used);
+      .field("warm_start_used", d.warm_start_used)
+      .field("pruned_twins", d.pruned_twins)
+      .field("pruned_bound", d.pruned_bound);
   if (d.governor_level >= 0) {
     line_.field("gov_level", d.governor_level)
         .field("gov_probe", d.governor_probe);

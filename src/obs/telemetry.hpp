@@ -106,6 +106,8 @@ class Telemetry {
   Counter* cache_misses_;
   Counter* cache_invalidations_;
   Counter* warm_starts_;
+  Counter* pruned_twins_;
+  Counter* pruned_bound_;
   Counter* jobs_submitted_;
   Counter* jobs_started_;
   Counter* jobs_finished_;

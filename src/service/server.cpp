@@ -94,7 +94,8 @@ SchedulerService::SchedulerService(const ServiceConfig& config)
   scheduler_ = make_policy(
       config_.policy, config_.node_limit, config_.deadline_ms,
       config_.threads, config_.cache, config_.warm_start,
-      config_.governor ? &*config_.governor : nullptr);
+      config_.governor ? &*config_.governor : nullptr, config_.simd,
+      config_.dominance);
   // Detail is always collected: the stats op reports the governor rung and
   // the drain report needs rung occupancy even without a telemetry sink.
   scheduler_->set_collect_decision_detail(true);
@@ -458,6 +459,8 @@ void SchedulerService::decide(Time vnow) {
     d.cache_invalidations =
         after.cache_invalidations - before.cache_invalidations;
     d.warm_start_used = after.warm_starts > before.warm_starts;
+    d.pruned_twins = after.pruned_twins - before.pruned_twins;
+    d.pruned_bound = after.pruned_bound - before.pruned_bound;
     if (detail) {
       d.iterations = detail->iterations;
       d.discrepancies = detail->discrepancies;

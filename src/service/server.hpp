@@ -52,6 +52,8 @@ struct ServiceConfig {
   std::size_t threads = 0;          ///< parallel-search workers
   bool cache = true;
   bool warm_start = false;
+  bool simd = true;       ///< vectorized earliest-start kernels
+  bool dominance = true;  ///< twin skip + frozen-bound cut
   /// Engaged = wrap the policy in the overload governor.
   std::optional<resilience::GovernorConfig> governor;
 

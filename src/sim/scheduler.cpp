@@ -20,7 +20,9 @@ void append_stats_json(obs::JsonWriter& w, std::string_view key,
       .field("cache_hits", s.cache_hits)
       .field("cache_misses", s.cache_misses)
       .field("cache_invalidations", s.cache_invalidations)
-      .field("warm_starts", s.warm_starts);
+      .field("warm_starts", s.warm_starts)
+      .field("pruned_twins", s.pruned_twins)
+      .field("pruned_bound", s.pruned_bound);
   w.end_object();
 }
 
@@ -43,6 +45,8 @@ SchedulerStats stats_from_json(const obs::JsonValue& v) {
   s.cache_misses = u64("cache_misses");
   s.cache_invalidations = u64("cache_invalidations");
   s.warm_starts = u64("warm_starts");
+  s.pruned_twins = u64("pruned_twins");
+  s.pruned_bound = u64("pruned_bound");
   return s;
 }
 

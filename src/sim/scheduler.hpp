@@ -65,6 +65,11 @@ struct SchedulerStats {
   std::uint64_t cache_invalidations = 0;  ///< whole-memo size-bound resets
   std::uint64_t warm_starts = 0;   ///< decisions whose search was seeded by
                                    ///  the previous event's best path
+  std::uint64_t pruned_twins = 0;  ///< subtrees skipped as non-canonical
+                                   ///  twin permutations (SearchConfig::
+                                   ///  dominance)
+  std::uint64_t pruned_bound = 0;  ///< partial paths cut by the frozen or
+                                   ///  branch-and-bound lower bound
 };
 
 /// Per-decision search detail a policy may expose for telemetry: the

@@ -386,6 +386,8 @@ SimResult simulate(const Trace& trace, Scheduler& scheduler,
       d.cache_invalidations =
           after.cache_invalidations - before.cache_invalidations;
       d.warm_start_used = after.warm_starts > before.warm_starts;
+      d.pruned_twins = after.pruned_twins - before.pruned_twins;
+      d.pruned_bound = after.pruned_bound - before.pruned_bound;
       if (const DecisionDetail* detail = scheduler.last_decision()) {
         d.iterations = detail->iterations;
         d.discrepancies = detail->discrepancies;

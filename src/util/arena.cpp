@@ -1,0 +1,17 @@
+#include "util/arena.hpp"
+
+#include <atomic>
+
+namespace sbs {
+
+Arena& worker_arena() {
+  thread_local Arena arena;
+  return arena;
+}
+
+std::uint64_t next_arena_epoch() {
+  static std::atomic<std::uint64_t> counter{0};
+  return counter.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+}  // namespace sbs

@@ -1,0 +1,230 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <span>
+#include <type_traits>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace sbs {
+
+/// Bump allocator for search-node state: path arrays, used flags, the
+/// schedule builder's SoA profile and undo-log segments. One Arena serves
+/// one thread (see worker_arena()); a search claims it for an epoch and
+/// every allocation inside that epoch is freed at once by the next
+/// begin_epoch() — O(1), no per-node heap traffic, and the blocks are
+/// retained so a steady-state workload stops allocating entirely after
+/// the first decision (the RSS plateau the arena-stress test asserts).
+///
+/// Blocks grow geometrically when an epoch outgrows the retained
+/// capacity, so total block count is O(log peak-bytes) for the lifetime
+/// of the thread.
+class Arena {
+ public:
+  explicit Arena(std::size_t first_block_bytes = std::size_t{1} << 16)
+      : first_block_bytes_(first_block_bytes) {}
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Returns `bytes` of storage aligned to `align` (power of two, at most
+  /// alignof(std::max_align_t)). The storage is valid until the next
+  /// reset()/begin_epoch().
+  void* allocate(std::size_t bytes, std::size_t align) {
+    SBS_CHECK(align != 0 && (align & (align - 1)) == 0);
+    SBS_CHECK(align <= alignof(std::max_align_t));
+    if (bytes == 0) bytes = 1;
+    for (;;) {
+      if (block_ < blocks_.size()) {
+        Block& b = blocks_[block_];
+        const std::size_t at = (offset_ + align - 1) & ~(align - 1);
+        if (at + bytes <= b.size) {
+          offset_ = at + bytes;
+          epoch_bytes_ += bytes;
+          if (epoch_bytes_ > high_water_) high_water_ = epoch_bytes_;
+          return b.data.get() + at;
+        }
+      }
+      grow(bytes);
+    }
+  }
+
+  /// Typed array allocation; the elements are NOT constructed (the arena
+  /// only serves trivial types).
+  template <typename T>
+  T* alloc_array(std::size_t count) {
+    static_assert(std::is_trivially_copyable_v<T> &&
+                  std::is_trivially_destructible_v<T>);
+    return static_cast<T*>(allocate(count * sizeof(T), alignof(T)));
+  }
+
+  /// Frees every allocation at once; retained blocks are reused by the
+  /// next epoch.
+  void reset() {
+    block_ = 0;
+    offset_ = 0;
+    epoch_bytes_ = 0;
+  }
+
+  /// Epoch discipline: a search (one scheduling decision) claims the arena
+  /// with a fresh epoch id, resetting it; re-claiming with the SAME id is
+  /// a no-op, so a parallel search's workers keep their builder state
+  /// alive across iterations within one decision.
+  void begin_epoch(std::uint64_t epoch) {
+    if (epoch == epoch_) return;
+    epoch_ = epoch;
+    reset();
+  }
+
+  std::uint64_t epoch() const { return epoch_; }
+
+  /// Total bytes of retained blocks (the plateau the stress test watches).
+  std::size_t capacity_bytes() const {
+    std::size_t total = 0;
+    for (const Block& b : blocks_) total += b.size;
+    return total;
+  }
+
+  std::size_t block_count() const { return blocks_.size(); }
+
+  /// Bytes handed out in the current epoch.
+  std::size_t epoch_bytes() const { return epoch_bytes_; }
+
+  /// Largest epoch_bytes() ever observed.
+  std::size_t high_water_bytes() const { return high_water_; }
+
+ private:
+  struct Block {
+    std::unique_ptr<std::byte[]> data;
+    std::size_t size = 0;
+  };
+
+  /// Advances to a block that can hold `bytes`, appending a geometrically
+  /// larger one when the retained chain is exhausted.
+  void grow(std::size_t bytes) {
+    if (block_ + 1 < blocks_.size()) {
+      ++block_;
+      offset_ = 0;
+      return;
+    }
+    std::size_t size = blocks_.empty() ? first_block_bytes_
+                                       : blocks_.back().size * 2;
+    if (size < bytes) size = bytes;
+    blocks_.push_back(
+        Block{std::make_unique<std::byte[]>(size), size});
+    block_ = blocks_.size() - 1;
+    offset_ = 0;
+  }
+
+  std::vector<Block> blocks_;
+  std::size_t block_ = 0;   ///< current block index
+  std::size_t offset_ = 0;  ///< bump offset inside the current block
+  std::size_t first_block_bytes_;
+  std::size_t epoch_bytes_ = 0;
+  std::size_t high_water_ = 0;
+  std::uint64_t epoch_ = 0;
+};
+
+/// The calling thread's search arena. Search engines allocate their
+/// per-decision state here; run_search() claims a fresh epoch per decision
+/// on the calling thread, and each parallel worker claims the same epoch
+/// on its own thread-local arena (see search.cpp). Dies with the thread;
+/// allocations never cross from one thread's arena into another's
+/// allocator state (cross-thread READS of arena memory are synchronized
+/// by the thread pool's submit/join edges).
+Arena& worker_arena();
+
+/// Globally unique epoch ids for begin_epoch(). Monotonic across threads;
+/// only inequality is ever tested.
+std::uint64_t next_arena_epoch();
+
+/// Fixed-capacity vector of a trivial type backed by an Arena. The subset
+/// of std::vector the search hot path needs — push/pop, indexed access,
+/// memmove-based insert/erase — with a capacity fixed at init() (the
+/// search state has exact bounds: a profile gains at most two steps per
+/// outstanding placement). Destruction is a no-op; the arena owns the
+/// storage.
+template <typename T>
+class ArenaVector {
+  static_assert(std::is_trivially_copyable_v<T> &&
+                std::is_trivially_destructible_v<T>);
+
+ public:
+  ArenaVector() = default;
+
+  void init(Arena& arena, std::size_t capacity) {
+    data_ = arena.alloc_array<T>(capacity);
+    cap_ = capacity;
+    size_ = 0;
+  }
+
+  std::size_t size() const { return size_; }
+  std::size_t capacity() const { return cap_; }
+  bool empty() const { return size_ == 0; }
+
+  T& operator[](std::size_t i) { return data_[i]; }
+  const T& operator[](std::size_t i) const { return data_[i]; }
+  T& front() { return data_[0]; }
+  const T& front() const { return data_[0]; }
+  T& back() { return data_[size_ - 1]; }
+  const T& back() const { return data_[size_ - 1]; }
+
+  T* data() { return data_; }
+  const T* data() const { return data_; }
+  T* begin() { return data_; }
+  T* end() { return data_ + size_; }
+  const T* begin() const { return data_; }
+  const T* end() const { return data_ + size_; }
+
+  operator std::span<const T>() const { return {data_, size_}; }
+
+  void clear() { size_ = 0; }
+
+  void push_back(const T& v) {
+    SBS_CHECK_MSG(size_ < cap_, "ArenaVector capacity exceeded");
+    data_[size_++] = v;
+  }
+
+  void pop_back() {
+    SBS_CHECK(size_ > 0);
+    --size_;
+  }
+
+  void resize(std::size_t n) {
+    SBS_CHECK_MSG(n <= cap_, "ArenaVector capacity exceeded");
+    for (std::size_t i = size_; i < n; ++i) data_[i] = T{};
+    size_ = n;
+  }
+
+  void assign(std::size_t n, const T& v) {
+    SBS_CHECK_MSG(n <= cap_, "ArenaVector capacity exceeded");
+    for (std::size_t i = 0; i < n; ++i) data_[i] = v;
+    size_ = n;
+  }
+
+  void insert_at(std::size_t at, const T& v) {
+    SBS_CHECK_MSG(size_ < cap_, "ArenaVector capacity exceeded");
+    SBS_CHECK(at <= size_);
+    std::memmove(data_ + at + 1, data_ + at, (size_ - at) * sizeof(T));
+    data_[at] = v;
+    ++size_;
+  }
+
+  void erase_at(std::size_t at) {
+    SBS_CHECK(at < size_);
+    std::memmove(data_ + at, data_ + at + 1,
+                 (size_ - at - 1) * sizeof(T));
+    --size_;
+  }
+
+ private:
+  T* data_ = nullptr;
+  std::size_t size_ = 0;
+  std::size_t cap_ = 0;
+};
+
+}  // namespace sbs

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "cluster/resource_profile.hpp"
+#include "core/search.hpp"
 #include "exp/policy_factory.hpp"
 #include "sim/faults.hpp"
 #include "sim/simulator.hpp"
@@ -197,6 +198,74 @@ TEST(FuzzInvariants, RandomWorkloadsUnderFaultInjection) {
     check_with_faults(trace, result, sim.requeue,
                       "seed=" + std::to_string(seed) + " policy=" + spec +
                           " trace=" + trace.name);
+  }
+}
+
+// Dominance-pruning safety properties (SearchConfig::dominance): neither
+// the twin skip nor the frozen-bound cut may ever remove a strictly
+// improving completion, so on any random decision point and at ANY node
+// budget the pruned search's best objective is never worse than the
+// unpruned search's at the same budget — and when both runs exhaust
+// their (differently sized) trees, the objectives are exactly equal: the
+// reduced tree keeps a value-identical canonical representative of every
+// pruned permutation. Run across algorithms, branchings and thread
+// counts; pruned-node counters must be zero exactly when the knob is
+// off.
+TEST(FuzzInvariants, DominancePruningNeverWorsensEqualBudgetObjective) {
+  const std::uint64_t iters = fuzz_iters();
+  const SearchAlgo kAlgos[] = {SearchAlgo::Lds, SearchAlgo::Dds,
+                               SearchAlgo::Dfs};
+  const Branching kBranchings[] = {Branching::Fcfs, Branching::Lxf};
+  for (std::uint64_t it = 0; it < iters; ++it) {
+    const std::uint64_t seed = 0xD0D0 + it * 3571;
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    Rng rng(seed);
+    test::ProblemBuilder b(/*capacity=*/static_cast<int>(rng.uniform_int(8, 96)),
+                           /*now=*/static_cast<Time>(36000));
+    const std::size_t jobs = static_cast<std::size_t>(rng.uniform_int(2, 9));
+    for (std::size_t i = 0; i < jobs; ++i) {
+      const Time submit = static_cast<Time>(rng.uniform_int(0, 36000));
+      const int nodes = static_cast<int>(rng.uniform_int(1, 8));
+      const Time runtime =
+          static_cast<Time>(rng.uniform_int(kMinute, 8 * kHour));
+      const Time bound = static_cast<Time>(rng.uniform_int(1, 40)) * kHour;
+      b.wait(submit, nodes, runtime, bound);
+      if (rng.bernoulli(0.4)) b.wait(submit, nodes, runtime, bound);  // twin
+    }
+    const SearchProblem problem = b.build();
+
+    SearchConfig cfg;
+    cfg.algo = kAlgos[rng.index(3)];
+    cfg.branching = kBranchings[rng.index(2)];
+    cfg.threads = rng.bernoulli(0.3) ? 4 : 0;
+
+    // Budget cut-point sweep, ending with exhaustion.
+    for (const std::size_t budget :
+         {std::size_t{1}, std::size_t{10}, std::size_t{75}, std::size_t{500},
+          std::size_t{200000}}) {
+      SCOPED_TRACE("budget=" + std::to_string(budget));
+      cfg.node_limit = budget;
+      cfg.dominance = false;
+      const SearchResult off = run_search(problem, cfg);
+      EXPECT_EQ(off.pruned_twins, 0u);
+      EXPECT_EQ(off.pruned_bound, 0u);
+      cfg.dominance = true;
+      const SearchResult on = run_search(problem, cfg);
+
+      // Equal budget: pruning may only help.
+      EXPECT_FALSE(cfg.comparator.less(off.value, on.value))
+          << "pruned search returned a worse objective at equal budget: "
+          << "off=(" << off.value.excess_h << ", " << off.value.avg_bsld
+          << ") on=(" << on.value.excess_h << ", " << on.value.avg_bsld << ")";
+      // Exhaustion of both trees: exactly equal (the canonical twin of the
+      // unpruned winner has an identical objective, and the bound cut only
+      // discards paths that cannot beat the incumbent).
+      if (off.exhausted && on.exhausted) {
+        EXPECT_EQ(off.value.excess_h, on.value.excess_h);
+        EXPECT_EQ(off.value.avg_bsld, on.value.avg_bsld);
+        EXPECT_LE(on.nodes_visited, off.nodes_visited);
+      }
+    }
   }
 }
 

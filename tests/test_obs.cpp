@@ -260,7 +260,8 @@ void check_schema(const std::vector<obs::JsonValue>& records) {
             "max_wait_h", "nodes_visited", "paths_explored", "iterations",
             "discrepancies", "deadline_hit", "think_us", "threads_used",
             "cache_hits", "cache_misses", "cache_invalidations",
-            "warm_start_used", "started", "worker_nodes", "improvements"})
+            "warm_start_used", "pruned_twins", "pruned_bound", "started",
+            "worker_nodes", "improvements"})
         EXPECT_NE(rec.find(key), nullptr) << "decision lacks " << key;
     } else if (type->as_string() != "run") {
       EXPECT_NE(rec.find("t"), nullptr);
@@ -291,6 +292,8 @@ void check_reconciliation(const TelemetryRun& run, const Trace& trace) {
   EXPECT_EQ(rep.cache_misses, live.cache_misses);
   EXPECT_EQ(rep.cache_invalidations, live.cache_invalidations);
   EXPECT_EQ(rep.warm_starts, live.warm_starts);
+  EXPECT_EQ(rep.pruned_twins, live.pruned_twins);
+  EXPECT_EQ(rep.pruned_bound, live.pruned_bound);
 
   EXPECT_EQ(rep.submits, trace.jobs.size());
   EXPECT_EQ(rep.starts, rep.started_via_decisions);

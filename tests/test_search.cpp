@@ -25,6 +25,11 @@ SearchConfig config(SearchAlgo algo, Branching branching, std::size_t limit,
   c.branching = branching;
   c.node_limit = limit;
   c.prune = prune;
+  // This suite pins the UNREDUCED tree — exhaustive path sets, the paper's
+  // per-iteration counts, exact node accounting — so the dominance layer
+  // stays off. tests/test_search_simd.cpp and test_fuzz_invariants.cpp
+  // cover its semantics (reduced tree, bit-identity, never-worse bounds).
+  c.dominance = false;
   return c;
 }
 

@@ -119,6 +119,7 @@ int usage() {
       "[,killmtbf:N]]\n"
       "            [--requeue=resubmit|drop] [--search-deadline-ms=50]\n"
       "            [--search-threads=4] [--search-cache=on|off]\n"
+      "            [--search-simd=on|off] [--search-prune=on|off]\n"
       "            [--warm-start=on|off] [--governor=on|off]\n"
       "            [--governor-thresholds=queue=20,trip=3,...]\n"
       "            [--checkpoint=run.ckpt --checkpoint-every=N]\n"
@@ -132,7 +133,12 @@ int usage() {
       "      threads (0 = sequential; any N yields the identical schedule,\n"
       "      only faster). --search-cache=off disables the incremental\n"
       "      schedule builder (escape hatch; schedules are identical either\n"
-      "      way, off is only slower). --warm-start=on seeds each search\n"
+      "      way, off is only slower). --search-simd=off selects the scalar\n"
+      "      reference earliest-start scan (bit-identical, only slower).\n"
+      "      --search-prune=off disables dominance pruning — the twin-\n"
+      "      permutation skip and the frozen-incumbent bound cut (with\n"
+      "      pruning the schedule is never worse at the same budget, but\n"
+      "      node accounting differs). --warm-start=on seeds each search\n"
       "      with the previous decision's best path (never worse under the\n"
       "      same budget; default off preserves the paper's re-plan-from-\n"
       "      scratch semantics). --governor=on wraps the search policy in\n"
@@ -153,6 +159,7 @@ int usage() {
       "            [--nodes=1000] [--rstar=...] [--load=0.9] [--faults=...]\n"
       "            [--requeue=...] [--search-deadline-ms=N]\n"
       "            [--search-threads=N] [--search-cache=on|off]\n"
+      "            [--search-simd=on|off] [--search-prune=on|off]\n"
       "            [--warm-start=on|off] [--telemetry=runs.jsonl] [--metrics]\n"
       "      Side-by-side comparison with FCFS-derived excessive-wait\n"
       "      measures; telemetry appends every policy's run to one stream.\n"
@@ -160,7 +167,8 @@ int usage() {
       "  serve     --socket=/tmp/sbsched.sock [--capacity=128]\n"
       "            [--policy=DDS/lxf/dynB] [--nodes=1000]\n"
       "            [--search-deadline-ms=N] [--search-threads=N]\n"
-      "            [--search-cache=on|off] [--warm-start=on|off]\n"
+      "            [--search-cache=on|off] [--search-simd=on|off]\n"
+      "            [--search-prune=on|off] [--warm-start=on|off]\n"
       "            [--governor=on|off] [--governor-thresholds=...]\n"
       "            [--admission=limit=1000,retry-base-ms=50,retry-cap-ms=5000,"
       "priorities=4,queue=200,think-ms=250,alpha=...,recover=...]\n"
@@ -365,7 +373,8 @@ int cmd_simulate(int argc, char** argv) {
                {"trace", "procs-per-node", "policy", "nodes", "rstar",
                 "load", "classes", "timeline", "faults", "requeue",
                 "search-deadline-ms", "search-threads", "search-cache",
-                "warm-start", "governor", "governor-thresholds",
+                "search-simd", "search-prune", "warm-start", "governor",
+                "governor-thresholds",
                 "checkpoint", "checkpoint-every", "resume", "outcomes",
                 "telemetry", "telemetry-fsync", "telemetry-rotate-mb",
                 "metrics"});
@@ -380,6 +389,8 @@ int cmd_simulate(int argc, char** argv) {
   const auto threads =
       static_cast<std::size_t>(args.get_int("search-threads", 0));
   const bool cache = on_off_flag(args, "search-cache", true);
+  const bool simd = on_off_flag(args, "search-simd", true);
+  const bool prune = on_off_flag(args, "search-prune", true);
   const bool warm = on_off_flag(args, "warm-start", false);
   const std::optional<resilience::GovernorConfig> governor =
       governor_flags(args);
@@ -413,6 +424,8 @@ int cmd_simulate(int argc, char** argv) {
       {"requeue", args.get("requeue", "resubmit")},
       {"search-threads", std::to_string(threads)},
       {"search-cache", cache ? "on" : "off"},
+      {"search-simd", simd ? "on" : "off"},
+      {"search-prune", prune ? "on" : "off"},
       {"warm-start", warm ? "on" : "off"},
       {"governor", governor ? "on" : "off"},
       {"governor-thresholds", governor ? governor->spec() : ""},
@@ -479,7 +492,8 @@ int cmd_simulate(int argc, char** argv) {
   try {
     const Thresholds th = fcfs_thresholds(trace, healthy);
     eval = evaluate_spec(trace, spec, L, th, sim, true, deadline_ms, threads,
-                         cache, warm, governor ? &*governor : nullptr);
+                         cache, warm, governor ? &*governor : nullptr, simd,
+                         prune);
   } catch (const Error& e) {
     if (g_interrupted.load()) {
       std::cerr << "interrupted: " << e.what() << '\n';
@@ -577,7 +591,8 @@ int cmd_compare(int argc, char** argv) {
   CliArgs args(argc, argv,
                {"trace", "procs-per-node", "policies", "nodes", "rstar",
                 "load", "faults", "requeue", "search-deadline-ms",
-                "search-threads", "search-cache", "warm-start", "governor",
+                "search-threads", "search-cache", "search-simd",
+                "search-prune", "warm-start", "governor",
                 "governor-thresholds", "telemetry", "telemetry-fsync",
                 "telemetry-rotate-mb", "metrics"});
   std::unique_ptr<RuntimePredictor> predictor;
@@ -605,6 +620,8 @@ int cmd_compare(int argc, char** argv) {
   const auto threads =
       static_cast<std::size_t>(args.get_int("search-threads", 0));
   const bool cache = on_off_flag(args, "search-cache", true);
+  const bool simd = on_off_flag(args, "search-simd", true);
+  const bool prune = on_off_flag(args, "search-prune", true);
   const bool warm = on_off_flag(args, "warm-start", false);
 
   std::vector<std::string> specs;
@@ -634,7 +651,8 @@ int cmd_compare(int argc, char** argv) {
     }
     const MonthEval eval =
         evaluate_spec(trace, spec, L, th, policy_sim, false, deadline_ms,
-                      threads, cache, warm, governor ? &*governor : nullptr);
+                      threads, cache, warm, governor ? &*governor : nullptr,
+                      simd, prune);
     t.row()
         .add(eval.policy)
         .add(eval.summary.avg_wait_h)
@@ -654,7 +672,8 @@ int cmd_compare(int argc, char** argv) {
 int cmd_serve(int argc, char** argv) {
   CliArgs args(argc, argv,
                {"socket", "capacity", "policy", "nodes", "search-deadline-ms",
-                "search-threads", "search-cache", "warm-start", "governor",
+                "search-threads", "search-cache", "search-simd",
+                "search-prune", "warm-start", "governor",
                 "governor-thresholds", "admission", "time-scale", "batch-ms",
                 "request-timeout-ms", "max-connections", "max-decisions",
                 "checkpoint", "checkpoint-every", "resume", "telemetry",
@@ -670,6 +689,8 @@ int cmd_serve(int argc, char** argv) {
   cfg.deadline_ms = args.get_double("search-deadline-ms", -1.0);
   cfg.threads = static_cast<std::size_t>(args.get_int("search-threads", 0));
   cfg.cache = on_off_flag(args, "search-cache", true);
+  cfg.simd = on_off_flag(args, "search-simd", true);
+  cfg.dominance = on_off_flag(args, "search-prune", true);
   cfg.warm_start = on_off_flag(args, "warm-start", false);
   cfg.governor = governor_flags(args);
   cfg.admission = service::parse_admission_spec(args.get("admission", ""));
