@@ -1,6 +1,7 @@
 #include "exp/policy_factory.hpp"
 
 #include <cstdlib>
+#include <optional>
 
 #include "policies/lookahead.hpp"
 #include "policies/multi_queue.hpp"
@@ -155,6 +156,22 @@ std::unique_ptr<Scheduler> make_policy(
   if (governor != nullptr)
     return std::make_unique<resilience::GovernedScheduler>(cfg, *governor);
   return std::make_unique<SearchScheduler>(cfg);
+}
+
+std::function<std::unique_ptr<Scheduler>(std::size_t)> make_policy_factory(
+    const std::string& spec, std::size_t node_limit, double deadline_ms,
+    std::size_t threads, bool cache, bool warm_start,
+    const resilience::GovernorConfig* governor, bool simd, bool dominance) {
+  // Validate once up front so a bad spec (or governor/spec mismatch) fails
+  // at federation setup, not when member k is constructed.
+  make_policy(spec, node_limit, deadline_ms, threads, cache, warm_start,
+              governor, simd, dominance);
+  std::optional<resilience::GovernorConfig> gov;
+  if (governor != nullptr) gov = *governor;
+  return [=](std::size_t) {
+    return make_policy(spec, node_limit, deadline_ms, threads, cache,
+                       warm_start, gov ? &*gov : nullptr, simd, dominance);
+  };
 }
 
 }  // namespace sbs

@@ -1,5 +1,7 @@
 #pragma once
 
+#include <cstddef>
+#include <functional>
 #include <memory>
 #include <string>
 
@@ -49,6 +51,21 @@ std::unique_ptr<Scheduler> make_search_policy(SearchAlgo algo,
 /// throws — every non-search policy already IS the fallback rung.
 /// Throws sbs::Error on anything unrecognized.
 std::unique_ptr<Scheduler> make_policy(
+    const std::string& spec, std::size_t node_limit = 1000,
+    double deadline_ms = -1.0, std::size_t threads = 0, bool cache = true,
+    bool warm_start = false,
+    const resilience::GovernorConfig* governor = nullptr, bool simd = true,
+    bool dominance = true);
+
+/// Per-member scheduler factory for federation runs: each call constructs
+/// a fresh scheduler from the same resolved spec, because policy state
+/// (warm-start order, fair-share ledgers, governor breakers) must be per
+/// cluster. The spec is validated eagerly — a bad spec throws here, not on
+/// the first member — and the governor config is captured by value so the
+/// factory outlives the caller's locals. The member index is accepted and
+/// ignored: every member runs the same policy, matching the paper's
+/// homogeneous-scheduler federation setup.
+std::function<std::unique_ptr<Scheduler>(std::size_t)> make_policy_factory(
     const std::string& spec, std::size_t node_limit = 1000,
     double deadline_ms = -1.0, std::size_t threads = 0, bool cache = true,
     bool warm_start = false,

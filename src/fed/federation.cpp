@@ -1,0 +1,413 @@
+#include "fed/federation.hpp"
+
+#include <algorithm>
+#include <charconv>
+
+#include "cluster/resource_profile.hpp"
+#include "obs/telemetry.hpp"
+#include "util/error.hpp"
+
+namespace sbs::fed {
+
+Federation::Federation(const Trace& trace,
+                       const SchedulerFactory& make_scheduler,
+                       MetaScheduler& meta, const FederationConfig& config)
+    : trace_(trace), meta_(meta), config_(config), tel_(config.telemetry) {
+  const std::size_t n = config_.members.size();
+  SBS_CHECK_MSG(n >= 1, "federation needs at least one member cluster");
+  SBS_CHECK_MSG(make_scheduler != nullptr,
+                "federation needs a scheduler factory");
+  SBS_CHECK_MSG(config_.ewma_alpha > 0.0 && config_.ewma_alpha <= 1.0,
+                "ewma_alpha must be in (0, 1]");
+  SBS_CHECK_MSG(config_.checkpoint_every == 0 || config_.checkpoint_sink,
+                "checkpoint_every set without a checkpoint_sink");
+
+  int total = 0;
+  int widest = 0;
+  for (const MemberSpec& m : config_.members) {
+    SBS_CHECK_MSG(m.nodes > 0, "member cluster \"" << m.name
+                               << "\" must have > 0 nodes");
+    total += m.nodes;
+    widest = std::max(widest, m.nodes);
+  }
+  // Validate the global trace once, against the widest member: every job
+  // must be hostable somewhere. Members skip their own validation (their
+  // capacity is legitimately smaller than some jobs they never host).
+  {
+    Trace global = trace_;
+    global.capacity = widest;
+    global.validate();
+  }
+
+  const auto& jobs = trace_.jobs;
+  owner_.assign(jobs.size(), -1);
+  ewma_.assign(n, 0.0);
+  routed_.assign(n, 0);
+  migrations_in_.assign(n, 0);
+  migrations_out_.assign(n, 0);
+
+  member_traces_.reserve(n);
+  schedulers_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const MemberSpec& m = config_.members[i];
+    Trace mt = trace_;
+    mt.capacity = m.nodes;
+    mt.name = trace_.name + "/" +
+              (m.name.empty() ? "c" + std::to_string(i) : m.name);
+    member_traces_.push_back(std::move(mt));
+    schedulers_.push_back(make_scheduler(i));
+    SBS_CHECK_MSG(schedulers_.back() != nullptr,
+                  "scheduler factory returned null for member " << i);
+  }
+
+  if (config_.resume != nullptr) {
+    const sim::FederationSnapshot& snap = *config_.resume;
+    SBS_CHECK_MSG(snap.members.size() == n,
+                  "federation snapshot has " << snap.members.size()
+                      << " members, run has " << n);
+    SBS_CHECK_MSG(snap.owner.size() == jobs.size(),
+                  "federation snapshot is for a different trace "
+                  "(job count mismatch)");
+    SBS_CHECK_MSG(snap.demand_ewma.size() == n &&
+                      snap.routed.size() == n &&
+                      snap.migrations_in.size() == n &&
+                      snap.migrations_out.size() == n,
+                  "federation snapshot member-array size mismatch");
+    SBS_CHECK_MSG(snap.next_arrival <= jobs.size(),
+                  "federation snapshot arrival cursor out of range");
+    fed_events_ = snap.fed_events;
+    next_arrival_ = snap.next_arrival;
+    migrations_ = snap.migrations;
+    owner_ = snap.owner;
+    ewma_ = snap.demand_ewma;
+    routed_ = snap.routed;
+    migrations_in_ = snap.migrations_in;
+    migrations_out_ = snap.migrations_out;
+    if (!snap.meta_state.empty()) meta_.restore_state(snap.meta_state);
+  }
+
+  if (tel_)
+    tel_->begin_run(obs::RunRecord{trace_.name, schedulers_.front()->name(),
+                                   total, jobs.size(),
+                                   n > 1 ? static_cast<int>(n) : 0});
+
+  sims_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    SimConfig mc;
+    mc.use_requested_runtime = config_.use_requested_runtime;
+    mc.kill_at_request = config_.kill_at_request;
+    mc.requeue = config_.requeue;
+    mc.max_events = config_.max_events;
+    mc.faults = config_.members[i].faults;
+    mc.telemetry = tel_;
+    mc.emit_run_record = false;
+    mc.validate_trace = false;
+    // A federation of one is the plain simulator in disguise: no cluster
+    // tags, so its telemetry stream stays bit-identical to simulate()'s.
+    mc.cluster_id = n > 1 ? static_cast<int>(i) : -1;
+    if (config_.resume != nullptr) mc.resume = &config_.resume->members[i];
+    sims_.push_back(std::make_unique<sim::Simulator>(
+        member_traces_[i], *schedulers_[i], mc));
+    sims_.back()->enable_external_arrivals();
+  }
+}
+
+Federation::~Federation() = default;
+
+Time Federation::estimate_of(const Job& j) const {
+  return config_.use_requested_runtime ? j.requested : j.runtime;
+}
+
+double Federation::queue_demand(std::size_t i) const {
+  double demand = 0.0;
+  for (const WaitingJob& w : sims_[i]->waiting_jobs())
+    demand += static_cast<double>(w.job->nodes) *
+              static_cast<double>(std::max<Time>(w.estimate, 1));
+  return demand;
+}
+
+Time Federation::next_event_time() const {
+  Time t = next_arrival_ < trace_.jobs.size()
+               ? trace_.jobs[next_arrival_].submit
+               : sim::Simulator::kNoEvent;
+  for (const auto& s : sims_) t = std::min(t, s->next_event_time());
+  return t;
+}
+
+std::vector<ClusterProbe> Federation::build_probes() const {
+  std::vector<ClusterProbe> probes(sims_.size());
+  for (std::size_t i = 0; i < sims_.size(); ++i) {
+    ClusterProbe& p = probes[i];
+    p.cluster = static_cast<int>(i);
+    p.total_capacity = member_traces_[i].capacity;
+    p.live_capacity = sims_[i]->live_capacity();
+    p.free_nodes = p.live_capacity - sims_[i]->used_nodes();
+    p.waiting = sims_[i]->waiting_jobs().size();
+    p.queue_demand = queue_demand(i);
+    p.demand_ewma = ewma_[i];
+  }
+  return probes;
+}
+
+// Cheap earliest-start probe: free-node profile of the member's running
+// set, with the waiting queue (and jobs already routed here in this
+// arrival batch) greedily reserved in order, then the candidate placed.
+Time Federation::probe_earliest_start(
+    std::size_t i, const Job& job, Time estimate,
+    const std::vector<std::pair<int, Time>>& batch) const {
+  const sim::Simulator& s = *sims_[i];
+  const int cap = s.live_capacity();
+  if (cap <= 0 || job.nodes > cap) return ClusterProbe::kUnreachable;
+  const Time now = next_arrival_ < trace_.jobs.size()
+                       ? trace_.jobs[next_arrival_].submit
+                       : s.frontier();
+  ResourceProfile prof = profile_from_running(cap, now, s.running_jobs());
+  const auto reserve_next = [&](int nodes, Time est) {
+    if (nodes > cap) return;  // parked on this member, occupies nothing
+    const Time dur = std::max<Time>(est, 1);
+    prof.reserve(prof.earliest_start(now, nodes, dur), nodes, dur);
+  };
+  for (const WaitingJob& w : s.waiting_jobs())
+    reserve_next(w.job->nodes, w.estimate);
+  for (const auto& [nodes, est] : batch) reserve_next(nodes, est);
+  return prof.earliest_start(now, job.nodes, std::max<Time>(estimate, 1));
+}
+
+void Federation::route_arrivals(Time t) {
+  const auto& jobs = trace_.jobs;
+  std::vector<ClusterProbe> probes = build_probes();
+  // Same-batch routings per member, so later probes in the batch see the
+  // load the earlier routings already placed.
+  std::vector<std::vector<std::pair<int, Time>>> batch(sims_.size());
+  while (next_arrival_ < jobs.size() && jobs[next_arrival_].submit == t) {
+    const Job& j = jobs[next_arrival_++];
+    const Time est = estimate_of(j);
+    if (meta_.wants_probe())
+      for (std::size_t i = 0; i < sims_.size(); ++i)
+        probes[i].earliest_start = probe_earliest_start(i, j, est, batch[i]);
+    const int target = meta_.route(j, est, probes);
+    SBS_CHECK_MSG(target >= 0 &&
+                      static_cast<std::size_t>(target) < sims_.size(),
+                  meta_.name() << " routed job " << j.id
+                               << " to unknown cluster " << target);
+    const auto ti = static_cast<std::size_t>(target);
+    sims_[ti]->inject_arrival(j.id, t, /*record_submit=*/true);
+    owner_[static_cast<std::size_t>(j.id)] = target;
+    ++routed_[ti];
+    probes[ti].waiting += 1;
+    probes[ti].queue_demand +=
+        static_cast<double>(j.nodes) *
+        static_cast<double>(std::max<Time>(est, 1));
+    batch[ti].emplace_back(j.nodes, est);
+  }
+  if (next_arrival_ >= jobs.size()) close_all_arrivals();
+}
+
+void Federation::close_all_arrivals() {
+  if (arrivals_closed_) return;
+  arrivals_closed_ = true;
+  for (auto& s : sims_) s->close_arrivals();
+}
+
+void Federation::do_migrate(std::size_t src, std::size_t dst, int job_id,
+                            Time t) {
+  SBS_CHECK_MSG(sims_[src]->extract_waiting(job_id),
+                "migration source lost job " << job_id);
+  sims_[dst]->inject_arrival(job_id, t, /*record_submit=*/false);
+  owner_[static_cast<std::size_t>(job_id)] = static_cast<int>(dst);
+  ++migrations_;
+  ++migrations_out_[src];
+  ++migrations_in_[dst];
+  if (tel_)
+    tel_->job_migrated(t, job_id, static_cast<int>(src),
+                       static_cast<int>(dst));
+  retarget_.push_back(dst);
+}
+
+void Federation::migrate(Time t) {
+  retarget_.clear();
+  const std::size_t n = sims_.size();
+  // Normalized load: smoothed + instantaneous backlog per node, seconds.
+  const auto norm = [&](std::size_t i) {
+    return (ewma_[i] + queue_demand(i)) /
+           static_cast<double>(member_traces_[i].capacity);
+  };
+
+  for (std::size_t src = 0; src < n; ++src) {
+    sim::Simulator& s = *sims_[src];
+
+    // Stranded jobs: node failures shrank this member below a waiting
+    // job's width. Move each to the least-loaded member that can start it
+    // at current live capacity; if none exists it stays parked (the
+    // source may recover first).
+    const int live = s.live_capacity();
+    std::vector<int> stranded;
+    for (const WaitingJob& w : s.waiting_jobs())
+      if (w.job->nodes > live) stranded.push_back(w.job->id);
+    for (const int id : stranded) {
+      const Job& j = trace_.jobs[static_cast<std::size_t>(id)];
+      std::size_t best = n;
+      for (std::size_t dst = 0; dst < n; ++dst) {
+        if (dst == src || sims_[dst]->live_capacity() < j.nodes) continue;
+        if (best == n || norm(dst) < norm(best)) best = dst;
+      }
+      if (best != n) do_migrate(src, best, id, t);
+    }
+
+    // Overload rebalancing: newest waiting job that fits a sufficiently
+    // less-loaded member moves there.
+    if (config_.migration.max_per_event <= 0) continue;
+    const double src_norm = norm(src);
+    if (src_norm <=
+        config_.migration.overload_backlog_h * static_cast<double>(kHour))
+      continue;
+    for (int moved = 0; moved < config_.migration.max_per_event; ++moved) {
+      const std::vector<WaitingJob>& q = s.waiting_jobs();
+      int victim = -1;
+      std::size_t target = n;
+      // The queue is FCFS-sorted; scan newest-first for a job with an
+      // eligible destination.
+      for (auto it = q.rbegin(); it != q.rend() && victim < 0; ++it) {
+        for (std::size_t dst = 0; dst < n; ++dst) {
+          if (dst == src || sims_[dst]->live_capacity() < it->job->nodes)
+            continue;
+          if (norm(dst) >= config_.migration.target_ratio * src_norm)
+            continue;
+          if (target == n || norm(dst) < norm(target)) target = dst;
+        }
+        if (target != n) victim = it->job->id;
+      }
+      if (victim < 0) break;
+      do_migrate(src, target, victim, t);
+    }
+  }
+
+  // Re-step migration targets so the injected arrivals are admitted (and
+  // decided on) at `t`, in cluster-id order.
+  std::sort(retarget_.begin(), retarget_.end());
+  retarget_.erase(std::unique(retarget_.begin(), retarget_.end()),
+                  retarget_.end());
+  for (const std::size_t dst : retarget_) sims_[dst]->step(t);
+}
+
+sim::FederationSnapshot Federation::capture() const {
+  sim::FederationSnapshot snap;
+  snap.fed_events = fed_events_;
+  snap.next_arrival = next_arrival_;
+  snap.migrations = migrations_;
+  snap.owner = owner_;
+  snap.demand_ewma = ewma_;
+  snap.routed = routed_;
+  snap.migrations_in = migrations_in_;
+  snap.migrations_out = migrations_out_;
+  snap.meta_state = meta_.save_state();
+  snap.members.reserve(sims_.size());
+  for (const auto& s : sims_) snap.members.push_back(s->capture());
+  return snap;
+}
+
+FederationResult Federation::run() {
+  SBS_CHECK_MSG(!ran_, "Federation::run() called twice");
+  ran_ = true;
+  const auto& jobs = trace_.jobs;
+  const std::size_t n = sims_.size();
+  if (next_arrival_ >= jobs.size()) close_all_arrivals();
+
+  while (true) {
+    if (config_.interrupt != nullptr &&
+        config_.interrupt->load(std::memory_order_relaxed)) {
+      if (tel_) tel_->flush();
+      throw Error("federation interrupted after " +
+                  std::to_string(fed_events_) + " event times");
+    }
+
+    const Time t = next_event_time();
+    if (t == sim::Simulator::kNoEvent) break;
+
+    // Route this instant's arrivals first, so members admit them inside
+    // the very step that handles their other events at `t` — the same
+    // batching the plain simulator applies.
+    if (next_arrival_ < jobs.size() && jobs[next_arrival_].submit == t)
+      route_arrivals(t);
+
+    for (auto& s : sims_) s->step(t);
+
+    for (std::size_t i = 0; i < n; ++i)
+      ewma_[i] = config_.ewma_alpha * queue_demand(i) +
+                 (1.0 - config_.ewma_alpha) * ewma_[i];
+
+    if (config_.migration.enabled && n > 1) migrate(t);
+
+    SBS_CHECK_MSG(++fed_events_ <= config_.max_events,
+                  "federation event cap hit");
+    if (config_.checkpoint_every > 0 &&
+        fed_events_ % config_.checkpoint_every == 0)
+      config_.checkpoint_sink(capture());
+  }
+
+  FederationResult fr;
+  fr.owner = owner_;
+  fr.migrations = migrations_;
+  fr.members.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    MemberResult mr;
+    mr.name = config_.members[i].name.empty() ? "c" + std::to_string(i)
+                                              : config_.members[i].name;
+    mr.capacity = config_.members[i].nodes;
+    mr.routed = routed_[i];
+    mr.migrations_in = migrations_in_[i];
+    mr.migrations_out = migrations_out_[i];
+    mr.sim = sims_[i]->finish();
+    fr.avg_queue_length += mr.sim.avg_queue_length;
+    fr.members.push_back(std::move(mr));
+  }
+  fr.outcomes.resize(jobs.size());
+  for (std::size_t j = 0; j < jobs.size(); ++j) {
+    const int o = fr.owner[j];
+    SBS_CHECK_MSG(o >= 0 && static_cast<std::size_t>(o) < n,
+                  "job " << j << " was never routed");
+    fr.outcomes[j] = fr.members[static_cast<std::size_t>(o)].sim
+                         .outcomes[j];
+    // A migrated job's kill history lives on the members it visited before
+    // its final host; fold it in so the merged outcome carries the job's
+    // whole story (members it never reached contribute zeros).
+    for (std::size_t i = 0; i < n; ++i) {
+      if (i == static_cast<std::size_t>(o)) continue;
+      const JobOutcome& visit = fr.members[i].sim.outcomes[j];
+      fr.outcomes[j].requeue_count += visit.requeue_count;
+      fr.outcomes[j].lost_node_seconds += visit.lost_node_seconds;
+    }
+  }
+  return fr;
+}
+
+std::vector<MemberSpec> parse_cluster_spec(std::string_view spec) {
+  std::vector<MemberSpec> members;
+  std::size_t pos = 0;
+  while (pos <= spec.size()) {
+    const std::size_t comma = std::min(spec.find(',', pos), spec.size());
+    const std::string_view token = spec.substr(pos, comma - pos);
+    pos = comma + 1;
+    MemberSpec m;
+    std::string_view nodes = token;
+    if (const std::size_t colon = token.find(':');
+        colon != std::string_view::npos) {
+      m.name = std::string(token.substr(0, colon));
+      nodes = token.substr(colon + 1);
+    }
+    int value = 0;
+    const auto [end, ec] =
+        std::from_chars(nodes.data(), nodes.data() + nodes.size(), value);
+    SBS_CHECK_MSG(ec == std::errc() && end == nodes.data() + nodes.size() &&
+                      value > 0 && !nodes.empty(),
+                  "bad --clusters token \"" << std::string(token)
+                      << "\" (expected [name:]nodes with nodes > 0)");
+    m.nodes = value;
+    members.push_back(std::move(m));
+    if (comma == spec.size()) break;
+  }
+  SBS_CHECK_MSG(!members.empty(), "--clusters spec is empty");
+  return members;
+}
+
+}  // namespace sbs::fed

@@ -1,0 +1,173 @@
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "fed/meta_scheduler.hpp"
+#include "jobs/trace.hpp"
+#include "sim/simulator.hpp"
+
+namespace sbs::fed {
+
+/// One member cluster of a federation.
+struct MemberSpec {
+  std::string name;  ///< empty = "c<index>"
+  int nodes = 0;     ///< machine size; must be > 0
+  /// Optional per-member fault schedule. Not owned; must outlive the run.
+  const FaultInjector* faults = nullptr;
+};
+
+/// Cross-cluster migration of still-waiting jobs. Two triggers, evaluated
+/// after every federation event time:
+///  - stranded: a waiting job wider than its member's *live* (fault-
+///    degraded) capacity moves to the least-loaded member that can start
+///    it at current live capacity;
+///  - overload: when a member's smoothed queue backlog per node exceeds
+///    `overload_backlog_h` and another member's is below `target_ratio`
+///    times it, the newest waiting job that fits moves there (at most
+///    `max_per_event` per member per event time, against thrash).
+/// Migrated jobs keep their identity and original submit time, so they
+/// re-enter the target queue at their historical FCFS position.
+struct MigrationConfig {
+  bool enabled = true;
+  double overload_backlog_h = 8.0;
+  double target_ratio = 0.5;
+  int max_per_event = 1;
+};
+
+struct FederationConfig {
+  std::vector<MemberSpec> members;  ///< at least one
+  MigrationConfig migration;
+  /// Smoothing factor of the per-member queue-demand EWMA (node·seconds),
+  /// updated once per federation event time.
+  double ewma_alpha = 0.2;
+
+  // Shared member-simulator knobs (see SimConfig).
+  bool use_requested_runtime = false;
+  bool kill_at_request = false;
+  RequeuePolicy requeue = RequeuePolicy::Resubmit;
+  std::size_t max_events = 50'000'000;
+
+  /// One telemetry front end shared by the federation and every member.
+  /// The federation emits the single run record (with a "clusters" count)
+  /// and "migrate" records; members tag their events with "cluster".
+  obs::Telemetry* telemetry = nullptr;
+
+  /// Checkpointing, in federation event times (0 = off): the sink
+  /// receives a FederationSnapshot composing every member's SimSnapshot.
+  std::uint64_t checkpoint_every = 0;
+  std::function<void(const sim::FederationSnapshot&)> checkpoint_sink;
+
+  /// Resume from a federation snapshot (same trace, same member specs,
+  /// identically configured schedulers and meta-scheduler). Not owned.
+  const sim::FederationSnapshot* resume = nullptr;
+
+  /// Graceful-stop flag, polled once per federation event time.
+  const std::atomic<bool>* interrupt = nullptr;
+};
+
+/// Per-member slice of a federation run.
+struct MemberResult {
+  std::string name;
+  int capacity = 0;
+  std::uint64_t routed = 0;          ///< jobs the meta-scheduler sent here
+  std::uint64_t migrations_in = 0;
+  std::uint64_t migrations_out = 0;
+  SimResult sim;
+};
+
+struct FederationResult {
+  /// Merged per-job outcomes in job-id order: each job's outcome comes
+  /// from the member that finally hosted it.
+  std::vector<JobOutcome> outcomes;
+  double avg_queue_length = 0.0;  ///< summed over members (shared window)
+  std::uint64_t migrations = 0;
+  std::vector<int> owner;  ///< final hosting cluster per job
+  std::vector<MemberResult> members;
+};
+
+/// Builds one freshly configured scheduler per member (index = cluster
+/// id). Members need separate instances — policy state (warm-start order,
+/// fair-share ledgers, governor breakers) is per cluster.
+using SchedulerFactory =
+    std::function<std::unique_ptr<Scheduler>(std::size_t member)>;
+
+/// N member clusters — each a full sim::Simulator in external-arrival mode
+/// with its own machine size, fault schedule, and search scheduler —
+/// driven by one shared virtual-time event loop. At each global event time
+/// the federation routes the trace's arrivals through the MetaScheduler,
+/// steps every member to that time, refreshes the queue-demand EWMAs, and
+/// applies cross-cluster migrations.
+///
+/// A federation of exactly one member is bit-identical to the plain
+/// simulate() path — outcomes, stats, and telemetry stream alike (the
+/// differential tests pin this); migration and cluster tagging only
+/// activate with two or more members.
+class Federation {
+ public:
+  /// The trace, scheduler factory products, meta-scheduler, telemetry and
+  /// fault injectors are borrowed for the federation's lifetime. Every
+  /// trace job must fit the widest member. Throws sbs::Error on invalid
+  /// specs or mismatched resume snapshots.
+  Federation(const Trace& trace, const SchedulerFactory& make_scheduler,
+             MetaScheduler& meta, const FederationConfig& config);
+
+  Federation(const Federation&) = delete;
+  Federation& operator=(const Federation&) = delete;
+  ~Federation();
+
+  /// Runs the shared event loop to completion and finalizes every member.
+  /// Call exactly once. Throws sbs::Error on interrupt (after flushing
+  /// telemetry) so the caller can point at the latest checkpoint.
+  FederationResult run();
+
+  /// Captures the full federation state at the current event boundary.
+  sim::FederationSnapshot capture() const;
+
+  std::size_t member_count() const { return sims_.size(); }
+  const sim::Simulator& member(std::size_t i) const { return *sims_[i]; }
+
+ private:
+  Time next_event_time() const;
+  Time estimate_of(const Job& j) const;
+  double queue_demand(std::size_t i) const;
+  std::vector<ClusterProbe> build_probes() const;
+  Time probe_earliest_start(
+      std::size_t i, const Job& job, Time estimate,
+      const std::vector<std::pair<int, Time>>& batch) const;
+  void route_arrivals(Time t);
+  void close_all_arrivals();
+  void migrate(Time t);
+  void do_migrate(std::size_t src, std::size_t dst, int job_id, Time t);
+
+  const Trace& trace_;
+  MetaScheduler& meta_;
+  const FederationConfig config_;
+  obs::Telemetry* const tel_;
+
+  std::vector<Trace> member_traces_;  ///< global jobs, member capacity
+  std::vector<std::unique_ptr<Scheduler>> schedulers_;
+  std::vector<std::unique_ptr<sim::Simulator>> sims_;
+
+  std::uint64_t fed_events_ = 0;
+  std::size_t next_arrival_ = 0;
+  std::uint64_t migrations_ = 0;
+  std::vector<int> owner_;
+  std::vector<double> ewma_;
+  std::vector<std::uint64_t> routed_;
+  std::vector<std::uint64_t> migrations_in_;
+  std::vector<std::uint64_t> migrations_out_;
+  std::vector<std::size_t> retarget_;  ///< members to re-step after migration
+  bool arrivals_closed_ = false;
+  bool ran_ = false;
+};
+
+/// Parses a `--clusters` spec: comma-separated member sizes, each
+/// optionally named — "64,32,32" or "left:64,right:32". Throws
+/// sbs::Error (with the offending token) on malformed specs.
+std::vector<MemberSpec> parse_cluster_spec(std::string_view spec);
+
+}  // namespace sbs::fed

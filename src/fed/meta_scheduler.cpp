@@ -1,0 +1,131 @@
+#include "fed/meta_scheduler.hpp"
+
+#include <limits>
+
+#include "obs/json.hpp"
+#include "util/error.hpp"
+
+namespace sbs::fed {
+
+namespace {
+
+// A member can ever host the job iff its full machine is wide enough;
+// degraded live capacity can recover, so it does not disqualify.
+bool can_host(const ClusterProbe& p, const Job& job) {
+  return p.total_capacity >= job.nodes;
+}
+
+// Fallback when no member is wide enough: the largest machine (lowest id
+// on ties). The job will park there as "unstarted", same as a too-wide job
+// parks on a single machine — routing must still be total.
+int widest(std::span<const ClusterProbe> probes) {
+  int best = 0;
+  for (std::size_t i = 1; i < probes.size(); ++i)
+    if (probes[i].total_capacity > probes[best].total_capacity)
+      best = static_cast<int>(i);
+  return probes[static_cast<std::size_t>(best)].cluster;
+}
+
+/// Cycles through the members, skipping ones the job can never fit.
+class RoundRobinMeta final : public MetaScheduler {
+ public:
+  int route(const Job& job, Time, std::span<const ClusterProbe> probes)
+      override {
+    const std::size_t n = probes.size();
+    for (std::size_t i = 0; i < n; ++i) {
+      const ClusterProbe& p = probes[(cursor_ + i) % n];
+      if (can_host(p, job)) {
+        cursor_ = (cursor_ + i + 1) % n;
+        return p.cluster;
+      }
+    }
+    return widest(probes);
+  }
+
+  std::string name() const override { return "rr"; }
+
+  std::string save_state() const override {
+    obs::JsonWriter w;
+    w.begin_object()
+        .field("cursor", static_cast<std::uint64_t>(cursor_))
+        .end_object();
+    return w.str();
+  }
+
+  void restore_state(std::string_view state) override {
+    const obs::JsonValue v = obs::parse_json(state);
+    SBS_CHECK_MSG(v.is_object(), "rr meta state is not a JSON object");
+    const obs::JsonValue* cur = v.find("cursor");
+    SBS_CHECK_MSG(cur != nullptr, "rr meta state lacks \"cursor\"");
+    cursor_ = static_cast<std::size_t>(cur->as_int());
+  }
+
+ private:
+  std::size_t cursor_ = 0;
+};
+
+/// Least backlog per node: the smoothed queue demand (EWMA, maintained by
+/// the federation across event times) plus the instantaneous queue demand,
+/// normalized by machine size. Ties break to the lower cluster id.
+class LeastLoadedMeta final : public MetaScheduler {
+ public:
+  int route(const Job& job, Time, std::span<const ClusterProbe> probes)
+      override {
+    const ClusterProbe* best = nullptr;
+    double best_score = 0.0;
+    for (const ClusterProbe& p : probes) {
+      if (!can_host(p, job)) continue;
+      const double score = (p.demand_ewma + p.queue_demand) /
+                           static_cast<double>(p.total_capacity);
+      if (best == nullptr || score < best_score) {
+        best = &p;
+        best_score = score;
+      }
+    }
+    return best ? best->cluster : widest(probes);
+  }
+
+  std::string name() const override { return "least-loaded"; }
+};
+
+/// Earliest predicted start via the per-cluster probe. Ties break to the
+/// member with more free nodes now, then to the lower cluster id.
+class BestFitMeta final : public MetaScheduler {
+ public:
+  int route(const Job& job, Time, std::span<const ClusterProbe> probes)
+      override {
+    const ClusterProbe* best = nullptr;
+    for (const ClusterProbe& p : probes) {
+      if (!can_host(p, job) || p.earliest_start == ClusterProbe::kUnreachable)
+        continue;
+      if (best == nullptr || p.earliest_start < best->earliest_start ||
+          (p.earliest_start == best->earliest_start &&
+           p.free_nodes > best->free_nodes))
+        best = &p;
+    }
+    if (best != nullptr) return best->cluster;
+    // Every wide-enough member is currently degraded below the job: park
+    // it on the first member that can host it once nodes recover.
+    for (const ClusterProbe& p : probes)
+      if (can_host(p, job)) return p.cluster;
+    return widest(probes);
+  }
+
+  std::string name() const override { return "best-fit"; }
+  bool wants_probe() const override { return true; }
+};
+
+}  // namespace
+
+std::unique_ptr<MetaScheduler> make_meta(std::string_view spec) {
+  if (spec == "rr" || spec == "round-robin")
+    return std::make_unique<RoundRobinMeta>();
+  if (spec == "least-loaded" || spec == "ll")
+    return std::make_unique<LeastLoadedMeta>();
+  if (spec == "best-fit" || spec == "bf")
+    return std::make_unique<BestFitMeta>();
+  throw Error("unknown meta-scheduler \"" + std::string(spec) +
+              "\" (expected rr, least-loaded, or best-fit)");
+}
+
+}  // namespace sbs::fed

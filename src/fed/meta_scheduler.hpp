@@ -1,0 +1,70 @@
+#pragma once
+
+#include <limits>
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+
+#include "jobs/job.hpp"
+#include "util/time.hpp"
+
+namespace sbs::fed {
+
+/// Per-cluster view handed to a routing decision. Built by the Federation
+/// from the member simulators' live state; `queue_demand`/`waiting` are
+/// adjusted within a same-time arrival batch as jobs are routed, so a
+/// batch spreads instead of dog-piling one member.
+struct ClusterProbe {
+  int cluster = 0;
+  int total_capacity = 0;  ///< member machine size (static)
+  int live_capacity = 0;   ///< shrunk by current node failures
+  int free_nodes = 0;      ///< live capacity minus running jobs
+  std::size_t waiting = 0; ///< queued jobs (incl. same-batch routings)
+  double queue_demand = 0.0;  ///< instantaneous waiting node·seconds
+  double demand_ewma = 0.0;   ///< smoothed queue demand (federation EWMA)
+  /// Earliest predicted start for the candidate job on this member, from a
+  /// cheap per-cluster probe (free-node profile of the running set, queue
+  /// greedily reserved in FCFS order). Only computed when the policy's
+  /// wants_probe() is true; kUnreachable when the job cannot ever fit.
+  Time earliest_start = 0;
+
+  static constexpr Time kUnreachable = std::numeric_limits<Time>::max();
+};
+
+/// Two-level scheduling: the meta-scheduler picks the member cluster a
+/// newly submitted job is routed to; the member's own search Scheduler
+/// then decides when it starts. Routing must be deterministic — same
+/// probes, same job, same internal state => same answer — because the
+/// federation's differential and checkpoint proofs replay it.
+class MetaScheduler {
+ public:
+  virtual ~MetaScheduler() = default;
+
+  /// Returns the cluster id (probes[i].cluster) to route `job` to. Probes
+  /// arrive in cluster-id order and are never empty. `estimate` is the
+  /// runtime the member schedulers would plan with.
+  virtual int route(const Job& job, Time estimate,
+                    std::span<const ClusterProbe> probes) = 0;
+
+  /// Human-readable policy name, e.g. "least-loaded".
+  virtual std::string name() const = 0;
+
+  /// Whether route() reads ClusterProbe::earliest_start. The probe costs
+  /// O(queue length) per member per routed job, so the federation only
+  /// computes it for policies that use it.
+  virtual bool wants_probe() const { return false; }
+
+  /// Checkpoint support, mirroring Scheduler::save_state(): round-trips
+  /// the policy's cross-decision state (e.g. the round-robin cursor) as
+  /// one JSON object so a resumed federation routes identically.
+  virtual std::string save_state() const { return "{}"; }
+  virtual void restore_state(std::string_view state) { (void)state; }
+};
+
+/// Builds a routing policy by spec: "rr" (round-robin), "least-loaded"
+/// (queue-demand EWMA, the default CLI choice), "best-fit" (earliest
+/// predicted start). Throws sbs::Error on unknown specs.
+std::unique_ptr<MetaScheduler> make_meta(std::string_view spec);
+
+}  // namespace sbs::fed

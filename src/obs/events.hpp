@@ -81,6 +81,10 @@ struct RunRecord {
   std::string_view policy;
   int capacity = 0;
   std::uint64_t jobs = 0;
+  /// Member-cluster count of a federation run (0 = plain single-machine
+  /// run; the field is then omitted from JSONL). A federation emits one
+  /// run record; its members tag their events with "cluster" instead.
+  int clusters = 0;
 };
 
 /// Final accounting record of a `sbsched serve` run, emitted once when the

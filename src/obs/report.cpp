@@ -160,6 +160,22 @@ void apply_decision(RunReport& r, const JsonValue& rec, std::size_t lineno) {
 
 void apply_record(RunReport& r, const JsonValue& rec, const std::string& type,
                   std::size_t lineno) {
+  // Federation members stamp their records with a "cluster" field; slice
+  // the lifecycle tallies per member so the report can show where the
+  // meta-scheduler sent the work. Single-cluster streams never carry it.
+  if (const JsonValue* cluster = rec.find("cluster")) {
+    RunReport::ClusterAgg& agg =
+        r.cluster_agg[static_cast<int>(cluster->as_int())];
+    if (type == "decision") ++agg.decisions;
+    else if (type == "submit") ++agg.submits;
+    else if (type == "start") ++agg.starts;
+    else if (type == "finish") ++agg.finishes;
+    else if (type == "kill") ++agg.kills;
+    else if (type == "unstarted") ++agg.unstarted;
+    else if (type == "fault" &&
+             need(rec, "kind", lineno).as_string() == "node_down")
+      ++agg.faults_down;
+  }
   if (type == "decision") {
     apply_decision(r, rec, lineno);
   } else if (type == "governor") {
@@ -194,6 +210,13 @@ void apply_record(RunReport& r, const JsonValue& rec, const std::string& type,
     else if (kind == "node_up") ++r.faults_up;
     else throw Error("telemetry line " + std::to_string(lineno) +
                      ": unknown fault kind " + kind);
+  } else if (type == "migrate") {
+    ++r.migrations;
+    need(rec, "job", lineno);
+    ++r.cluster_agg[static_cast<int>(need(rec, "from", lineno).as_int())]
+          .migrations_out;
+    ++r.cluster_agg[static_cast<int>(need(rec, "to", lineno).as_int())]
+          .migrations_in;
   } else if (type == "admit") {
     ++r.admits;
     need(rec, "job", lineno);
@@ -348,6 +371,8 @@ TelemetrySummary read_telemetry_files(const std::vector<std::string>& paths) {
           r.resumed = resumed->as_bool();
         if (const JsonValue* parent = rec.find("checkpoint_parent"))
           r.checkpoint_parent = parent->as_string();
+        if (const JsonValue* clusters = rec.find("clusters"))
+          r.clusters = static_cast<int>(clusters->as_int());
         summary.runs.push_back(std::move(r));
         continue;
       }
@@ -474,6 +499,28 @@ void print_report(const std::vector<RunReport>& runs, std::ostream& os) {
           .add(static_cast<long long>(r.pruned_bound));
     }
     agg.print(os);
+
+    // Federation section: how the meta-scheduler spread the work across
+    // member clusters and how much cross-cluster migration happened.
+    if (r.clusters > 0 || r.migrations > 0 || !r.cluster_agg.empty()) {
+      os << "\nFederation (" << r.clusters << " member clusters, "
+         << r.migrations << " migrations):\n";
+      Table fed({"cluster", "decisions", "submits", "starts", "finishes",
+                 "kills", "unstarted", "faults", "migr in/out"});
+      for (const auto& [id, a] : r.cluster_agg)
+        fed.row()
+            .add(id)
+            .add(static_cast<long long>(a.decisions))
+            .add(static_cast<long long>(a.submits))
+            .add(static_cast<long long>(a.starts))
+            .add(static_cast<long long>(a.finishes))
+            .add(static_cast<long long>(a.kills))
+            .add(static_cast<long long>(a.unstarted))
+            .add(static_cast<long long>(a.faults_down))
+            .add(std::to_string(a.migrations_in) + "/" +
+                 std::to_string(a.migrations_out));
+      fed.print(os);
+    }
 
     // Circuit-breaker state over the run: where the ladder ended, how deep
     // it went, and how the decisions were spread across the levels.

@@ -19,6 +19,10 @@ struct RunReport {
   std::string policy;
   int capacity = 0;
   std::uint64_t trace_jobs = 0;
+  /// Member-cluster count echoed by federation run records (optional
+  /// "clusters" field; 0 for single-cluster runs, whose streams are
+  /// bit-identical to pre-federation writers).
+  int clusters = 0;
 
   // Job lifecycle tallies.
   std::uint64_t submits = 0;
@@ -29,6 +33,23 @@ struct RunReport {
   std::uint64_t unstarted = 0;
   std::uint64_t faults_down = 0;
   std::uint64_t faults_up = 0;
+  std::uint64_t migrations = 0;   ///< "migrate" records (federation runs)
+
+  /// Per-cluster slice of the lifecycle tallies, keyed by the optional
+  /// "cluster" field federation members stamp on their records. Empty for
+  /// single-cluster streams.
+  struct ClusterAgg {
+    std::uint64_t decisions = 0;
+    std::uint64_t submits = 0;
+    std::uint64_t starts = 0;
+    std::uint64_t finishes = 0;
+    std::uint64_t kills = 0;
+    std::uint64_t unstarted = 0;
+    std::uint64_t faults_down = 0;
+    std::uint64_t migrations_in = 0;
+    std::uint64_t migrations_out = 0;
+  };
+  std::map<int, ClusterAgg> cluster_agg;
 
   // SchedulerStats reconstructed by summing per-decision deltas.
   std::uint64_t decisions = 0;

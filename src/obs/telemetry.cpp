@@ -41,6 +41,7 @@ Telemetry::Telemetry(std::unique_ptr<TraceSink> sink)
   jobs_unstarted_ = &registry_.counter("sim.jobs.unstarted");
   faults_down_ = &registry_.counter("sim.faults.node_down");
   faults_up_ = &registry_.counter("sim.faults.node_up");
+  migrations_ = &registry_.counter("fed.migrations");
   gov_degrades_ = &registry_.counter("governor.degrades");
   gov_recoveries_ = &registry_.counter("governor.recoveries");
   gov_probes_ = &registry_.counter("governor.probes");
@@ -70,6 +71,10 @@ void Telemetry::emit() {
   line_.clear();
 }
 
+void Telemetry::cluster_field() {
+  if (cluster_ >= 0) line_.field("cluster", cluster_);
+}
+
 void Telemetry::set_context(const RunContext& ctx) {
   context_ = ctx;
   has_context_ = true;
@@ -92,6 +97,7 @@ void Telemetry::begin_run(const RunRecord& run) {
       .field("policy", run.policy)
       .field("capacity", run.capacity)
       .field("jobs", run.jobs);
+  if (run.clusters > 0) line_.field("clusters", run.clusters);
   if (has_context_) {
     if (context_.has_seed) line_.field("seed", context_.seed);
     if (!context_.governor.empty())
@@ -151,8 +157,9 @@ void Telemetry::decision(const DecisionRecord& d) {
   line_.clear();
   line_.begin_object()
       .field("type", "decision")
-      .field("t", static_cast<std::int64_t>(d.now))
-      .field("policy", d.policy)
+      .field("t", static_cast<std::int64_t>(d.now));
+  cluster_field();
+  line_.field("policy", d.policy)
       .field("queue_depth", d.queue_depth)
       .field("free_nodes", d.free_nodes)
       .field("capacity", d.capacity)
@@ -200,8 +207,9 @@ void Telemetry::job_submitted(Time t, int job, int nodes, Time runtime,
   line_.clear();
   line_.begin_object()
       .field("type", "submit")
-      .field("t", static_cast<std::int64_t>(t))
-      .field("job", job)
+      .field("t", static_cast<std::int64_t>(t));
+  cluster_field();
+  line_.field("job", job)
       .field("nodes", nodes)
       .field("runtime", static_cast<std::int64_t>(runtime))
       .field("requested", static_cast<std::int64_t>(requested))
@@ -215,8 +223,9 @@ void Telemetry::job_started(Time t, int job, int nodes) {
   line_.clear();
   line_.begin_object()
       .field("type", "start")
-      .field("t", static_cast<std::int64_t>(t))
-      .field("job", job)
+      .field("t", static_cast<std::int64_t>(t));
+  cluster_field();
+  line_.field("job", job)
       .field("nodes", nodes)
       .end_object();
   emit();
@@ -228,8 +237,9 @@ void Telemetry::job_finished(Time t, int job) {
   line_.clear();
   line_.begin_object()
       .field("type", "finish")
-      .field("t", static_cast<std::int64_t>(t))
-      .field("job", job)
+      .field("t", static_cast<std::int64_t>(t));
+  cluster_field();
+  line_.field("job", job)
       .end_object();
   emit();
 }
@@ -241,8 +251,9 @@ void Telemetry::job_killed(Time t, int job, bool requeued) {
   line_.clear();
   line_.begin_object()
       .field("type", "kill")
-      .field("t", static_cast<std::int64_t>(t))
-      .field("job", job)
+      .field("t", static_cast<std::int64_t>(t));
+  cluster_field();
+  line_.field("job", job)
       .field("requeued", requeued)
       .end_object();
   emit();
@@ -254,8 +265,9 @@ void Telemetry::job_unstarted(Time t, int job) {
   line_.clear();
   line_.begin_object()
       .field("type", "unstarted")
-      .field("t", static_cast<std::int64_t>(t))
-      .field("job", job)
+      .field("t", static_cast<std::int64_t>(t));
+  cluster_field();
+  line_.field("job", job)
       .end_object();
   emit();
 }
@@ -267,10 +279,25 @@ void Telemetry::node_fault(Time t, bool down, int nodes, int capacity_after) {
   line_.clear();
   line_.begin_object()
       .field("type", "fault")
-      .field("t", static_cast<std::int64_t>(t))
-      .field("kind", down ? "node_down" : "node_up")
+      .field("t", static_cast<std::int64_t>(t));
+  cluster_field();
+  line_.field("kind", down ? "node_down" : "node_up")
       .field("nodes", nodes)
       .field("capacity", capacity_after)
+      .end_object();
+  emit();
+}
+
+void Telemetry::job_migrated(Time t, int job, int from, int to) {
+  migrations_->add();
+  if (!sink_) return;
+  line_.clear();
+  line_.begin_object()
+      .field("type", "migrate")
+      .field("t", static_cast<std::int64_t>(t))
+      .field("job", job)
+      .field("from", from)
+      .field("to", to)
       .end_object();
   emit();
 }

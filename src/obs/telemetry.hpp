@@ -40,6 +40,11 @@ std::span<const double> wait_h_bounds();
 ///   kill      t, job, requeued
 ///   unstarted t, job
 ///   fault     t, kind ("node_down"|"node_up"), nodes, capacity
+///   migrate   t, job, from, to — cross-cluster migration of a waiting job
+/// Federation runs (`--clusters`): the run record carries a "clusters"
+/// member count, and every per-cluster record above (decision + job
+/// lifecycle + fault) carries a "cluster" member id. Single-cluster runs
+/// omit both fields, so pre-federation streams and readers stay compatible.
 /// Service-mode records (`sbsched serve`; absent from offline runs):
 ///   admit     t, job, priority, queue_depth — submission admitted
 ///   reject    t, reason ("backpressure"|"shed"|"draining"), priority,
@@ -61,6 +66,11 @@ class Telemetry {
   /// labels. Call before begin_run().
   void set_context(const RunContext& ctx);
 
+  /// Member-cluster id stamped onto subsequent per-cluster records
+  /// (decision, job lifecycle, fault). Negative (the default) omits the
+  /// field. A federation's member simulators set this before emitting.
+  void set_cluster(int cluster) { cluster_ = cluster; }
+
   void begin_run(const RunRecord& run);
   void decision(const DecisionRecord& d);
   /// One degradation-ladder transition (also summarized in the enclosing
@@ -73,6 +83,10 @@ class Telemetry {
   void job_killed(Time t, int job, bool requeued);
   void job_unstarted(Time t, int job);
   void node_fault(Time t, bool down, int nodes, int capacity_after);
+  /// Cross-cluster migration of a still-waiting job (federation runs).
+  /// Emitted by the federation itself, not a member: `from`/`to` identify
+  /// the clusters explicitly, so the record carries no "cluster" field.
+  void job_migrated(Time t, int job, int from, int to);
 
   // Service-mode events (`sbsched serve`).
   void job_admitted(Time t, int job, int priority, int queue_depth);
@@ -96,6 +110,10 @@ class Telemetry {
   JsonWriter line_;
   RunContext context_;
   bool has_context_ = false;
+  int cluster_ = -1;
+
+  /// Appends the optional "cluster" field to the record being built.
+  void cluster_field();
 
   // Hot-path instrument handles, resolved once at construction.
   Counter* decisions_;
@@ -116,6 +134,7 @@ class Telemetry {
   Counter* jobs_unstarted_;
   Counter* faults_down_;
   Counter* faults_up_;
+  Counter* migrations_;
   Counter* gov_degrades_;
   Counter* gov_recoveries_;
   Counter* gov_probes_;

@@ -16,6 +16,7 @@ namespace sbs::resilience {
 namespace {
 
 constexpr std::string_view kFormat = "sbs-checkpoint";
+constexpr std::string_view kFedFormat = "sbs-fed-checkpoint";
 
 void write_fully(int fd, const char* data, std::size_t size,
                  const std::string& path) {
@@ -44,8 +45,10 @@ const obs::JsonValue& at(const obs::JsonValue& row, std::size_t i,
   return row.array[i];
 }
 
+// Writes one SimSnapshot as a JSON object (caller supplies the key or
+// array slot).
 void append_snapshot(obs::JsonWriter& w, const sim::SimSnapshot& s) {
-  w.key("snapshot").begin_object();
+  w.begin_object();
   w.field("now", static_cast<std::int64_t>(s.now))
       .field("events", s.events)
       .field("next_arrival", static_cast<std::uint64_t>(s.next_arrival))
@@ -187,32 +190,37 @@ sim::SimSnapshot parse_snapshot(const obs::JsonValue& v) {
   return s;
 }
 
-}  // namespace
-
-std::string checkpoint_id(std::uint64_t events) {
-  return "ck-" + std::to_string(events);
-}
-
-void write_checkpoint(const std::string& path, const CheckpointData& data) {
+// The shared envelope: format marker, version, lineage, CLI echo.
+template <typename AppendSnapshot>
+std::string render_checkpoint(std::string_view format, int version,
+                              const std::string& id, const std::string& parent,
+                              const std::vector<std::pair<std::string,
+                                                          std::string>>& cli,
+                              AppendSnapshot&& append) {
   obs::JsonWriter w;
   w.begin_object();
-  w.field("format", kFormat);
-  w.field("version", data.version);
-  w.field("id", data.id);
-  w.field("parent", data.parent);
+  w.field("format", format);
+  w.field("version", version);
+  w.field("id", id);
+  w.field("parent", parent);
   w.key("cli").begin_object();
-  for (const auto& [key, value] : data.cli) w.field(key, value);
+  for (const auto& [key, value] : cli) w.field(key, value);
   w.end_object();
-  append_snapshot(w, data.snapshot);
+  w.key("snapshot");
+  append(w);
   w.end_object();
+  return w.str();
+}
 
+// Crash-safe whole-file write: tmp + fsync + rename.
+void write_atomic(const std::string& path, const std::string& text) {
   const std::string tmp = path + ".tmp";
   const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC,
                         0644);
   if (fd < 0)
     throw Error("cannot open " + tmp + ": " + std::strerror(errno));
   try {
-    write_fully(fd, w.str().data(), w.str().size(), tmp);
+    write_fully(fd, text.data(), text.size(), tmp);
     write_fully(fd, "\n", 1, tmp);
     if (::fsync(fd) != 0)
       throw Error("fsync of " + tmp + " failed: " + std::strerror(errno));
@@ -230,33 +238,128 @@ void write_checkpoint(const std::string& path, const CheckpointData& data) {
   }
 }
 
-CheckpointData read_checkpoint(const std::string& path) {
+// Reads the envelope, checks the format marker and version, and returns
+// the parsed document for snapshot extraction.
+obs::JsonValue read_envelope(const std::string& path, std::string_view format,
+                             int expect_version, std::string& id,
+                             std::string& parent,
+                             std::vector<std::pair<std::string, std::string>>&
+                                 cli_out,
+                             int& version_out) {
   std::ifstream in(path, std::ios::binary);
   SBS_CHECK_MSG(in.good(), "cannot open checkpoint " << path);
   std::ostringstream buf;
   buf << in.rdbuf();
-  const std::string text = buf.str();
 
-  const obs::JsonValue v = obs::parse_json(text);
+  obs::JsonValue v = obs::parse_json(buf.str());
   SBS_CHECK_MSG(v.is_object(), "checkpoint " << path
                                              << " is not a JSON object");
-  const obs::JsonValue& format = get(v, "format", "file");
-  SBS_CHECK_MSG(format.as_string() == kFormat,
-                path << " is not an sbs checkpoint (format \""
-                     << format.as_string() << "\")");
-  CheckpointData data;
-  data.version = static_cast<int>(get(v, "version", "file").as_int());
-  SBS_CHECK_MSG(data.version == sim::SimSnapshot::kVersion,
+  const obs::JsonValue& fmt = get(v, "format", "file");
+  SBS_CHECK_MSG(fmt.as_string() == format,
+                path << " is not an " << format << " file (format \""
+                     << fmt.as_string() << "\")");
+  version_out = static_cast<int>(get(v, "version", "file").as_int());
+  SBS_CHECK_MSG(version_out == expect_version,
                 "checkpoint " << path << " has snapshot version "
-                              << data.version << "; this build reads version "
-                              << sim::SimSnapshot::kVersion);
-  data.id = get(v, "id", "file").as_string();
-  data.parent = get(v, "parent", "file").as_string();
+                              << version_out << "; this build reads version "
+                              << expect_version);
+  id = get(v, "id", "file").as_string();
+  parent = get(v, "parent", "file").as_string();
   const obs::JsonValue& cli = get(v, "cli", "file");
   SBS_CHECK_MSG(cli.is_object(), "checkpoint cli echo is not a JSON object");
   for (const auto& [key, value] : cli.object)
-    data.cli.emplace_back(key, value.as_string());
+    cli_out.emplace_back(key, value.as_string());
+  return v;
+}
+
+}  // namespace
+
+std::string checkpoint_id(std::uint64_t events) {
+  return "ck-" + std::to_string(events);
+}
+
+void write_checkpoint(const std::string& path, const CheckpointData& data) {
+  write_atomic(path,
+               render_checkpoint(kFormat, data.version, data.id, data.parent,
+                                 data.cli, [&](obs::JsonWriter& w) {
+                                   append_snapshot(w, data.snapshot);
+                                 }));
+}
+
+CheckpointData read_checkpoint(const std::string& path) {
+  CheckpointData data;
+  const obs::JsonValue v =
+      read_envelope(path, kFormat, sim::SimSnapshot::kVersion, data.id,
+                    data.parent, data.cli, data.version);
   data.snapshot = parse_snapshot(get(v, "snapshot", "file"));
+  return data;
+}
+
+void write_federation_checkpoint(const std::string& path,
+                                 const FederationCheckpointData& data) {
+  const sim::FederationSnapshot& s = data.snapshot;
+  write_atomic(
+      path,
+      render_checkpoint(
+          kFedFormat, data.version, data.id, data.parent, data.cli,
+          [&](obs::JsonWriter& w) {
+            w.begin_object();
+            w.field("fed_events", s.fed_events)
+                .field("next_arrival",
+                       static_cast<std::uint64_t>(s.next_arrival))
+                .field("migrations", s.migrations);
+            w.key("owner").begin_array();
+            for (int o : s.owner) w.value(o);
+            w.end_array();
+            w.key("demand_ewma").begin_array();
+            for (double e : s.demand_ewma) w.value(e);
+            w.end_array();
+            w.key("routed").begin_array();
+            for (std::uint64_t r : s.routed) w.value(r);
+            w.end_array();
+            w.key("migrations_in").begin_array();
+            for (std::uint64_t m : s.migrations_in) w.value(m);
+            w.end_array();
+            w.key("migrations_out").begin_array();
+            for (std::uint64_t m : s.migrations_out) w.value(m);
+            w.end_array();
+            w.field("meta_state", s.meta_state);
+            w.key("members").begin_array();
+            for (const sim::SimSnapshot& m : s.members) append_snapshot(w, m);
+            w.end_array();
+            w.end_object();
+          }));
+}
+
+FederationCheckpointData read_federation_checkpoint(const std::string& path) {
+  FederationCheckpointData data;
+  const obs::JsonValue v =
+      read_envelope(path, kFedFormat, sim::FederationSnapshot::kVersion,
+                    data.id, data.parent, data.cli, data.version);
+  const obs::JsonValue& s = get(v, "snapshot", "file");
+  SBS_CHECK_MSG(s.is_object(), "federation snapshot is not a JSON object");
+  sim::FederationSnapshot& snap = data.snapshot;
+  snap.fed_events =
+      static_cast<std::uint64_t>(get(s, "fed_events", "snapshot").as_int());
+  snap.next_arrival =
+      static_cast<std::size_t>(get(s, "next_arrival", "snapshot").as_int());
+  snap.migrations =
+      static_cast<std::uint64_t>(get(s, "migrations", "snapshot").as_int());
+  for (const auto& o : get(s, "owner", "snapshot").array)
+    snap.owner.push_back(static_cast<int>(o.as_int()));
+  for (const auto& e : get(s, "demand_ewma", "snapshot").array)
+    snap.demand_ewma.push_back(e.as_double());
+  for (const auto& r : get(s, "routed", "snapshot").array)
+    snap.routed.push_back(static_cast<std::uint64_t>(r.as_int()));
+  for (const auto& m : get(s, "migrations_in", "snapshot").array)
+    snap.migrations_in.push_back(static_cast<std::uint64_t>(m.as_int()));
+  for (const auto& m : get(s, "migrations_out", "snapshot").array)
+    snap.migrations_out.push_back(static_cast<std::uint64_t>(m.as_int()));
+  snap.meta_state = get(s, "meta_state", "snapshot").as_string();
+  const obs::JsonValue& members = get(s, "members", "snapshot");
+  SBS_CHECK_MSG(members.is_array(), "federation members is not an array");
+  for (const auto& m : members.array)
+    snap.members.push_back(parse_snapshot(m));
   return data;
 }
 

@@ -38,4 +38,23 @@ void write_checkpoint(const std::string& path, const CheckpointData& data);
 /// snapshot version this build does not understand.
 CheckpointData read_checkpoint(const std::string& path);
 
+/// Federation analogue of CheckpointData: one FederationSnapshot (which
+/// composes every member's SimSnapshot in cluster-id order) plus the same
+/// lineage and CLI-echo provenance. The on-disk format carries a distinct
+/// marker ("sbs-fed-checkpoint") so the single-cluster reader rejects
+/// federation files with a clear error and vice versa.
+struct FederationCheckpointData {
+  int version = sim::FederationSnapshot::kVersion;
+  std::string id;      ///< "ck-<fed_events>"
+  std::string parent;  ///< id of the checkpoint this run resumed from, or ""
+  std::vector<std::pair<std::string, std::string>> cli;
+  sim::FederationSnapshot snapshot;
+};
+
+/// Atomic write / validated read of a federation checkpoint, with the same
+/// tmp+fsync+rename crash-safety contract as write_checkpoint().
+void write_federation_checkpoint(const std::string& path,
+                                 const FederationCheckpointData& data);
+FederationCheckpointData read_federation_checkpoint(const std::string& path);
+
 }  // namespace sbs::resilience

@@ -1,472 +1,571 @@
 #include "sim/simulator.hpp"
 
 #include <algorithm>
-#include <limits>
 
 #include "obs/telemetry.hpp"
-#include "sim/completion_queue.hpp"
 #include "util/error.hpp"
 
 namespace sbs {
+namespace sim {
 
-using sim::Completion;
-using sim::CompletionQueue;
+namespace {
+const std::vector<FaultEvent> kNoFaults;
 
-SimResult simulate(const Trace& trace, Scheduler& scheduler,
-                   const SimConfig& config) {
-  trace.validate();
+bool fcfs_before(const WaitingJob& a, const WaitingJob& b) {
+  if (a.job->submit != b.job->submit) return a.job->submit < b.job->submit;
+  return a.job->id < b.job->id;
+}
+}  // namespace
 
-  const auto& jobs = trace.jobs;
-  SimResult result;
-  result.outcomes.resize(jobs.size());
-  for (std::size_t i = 0; i < jobs.size(); ++i) result.outcomes[i].job = jobs[i];
+Simulator::Simulator(const Trace& trace, Scheduler& scheduler,
+                     const SimConfig& config)
+    : trace_(trace),
+      scheduler_(scheduler),
+      config_(config),
+      faults_(config.faults ? config.faults->events() : kNoFaults),
+      tel_(config.telemetry) {
+  if (config_.validate_trace) trace_.validate();
 
-  std::vector<WaitingJob> waiting;
-  std::vector<RunningJob> running;
-  CompletionQueue completions;
-  // Current attempt per job; a pending Completion with a stale attempt
-  // belongs to a killed run and is skipped when it surfaces.
-  std::vector<int> attempt(jobs.size(), 0);
+  const auto& jobs = trace_.jobs;
+  result_.outcomes.resize(jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i)
+    result_.outcomes[i].job = jobs[i];
+  attempt_.assign(jobs.size(), 0);
+  result_.fault_stats.min_capacity = trace_.capacity;
 
-  static const std::vector<FaultEvent> kNoFaults;
-  const std::vector<FaultEvent>& faults =
-      config.faults ? config.faults->events() : kNoFaults;
-  std::size_t next_fault = 0;
-
-  auto estimate_of = [&](const Job& j) {
-    if (config.predictor) return std::max<Time>(config.predictor->predict(j), 1);
-    return config.use_requested_runtime ? j.requested : j.runtime;
-  };
-  // Time a started job actually occupies the machine.
-  auto effective_runtime = [&](const Job& j) {
-    return config.kill_at_request ? std::min(j.runtime, j.requested)
-                                  : j.runtime;
-  };
-
-  std::size_t next_arrival = 0;
-  int used_nodes = 0;
-  int down_nodes = 0;  // failed nodes; live capacity = trace.capacity - down
-  std::size_t events = 0;
-  result.fault_stats.min_capacity = trace.capacity;
-
-  obs::Telemetry* const tel = config.telemetry;
-  std::string policy_name;
-  if (tel) {
-    policy_name = scheduler.name();
-    scheduler.set_collect_decision_detail(true);
-    tel->begin_run(obs::RunRecord{trace.name, policy_name, trace.capacity,
-                                  jobs.size()});
+  if (tel_) {
+    policy_name_ = scheduler_.name();
+    scheduler_.set_collect_decision_detail(true);
+    if (config_.emit_run_record)
+      tel_->begin_run(obs::RunRecord{trace_.name, policy_name_,
+                                     trace_.capacity, jobs.size()});
   }
 
-  // Time-weighted queue length restricted to the metrics window.
-  double queue_area = 0.0;
-  Time last_event = jobs.empty() ? trace.window_begin : jobs.front().submit;
+  last_event_ = jobs.empty() ? trace_.window_begin : jobs.front().submit;
+  now_ = last_event_;
 
-  auto account_queue = [&](Time upto) {
-    const Time lo = std::max(last_event, trace.window_begin);
-    const Time hi = std::min(upto, trace.window_end);
-    if (hi > lo)
-      queue_area += static_cast<double>(hi - lo) *
-                    static_cast<double>(waiting.size());
-    last_event = upto;
-  };
-
-  // Kills the running job at index `ri` (fault semantics: the work done so
-  // far is lost; the predictor never observes a killed run). Returns true
-  // when the job went back to the queue.
-  bool requeued_this_event = false;
-  auto kill_running = [&](std::size_t ri, Time now) {
-    const Job& j = *running[ri].job;
-    JobOutcome& oc = result.outcomes[static_cast<std::size_t>(j.id)];
-    used_nodes -= j.nodes;
-    oc.lost_node_seconds +=
-        static_cast<Time>(j.nodes) * (now - running[ri].start);
-    result.fault_stats.lost_node_seconds +=
-        static_cast<double>(j.nodes) *
-        static_cast<double>(now - running[ri].start);
-    ++attempt[static_cast<std::size_t>(j.id)];
-    ++result.fault_stats.jobs_killed;
-    if (tel) tel->job_killed(now, j.id, config.requeue == RequeuePolicy::Resubmit);
-    if (config.requeue == RequeuePolicy::Resubmit) {
-      ++oc.requeue_count;
-      ++result.fault_stats.jobs_requeued;
-      waiting.push_back(WaitingJob{&j, estimate_of(j)});
-      requeued_this_event = true;
-    } else {
-      oc.completed = false;
-      oc.end = now;
-      ++result.fault_stats.jobs_dropped;
-    }
-    running[ri] = running.back();
-    running.pop_back();
-  };
-
-  SBS_CHECK_MSG(config.checkpoint_every == 0 || config.checkpoint_sink,
+  SBS_CHECK_MSG(config_.checkpoint_every == 0 || config_.checkpoint_sink,
                 "checkpoint_every set without a checkpoint_sink");
 
-  // Capture the full mid-run state at an event boundary. Everything the
-  // loop mutates is either here or reconstructible from the inputs (the
-  // fault schedule re-derives from its spec; the trace is reattached by
-  // job id on restore).
-  auto capture_snapshot = [&](Time now) {
-    sim::SimSnapshot snap;
-    snap.now = now;
-    snap.events = events;
-    snap.next_arrival = next_arrival;
-    snap.next_fault = next_fault;
-    snap.used_nodes = used_nodes;
-    snap.down_nodes = down_nodes;
-    snap.last_event = last_event;
-    snap.queue_area = queue_area;
-    snap.waiting.reserve(waiting.size());
-    for (const WaitingJob& w : waiting)
-      snap.waiting.push_back({w.job->id, w.estimate});
-    snap.running.reserve(running.size());
-    for (const RunningJob& r : running)
-      snap.running.push_back({r.job->id, r.start, r.est_end});
-    snap.completions.reserve(completions.container().size());
-    for (const Completion& c : completions.container())
-      snap.completions.push_back({c.end, c.job_id, c.attempt});
-    snap.attempts = attempt;
-    for (std::size_t i = 0; i < result.outcomes.size(); ++i) {
-      const JobOutcome& oc = result.outcomes[i];
-      if (oc.start == 0 && oc.end == 0 && oc.requeue_count == 0 &&
-          oc.lost_node_seconds == 0 && oc.completed)
-        continue;
-      snap.outcomes.push_back({static_cast<int>(i), oc.start, oc.end,
-                               oc.requeue_count, oc.lost_node_seconds,
-                               oc.completed});
+  if (config_.resume != nullptr) apply_resume(*config_.resume);
+}
+
+Time Simulator::estimate_of(const Job& j) const {
+  if (config_.predictor)
+    return std::max<Time>(config_.predictor->predict(j), 1);
+  return config_.use_requested_runtime ? j.requested : j.runtime;
+}
+
+// Time a started job actually occupies the machine.
+Time Simulator::effective_runtime(const Job& j) const {
+  return config_.kill_at_request ? std::min(j.runtime, j.requested)
+                                 : j.runtime;
+}
+
+// Time-weighted queue length restricted to the metrics window.
+void Simulator::account_queue(Time upto) {
+  const Time lo = std::max(last_event_, trace_.window_begin);
+  const Time hi = std::min(upto, trace_.window_end);
+  if (hi > lo)
+    queue_area_ += static_cast<double>(hi - lo) *
+                   static_cast<double>(waiting_.size());
+  last_event_ = upto;
+}
+
+// Kills the running job at index `ri` (fault semantics: the work done so
+// far is lost; the predictor never observes a killed run).
+void Simulator::kill_running(std::size_t ri, Time now) {
+  const Job& j = *running_[ri].job;
+  JobOutcome& oc = result_.outcomes[static_cast<std::size_t>(j.id)];
+  used_nodes_ -= j.nodes;
+  oc.lost_node_seconds +=
+      static_cast<Time>(j.nodes) * (now - running_[ri].start);
+  result_.fault_stats.lost_node_seconds +=
+      static_cast<double>(j.nodes) *
+      static_cast<double>(now - running_[ri].start);
+  ++attempt_[static_cast<std::size_t>(j.id)];
+  ++result_.fault_stats.jobs_killed;
+  if (tel_)
+    tel_->job_killed(now, j.id, config_.requeue == RequeuePolicy::Resubmit);
+  if (config_.requeue == RequeuePolicy::Resubmit) {
+    ++oc.requeue_count;
+    ++result_.fault_stats.jobs_requeued;
+    waiting_.push_back(WaitingJob{&j, estimate_of(j)});
+    requeued_this_event_ = true;
+  } else {
+    oc.completed = false;
+    oc.end = now;
+    ++result_.fault_stats.jobs_dropped;
+  }
+  running_[ri] = running_.back();
+  running_.pop_back();
+}
+
+// Capture the full mid-run state at an event boundary. Everything the
+// loop mutates is either here or reconstructible from the inputs (the
+// fault schedule re-derives from its spec; the trace is reattached by
+// job id on restore).
+SimSnapshot Simulator::capture() const {
+  SimSnapshot snap;
+  snap.now = now_;
+  snap.events = events_;
+  snap.next_arrival = next_arrival_;
+  snap.next_fault = next_fault_;
+  snap.used_nodes = used_nodes_;
+  snap.down_nodes = down_nodes_;
+  snap.last_event = last_event_;
+  snap.queue_area = queue_area_;
+  snap.waiting.reserve(waiting_.size());
+  for (const WaitingJob& w : waiting_)
+    snap.waiting.push_back({w.job->id, w.estimate});
+  snap.running.reserve(running_.size());
+  for (const RunningJob& r : running_)
+    snap.running.push_back({r.job->id, r.start, r.est_end});
+  snap.completions.reserve(completions_.container().size());
+  for (const Completion& c : completions_.container())
+    snap.completions.push_back({c.end, c.job_id, c.attempt});
+  snap.attempts = attempt_;
+  for (std::size_t i = 0; i < result_.outcomes.size(); ++i) {
+    const JobOutcome& oc = result_.outcomes[i];
+    if (oc.start == 0 && oc.end == 0 && oc.requeue_count == 0 &&
+        oc.lost_node_seconds == 0 && oc.completed)
+      continue;
+    snap.outcomes.push_back({static_cast<int>(i), oc.start, oc.end,
+                             oc.requeue_count, oc.lost_node_seconds,
+                             oc.completed});
+  }
+  snap.decision_stats = {result_.decision_stats.decisions,
+                         result_.decision_stats.with_10_plus,
+                         result_.decision_stats.max_waiting,
+                         result_.decision_stats.mean_waiting};
+  snap.fault_stats = {result_.fault_stats.node_failures,
+                      result_.fault_stats.node_recoveries,
+                      result_.fault_stats.jobs_killed,
+                      result_.fault_stats.jobs_requeued,
+                      result_.fault_stats.jobs_dropped,
+                      result_.fault_stats.jobs_unstarted,
+                      result_.fault_stats.lost_node_seconds,
+                      result_.fault_stats.min_capacity};
+  snap.scheduler_state = scheduler_.save_state();
+  return snap;
+}
+
+void Simulator::apply_resume(const SimSnapshot& snap) {
+  const auto& jobs = trace_.jobs;
+  SBS_CHECK_MSG(snap.attempts.size() == jobs.size(),
+                "snapshot is for a different trace (job count mismatch)");
+  next_arrival_ = snap.next_arrival;
+  SBS_CHECK_MSG(next_arrival_ <= jobs.size(),
+                "snapshot arrival cursor out of range");
+  SBS_CHECK_MSG(snap.next_fault <= faults_.size(),
+                "snapshot fault cursor out of range");
+  next_fault_ = snap.next_fault;
+  used_nodes_ = snap.used_nodes;
+  down_nodes_ = snap.down_nodes;
+  events_ = snap.events;
+  queue_area_ = snap.queue_area;
+  last_event_ = snap.last_event;
+  now_ = snap.now;
+  attempt_ = snap.attempts;
+  waiting_.clear();
+  for (const auto& w : snap.waiting) {
+    SBS_CHECK_MSG(w.job_id >= 0 &&
+                      static_cast<std::size_t>(w.job_id) < jobs.size(),
+                  "snapshot waiting job " << w.job_id << " out of range");
+    waiting_.push_back(
+        WaitingJob{&jobs[static_cast<std::size_t>(w.job_id)], w.estimate});
+  }
+  running_.clear();
+  for (const auto& r : snap.running) {
+    SBS_CHECK_MSG(r.job_id >= 0 &&
+                      static_cast<std::size_t>(r.job_id) < jobs.size(),
+                  "snapshot running job " << r.job_id << " out of range");
+    running_.push_back(RunningJob{&jobs[static_cast<std::size_t>(r.job_id)],
+                                  r.start, r.est_end});
+  }
+  std::vector<Completion> pending;
+  pending.reserve(snap.completions.size());
+  for (const auto& c : snap.completions)
+    pending.push_back(Completion{c.end, c.job_id, c.attempt});
+  completions_.restore(std::move(pending));
+  for (const auto& oc : snap.outcomes) {
+    SBS_CHECK_MSG(oc.job_id >= 0 &&
+                      static_cast<std::size_t>(oc.job_id) < jobs.size(),
+                  "snapshot outcome job " << oc.job_id << " out of range");
+    JobOutcome& dst = result_.outcomes[static_cast<std::size_t>(oc.job_id)];
+    dst.start = oc.start;
+    dst.end = oc.end;
+    dst.requeue_count = oc.requeue_count;
+    dst.lost_node_seconds = oc.lost_node_seconds;
+    dst.completed = oc.completed;
+  }
+  result_.decision_stats.decisions = snap.decision_stats.decisions;
+  result_.decision_stats.with_10_plus = snap.decision_stats.with_10_plus;
+  result_.decision_stats.max_waiting =
+      static_cast<std::size_t>(snap.decision_stats.max_waiting);
+  result_.decision_stats.mean_waiting = snap.decision_stats.mean_waiting_sum;
+  result_.fault_stats.node_failures = snap.fault_stats.node_failures;
+  result_.fault_stats.node_recoveries = snap.fault_stats.node_recoveries;
+  result_.fault_stats.jobs_killed = snap.fault_stats.jobs_killed;
+  result_.fault_stats.jobs_requeued = snap.fault_stats.jobs_requeued;
+  result_.fault_stats.jobs_dropped = snap.fault_stats.jobs_dropped;
+  result_.fault_stats.jobs_unstarted = snap.fault_stats.jobs_unstarted;
+  result_.fault_stats.lost_node_seconds = snap.fault_stats.lost_node_seconds;
+  result_.fault_stats.min_capacity = snap.fault_stats.min_capacity;
+  if (!snap.scheduler_state.empty())
+    scheduler_.restore_state(snap.scheduler_state);
+}
+
+void Simulator::enable_external_arrivals() {
+  SBS_CHECK_MSG(events_ == 0 || config_.resume != nullptr,
+                "external-arrival mode must be enabled before stepping");
+  external_ = true;
+  arrivals_open_ = true;
+}
+
+void Simulator::close_arrivals() {
+  SBS_CHECK_MSG(external_, "close_arrivals() requires external-arrival mode");
+  arrivals_open_ = false;
+}
+
+// Legal even after close_arrivals(): a migration can re-admit a job once
+// the global arrival stream is exhausted. The non-empty pending queue
+// keeps arrivals_possible() true until the injection is absorbed, so the
+// termination condition stays sound either way.
+void Simulator::inject_arrival(int job_id, Time at, bool record_submit) {
+  SBS_CHECK_MSG(external_, "inject_arrival() requires external-arrival mode");
+  SBS_CHECK_MSG(job_id >= 0 &&
+                    static_cast<std::size_t>(job_id) < trace_.jobs.size(),
+                "injected job " << job_id << " out of range");
+  SBS_CHECK_MSG(pending_.empty() || pending_.back().at <= at,
+                "injected arrivals must be time-ordered");
+  pending_.push_back(PendingArrival{job_id, at, record_submit});
+}
+
+bool Simulator::extract_waiting(int job_id) {
+  auto it = std::find_if(waiting_.begin(), waiting_.end(),
+                         [job_id](const WaitingJob& w) {
+                           return w.job->id == job_id;
+                         });
+  if (it == waiting_.end()) return false;
+  waiting_.erase(it);
+  return true;
+}
+
+bool Simulator::arrivals_possible() const {
+  if (external_) return !pending_.empty() || arrivals_open_;
+  return next_arrival_ < trace_.jobs.size();
+}
+
+// Fault events only matter while work remains or can still arrive (the
+// capacity they set must be current when the next job shows up, and
+// NodeUp events must be processed so parked jobs eventually start).
+bool Simulator::faults_matter() const {
+  return next_fault_ < faults_.size() &&
+         (arrivals_possible() || !waiting_.empty() || !running_.empty());
+}
+
+bool Simulator::drained() const {
+  return !arrivals_possible() && completions_.empty() && !faults_matter();
+}
+
+// Next event time: earliest of next arrival, next completion (possibly
+// stale — then the event is a no-op) and next fault. In external mode an
+// open arrival stream with nothing injected contributes no time: the
+// driver bounds stepping by the arrivals it has yet to inject.
+Time Simulator::next_event_time() const {
+  Time t = kNoEvent;
+  if (external_) {
+    if (!pending_.empty()) t = pending_.front().at;
+  } else if (next_arrival_ < trace_.jobs.size()) {
+    t = trace_.jobs[next_arrival_].submit;
+  }
+  if (!completions_.empty()) t = std::min(t, completions_.top().end);
+  if (faults_matter()) t = std::min(t, faults_[next_fault_].time);
+  return t;
+}
+
+bool Simulator::step_event() {
+  if (drained()) return false;
+
+  // Graceful stop: drain nothing further, persist what telemetry has,
+  // and leave via the error path so the caller can point the user at
+  // the most recent checkpoint.
+  if (config_.interrupt != nullptr &&
+      config_.interrupt->load(std::memory_order_relaxed)) {
+    if (tel_) tel_->flush();
+    throw Error("simulation interrupted after " + std::to_string(events_) +
+                " events");
+  }
+
+  const Time now = next_event_time();
+  if (now == kNoEvent) return false;  // external mode, nothing injected yet
+
+  SBS_CHECK_MSG(++events_ <= config_.max_events, "simulation event cap hit");
+
+  if (tel_) tel_->set_cluster(config_.cluster_id);
+
+  now_ = now;
+  account_queue(now);
+  requeued_this_event_ = false;
+
+  // Retire every job completing at `now` (skipping completions of killed
+  // attempts).
+  while (!completions_.empty() && completions_.top().end == now) {
+    const int id = completions_.top().job_id;
+    const int c_attempt = completions_.top().attempt;
+    completions_.pop();
+    if (c_attempt != attempt_[static_cast<std::size_t>(id)]) continue;
+    auto it = std::find_if(running_.begin(), running_.end(),
+                           [id](const RunningJob& r) { return r.job->id == id; });
+    SBS_CHECK_MSG(it != running_.end(), "completion for unknown job " << id);
+    if (config_.predictor)
+      config_.predictor->observe(*it->job, effective_runtime(*it->job));
+    if (tel_) tel_->job_finished(now, id);
+    used_nodes_ -= it->job->nodes;
+    *it = running_.back();
+    running_.pop_back();
+  }
+
+  // Apply every fault event at `now`.
+  while (next_fault_ < faults_.size() && faults_[next_fault_].time == now) {
+    const FaultEvent& f = faults_[next_fault_++];
+    if (f.kind == FaultKind::NodeDown) {
+      down_nodes_ = std::min(trace_.capacity, down_nodes_ + f.nodes);
+      ++result_.fault_stats.node_failures;
+      if (tel_)
+        tel_->node_fault(now, true, f.nodes, trace_.capacity - down_nodes_);
+      // Shrink below the running set: kill the most recently started
+      // jobs (least work lost) until the survivors fit.
+      while (used_nodes_ > trace_.capacity - down_nodes_ &&
+             !running_.empty()) {
+        std::size_t victim = 0;
+        for (std::size_t i = 1; i < running_.size(); ++i) {
+          if (running_[i].start > running_[victim].start ||
+              (running_[i].start == running_[victim].start &&
+               running_[i].job->id > running_[victim].job->id))
+            victim = i;
+        }
+        kill_running(victim, now);
+      }
+    } else if (f.kind == FaultKind::NodeUp) {
+      down_nodes_ = std::max(0, down_nodes_ - f.nodes);
+      ++result_.fault_stats.node_recoveries;
+      if (tel_)
+        tel_->node_fault(now, false, f.nodes, trace_.capacity - down_nodes_);
+    } else {  // JobKill
+      if (running_.empty()) continue;
+      std::size_t victim = running_.size();
+      if (f.job_id >= 0) {
+        for (std::size_t i = 0; i < running_.size(); ++i)
+          if (running_[i].job->id == f.job_id) victim = i;
+      } else {
+        victim = static_cast<std::size_t>(f.draw % running_.size());
+      }
+      if (victim < running_.size()) kill_running(victim, now);
     }
-    snap.decision_stats = {result.decision_stats.decisions,
-                           result.decision_stats.with_10_plus,
-                           result.decision_stats.max_waiting,
-                           result.decision_stats.mean_waiting};
-    snap.fault_stats = {result.fault_stats.node_failures,
-                        result.fault_stats.node_recoveries,
-                        result.fault_stats.jobs_killed,
-                        result.fault_stats.jobs_requeued,
-                        result.fault_stats.jobs_dropped,
-                        result.fault_stats.jobs_unstarted,
-                        result.fault_stats.lost_node_seconds,
-                        result.fault_stats.min_capacity};
-    snap.scheduler_state = scheduler.save_state();
-    config.checkpoint_sink(snap);
+    result_.fault_stats.min_capacity =
+        std::min(result_.fault_stats.min_capacity,
+                 trace_.capacity - down_nodes_);
+  }
+  const int capacity = trace_.capacity - down_nodes_;
+
+  // Admit every job arriving at `now`.
+  if (external_) {
+    while (!pending_.empty() && pending_.front().at == now) {
+      const PendingArrival p = pending_.front();
+      pending_.pop_front();
+      const Job& j = trace_.jobs[static_cast<std::size_t>(p.job_id)];
+      // A migrated-in job carries its original submit time, which may be
+      // earlier than the queue tail's: restore FCFS order below, exactly
+      // like a fault requeue.
+      if (!waiting_.empty() &&
+          fcfs_before(WaitingJob{&j, 0}, waiting_.back()))
+        requeued_this_event_ = true;
+      waiting_.push_back(WaitingJob{&j, estimate_of(j)});
+      if (tel_ && p.record_submit)
+        tel_->job_submitted(now, j.id, j.nodes, j.runtime, j.requested,
+                            j.user);
+    }
+  } else {
+    while (next_arrival_ < trace_.jobs.size() &&
+           trace_.jobs[next_arrival_].submit == now) {
+      const Job& j = trace_.jobs[next_arrival_++];
+      waiting_.push_back(WaitingJob{&j, estimate_of(j)});
+      if (tel_)
+        tel_->job_submitted(now, j.id, j.nodes, j.runtime, j.requested,
+                            j.user);
+    }
+  }
+
+  // Requeued jobs keep their original submit time, so restoring FCFS
+  // order re-inserts them at their historical queue position.
+  if (requeued_this_event_)
+    std::sort(waiting_.begin(), waiting_.end(), fcfs_before);
+
+  // Event boundary: every mutation for this event is done (or no
+  // decision is needed). A snapshot taken here resumes bit-identically.
+  const auto maybe_checkpoint = [&] {
+    if (config_.checkpoint_every > 0 &&
+        events_ % config_.checkpoint_every == 0)
+      config_.checkpoint_sink(capture());
   };
 
-  if (config.resume != nullptr) {
-    const sim::SimSnapshot& snap = *config.resume;
-    SBS_CHECK_MSG(snap.attempts.size() == jobs.size(),
-                  "snapshot is for a different trace (job count mismatch)");
-    next_arrival = snap.next_arrival;
-    SBS_CHECK_MSG(next_arrival <= jobs.size(),
-                  "snapshot arrival cursor out of range");
-    SBS_CHECK_MSG(snap.next_fault <= faults.size(),
-                  "snapshot fault cursor out of range");
-    next_fault = snap.next_fault;
-    used_nodes = snap.used_nodes;
-    down_nodes = snap.down_nodes;
-    events = snap.events;
-    queue_area = snap.queue_area;
-    last_event = snap.last_event;
-    attempt = snap.attempts;
-    waiting.clear();
-    for (const auto& w : snap.waiting) {
-      SBS_CHECK_MSG(w.job_id >= 0 &&
-                        static_cast<std::size_t>(w.job_id) < jobs.size(),
-                    "snapshot waiting job " << w.job_id << " out of range");
-      waiting.push_back(
-          WaitingJob{&jobs[static_cast<std::size_t>(w.job_id)], w.estimate});
-    }
-    running.clear();
-    for (const auto& r : snap.running) {
-      SBS_CHECK_MSG(r.job_id >= 0 &&
-                        static_cast<std::size_t>(r.job_id) < jobs.size(),
-                    "snapshot running job " << r.job_id << " out of range");
-      running.push_back(RunningJob{&jobs[static_cast<std::size_t>(r.job_id)],
-                                   r.start, r.est_end});
-    }
-    std::vector<Completion> pending;
-    pending.reserve(snap.completions.size());
-    for (const auto& c : snap.completions)
-      pending.push_back(Completion{c.end, c.job_id, c.attempt});
-    completions.restore(std::move(pending));
-    for (const auto& oc : snap.outcomes) {
-      SBS_CHECK_MSG(oc.job_id >= 0 &&
-                        static_cast<std::size_t>(oc.job_id) < jobs.size(),
-                    "snapshot outcome job " << oc.job_id << " out of range");
-      JobOutcome& dst = result.outcomes[static_cast<std::size_t>(oc.job_id)];
-      dst.start = oc.start;
-      dst.end = oc.end;
-      dst.requeue_count = oc.requeue_count;
-      dst.lost_node_seconds = oc.lost_node_seconds;
-      dst.completed = oc.completed;
-    }
-    result.decision_stats.decisions = snap.decision_stats.decisions;
-    result.decision_stats.with_10_plus = snap.decision_stats.with_10_plus;
-    result.decision_stats.max_waiting =
-        static_cast<std::size_t>(snap.decision_stats.max_waiting);
-    result.decision_stats.mean_waiting = snap.decision_stats.mean_waiting_sum;
-    result.fault_stats.node_failures = snap.fault_stats.node_failures;
-    result.fault_stats.node_recoveries = snap.fault_stats.node_recoveries;
-    result.fault_stats.jobs_killed = snap.fault_stats.jobs_killed;
-    result.fault_stats.jobs_requeued = snap.fault_stats.jobs_requeued;
-    result.fault_stats.jobs_dropped = snap.fault_stats.jobs_dropped;
-    result.fault_stats.jobs_unstarted = snap.fault_stats.jobs_unstarted;
-    result.fault_stats.lost_node_seconds = snap.fault_stats.lost_node_seconds;
-    result.fault_stats.min_capacity = snap.fault_stats.min_capacity;
-    if (!snap.scheduler_state.empty())
-      scheduler.restore_state(snap.scheduler_state);
-  }
-
-  while (true) {
-    const bool arrivals_left = next_arrival < jobs.size();
-    // Fault events only matter while work remains or can still arrive (the
-    // capacity they set must be current when the next job shows up, and
-    // NodeUp events must be processed so parked jobs eventually start).
-    const bool faults_matter =
-        next_fault < faults.size() &&
-        (arrivals_left || !waiting.empty() || !running.empty());
-    if (!arrivals_left && completions.empty() && !faults_matter) break;
-
-    // Graceful stop: drain nothing further, persist what telemetry has,
-    // and leave via the error path so the caller can point the user at
-    // the most recent checkpoint.
-    if (config.interrupt != nullptr &&
-        config.interrupt->load(std::memory_order_relaxed)) {
-      if (tel) tel->flush();
-      throw Error("simulation interrupted after " + std::to_string(events) +
-                  " events");
-    }
-
-    SBS_CHECK_MSG(++events <= config.max_events, "simulation event cap hit");
-
-    // Next event time: earliest of next arrival, next completion (possibly
-    // stale — then the event is a no-op) and next fault.
-    Time now = std::numeric_limits<Time>::max();
-    if (arrivals_left) now = jobs[next_arrival].submit;
-    if (!completions.empty()) now = std::min(now, completions.top().end);
-    if (faults_matter) now = std::min(now, faults[next_fault].time);
-
-    account_queue(now);
-    requeued_this_event = false;
-
-    // Retire every job completing at `now` (skipping completions of killed
-    // attempts).
-    while (!completions.empty() && completions.top().end == now) {
-      const int id = completions.top().job_id;
-      const int c_attempt = completions.top().attempt;
-      completions.pop();
-      if (c_attempt != attempt[static_cast<std::size_t>(id)]) continue;
-      auto it = std::find_if(running.begin(), running.end(),
-                             [id](const RunningJob& r) { return r.job->id == id; });
-      SBS_CHECK_MSG(it != running.end(), "completion for unknown job " << id);
-      if (config.predictor)
-        config.predictor->observe(*it->job, effective_runtime(*it->job));
-      if (tel) tel->job_finished(now, id);
-      used_nodes -= it->job->nodes;
-      *it = running.back();
-      running.pop_back();
-    }
-
-    // Apply every fault event at `now`.
-    while (next_fault < faults.size() && faults[next_fault].time == now) {
-      const FaultEvent& f = faults[next_fault++];
-      if (f.kind == FaultKind::NodeDown) {
-        down_nodes = std::min(trace.capacity, down_nodes + f.nodes);
-        ++result.fault_stats.node_failures;
-        if (tel)
-          tel->node_fault(now, true, f.nodes, trace.capacity - down_nodes);
-        // Shrink below the running set: kill the most recently started
-        // jobs (least work lost) until the survivors fit.
-        while (used_nodes > trace.capacity - down_nodes && !running.empty()) {
-          std::size_t victim = 0;
-          for (std::size_t i = 1; i < running.size(); ++i) {
-            if (running[i].start > running[victim].start ||
-                (running[i].start == running[victim].start &&
-                 running[i].job->id > running[victim].job->id))
-              victim = i;
-          }
-          kill_running(victim, now);
-        }
-      } else if (f.kind == FaultKind::NodeUp) {
-        down_nodes = std::max(0, down_nodes - f.nodes);
-        ++result.fault_stats.node_recoveries;
-        if (tel)
-          tel->node_fault(now, false, f.nodes, trace.capacity - down_nodes);
-      } else {  // JobKill
-        if (running.empty()) continue;
-        std::size_t victim = running.size();
-        if (f.job_id >= 0) {
-          for (std::size_t i = 0; i < running.size(); ++i)
-            if (running[i].job->id == f.job_id) victim = i;
-        } else {
-          victim = static_cast<std::size_t>(f.draw % running.size());
-        }
-        if (victim < running.size()) kill_running(victim, now);
-      }
-      result.fault_stats.min_capacity =
-          std::min(result.fault_stats.min_capacity,
-                   trace.capacity - down_nodes);
-    }
-    const int capacity = trace.capacity - down_nodes;
-
-    // Admit every job arriving at `now`.
-    while (next_arrival < jobs.size() && jobs[next_arrival].submit == now) {
-      const Job& j = jobs[next_arrival++];
-      waiting.push_back(WaitingJob{&j, estimate_of(j)});
-      if (tel)
-        tel->job_submitted(now, j.id, j.nodes, j.runtime, j.requested, j.user);
-    }
-
-    // Requeued jobs keep their original submit time, so restoring FCFS
-    // order re-inserts them at their historical queue position.
-    if (requeued_this_event)
-      std::sort(waiting.begin(), waiting.end(),
-                [](const WaitingJob& a, const WaitingJob& b) {
-                  if (a.job->submit != b.job->submit)
-                    return a.job->submit < b.job->submit;
-                  return a.job->id < b.job->id;
-                });
-
-    // Event boundary: every mutation for this event is done (or no
-    // decision is needed). A snapshot taken here resumes bit-identically.
-    const auto maybe_checkpoint = [&] {
-      if (config.checkpoint_every > 0 &&
-          events % config.checkpoint_every == 0)
-        capture_snapshot(now);
-    };
-
-    if (waiting.empty() || capacity <= 0) {
-      maybe_checkpoint();
-      continue;
-    }
-
-    ++result.decision_stats.decisions;
-    if (waiting.size() >= 10) ++result.decision_stats.with_10_plus;
-    result.decision_stats.max_waiting =
-        std::max(result.decision_stats.max_waiting, waiting.size());
-    result.decision_stats.mean_waiting += static_cast<double>(waiting.size());
-
-    SchedulerState state;
-    state.now = now;
-    state.capacity = capacity;
-    state.free_nodes = capacity - used_nodes;
-    state.waiting = waiting;
-    state.running = running;
-
-    // Queue shape must be captured before select_jobs: dispatching below
-    // swap-erases `waiting`.
-    double max_wait_h = 0.0;
-    SchedulerStats before;
-    if (tel) {
-      for (const WaitingJob& w : waiting)
-        max_wait_h = std::max(max_wait_h, to_hours(now - w.job->submit));
-      before = scheduler.stats();
-    }
-
-    const std::vector<int> chosen = scheduler.select_jobs(state);
-
-    if (tel) {
-      // Per-decision deltas of the cumulative SchedulerStats: summing the
-      // decision records of a run reproduces the aggregates exactly.
-      const SchedulerStats after = scheduler.stats();
-      obs::DecisionRecord d;
-      d.now = now;
-      d.policy = policy_name;
-      d.queue_depth = static_cast<int>(state.waiting.size());
-      d.free_nodes = state.free_nodes;
-      d.capacity = capacity;
-      d.max_wait_h = max_wait_h;
-      d.nodes_visited = after.nodes_visited - before.nodes_visited;
-      d.paths_explored = after.paths_explored - before.paths_explored;
-      d.deadline_hit = after.deadline_hits > before.deadline_hits;
-      d.think_us = after.think_time_us - before.think_time_us;
-      d.cache_hits = after.cache_hits - before.cache_hits;
-      d.cache_misses = after.cache_misses - before.cache_misses;
-      d.cache_invalidations =
-          after.cache_invalidations - before.cache_invalidations;
-      d.warm_start_used = after.warm_starts > before.warm_starts;
-      d.pruned_twins = after.pruned_twins - before.pruned_twins;
-      d.pruned_bound = after.pruned_bound - before.pruned_bound;
-      if (const DecisionDetail* detail = scheduler.last_decision()) {
-        d.iterations = detail->iterations;
-        d.discrepancies = detail->discrepancies;
-        d.improvements = detail->improvements;
-        d.threads_used = detail->threads_used;
-        d.worker_nodes = detail->worker_nodes;
-        d.governor_level = detail->governor_level;
-        d.governor_probe = detail->governor_probe;
-        d.governor_transitions = detail->governor_transitions;
-      }
-      d.started = chosen;
-      tel->decision(d);
-    }
-
-    int chosen_nodes = 0;
-    for (int id : chosen) {
-      auto it = std::find_if(waiting.begin(), waiting.end(),
-                             [id](const WaitingJob& w) { return w.job->id == id; });
-      SBS_CHECK_MSG(it != waiting.end(),
-                    scheduler.name() << " selected non-waiting job " << id);
-      const Job& j = *it->job;
-      chosen_nodes += j.nodes;
-      SBS_CHECK_MSG(chosen_nodes <= state.free_nodes,
-                    scheduler.name() << " over-committed the machine at t="
-                                     << now);
-      running.push_back(RunningJob{&j, now, now + it->estimate});
-      used_nodes += j.nodes;
-      if (tel) tel->job_started(now, j.id, j.nodes);
-      const Time occupied = effective_runtime(j);
-      completions.push(Completion{now + occupied, j.id,
-                                  attempt[static_cast<std::size_t>(j.id)]});
-      result.outcomes[static_cast<std::size_t>(j.id)].start = now;
-      result.outcomes[static_cast<std::size_t>(j.id)].end = now + occupied;
-      *it = waiting.back();
-      waiting.pop_back();
-    }
-
-    // Progress guarantee: an idle machine with a startable job must start
-    // something, otherwise the simulation would deadlock. Jobs wider than
-    // the (possibly degraded) capacity are parked, not startable.
-    const bool startable =
-        std::any_of(waiting.begin(), waiting.end(),
-                    [&](const WaitingJob& w) {
-                      return w.job->nodes <= capacity;
-                    });
-    SBS_CHECK_MSG(!(running.empty() && startable),
-                  scheduler.name() << " stalled with an idle machine at t="
-                                   << now);
-
-    // Keep FCFS order of the waiting list (selection uses swap-erase).
-    std::sort(waiting.begin(), waiting.end(),
-              [](const WaitingJob& a, const WaitingJob& b) {
-                if (a.job->submit != b.job->submit)
-                  return a.job->submit < b.job->submit;
-                return a.job->id < b.job->id;
-              });
-
+  if (waiting_.empty() || capacity <= 0) {
     maybe_checkpoint();
+    return true;
   }
+
+  ++result_.decision_stats.decisions;
+  if (waiting_.size() >= 10) ++result_.decision_stats.with_10_plus;
+  result_.decision_stats.max_waiting =
+      std::max(result_.decision_stats.max_waiting, waiting_.size());
+  result_.decision_stats.mean_waiting +=
+      static_cast<double>(waiting_.size());
+
+  SchedulerState state;
+  state.now = now;
+  state.capacity = capacity;
+  state.free_nodes = capacity - used_nodes_;
+  state.waiting = waiting_;
+  state.running = running_;
+
+  // Queue shape must be captured before select_jobs: dispatching below
+  // swap-erases `waiting`.
+  double max_wait_h = 0.0;
+  SchedulerStats before;
+  if (tel_) {
+    for (const WaitingJob& w : waiting_)
+      max_wait_h = std::max(max_wait_h, to_hours(now - w.job->submit));
+    before = scheduler_.stats();
+  }
+
+  const std::vector<int> chosen = scheduler_.select_jobs(state);
+
+  if (tel_) {
+    // Per-decision deltas of the cumulative SchedulerStats: summing the
+    // decision records of a run reproduces the aggregates exactly.
+    const SchedulerStats after = scheduler_.stats();
+    obs::DecisionRecord d;
+    d.now = now;
+    d.policy = policy_name_;
+    d.queue_depth = static_cast<int>(state.waiting.size());
+    d.free_nodes = state.free_nodes;
+    d.capacity = capacity;
+    d.max_wait_h = max_wait_h;
+    d.nodes_visited = after.nodes_visited - before.nodes_visited;
+    d.paths_explored = after.paths_explored - before.paths_explored;
+    d.deadline_hit = after.deadline_hits > before.deadline_hits;
+    d.think_us = after.think_time_us - before.think_time_us;
+    d.cache_hits = after.cache_hits - before.cache_hits;
+    d.cache_misses = after.cache_misses - before.cache_misses;
+    d.cache_invalidations =
+        after.cache_invalidations - before.cache_invalidations;
+    d.warm_start_used = after.warm_starts > before.warm_starts;
+    d.pruned_twins = after.pruned_twins - before.pruned_twins;
+    d.pruned_bound = after.pruned_bound - before.pruned_bound;
+    if (const DecisionDetail* detail = scheduler_.last_decision()) {
+      d.iterations = detail->iterations;
+      d.discrepancies = detail->discrepancies;
+      d.improvements = detail->improvements;
+      d.threads_used = detail->threads_used;
+      d.worker_nodes = detail->worker_nodes;
+      d.governor_level = detail->governor_level;
+      d.governor_probe = detail->governor_probe;
+      d.governor_transitions = detail->governor_transitions;
+    }
+    d.started = chosen;
+    tel_->decision(d);
+  }
+
+  int chosen_nodes = 0;
+  for (int id : chosen) {
+    auto it = std::find_if(waiting_.begin(), waiting_.end(),
+                           [id](const WaitingJob& w) { return w.job->id == id; });
+    SBS_CHECK_MSG(it != waiting_.end(),
+                  scheduler_.name() << " selected non-waiting job " << id);
+    const Job& j = *it->job;
+    chosen_nodes += j.nodes;
+    SBS_CHECK_MSG(chosen_nodes <= state.free_nodes,
+                  scheduler_.name() << " over-committed the machine at t="
+                                    << now);
+    running_.push_back(RunningJob{&j, now, now + it->estimate});
+    used_nodes_ += j.nodes;
+    if (tel_) tel_->job_started(now, j.id, j.nodes);
+    const Time occupied = effective_runtime(j);
+    completions_.push(Completion{now + occupied, j.id,
+                                 attempt_[static_cast<std::size_t>(j.id)]});
+    result_.outcomes[static_cast<std::size_t>(j.id)].start = now;
+    result_.outcomes[static_cast<std::size_t>(j.id)].end = now + occupied;
+    *it = waiting_.back();
+    waiting_.pop_back();
+  }
+
+  // Progress guarantee: an idle machine with a startable job must start
+  // something, otherwise the simulation would deadlock. Jobs wider than
+  // the (possibly degraded) capacity are parked, not startable.
+  const bool startable =
+      std::any_of(waiting_.begin(), waiting_.end(),
+                  [&](const WaitingJob& w) {
+                    return w.job->nodes <= capacity;
+                  });
+  SBS_CHECK_MSG(!(running_.empty() && startable),
+                scheduler_.name() << " stalled with an idle machine at t="
+                                  << now);
+
+  // Keep FCFS order of the waiting list (selection uses swap-erase).
+  std::sort(waiting_.begin(), waiting_.end(), fcfs_before);
+
+  maybe_checkpoint();
+  return true;
+}
+
+void Simulator::step(Time until) {
+  while (true) {
+    const Time t = next_event_time();
+    if (t == kNoEvent || t > until) return;
+    if (!step_event()) return;
+  }
+}
+
+void Simulator::run() {
+  while (step_event()) {
+  }
+}
+
+SimResult Simulator::finish() {
+  SBS_CHECK_MSG(!finished_, "Simulator::finish() called twice");
+  finished_ = true;
+  if (tel_) tel_->set_cluster(config_.cluster_id);
 
   // Jobs still queued when every event source drained (capacity never
   // recovered enough): recorded as never started.
-  for (const WaitingJob& w : waiting) {
-    JobOutcome& oc = result.outcomes[static_cast<std::size_t>(w.job->id)];
+  for (const WaitingJob& w : waiting_) {
+    JobOutcome& oc = result_.outcomes[static_cast<std::size_t>(w.job->id)];
     oc.completed = false;
     oc.start = oc.end = w.job->submit;
-    ++result.fault_stats.jobs_unstarted;
-    if (tel) tel->job_unstarted(last_event, w.job->id);
+    ++result_.fault_stats.jobs_unstarted;
+    if (tel_) tel_->job_unstarted(last_event_, w.job->id);
   }
 
   const double window =
-      static_cast<double>(trace.window_end - trace.window_begin);
-  result.avg_queue_length = window > 0.0 ? queue_area / window : 0.0;
-  result.sched_stats = scheduler.stats();
-  if (result.decision_stats.decisions > 0)
-    result.decision_stats.mean_waiting /=
-        static_cast<double>(result.decision_stats.decisions);
-  if (tel) tel->flush();
-  return result;
+      static_cast<double>(trace_.window_end - trace_.window_begin);
+  result_.avg_queue_length = window > 0.0 ? queue_area_ / window : 0.0;
+  result_.sched_stats = scheduler_.stats();
+  if (result_.decision_stats.decisions > 0)
+    result_.decision_stats.mean_waiting /=
+        static_cast<double>(result_.decision_stats.decisions);
+  if (tel_) tel_->flush();
+  return std::move(result_);
+}
+
+}  // namespace sim
+
+SimResult simulate(const Trace& trace, Scheduler& scheduler,
+                   const SimConfig& config) {
+  sim::Simulator sim(trace, scheduler, config);
+  sim.run();
+  return sim.finish();
 }
 
 }  // namespace sbs

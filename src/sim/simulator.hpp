@@ -1,11 +1,14 @@
 #pragma once
 
 #include <atomic>
+#include <deque>
 #include <functional>
+#include <limits>
 #include <vector>
 
 #include "jobs/trace.hpp"
 #include "predict/predictor.hpp"
+#include "sim/completion_queue.hpp"
 #include "sim/faults.hpp"
 #include "sim/outcome.hpp"
 #include "sim/scheduler.hpp"
@@ -76,6 +79,25 @@ struct SimConfig {
   /// event; when it becomes true the simulator flushes telemetry and
   /// throws sbs::Error so the caller can point at the latest checkpoint.
   const std::atomic<bool>* interrupt = nullptr;
+
+  /// Member-cluster identity inside a federation: tags every telemetry
+  /// record this simulator emits with a "cluster" field. The default (-1)
+  /// omits the field, keeping single-cluster streams byte-compatible with
+  /// the pre-federation schema.
+  int cluster_id = -1;
+
+  /// Whether to emit the stream-level "run" record when telemetry is
+  /// attached. A federation emits exactly one run record itself and turns
+  /// this off for its members, so a multi-cluster run still reads as one
+  /// run in `sbsched report`.
+  bool emit_run_record = true;
+
+  /// Trace::validate() on construction. A federation member holds a copy
+  /// of the global trace with the member's (smaller) capacity, where jobs
+  /// wider than the member legitimately exist (the meta-scheduler never
+  /// routes them there); the federation validates the global trace once
+  /// and disables per-member validation.
+  bool validate_trace = true;
 };
 
 /// Queue-depth statistics at scheduling decision points (the paper §2.2
@@ -115,6 +137,159 @@ struct SimResult {
   DecisionStats decision_stats;
   FaultStats fault_stats;
 };
+
+namespace sim {
+
+/// Event-driven cluster simulator with an externally steppable event loop.
+///
+/// The classic single-machine entry point is the free function
+/// sbs::simulate() below — construct, run(), finish(). The class form
+/// exists so a federation can compose N member simulators under one shared
+/// virtual-time loop: each member exposes its next event time, is stepped
+/// to a bound (`step(until)`), and accepts externally injected arrivals
+/// (the meta-scheduler routes the global trace's jobs to members) and
+/// extractions of still-waiting jobs (cross-cluster migration).
+///
+/// Two arrival modes:
+///  - trace mode (default): arrivals come from the trace's job list via an
+///    internal cursor, exactly as simulate() always worked;
+///  - external mode (enable_external_arrivals()): the trace cursor is
+///    ignored and arrivals enter only via inject_arrival(). The loop then
+///    cannot know future arrival times, so the driver must (a) only step to
+///    bounds no later than the next arrival it will inject, and (b) call
+///    close_arrivals() once no further injections will ever happen —
+///    until then the simulator assumes more work may come and keeps fault
+///    events alive (same semantics as "arrivals left" in trace mode).
+///
+/// Determinism contract: driving a federation-of-one by injecting each
+/// trace arrival at its submit time and stepping to each event time yields
+/// the exact event sequence of the plain run — same batching, same event
+/// count, same queue accounting, bit-identical outcomes and stats. The
+/// differential tests pin this.
+class Simulator {
+ public:
+  /// "No pending event" sentinel for next_event_time().
+  static constexpr Time kNoEvent = std::numeric_limits<Time>::max();
+
+  /// References are not owned and must outlive the simulator. Applies
+  /// config.resume immediately (the machine state is restored before the
+  /// first step). Throws sbs::Error on invalid traces or snapshots.
+  Simulator(const Trace& trace, Scheduler& scheduler,
+            const SimConfig& config = {});
+
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Earliest pending event time: next arrival (trace cursor or injected),
+  /// next completion, next fault event that still matters. kNoEvent when
+  /// nothing is pending — which in external mode with open arrivals only
+  /// means "nothing pending *yet*" (drained() stays false).
+  Time next_event_time() const;
+
+  /// True when no event source can ever fire again: no arrivals left (or
+  /// possible), no completions in flight, no fault event that matters.
+  bool drained() const;
+
+  /// Processes exactly one event bundle (all simultaneous events at the
+  /// next event time, plus the one scheduling decision they trigger).
+  /// Returns false without processing anything when drained() or when the
+  /// next event time is unknown (external mode, nothing injected yet).
+  bool step_event();
+
+  /// Processes every event with time <= until (none past it).
+  void step(Time until);
+
+  /// Runs the loop to completion (trace mode only).
+  void run();
+
+  /// Finalizes the run: marks never-started jobs, computes the averages,
+  /// flushes telemetry, and returns the result. Call exactly once, after
+  /// the loop drained (or at a deliberate early stop).
+  SimResult finish();
+
+  /// Switches to external-arrival mode. Must be called before any
+  /// stepping; incompatible with a non-empty trace cursor advance.
+  void enable_external_arrivals();
+
+  /// External mode: declares that no further inject_arrival() calls will
+  /// ever happen, letting the loop terminate once in-flight work drains.
+  void close_arrivals();
+
+  /// External mode: queues trace job `job_id` to arrive at time `at`
+  /// (>= the current frontier; injection order is admission order for
+  /// equal times). `record_submit` controls the telemetry "submit" record
+  /// — true for a job's first admission into the federation, false for a
+  /// migration re-admission (the federation emits a "migrate" record
+  /// instead).
+  void inject_arrival(int job_id, Time at, bool record_submit);
+
+  /// Removes a still-waiting job from the queue (cross-cluster migration).
+  /// Returns false when the job is not currently waiting here. Queue order
+  /// of the remaining jobs is preserved.
+  bool extract_waiting(int job_id);
+
+  // Introspection for meta-scheduler probes and federation bookkeeping.
+  const Trace& trace() const { return trace_; }
+  Scheduler& scheduler() { return scheduler_; }
+  const Scheduler& scheduler() const { return scheduler_; }
+  /// Live capacity = trace capacity minus currently failed nodes.
+  int live_capacity() const { return trace_.capacity - down_nodes_; }
+  int used_nodes() const { return used_nodes_; }
+  /// Time of the last processed event bundle (the loop frontier).
+  Time frontier() const { return now_; }
+  std::uint64_t events_processed() const { return events_; }
+  const std::vector<WaitingJob>& waiting_jobs() const { return waiting_; }
+  const std::vector<RunningJob>& running_jobs() const { return running_; }
+
+  /// Captures the full mid-run state at the current event boundary (the
+  /// same capture the checkpoint_every cadence feeds to checkpoint_sink).
+  sim::SimSnapshot capture() const;
+
+ private:
+  Time estimate_of(const Job& j) const;
+  Time effective_runtime(const Job& j) const;
+  void account_queue(Time upto);
+  void kill_running(std::size_t ri, Time now);
+  void apply_resume(const sim::SimSnapshot& snap);
+  bool arrivals_possible() const;
+  bool faults_matter() const;
+
+  struct PendingArrival {
+    int job_id = 0;
+    Time at = 0;
+    bool record_submit = true;
+  };
+
+  const Trace& trace_;
+  Scheduler& scheduler_;
+  const SimConfig config_;
+  const std::vector<FaultEvent>& faults_;
+  obs::Telemetry* const tel_;
+  std::string policy_name_;
+
+  SimResult result_;
+  std::vector<WaitingJob> waiting_;
+  std::vector<RunningJob> running_;
+  CompletionQueue completions_;
+  std::vector<int> attempt_;
+
+  std::size_t next_arrival_ = 0;
+  std::size_t next_fault_ = 0;
+  int used_nodes_ = 0;
+  int down_nodes_ = 0;
+  std::size_t events_ = 0;
+  double queue_area_ = 0.0;
+  Time last_event_ = 0;
+  Time now_ = 0;
+  bool requeued_this_event_ = false;
+  bool finished_ = false;
+
+  bool external_ = false;
+  bool arrivals_open_ = false;
+  std::deque<PendingArrival> pending_;
+};
+
+}  // namespace sim
 
 /// Event-driven simulation: arrivals, completions and fault events trigger
 /// exactly one scheduling decision each (batched when simultaneous).

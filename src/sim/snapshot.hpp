@@ -96,4 +96,27 @@ struct SimSnapshot {
   std::string scheduler_state;
 };
 
+/// Full mid-run state of a federation of member clusters: one SimSnapshot
+/// per member (in cluster-id order) plus the federation's own loop state.
+/// Captured at a federation event boundary — after every member was
+/// stepped to the boundary time and migrations for it were applied — so a
+/// resumed federation re-enters its loop exactly where an uninterrupted
+/// one would be. Serialization lives in resilience/checkpoint, same as for
+/// SimSnapshot.
+struct FederationSnapshot {
+  static constexpr int kVersion = 1;
+
+  std::uint64_t fed_events = 0;   ///< federation event times processed
+  std::size_t next_arrival = 0;   ///< routing cursor into the global trace
+  std::uint64_t migrations = 0;   ///< cross-cluster migrations so far
+  std::vector<int> owner;         ///< per-job hosting cluster id
+  std::vector<double> demand_ewma;  ///< per-member queue-demand EWMA
+  std::vector<std::uint64_t> routed;          ///< jobs routed per member
+  std::vector<std::uint64_t> migrations_in;   ///< per member
+  std::vector<std::uint64_t> migrations_out;  ///< per member
+  /// Opaque MetaScheduler::save_state() (round-robin cursor, ...).
+  std::string meta_state;
+  std::vector<SimSnapshot> members;  ///< one per member, cluster-id order
+};
+
 }  // namespace sbs::sim

@@ -16,6 +16,8 @@
 #include <gtest/gtest.h>
 
 #include "exp/policy_factory.hpp"
+#include "fed/federation.hpp"
+#include "fed/meta_scheduler.hpp"
 #include "obs/report.hpp"
 #include "obs/telemetry.hpp"
 #include "obs/trace_sink.hpp"
@@ -437,6 +439,140 @@ TEST(GovernedScheduler, RestoreRejectsADifferentConfiguration) {
   other.trip_decisions = 99;  // a different breaker is a different policy
   GovernedScheduler mismatched(base_cfg, other);
   EXPECT_THROW(mismatched.restore_state(state), Error);
+}
+
+// ---------------------------------------------------------------------------
+// Federation checkpoint: on-disk format + mid-run resume bit-identity
+
+TEST(FederationCheckpoint, RoundTripsAndRejectsTheSingleSimFormat) {
+  const std::string path = temp_path("sbs_fed_ckpt.json");
+  resilience::FederationCheckpointData data;
+  data.id = "ck-12";
+  data.parent = "ck-6";
+  data.cli = {{"clusters", "8,4"}, {"meta", "rr"}};
+  sim::FederationSnapshot& f = data.snapshot;
+  f.fed_events = 12;
+  f.next_arrival = 5;
+  f.migrations = 2;
+  f.owner = {0, 1, -1, 0};
+  f.demand_ewma = {123.5, 0.25};
+  f.routed = {3, 2};
+  f.migrations_in = {0, 2};
+  f.migrations_out = {2, 0};
+  f.meta_state = R"({"cursor":1})";
+  f.members = {sample_checkpoint().snapshot, sim::SimSnapshot{}};
+
+  resilience::write_federation_checkpoint(path, data);
+  const resilience::FederationCheckpointData back =
+      resilience::read_federation_checkpoint(path);
+  EXPECT_EQ(back.version, sim::FederationSnapshot::kVersion);
+  EXPECT_EQ(back.id, data.id);
+  EXPECT_EQ(back.parent, data.parent);
+  EXPECT_EQ(back.cli, data.cli);
+  EXPECT_EQ(back.snapshot.fed_events, f.fed_events);
+  EXPECT_EQ(back.snapshot.next_arrival, f.next_arrival);
+  EXPECT_EQ(back.snapshot.migrations, f.migrations);
+  EXPECT_EQ(back.snapshot.owner, f.owner);
+  EXPECT_EQ(back.snapshot.demand_ewma, f.demand_ewma);
+  EXPECT_EQ(back.snapshot.routed, f.routed);
+  EXPECT_EQ(back.snapshot.migrations_in, f.migrations_in);
+  EXPECT_EQ(back.snapshot.migrations_out, f.migrations_out);
+  EXPECT_EQ(back.snapshot.meta_state, f.meta_state);
+  ASSERT_EQ(back.snapshot.members.size(), 2u);
+  EXPECT_EQ(back.snapshot.members[0].now, f.members[0].now);
+  EXPECT_EQ(back.snapshot.members[0].scheduler_state,
+            f.members[0].scheduler_state);
+
+  // The two formats are mutually exclusive: a federation reader must not
+  // accept a single-simulator checkpoint, and vice versa.
+  const std::string single = temp_path("sbs_fed_ckpt_single.json");
+  resilience::write_checkpoint(single, sample_checkpoint());
+  EXPECT_THROW(resilience::read_federation_checkpoint(single), Error);
+  EXPECT_THROW(resilience::read_checkpoint(path), Error);
+  std::remove(path.c_str());
+  std::remove(single.c_str());
+}
+
+void expect_fed_identical(const fed::FederationResult& resumed,
+                          const fed::FederationResult& reference) {
+  ASSERT_EQ(resumed.outcomes.size(), reference.outcomes.size());
+  for (std::size_t i = 0; i < reference.outcomes.size(); ++i) {
+    SCOPED_TRACE("job " + std::to_string(reference.outcomes[i].job.id));
+    EXPECT_EQ(resumed.outcomes[i].start, reference.outcomes[i].start);
+    EXPECT_EQ(resumed.outcomes[i].end, reference.outcomes[i].end);
+    EXPECT_EQ(resumed.outcomes[i].requeue_count,
+              reference.outcomes[i].requeue_count);
+    EXPECT_EQ(resumed.outcomes[i].completed, reference.outcomes[i].completed);
+  }
+  EXPECT_EQ(resumed.owner, reference.owner);
+  EXPECT_EQ(resumed.migrations, reference.migrations);
+  EXPECT_DOUBLE_EQ(resumed.avg_queue_length, reference.avg_queue_length);
+  ASSERT_EQ(resumed.members.size(), reference.members.size());
+  for (std::size_t i = 0; i < reference.members.size(); ++i) {
+    EXPECT_EQ(resumed.members[i].routed, reference.members[i].routed);
+    EXPECT_EQ(resumed.members[i].migrations_in,
+              reference.members[i].migrations_in);
+    EXPECT_EQ(resumed.members[i].migrations_out,
+              reference.members[i].migrations_out);
+    EXPECT_EQ(resumed.members[i].sim.sched_stats.decisions,
+              reference.members[i].sim.sched_stats.decisions);
+  }
+}
+
+// The federation version of the resume differential, routed through the
+// on-disk format: a 2-cluster run with a mid-schedule fault (so the
+// checkpoint can land with a migration already behind it), cut at the
+// first snapshot and resumed with fresh schedulers and a fresh
+// meta-scheduler, must be bit-identical to the uninterrupted run.
+TEST(FederationCheckpoint, MidRunResumeIsBitIdentical) {
+  const Trace trace = busy_trace();  // capacity 12; members 12 + 6
+  const FaultInjector faults = FaultInjector::from_events({
+      {/*time=*/300, FaultKind::NodeDown, /*nodes=*/8},
+      {/*time=*/1400, FaultKind::NodeUp, /*nodes=*/8},
+  });
+  const auto factory =
+      make_policy_factory("DDS/lxf/dynB", /*node_limit=*/300,
+                          /*deadline_ms=*/-1.0, /*threads=*/0, /*cache=*/true,
+                          /*warm_start=*/true);
+  fed::FederationConfig base;
+  base.members = {{"a", 12, &faults}, {"b", 6, nullptr}};
+
+  auto run = [&](const fed::FederationConfig& fc, const std::string& meta) {
+    const auto m = fed::make_meta(meta);
+    fed::Federation federation(trace, factory, *m, fc);
+    return federation.run();
+  };
+  const fed::FederationResult reference = run(base, "rr");
+  EXPECT_GE(reference.migrations, 1u)
+      << "the fault must strand at least one job for this test to bite";
+
+  const std::string path = temp_path("sbs_fed_resume.json");
+  fed::FederationConfig writing = base;
+  writing.checkpoint_every = 10;
+  std::uint64_t snapshots = 0;
+  writing.checkpoint_sink = [&](const sim::FederationSnapshot& snap) {
+    ++snapshots;
+    if (snapshots > 1) return;  // keep the earliest: longest resumed tail
+    resilience::FederationCheckpointData data;
+    data.id = resilience::checkpoint_id(snap.fed_events);
+    data.cli = {{"meta", "rr"}};
+    data.snapshot = snap;
+    resilience::write_federation_checkpoint(path, data);
+  };
+  const fed::FederationResult full = run(writing, "rr");
+  expect_fed_identical(full, reference);  // checkpointing must not perturb
+  ASSERT_GE(snapshots, 1u) << "trace too small for checkpoint_every=10";
+
+  const resilience::FederationCheckpointData data =
+      resilience::read_federation_checkpoint(path);
+  ASSERT_GT(data.snapshot.fed_events, 0u);
+  ASSERT_LT(data.snapshot.next_arrival, trace.jobs.size())
+      << "checkpoint fell after the last arrival; weaken checkpoint_every";
+  fed::FederationConfig resuming = base;
+  resuming.resume = &data.snapshot;
+  const fed::FederationResult resumed = run(resuming, "rr");
+  expect_fed_identical(resumed, reference);
+  std::remove(path.c_str());
 }
 
 // ---------------------------------------------------------------------------

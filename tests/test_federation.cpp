@@ -1,0 +1,277 @@
+// Federation behavior: deterministic routing under every meta-scheduler,
+// cross-cluster migration that preserves job identity and historical FCFS
+// order, and a fuzz loop (SBS_FUZZ_ITERS scales it up in scheduled CI)
+// proving no job is ever lost or duplicated under randomized member
+// layouts, workloads, and per-member fault schedules.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "exp/policy_factory.hpp"
+#include "fed/federation.hpp"
+#include "fed/meta_scheduler.hpp"
+#include "obs/telemetry.hpp"
+#include "obs/trace_sink.hpp"
+#include "sim/faults.hpp"
+#include "test_support.hpp"
+#include "util/rng.hpp"
+#include "workload/generator.hpp"
+
+namespace sbs {
+namespace {
+
+using test::job;
+using test::trace_of;
+
+std::uint64_t fuzz_iters() {
+  if (const char* env = std::getenv("SBS_FUZZ_ITERS")) {
+    const long v = std::atol(env);
+    if (v > 0) return static_cast<std::uint64_t>(v);
+  }
+  return 8;  // tier-1 default: seconds, not minutes
+}
+
+class CaptureSink final : public obs::TraceSink {
+ public:
+  explicit CaptureSink(std::vector<std::string>& lines) : lines_(lines) {}
+  void write(std::string_view json_line) override {
+    lines_.emplace_back(json_line);
+  }
+
+ private:
+  std::vector<std::string>& lines_;
+};
+
+fed::FederationResult run_federation(const Trace& trace,
+                                     std::vector<fed::MemberSpec> members,
+                                     const std::string& policy,
+                                     const std::string& meta_spec,
+                                     obs::Telemetry* tel = nullptr,
+                                     std::size_t node_limit = 100) {
+  fed::FederationConfig fc;
+  fc.members = std::move(members);
+  fc.telemetry = tel;
+  const auto factory = make_policy_factory(policy, node_limit);
+  const auto meta = fed::make_meta(meta_spec);
+  fed::Federation federation(trace, factory, *meta, fc);
+  return federation.run();
+}
+
+// A mixed workload over three clusters: every meta policy must route it
+// identically across repeated runs (same trace, same config, fixed seed).
+TEST(Federation, RoutingIsDeterministic) {
+  GeneratorConfig cfg;
+  cfg.job_scale = 0.03;
+  cfg.seed = 42;
+  const Trace trace = generate_month("7/03", cfg);
+  const std::vector<fed::MemberSpec> members = {
+      {"a", trace.capacity, nullptr},
+      {"b", trace.capacity / 2, nullptr},
+      {"c", trace.capacity / 2, nullptr},
+  };
+  for (const char* meta : {"rr", "least-loaded", "best-fit"}) {
+    SCOPED_TRACE(meta);
+    const fed::FederationResult first =
+        run_federation(trace, members, "DDS/lxf/dynB", meta);
+    const fed::FederationResult second =
+        run_federation(trace, members, "DDS/lxf/dynB", meta);
+    ASSERT_EQ(first.owner, second.owner);
+    ASSERT_EQ(first.outcomes.size(), second.outcomes.size());
+    for (std::size_t i = 0; i < first.outcomes.size(); ++i) {
+      EXPECT_EQ(first.outcomes[i].start, second.outcomes[i].start);
+      EXPECT_EQ(first.outcomes[i].end, second.outcomes[i].end);
+    }
+    std::uint64_t routed = 0;
+    for (const auto& m : first.members) routed += m.routed;
+    EXPECT_EQ(routed, trace.jobs.size());
+  }
+}
+
+// Round-robin over identical members spreads an identical-job stream
+// evenly; any policy must send a job wider than all but one member to the
+// only member that can ever host it.
+TEST(Federation, RoutingRespectsWidthAndSpreads) {
+  std::vector<Job> jobs;
+  for (int i = 0; i < 12; ++i)
+    jobs.push_back(job(i, i * 10, 1, 500));
+  const Trace narrow = trace_of(jobs, 8);
+  const std::vector<fed::MemberSpec> equal = {
+      {"a", 8, nullptr}, {"b", 8, nullptr}, {"c", 8, nullptr}};
+  const fed::FederationResult rr =
+      run_federation(narrow, equal, "FCFS-BF", "rr");
+  for (const auto& m : rr.members) EXPECT_EQ(m.routed, 4u);
+
+  std::vector<Job> wide;
+  wide.push_back(job(0, 0, 8, 500));
+  wide.push_back(job(1, 10, 2, 500));
+  wide.push_back(job(2, 20, 8, 500));
+  const Trace wide_trace = trace_of(wide, 8);
+  for (const char* meta : {"rr", "least-loaded", "best-fit"}) {
+    SCOPED_TRACE(meta);
+    const fed::FederationResult fr = run_federation(
+        wide_trace, {{"small", 2, nullptr}, {"big", 8, nullptr}}, "FCFS-BF",
+        meta);
+    EXPECT_EQ(fr.owner[0], 1);  // 8-node jobs can only ever fit "big"
+    EXPECT_EQ(fr.owner[2], 1);
+    EXPECT_TRUE(fr.outcomes[1].completed);
+  }
+}
+
+// A node failure strands jobs wider than the degraded member: they migrate
+// with identity intact (same id, one submit record, started on the target)
+// and re-enter the target queue at their historical FCFS position — the
+// killed-and-requeued j0 (submit 0) starts before the never-started j2
+// (submit 20), which starts before the target's own j3 (submit 30).
+TEST(Federation, MigrationPreservesIdentityAndRequeueOrder) {
+  std::vector<Job> jobs = {
+      job(0, 0, 4, 1000),
+      job(1, 10, 4, 1000),
+      job(2, 20, 4, 1000),
+      job(3, 30, 4, 1000),
+  };
+  const Trace trace = trace_of(jobs, 4, 0, 20'000);
+  const FaultInjector c0_faults = FaultInjector::from_events({
+      {/*time=*/50, FaultKind::NodeDown, /*nodes=*/2},
+      {/*time=*/15'000, FaultKind::NodeUp, /*nodes=*/2},
+  });
+  std::vector<std::string> lines;
+  obs::Telemetry tel(std::make_unique<CaptureSink>(lines));
+  // Round-robin routes j0, j2 to c0 and j1, j3 to c1.
+  const fed::FederationResult fr = run_federation(
+      trace, {{"c0", 4, &c0_faults}, {"c1", 4, nullptr}}, "FCFS-BF", "rr",
+      &tel);
+  tel.flush();
+
+  EXPECT_EQ(fr.migrations, 2u);  // j0 (killed + requeued) and j2 (waiting)
+  EXPECT_EQ(fr.owner, (std::vector<int>{1, 1, 1, 1}));
+  EXPECT_EQ(fr.members[0].migrations_out, 2u);
+  EXPECT_EQ(fr.members[1].migrations_in, 2u);
+  for (const JobOutcome& o : fr.outcomes) EXPECT_TRUE(o.completed);
+  EXPECT_EQ(fr.outcomes[0].requeue_count, 1);
+
+  // c1 serializes the 4-node jobs; FCFS order by original submit times.
+  EXPECT_EQ(fr.outcomes[1].start, 10);
+  EXPECT_EQ(fr.outcomes[0].start, 1010);
+  EXPECT_EQ(fr.outcomes[2].start, 2010);
+  EXPECT_EQ(fr.outcomes[3].start, 3010);
+
+  // Stream-level identity: one submit per job (migration re-injection is
+  // not a resubmission), migrate records name the jobs, and after j0's
+  // doomed first start on c0 every start happens on the target cluster.
+  int submits = 0, migrates = 0, starts_c0 = 0, starts_c1 = 0;
+  for (const std::string& line : lines) {
+    if (line.find("\"type\":\"submit\"") != std::string::npos) ++submits;
+    if (line.find("\"type\":\"migrate\"") != std::string::npos) {
+      ++migrates;
+      EXPECT_NE(line.find("\"from\":0"), std::string::npos);
+      EXPECT_NE(line.find("\"to\":1"), std::string::npos);
+    }
+    if (line.find("\"type\":\"start\"") != std::string::npos) {
+      if (line.find("\"cluster\":0") != std::string::npos) ++starts_c0;
+      if (line.find("\"cluster\":1") != std::string::npos) ++starts_c1;
+    }
+  }
+  EXPECT_EQ(submits, 4);
+  EXPECT_EQ(migrates, 2);
+  EXPECT_EQ(starts_c0, 1);  // j0's killed first attempt
+  EXPECT_EQ(starts_c1, 4);  // j1, then the serialized j0, j2, j3
+}
+
+// Randomized member layouts, workloads, and per-member fault schedules:
+// whatever happens, every job is routed exactly once, ends exactly once
+// (completed or parked), the per-member ledgers balance, and the final
+// placements respect every member's physical capacity.
+TEST(Federation, FuzzNoJobLostOrDuplicated) {
+  const std::uint64_t iters = fuzz_iters();
+  for (std::uint64_t iter = 0; iter < iters; ++iter) {
+    const std::uint64_t seed = 0xfed0 + iter * 7919;
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    Rng rng(seed);
+
+    const std::size_t n_members = static_cast<std::size_t>(
+        rng.uniform_int(2, 4));
+    std::vector<fed::MemberSpec> members;
+    int widest = 0;
+    for (std::size_t i = 0; i < n_members; ++i) {
+      const int nodes = static_cast<int>(rng.uniform_int(4, 64));
+      widest = std::max(widest, nodes);
+      members.push_back({"m" + std::to_string(i), nodes, nullptr});
+    }
+
+    std::vector<Job> jobs;
+    const std::size_t count =
+        static_cast<std::size_t>(rng.uniform_int(20, 60));
+    Time submit = 0;
+    for (std::size_t i = 0; i < count; ++i) {
+      if (rng.bernoulli(0.7))
+        submit += static_cast<Time>(rng.uniform_int(0, kHour));
+      const int nodes = static_cast<int>(rng.uniform_int(1, widest));
+      const Time runtime = static_cast<Time>(rng.uniform_int(60, 6 * kHour));
+      jobs.push_back(job(static_cast<int>(i), submit, nodes, runtime));
+    }
+    const Trace trace = trace_of(std::move(jobs), widest);
+
+    std::vector<std::unique_ptr<FaultInjector>> injectors;
+    for (std::size_t i = 0; i < n_members; ++i) {
+      if (!rng.bernoulli(0.6)) continue;
+      FaultSpec fs;
+      fs.node_mtbf = 12 * kHour;
+      fs.node_mttr = 2 * kHour;
+      fs.min_block = 1;
+      fs.max_block = 2;
+      fs.seed = seed + i;
+      injectors.push_back(std::make_unique<FaultInjector>(
+          FaultInjector::from_spec(fs, trace.window_begin, trace.window_end,
+                                   members[i].nodes)));
+      members[i].faults = injectors.back().get();
+    }
+
+    const char* metas[] = {"rr", "least-loaded", "best-fit"};
+    const char* policies[] = {"FCFS-BF", "DDS/lxf/dynB"};
+    const fed::FederationResult fr = run_federation(
+        trace, members, policies[iter % 2], metas[iter % 3]);
+
+    ASSERT_EQ(fr.outcomes.size(), count);
+    ASSERT_EQ(fr.owner.size(), count);
+    std::uint64_t routed = 0, migr_in = 0, migr_out = 0;
+    std::vector<std::uint64_t> owned(n_members, 0);
+    for (const int o : fr.owner) {
+      ASSERT_GE(o, 0);
+      ASSERT_LT(static_cast<std::size_t>(o), n_members);
+      ++owned[static_cast<std::size_t>(o)];
+    }
+    for (std::size_t i = 0; i < n_members; ++i) {
+      const fed::MemberResult& m = fr.members[i];
+      routed += m.routed;
+      migr_in += m.migrations_in;
+      migr_out += m.migrations_out;
+      // Routing ledger: initial routings plus migrations in minus out is
+      // exactly the set of jobs this member finally owned.
+      EXPECT_EQ(m.routed + m.migrations_in - m.migrations_out, owned[i]);
+      // Final placements respect the member's physical machine.
+      std::vector<JobOutcome> completed;
+      for (std::size_t j = 0; j < count; ++j)
+        if (fr.owner[j] == static_cast<int>(i) && fr.outcomes[j].completed)
+          completed.push_back(fr.outcomes[j]);
+      EXPECT_NO_THROW(test::check_feasible(completed, m.capacity));
+    }
+    EXPECT_EQ(routed, count);
+    EXPECT_EQ(migr_in, fr.migrations);
+    EXPECT_EQ(migr_out, fr.migrations);
+    // Every job ends exactly one way: completed, or parked (never started)
+    // with its outcome pinned at the submit time.
+    for (std::size_t j = 0; j < count; ++j) {
+      const JobOutcome& o = fr.outcomes[j];
+      if (!o.completed) {
+        EXPECT_EQ(o.start, o.end) << "job " << j << " half-ran";
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sbs

@@ -1,0 +1,251 @@
+// The federation's differential proof layer: a federation of exactly ONE
+// member cluster must be bit-identical to the plain simulate() path — the
+// same per-job outcomes, the same decision/fault/queue accounting, the
+// same scheduler counters, and (modulo wall-clock think times) the same
+// telemetry stream, byte for byte. Swept across the engine's knob matrix
+// (algo x cache x threads x faults) in the style of the incremental-engine
+// differential suite, this pins the external-arrival seam: injecting each
+// trace arrival at its submit time and stepping to each event bound must
+// reproduce the plain loop's batching exactly.
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "exp/policy_factory.hpp"
+#include "fed/federation.hpp"
+#include "fed/meta_scheduler.hpp"
+#include "obs/telemetry.hpp"
+#include "obs/trace_sink.hpp"
+#include "sim/faults.hpp"
+#include "sim/simulator.hpp"
+#include "test_support.hpp"
+#include "workload/generator.hpp"
+
+namespace sbs {
+namespace {
+
+constexpr std::size_t kNodeLimit = 200;
+
+// A small generated month: bursty arrivals, mixed widths, enough queueing
+// for the search to make non-trivial decisions.
+const Trace& diff_trace() {
+  static const Trace trace = [] {
+    GeneratorConfig cfg;
+    cfg.job_scale = 0.04;
+    cfg.seed = 77;
+    return generate_month("7/03", cfg);
+  }();
+  return trace;
+}
+
+const FaultInjector& diff_faults() {
+  static const FaultInjector faults = [] {
+    FaultSpec fs;
+    fs.node_mtbf = 86'400;
+    fs.node_mttr = 3'600;
+    fs.min_block = 2;
+    fs.max_block = 4;
+    fs.job_kill_mtbf = 172'800;
+    fs.seed = 7;
+    const Trace& t = diff_trace();
+    return FaultInjector::from_spec(fs, t.window_begin, t.window_end,
+                                    t.capacity);
+  }();
+  return faults;
+}
+
+/// Collects raw JSONL lines in memory for stream-level comparison.
+class CaptureSink final : public obs::TraceSink {
+ public:
+  explicit CaptureSink(std::vector<std::string>& lines) : lines_(lines) {}
+  void write(std::string_view json_line) override {
+    lines_.emplace_back(json_line);
+  }
+
+ private:
+  std::vector<std::string>& lines_;
+};
+
+SimResult plain_run(const std::string& spec, bool cache, std::size_t threads,
+                    const FaultInjector* faults, obs::Telemetry* tel) {
+  SimConfig sim;
+  sim.faults = faults;
+  sim.telemetry = tel;
+  auto policy = make_policy(spec, kNodeLimit, -1.0, threads, cache);
+  return simulate(diff_trace(), *policy, sim);
+}
+
+fed::FederationResult fed_of_one_run(const std::string& spec, bool cache,
+                                     std::size_t threads,
+                                     const FaultInjector* faults,
+                                     obs::Telemetry* tel,
+                                     const std::string& meta_spec) {
+  const Trace& trace = diff_trace();
+  fed::FederationConfig fc;
+  fc.members = {{"only", trace.capacity, faults}};
+  fc.telemetry = tel;
+  const auto factory = make_policy_factory(spec, kNodeLimit, -1.0, threads,
+                                           cache);
+  const auto meta = fed::make_meta(meta_spec);
+  fed::Federation federation(trace, factory, *meta, fc);
+  return federation.run();
+}
+
+// Every field of every outcome, in job-id order.
+void expect_outcomes_identical(const std::vector<JobOutcome>& plain,
+                               const std::vector<JobOutcome>& fed) {
+  ASSERT_EQ(plain.size(), fed.size());
+  for (std::size_t i = 0; i < plain.size(); ++i) {
+    SCOPED_TRACE("job " + std::to_string(plain[i].job.id));
+    EXPECT_EQ(fed[i].job.id, plain[i].job.id);
+    EXPECT_EQ(fed[i].start, plain[i].start);
+    EXPECT_EQ(fed[i].end, plain[i].end);
+    EXPECT_EQ(fed[i].requeue_count, plain[i].requeue_count);
+    EXPECT_EQ(fed[i].lost_node_seconds, plain[i].lost_node_seconds);
+    EXPECT_EQ(fed[i].completed, plain[i].completed);
+  }
+}
+
+// SchedulerStats equality minus the wall-clock fields (think_time_us and
+// max_think_time_us measure host time, not simulated behavior). The
+// parallel engine guarantees identical schedules and visited-node
+// accounting for any thread count, but the cache hit/miss split and the
+// prune tallies depend on thread timing — compare those only when the
+// search ran sequentially.
+void expect_sched_stats_identical(const SchedulerStats& plain,
+                                  const SchedulerStats& fed,
+                                  bool parallel) {
+  EXPECT_EQ(fed.decisions, plain.decisions);
+  EXPECT_EQ(fed.nodes_visited, plain.nodes_visited);
+  EXPECT_EQ(fed.paths_explored, plain.paths_explored);
+  EXPECT_EQ(fed.deadline_hits, plain.deadline_hits);
+  EXPECT_EQ(fed.max_queue_depth, plain.max_queue_depth);
+  EXPECT_EQ(fed.warm_starts, plain.warm_starts);
+  if (parallel) return;
+  EXPECT_EQ(fed.cache_hits, plain.cache_hits);
+  EXPECT_EQ(fed.cache_misses, plain.cache_misses);
+  EXPECT_EQ(fed.cache_invalidations, plain.cache_invalidations);
+  EXPECT_EQ(fed.pruned_twins, plain.pruned_twins);
+  EXPECT_EQ(fed.pruned_bound, plain.pruned_bound);
+}
+
+void expect_results_identical(const SimResult& plain,
+                              const fed::FederationResult& fed,
+                              bool parallel = false) {
+  expect_outcomes_identical(plain.outcomes, fed.outcomes);
+  ASSERT_EQ(fed.members.size(), 1u);
+  const SimResult& member = fed.members[0].sim;
+  // avg_queue_length is the same deterministic integration over the same
+  // event sequence, so it must match to the bit, not within epsilon.
+  EXPECT_EQ(fed.avg_queue_length, plain.avg_queue_length);
+  EXPECT_EQ(member.decision_stats.decisions, plain.decision_stats.decisions);
+  EXPECT_EQ(member.decision_stats.with_10_plus,
+            plain.decision_stats.with_10_plus);
+  EXPECT_EQ(member.decision_stats.max_waiting,
+            plain.decision_stats.max_waiting);
+  EXPECT_EQ(member.decision_stats.mean_waiting,
+            plain.decision_stats.mean_waiting);
+  EXPECT_EQ(member.fault_stats.node_failures, plain.fault_stats.node_failures);
+  EXPECT_EQ(member.fault_stats.node_recoveries,
+            plain.fault_stats.node_recoveries);
+  EXPECT_EQ(member.fault_stats.jobs_killed, plain.fault_stats.jobs_killed);
+  EXPECT_EQ(member.fault_stats.jobs_requeued, plain.fault_stats.jobs_requeued);
+  EXPECT_EQ(member.fault_stats.jobs_dropped, plain.fault_stats.jobs_dropped);
+  EXPECT_EQ(member.fault_stats.jobs_unstarted,
+            plain.fault_stats.jobs_unstarted);
+  EXPECT_EQ(member.fault_stats.lost_node_seconds,
+            plain.fault_stats.lost_node_seconds);
+  EXPECT_EQ(member.fault_stats.min_capacity, plain.fault_stats.min_capacity);
+  expect_sched_stats_identical(plain.sched_stats, member.sched_stats,
+                               parallel);
+  EXPECT_EQ(fed.migrations, 0u);
+  for (int owner : fed.owner) EXPECT_EQ(owner, 0);
+}
+
+// The knob matrix: both search algorithms, the incremental engine and its
+// naive baseline, sequential and parallel search, fault-free and
+// fault-injected. Every combination must be bit-identical.
+TEST(FederationDifferential, FedOfOneMatchesPlainAcrossKnobMatrix) {
+  for (const char* spec : {"DDS/lxf/dynB", "LDS/lxf/w=100h"}) {
+    for (const bool cache : {true, false}) {
+      for (const std::size_t threads : {std::size_t{0}, std::size_t{2}}) {
+        for (const bool with_faults : {false, true}) {
+          SCOPED_TRACE(std::string(spec) + " cache=" + (cache ? "on" : "off") +
+                       " threads=" + std::to_string(threads) + " faults=" +
+                       (with_faults ? "on" : "off"));
+          const FaultInjector* faults =
+              with_faults ? &diff_faults() : nullptr;
+          const SimResult plain =
+              plain_run(spec, cache, threads, faults, nullptr);
+          const fed::FederationResult fed =
+              fed_of_one_run(spec, cache, threads, faults, nullptr,
+                             "least-loaded");
+          expect_results_identical(plain, fed, threads > 0);
+        }
+      }
+    }
+  }
+}
+
+// Identity must not depend on which meta-scheduler fronts the single
+// member: with one cluster every policy has exactly one legal answer.
+TEST(FederationDifferential, FedOfOneIdenticalUnderEveryMetaPolicy) {
+  const SimResult plain =
+      plain_run("DDS/lxf/dynB", true, 0, &diff_faults(), nullptr);
+  for (const char* meta : {"rr", "least-loaded", "best-fit"}) {
+    SCOPED_TRACE(meta);
+    const fed::FederationResult fed =
+        fed_of_one_run("DDS/lxf/dynB", true, 0, &diff_faults(), nullptr, meta);
+    expect_results_identical(plain, fed);
+  }
+}
+
+// Strips the wall-clock "think_us" field (host time, run-to-run noise);
+// every other byte of a decision record must match.
+std::string strip_wallclock(std::string line) {
+  const std::string key = "\"think_us\":";
+  const std::size_t pos = line.find(key);
+  if (pos == std::string::npos) return line;
+  std::size_t end = pos + key.size();
+  while (end < line.size() && line[end] != ',' && line[end] != '}') ++end;
+  if (end < line.size() && line[end] == ',') ++end;
+  return line.erase(pos, end - pos);
+}
+
+// The telemetry stream — run record, every decision record (objective
+// trajectory included), every lifecycle event — is byte-identical between
+// the plain run and the federation of one, except the wall-clock field.
+// In particular the run record must NOT carry a "clusters" field and no
+// record a "cluster" tag: a single-member federation writes the exact
+// pre-federation schema.
+TEST(FederationDifferential, TelemetryStreamIdenticalModuloWallclock) {
+  std::vector<std::string> plain_lines;
+  std::vector<std::string> fed_lines;
+  {
+    obs::Telemetry tel(std::make_unique<CaptureSink>(plain_lines));
+    plain_run("DDS/lxf/dynB", true, 0, &diff_faults(), &tel);
+    tel.flush();
+  }
+  {
+    obs::Telemetry tel(std::make_unique<CaptureSink>(fed_lines));
+    fed_of_one_run("DDS/lxf/dynB", true, 0, &diff_faults(), &tel,
+                   "least-loaded");
+    tel.flush();
+  }
+  ASSERT_EQ(plain_lines.size(), fed_lines.size());
+  ASSERT_GT(plain_lines.size(), 10u);
+  for (std::size_t i = 0; i < plain_lines.size(); ++i) {
+    SCOPED_TRACE("record " + std::to_string(i));
+    EXPECT_EQ(strip_wallclock(fed_lines[i]), strip_wallclock(plain_lines[i]));
+    EXPECT_EQ(fed_lines[i].find("\"cluster\""), std::string::npos);
+    EXPECT_EQ(fed_lines[i].find("\"clusters\""), std::string::npos);
+    EXPECT_EQ(fed_lines[i].find("\"migrate\""), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace sbs

@@ -17,6 +17,8 @@
 #include <vector>
 
 #include "exp/policy_factory.hpp"
+#include "fed/federation.hpp"
+#include "fed/meta_scheduler.hpp"
 #include "jobs/swf.hpp"
 #include "sim/faults.hpp"
 #include "sim/simulator.hpp"
@@ -186,6 +188,71 @@ TEST(GoldenTrace, FaultInjectionOutcomesMatchFixture) {
     std::ofstream out(path);
     ASSERT_TRUE(out) << "cannot write " << path;
     out << "id,start,end,requeues,completed\n";
+    for (const std::string& row : actual) out << row << '\n';
+    GTEST_SKIP() << "regenerated " << path;
+  }
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in) << "missing golden file " << path
+                  << " — run with SBS_REGEN_GOLDEN=1 to create it";
+  std::string line;
+  std::getline(in, line);  // header
+  std::vector<std::string> expected;
+  while (std::getline(in, line))
+    if (!line.empty()) expected.push_back(line);
+  ASSERT_EQ(expected.size(), actual.size());
+  for (std::size_t i = 0; i < expected.size(); ++i)
+    EXPECT_EQ(actual[i], expected[i]) << "row " << i;
+}
+
+// Golden federation replay: the mini workload spread over three member
+// clusters (16 + 8 + 8 nodes) under the headline search policy, with a
+// 12-node block failing on the wide cluster mid-schedule. Jobs stranded
+// wider than the degraded cluster migrate to the 8-node members; jobs
+// wider than every survivor wait for the repair. Final per-job outcomes —
+// including which cluster finally hosted each job — are pinned to a
+// committed CSV, regenerable with SBS_REGEN_GOLDEN=1.
+TEST(GoldenTrace, FederationOutcomesMatchFixture) {
+  const Trace trace =
+      read_swf_file(std::string(SBS_TEST_DATA_DIR) + "/golden_mini.swf");
+  const FaultInjector big_faults = FaultInjector::from_events({
+      {/*time=*/2000, FaultKind::NodeDown, /*nodes=*/12},
+      {/*time=*/8000, FaultKind::NodeUp, /*nodes=*/12},
+  });
+  fed::FederationConfig fc;
+  fc.members = {{"big", 16, &big_faults},
+                {"mid", 8, nullptr},
+                {"small", 8, nullptr}};
+  const auto factory = make_policy_factory("DDS/lxf/dynB", /*node_limit=*/300);
+  const auto meta = fed::make_meta("least-loaded");
+  fed::Federation federation(trace, factory, *meta, fc);
+  const fed::FederationResult fr = federation.run();
+
+  ASSERT_EQ(fr.outcomes.size(), trace.jobs.size());
+  EXPECT_GE(fr.migrations, 1u) << "the fixture must exercise migration";
+  for (std::size_t i = 0; i < fr.members.size(); ++i) {
+    std::vector<JobOutcome> hosted;
+    for (std::size_t j = 0; j < fr.outcomes.size(); ++j)
+      if (fr.owner[j] == static_cast<int>(i) && fr.outcomes[j].completed)
+        hosted.push_back(fr.outcomes[j]);
+    EXPECT_NO_THROW(test::check_feasible(hosted, fr.members[i].capacity));
+  }
+
+  const std::string path =
+      std::string(SBS_TEST_DATA_DIR) + "/golden_federation_DDS_lxf_dynB.csv";
+  std::vector<std::string> actual;
+  for (std::size_t j = 0; j < fr.outcomes.size(); ++j) {
+    const JobOutcome& o = fr.outcomes[j];
+    std::ostringstream row;
+    row << o.job.id << ',' << o.start << ',' << o.end << ',' << fr.owner[j]
+        << ',' << o.requeue_count << ',' << (o.completed ? 1 : 0);
+    actual.push_back(row.str());
+  }
+
+  if (std::getenv("SBS_REGEN_GOLDEN") != nullptr) {
+    std::ofstream out(path);
+    ASSERT_TRUE(out) << "cannot write " << path;
+    out << "id,start,end,cluster,requeues,completed\n";
     for (const std::string& row : actual) out << row << '\n';
     GTEST_SKIP() << "regenerated " << path;
   }

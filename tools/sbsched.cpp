@@ -15,6 +15,8 @@
 //            [--search-threads=4] [--search-cache=on|off]
 //            [--warm-start=on|off] [--governor=on|off]
 //            [--governor-thresholds=queue=20,trip=3,...]
+//            [--clusters=left:64,right:32 [--meta=least-loaded|rr|best-fit]
+//             [--migrate=on|off]]
 //            [--checkpoint=run.ckpt --checkpoint-every=N] [--resume=run.ckpt]
 //            [--outcomes=jobs.csv] [--telemetry=run.jsonl]
 //            [--telemetry-fsync=N] [--telemetry-rotate-mb=N] [--metrics]
@@ -26,7 +28,10 @@
 //       governor (graceful search degradation), periodic crash-safe
 //       checkpoints with bit-identical --resume, a per-job outcome CSV, a
 //       decision-level JSONL event stream with durability knobs, and the
-//       metrics-registry tables.
+//       metrics-registry tables. --clusters federates the trace across N
+//       member clusters (each with its own search scheduler and fault
+//       schedule), routed by the --meta policy with cross-cluster
+//       migration of waiting jobs on overload or node failure.
 //
 //   sbsched compare --trace=month.swf [--policies=FCFS-BF,LXF-BF,DDS/lxf/dynB]
 //            [--nodes=1000] [--rstar=...] [--load=0.9] [--faults=...]
@@ -70,7 +75,9 @@
 
 #include "exp/policy_factory.hpp"
 #include "exp/runner.hpp"
+#include "fed/federation.hpp"
 #include "jobs/swf.hpp"
+#include "metrics/summary.hpp"
 #include "metrics/job_class.hpp"
 #include "metrics/timeline.hpp"
 #include "metrics/trace_mix.hpp"
@@ -122,6 +129,8 @@ int usage() {
       "            [--search-simd=on|off] [--search-prune=on|off]\n"
       "            [--warm-start=on|off] [--governor=on|off]\n"
       "            [--governor-thresholds=queue=20,trip=3,...]\n"
+      "            [--clusters=left:64,right:32]\n"
+      "            [--meta=least-loaded|rr|best-fit] [--migrate=on|off]\n"
       "            [--checkpoint=run.ckpt --checkpoint-every=N]\n"
       "            [--resume=run.ckpt] [--outcomes=jobs.csv]\n"
       "            [--telemetry=run.jsonl] [--telemetry-fsync=N]\n"
@@ -153,7 +162,15 @@ int usage() {
       "      CSV. --telemetry streams one JSONL record per decision and job\n"
       "      lifecycle event (--telemetry-fsync=N fsyncs every N lines,\n"
       "      --telemetry-rotate-mb=N rotates segments); --metrics prints\n"
-      "      the counter and histogram tables.\n"
+      "      the counter and histogram tables. --clusters=[name:]N,...\n"
+      "      federates the trace across N member clusters, each a full\n"
+      "      simulator with its own scheduler and fault schedule under one\n"
+      "      shared virtual-time loop; --meta picks the routing policy\n"
+      "      (least-loaded queue-demand EWMA, round-robin, or best-fit by\n"
+      "      earliest predicted start) and --migrate=off disables cross-\n"
+      "      cluster migration of waiting jobs. A federation of one is\n"
+      "      bit-identical to the plain run. Federation checkpoints use\n"
+      "      their own format and compose every member's snapshot.\n"
       "\n"
       "  compare   --trace=month.swf [--policies=FCFS-BF,LXF-BF,DDS/lxf/dynB]\n"
       "            [--nodes=1000] [--rstar=...] [--load=0.9] [--faults=...]\n"
@@ -368,16 +385,262 @@ int cmd_analyze(int argc, char** argv) {
   return 0;
 }
 
+/// The federated path of `simulate`, taken when --clusters is given: N
+/// member clusters (each a full simulator + its own search scheduler and
+/// fault schedule) under one shared virtual-time loop, with the
+/// meta-scheduler routing arrivals and cross-cluster migration rebalancing
+/// waiting jobs. Shares the plain path's flag vocabulary; checkpoints use
+/// the federation format ("sbs-fed-checkpoint").
+int cmd_simulate_federation(const CliArgs& args) {
+  // Validate every flag before touching the filesystem, mirroring the
+  // single-cluster path.
+  std::vector<fed::MemberSpec> members =
+      fed::parse_cluster_spec(args.get("clusters", ""));
+  for (std::size_t i = 0; i < members.size(); ++i)
+    if (members[i].name.empty()) members[i].name = "c" + std::to_string(i);
+  const std::unique_ptr<fed::MetaScheduler> meta =
+      fed::make_meta(args.get("meta", "least-loaded"));
+
+  fed::FederationConfig fc;
+  fc.migration.enabled = on_off_flag(args, "migrate", true);
+  const std::string rstar = args.get("rstar", "actual");
+  if (rstar == "requested") {
+    fc.use_requested_runtime = true;
+  } else if (rstar != "actual") {
+    throw UsageError(rstar == "predicted"
+                         ? "--clusters does not support --rstar=predicted: "
+                           "the online predictor is per machine and its "
+                           "state is not snapshotted"
+                         : "--rstar must be actual or requested");
+  }
+  const std::string requeue = args.get("requeue", "resubmit");
+  if (requeue == "drop") fc.requeue = RequeuePolicy::Drop;
+  else if (requeue != "resubmit")
+    throw UsageError("--requeue must be resubmit or drop");
+
+  const std::string spec = args.get("policy", "DDS/lxf/dynB");
+  const auto L = static_cast<std::size_t>(args.get_int("nodes", 1000));
+  const double deadline_ms = args.get_double("search-deadline-ms", -1.0);
+  const auto threads =
+      static_cast<std::size_t>(args.get_int("search-threads", 0));
+  const bool cache = on_off_flag(args, "search-cache", true);
+  const bool simd = on_off_flag(args, "search-simd", true);
+  const bool prune = on_off_flag(args, "search-prune", true);
+  const bool warm = on_off_flag(args, "warm-start", false);
+  const std::optional<resilience::GovernorConfig> governor =
+      governor_flags(args);
+
+  const Trace trace = load_trace(args);
+
+  // Per-member fault schedules from one --faults spec: each member derives
+  // its own deterministic schedule (seed + cluster id) against its own
+  // machine size, so failures are independent across the federation yet
+  // reproducible from the one seed.
+  std::vector<std::unique_ptr<FaultInjector>> injectors;
+  std::optional<std::uint64_t> seed;
+  if (const std::string fspec = args.get("faults", ""); !fspec.empty()) {
+    const FaultSpec fs = parse_fault_spec(fspec);
+    seed = fs.seed;
+    for (std::size_t i = 0; i < members.size(); ++i) {
+      FaultSpec mfs = fs;
+      mfs.seed = fs.seed + i;
+      injectors.push_back(std::make_unique<FaultInjector>(
+          FaultInjector::from_spec(mfs, trace.window_begin, trace.window_end,
+                                   members[i].nodes)));
+      members[i].faults = injectors.back().get();
+    }
+  }
+  fc.members = members;
+
+  const std::string ckpt_path = args.get("checkpoint", "");
+  const auto ckpt_every =
+      static_cast<std::uint64_t>(args.get_int("checkpoint-every", 0));
+  const std::string resume_path = args.get("resume", "");
+  if (ckpt_path.empty() != (ckpt_every == 0))
+    throw UsageError(
+        "--checkpoint and --checkpoint-every must be given together");
+
+  const std::vector<std::pair<std::string, std::string>> cli_echo = {
+      {"clusters", args.get("clusters", "")},
+      {"meta", meta->name()},
+      {"migrate", fc.migration.enabled ? "on" : "off"},
+      {"policy", spec},
+      {"nodes", std::to_string(L)},
+      {"rstar", rstar},
+      {"load", args.get("load", "")},
+      {"faults", args.get("faults", "")},
+      {"requeue", requeue},
+      {"search-threads", std::to_string(threads)},
+      {"search-cache", cache ? "on" : "off"},
+      {"search-simd", simd ? "on" : "off"},
+      {"search-prune", prune ? "on" : "off"},
+      {"warm-start", warm ? "on" : "off"},
+      {"governor", governor ? "on" : "off"},
+      {"governor-thresholds", governor ? governor->spec() : ""},
+  };
+
+  resilience::FederationCheckpointData resume_data;
+  std::string parent_id;
+  if (!resume_path.empty()) {
+    resume_data = resilience::read_federation_checkpoint(resume_path);
+    parent_id = resume_data.id;
+    for (const auto& [key, stored] : resume_data.cli)
+      for (const auto& [ours_key, ours] : cli_echo)
+        if (key == ours_key && stored != ours)
+          throw Error("--resume configuration mismatch: checkpoint has --" +
+                      key + "=" + stored + ", this run has --" + key + "=" +
+                      ours);
+    fc.resume = &resume_data.snapshot;
+    std::cout << "resuming from " << resume_path << " (" << resume_data.id
+              << ", federation event " << resume_data.snapshot.fed_events
+              << ")\n";
+  }
+  if (!ckpt_path.empty()) {
+    fc.checkpoint_every = ckpt_every;
+    fc.checkpoint_sink = [&](const sim::FederationSnapshot& snap) {
+      resilience::FederationCheckpointData data;
+      data.id = resilience::checkpoint_id(snap.fed_events);
+      data.parent = parent_id;
+      data.cli = cli_echo;
+      data.snapshot = snap;
+      resilience::write_federation_checkpoint(ckpt_path, data);
+    };
+  }
+
+  install_signal_handlers();
+  fc.interrupt = &g_interrupted;
+
+  const std::unique_ptr<obs::Telemetry> telemetry =
+      make_telemetry(args, /*append=*/!resume_path.empty());
+  fc.telemetry = telemetry.get();
+  if (telemetry) {
+    obs::RunContext context;
+    if (seed) {
+      context.has_seed = true;
+      context.seed = *seed;
+    }
+    if (governor) context.governor = governor->spec();
+    context.checkpoint_parent = parent_id;
+    context.resumed = !resume_path.empty();
+    telemetry->set_context(context);
+  }
+
+  const auto factory =
+      make_policy_factory(spec, L, deadline_ms, threads, cache, warm,
+                          governor ? &*governor : nullptr, simd, prune);
+
+  fed::FederationResult fr;
+  try {
+    fed::Federation federation(trace, factory, *meta, fc);
+    fr = federation.run();
+  } catch (const Error& e) {
+    if (g_interrupted.load()) {
+      std::cerr << "interrupted: " << e.what() << '\n';
+      if (!ckpt_path.empty())
+        std::cerr << "resume with: sbsched simulate --resume=" << ckpt_path
+                  << " <same flags>\n";
+      return 130;
+    }
+    throw;
+  }
+
+  int total_nodes = 0;
+  for (const fed::MemberSpec& m : members) total_nodes += m.nodes;
+  const Summary summary = summarize(fr.outcomes);
+  std::cout << "policy: " << spec << " via meta " << meta->name() << " over "
+            << members.size() << " clusters (" << total_nodes
+            << " nodes)\njobs: " << summary.jobs << '\n';
+  Table t({"measure", "value"});
+  t.row().add("avg wait (h)").add(summary.avg_wait_h);
+  t.row().add("max wait (h)").add(summary.max_wait_h);
+  t.row().add("p98 wait (h)").add(summary.p98_wait_h);
+  t.row().add("avg bounded slowdown").add(summary.avg_bounded_slowdown);
+  t.row().add("avg turnaround (h)").add(summary.avg_turnaround_h);
+  t.row().add("avg queue length (all members)").add(fr.avg_queue_length);
+  t.row().add("cross-cluster migrations")
+      .add(static_cast<long long>(fr.migrations));
+  t.row().add("utilization").add(average_utilization(
+      fr.outcomes, total_nodes, trace.window_begin, trace.window_end));
+  t.print(std::cout);
+
+  std::cout << "\nPer-member accounting:\n";
+  Table mt({"cluster", "nodes", "routed", "migr in/out", "decisions",
+            "jobs killed", "never started", "avg queue len"});
+  for (const fed::MemberResult& mr : fr.members)
+    mt.row()
+        .add(mr.name)
+        .add(mr.capacity)
+        .add(static_cast<long long>(mr.routed))
+        .add(std::to_string(mr.migrations_in) + "/" +
+             std::to_string(mr.migrations_out))
+        .add(static_cast<long long>(mr.sim.decision_stats.decisions))
+        .add(static_cast<long long>(mr.sim.fault_stats.jobs_killed))
+        .add(static_cast<long long>(mr.sim.fault_stats.jobs_unstarted))
+        .add(mr.sim.avg_queue_length);
+  mt.print(std::cout);
+
+  if (args.get_bool("classes", false)) {
+    const JobClassGrid grid = class_grid(fr.outcomes);
+    std::cout << "\nAvg wait (h) per job class:\n";
+    std::vector<std::string> headers = {"class"};
+    for (std::size_t r = 0; r < JobClassGrid::kRuntimeClasses; ++r)
+      headers.push_back(runtime_class_label(r));
+    Table ct(headers);
+    for (std::size_t n = 0; n < JobClassGrid::kNodeClasses; ++n) {
+      ct.row().add(node_class_label(n));
+      for (std::size_t r = 0; r < JobClassGrid::kRuntimeClasses; ++r)
+        ct.add(grid.count[n][r] ? format_double(grid.avg_wait_h[n][r], 1)
+                                : std::string("-"));
+    }
+    ct.print(std::cout);
+  }
+
+  finish_telemetry(args, telemetry.get());
+
+  if (const std::string path = args.get("outcomes", ""); !path.empty()) {
+    CsvWriter csv(path, {"job_id", "cluster", "start_s", "end_s", "requeues",
+                         "lost_node_s", "completed"});
+    for (std::size_t j = 0; j < fr.outcomes.size(); ++j) {
+      const auto& o = fr.outcomes[j];
+      csv.write_row({std::to_string(o.job.id), std::to_string(fr.owner[j]),
+                     std::to_string(o.start), std::to_string(o.end),
+                     std::to_string(o.requeue_count),
+                     std::to_string(o.lost_node_seconds),
+                     o.completed ? "1" : "0"});
+    }
+    std::cout << "\nwrote outcomes to " << path << '\n';
+  }
+
+  if (const std::string path = args.get("timeline", ""); !path.empty()) {
+    CsvWriter csv(path, {"time_s", "busy_nodes", "queued_jobs"});
+    const auto util = utilization_timeline(fr.outcomes);
+    const auto queue = queue_timeline(fr.outcomes);
+    std::size_t qi = 0;
+    int queued = 0;
+    for (const auto& p : util) {
+      while (qi < queue.size() && queue[qi].time <= p.time)
+        queued = queue[qi++].value;
+      csv.write_row({std::to_string(p.time), std::to_string(p.value),
+                     std::to_string(queued)});
+    }
+    std::cout << "\nwrote timeline to " << path << '\n';
+  }
+  return 0;
+}
+
 int cmd_simulate(int argc, char** argv) {
   CliArgs args(argc, argv,
                {"trace", "procs-per-node", "policy", "nodes", "rstar",
                 "load", "classes", "timeline", "faults", "requeue",
                 "search-deadline-ms", "search-threads", "search-cache",
                 "search-simd", "search-prune", "warm-start", "governor",
-                "governor-thresholds",
+                "governor-thresholds", "clusters", "meta", "migrate",
                 "checkpoint", "checkpoint-every", "resume", "outcomes",
                 "telemetry", "telemetry-fsync", "telemetry-rotate-mb",
                 "metrics"});
+  if (!args.get("clusters", "").empty()) return cmd_simulate_federation(args);
+  if (!args.get("meta", "").empty() || !args.get("migrate", "").empty())
+    throw UsageError("--meta/--migrate require --clusters");
   // Validate every flag before touching the filesystem, so operator
   // mistakes exit 2 even when the inputs are also wrong.
   std::unique_ptr<RuntimePredictor> predictor;
