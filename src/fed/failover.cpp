@@ -1,0 +1,156 @@
+#include "fed/failover.hpp"
+
+#include <algorithm>
+
+#include "obs/json.hpp"
+#include "util/error.hpp"
+
+namespace sbs::fed {
+
+namespace {
+resilience::HealthConfig probe_health_config(const FailoverConfig& cfg) {
+  resilience::HealthConfig hc;
+  hc.alpha = cfg.alpha;
+  // Probe failures (0/1) feed the queue-depth signal: the EWMA trips at
+  // 1.0 (the first failure primes it there) and recovers below
+  // recovery_fraction, which takes several consecutive good probes.
+  hc.queue_high = 1.0;
+  hc.recovery_fraction = cfg.recovery_fraction;
+  return hc;
+}
+}  // namespace
+
+MemberHealth::MemberHealth(const FailoverConfig& cfg)
+    : cfg_(cfg), monitor_(probe_health_config(cfg)) {
+  SBS_CHECK_MSG(cfg_.probe_every > 0 && cfg_.backoff_base > 0 &&
+                    cfg_.backoff_cap >= cfg_.backoff_base &&
+                    cfg_.fail_threshold >= 1 && cfg_.probe_timeout >= 0,
+                "invalid failover config");
+}
+
+Time MemberHealth::backoff_delay() const {
+  const int shift = std::min(backoff_exp_, 20);
+  const Time d = cfg_.backoff_base << shift;
+  return std::min(d, cfg_.backoff_cap);
+}
+
+MemberHealth::Event MemberHealth::tick(Time t, bool reachable) {
+  if (t < next_probe_) return Event::None;
+  const resilience::HealthVerdict v = monitor_.observe(
+      resilience::HealthSignal{reachable ? 0.0 : 1.0, 0.0, false, false});
+  if (reachable) {
+    fail_streak_ = 0;
+  } else {
+    if (fail_streak_ == 0) first_fail_ = t;
+    ++fail_streak_;
+  }
+  if (!down_) {
+    next_probe_ = t + cfg_.probe_every;
+    if (v == resilience::HealthVerdict::Overloaded &&
+        fail_streak_ >= cfg_.fail_threshold &&
+        t - first_fail_ >= cfg_.probe_timeout) {
+      down_ = true;
+      backoff_exp_ = 0;
+      next_probe_ = t + backoff_delay();
+      return Event::DeclaredDown;
+    }
+    return Event::None;
+  }
+  if (v == resilience::HealthVerdict::Recovered) {
+    down_ = false;
+    backoff_exp_ = 0;
+    next_probe_ = t + cfg_.probe_every;
+    return Event::Recovered;
+  }
+  if (reachable) {
+    // Reachable again but hysteresis not yet satisfied: probe at the
+    // healthy cadence so recovery completes promptly.
+    next_probe_ = t + cfg_.probe_every;
+  } else {
+    ++backoff_exp_;
+    next_probe_ = t + backoff_delay();
+  }
+  return Event::None;
+}
+
+void MemberHealth::append_state(obs::JsonWriter& w,
+                                std::string_view key) const {
+  w.key(key);
+  w.begin_object()
+      .field("down", down_)
+      .field("fail_streak", static_cast<std::int64_t>(fail_streak_))
+      .field("first_fail", static_cast<std::int64_t>(first_fail_))
+      .field("backoff_exp", static_cast<std::int64_t>(backoff_exp_))
+      .field("next_probe", static_cast<std::int64_t>(next_probe_));
+  monitor_.append_state(w, "monitor");
+  w.end_object();
+}
+
+void MemberHealth::restore_state(const obs::JsonValue& v) {
+  SBS_CHECK_MSG(v.is_object(), "member health state is not a JSON object");
+  const auto get = [&](const char* name) -> const obs::JsonValue& {
+    const obs::JsonValue* f = v.find(name);
+    SBS_CHECK_MSG(f != nullptr, "member health state lacks \"" << name
+                                                              << "\"");
+    return *f;
+  };
+  down_ = get("down").as_bool();
+  fail_streak_ = static_cast<int>(get("fail_streak").as_int());
+  first_fail_ = static_cast<Time>(get("first_fail").as_int());
+  backoff_exp_ = static_cast<int>(get("backoff_exp").as_int());
+  next_probe_ = static_cast<Time>(get("next_probe").as_int());
+  monitor_.restore_state(get("monitor"));
+}
+
+void JobLedger::reset(std::size_t members) {
+  in.assign(members, 0);
+  out.assign(members, 0);
+  speculative.clear();
+  commits.clear();
+  failovers = rehomes = dedupes = duplicate_runs = 0;
+}
+
+void JobLedger::transfer(std::size_t from, std::size_t to) {
+  SBS_CHECK_MSG(from < out.size() && to < in.size(),
+                "ledger transfer between unknown members");
+  ++out[from];
+  ++in[to];
+}
+
+bool JobLedger::speculating(int job) const {
+  return std::any_of(speculative.begin(), speculative.end(),
+                     [job](const RehomeEntry& e) { return e.job == job; });
+}
+
+void JobLedger::open_spec(int job, int from, int to) {
+  SBS_CHECK_MSG(!speculating(job),
+                "job " << job << " already has an open speculative copy");
+  speculative.push_back(RehomeEntry{job, from, to});
+}
+
+void JobLedger::close_spec(int job) {
+  auto it = std::find_if(speculative.begin(), speculative.end(),
+                         [job](const RehomeEntry& e) { return e.job == job; });
+  SBS_CHECK_MSG(it != speculative.end(),
+                "no open speculative copy for job " << job);
+  speculative.erase(it);
+}
+
+void JobLedger::commit(int job, int member) {
+  for (const CommitEntry& c : commits) {
+    if (c.job != job) continue;
+    SBS_CHECK_MSG(c.member == member,
+                  "job " << job << " committed twice (members " << c.member
+                         << " and " << member << ")");
+    return;
+  }
+  commits.push_back(CommitEntry{job, member});
+}
+
+int JobLedger::committed_to(int job) const {
+  for (const CommitEntry& c : commits)
+    if (c.job == job) return c.member;
+  return -1;
+}
+
+}  // namespace sbs::fed

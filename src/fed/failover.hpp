@@ -1,0 +1,126 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "resilience/health.hpp"
+#include "util/time.hpp"
+
+namespace sbs::obs {
+class JsonWriter;
+struct JsonValue;
+}  // namespace sbs::obs
+
+namespace sbs::fed {
+
+/// Failover tuning, all in virtual (simulation) time. The defaults give:
+/// probes every 60 s, a member declared down after 3 consecutive failed
+/// probes spanning at least probe_timeout seconds (hysteresis against
+/// blips), then retry probes at 60 s, 120 s, 240 s, ... capped at
+/// backoff_cap; recovery needs enough consecutive good probes to pull the
+/// probe-failure EWMA under recovery_fraction of the trip level.
+struct FailoverConfig {
+  Time probe_every = 60;    ///< healthy-member probe cadence
+  Time probe_timeout = 120; ///< min unreachable span before declare-down
+  int fail_threshold = 3;   ///< consecutive failed probes before declare
+  Time backoff_base = 60;   ///< first retry delay after declare-down
+  Time backoff_cap = 1920;  ///< retry delay ceiling
+  double alpha = 0.5;            ///< probe EWMA smoothing
+  double recovery_fraction = 0.5;  ///< hysteresis on the way back up
+};
+
+/// Per-member failover state machine driven by virtual-time probes.
+/// A probe is one reachability check at a federation event time; failures
+/// feed a resilience::HealthMonitor (probe failure as the queue-depth
+/// signal), whose Overloaded/Recovered verdicts provide hysteresis in both
+/// directions. Deterministic and fully serializable.
+class MemberHealth {
+ public:
+  explicit MemberHealth(const FailoverConfig& cfg);
+
+  enum class Event {
+    None,          ///< probe not due, or no state change
+    DeclaredDown,  ///< hysteresis tripped: exclude from routing, re-home
+    Recovered,     ///< hysteresis released: routable again
+  };
+
+  /// Fires the probe due at `t` (no-op before next_probe()). `reachable`
+  /// is the ground-truth link/member state at `t`.
+  Event tick(Time t, bool reachable);
+
+  bool down() const { return down_; }
+  bool routable() const { return !down_; }
+  Time next_probe() const { return next_probe_; }
+
+  /// Checkpoint support: full state as one JSON object value under `key`.
+  void append_state(obs::JsonWriter& w, std::string_view key) const;
+  void restore_state(const obs::JsonValue& v);
+
+ private:
+  Time backoff_delay() const;
+
+  FailoverConfig cfg_;
+  resilience::HealthMonitor monitor_;
+  bool down_ = false;
+  int fail_streak_ = 0;
+  Time first_fail_ = 0;  ///< start of the current failure streak
+  int backoff_exp_ = 0;  ///< retry exponent while down
+  Time next_probe_ = 0;
+};
+
+/// One unresolved speculative re-home: a copy of `job` — last seen waiting
+/// at the partitioned member `from` — was injected at `to`. Reconciliation
+/// on link heal (or, for a both-sides-ran race, the final merge) resolves
+/// which side's execution is canonical.
+struct RehomeEntry {
+  int job = 0;
+  int from = 0;
+  int to = 0;
+};
+
+/// Federation-level exactly-once ledger. Extends the routed/migrations
+/// accounting with every ownership transfer (migration, re-home, adopt,
+/// return), the set of open speculative copies, and canonical completion
+/// commits, so that a job completed inside a partition is never counted
+/// (or run) twice once its re-homed copy lands. The balance invariant the
+/// checker asserts per member i:
+///
+///   routed[i] + in[i] - out[i] == |{ jobs finally owned by i }|
+///
+/// plus: no open speculations after the run, at most one canonical
+/// completion per job, and no job lost (zero completions only for jobs
+/// the merged outcome reports as never started / dropped).
+struct JobLedger {
+  std::vector<std::uint64_t> in;   ///< ownership transfers into member
+  std::vector<std::uint64_t> out;  ///< ownership transfers out of member
+  std::vector<RehomeEntry> speculative;  ///< open speculative copies
+  struct CommitEntry {
+    int job = 0;
+    int member = 0;  ///< whose completion is canonical
+  };
+  std::vector<CommitEntry> commits;  ///< chaos-touched jobs only
+
+  std::uint64_t failovers = 0;       ///< declare-down events
+  std::uint64_t rehomes = 0;         ///< jobs moved off a dead member
+  std::uint64_t dedupes = 0;         ///< duplicate copies extracted
+  std::uint64_t duplicate_runs = 0;  ///< races where both copies executed
+
+  void reset(std::size_t members);
+
+  /// Records one ownership transfer (the caller updates the owner map).
+  void transfer(std::size_t from, std::size_t to);
+
+  bool speculating(int job) const;
+  void open_spec(int job, int from, int to);
+  void close_spec(int job);
+
+  /// Marks `member`'s completion of `job` canonical. Throws if a
+  /// different member already committed it (double-completion).
+  void commit(int job, int member);
+  /// -1 when no commit was recorded (the normal, chaos-untouched path).
+  int committed_to(int job) const;
+};
+
+}  // namespace sbs::fed

@@ -4,6 +4,7 @@
 #include <charconv>
 
 #include "cluster/resource_profile.hpp"
+#include "obs/json.hpp"
 #include "obs/telemetry.hpp"
 #include "util/error.hpp"
 
@@ -45,6 +46,19 @@ Federation::Federation(const Trace& trace,
   routed_.assign(n, 0);
   migrations_in_.assign(n, 0);
   migrations_out_.assign(n, 0);
+  member_down_.assign(n, 0);
+  link_down_.assign(n, 0);
+  stale_waiting_.assign(n, {});
+  ledger_.reset(n);
+  if (config_.chaos != nullptr) chaos_ = config_.chaos->events();
+  for (const ChaosEvent& e : chaos_)
+    SBS_CHECK_MSG(e.member >= 0 && static_cast<std::size_t>(e.member) < n,
+                  "chaos schedule names member " << e.member << ", run has "
+                      << n << " members");
+  if (!chaos_.empty()) {
+    health_.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) health_.emplace_back(config_.failover);
+  }
 
   member_traces_.reserve(n);
   schedulers_.reserve(n);
@@ -58,6 +72,33 @@ Federation::Federation(const Trace& trace,
     schedulers_.push_back(make_scheduler(i));
     SBS_CHECK_MSG(schedulers_.back() != nullptr,
                   "scheduler factory returned null for member " << i);
+  }
+
+  // Blackout windows become full-capacity NodeDown/NodeUp pairs merged
+  // into each member's own fault schedule: the member sim then applies
+  // its usual kill/requeue/park semantics, and the merged schedule
+  // re-derives deterministically so only cursors need snapshotting.
+  if (!chaos_.empty()) {
+    merged_faults_.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      std::vector<FaultEvent> merged;
+      if (config_.members[i].faults != nullptr)
+        merged = config_.members[i].faults->events();
+      for (const ChaosEvent& e : chaos_) {
+        if (static_cast<std::size_t>(e.member) != i) continue;
+        if (e.kind == ChaosKind::MemberDown)
+          merged.push_back(FaultEvent{e.time, FaultKind::NodeDown,
+                                      config_.members[i].nodes, -1, 0});
+        else if (e.kind == ChaosKind::MemberUp)
+          merged.push_back(FaultEvent{e.time, FaultKind::NodeUp,
+                                      config_.members[i].nodes, -1, 0});
+      }
+      std::stable_sort(merged.begin(), merged.end(),
+                       [](const FaultEvent& a, const FaultEvent& b) {
+                         return a.time < b.time;
+                       });
+      merged_faults_.push_back(FaultInjector::from_events(std::move(merged)));
+    }
   }
 
   if (config_.resume != nullptr) {
@@ -84,6 +125,55 @@ Federation::Federation(const Trace& trace,
     migrations_in_ = snap.migrations_in;
     migrations_out_ = snap.migrations_out;
     if (!snap.meta_state.empty()) meta_.restore_state(snap.meta_state);
+
+    // v2 fault-tolerance block. A v1 snapshot (or a v2 one from a
+    // chaos-free run) leaves these at their defaults; the ledger then
+    // seeds its transfer totals from the migration counters so the
+    // end-of-run balance check still holds.
+    SBS_CHECK_MSG(snap.next_chaos <= chaos_.size(),
+                  "federation snapshot chaos cursor out of range");
+    next_chaos_ = snap.next_chaos;
+    if (!snap.member_down.empty() || !snap.link_down.empty()) {
+      SBS_CHECK_MSG(snap.member_down.size() == n && snap.link_down.size() == n,
+                    "federation snapshot outage-flag size mismatch");
+      member_down_ = snap.member_down;
+      link_down_ = snap.link_down;
+    }
+    if (!snap.health.empty()) {
+      SBS_CHECK_MSG(snap.health.size() == n && !chaos_.empty(),
+                    "federation snapshot health block mismatch");
+      for (std::size_t i = 0; i < n; ++i) {
+        const obs::JsonValue v = obs::parse_json(snap.health[i]);
+        const obs::JsonValue* h = v.find("h");
+        SBS_CHECK_MSG(h != nullptr,
+                      "federation snapshot health entry lacks \"h\"");
+        health_[i].restore_state(*h);
+      }
+    }
+    limbo_ = snap.limbo;
+    if (!snap.stale_waiting.empty()) {
+      SBS_CHECK_MSG(snap.stale_waiting.size() == n,
+                    "federation snapshot stale-view size mismatch");
+      stale_waiting_ = snap.stale_waiting;
+    }
+    for (const auto& e : snap.speculative)
+      ledger_.speculative.push_back(RehomeEntry{e.job, e.from, e.to});
+    for (const auto& e : snap.commits)
+      ledger_.commits.push_back(JobLedger::CommitEntry{e.job, e.member});
+    if (!snap.transfers_in.empty()) {
+      SBS_CHECK_MSG(snap.transfers_in.size() == n &&
+                        snap.transfers_out.size() == n,
+                    "federation snapshot ledger size mismatch");
+      ledger_.in = snap.transfers_in;
+      ledger_.out = snap.transfers_out;
+    } else {
+      ledger_.in = migrations_in_;
+      ledger_.out = migrations_out_;
+    }
+    ledger_.failovers = snap.failovers;
+    ledger_.rehomes = snap.rehomes;
+    ledger_.dedupes = snap.dedupes;
+    ledger_.duplicate_runs = snap.duplicate_runs;
   }
 
   if (tel_)
@@ -98,7 +188,8 @@ Federation::Federation(const Trace& trace,
     mc.kill_at_request = config_.kill_at_request;
     mc.requeue = config_.requeue;
     mc.max_events = config_.max_events;
-    mc.faults = config_.members[i].faults;
+    mc.faults = chaos_.empty() ? config_.members[i].faults
+                               : &merged_faults_[i];
     mc.telemetry = tel_;
     mc.emit_run_record = false;
     mc.validate_trace = false;
@@ -131,7 +222,31 @@ Time Federation::next_event_time() const {
                ? trace_.jobs[next_arrival_].submit
                : sim::Simulator::kNoEvent;
   for (const auto& s : sims_) t = std::min(t, s->next_event_time());
+  // Chaos edges are event times too (the schedule is finite), and while
+  // any outage/partition/declared-down state is live, so are the health
+  // probes — otherwise a federation with an empty queue would sleep
+  // through its own recovery.
+  if (next_chaos_ < chaos_.size()) t = std::min(t, chaos_[next_chaos_].time);
+  if (failover_active())
+    for (const MemberHealth& h : health_) t = std::min(t, h.next_probe());
   return t;
+}
+
+bool Federation::unreachable(std::size_t i) const {
+  return member_down_[i] != 0 || link_down_[i] != 0;
+}
+
+bool Federation::failover_active() const {
+  if (chaos_.empty()) return false;
+  // Open speculations deliberately do NOT keep the failover clock alive:
+  // a race that survives its heal-edge reconciliation (both copies ran)
+  // resolves at the final merge and needs no further events — counting it
+  // here would probe forever once the queues drain. Limbo needs no term
+  // either: a parked routing's target is unreachable until the heal edge
+  // (a chaos event of its own) delivers it.
+  for (std::size_t i = 0; i < sims_.size(); ++i)
+    if (unreachable(i) || health_[i].down()) return true;
+  return false;
 }
 
 std::vector<ClusterProbe> Federation::build_probes() const {
@@ -139,6 +254,7 @@ std::vector<ClusterProbe> Federation::build_probes() const {
   for (std::size_t i = 0; i < sims_.size(); ++i) {
     ClusterProbe& p = probes[i];
     p.cluster = static_cast<int>(i);
+    p.available = chaos_.empty() || health_[i].routable();
     p.total_capacity = member_traces_[i].capacity;
     p.live_capacity = sims_[i]->live_capacity();
     p.free_nodes = p.live_capacity - sims_[i]->used_nodes();
@@ -191,7 +307,20 @@ void Federation::route_arrivals(Time t) {
                   meta_.name() << " routed job " << j.id
                                << " to unknown cluster " << target);
     const auto ti = static_cast<std::size_t>(target);
-    sims_[ti]->inject_arrival(j.id, t, /*record_submit=*/true);
+    if (!chaos_.empty() && unreachable(ti)) {
+      // The routing message is dropped by the outage/partition: the job
+      // parks in meta-side limbo until the member heals (delivery at
+      // reconciliation) or its health is declared down (re-route to a
+      // survivor). The submit is a meta-side fact, so its record is
+      // emitted here, exactly as the member would have.
+      limbo_.push_back({j.id, target});
+      if (tel_) {
+        tel_->set_cluster(sims_.size() > 1 ? target : -1);
+        tel_->job_submitted(t, j.id, j.nodes, j.runtime, j.requested, j.user);
+      }
+    } else {
+      sims_[ti]->inject_arrival(j.id, t, /*record_submit=*/true);
+    }
     owner_[static_cast<std::size_t>(j.id)] = target;
     ++routed_[ti];
     probes[ti].waiting += 1;
@@ -209,12 +338,31 @@ void Federation::close_all_arrivals() {
   for (auto& s : sims_) s->close_arrivals();
 }
 
+void Federation::transfer_owner(int job_id, std::size_t to) {
+  const int prev = owner_[static_cast<std::size_t>(job_id)];
+  SBS_CHECK_MSG(prev >= 0, "ownership transfer of an unrouted job "
+                               << job_id);
+  if (static_cast<std::size_t>(prev) == to) return;
+  ledger_.transfer(static_cast<std::size_t>(prev), to);
+  owner_[static_cast<std::size_t>(job_id)] = static_cast<int>(to);
+}
+
+// Re-steps members that received injected arrivals so those are admitted
+// (and decided on) at `t`, in cluster-id order.
+void Federation::restep(Time t) {
+  std::sort(retarget_.begin(), retarget_.end());
+  retarget_.erase(std::unique(retarget_.begin(), retarget_.end()),
+                  retarget_.end());
+  for (const std::size_t dst : retarget_) sims_[dst]->step(t);
+  retarget_.clear();
+}
+
 void Federation::do_migrate(std::size_t src, std::size_t dst, int job_id,
                             Time t) {
   SBS_CHECK_MSG(sims_[src]->extract_waiting(job_id),
                 "migration source lost job " << job_id);
   sims_[dst]->inject_arrival(job_id, t, /*record_submit=*/false);
-  owner_[static_cast<std::size_t>(job_id)] = static_cast<int>(dst);
+  transfer_owner(job_id, dst);
   ++migrations_;
   ++migrations_out_[src];
   ++migrations_in_[dst];
@@ -225,8 +373,13 @@ void Federation::do_migrate(std::size_t src, std::size_t dst, int job_id,
 }
 
 void Federation::migrate(Time t) {
-  retarget_.clear();
   const std::size_t n = sims_.size();
+  // A member the meta cannot reach (or has declared down) neither gives
+  // up nor receives migrations: its queue is frozen from the meta's point
+  // of view, and failover — not load balancing — owns the dead case.
+  const auto excluded = [&](std::size_t i) {
+    return !chaos_.empty() && (unreachable(i) || health_[i].down());
+  };
   // Normalized load: smoothed + instantaneous backlog per node, seconds.
   const auto norm = [&](std::size_t i) {
     return (ewma_[i] + queue_demand(i)) /
@@ -234,21 +387,26 @@ void Federation::migrate(Time t) {
   };
 
   for (std::size_t src = 0; src < n; ++src) {
+    if (excluded(src)) continue;
     sim::Simulator& s = *sims_[src];
 
     // Stranded jobs: node failures shrank this member below a waiting
     // job's width. Move each to the least-loaded member that can start it
     // at current live capacity; if none exists it stays parked (the
-    // source may recover first).
+    // source may recover first). Jobs with an open speculative copy stay
+    // put — reconciliation owns their placement.
     const int live = s.live_capacity();
     std::vector<int> stranded;
     for (const WaitingJob& w : s.waiting_jobs())
-      if (w.job->nodes > live) stranded.push_back(w.job->id);
+      if (w.job->nodes > live && !ledger_.speculating(w.job->id))
+        stranded.push_back(w.job->id);
     for (const int id : stranded) {
       const Job& j = trace_.jobs[static_cast<std::size_t>(id)];
       std::size_t best = n;
       for (std::size_t dst = 0; dst < n; ++dst) {
-        if (dst == src || sims_[dst]->live_capacity() < j.nodes) continue;
+        if (dst == src || excluded(dst) ||
+            sims_[dst]->live_capacity() < j.nodes)
+          continue;
         if (best == n || norm(dst) < norm(best)) best = dst;
       }
       if (best != n) do_migrate(src, best, id, t);
@@ -268,8 +426,10 @@ void Federation::migrate(Time t) {
       // The queue is FCFS-sorted; scan newest-first for a job with an
       // eligible destination.
       for (auto it = q.rbegin(); it != q.rend() && victim < 0; ++it) {
+        if (ledger_.speculating(it->job->id)) continue;
         for (std::size_t dst = 0; dst < n; ++dst) {
-          if (dst == src || sims_[dst]->live_capacity() < it->job->nodes)
+          if (dst == src || excluded(dst) ||
+              sims_[dst]->live_capacity() < it->job->nodes)
             continue;
           if (norm(dst) >= config_.migration.target_ratio * src_norm)
             continue;
@@ -282,12 +442,318 @@ void Federation::migrate(Time t) {
     }
   }
 
-  // Re-step migration targets so the injected arrivals are admitted (and
-  // decided on) at `t`, in cluster-id order.
-  std::sort(retarget_.begin(), retarget_.end());
-  retarget_.erase(std::unique(retarget_.begin(), retarget_.end()),
-                  retarget_.end());
-  for (const std::size_t dst : retarget_) sims_[dst]->step(t);
+  restep(t);
+}
+
+// Advances the chaos cursor through every edge due at `t`, flipping the
+// ground-truth flags. Runs before the member step at `t`, so the stale
+// view captured at a LinkDown edge is exactly the meta's last synchronized
+// look at the member's queue.
+void Federation::apply_chaos_edges(Time t) {
+  while (next_chaos_ < chaos_.size() && chaos_[next_chaos_].time <= t) {
+    const ChaosEvent& e = chaos_[next_chaos_++];
+    const auto m = static_cast<std::size_t>(e.member);
+    switch (e.kind) {
+      case ChaosKind::MemberDown:
+        member_down_[m] = 1;
+        break;
+      case ChaosKind::LinkDown:
+        link_down_[m] = 1;
+        stale_waiting_[m].clear();
+        for (const WaitingJob& w : sims_[m]->waiting_jobs())
+          stale_waiting_[m].push_back(w.job->id);
+        break;
+      case ChaosKind::MemberUp:
+        member_down_[m] = 0;
+        if (!unreachable(m)) reconcile_pending_.push_back(m);
+        break;
+      case ChaosKind::LinkUp:
+        link_down_[m] = 0;
+        if (!unreachable(m)) reconcile_pending_.push_back(m);
+        break;
+    }
+    if (tel_) tel_->chaos_event(e.time, chaos_kind_name(e.kind), e.member);
+  }
+}
+
+// Least-loaded reachable member that can take `j`: live capacity first
+// (can start once a slot frees), full machine size as fallback (parks
+// until nodes recover). Returns member_count() when nobody qualifies.
+std::size_t Federation::pick_survivor(const Job& j, std::size_t avoid) const {
+  const std::size_t n = sims_.size();
+  const auto norm = [&](std::size_t i) {
+    return (ewma_[i] + queue_demand(i)) /
+           static_cast<double>(member_traces_[i].capacity);
+  };
+  for (int pass = 0; pass < 2; ++pass) {
+    std::size_t best = n;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (i == avoid || unreachable(i) || health_[i].down()) continue;
+      const int cap = pass == 0 ? sims_[i]->live_capacity()
+                                : member_traces_[i].capacity;
+      if (cap < j.nodes) continue;
+      if (best == n || norm(i) < norm(best)) best = i;
+    }
+    if (best != n) return best;
+  }
+  return n;
+}
+
+// The health monitor just declared member `m` down. Blackout: its queue
+// really is frozen (running jobs were killed by the merged fault
+// schedule), so waiting jobs are extracted and moved for real. Link-only
+// partition: the member is alive and scheduling autonomously behind the
+// partition, so survivors get speculative COPIES built from the meta's
+// stale view and the ledger keeps the books until reconciliation.
+// Re-homed jobs keep their original submit time, so they enter the
+// survivor's queue at their historical FCFS position.
+void Federation::rehome_member(std::size_t m, Time t) {
+  // Routings parked in limbo for `m` re-route to survivors first.
+  std::size_t kept = 0;
+  for (const auto& e : limbo_) {
+    const Job& j = trace_.jobs[static_cast<std::size_t>(e.job)];
+    std::size_t s;
+    if (e.target != static_cast<int>(m) ||
+        (s = pick_survivor(j, m)) == sims_.size()) {
+      limbo_[kept++] = e;
+      continue;
+    }
+    sims_[s]->inject_arrival(e.job, t, /*record_submit=*/false);
+    transfer_owner(e.job, s);
+    ++ledger_.rehomes;
+    retarget_.push_back(s);
+    if (tel_)
+      tel_->job_rehomed(t, e.job, static_cast<int>(m), static_cast<int>(s),
+                        /*copy=*/false);
+  }
+  limbo_.resize(kept);
+
+  if (member_down_[m] != 0) {
+    std::vector<int> ids;
+    for (const WaitingJob& w : sims_[m]->waiting_jobs())
+      ids.push_back(w.job->id);
+    for (const int id : ids) {
+      if (ledger_.committed_to(id) != -1) continue;
+      const RehomeEntry* sp = nullptr;
+      for (const RehomeEntry& e : ledger_.speculative)
+        if (e.job == id) sp = &e;
+      if (sp != nullptr && sp->from == static_cast<int>(m)) {
+        // A copy from an earlier partition of m already lives elsewhere:
+        // extracting the original here IS the dedupe.
+        SBS_CHECK_MSG(sims_[m]->extract_waiting(id),
+                      "dead member lost job " << id);
+        ++ledger_.dedupes;
+        const int to = sp->to;
+        ledger_.close_spec(id);
+        if (tel_) tel_->job_reconciled(t, id, to, "dedupe");
+        continue;
+      }
+      const Job& j = trace_.jobs[static_cast<std::size_t>(id)];
+      const std::size_t s = pick_survivor(j, m);
+      if (s == sims_.size()) continue;  // parks at m until its reboot
+      SBS_CHECK_MSG(sims_[m]->extract_waiting(id),
+                    "dead member lost job " << id);
+      sims_[s]->inject_arrival(id, t, /*record_submit=*/false);
+      if (sp != nullptr) {
+        // m hosted the speculative copy and is now dark itself: the copy
+        // moves on, the open speculation follows it.
+        for (RehomeEntry& e : ledger_.speculative)
+          if (e.job == id) e.to = static_cast<int>(s);
+      }
+      transfer_owner(id, s);
+      ++ledger_.rehomes;
+      retarget_.push_back(s);
+      if (tel_)
+        tel_->job_rehomed(t, id, static_cast<int>(m), static_cast<int>(s),
+                          /*copy=*/false);
+    }
+    return;
+  }
+
+  // Link-only partition: speculate from the stale view.
+  for (const int id : stale_waiting_[m]) {
+    if (ledger_.speculating(id) || ledger_.committed_to(id) != -1) continue;
+    if (owner_[static_cast<std::size_t>(id)] != static_cast<int>(m)) continue;
+    const Job& j = trace_.jobs[static_cast<std::size_t>(id)];
+    const std::size_t s = pick_survivor(j, m);
+    if (s == sims_.size()) continue;
+    sims_[s]->inject_arrival(id, t, /*record_submit=*/false);
+    ledger_.open_spec(id, static_cast<int>(m), static_cast<int>(s));
+    transfer_owner(id, s);
+    ++ledger_.rehomes;
+    retarget_.push_back(s);
+    if (tel_)
+      tel_->job_rehomed(t, id, static_cast<int>(m), static_cast<int>(s),
+                        /*copy=*/true);
+  }
+}
+
+// Member `m` is reachable again: ground truth replaces the stale view.
+// Open speculations rooted at m resolve here; a job that completed inside
+// the partition is committed and its copy extracted, so it never runs
+// twice. Then the limbo routings addressed to m are finally delivered.
+void Federation::reconcile(std::size_t m, Time t) {
+  const auto waiting_at = [&](std::size_t i, int id) {
+    for (const WaitingJob& w : sims_[i]->waiting_jobs())
+      if (w.job->id == id) return true;
+    return false;
+  };
+  const auto running_at = [&](std::size_t i, int id) {
+    for (const RunningJob& r : sims_[i]->running_jobs())
+      if (r.job->id == id) return true;
+    return false;
+  };
+
+  std::vector<RehomeEntry> specs;
+  for (const RehomeEntry& e : ledger_.speculative)
+    if (e.from == static_cast<int>(m)) specs.push_back(e);
+  for (const RehomeEntry& e : specs) {
+    const auto to = static_cast<std::size_t>(e.to);
+    if (waiting_at(m, e.job)) {
+      // The original never ran behind the partition: the copy (wherever
+      // it is in `to`'s pipeline) is canonical.
+      SBS_CHECK_MSG(sims_[m]->extract_waiting(e.job),
+                    "reconcile lost waiting job " << e.job);
+      ++ledger_.dedupes;
+      ledger_.close_spec(e.job);
+      if (tel_) tel_->job_reconciled(t, e.job, e.to, "adopt");
+    } else if (running_at(m, e.job)) {
+      // The original is running at m: pull the copy back if still queued;
+      // if the copy started too, both executions race to the merge.
+      if (sims_[to]->extract_waiting(e.job)) {
+        ++ledger_.dedupes;
+        transfer_owner(e.job, m);
+        ledger_.close_spec(e.job);
+        if (tel_)
+          tel_->job_reconciled(t, e.job, static_cast<int>(m), "return");
+      } else {
+        if (tel_) tel_->job_reconciled(t, e.job, static_cast<int>(m), "race");
+      }
+    } else {
+      // Terminal at m. Migration and extraction were gated for the whole
+      // partition, so the job cannot have left m: this is a genuine
+      // completion (the only state with completed set and a positive
+      // duration; JobOutcome defaults to completed with start == end == 0,
+      // and a killed attempt zeroes its times) or a Drop-policy drop.
+      const JobOutcome& oc = sims_[m]->outcome_so_far(e.job);
+      if (oc.completed && oc.end > oc.start) {
+        if (sims_[to]->extract_waiting(e.job)) {
+          ++ledger_.dedupes;
+          transfer_owner(e.job, m);
+          ledger_.commit(e.job, static_cast<int>(m));
+          ledger_.close_spec(e.job);
+          if (tel_)
+            tel_->job_reconciled(t, e.job, static_cast<int>(m), "dedupe");
+        } else {
+          if (tel_)
+            tel_->job_reconciled(t, e.job, static_cast<int>(m), "race");
+        }
+      } else {
+        // Dropped at m: the copy is the job's only remaining execution.
+        ledger_.close_spec(e.job);
+        if (tel_) tel_->job_reconciled(t, e.job, e.to, "orphan");
+      }
+    }
+  }
+
+  std::size_t kept = 0;
+  for (const auto& e : limbo_) {
+    if (e.target == static_cast<int>(m)) {
+      sims_[m]->inject_arrival(e.job, t, /*record_submit=*/false);
+      retarget_.push_back(m);
+      if (tel_)
+        tel_->job_reconciled(t, e.job, static_cast<int>(m), "deliver");
+    } else {
+      limbo_[kept++] = e;
+    }
+  }
+  limbo_.resize(kept);
+  stale_waiting_[m].clear();
+}
+
+void Federation::failover_tick(Time t) {
+  if (!failover_active()) return;
+  for (std::size_t i = 0; i < sims_.size(); ++i) {
+    switch (health_[i].tick(t, !unreachable(i))) {
+      case MemberHealth::Event::DeclaredDown:
+        ++ledger_.failovers;
+        if (tel_) tel_->member_health(t, static_cast<int>(i), /*down=*/true);
+        rehome_member(i, t);
+        break;
+      case MemberHealth::Event::Recovered:
+        if (tel_) tel_->member_health(t, static_cast<int>(i), /*down=*/false);
+        break;
+      case MemberHealth::Event::None:
+        break;
+    }
+  }
+  restep(t);
+}
+
+// The exactly-once proof, asserted after every run (cheap, so it also
+// guards plain migration accounting when chaos is off):
+//  - nothing is still in limbo and no speculation is open;
+//  - per member, routed + transfers-in - transfers-out == jobs owned;
+//  - every job really completed at most twice, twice only for counted
+//    duplicate races, and the merged outcome matches its owner's.
+void Federation::check_invariants(const FederationResult& fr) const {
+  const std::size_t n = sims_.size();
+  SBS_CHECK_MSG(limbo_.empty(), "exactly-once: " << limbo_.size()
+                                    << " routings still in limbo");
+  SBS_CHECK_MSG(ledger_.speculative.empty(),
+                "exactly-once: unresolved speculative copies");
+  std::vector<std::int64_t> owned(n, 0);
+  for (std::size_t j = 0; j < fr.owner.size(); ++j) {
+    const int o = fr.owner[j];
+    SBS_CHECK_MSG(o >= 0 && static_cast<std::size_t>(o) < n,
+                  "exactly-once: job " << j << " has no owner");
+    ++owned[static_cast<std::size_t>(o)];
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::int64_t balance = static_cast<std::int64_t>(routed_[i]) +
+                                 static_cast<std::int64_t>(ledger_.in[i]) -
+                                 static_cast<std::int64_t>(ledger_.out[i]);
+    SBS_CHECK_MSG(balance == owned[i],
+                  "ledger imbalance at member " << i << ": routed "
+                      << routed_[i] << " + in " << ledger_.in[i] << " - out "
+                      << ledger_.out[i] << " != owned " << owned[i]);
+  }
+  std::uint64_t races = 0;
+  for (std::size_t j = 0; j < fr.outcomes.size(); ++j) {
+    int completions = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const JobOutcome& oc = fr.members[i].sim.outcomes[j];
+      // "Really ran at i" = completed with a positive duration. The flag
+      // alone is not enough (JobOutcome defaults to completed for the
+      // fault-free invariant, so members that never saw the job read
+      // completed with start == end == 0), and absolute times are no
+      // signal either (warm-up jobs submitted before the window have
+      // negative ones) — but every real execution has end > start.
+      if (oc.completed && oc.end > oc.start) ++completions;
+    }
+    SBS_CHECK_MSG(completions <= 2,
+                  "exactly-once: job " << j << " ran " << completions
+                                       << " times");
+    if (completions == 2) ++races;
+    const auto o = static_cast<std::size_t>(fr.owner[j]);
+    if (fr.outcomes[j].completed) {
+      const JobOutcome& oo = fr.members[o].sim.outcomes[j];
+      SBS_CHECK_MSG(oo.completed && oo.end > oo.start,
+                    "exactly-once: job " << j
+                        << " merged from a member that never ran it");
+      const int c = ledger_.committed_to(static_cast<int>(j));
+      SBS_CHECK_MSG(c == -1 || c == fr.owner[j],
+                    "exactly-once: job " << j << " owned by " << fr.owner[j]
+                        << " but committed to " << c);
+    } else {
+      SBS_CHECK_MSG(completions == 0,
+                    "exactly-once: job " << j
+                        << " completed somewhere but reported lost");
+    }
+  }
+  SBS_CHECK_MSG(races == ledger_.duplicate_runs,
+                "exactly-once: " << races << " duplicate runs observed, "
+                    << ledger_.duplicate_runs << " accounted");
 }
 
 sim::FederationSnapshot Federation::capture() const {
@@ -303,6 +769,32 @@ sim::FederationSnapshot Federation::capture() const {
   snap.meta_state = meta_.save_state();
   snap.members.reserve(sims_.size());
   for (const auto& s : sims_) snap.members.push_back(s->capture());
+
+  snap.next_chaos = next_chaos_;
+  if (!chaos_.empty()) {
+    snap.member_down = member_down_;
+    snap.link_down = link_down_;
+    snap.health.reserve(health_.size());
+    for (const MemberHealth& h : health_) {
+      obs::JsonWriter w;
+      w.begin_object();
+      h.append_state(w, "h");
+      w.end_object();
+      snap.health.push_back(w.str());
+    }
+    snap.limbo = limbo_;
+    snap.stale_waiting = stale_waiting_;
+    for (const RehomeEntry& e : ledger_.speculative)
+      snap.speculative.push_back({e.job, e.from, e.to});
+    for (const JobLedger::CommitEntry& c : ledger_.commits)
+      snap.commits.push_back({c.job, c.member});
+    snap.transfers_in = ledger_.in;
+    snap.transfers_out = ledger_.out;
+    snap.failovers = ledger_.failovers;
+    snap.rehomes = ledger_.rehomes;
+    snap.dedupes = ledger_.dedupes;
+    snap.duplicate_runs = ledger_.duplicate_runs;
+  }
   return snap;
 }
 
@@ -324,6 +816,10 @@ FederationResult Federation::run() {
     const Time t = next_event_time();
     if (t == sim::Simulator::kNoEvent) break;
 
+    // Chaos edges flip first: an arrival routed at `t` already sees the
+    // outage, and a LinkDown's stale view is the pre-step queue.
+    if (!chaos_.empty()) apply_chaos_edges(t);
+
     // Route this instant's arrivals first, so members admit them inside
     // the very step that handles their other events at `t` — the same
     // batching the plain simulator applies.
@@ -332,9 +828,28 @@ FederationResult Federation::run() {
 
     for (auto& s : sims_) s->step(t);
 
-    for (std::size_t i = 0; i < n; ++i)
+    // Members whose outage or partition just healed reconcile against
+    // ground truth (post-step, so "still waiting there" is exact).
+    if (!reconcile_pending_.empty()) {
+      std::sort(reconcile_pending_.begin(), reconcile_pending_.end());
+      reconcile_pending_.erase(std::unique(reconcile_pending_.begin(),
+                                           reconcile_pending_.end()),
+                               reconcile_pending_.end());
+      const std::vector<std::size_t> pending = std::move(reconcile_pending_);
+      reconcile_pending_.clear();
+      for (const std::size_t m : pending) reconcile(m, t);
+      restep(t);
+    }
+
+    for (std::size_t i = 0; i < n; ++i) {
+      // No telemetry crosses an outage or partition: the EWMA freezes at
+      // the last value the meta actually saw.
+      if (!chaos_.empty() && unreachable(i)) continue;
       ewma_[i] = config_.ewma_alpha * queue_demand(i) +
                  (1.0 - config_.ewma_alpha) * ewma_[i];
+    }
+
+    failover_tick(t);
 
     if (config_.migration.enabled && n > 1) migrate(t);
 
@@ -346,7 +861,6 @@ FederationResult Federation::run() {
   }
 
   FederationResult fr;
-  fr.owner = owner_;
   fr.migrations = migrations_;
   fr.members.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
@@ -361,6 +875,50 @@ FederationResult Federation::run() {
     fr.avg_queue_length += mr.sim.avg_queue_length;
     fr.members.push_back(std::move(mr));
   }
+
+  // Resolve the speculation races the partitions left open: both sides
+  // (or neither) may have executed. The earlier finish wins — ties to the
+  // original home — and the loser's whole run is booked as lost work.
+  std::vector<std::pair<std::size_t, Time>> extra_lost;
+  const std::vector<RehomeEntry> open_specs = ledger_.speculative;
+  for (const RehomeEntry& e : open_specs) {
+    const auto from = static_cast<std::size_t>(e.from);
+    const auto to = static_cast<std::size_t>(e.to);
+    const auto jd = static_cast<std::size_t>(e.job);
+    const JobOutcome& a = fr.members[from].sim.outcomes[jd];
+    const JobOutcome& b = fr.members[to].sim.outcomes[jd];
+    const auto done = [](const JobOutcome& oc) {
+      return oc.completed && oc.end > oc.start;
+    };
+    int winner;
+    if (done(a) && done(b)) {
+      ++ledger_.duplicate_runs;
+      winner = b.end < a.end ? e.to : e.from;
+      const JobOutcome& loser = winner == e.from ? b : a;
+      extra_lost.emplace_back(
+          jd, static_cast<Time>(trace_.jobs[jd].nodes) *
+                  (loser.end - loser.start));
+    } else if (done(a)) {
+      winner = e.from;
+    } else if (done(b)) {
+      winner = e.to;
+    } else {
+      winner = owner_[jd];  // neither ran: current owner keeps the park
+    }
+    transfer_owner(e.job, static_cast<std::size_t>(winner));
+    if (done(a) || done(b)) ledger_.commit(e.job, winner);
+    ledger_.close_spec(e.job);
+    if (tel_)
+      tel_->job_reconciled(std::max(a.end, b.end), e.job, winner,
+                           done(a) && done(b) ? "duplicate" : "resolve");
+  }
+
+  fr.owner = owner_;
+  fr.chaos_events = static_cast<std::uint64_t>(next_chaos_);
+  fr.failovers = ledger_.failovers;
+  fr.rehomes = ledger_.rehomes;
+  fr.dedupes = ledger_.dedupes;
+  fr.duplicate_runs = ledger_.duplicate_runs;
   fr.outcomes.resize(jobs.size());
   for (std::size_t j = 0; j < jobs.size(); ++j) {
     const int o = fr.owner[j];
@@ -378,10 +936,19 @@ FederationResult Federation::run() {
       fr.outcomes[j].lost_node_seconds += visit.lost_node_seconds;
     }
   }
+  // The losing side of a duplicate run completed, so its member booked no
+  // lost work — the federation does: that whole execution was wasted.
+  for (const auto& [jd, lost] : extra_lost)
+    fr.outcomes[jd].lost_node_seconds += lost;
+
+  check_invariants(fr);
   return fr;
 }
 
 std::vector<MemberSpec> parse_cluster_spec(std::string_view spec) {
+  // An operator typo, not a library bug: every rejection here is a
+  // UsageError so the CLI prints usage and exits 2.
+  constexpr std::size_t kMaxMembers = 1024;
   std::vector<MemberSpec> members;
   std::size_t pos = 0;
   while (pos <= spec.size()) {
@@ -398,15 +965,30 @@ std::vector<MemberSpec> parse_cluster_spec(std::string_view spec) {
     int value = 0;
     const auto [end, ec] =
         std::from_chars(nodes.data(), nodes.data() + nodes.size(), value);
-    SBS_CHECK_MSG(ec == std::errc() && end == nodes.data() + nodes.size() &&
-                      value > 0 && !nodes.empty(),
-                  "bad --clusters token \"" << std::string(token)
-                      << "\" (expected [name:]nodes with nodes > 0)");
+    if (ec != std::errc() || end != nodes.data() + nodes.size() ||
+        nodes.empty() || value <= 0)
+      throw UsageError("bad --clusters token \"" + std::string(token) +
+                       "\" (expected [name:]nodes with nodes > 0)");
     m.nodes = value;
     members.push_back(std::move(m));
+    if (members.size() > kMaxMembers)
+      throw UsageError("--clusters spec names more than " +
+                       std::to_string(kMaxMembers) + " members");
     if (comma == spec.size()) break;
   }
-  SBS_CHECK_MSG(!members.empty(), "--clusters spec is empty");
+  if (members.empty()) throw UsageError("--clusters spec is empty");
+  // Member names key the per-cluster report tables; duplicates (including
+  // a given name colliding with a default "c<index>") would merge rows.
+  for (std::size_t i = 0; i < members.size(); ++i) {
+    const std::string a =
+        members[i].name.empty() ? "c" + std::to_string(i) : members[i].name;
+    for (std::size_t j = i + 1; j < members.size(); ++j) {
+      const std::string b =
+          members[j].name.empty() ? "c" + std::to_string(j) : members[j].name;
+      if (a == b)
+        throw UsageError("duplicate --clusters member name \"" + a + "\"");
+    }
+  }
   return members;
 }
 

@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "fed/failover.hpp"
 #include "fed/meta_scheduler.hpp"
 #include "jobs/trace.hpp"
 #include "sim/simulator.hpp"
@@ -67,6 +68,20 @@ struct FederationConfig {
 
   /// Graceful-stop flag, polled once per federation event time.
   const std::atomic<bool>* interrupt = nullptr;
+
+  /// Federation-scoped chaos schedule: member blackouts and meta<->member
+  /// link partitions. Not owned; nullptr (or empty) = no chaos, in which
+  /// case the whole fault-tolerance machinery is inert and the run is
+  /// bit-identical to a chaos-free one. Blackout windows are merged into
+  /// each member's node-fault schedule (full-capacity NodeDown/NodeUp
+  /// pairs), so a blacked-out member kills its running jobs, parks its
+  /// queue, and reboots at full capacity — any node still in repair when
+  /// the blackout ends returns with it.
+  const ChaosSchedule* chaos = nullptr;
+
+  /// Probe cadence, declare-down hysteresis and retry backoff for the
+  /// per-member health tracking. Only consulted while chaos is enabled.
+  FailoverConfig failover;
 };
 
 /// Per-member slice of a federation run.
@@ -81,12 +96,20 @@ struct MemberResult {
 
 struct FederationResult {
   /// Merged per-job outcomes in job-id order: each job's outcome comes
-  /// from the member that finally hosted it.
+  /// from the member that finally hosted it (for a partition race, the
+  /// member whose completion the ledger committed).
   std::vector<JobOutcome> outcomes;
   double avg_queue_length = 0.0;  ///< summed over members (shared window)
   std::uint64_t migrations = 0;
   std::vector<int> owner;  ///< final hosting cluster per job
   std::vector<MemberResult> members;
+
+  // Fault-tolerance counters (all zero when chaos is off).
+  std::uint64_t chaos_events = 0;    ///< blackout/partition edges applied
+  std::uint64_t failovers = 0;       ///< health declare-down events
+  std::uint64_t rehomes = 0;         ///< jobs re-homed off a dead member
+  std::uint64_t dedupes = 0;         ///< duplicate copies reconciled away
+  std::uint64_t duplicate_runs = 0;  ///< races where both copies executed
 };
 
 /// Builds one freshly configured scheduler per member (index = cluster
@@ -143,12 +166,25 @@ class Federation {
   void migrate(Time t);
   void do_migrate(std::size_t src, std::size_t dst, int job_id, Time t);
 
+  // Fault tolerance (inert when chaos_ is empty).
+  bool unreachable(std::size_t i) const;
+  bool failover_active() const;
+  void apply_chaos_edges(Time t);   ///< pre-step: cursor, flags, views
+  void reconcile(std::size_t m, Time t);  ///< post-step, on heal
+  void failover_tick(Time t);       ///< probes, declare-down, re-home
+  void rehome_member(std::size_t m, Time t);
+  std::size_t pick_survivor(const Job& j, std::size_t avoid) const;
+  void transfer_owner(int job_id, std::size_t to);
+  void restep(Time t);              ///< re-step retarget_ members to t
+  void check_invariants(const FederationResult& fr) const;
+
   const Trace& trace_;
   MetaScheduler& meta_;
   const FederationConfig config_;
   obs::Telemetry* const tel_;
 
   std::vector<Trace> member_traces_;  ///< global jobs, member capacity
+  std::vector<FaultInjector> merged_faults_;  ///< member faults + blackouts
   std::vector<std::unique_ptr<Scheduler>> schedulers_;
   std::vector<std::unique_ptr<sim::Simulator>> sims_;
 
@@ -160,14 +196,29 @@ class Federation {
   std::vector<std::uint64_t> routed_;
   std::vector<std::uint64_t> migrations_in_;
   std::vector<std::uint64_t> migrations_out_;
-  std::vector<std::size_t> retarget_;  ///< members to re-step after migration
+  std::vector<std::size_t> retarget_;  ///< members to re-step after injection
   bool arrivals_closed_ = false;
   bool ran_ = false;
+
+  // Fault-tolerance state. chaos_ holds the schedule's events (empty =
+  // chaos off); flags are ground truth, health_ is the meta's hysteresis
+  // view of it; limbo_ holds routings whose delivery an outage dropped.
+  std::vector<ChaosEvent> chaos_;
+  std::size_t next_chaos_ = 0;
+  std::vector<std::uint8_t> member_down_;
+  std::vector<std::uint8_t> link_down_;
+  std::vector<MemberHealth> health_;
+  std::vector<sim::FederationSnapshot::LimboEntry> limbo_;
+  std::vector<std::vector<int>> stale_waiting_;  ///< meta view at LinkDown
+  std::vector<std::size_t> reconcile_pending_;
+  JobLedger ledger_;
 };
 
 /// Parses a `--clusters` spec: comma-separated member sizes, each
 /// optionally named — "64,32,32" or "left:64,right:32". Throws
-/// sbs::Error (with the offending token) on malformed specs.
+/// sbs::UsageError (with the offending token) on malformed specs:
+/// non-positive or non-numeric node counts, duplicate member names
+/// (defaults "c<index>" included), or absurd member counts.
 std::vector<MemberSpec> parse_cluster_spec(std::string_view spec);
 
 }  // namespace sbs::fed

@@ -15,6 +15,13 @@ bool can_host(const ClusterProbe& p, const Job& job) {
   return p.total_capacity >= job.nodes;
 }
 
+// Routable right now: wide enough AND not declared down by the health
+// monitor. Policies try these first; unavailable members are a last
+// resort so routing stays total.
+bool usable(const ClusterProbe& p, const Job& job) {
+  return p.available && can_host(p, job);
+}
+
 // Fallback when no member is wide enough: the largest machine (lowest id
 // on ties). The job will park there as "unstarted", same as a too-wide job
 // parks on a single machine — routing must still be total.
@@ -32,6 +39,15 @@ class RoundRobinMeta final : public MetaScheduler {
   int route(const Job& job, Time, std::span<const ClusterProbe> probes)
       override {
     const std::size_t n = probes.size();
+    for (std::size_t i = 0; i < n; ++i) {
+      const ClusterProbe& p = probes[(cursor_ + i) % n];
+      if (usable(p, job)) {
+        cursor_ = (cursor_ + i + 1) % n;
+        return p.cluster;
+      }
+    }
+    // Every wide-enough member is down: fall back to the first that can
+    // host (the job parks in limbo until that member recovers).
     for (std::size_t i = 0; i < n; ++i) {
       const ClusterProbe& p = probes[(cursor_ + i) % n];
       if (can_host(p, job)) {
@@ -74,7 +90,7 @@ class LeastLoadedMeta final : public MetaScheduler {
     const ClusterProbe* best = nullptr;
     double best_score = 0.0;
     for (const ClusterProbe& p : probes) {
-      if (!can_host(p, job)) continue;
+      if (!usable(p, job)) continue;
       const double score = (p.demand_ewma + p.queue_demand) /
                            static_cast<double>(p.total_capacity);
       if (best == nullptr || score < best_score) {
@@ -82,7 +98,12 @@ class LeastLoadedMeta final : public MetaScheduler {
         best_score = score;
       }
     }
-    return best ? best->cluster : widest(probes);
+    if (best != nullptr) return best->cluster;
+    // Every wide-enough member is down: the job must still route
+    // somewhere (it parks in limbo until recovery).
+    for (const ClusterProbe& p : probes)
+      if (can_host(p, job)) return p.cluster;
+    return widest(probes);
   }
 
   std::string name() const override { return "least-loaded"; }
@@ -96,7 +117,7 @@ class BestFitMeta final : public MetaScheduler {
       override {
     const ClusterProbe* best = nullptr;
     for (const ClusterProbe& p : probes) {
-      if (!can_host(p, job) || p.earliest_start == ClusterProbe::kUnreachable)
+      if (!usable(p, job) || p.earliest_start == ClusterProbe::kUnreachable)
         continue;
       if (best == nullptr || p.earliest_start < best->earliest_start ||
           (p.earliest_start == best->earliest_start &&
@@ -104,8 +125,11 @@ class BestFitMeta final : public MetaScheduler {
         best = &p;
     }
     if (best != nullptr) return best->cluster;
-    // Every wide-enough member is currently degraded below the job: park
-    // it on the first member that can host it once nodes recover.
+    // Every wide-enough member is currently degraded below the job or
+    // declared down: park it on the first available member that can host
+    // it once nodes recover, else on any that can host at all.
+    for (const ClusterProbe& p : probes)
+      if (usable(p, job)) return p.cluster;
     for (const ClusterProbe& p : probes)
       if (can_host(p, job)) return p.cluster;
     return widest(probes);

@@ -17,6 +17,12 @@ namespace sbs::fed {
 /// batch spreads instead of dog-piling one member.
 struct ClusterProbe {
   int cluster = 0;
+  /// Failover verdict: false once the member's health monitor declared it
+  /// down (outage or partition past the hysteresis window). Policies
+  /// prefer available members; they may still return an unavailable one
+  /// when no available member could ever host the job (routing stays
+  /// total — the federation parks the job in limbo until recovery).
+  bool available = true;
   int total_capacity = 0;  ///< member machine size (static)
   int live_capacity = 0;   ///< shrunk by current node failures
   int free_nodes = 0;      ///< live capacity minus running jobs

@@ -217,6 +217,47 @@ void apply_record(RunReport& r, const JsonValue& rec, const std::string& type,
           .migrations_out;
     ++r.cluster_agg[static_cast<int>(need(rec, "to", lineno).as_int())]
           .migrations_in;
+  } else if (type == "chaos") {
+    ++r.chaos_events;
+    need(rec, "event", lineno);
+    need(rec, "member", lineno);
+  } else if (type == "health") {
+    const int member = static_cast<int>(need(rec, "member", lineno).as_int());
+    const std::string& state = need(rec, "state", lineno).as_string();
+    if (state == "down") {
+      ++r.failovers;
+      ++r.cluster_agg[member].failovers;
+    } else if (state == "up") {
+      ++r.recoveries;
+    } else {
+      throw Error("telemetry line " + std::to_string(lineno) +
+                  ": unknown health state " + state);
+    }
+  } else if (type == "rehome") {
+    ++r.rehomes;
+    need(rec, "job", lineno);
+    const std::string& mode = need(rec, "mode", lineno).as_string();
+    if (mode == "copy") ++r.rehome_copies;
+    else if (mode != "move")
+      throw Error("telemetry line " + std::to_string(lineno) +
+                  ": unknown rehome mode " + mode);
+    ++r.cluster_agg[static_cast<int>(need(rec, "from", lineno).as_int())]
+          .rehomes_out;
+    ++r.cluster_agg[static_cast<int>(need(rec, "to", lineno).as_int())]
+          .rehomes_in;
+  } else if (type == "reconcile") {
+    ++r.reconciles;
+    need(rec, "job", lineno);
+    need(rec, "member", lineno);
+    const std::string& action = need(rec, "action", lineno).as_string();
+    if (action == "dedupe" || action == "adopt" || action == "return")
+      ++r.dedupes;
+    else if (action == "duplicate")
+      ++r.duplicate_runs;
+    else if (action != "deliver" && action != "orphan" && action != "race" &&
+             action != "resolve")
+      throw Error("telemetry line " + std::to_string(lineno) +
+                  ": unknown reconcile action " + action);
   } else if (type == "admit") {
     ++r.admits;
     need(rec, "job", lineno);
@@ -371,8 +412,13 @@ TelemetrySummary read_telemetry_files(const std::vector<std::string>& paths) {
           r.resumed = resumed->as_bool();
         if (const JsonValue* parent = rec.find("checkpoint_parent"))
           r.checkpoint_parent = parent->as_string();
-        if (const JsonValue* clusters = rec.find("clusters"))
+        if (const JsonValue* clusters = rec.find("clusters")) {
           r.clusters = static_cast<int>(clusters->as_int());
+          // One slice per member up front: a cluster that contributes no
+          // records (e.g. blacked out for the whole run) must still render
+          // a zero row in the federation table, not vanish from it.
+          for (int c = 0; c < r.clusters; ++c) r.cluster_agg[c];
+        }
         summary.runs.push_back(std::move(r));
         continue;
       }
@@ -520,6 +566,44 @@ void print_report(const std::vector<RunReport>& runs, std::ostream& os) {
             .add(std::to_string(a.migrations_in) + "/" +
                  std::to_string(a.migrations_out));
       fed.print(os);
+    }
+
+    // Fault-tolerance section (chaos runs only): ground-truth outage
+    // edges, failover verdicts, and the exactly-once ledger's actions.
+    if (r.chaos_events || r.failovers || r.rehomes || r.reconciles) {
+      os << "\nFault tolerance (chaos run):\n";
+      Table ft({"measure", "value"});
+      ft.row()
+          .add("chaos edges")
+          .add(static_cast<long long>(r.chaos_events));
+      ft.row()
+          .add("failovers (recoveries)")
+          .add(std::to_string(r.failovers) + " (" +
+               std::to_string(r.recoveries) + ")");
+      ft.row()
+          .add("jobs re-homed (spec copies)")
+          .add(std::to_string(r.rehomes) + " (" +
+               std::to_string(r.rehome_copies) + ")");
+      ft.row()
+          .add("reconcile actions")
+          .add(static_cast<long long>(r.reconciles));
+      ft.row()
+          .add("duplicates reconciled")
+          .add(static_cast<long long>(r.dedupes));
+      ft.row()
+          .add("duplicate executions")
+          .add(static_cast<long long>(r.duplicate_runs));
+      ft.print(os);
+      if (!r.cluster_agg.empty()) {
+        Table per({"cluster", "failovers", "rehomes in/out"});
+        for (const auto& [id, a] : r.cluster_agg)
+          per.row()
+              .add(id)
+              .add(static_cast<long long>(a.failovers))
+              .add(std::to_string(a.rehomes_in) + "/" +
+                   std::to_string(a.rehomes_out));
+        per.print(os);
+      }
     }
 
     // Circuit-breaker state over the run: where the ladder ended, how deep

@@ -48,8 +48,24 @@ struct RunReport {
     std::uint64_t faults_down = 0;
     std::uint64_t migrations_in = 0;
     std::uint64_t migrations_out = 0;
+    std::uint64_t failovers = 0;    ///< health declare-down verdicts here
+    std::uint64_t rehomes_in = 0;   ///< jobs re-homed onto this member
+    std::uint64_t rehomes_out = 0;  ///< jobs re-homed off this member
   };
+  /// Federation runs pre-create one entry per member (0..clusters-1) so a
+  /// cluster that contributed no records still renders a zero row.
   std::map<int, ClusterAgg> cluster_agg;
+
+  // Federation fault-tolerance tallies ("chaos"/"health"/"rehome"/
+  // "reconcile" records; all zero unless the run injected chaos).
+  std::uint64_t chaos_events = 0;    ///< ground-truth outage/partition edges
+  std::uint64_t failovers = 0;       ///< health declare-down verdicts
+  std::uint64_t recoveries = 0;      ///< health recovery verdicts
+  std::uint64_t rehomes = 0;         ///< rehome records (moves + copies)
+  std::uint64_t rehome_copies = 0;   ///< speculative copies among them
+  std::uint64_t reconciles = 0;      ///< reconcile records of any action
+  std::uint64_t dedupes = 0;         ///< actions dedupe/adopt/return
+  std::uint64_t duplicate_runs = 0;  ///< action duplicate (both copies ran)
 
   // SchedulerStats reconstructed by summing per-decision deltas.
   std::uint64_t decisions = 0;

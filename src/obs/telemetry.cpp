@@ -42,6 +42,12 @@ Telemetry::Telemetry(std::unique_ptr<TraceSink> sink)
   faults_down_ = &registry_.counter("sim.faults.node_down");
   faults_up_ = &registry_.counter("sim.faults.node_up");
   migrations_ = &registry_.counter("fed.migrations");
+  chaos_events_ = &registry_.counter("fed.chaos_events");
+  failovers_ = &registry_.counter("fed.failovers");
+  recoveries_ = &registry_.counter("fed.recoveries");
+  rehomed_ = &registry_.counter("fed.rehomed");
+  dedupes_ = &registry_.counter("fed.dedupes");
+  duplicate_runs_ = &registry_.counter("fed.duplicate_runs");
   gov_degrades_ = &registry_.counter("governor.degrades");
   gov_recoveries_ = &registry_.counter("governor.recoveries");
   gov_probes_ = &registry_.counter("governor.probes");
@@ -298,6 +304,65 @@ void Telemetry::job_migrated(Time t, int job, int from, int to) {
       .field("job", job)
       .field("from", from)
       .field("to", to)
+      .end_object();
+  emit();
+}
+
+void Telemetry::chaos_event(Time t, std::string_view kind, int member) {
+  chaos_events_->add();
+  if (!sink_) return;
+  line_.clear();
+  line_.begin_object()
+      .field("type", "chaos")
+      .field("t", static_cast<std::int64_t>(t))
+      .field("event", kind)
+      .field("member", member)
+      .end_object();
+  emit();
+}
+
+void Telemetry::member_health(Time t, int member, bool down) {
+  (down ? failovers_ : recoveries_)->add();
+  if (!sink_) return;
+  line_.clear();
+  line_.begin_object()
+      .field("type", "health")
+      .field("t", static_cast<std::int64_t>(t))
+      .field("member", member)
+      .field("state", down ? "down" : "up")
+      .end_object();
+  emit();
+}
+
+void Telemetry::job_rehomed(Time t, int job, int from, int to, bool copy) {
+  rehomed_->add();
+  if (!sink_) return;
+  line_.clear();
+  line_.begin_object()
+      .field("type", "rehome")
+      .field("t", static_cast<std::int64_t>(t))
+      .field("job", job)
+      .field("from", from)
+      .field("to", to)
+      .field("mode", copy ? "copy" : "move")
+      .end_object();
+  emit();
+}
+
+void Telemetry::job_reconciled(Time t, int job, int member,
+                               std::string_view action) {
+  if (action == "dedupe" || action == "adopt" || action == "return")
+    dedupes_->add();
+  else if (action == "duplicate")
+    duplicate_runs_->add();
+  if (!sink_) return;
+  line_.clear();
+  line_.begin_object()
+      .field("type", "reconcile")
+      .field("t", static_cast<std::int64_t>(t))
+      .field("job", job)
+      .field("member", member)
+      .field("action", action)
       .end_object();
   emit();
 }

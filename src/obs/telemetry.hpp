@@ -41,6 +41,14 @@ std::span<const double> wait_h_bounds();
 ///   unstarted t, job
 ///   fault     t, kind ("node_down"|"node_up"), nodes, capacity
 ///   migrate   t, job, from, to — cross-cluster migration of a waiting job
+/// Chaos runs (`--chaos`, federation fault tolerance) additionally emit:
+///   chaos     t, event ("member-down"|"member-up"|"link-down"|"link-up"),
+///             member — one ground-truth outage/partition edge
+///   health    t, member, state ("down"|"up") — failover declare/recover
+///   rehome    t, job, from, to, mode ("move"|"copy") — failover re-home
+///   reconcile t, job, member, action ("deliver"|"adopt"|"return"|
+///             "dedupe"|"orphan"|"race"|"resolve"|"duplicate") — one
+///             exactly-once ledger action
 /// Federation runs (`--clusters`): the run record carries a "clusters"
 /// member count, and every per-cluster record above (decision + job
 /// lifecycle + fault) carries a "cluster" member id. Single-cluster runs
@@ -87,6 +95,20 @@ class Telemetry {
   /// Emitted by the federation itself, not a member: `from`/`to` identify
   /// the clusters explicitly, so the record carries no "cluster" field.
   void job_migrated(Time t, int job, int from, int to);
+
+  // Federation fault-tolerance events (chaos runs only; like migrate,
+  // emitted by the federation itself, so no "cluster" field).
+  /// One chaos-schedule edge: kind is chaos_kind_name() ("member-down",
+  /// "member-up", "link-down", "link-up").
+  void chaos_event(Time t, std::string_view kind, int member);
+  /// A health declare-down (failover begins) or recovery verdict.
+  void member_health(Time t, int member, bool down);
+  /// A job re-homed off a failed member: `copy` marks a speculative copy
+  /// (link partition, original still queued behind it) vs a real move.
+  void job_rehomed(Time t, int job, int from, int to, bool copy);
+  /// One reconciliation/ledger action for a job: "deliver", "adopt",
+  /// "return", "dedupe", "orphan", "race", "resolve", "duplicate".
+  void job_reconciled(Time t, int job, int member, std::string_view action);
 
   // Service-mode events (`sbsched serve`).
   void job_admitted(Time t, int job, int priority, int queue_depth);
@@ -135,6 +157,12 @@ class Telemetry {
   Counter* faults_down_;
   Counter* faults_up_;
   Counter* migrations_;
+  Counter* chaos_events_;
+  Counter* failovers_;
+  Counter* recoveries_;
+  Counter* rehomed_;
+  Counter* dedupes_;
+  Counter* duplicate_runs_;
   Counter* gov_degrades_;
   Counter* gov_recoveries_;
   Counter* gov_probes_;

@@ -239,10 +239,12 @@ void write_atomic(const std::string& path, const std::string& text) {
 }
 
 // Reads the envelope, checks the format marker and version, and returns
-// the parsed document for snapshot extraction.
+// the parsed document for snapshot extraction. Versions in
+// [min_version, expect_version] are accepted — older snapshots load with
+// the newer fields at their defaults.
 obs::JsonValue read_envelope(const std::string& path, std::string_view format,
-                             int expect_version, std::string& id,
-                             std::string& parent,
+                             int min_version, int expect_version,
+                             std::string& id, std::string& parent,
                              std::vector<std::pair<std::string, std::string>>&
                                  cli_out,
                              int& version_out) {
@@ -259,10 +261,10 @@ obs::JsonValue read_envelope(const std::string& path, std::string_view format,
                 path << " is not an " << format << " file (format \""
                      << fmt.as_string() << "\")");
   version_out = static_cast<int>(get(v, "version", "file").as_int());
-  SBS_CHECK_MSG(version_out == expect_version,
+  SBS_CHECK_MSG(version_out >= min_version && version_out <= expect_version,
                 "checkpoint " << path << " has snapshot version "
-                              << version_out << "; this build reads version "
-                              << expect_version);
+                              << version_out << "; this build reads versions "
+                              << min_version << ".." << expect_version);
   id = get(v, "id", "file").as_string();
   parent = get(v, "parent", "file").as_string();
   const obs::JsonValue& cli = get(v, "cli", "file");
@@ -289,8 +291,9 @@ void write_checkpoint(const std::string& path, const CheckpointData& data) {
 CheckpointData read_checkpoint(const std::string& path) {
   CheckpointData data;
   const obs::JsonValue v =
-      read_envelope(path, kFormat, sim::SimSnapshot::kVersion, data.id,
-                    data.parent, data.cli, data.version);
+      read_envelope(path, kFormat, sim::SimSnapshot::kVersion,
+                    sim::SimSnapshot::kVersion, data.id, data.parent,
+                    data.cli, data.version);
   data.snapshot = parse_snapshot(get(v, "snapshot", "file"));
   return data;
 }
@@ -327,6 +330,57 @@ void write_federation_checkpoint(const std::string& path,
             w.key("members").begin_array();
             for (const sim::SimSnapshot& m : s.members) append_snapshot(w, m);
             w.end_array();
+            // v2: federation fault-tolerance block (chaos-off runs write
+            // the empty defaults; v1 readers never see this file because
+            // the envelope version is bumped with the struct).
+            w.field("next_chaos", static_cast<std::uint64_t>(s.next_chaos));
+            w.key("member_down").begin_array();
+            for (std::uint8_t d : s.member_down) w.value(static_cast<int>(d));
+            w.end_array();
+            w.key("link_down").begin_array();
+            for (std::uint8_t d : s.link_down) w.value(static_cast<int>(d));
+            w.end_array();
+            w.key("health").begin_array();
+            for (const std::string& h : s.health) w.value(h);
+            w.end_array();
+            w.key("limbo").begin_array();
+            for (const auto& e : s.limbo) {
+              w.begin_array();
+              w.value(e.job).value(e.target);
+              w.end_array();
+            }
+            w.end_array();
+            w.key("speculative").begin_array();
+            for (const auto& e : s.speculative) {
+              w.begin_array();
+              w.value(e.job).value(e.from).value(e.to);
+              w.end_array();
+            }
+            w.end_array();
+            w.key("stale_waiting").begin_array();
+            for (const auto& view : s.stale_waiting) {
+              w.begin_array();
+              for (int id : view) w.value(id);
+              w.end_array();
+            }
+            w.end_array();
+            w.key("commits").begin_array();
+            for (const auto& e : s.commits) {
+              w.begin_array();
+              w.value(e.job).value(e.member);
+              w.end_array();
+            }
+            w.end_array();
+            w.key("transfers_in").begin_array();
+            for (std::uint64_t x : s.transfers_in) w.value(x);
+            w.end_array();
+            w.key("transfers_out").begin_array();
+            for (std::uint64_t x : s.transfers_out) w.value(x);
+            w.end_array();
+            w.field("failovers", s.failovers)
+                .field("rehomes", s.rehomes)
+                .field("dedupes", s.dedupes)
+                .field("duplicate_runs", s.duplicate_runs);
             w.end_object();
           }));
 }
@@ -334,8 +388,9 @@ void write_federation_checkpoint(const std::string& path,
 FederationCheckpointData read_federation_checkpoint(const std::string& path) {
   FederationCheckpointData data;
   const obs::JsonValue v =
-      read_envelope(path, kFedFormat, sim::FederationSnapshot::kVersion,
-                    data.id, data.parent, data.cli, data.version);
+      read_envelope(path, kFedFormat, /*min_version=*/1,
+                    sim::FederationSnapshot::kVersion, data.id, data.parent,
+                    data.cli, data.version);
   const obs::JsonValue& s = get(v, "snapshot", "file");
   SBS_CHECK_MSG(s.is_object(), "federation snapshot is not a JSON object");
   sim::FederationSnapshot& snap = data.snapshot;
@@ -360,6 +415,57 @@ FederationCheckpointData read_federation_checkpoint(const std::string& path) {
   SBS_CHECK_MSG(members.is_array(), "federation members is not an array");
   for (const auto& m : members.array)
     snap.members.push_back(parse_snapshot(m));
+  // v2 fault-tolerance block; a v1 file simply lacks it and keeps the
+  // defaults (chaos-off state).
+  if (s.find("next_chaos") != nullptr) {
+    snap.next_chaos =
+        static_cast<std::size_t>(get(s, "next_chaos", "snapshot").as_int());
+    for (const auto& d : get(s, "member_down", "snapshot").array)
+      snap.member_down.push_back(static_cast<std::uint8_t>(d.as_int()));
+    for (const auto& d : get(s, "link_down", "snapshot").array)
+      snap.link_down.push_back(static_cast<std::uint8_t>(d.as_int()));
+    for (const auto& h : get(s, "health", "snapshot").array)
+      snap.health.push_back(h.as_string());
+    for (const auto& row : get(s, "limbo", "snapshot").array) {
+      sim::FederationSnapshot::LimboEntry e;
+      e.job = static_cast<int>(at(row, 0, "limbo").as_int());
+      e.target = static_cast<int>(at(row, 1, "limbo").as_int());
+      snap.limbo.push_back(e);
+    }
+    for (const auto& row : get(s, "speculative", "snapshot").array) {
+      sim::FederationSnapshot::RehomeEntry e;
+      e.job = static_cast<int>(at(row, 0, "speculative").as_int());
+      e.from = static_cast<int>(at(row, 1, "speculative").as_int());
+      e.to = static_cast<int>(at(row, 2, "speculative").as_int());
+      snap.speculative.push_back(e);
+    }
+    for (const auto& view : get(s, "stale_waiting", "snapshot").array) {
+      SBS_CHECK_MSG(view.is_array(),
+                    "federation stale_waiting view is malformed");
+      std::vector<int> ids;
+      for (const auto& id : view.array)
+        ids.push_back(static_cast<int>(id.as_int()));
+      snap.stale_waiting.push_back(std::move(ids));
+    }
+    for (const auto& row : get(s, "commits", "snapshot").array) {
+      sim::FederationSnapshot::CommitEntry e;
+      e.job = static_cast<int>(at(row, 0, "commits").as_int());
+      e.member = static_cast<int>(at(row, 1, "commits").as_int());
+      snap.commits.push_back(e);
+    }
+    for (const auto& x : get(s, "transfers_in", "snapshot").array)
+      snap.transfers_in.push_back(static_cast<std::uint64_t>(x.as_int()));
+    for (const auto& x : get(s, "transfers_out", "snapshot").array)
+      snap.transfers_out.push_back(static_cast<std::uint64_t>(x.as_int()));
+    snap.failovers =
+        static_cast<std::uint64_t>(get(s, "failovers", "snapshot").as_int());
+    snap.rehomes =
+        static_cast<std::uint64_t>(get(s, "rehomes", "snapshot").as_int());
+    snap.dedupes =
+        static_cast<std::uint64_t>(get(s, "dedupes", "snapshot").as_int());
+    snap.duplicate_runs = static_cast<std::uint64_t>(
+        get(s, "duplicate_runs", "snapshot").as_int());
+  }
   return data;
 }
 

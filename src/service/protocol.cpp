@@ -13,6 +13,9 @@
 namespace sbs::service {
 
 void encode_frame(std::string_view payload, std::string& out) {
+  SBS_CHECK_MSG(!payload.empty(),
+                "refusing to encode an empty frame (the decoder rejects "
+                "zero-length prefixes as protocol errors)");
   SBS_CHECK_MSG(payload.size() <= kMaxFrameBytes,
                 "frame payload of " << payload.size() << " bytes exceeds the "
                 << kMaxFrameBytes << "-byte protocol limit");
@@ -35,6 +38,11 @@ std::optional<std::string> FrameDecoder::next() {
   const auto* p = reinterpret_cast<const unsigned char*>(buffer_.data() + consumed_);
   const std::uint32_t n = (std::uint32_t{p[0]} << 24) | (std::uint32_t{p[1]} << 16) |
                           (std::uint32_t{p[2]} << 8) | std::uint32_t{p[3]};
+  // Both prefix checks run the moment the 4 header bytes are in — a bad
+  // length must be a protocol error immediately, not after the connection
+  // dribbles in a body that will never be valid.
+  SBS_CHECK_MSG(n > 0, "frame prefix announces an empty frame (every "
+                "payload is at least one JSON byte)");
   SBS_CHECK_MSG(n <= kMaxFrameBytes, "frame prefix announces " << n
                     << " bytes, protocol limit is " << kMaxFrameBytes);
   if (avail < 4 + static_cast<std::size_t>(n)) return std::nullopt;

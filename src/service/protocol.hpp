@@ -51,8 +51,9 @@ class FrameDecoder {
   void feed(std::string_view bytes) { buffer_.append(bytes); }
 
   /// Extracts the next complete frame's payload, or nullopt when the
-  /// buffered bytes do not yet hold one. Throws sbs::Error when the
-  /// buffered prefix announces a frame larger than kMaxFrameBytes.
+  /// buffered bytes do not yet hold one. Throws sbs::Error as soon as the
+  /// 4 prefix bytes are in when they announce a zero-length frame or one
+  /// larger than kMaxFrameBytes — without waiting for any payload.
   std::optional<std::string> next();
 
   /// Bytes buffered but not yet consumed (a partially received frame).

@@ -153,4 +153,147 @@ FaultInjector FaultInjector::from_events(std::vector<FaultEvent> events) {
   return inj;
 }
 
+std::string chaos_kind_name(ChaosKind kind) {
+  switch (kind) {
+    case ChaosKind::MemberDown: return "member-down";
+    case ChaosKind::MemberUp: return "member-up";
+    case ChaosKind::LinkDown: return "link-down";
+    case ChaosKind::LinkUp: return "link-up";
+  }
+  throw Error("unknown chaos kind");
+}
+
+ChaosSpec parse_chaos_spec(const std::string& spec) {
+  ChaosSpec out;
+  std::string rest = spec;
+  while (!rest.empty()) {
+    const auto comma = rest.find(',');
+    const std::string item = rest.substr(0, comma);
+    rest = comma == std::string::npos ? "" : rest.substr(comma + 1);
+    const auto colon = item.find(':');
+    SBS_CHECK_MSG(colon != std::string::npos,
+                  "chaos spec item needs key:value — " << item);
+    const std::string key = item.substr(0, colon);
+    const std::string value = item.substr(colon + 1);
+    auto as_ll = [&](const std::string& v) {
+      std::size_t used = 0;
+      long long x = 0;
+      try {
+        x = std::stoll(v, &used);
+      } catch (const std::exception&) {
+        used = 0;  // reported below as a bad number
+      }
+      SBS_CHECK_MSG(used == v.size() && !v.empty(),
+                    "bad number in chaos spec: " << item);
+      return x;
+    };
+    if (key == "mtbf") {
+      out.outage_mtbf = static_cast<Time>(as_ll(value));
+    } else if (key == "mttr") {
+      out.outage_mttr = static_cast<Time>(as_ll(value));
+    } else if (key == "linkmtbf") {
+      out.partition_mtbf = static_cast<Time>(as_ll(value));
+    } else if (key == "linkmttr") {
+      out.partition_mttr = static_cast<Time>(as_ll(value));
+    } else if (key == "seed") {
+      out.seed = static_cast<std::uint64_t>(as_ll(value));
+    } else {
+      throw Error("unknown chaos spec key: " + key);
+    }
+  }
+  SBS_CHECK_MSG(out.outage_mtbf >= 0 && out.outage_mttr >= 0 &&
+                    out.partition_mtbf >= 0 && out.partition_mttr >= 0,
+                "chaos spec times must be non-negative");
+  SBS_CHECK_MSG(out.outage_mtbf > 0 || out.partition_mtbf > 0,
+                "chaos spec enables no process (need mtbf or linkmtbf > 0)");
+  SBS_CHECK_MSG(out.outage_mtbf == 0 || out.outage_mttr > 0,
+                "member blackouts need mttr > 0 so members come back");
+  SBS_CHECK_MSG(out.partition_mtbf == 0 || out.partition_mttr > 0,
+                "link partitions need linkmttr > 0 so links heal");
+  return out;
+}
+
+ChaosSchedule ChaosSchedule::from_spec(const ChaosSpec& spec, Time begin,
+                                       Time end, int members) {
+  SBS_CHECK(members >= 1);
+  SBS_CHECK(end >= begin);
+  ChaosSchedule sched;
+  std::vector<ChaosEvent> events;
+
+  // One independent stream per (member, process): sequential windows —
+  // the next failure is drawn from the previous recovery, so windows of
+  // one kind never overlap on one member.
+  const auto gen_windows = [&](std::uint64_t stream, Time mtbf, Time mttr,
+                               int member, ChaosKind down, ChaosKind up) {
+    if (mtbf <= 0) return;
+    Rng rng = Rng(spec.seed).fork(stream);
+    Time t = begin;
+    while (true) {
+      t += std::max<Time>(
+          1, static_cast<Time>(std::llround(
+                 rng.exponential(static_cast<double>(mtbf)))));
+      if (t >= end) break;
+      const Time heal =
+          t + std::max<Time>(
+                  1, static_cast<Time>(std::llround(rng.exponential(
+                         static_cast<double>(mttr)))));
+      events.push_back(ChaosEvent{t, down, member});
+      events.push_back(ChaosEvent{heal, up, member});
+      t = heal;
+    }
+  };
+
+  for (int m = 0; m < members; ++m) {
+    gen_windows(0x6f757400ULL + static_cast<std::uint64_t>(m),
+                spec.outage_mtbf, spec.outage_mttr, m, ChaosKind::MemberDown,
+                ChaosKind::MemberUp);
+    gen_windows(0x6c6e6b00ULL + static_cast<std::uint64_t>(m),
+                spec.partition_mtbf, spec.partition_mttr, m,
+                ChaosKind::LinkDown, ChaosKind::LinkUp);
+  }
+
+  std::stable_sort(events.begin(), events.end(),
+                   [](const ChaosEvent& a, const ChaosEvent& b) {
+                     return a.time < b.time;
+                   });
+  sched.events_ = std::move(events);
+  return sched;
+}
+
+ChaosSchedule ChaosSchedule::from_events(std::vector<ChaosEvent> events) {
+  SBS_CHECK_MSG(std::is_sorted(events.begin(), events.end(),
+                               [](const ChaosEvent& a, const ChaosEvent& b) {
+                                 return a.time < b.time;
+                               }),
+                "chaos events must be sorted by time");
+  // Per member and per process (outage vs partition), events must
+  // alternate Down/Up starting with Down and ending with Up, so every
+  // window closes and the federation always heals.
+  std::vector<int> outage_depth, link_depth;
+  for (const ChaosEvent& e : events) {
+    SBS_CHECK_MSG(e.member >= 0, "chaos events need member >= 0");
+    const auto m = static_cast<std::size_t>(e.member);
+    if (m >= outage_depth.size()) {
+      outage_depth.resize(m + 1, 0);
+      link_depth.resize(m + 1, 0);
+    }
+    int& depth = (e.kind == ChaosKind::MemberDown ||
+                  e.kind == ChaosKind::MemberUp)
+                     ? outage_depth[m]
+                     : link_depth[m];
+    const bool down =
+        e.kind == ChaosKind::MemberDown || e.kind == ChaosKind::LinkDown;
+    depth += down ? 1 : -1;
+    SBS_CHECK_MSG(depth == (down ? 1 : 0),
+                  "chaos events for member " << e.member
+                      << " must alternate down/up");
+  }
+  for (std::size_t m = 0; m < outage_depth.size(); ++m)
+    SBS_CHECK_MSG(outage_depth[m] == 0 && link_depth[m] == 0,
+                  "chaos window for member " << m << " never closes");
+  ChaosSchedule sched;
+  sched.events_ = std::move(events);
+  return sched;
+}
+
 }  // namespace sbs

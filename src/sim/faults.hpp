@@ -79,4 +79,75 @@ class FaultInjector {
   std::vector<FaultEvent> events_;
 };
 
+/// Federation-scoped chaos: whole-member blackouts (every node of one
+/// member cluster loses power for a window) and meta<->member link
+/// partitions (the member keeps scheduling autonomously, but routing,
+/// migration, and telemetry between it and the meta-scheduler are dropped
+/// until the link heals). Node-level faults stay in FaultInjector; chaos
+/// events name a *member*, not a node block.
+enum class ChaosKind {
+  MemberDown,  ///< blackout begins: the whole member goes dark
+  MemberUp,    ///< blackout ends: the member reboots at full capacity
+  LinkDown,    ///< meta<->member partition begins (member stays alive)
+  LinkUp,      ///< partition heals; reconciliation runs
+};
+
+std::string chaos_kind_name(ChaosKind kind);
+
+/// One chaos event at an absolute simulation time.
+struct ChaosEvent {
+  Time time = 0;
+  ChaosKind kind = ChaosKind::MemberDown;
+  int member = 0;  ///< member cluster index
+};
+
+/// Stochastic chaos process parameters, per member. Means of exponential
+/// distributions (Poisson processes); a zero MTBF disables that process.
+struct ChaosSpec {
+  Time outage_mtbf = 0;     ///< mean time between member blackouts
+  Time outage_mttr = 0;     ///< mean blackout duration (> 0 when enabled)
+  Time partition_mtbf = 0;  ///< mean time between link partitions
+  Time partition_mttr = 0;  ///< mean partition duration (> 0 when enabled)
+  std::uint64_t seed = 2005;
+};
+
+/// Parses a CLI chaos spec, e.g. "mtbf:259200,mttr:7200,seed:9" with
+/// optional "linkmtbf:172800,linkmttr:3600". At least one of mtbf /
+/// linkmtbf must be positive. Throws sbs::Error on unknown keys or bad
+/// values.
+ChaosSpec parse_chaos_spec(const std::string& spec);
+
+/// Deterministic, pre-generated federation chaos schedule. Built once per
+/// run from a seeded spec (identical seed + member count yield identical
+/// schedules) or from an explicit event list (tests).
+///
+/// Invariants maintained by from_spec():
+///  - every MemberDown / LinkDown has a matching Up (possibly beyond the
+///    horizon), so every outage and partition eventually ends;
+///  - per member, windows of the same kind never overlap (the next
+///    failure is drawn from the previous recovery);
+///  - events are sorted by time (ties keep generation order: lower member
+///    index first, outages before partitions).
+class ChaosSchedule {
+ public:
+  /// No chaos (the default).
+  ChaosSchedule() = default;
+
+  /// Generates outage/partition windows over [begin, end) for a
+  /// federation of `members` clusters. Down events never fall past `end`;
+  /// the paired Up events may.
+  static ChaosSchedule from_spec(const ChaosSpec& spec, Time begin, Time end,
+                                 int members);
+
+  /// Wraps an explicit event list (sorted by time; checked, including
+  /// Down/Up pairing per member and kind).
+  static ChaosSchedule from_events(std::vector<ChaosEvent> events);
+
+  const std::vector<ChaosEvent>& events() const { return events_; }
+  bool empty() const { return events_.empty(); }
+
+ private:
+  std::vector<ChaosEvent> events_;
+};
+
 }  // namespace sbs

@@ -90,6 +90,11 @@ void Simulator::kill_running(std::size_t ri, Time now) {
   if (config_.requeue == RequeuePolicy::Resubmit) {
     ++oc.requeue_count;
     ++result_.fault_stats.jobs_requeued;
+    // Clear the dispatch times of the killed attempt: they are rewritten
+    // on the next dispatch, and until then outcome_so_far() readers must
+    // not see the dead attempt's times as if they were real.
+    oc.start = 0;
+    oc.end = 0;
     waiting_.push_back(WaitingJob{&j, estimate_of(j)});
     requeued_this_event_ = true;
   } else {

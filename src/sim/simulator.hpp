@@ -240,6 +240,16 @@ class Simulator {
   std::uint64_t events_processed() const { return events_; }
   const std::vector<WaitingJob>& waiting_jobs() const { return waiting_; }
   const std::vector<RunningJob>& running_jobs() const { return running_; }
+  /// Mid-run outcome of one job as recorded so far. A job neither waiting
+  /// nor running here is terminal: `completed && end > start` means it
+  /// really finished here — the default outcome is completed with
+  /// start == end == 0, drops clear the flag, and a killed attempt zeroes
+  /// its stale dispatch times until the next dispatch rewrites them.
+  /// Federation reconciliation classifies partition-side ground truth with
+  /// this.
+  const JobOutcome& outcome_so_far(int job_id) const {
+    return result_.outcomes[static_cast<std::size_t>(job_id)];
+  }
 
   /// Captures the full mid-run state at the current event boundary (the
   /// same capture the checkpoint_every cadence feeds to checkpoint_sink).

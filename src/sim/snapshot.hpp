@@ -104,7 +104,10 @@ struct SimSnapshot {
 /// one would be. Serialization lives in resilience/checkpoint, same as for
 /// SimSnapshot.
 struct FederationSnapshot {
-  static constexpr int kVersion = 1;
+  /// v2 added the fault-tolerance block (chaos cursor, outage flags,
+  /// health, limbo, ledger). v1 snapshots still load — the new fields
+  /// default to the chaos-off state.
+  static constexpr int kVersion = 2;
 
   std::uint64_t fed_events = 0;   ///< federation event times processed
   std::size_t next_arrival = 0;   ///< routing cursor into the global trace
@@ -117,6 +120,38 @@ struct FederationSnapshot {
   /// Opaque MetaScheduler::save_state() (round-robin cursor, ...).
   std::string meta_state;
   std::vector<SimSnapshot> members;  ///< one per member, cluster-id order
+
+  // --- v2: federation fault-tolerance state (all empty when chaos off;
+  // the chaos schedule itself re-derives from the seeded spec, so only
+  // the cursor is stored, mirroring the fault-schedule treatment above).
+  struct LimboEntry {
+    int job = 0;
+    int target = 0;  ///< member the dropped routing message addressed
+  };
+  struct RehomeEntry {
+    int job = 0;
+    int from = 0;
+    int to = 0;
+  };
+  struct CommitEntry {
+    int job = 0;
+    int member = 0;
+  };
+  std::size_t next_chaos = 0;  ///< cursor into the chaos schedule
+  std::vector<std::uint8_t> member_down;  ///< ground-truth blackout flags
+  std::vector<std::uint8_t> link_down;    ///< ground-truth partition flags
+  std::vector<std::string> health;  ///< per-member MemberHealth JSON
+  std::vector<LimboEntry> limbo;    ///< routings dropped by an outage
+  std::vector<RehomeEntry> speculative;  ///< open speculative re-homes
+  std::vector<std::vector<int>> stale_waiting;  ///< per-member view at
+                                                ///  LinkDown (else empty)
+  std::vector<CommitEntry> commits;       ///< ledger completion commits
+  std::vector<std::uint64_t> transfers_in;   ///< ledger, per member
+  std::vector<std::uint64_t> transfers_out;  ///< ledger, per member
+  std::uint64_t failovers = 0;
+  std::uint64_t rehomes = 0;
+  std::uint64_t dedupes = 0;
+  std::uint64_t duplicate_runs = 0;
 };
 
 }  // namespace sbs::sim

@@ -440,5 +440,128 @@ TEST(SearchDeadline, FactoryThreadsDeadlineThrough) {
   EXPECT_DOUBLE_EQ(search->config().search.deadline_ms, 12.5);
 }
 
+// ----------------------------------------------------------- chaos spec
+
+TEST(ChaosSpecParse, FullSpec) {
+  const ChaosSpec s = parse_chaos_spec(
+      "mtbf:259200,mttr:7200,linkmtbf:86400,linkmttr:3600,seed:9");
+  EXPECT_EQ(s.outage_mtbf, 259200);
+  EXPECT_EQ(s.outage_mttr, 7200);
+  EXPECT_EQ(s.partition_mtbf, 86400);
+  EXPECT_EQ(s.partition_mttr, 3600);
+  EXPECT_EQ(s.seed, 9u);
+}
+
+TEST(ChaosSpecParse, PartitionOnlySpec) {
+  const ChaosSpec s = parse_chaos_spec("linkmtbf:86400,linkmttr:600");
+  EXPECT_EQ(s.outage_mtbf, 0);
+  EXPECT_EQ(s.partition_mtbf, 86400);
+}
+
+TEST(ChaosSpecParse, Rejections) {
+  EXPECT_THROW(parse_chaos_spec(""), Error);               // nothing enabled
+  EXPECT_THROW(parse_chaos_spec("seed:3"), Error);         // nothing enabled
+  EXPECT_THROW(parse_chaos_spec("mtbf:1000"), Error);      // mttr missing
+  EXPECT_THROW(parse_chaos_spec("linkmtbf:1000"), Error);  // linkmttr missing
+  EXPECT_THROW(parse_chaos_spec("bogus:1"), Error);        // unknown key
+  EXPECT_THROW(parse_chaos_spec("mtbf"), Error);           // no value
+  EXPECT_THROW(parse_chaos_spec("mtbf:xyz"), Error);       // not a number
+  EXPECT_THROW(parse_chaos_spec("mtbf:-5,mttr:10"), Error);
+}
+
+// ------------------------------------------------------- chaos schedule
+
+ChaosSpec chaos_spec(std::uint64_t seed = 5) {
+  ChaosSpec s;
+  s.outage_mtbf = 20000;
+  s.outage_mttr = 4000;
+  s.partition_mtbf = 30000;
+  s.partition_mttr = 2000;
+  s.seed = seed;
+  return s;
+}
+
+TEST(ChaosSchedule, SeededScheduleIsDeterministic) {
+  const auto a = ChaosSchedule::from_spec(chaos_spec(), 0, 400000, 3);
+  const auto b = ChaosSchedule::from_spec(chaos_spec(), 0, 400000, 3);
+  ASSERT_FALSE(a.empty());
+  ASSERT_EQ(a.events().size(), b.events().size());
+  for (std::size_t i = 0; i < a.events().size(); ++i) {
+    EXPECT_EQ(a.events()[i].time, b.events()[i].time);
+    EXPECT_EQ(a.events()[i].kind, b.events()[i].kind);
+    EXPECT_EQ(a.events()[i].member, b.events()[i].member);
+  }
+  const auto c = ChaosSchedule::from_spec(chaos_spec(6), 0, 400000, 3);
+  bool differs = c.events().size() != a.events().size();
+  for (std::size_t i = 0; !differs && i < a.events().size(); ++i)
+    differs = a.events()[i].time != c.events()[i].time;
+  EXPECT_TRUE(differs);
+}
+
+TEST(ChaosSchedule, EveryOutageIsPairedAndMembersAreInRange) {
+  const int members = 4;
+  const auto sched = ChaosSchedule::from_spec(chaos_spec(), 0, 600000, members);
+  ASSERT_FALSE(sched.empty());
+  EXPECT_TRUE(std::is_sorted(sched.events().begin(), sched.events().end(),
+                             [](const ChaosEvent& a, const ChaosEvent& b) {
+                               return a.time < b.time;
+                             }));
+  // Replay per member, per kind: Down/Up alternate and every outage and
+  // partition eventually ends (the schedule never strands a member dark).
+  std::vector<int> down(members, 0);
+  std::vector<int> cut(members, 0);
+  for (const ChaosEvent& e : sched.events()) {
+    ASSERT_GE(e.member, 0);
+    ASSERT_LT(e.member, members);
+    switch (e.kind) {
+      case ChaosKind::MemberDown:
+        EXPECT_EQ(down[e.member], 0);
+        down[e.member] = 1;
+        break;
+      case ChaosKind::MemberUp:
+        EXPECT_EQ(down[e.member], 1);
+        down[e.member] = 0;
+        break;
+      case ChaosKind::LinkDown:
+        EXPECT_EQ(cut[e.member], 0);
+        cut[e.member] = 1;
+        break;
+      case ChaosKind::LinkUp:
+        EXPECT_EQ(cut[e.member], 1);
+        cut[e.member] = 0;
+        break;
+    }
+    // Blackouts only begin inside the horizon (recoveries may exceed it).
+    if (e.kind == ChaosKind::MemberDown || e.kind == ChaosKind::LinkDown) {
+      EXPECT_LT(e.time, 600000);
+    }
+  }
+  for (int m = 0; m < members; ++m) {
+    EXPECT_EQ(down[m], 0) << "member " << m << " never recovered";
+    EXPECT_EQ(cut[m], 0) << "member " << m << " link never healed";
+  }
+}
+
+TEST(ChaosSchedule, FromEventsValidatesOrderingAndPairing) {
+  // Sorted, paired input is accepted.
+  ASSERT_NO_THROW(ChaosSchedule::from_events(
+      {ChaosEvent{100, ChaosKind::MemberDown, 0},
+       ChaosEvent{200, ChaosKind::MemberUp, 0}}));
+  // Unsorted input is rejected.
+  EXPECT_THROW(ChaosSchedule::from_events(
+                   {ChaosEvent{200, ChaosKind::MemberUp, 0},
+                    ChaosEvent{100, ChaosKind::MemberDown, 0}}),
+               Error);
+  // An Up with no preceding Down is rejected.
+  EXPECT_THROW(
+      ChaosSchedule::from_events({ChaosEvent{100, ChaosKind::MemberUp, 0}}),
+      Error);
+  // A second Down for an already-dark member is rejected.
+  EXPECT_THROW(ChaosSchedule::from_events(
+                   {ChaosEvent{100, ChaosKind::LinkDown, 1},
+                    ChaosEvent{150, ChaosKind::LinkDown, 1}}),
+               Error);
+}
+
 }  // namespace
 }  // namespace sbs

@@ -18,6 +18,7 @@
 #include "obs/trace_sink.hpp"
 #include "sim/faults.hpp"
 #include "test_support.hpp"
+#include "util/error.hpp"
 #include "util/rng.hpp"
 #include "workload/generator.hpp"
 
@@ -271,6 +272,42 @@ TEST(Federation, FuzzNoJobLostOrDuplicated) {
       }
     }
   }
+}
+
+// ---------------------------------------------------------------------------
+// --clusters spec parsing: every malformed operator input must surface as
+// a UsageError (the CLI prints usage and exits 2), never a crash or a
+// silently odd federation.
+
+TEST(ClusterSpecParse, AcceptsNamedAndAnonymousMembers) {
+  const auto mixed = fed::parse_cluster_spec("left:64,32,right:16");
+  ASSERT_EQ(mixed.size(), 3u);
+  EXPECT_EQ(mixed[0].name, "left");
+  EXPECT_EQ(mixed[0].nodes, 64);
+  EXPECT_EQ(mixed[1].name, "");  // defaults to "c1" downstream
+  EXPECT_EQ(mixed[1].nodes, 32);
+  EXPECT_EQ(mixed[2].name, "right");
+  EXPECT_EQ(mixed[2].nodes, 16);
+}
+
+TEST(ClusterSpecParse, RejectsMalformedSpecsAsUsageErrors) {
+  EXPECT_THROW(fed::parse_cluster_spec(""), UsageError);
+  EXPECT_THROW(fed::parse_cluster_spec("a:0"), UsageError);      // zero nodes
+  EXPECT_THROW(fed::parse_cluster_spec("a:-4"), UsageError);     // negative
+  EXPECT_THROW(fed::parse_cluster_spec("a:xyz"), UsageError);    // not a number
+  EXPECT_THROW(fed::parse_cluster_spec("a:"), UsageError);       // no count
+  EXPECT_THROW(fed::parse_cluster_spec("64,"), UsageError);      // empty token
+  EXPECT_THROW(fed::parse_cluster_spec("64,,32"), UsageError);   // empty token
+  EXPECT_THROW(fed::parse_cluster_spec("a:8,a:16"), UsageError); // dup name
+  // A given name colliding with another member's default "c<index>" would
+  // merge their report rows; also a UsageError.
+  EXPECT_THROW(fed::parse_cluster_spec("8,c0:16"), UsageError);
+}
+
+TEST(ClusterSpecParse, RejectsAbsurdMemberCounts) {
+  std::string spec = "4";
+  for (int i = 1; i < 1025; ++i) spec += ",4";
+  EXPECT_THROW(fed::parse_cluster_spec(spec), UsageError);
 }
 
 }  // namespace

@@ -1,0 +1,291 @@
+// Federation fault tolerance: member blackouts and meta<->member link
+// partitions driven by a seeded ChaosSchedule. Deterministic scenarios pin
+// the failover/re-home/reconcile mechanics (FCFS identity across re-homes,
+// dedupe of a completion that happened behind a partition, race resolution
+// when both copies ran), and a seeded sweep proves the exactly-once ledger
+// invariants over hundreds of randomized schedules — Federation::run()
+// throws if any invariant breaks, so a clean return IS the assertion.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "exp/policy_factory.hpp"
+#include "fed/federation.hpp"
+#include "fed/meta_scheduler.hpp"
+#include "sim/faults.hpp"
+#include "sim/snapshot.hpp"
+#include "test_support.hpp"
+#include "util/rng.hpp"
+
+namespace sbs {
+namespace {
+
+using test::job;
+using test::trace_of;
+
+std::uint64_t fuzz_iters() {
+  if (const char* env = std::getenv("SBS_FUZZ_ITERS")) {
+    const long v = std::atol(env);
+    if (v > 0) return static_cast<std::uint64_t>(v);
+  }
+  return 8;  // tier-1 default: seconds, not minutes
+}
+
+fed::FederationResult run_chaos(const Trace& trace,
+                                std::vector<fed::MemberSpec> members,
+                                const std::string& policy,
+                                const std::string& meta_spec,
+                                const ChaosSchedule* chaos,
+                                fed::FederationConfig fc = {}) {
+  fc.members = std::move(members);
+  fc.chaos = chaos;
+  const auto factory = make_policy_factory(policy, /*node_limit=*/100);
+  const auto meta = fed::make_meta(meta_spec);
+  fed::Federation federation(trace, factory, *meta, fc);
+  return federation.run();
+}
+
+// Four serial 8-wide jobs round-robined over two 8-node members; member b
+// blacks out with one job running and one waiting. The failover must kill
+// and re-home both onto the survivor, where they start in original-submit
+// (FCFS) order interleaved with the survivor's own queue.
+TEST(FederationChaos, BlackoutRehomesWaitingJobsInFcfsOrder) {
+  const Trace trace = trace_of(
+      {
+          job(0, 0, 8, 400),   // -> a, runs immediately
+          job(1, 10, 8, 400),  // -> b, killed by the blackout
+          job(2, 20, 8, 400),  // -> a, waits behind job 0
+          job(3, 30, 8, 400),  // -> b, waiting when the lights go out
+      },
+      8);
+  const ChaosSchedule chaos = ChaosSchedule::from_events({
+      ChaosEvent{50, ChaosKind::MemberDown, 1},
+      ChaosEvent{6000, ChaosKind::MemberUp, 1},
+  });
+  const fed::FederationResult fr =
+      run_chaos(trace, {{"a", 8, nullptr}, {"b", 8, nullptr}}, "FCFS-BF",
+                "rr", &chaos);
+
+  EXPECT_EQ(fr.chaos_events, 2u);
+  EXPECT_EQ(fr.failovers, 1u);
+  EXPECT_EQ(fr.rehomes, 2u);
+  EXPECT_EQ(fr.dedupes, 0u);
+  EXPECT_EQ(fr.duplicate_runs, 0u);
+
+  ASSERT_EQ(fr.outcomes.size(), 4u);
+  for (const JobOutcome& o : fr.outcomes) {
+    EXPECT_TRUE(o.completed) << "job " << o.job.id;
+    EXPECT_GT(o.end, o.start) << "job " << o.job.id;
+  }
+  // Both of b's jobs now live on the survivor...
+  EXPECT_EQ(fr.owner[1], 0);
+  EXPECT_EQ(fr.owner[3], 0);
+  // ...and the survivor drained its merged queue in historical submit
+  // order: job 1 (submit 10) before job 2 (submit 20) before job 3.
+  EXPECT_LT(fr.outcomes[1].start, fr.outcomes[2].start);
+  EXPECT_LT(fr.outcomes[2].start, fr.outcomes[3].start);
+}
+
+// A job completes behind a link partition while its speculative re-homed
+// copy is still queued on the survivor. Healing the link must dedupe the
+// copy — one canonical execution, owned by the partitioned member.
+TEST(FederationChaos, CompletionBehindPartitionIsDedupedOnHeal) {
+  const Trace trace = trace_of(
+      {
+          job(0, 0, 8, 3000),  // -> a, pins the survivor until t=3000
+          job(1, 10, 8, 300),  // -> b, running when the link cuts
+          job(2, 15, 8, 3000),  // -> a, queued
+          job(3, 20, 8, 300),  // -> b, waiting at LinkDown: speculated
+      },
+      8);
+  const ChaosSchedule chaos = ChaosSchedule::from_events({
+      ChaosEvent{30, ChaosKind::LinkDown, 1},
+      ChaosEvent{2000, ChaosKind::LinkUp, 1},
+  });
+  const fed::FederationResult fr =
+      run_chaos(trace, {{"a", 8, nullptr}, {"b", 8, nullptr}}, "FCFS-BF",
+                "rr", &chaos);
+
+  EXPECT_EQ(fr.failovers, 1u);
+  EXPECT_GE(fr.rehomes, 1u);
+  EXPECT_EQ(fr.dedupes, 1u);
+  EXPECT_EQ(fr.duplicate_runs, 0u);
+  // Job 3 ran exactly once, behind the partition, on its original member.
+  EXPECT_EQ(fr.owner[3], 1);
+  EXPECT_TRUE(fr.outcomes[3].completed);
+  EXPECT_LT(fr.outcomes[3].end, 2000)
+      << "the canonical run happened inside the partition window";
+  for (const JobOutcome& o : fr.outcomes) EXPECT_TRUE(o.completed);
+}
+
+// Same shape, but the survivor is idle, so the speculative copy actually
+// executes before the link heals: a genuine duplicate run. Reconciliation
+// must commit exactly one side (the earlier finisher) and count the race.
+TEST(FederationChaos, PartitionRaceCommitsExactlyOneExecution) {
+  const Trace trace = trace_of(
+      {
+          job(0, 0, 8, 100),   // -> a, frees the survivor early
+          job(1, 10, 8, 300),  // -> b, running at LinkDown
+          job(2, 15, 8, 100),  // -> a
+          job(3, 20, 8, 300),  // -> b, waiting: both sides will run it
+      },
+      8);
+  const ChaosSchedule chaos = ChaosSchedule::from_events({
+      ChaosEvent{30, ChaosKind::LinkDown, 1},
+      ChaosEvent{2000, ChaosKind::LinkUp, 1},
+  });
+  const fed::FederationResult fr =
+      run_chaos(trace, {{"a", 8, nullptr}, {"b", 8, nullptr}}, "FCFS-BF",
+                "rr", &chaos);
+
+  EXPECT_EQ(fr.duplicate_runs, 1u);
+  ASSERT_EQ(fr.outcomes.size(), 4u);
+  for (const JobOutcome& o : fr.outcomes) EXPECT_TRUE(o.completed);
+  // The merged outcome is the winner's — whichever copy finished first —
+  // and the owner map points at that member. The survivor's copy started
+  // no later than t=200 and b's original no earlier than t=310, so the
+  // survivor must have won the race.
+  EXPECT_EQ(fr.owner[3], 0);
+  EXPECT_LT(fr.outcomes[3].end, 610);
+}
+
+// The invariant sweep: hundreds of seeded (workload, layout, meta, chaos)
+// combinations. check_invariants() runs inside Federation::run() after
+// every schedule — exactly-once ledger balance, no limbo leaks, no open
+// speculations, completion counts — so every clean return certifies one
+// schedule. SBS_FUZZ_ITERS scales the sweep up in scheduled CI.
+TEST(FederationChaos, SeededSweepHoldsExactlyOnceInvariants) {
+  const std::uint64_t iters = std::max<std::uint64_t>(200, fuzz_iters() * 25);
+  const char* metas[] = {"rr", "least-loaded", "best-fit"};
+  for (std::uint64_t iter = 0; iter < iters; ++iter) {
+    SCOPED_TRACE("iteration " + std::to_string(iter));
+    Rng rng(0xc4a05u + iter);
+
+    // Random federation layout: 2-4 members, 8-24 nodes each.
+    const int n_members = static_cast<int>(rng.uniform_int(2, 4));
+    std::vector<fed::MemberSpec> members;
+    int widest = 0;
+    for (int m = 0; m < n_members; ++m) {
+      const int nodes = static_cast<int>(rng.uniform_int(8, 24));
+      widest = std::max(widest, nodes);
+      members.push_back({"m" + std::to_string(m), nodes, nullptr});
+    }
+
+    // Random workload: 25-40 jobs, every width fits the widest member.
+    const int n_jobs = static_cast<int>(rng.uniform_int(25, 40));
+    std::vector<Job> jobs;
+    Time submit = 0;
+    for (int j = 0; j < n_jobs; ++j) {
+      submit += static_cast<Time>(rng.uniform_int(0, 399));
+      const int nodes = static_cast<int>(rng.uniform_int(1, widest));
+      const Time runtime = static_cast<Time>(rng.uniform_int(50, 1500));
+      jobs.push_back(job(j, submit, nodes, runtime));
+    }
+    const Trace trace = trace_of(jobs, widest);
+    const Time horizon = submit + 4000;
+
+    // Random chaos shape: outages, partitions, or both.
+    ChaosSpec spec;
+    const std::int64_t shape = rng.uniform_int(0, 2);
+    if (shape != 1) {
+      spec.outage_mtbf = horizon / 4;
+      spec.outage_mttr = std::max<Time>(1, horizon / 20);
+    }
+    if (shape != 0) {
+      spec.partition_mtbf = horizon / 4;
+      spec.partition_mttr = std::max<Time>(1, horizon / 20);
+    }
+    spec.seed = 7000 + iter;
+    const ChaosSchedule chaos =
+        ChaosSchedule::from_spec(spec, 0, horizon, n_members);
+
+    const std::string policy = iter % 10 == 0 ? "DDS/lxf/dynB" : "FCFS-BF";
+    const fed::FederationResult fr = run_chaos(
+        trace, members, policy, metas[iter % 3], &chaos);
+    ASSERT_EQ(fr.outcomes.size(), jobs.size());
+    for (const JobOutcome& o : fr.outcomes)
+      ASSERT_TRUE(o.completed) << "job " << o.job.id << " lost";
+  }
+}
+
+// Chaos-aware checkpointing: a snapshot captured while a member is dark
+// must resume to a bit-identical schedule — outage flags, health state,
+// limbo, the ledger and every fault-tolerance counter all survive the
+// round trip through FederationSnapshot.
+TEST(FederationChaos, MidOutageResumeIsBitIdentical) {
+  std::vector<Job> jobs;
+  Time submit = 0;
+  for (int j = 0; j < 20; ++j) {
+    submit = j * 40;
+    jobs.push_back(job(j, submit, 1 + j % 6, 200 + 100 * (j % 5)));
+  }
+  const Trace trace = trace_of(jobs, 12);
+  const ChaosSchedule chaos = ChaosSchedule::from_events({
+      ChaosEvent{300, ChaosKind::MemberDown, 1},
+      ChaosEvent{4000, ChaosKind::MemberUp, 1},
+  });
+  const std::vector<fed::MemberSpec> members = {{"a", 12, nullptr},
+                                                {"b", 6, nullptr}};
+
+  const fed::FederationResult reference =
+      run_chaos(trace, members, "FCFS-BF", "rr", &chaos);
+  EXPECT_GE(reference.failovers, 1u);
+
+  // Re-run with checkpointing; keep the first snapshot taken mid-outage.
+  sim::FederationSnapshot kept;
+  bool have = false;
+  fed::FederationConfig writing;
+  writing.checkpoint_every = 5;
+  writing.checkpoint_sink = [&](const sim::FederationSnapshot& snap) {
+    if (have) return;
+    const bool dark = std::any_of(snap.member_down.begin(),
+                                  snap.member_down.end(),
+                                  [](std::uint8_t d) { return d != 0; });
+    if (!dark) return;
+    kept = snap;
+    have = true;
+  };
+  const fed::FederationResult full =
+      run_chaos(trace, members, "FCFS-BF", "rr", &chaos, writing);
+  ASSERT_TRUE(have) << "no checkpoint landed inside the outage window";
+
+  fed::FederationConfig resuming;
+  resuming.resume = &kept;
+  const fed::FederationResult resumed =
+      run_chaos(trace, members, "FCFS-BF", "rr", &chaos, resuming);
+
+  auto expect_identical = [](const fed::FederationResult& x,
+                             const fed::FederationResult& y) {
+    ASSERT_EQ(x.outcomes.size(), y.outcomes.size());
+    for (std::size_t i = 0; i < y.outcomes.size(); ++i) {
+      SCOPED_TRACE("job " + std::to_string(y.outcomes[i].job.id));
+      EXPECT_EQ(x.outcomes[i].start, y.outcomes[i].start);
+      EXPECT_EQ(x.outcomes[i].end, y.outcomes[i].end);
+      EXPECT_EQ(x.outcomes[i].requeue_count, y.outcomes[i].requeue_count);
+      EXPECT_EQ(x.outcomes[i].completed, y.outcomes[i].completed);
+    }
+    EXPECT_EQ(x.owner, y.owner);
+    EXPECT_EQ(x.migrations, y.migrations);
+    EXPECT_EQ(x.chaos_events, y.chaos_events);
+    EXPECT_EQ(x.failovers, y.failovers);
+    EXPECT_EQ(x.rehomes, y.rehomes);
+    EXPECT_EQ(x.dedupes, y.dedupes);
+    EXPECT_EQ(x.duplicate_runs, y.duplicate_runs);
+    ASSERT_EQ(x.members.size(), y.members.size());
+    for (std::size_t i = 0; i < y.members.size(); ++i) {
+      EXPECT_EQ(x.members[i].routed, y.members[i].routed);
+      EXPECT_EQ(x.members[i].migrations_in, y.members[i].migrations_in);
+      EXPECT_EQ(x.members[i].migrations_out, y.members[i].migrations_out);
+    }
+  };
+  expect_identical(full, reference);     // checkpointing must not perturb
+  expect_identical(resumed, reference);  // the resumed tail matches
+}
+
+}  // namespace
+}  // namespace sbs

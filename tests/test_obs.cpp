@@ -537,5 +537,96 @@ TEST(TelemetryReport, RejectsMalformedStreams) {
   std::remove(path.c_str());
 }
 
+// ---------------------------------------------------------------------------
+// Federation streams: per-cluster slicing and fault-tolerance records
+
+// A federation run record pre-creates one aggregate row per member, so a
+// cluster that contributed zero decision records (blacked out for the
+// whole run, say) still renders an all-zero row instead of vanishing from
+// the per-cluster table.
+TEST(TelemetryReport, FederationClusterWithNoRecordsStillGetsARow) {
+  const std::string path = testing::TempDir() + "/sbs_tel_fed_rows.jsonl";
+  {
+    std::ofstream out(path);
+    out << R"({"type":"run","trace":"synthetic","policy":"FCFS-BF",)"
+        << R"("capacity":16,"jobs":2,"clusters":3})" << '\n';
+    out << R"({"type":"submit","t":0,"job":0,"cluster":0})" << '\n';
+    out << R"({"type":"start","t":0,"job":0,"cluster":0})" << '\n';
+    out << R"({"type":"finish","t":50,"job":0,"cluster":0})" << '\n';
+  }
+  const std::vector<obs::RunReport> runs = obs::summarize_telemetry(path);
+  ASSERT_EQ(runs.size(), 1u);
+  const obs::RunReport& r = runs.front();
+  EXPECT_EQ(r.clusters, 3);
+  ASSERT_EQ(r.cluster_agg.size(), 3u);
+  EXPECT_EQ(r.cluster_agg.at(0).submits, 1u);
+  EXPECT_EQ(r.cluster_agg.at(0).finishes, 1u);
+  for (const int silent : {1, 2}) {
+    SCOPED_TRACE("cluster " + std::to_string(silent));
+    const obs::RunReport::ClusterAgg& agg = r.cluster_agg.at(silent);
+    EXPECT_EQ(agg.decisions, 0u);
+    EXPECT_EQ(agg.submits, 0u);
+    EXPECT_EQ(agg.starts, 0u);
+    EXPECT_EQ(agg.finishes, 0u);
+  }
+  std::remove(path.c_str());
+}
+
+// The chaos/health/rehome/reconcile records aggregate into the run's
+// fault-tolerance counters and the per-cluster failover/rehome slices;
+// unknown enum values are stream errors, not silent zeros.
+TEST(TelemetryReport, FaultToleranceRecordsAggregate) {
+  const std::string path = testing::TempDir() + "/sbs_tel_fed_ft.jsonl";
+  {
+    std::ofstream out(path);
+    out << R"({"type":"run","trace":"synthetic","policy":"FCFS-BF",)"
+        << R"("capacity":16,"jobs":4,"clusters":2})" << '\n';
+    out << R"({"type":"chaos","t":100,"event":"member-down","member":1})"
+        << '\n';
+    out << R"({"type":"health","t":280,"member":1,"state":"down"})" << '\n';
+    out << R"({"type":"rehome","t":280,"job":3,"from":1,"to":0,"mode":"move"})"
+        << '\n';
+    out << R"({"type":"rehome","t":281,"job":2,"from":1,"to":0,"mode":"copy"})"
+        << '\n';
+    out << R"({"type":"chaos","t":900,"event":"member-up","member":1})" << '\n';
+    out << R"({"type":"health","t":960,"member":1,"state":"up"})" << '\n';
+    out << R"({"type":"reconcile","t":960,"job":2,"member":1,)"
+        << R"("action":"dedupe"})" << '\n';
+    out << R"({"type":"reconcile","t":961,"job":3,"member":0,)"
+        << R"("action":"duplicate"})" << '\n';
+  }
+  const std::vector<obs::RunReport> runs = obs::summarize_telemetry(path);
+  ASSERT_EQ(runs.size(), 1u);
+  const obs::RunReport& r = runs.front();
+  EXPECT_EQ(r.chaos_events, 2u);
+  EXPECT_EQ(r.failovers, 1u);
+  EXPECT_EQ(r.recoveries, 1u);
+  EXPECT_EQ(r.rehomes, 2u);
+  EXPECT_EQ(r.rehome_copies, 1u);
+  EXPECT_EQ(r.reconciles, 2u);
+  EXPECT_EQ(r.dedupes, 1u);
+  EXPECT_EQ(r.duplicate_runs, 1u);
+  EXPECT_EQ(r.cluster_agg.at(1).failovers, 1u);
+  EXPECT_EQ(r.cluster_agg.at(1).rehomes_out, 2u);
+  EXPECT_EQ(r.cluster_agg.at(0).rehomes_in, 2u);
+
+  {
+    std::ofstream out(path);
+    out << R"({"type":"run","trace":"synthetic","policy":"FCFS-BF",)"
+        << R"("capacity":16,"jobs":4,"clusters":2})" << '\n';
+    out << R"({"type":"health","t":280,"member":1,"state":"sideways"})" << '\n';
+  }
+  EXPECT_THROW(obs::summarize_telemetry(path), Error);
+  {
+    std::ofstream out(path);
+    out << R"({"type":"run","trace":"synthetic","policy":"FCFS-BF",)"
+        << R"("capacity":16,"jobs":4,"clusters":2})" << '\n';
+    out << R"({"type":"reconcile","t":960,"job":2,"member":1,)"
+        << R"("action":"shrug"})" << '\n';
+  }
+  EXPECT_THROW(obs::summarize_telemetry(path), Error);
+  std::remove(path.c_str());
+}
+
 }  // namespace
 }  // namespace sbs

@@ -56,6 +56,21 @@ TEST(Framing, DecoderRejectsOversizedPrefix) {
   EXPECT_THROW(decoder.next(), Error);
 }
 
+TEST(Framing, DecoderRejectsZeroLengthPrefix) {
+  // A zero-length frame can never carry a JSON object; the decoder must
+  // flag it as a protocol error the moment the header is complete instead
+  // of stalling forever waiting for a body that cannot exist.
+  const char prefix[4] = {0x00, 0x00, 0x00, 0x00};
+  FrameDecoder decoder;
+  decoder.feed(std::string_view(prefix, 4));
+  EXPECT_THROW(decoder.next(), Error);
+}
+
+TEST(Framing, EncodeRejectsEmptyPayload) {
+  std::string wire;
+  EXPECT_THROW(encode_frame("", wire), Error);
+}
+
 TEST(Framing, EncodeRejectsOversizedPayload) {
   std::string wire;
   const std::string big(kMaxFrameBytes + 1, 'x');

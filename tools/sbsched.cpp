@@ -16,7 +16,8 @@
 //            [--warm-start=on|off] [--governor=on|off]
 //            [--governor-thresholds=queue=20,trip=3,...]
 //            [--clusters=left:64,right:32 [--meta=least-loaded|rr|best-fit]
-//             [--migrate=on|off]]
+//             [--migrate=on|off]
+//             [--chaos=mtbf:259200,mttr:7200[,linkmtbf:N,linkmttr:N,seed:N]]]
 //            [--checkpoint=run.ckpt --checkpoint-every=N] [--resume=run.ckpt]
 //            [--outcomes=jobs.csv] [--telemetry=run.jsonl]
 //            [--telemetry-fsync=N] [--telemetry-rotate-mb=N] [--metrics]
@@ -31,7 +32,11 @@
 //       metrics-registry tables. --clusters federates the trace across N
 //       member clusters (each with its own search scheduler and fault
 //       schedule), routed by the --meta policy with cross-cluster
-//       migration of waiting jobs on overload or node failure.
+//       migration of waiting jobs on overload or node failure. --chaos
+//       additionally injects whole-member blackouts and meta<->member
+//       link partitions; the federation routes around unhealthy members,
+//       re-homes their queued jobs, and reconciles duplicates through an
+//       exactly-once ledger when partitions heal.
 //
 //   sbsched compare --trace=month.swf [--policies=FCFS-BF,LXF-BF,DDS/lxf/dynB]
 //            [--nodes=1000] [--rstar=...] [--load=0.9] [--faults=...]
@@ -131,6 +136,8 @@ int usage() {
       "            [--governor-thresholds=queue=20,trip=3,...]\n"
       "            [--clusters=left:64,right:32]\n"
       "            [--meta=least-loaded|rr|best-fit] [--migrate=on|off]\n"
+      "            [--chaos=mtbf:259200,mttr:7200"
+      "[,linkmtbf:N,linkmttr:N,seed:N]]\n"
       "            [--checkpoint=run.ckpt --checkpoint-every=N]\n"
       "            [--resume=run.ckpt] [--outcomes=jobs.csv]\n"
       "            [--telemetry=run.jsonl] [--telemetry-fsync=N]\n"
@@ -171,6 +178,14 @@ int usage() {
       "      cluster migration of waiting jobs. A federation of one is\n"
       "      bit-identical to the plain run. Federation checkpoints use\n"
       "      their own format and compose every member's snapshot.\n"
+      "      --chaos injects whole-member blackouts (mtbf/mttr) and\n"
+      "      meta<->member link partitions (linkmtbf/linkmttr), seeded and\n"
+      "      deterministic: the meta-scheduler probes member health, routes\n"
+      "      around declared-down members with hysteresis and backoff,\n"
+      "      re-homes queued jobs off dead members at their original FCFS\n"
+      "      position, and reconciles partition-doubled jobs through an\n"
+      "      exactly-once ledger when the link heals. Checkpoints taken\n"
+      "      mid-outage resume bit-identically.\n"
       "\n"
       "  compare   --trace=month.swf [--policies=FCFS-BF,LXF-BF,DDS/lxf/dynB]\n"
       "            [--nodes=1000] [--rstar=...] [--load=0.9] [--faults=...]\n"
@@ -429,8 +444,21 @@ int cmd_simulate_federation(const CliArgs& args) {
   const bool warm = on_off_flag(args, "warm-start", false);
   const std::optional<resilience::GovernorConfig> governor =
       governor_flags(args);
+  std::optional<ChaosSpec> chaos_spec;
+  if (const std::string cspec = args.get("chaos", ""); !cspec.empty())
+    chaos_spec = parse_chaos_spec(cspec);
 
   const Trace trace = load_trace(args);
+
+  // Federation-scoped chaos: blackout and link-partition windows generated
+  // deterministically from the spec's seed over the trace window.
+  std::optional<ChaosSchedule> chaos;
+  if (chaos_spec) {
+    chaos.emplace(ChaosSchedule::from_spec(
+        *chaos_spec, trace.window_begin, trace.window_end,
+        static_cast<int>(members.size())));
+    fc.chaos = &*chaos;
+  }
 
   // Per-member fault schedules from one --faults spec: each member derives
   // its own deterministic schedule (seed + cluster id) against its own
@@ -464,6 +492,7 @@ int cmd_simulate_federation(const CliArgs& args) {
       {"clusters", args.get("clusters", "")},
       {"meta", meta->name()},
       {"migrate", fc.migration.enabled ? "on" : "off"},
+      {"chaos", args.get("chaos", "")},
       {"policy", spec},
       {"nodes", std::to_string(L)},
       {"rstar", rstar},
@@ -635,12 +664,14 @@ int cmd_simulate(int argc, char** argv) {
                 "search-deadline-ms", "search-threads", "search-cache",
                 "search-simd", "search-prune", "warm-start", "governor",
                 "governor-thresholds", "clusters", "meta", "migrate",
-                "checkpoint", "checkpoint-every", "resume", "outcomes",
+                "chaos", "checkpoint", "checkpoint-every", "resume",
+                "outcomes",
                 "telemetry", "telemetry-fsync", "telemetry-rotate-mb",
                 "metrics"});
   if (!args.get("clusters", "").empty()) return cmd_simulate_federation(args);
-  if (!args.get("meta", "").empty() || !args.get("migrate", "").empty())
-    throw UsageError("--meta/--migrate require --clusters");
+  if (!args.get("meta", "").empty() || !args.get("migrate", "").empty() ||
+      !args.get("chaos", "").empty())
+    throw UsageError("--meta/--migrate/--chaos require --clusters");
   // Validate every flag before touching the filesystem, so operator
   // mistakes exit 2 even when the inputs are also wrong.
   std::unique_ptr<RuntimePredictor> predictor;
